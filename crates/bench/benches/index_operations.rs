@@ -1,0 +1,64 @@
+//! Criterion benchmarks of end-to-end index construction and exact 1-NN query
+//! answering for every method, on a small fixed dataset — the per-method hot
+//! paths that the figure-level experiments aggregate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::registry::{build_method, MethodKind};
+use hydra_core::{BuildOptions, Query};
+use hydra_data::RandomWalkGenerator;
+use hydra_storage::DatasetStore;
+use std::sync::Arc;
+
+const SERIES: usize = 2_000;
+const LENGTH: usize = 256;
+
+fn options() -> BuildOptions {
+    BuildOptions::default().with_segments(16).with_leaf_capacity(50).with_train_samples(500)
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let dataset = RandomWalkGenerator::new(11, LENGTH).dataset(SERIES);
+    let mut group = c.benchmark_group("index_build_2k_series");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::AdsPlus,
+        MethodKind::Isax2Plus,
+        MethodKind::DsTree,
+        MethodKind::SfaTrie,
+        MethodKind::VaPlusFile,
+        MethodKind::RStarTree,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let store = Arc::new(DatasetStore::new(dataset.clone()));
+                black_box(build_method(kind, store, &options()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_query(c: &mut Criterion) {
+    let dataset = RandomWalkGenerator::new(11, LENGTH).dataset(SERIES);
+    let query_series = RandomWalkGenerator::new(99, LENGTH).series(0);
+    let mut group = c.benchmark_group("exact_1nn_query_2k_series");
+    group.sample_size(20);
+    for kind in MethodKind::ALL {
+        let store = Arc::new(DatasetStore::new(dataset.clone()));
+        let built = build_method(kind, store, &options()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                black_box(
+                    built
+                        .method
+                        .answer_simple(&Query::nearest_neighbor(query_series.clone()))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_exact_query);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! EXP-F10: regenerates Figure 10 (the recommendation matrix).
+
+use hydra_bench::experiments::{fig10_recommendations, ExperimentScale};
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let table = fig10_recommendations(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "fig10_recommendations").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! EXP-F3: regenerates Figure 3 (per-method scalability with dataset size,
+//! CPU vs I/O breakdown).
+
+use hydra_bench::experiments::{fig3_scalability, ExperimentScale};
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let table = fig3_scalability(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "fig3_scalability").expect("write csv");
+    println!("wrote {}", path.display());
+}

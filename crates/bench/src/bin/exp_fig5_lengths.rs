@@ -1,0 +1,11 @@
+//! EXP-F5: regenerates Figure 5 (scalability with increasing series lengths).
+
+use hydra_bench::experiments::{fig5_lengths, ExperimentScale};
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let table = fig5_lengths(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "fig5_lengths").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,11 @@
+//! EXP-F9: regenerates Figure 9 (pruning ratio per method and workload).
+
+use hydra_bench::experiments::{fig9_pruning, ExperimentScale};
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let table = fig9_pruning(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "fig9_pruning").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,11 @@
+//! EXP-T1: regenerates Table 1 (the method property matrix).
+
+use hydra_bench::experiments::methods_table;
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let table = methods_table();
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "table1_methods").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! EXP-T2: regenerates Table 2 (the best method per platform, dataset and
+//! scenario).
+
+use hydra_bench::experiments::{table2_winners, ExperimentScale};
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let (table, _winners) = table2_winners(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let path = table.write_csv(&results_dir(), "table2_winners").expect("write csv");
+    println!("wrote {}", path.display());
+}

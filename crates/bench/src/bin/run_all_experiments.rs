@@ -1,0 +1,65 @@
+//! Runs every experiment in sequence (the full reproduction pass) and writes
+//! all CSVs under `results/`. Control dataset sizes with `HYDRA_SCALE`
+//! (`smoke`, `small`, `full`).
+
+use hydra_bench::experiments as exp;
+use hydra_bench::harness::Platform;
+use hydra_bench::report::results_dir;
+
+fn main() {
+    let scale = exp::ExperimentScale::from_env();
+    let dir = results_dir();
+    println!("running all experiments at scale {scale:?}; writing CSVs to {}\n", dir.display());
+
+    let t1 = exp::methods_table();
+    println!("{}", t1.to_text());
+    t1.write_csv(&dir, "table1_methods").unwrap();
+
+    let f2 = exp::fig2_leaf_size(scale);
+    println!("{}", f2.to_text());
+    f2.write_csv(&dir, "fig2_leaf_size").unwrap();
+
+    let f3 = exp::fig3_scalability(scale);
+    println!("{}", f3.to_text());
+    f3.write_csv(&dir, "fig3_scalability").unwrap();
+
+    let (f4a, f4b) = exp::fig4_disk_accesses(scale);
+    println!("{}", f4a.to_text());
+    println!("{}", f4b.to_text());
+    f4a.write_csv(&dir, "fig4_disk_accesses_by_size").unwrap();
+    f4b.write_csv(&dir, "fig4_disk_accesses_by_length").unwrap();
+
+    let f5 = exp::fig5_lengths(scale);
+    println!("{}", f5.to_text());
+    f5.write_csv(&dir, "fig5_lengths").unwrap();
+
+    let f6 = exp::fig6_fig7_platform_comparison(scale, Platform::Hdd);
+    println!("{}", f6.to_text());
+    f6.write_csv(&dir, "fig6_hdd").unwrap();
+
+    let f7 = exp::fig6_fig7_platform_comparison(scale, Platform::Ssd);
+    println!("{}", f7.to_text());
+    f7.write_csv(&dir, "fig7_ssd").unwrap();
+
+    let f8 = exp::fig8_footprint(scale);
+    println!("{}", f8.to_text());
+    f8.write_csv(&dir, "fig8_footprint").unwrap();
+
+    let f8f = exp::fig8_tlb(scale);
+    println!("{}", f8f.to_text());
+    f8f.write_csv(&dir, "fig8_tlb").unwrap();
+
+    let f9 = exp::fig9_pruning(scale);
+    println!("{}", f9.to_text());
+    f9.write_csv(&dir, "fig9_pruning").unwrap();
+
+    let (t2, _) = exp::table2_winners(scale);
+    println!("{}", t2.to_text());
+    t2.write_csv(&dir, "table2_winners").unwrap();
+
+    let f10 = exp::fig10_recommendations(scale);
+    println!("{}", f10.to_text());
+    f10.write_csv(&dir, "fig10_recommendations").unwrap();
+
+    println!("all experiments complete; CSVs in {}", dir.display());
+}

@@ -1,0 +1,701 @@
+//! The experiment implementations, one function per table / figure of the
+//! paper's evaluation section. Each returns [`ResultTable`]s that the
+//! corresponding binary prints and writes to `results/*.csv`.
+//!
+//! The experiments run on laptop-scale datasets; sizes are controlled by
+//! [`ExperimentScale`] (override with the `HYDRA_SCALE` environment variable:
+//! `smoke`, `small` (default), or `full`). Absolute numbers therefore differ
+//! from the paper's multi-hundred-GB runs, but the *shapes* — which method
+//! wins where, how access patterns change with size, length and hardware —
+//! are what `EXPERIMENTS.md` tracks.
+
+use crate::harness::{run_build, run_queries, Platform, WorkloadMeasurement};
+use crate::registry::MethodKind;
+use crate::report::{fmt_pct, fmt_secs, ResultTable};
+use hydra_core::{BuildOptions, Dataset};
+use hydra_data::{
+    DomainDataset, DomainGenerator, QueryWorkload, RandomWalkGenerator, WorkloadSpec,
+};
+use hydra_transforms::eapca::{uniform_segmentation, Eapca};
+use hydra_transforms::fft::{dft_lower_bound, dft_summary};
+use hydra_transforms::sax::SaxParams;
+use hydra_transforms::sfa::{SfaParams, SfaQuantizer};
+use hydra_transforms::vaplus::VaPlusQuantizer;
+use hydra_transforms::Paa;
+use std::time::Duration;
+
+/// Controls how large the experiment datasets are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// The number of series in the "100GB-equivalent" reference dataset.
+    pub base_series: usize,
+    /// The number of queries per workload (the paper uses 100).
+    pub queries: usize,
+}
+
+impl ExperimentScale {
+    /// Tiny datasets for CI smoke runs.
+    pub fn smoke() -> Self {
+        Self { base_series: 1_000, queries: 10 }
+    }
+
+    /// The default laptop-scale setting.
+    pub fn small() -> Self {
+        Self { base_series: 10_000, queries: 50 }
+    }
+
+    /// A larger setting for longer runs.
+    pub fn full() -> Self {
+        Self { base_series: 50_000, queries: 100 }
+    }
+
+    /// Reads the scale from the `HYDRA_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("HYDRA_SCALE").as_deref() {
+            Ok("smoke") => Self::smoke(),
+            Ok("full") => Self::full(),
+            _ => Self::small(),
+        }
+    }
+
+    /// The ladder of dataset sizes standing in for the paper's 25GB → 1TB
+    /// sweep: 1/4×, 1/2×, 1×, 2.5× of the reference size.
+    pub fn size_ladder(&self) -> Vec<usize> {
+        vec![
+            self.base_series / 4,
+            self.base_series / 2,
+            self.base_series,
+            self.base_series * 5 / 2,
+        ]
+    }
+
+    /// The series-length ladder standing in for the paper's 128 → 16384 sweep.
+    pub fn length_ladder(&self) -> Vec<usize> {
+        vec![64, 128, 256, 512]
+    }
+}
+
+/// Default build options shared by the experiments.
+///
+/// The paper fixes 16 segments/coefficients for all fixed summarizations on
+/// its 100M-series datasets. At laptop scale (10³–10⁵ series) a 16-segment
+/// iSAX root has 2¹⁶ potential children — far more than there are series — so
+/// every SAX-family leaf would hold a handful of series and query cost would
+/// be dominated by per-leaf seeks, an artifact of the scale-down rather than
+/// of the methods. The harness therefore scales the word length to 8 segments
+/// (root fanout 256), keeping the ratio of fanout to collection size in the
+/// same regime as the paper's setup; `fig8_tlb` keeps the paper's 16
+/// coefficients since TLB is independent of tree geometry.
+pub fn default_options() -> BuildOptions {
+    BuildOptions::default().with_segments(8).with_leaf_capacity(100).with_train_samples(1_000)
+}
+
+fn synth_dataset(count: usize, length: usize) -> Dataset {
+    RandomWalkGenerator::new(0xDA7A, length).dataset(count)
+}
+
+fn rand_workload(dataset: &Dataset, queries: usize) -> QueryWorkload {
+    QueryWorkload::generate(
+        "Synth-Rand",
+        dataset,
+        &WorkloadSpec::random(0x5EED).with_num_queries(queries),
+    )
+}
+
+fn ctrl_workload(name: &str, dataset: &Dataset, queries: usize) -> QueryWorkload {
+    QueryWorkload::generate(
+        name,
+        dataset,
+        &WorkloadSpec::controlled(0xC7A1).with_num_queries(queries),
+    )
+}
+
+/// Table 1: the method property matrix.
+pub fn methods_table() -> ResultTable {
+    let mut table = ResultTable::new(
+        "Table 1 — similarity search methods",
+        &["method", "representation", "kind", "exact", "ng-approximate"],
+    );
+    let data = synth_dataset(200, 64);
+    for kind in MethodKind::ALL {
+        let (_, built, _) = run_build(kind, &data, &default_options()).expect("build");
+        let d = built.method.descriptor();
+        table.push_row(vec![
+            d.name.to_string(),
+            d.representation.to_string(),
+            if d.is_index { "index" } else { "sequential/multi-step" }.to_string(),
+            "yes".to_string(),
+            if d.supports_approximate { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Figure 2: leaf-size parametrization. For each tunable index, sweep the
+/// leaf capacity and report (normalized) build and query times.
+pub fn fig2_leaf_size(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 2 — leaf size parametrization (HDD model, times normalized per method)",
+        &["method", "leaf_capacity", "idx_time_s", "query_time_s", "normalized_total"],
+    );
+    let dataset = synth_dataset(scale.base_series, 256);
+    let workload = rand_workload(&dataset, scale.queries.min(20));
+    let methods = [
+        (MethodKind::AdsPlus, vec![50usize, 100, 500, 1000]),
+        (MethodKind::DsTree, vec![50, 100, 500, 1000]),
+        (MethodKind::Isax2Plus, vec![50, 100, 500, 1000]),
+        (MethodKind::MTree, vec![2, 10, 25, 50]),
+        (MethodKind::RStarTree, vec![8, 16, 32, 64]),
+        (MethodKind::SfaTrie, vec![100, 500, 1000, 2000]),
+    ];
+    for (kind, capacities) in methods {
+        let mut rows = Vec::new();
+        let mut max_total = 0.0f64;
+        for capacity in capacities {
+            let options = default_options().with_leaf_capacity(capacity);
+            let (store, built, build) = run_build(kind, &dataset, &options).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            let idx = build.total_time(Platform::Hdd).as_secs_f64();
+            let query = run.total_time(Platform::Hdd).as_secs_f64();
+            max_total = max_total.max(idx + query);
+            rows.push((capacity, idx, query));
+        }
+        for (capacity, idx, query) in rows {
+            table.push_row(vec![
+                kind.name().to_string(),
+                capacity.to_string(),
+                format!("{idx:.4}"),
+                format!("{query:.4}"),
+                format!("{:.3}", (idx + query) / max_total.max(1e-12)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 3: per-method scalability with dataset size, with the CPU vs I/O
+/// breakdown of build + 100-query workloads (HDD model).
+pub fn fig3_scalability(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 3 — scalability with increasing dataset sizes (HDD model)",
+        &["method", "dataset_series", "idx_cpu_s", "idx_io_s", "query_cpu_s", "query_io_s", "total_s"],
+    );
+    let model = Platform::Hdd;
+    for kind in MethodKind::ALL {
+        for &size in &scale.size_ladder() {
+            // The paper stops M-tree / R*-tree / Stepwise / MASS runs beyond a
+            // day; here everything completes, but keep the slow methods on the
+            // smaller sizes so the full sweep stays fast.
+            let slow = matches!(
+                kind,
+                MethodKind::MTree | MethodKind::RStarTree | MethodKind::Mass | MethodKind::Stepwise
+            );
+            if slow && size > scale.base_series {
+                continue;
+            }
+            let dataset = synth_dataset(size, 256);
+            let workload = rand_workload(&dataset, scale.queries.min(20));
+            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            let idx_io = model.cost_model().total_time(&build.io);
+            let total = build.cpu_time + idx_io + run.total_time(model);
+            table.push_row(vec![
+                kind.name().to_string(),
+                size.to_string(),
+                fmt_secs(build.cpu_time),
+                fmt_secs(idx_io),
+                fmt_secs(run.cpu_time()),
+                fmt_secs(run.io_time(model)),
+                fmt_secs(total),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 4: number of sequential and random disk accesses per query for the
+/// best six methods, across dataset sizes and series lengths.
+pub fn fig4_disk_accesses(scale: ExperimentScale) -> (ResultTable, ResultTable) {
+    let headers =
+        &["method", "x_value", "seq_pages_min", "seq_pages_median", "seq_pages_max", "rand_pages_min", "rand_pages_median", "rand_pages_max"];
+    let mut by_size = ResultTable::new(
+        "Figure 4a/4c — disk accesses vs dataset size (series length 256)",
+        headers,
+    );
+    let mut by_length = ResultTable::new(
+        "Figure 4b/4d — disk accesses vs series length (reference dataset size)",
+        headers,
+    );
+    let quantiles = |mut values: Vec<u64>| {
+        values.sort_unstable();
+        let min = *values.first().unwrap_or(&0);
+        let max = *values.last().unwrap_or(&0);
+        let median = values.get(values.len() / 2).copied().unwrap_or(0);
+        (min, median, max)
+    };
+    let record = |table: &mut ResultTable, kind: MethodKind, x: String, run: &WorkloadMeasurement| {
+        let seq: Vec<u64> = run.queries.iter().map(|q| q.io.sequential_pages).collect();
+        let rand: Vec<u64> = run.queries.iter().map(|q| q.io.random_pages).collect();
+        let (smin, smed, smax) = quantiles(seq);
+        let (rmin, rmed, rmax) = quantiles(rand);
+        table.push_row(vec![
+            kind.name().to_string(),
+            x,
+            smin.to_string(),
+            smed.to_string(),
+            smax.to_string(),
+            rmin.to_string(),
+            rmed.to_string(),
+            rmax.to_string(),
+        ]);
+    };
+    for kind in MethodKind::BEST_SIX {
+        for &size in &scale.size_ladder() {
+            let dataset = synth_dataset(size, 256);
+            let workload = rand_workload(&dataset, scale.queries.min(20));
+            let (store, built, _) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            record(&mut by_size, kind, size.to_string(), &run);
+        }
+        for &length in &scale.length_ladder() {
+            // Like the paper, the dataset *size in bytes* stays fixed while
+            // the length varies, so longer series mean fewer of them.
+            let count = (scale.base_series / 2 * 256 / length).max(200);
+            let dataset = synth_dataset(count, length);
+            let workload = rand_workload(&dataset, scale.queries.min(20));
+            let (store, built, _) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            record(&mut by_length, kind, length.to_string(), &run);
+        }
+    }
+    (by_size, by_length)
+}
+
+/// Figure 5: scalability with increasing series lengths (fixed dataset size,
+/// 16 segments for all summarizations), Idx+Exact100 and Idx+Exact10K.
+pub fn fig5_lengths(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 5 — scalability with increasing series lengths (HDD model)",
+        &["method", "series_length", "idx_plus_100_s", "idx_plus_10k_s"],
+    );
+    let model = Platform::Hdd;
+    for kind in MethodKind::BEST_SIX {
+        for &length in &scale.length_ladder() {
+            // Fixed dataset size in bytes (the paper's 100GB), so longer
+            // series mean proportionally fewer of them.
+            let count = (scale.base_series / 2 * 256 / length).max(200);
+            let dataset = synth_dataset(count, length);
+            let workload = rand_workload(&dataset, scale.queries.min(20));
+            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            let idx = build.total_time(model);
+            let q100 = run
+                .extrapolated_time(model, 100);
+            let q10k = run.extrapolated_time(model, 10_000);
+            table.push_row(vec![
+                kind.name().to_string(),
+                length.to_string(),
+                fmt_secs(idx + q100),
+                fmt_secs(idx + q10k),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figures 6 and 7: the scalability comparison of the best six methods for
+/// the four scenarios (Idx, Exact100, Idx+Exact100, Idx+Exact10K) on a given
+/// platform model.
+pub fn fig6_fig7_platform_comparison(scale: ExperimentScale, platform: Platform) -> ResultTable {
+    let mut table = ResultTable::new(
+        format!("Figures 6/7 — scalability comparison ({} model)", platform.name()),
+        &["method", "dataset_series", "idx_s", "exact100_s", "idx_plus_100_s", "idx_plus_10k_s"],
+    );
+    for kind in MethodKind::BEST_SIX {
+        for &size in &scale.size_ladder() {
+            let dataset = synth_dataset(size, 256);
+            let workload = rand_workload(&dataset, scale.queries.min(20));
+            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            let idx = build.total_time(platform);
+            let exact100 = run.extrapolated_time(platform, 100);
+            let exact10k = run.extrapolated_time(platform, 10_000);
+            table.push_row(vec![
+                kind.name().to_string(),
+                size.to_string(),
+                fmt_secs(idx),
+                fmt_secs(exact100),
+                fmt_secs(idx + exact100),
+                fmt_secs(idx + exact10k),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 8a–8e: index footprint (node counts, sizes, fill factors) across
+/// dataset sizes.
+pub fn fig8_footprint(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 8a-8e — index footprint vs dataset size",
+        &[
+            "method",
+            "dataset_series",
+            "total_nodes",
+            "leaf_nodes",
+            "memory_MB",
+            "disk_MB",
+            "median_fill",
+            "max_depth",
+        ],
+    );
+    let indexes = [
+        MethodKind::AdsPlus,
+        MethodKind::DsTree,
+        MethodKind::Isax2Plus,
+        MethodKind::SfaTrie,
+        MethodKind::VaPlusFile,
+    ];
+    for kind in indexes {
+        for &size in &scale.size_ladder() {
+            let dataset = synth_dataset(size, 256);
+            let (_, _, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let fp = build.footprint.expect("index footprint");
+            table.push_row(vec![
+                kind.name().to_string(),
+                size.to_string(),
+                fp.total_nodes.to_string(),
+                fp.leaf_nodes.to_string(),
+                format!("{:.2}", fp.memory_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.2}", fp.disk_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.3}", fp.median_fill_factor()),
+                fp.max_leaf_depth().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 8f: tightness of the lower bound per summarization, across series
+/// lengths (16 segments / coefficients, as in the paper).
+///
+/// The TLB here is measured per (query, candidate) pair — the ratio of the
+/// summarization's lower bound to the true distance, averaged over a sample —
+/// which preserves the ordering the paper reports (VA+/ADS+ tightest, SFA with
+/// alphabet 8 loosest, DSTree/iSAX in between).
+pub fn fig8_tlb(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 8f — tightness of the lower bound vs series length",
+        &["method", "series_length", "tlb"],
+    );
+    let pairs = scale.queries.max(20);
+    for &length in &scale.length_ladder() {
+        let dataset = synth_dataset(2_000.min(scale.base_series), length);
+        let workload = rand_workload(&dataset, pairs);
+        let segments = 16.min(length);
+        // Train the learned quantizers on a dataset sample.
+        let sample: Vec<&[f32]> = (0..500.min(dataset.len())).map(|i| dataset.series(i).values()).collect();
+        let sfa = SfaQuantizer::train(
+            SfaParams::new(length, segments).with_alphabet_size(8),
+            sample.iter().copied(),
+        );
+        let va = VaPlusQuantizer::train(length, segments, segments * 8, sample.iter().copied());
+        let sax = SaxParams::new(length, segments, 8);
+        let paa = Paa::new(length, segments);
+        let segmentation = uniform_segmentation(length, segments);
+
+        let mut sums = vec![0.0f64; 6];
+        let mut count = 0u64;
+        for (qi, q) in workload.queries().iter().enumerate() {
+            let cand = dataset.series((qi * 37) % dataset.len());
+            let true_dist = hydra_core::distance::euclidean(q.values(), cand.values());
+            if true_dist <= 0.0 {
+                continue;
+            }
+            count += 1;
+            let q_paa = paa.transform(q.values());
+            let c_word = sax.sax_word(cand.values());
+            // ADS+ / iSAX2+ use iSAX at full resolution.
+            sums[0] += sax.mindist_paa_to_isax(&q_paa, &c_word.to_isax(8, 8)) / true_dist;
+            // DSTree: EAPCA bound on the uniform segmentation.
+            let qe = Eapca::compute(q.values(), &segmentation);
+            let ce = Eapca::compute(cand.values(), &segmentation);
+            sums[1] += qe.lower_bound(&ce, &segmentation) / true_dist;
+            // SFA (alphabet 8).
+            sums[2] += sfa.mindist(&sfa.dft(q.values()), &sfa.word(cand.values())) / true_dist;
+            // VA+file.
+            sums[3] += va.lower_bound(&va.dft(q.values()), &va.cell(cand.values())) / true_dist;
+            // R*-tree: plain PAA bound.
+            sums[4] += paa.lower_bound(&q_paa, &paa.transform(cand.values())) / true_dist;
+            // DFT summary at 16 coefficients (MASS-style reference).
+            sums[5] += dft_lower_bound(
+                &dft_summary(q.values(), segments),
+                &dft_summary(cand.values(), segments),
+            ) / true_dist;
+        }
+        let names = ["ADS+/iSAX2+", "DSTree", "SFA", "VA+file", "R*-tree (PAA)", "DFT-16"];
+        for (i, name) in names.iter().enumerate() {
+            table.push_row(vec![
+                name.to_string(),
+                length.to_string(),
+                format!("{:.4}", (sums[i] / count as f64).min(1.0)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 9: pruning ratio of the five indexes across workloads (Synth-Rand,
+/// Synth-Ctrl and the four domain-flavoured controlled workloads).
+pub fn fig9_pruning(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 9 — pruning ratio per method and workload",
+        &["method", "workload", "mean_pruning", "p25", "median", "p75"],
+    );
+    let indexes = [
+        MethodKind::AdsPlus,
+        MethodKind::Isax2Plus,
+        MethodKind::DsTree,
+        MethodKind::SfaTrie,
+        MethodKind::VaPlusFile,
+    ];
+    let size = (scale.base_series / 2).max(1_000);
+    // (name, dataset) pairs: synthetic plus the four domain stand-ins.
+    let mut workloads: Vec<(String, Dataset, QueryWorkload)> = Vec::new();
+    let synth = synth_dataset(size, 256);
+    workloads.push((
+        "Synth-Rand".to_string(),
+        synth.clone(),
+        rand_workload(&synth, scale.queries.min(30)),
+    ));
+    workloads.push((
+        "Synth-Ctrl".to_string(),
+        synth.clone(),
+        ctrl_workload("Synth-Ctrl", &synth, scale.queries.min(30)),
+    ));
+    for domain in DomainDataset::ALL {
+        let data = DomainGenerator::new(domain, 0xD0).dataset(size);
+        let name = format!("{}-Ctrl", domain.name());
+        let wl = ctrl_workload(&name, &data, scale.queries.min(30));
+        workloads.push((name, data, wl));
+    }
+    for kind in indexes {
+        for (name, dataset, workload) in &workloads {
+            let (store, built, _) = run_build(kind, dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, workload).expect("queries");
+            let mut ratios = run.pruning_ratios();
+            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p).round() as usize];
+            table.push_row(vec![
+                kind.name().to_string(),
+                name.clone(),
+                fmt_pct(run.mean_pruning_ratio()),
+                fmt_pct(q(0.25)),
+                fmt_pct(q(0.5)),
+                fmt_pct(q(0.75)),
+            ]);
+        }
+    }
+    table
+}
+
+/// One Table-2 scenario outcome: the winning method for each scenario column.
+#[derive(Clone, Debug)]
+pub struct ScenarioWinners {
+    /// The dataset label ("Small", "Large", "Astro", ...).
+    pub dataset: String,
+    /// The platform the times were modelled for.
+    pub platform: Platform,
+    /// (scenario name, winning method name) pairs.
+    pub winners: Vec<(&'static str, &'static str)>,
+}
+
+/// Table 2: the best method per {platform × dataset × scenario}.
+pub fn table2_winners(scale: ExperimentScale) -> (ResultTable, Vec<ScenarioWinners>) {
+    let mut table = ResultTable::new(
+        "Table 2 — best method per scenario",
+        &["platform", "dataset", "Idx", "Exact100", "Idx+Exact100", "Idx+Exact10K", "Easy-20", "Hard-20"],
+    );
+    // Datasets: a small (in-memory-like) and a large synthetic one, plus the
+    // four domain stand-ins, all with controlled workloads as in the paper.
+    let mut datasets: Vec<(String, Dataset)> = vec![
+        ("Small".to_string(), synth_dataset(scale.base_series / 4, 256)),
+        ("Large".to_string(), synth_dataset(scale.base_series, 256)),
+    ];
+    for domain in DomainDataset::ALL {
+        datasets.push((
+            domain.name().to_string(),
+            DomainGenerator::new(domain, 0xD1).dataset(scale.base_series / 2),
+        ));
+    }
+    let mut all_winners = Vec::new();
+    for platform in [Platform::Hdd, Platform::Ssd] {
+        for (name, dataset) in &datasets {
+            let workload = ctrl_workload(&format!("{name}-Ctrl"), dataset, scale.queries.min(30));
+            // Run every candidate method once.
+            let mut runs: Vec<(MethodKind, Duration, WorkloadMeasurement)> = Vec::new();
+            for kind in MethodKind::BEST_SIX {
+                let (store, built, build) =
+                    run_build(kind, dataset, &default_options()).expect("build");
+                let run = run_queries(&built, &store, &workload).expect("queries");
+                runs.push((kind, build.total_time(platform), run));
+            }
+            // Easy/hard query split by average pruning ratio across methods.
+            let num_queries = workload.len();
+            let mut scores = vec![0.0f64; num_queries];
+            for (_, _, run) in &runs {
+                for (i, r) in run.pruning_ratios().iter().enumerate() {
+                    scores[i] += r / runs.len() as f64;
+                }
+            }
+            let n_split = (num_queries / 5).max(1);
+            let (easy, hard) = QueryWorkload::split_easy_hard(&scores, n_split);
+
+            let winner_by = |key: &dyn Fn(&(MethodKind, Duration, WorkloadMeasurement)) -> f64| {
+                runs.iter()
+                    .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+                    .map(|(k, _, _)| k.name())
+                    .unwrap_or("-")
+            };
+            let winners: Vec<(&'static str, &'static str)> = vec![
+                ("Idx", winner_by(&|r| r.1.as_secs_f64())),
+                ("Exact100", winner_by(&|r| r.2.extrapolated_time(platform, 100).as_secs_f64())),
+                (
+                    "Idx+Exact100",
+                    winner_by(&|r| {
+                        (r.1 + r.2.extrapolated_time(platform, 100)).as_secs_f64()
+                    }),
+                ),
+                (
+                    "Idx+Exact10K",
+                    winner_by(&|r| {
+                        (r.1 + r.2.extrapolated_time(platform, 10_000)).as_secs_f64()
+                    }),
+                ),
+                ("Easy-20", winner_by(&|r| r.2.mean_time_of(&easy, platform).as_secs_f64())),
+                ("Hard-20", winner_by(&|r| r.2.mean_time_of(&hard, platform).as_secs_f64())),
+            ];
+            table.push_row(vec![
+                platform.name().to_string(),
+                name.clone(),
+                winners[0].1.to_string(),
+                winners[1].1.to_string(),
+                winners[2].1.to_string(),
+                winners[3].1.to_string(),
+                winners[4].1.to_string(),
+                winners[5].1.to_string(),
+            ]);
+            all_winners.push(ScenarioWinners {
+                dataset: name.clone(),
+                platform,
+                winners,
+            });
+        }
+    }
+    (table, all_winners)
+}
+
+/// Figure 10: the recommendation matrix (short/long series × in-memory/disk-
+/// resident collections) for the Idx+Exact10K scenario on the HDD model.
+pub fn fig10_recommendations(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Figure 10 — recommended method (Idx + 10K queries, HDD model)",
+        &["series_length", "collection", "recommended", "runner_up"],
+    );
+    let platform = Platform::Hdd;
+    let cells = [
+        ("short (256)", "in-memory (small)", 256usize, scale.base_series / 4),
+        ("short (256)", "disk-resident (large)", 256, scale.base_series),
+        ("long (2048)", "in-memory (small)", 2048, scale.base_series / 16),
+        ("long (2048)", "disk-resident (large)", 2048, scale.base_series / 4),
+    ];
+    for (length_label, collection_label, length, size) in cells {
+        let dataset = synth_dataset(size.max(500), length);
+        let workload = rand_workload(&dataset, scale.queries.min(20));
+        let mut totals: Vec<(&'static str, f64)> = Vec::new();
+        for kind in MethodKind::BEST_SIX {
+            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&built, &store, &workload).expect("queries");
+            let total = build.total_time(platform) + run.extrapolated_time(platform, 10_000);
+            totals.push((kind.name(), total.as_secs_f64()));
+        }
+        totals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        table.push_row(vec![
+            length_label.to_string(),
+            collection_label.to_string(),
+            totals[0].0.to_string(),
+            totals[1].0.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale { base_series: 400, queries: 8 }
+    }
+
+    #[test]
+    fn scale_parsing_and_ladders() {
+        assert_eq!(ExperimentScale::smoke().base_series, 1_000);
+        assert!(ExperimentScale::full().base_series > ExperimentScale::small().base_series);
+        let ladder = ExperimentScale::small().size_ladder();
+        assert_eq!(ladder.len(), 4);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ExperimentScale::small().length_ladder(), vec![64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn methods_table_lists_all_ten() {
+        let t = methods_table();
+        assert_eq!(t.num_rows(), 10);
+        let text = t.to_text();
+        assert!(text.contains("UCR-Suite"));
+        assert!(text.contains("iSAX2+"));
+    }
+
+    #[test]
+    fn fig9_pruning_produces_rows_for_every_method_and_workload() {
+        let t = fig9_pruning(tiny());
+        // 5 indexes x 6 workloads
+        assert_eq!(t.num_rows(), 30);
+    }
+
+    #[test]
+    fn fig8_tlb_orders_va_above_sfa() {
+        let t = fig8_tlb(ExperimentScale { base_series: 600, queries: 20 });
+        let csv = t.to_csv();
+        // Extract the length-256 rows and compare VA+file vs SFA TLB.
+        let mut va = 0.0;
+        let mut sfa = 0.0;
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols[1] == "256" {
+                if cols[0] == "VA+file" {
+                    va = cols[2].parse::<f64>().unwrap();
+                }
+                if cols[0] == "SFA" {
+                    sfa = cols[2].parse::<f64>().unwrap();
+                }
+            }
+        }
+        assert!(va > 0.0 && sfa > 0.0);
+        assert!(va > sfa, "VA+file TLB ({va}) should exceed SFA's with alphabet 8 ({sfa})");
+    }
+
+    #[test]
+    fn table2_produces_winners_for_all_cells() {
+        let scale = ExperimentScale { base_series: 300, queries: 6 };
+        let (table, winners) = table2_winners(scale);
+        // 2 platforms x 6 datasets
+        assert_eq!(table.num_rows(), 12);
+        assert_eq!(winners.len(), 12);
+        for w in &winners {
+            assert_eq!(w.winners.len(), 6);
+            assert!(!w.dataset.is_empty());
+        }
+    }
+}

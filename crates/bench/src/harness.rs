@@ -1,0 +1,269 @@
+//! The experiment runner: timed builds, timed query workloads, extrapolation,
+//! and platform cost models.
+
+use crate::registry::{build_method, BuiltMethod, MethodKind};
+use hydra_core::{BuildOptions, Dataset, Query, QueryStats, Result};
+use hydra_data::QueryWorkload;
+use hydra_storage::{CostModel, DatasetStore, IoSnapshot, StorageProfile};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The hardware platform an experiment models (the paper's two servers plus
+/// an in-memory setting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// RAID0 HDD server (fast sequential, expensive seeks).
+    Hdd,
+    /// SATA SSD server (cheap seeks, lower sequential throughput).
+    Ssd,
+    /// Dataset fits in memory.
+    InMemory,
+}
+
+impl Platform {
+    /// The cost model for this platform.
+    pub fn cost_model(&self) -> CostModel {
+        match self {
+            Platform::Hdd => CostModel::for_profile(StorageProfile::Hdd),
+            Platform::Ssd => CostModel::for_profile(StorageProfile::Ssd),
+            Platform::InMemory => CostModel::for_profile(StorageProfile::InMemory),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Hdd => "HDD",
+            Platform::Ssd => "SSD",
+            Platform::InMemory => "in-memory",
+        }
+    }
+}
+
+/// Measurement of one index-construction run.
+#[derive(Clone, Debug)]
+pub struct BuildMeasurement {
+    /// Which method was built.
+    pub kind: MethodKind,
+    /// Measured CPU (wall) time of the build.
+    pub cpu_time: Duration,
+    /// I/O counted during the build (one sequential read pass plus writes).
+    pub io: IoSnapshot,
+    /// The footprint of the built structure, if it is an index.
+    pub footprint: Option<hydra_core::IndexFootprint>,
+}
+
+impl BuildMeasurement {
+    /// The modelled total build time on `platform` (CPU + read I/O + writes).
+    pub fn total_time(&self, platform: Platform) -> Duration {
+        self.cpu_time + platform.cost_model().total_time(&self.io)
+    }
+}
+
+/// Measurement of one query.
+#[derive(Clone, Debug)]
+pub struct QueryMeasurement {
+    /// Measured CPU time.
+    pub cpu_time: Duration,
+    /// Counted I/O.
+    pub io: IoSnapshot,
+    /// Work counters (pruning, leaf visits, ...).
+    pub stats: QueryStats,
+}
+
+impl QueryMeasurement {
+    /// The modelled total time of this query on `platform`.
+    pub fn total_time(&self, platform: Platform) -> Duration {
+        self.cpu_time + platform.cost_model().io_time(&self.io)
+    }
+}
+
+/// Aggregated measurement of a query workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadMeasurement {
+    /// Which method answered the workload.
+    pub kind: MethodKind,
+    /// Per-query measurements, in workload order.
+    pub queries: Vec<QueryMeasurement>,
+    /// The dataset size the workload ran against (for pruning ratios).
+    pub dataset_size: usize,
+}
+
+impl WorkloadMeasurement {
+    /// Total modelled time of the workload on `platform`.
+    pub fn total_time(&self, platform: Platform) -> Duration {
+        self.queries.iter().map(|q| q.total_time(platform)).sum()
+    }
+
+    /// Total CPU time.
+    pub fn cpu_time(&self) -> Duration {
+        self.queries.iter().map(|q| q.cpu_time).sum()
+    }
+
+    /// Total modelled I/O time on `platform`.
+    pub fn io_time(&self, platform: Platform) -> Duration {
+        self.queries.iter().map(|q| platform.cost_model().io_time(&q.io)).sum()
+    }
+
+    /// Summed I/O counters across the workload.
+    pub fn total_io(&self) -> IoSnapshot {
+        let mut io = IoSnapshot::default();
+        for q in &self.queries {
+            io.sequential_pages += q.io.sequential_pages;
+            io.random_pages += q.io.random_pages;
+            io.bytes_read += q.io.bytes_read;
+            io.bytes_written += q.io.bytes_written;
+        }
+        io
+    }
+
+    /// Mean pruning ratio over the workload.
+    pub fn mean_pruning_ratio(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.stats.pruning_ratio(self.dataset_size)).sum::<f64>()
+            / self.queries.len() as f64
+    }
+
+    /// Per-query pruning ratios.
+    pub fn pruning_ratios(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.stats.pruning_ratio(self.dataset_size)).collect()
+    }
+
+    /// The paper's extrapolation to a larger workload: drop the 5 best / 5
+    /// worst per-query times and multiply the trimmed mean by
+    /// `target_queries`. Falls back to a plain mean when there are fewer than
+    /// 11 queries.
+    pub fn extrapolated_time(&self, platform: Platform, target_queries: usize) -> Duration {
+        let times: Vec<f64> =
+            self.queries.iter().map(|q| q.total_time(platform).as_secs_f64()).collect();
+        let total = QueryWorkload::extrapolate_total_seconds(&times, target_queries)
+            .unwrap_or_else(|| {
+                let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+                mean * target_queries as f64
+            });
+        Duration::from_secs_f64(total)
+    }
+
+    /// The average total time of the queries at the given indices (used for
+    /// the Easy-20 / Hard-20 scenarios).
+    pub fn mean_time_of(&self, indices: &[usize], platform: Platform) -> Duration {
+        if indices.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = indices.iter().map(|&i| self.queries[i].total_time(platform)).sum();
+        total / indices.len() as u32
+    }
+}
+
+/// Builds a method over `dataset`, measuring build time and I/O.
+pub fn run_build(
+    kind: MethodKind,
+    dataset: &Dataset,
+    options: &BuildOptions,
+) -> Result<(Arc<DatasetStore>, BuiltMethod, BuildMeasurement)> {
+    let store = Arc::new(DatasetStore::new(dataset.clone()));
+    let clock = Instant::now();
+    let built = build_method(kind, store.clone(), options)?;
+    let cpu_time = clock.elapsed();
+    let io = store.io_snapshot();
+    store.reset_io();
+    let measurement =
+        BuildMeasurement { kind, cpu_time, io, footprint: built.footprint.clone() };
+    Ok((store, built, measurement))
+}
+
+/// Runs a 1-NN query workload against a built method, measuring each query.
+pub fn run_queries(
+    built: &BuiltMethod,
+    store: &DatasetStore,
+    workload: &QueryWorkload,
+) -> Result<WorkloadMeasurement> {
+    let mut queries = Vec::with_capacity(workload.len());
+    for series in workload.queries() {
+        store.reset_io();
+        let mut stats = QueryStats::default();
+        let clock = Instant::now();
+        built.method.answer(&Query::nearest_neighbor(series.clone()), &mut stats)?;
+        let cpu_time = clock.elapsed();
+        // Methods report I/O through their stats (leaf reads are charged
+        // there); the store counters cover raw-file traffic. Use whichever
+        // recorded more pages so neither accounting path is lost.
+        let store_io = store.io_snapshot();
+        let stats_io = IoSnapshot {
+            sequential_pages: stats.sequential_page_accesses,
+            random_pages: stats.random_page_accesses,
+            bytes_read: stats.bytes_read,
+            bytes_written: 0,
+        };
+        let io = if stats_io.total_pages() >= store_io.total_pages() { stats_io } else { store_io };
+        queries.push(QueryMeasurement { cpu_time, io, stats });
+    }
+    Ok(WorkloadMeasurement { kind: built.kind, queries, dataset_size: store.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{RandomWalkGenerator, WorkloadSpec};
+
+    fn small_setup() -> (Dataset, QueryWorkload, BuildOptions) {
+        let data = RandomWalkGenerator::new(3, 64).dataset(200);
+        let workload = QueryWorkload::generate(
+            "w",
+            &data,
+            &WorkloadSpec::controlled(5).with_num_queries(12),
+        );
+        let options = BuildOptions::default().with_leaf_capacity(20).with_train_samples(50);
+        (data, workload, options)
+    }
+
+    #[test]
+    fn build_and_query_measurements_are_populated() {
+        let (data, workload, options) = small_setup();
+        let (store, built, build) = run_build(MethodKind::DsTree, &data, &options).unwrap();
+        assert!(build.cpu_time > Duration::ZERO);
+        assert!(build.io.bytes_written > 0, "index construction must write");
+        assert!(build.footprint.is_some());
+        let run = run_queries(&built, &store, &workload).unwrap();
+        assert_eq!(run.queries.len(), 12);
+        assert!(run.total_time(Platform::Hdd) >= run.cpu_time());
+        assert!(run.mean_pruning_ratio() > 0.0);
+        assert_eq!(run.pruning_ratios().len(), 12);
+        assert!(run.total_io().total_pages() > 0);
+    }
+
+    #[test]
+    fn scan_has_zero_pruning_and_finite_times() {
+        let (data, workload, options) = small_setup();
+        let (store, built, _) = run_build(MethodKind::UcrSuite, &data, &options).unwrap();
+        let run = run_queries(&built, &store, &workload).unwrap();
+        assert_eq!(run.mean_pruning_ratio(), 0.0);
+        let t10k = run.extrapolated_time(Platform::Hdd, 10_000);
+        let t100 = run.total_time(Platform::Hdd);
+        assert!(t10k > t100);
+    }
+
+    #[test]
+    fn platform_models_order_io_costs_sensibly() {
+        let (data, workload, options) = small_setup();
+        let (store, built, _) = run_build(MethodKind::AdsPlus, &data, &options).unwrap();
+        let run = run_queries(&built, &store, &workload).unwrap();
+        // ADS+ is seek-heavy: the HDD I/O model must charge it more than SSD.
+        assert!(run.io_time(Platform::Hdd) >= run.io_time(Platform::Ssd));
+        assert_eq!(Platform::Hdd.name(), "HDD");
+        assert_eq!(Platform::InMemory.name(), "in-memory");
+    }
+
+    #[test]
+    fn mean_time_of_subsets() {
+        let (data, workload, options) = small_setup();
+        let (store, built, _) = run_build(MethodKind::VaPlusFile, &data, &options).unwrap();
+        let run = run_queries(&built, &store, &workload).unwrap();
+        let all: Vec<usize> = (0..run.queries.len()).collect();
+        let mean_all = run.mean_time_of(&all, Platform::Ssd);
+        assert!(mean_all > Duration::ZERO);
+        assert_eq!(run.mean_time_of(&[], Platform::Ssd), Duration::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hydra-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation section (Section 4) on laptop-scale data.
+//!
+//! The harness is organized as:
+//!
+//! * [`registry`] — a uniform way to build any of the ten methods by name
+//!   over an instrumented store;
+//! * [`harness`] — the experiment runner: timed index construction, timed
+//!   query workloads with per-query statistics, the paper's 10 000-query
+//!   extrapolation rule, and platform cost models (HDD / SSD / in-memory);
+//! * [`report`] — plain-text / CSV emitters for the result tables.
+//!
+//! Every figure and table has a dedicated binary under `src/bin/` (see
+//! `DESIGN.md` for the experiment index); Criterion micro-benchmarks for the
+//! hot kernels and the ablation studies live under `benches/`.
+
+pub mod experiments;
+pub mod harness;
+pub mod registry;
+pub mod report;
+
+pub use harness::{
+    run_build, run_queries, BuildMeasurement, Platform, QueryMeasurement, WorkloadMeasurement,
+};
+pub use registry::{build_method, BuiltMethod, MethodKind};
+pub use report::ResultTable;

@@ -1,0 +1,205 @@
+//! A registry of the ten evaluated methods, buildable by name.
+
+use hydra_core::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, Result};
+use hydra_dstree::DsTree;
+use hydra_isax::{AdsPlus, Isax2Plus};
+use hydra_mtree::MTree;
+use hydra_rtree::RStarTree;
+use hydra_scan::{MassScan, Stepwise, UcrScan};
+use hydra_sfa::SfaTrie;
+use hydra_storage::DatasetStore;
+use hydra_vafile::VaPlusFile;
+use std::sync::Arc;
+
+/// The ten similarity search methods of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// The optimized serial-scan baseline.
+    UcrSuite,
+    /// FFT-based whole-matching scan.
+    Mass,
+    /// Level-wise DHWT filter.
+    Stepwise,
+    /// DFT + non-uniform quantization filter file.
+    VaPlusFile,
+    /// iSAX tree with materialized leaves.
+    Isax2Plus,
+    /// Adaptive iSAX tree with SIMS skip-sequential exact search.
+    AdsPlus,
+    /// EAPCA-based adaptive tree.
+    DsTree,
+    /// Symbolic Fourier Approximation trie.
+    SfaTrie,
+    /// Spatial index over PAA summaries.
+    RStarTree,
+    /// Metric-space index.
+    MTree,
+}
+
+impl MethodKind {
+    /// All ten methods, in the order Table 1 lists them.
+    pub const ALL: [MethodKind; 10] = [
+        MethodKind::AdsPlus,
+        MethodKind::DsTree,
+        MethodKind::Isax2Plus,
+        MethodKind::MTree,
+        MethodKind::RStarTree,
+        MethodKind::SfaTrie,
+        MethodKind::VaPlusFile,
+        MethodKind::UcrSuite,
+        MethodKind::Mass,
+        MethodKind::Stepwise,
+    ];
+
+    /// The six methods that survive the paper's individual evaluation
+    /// (Section 4.3.2) and are compared in detail in Section 4.3.3.
+    pub const BEST_SIX: [MethodKind; 6] = [
+        MethodKind::AdsPlus,
+        MethodKind::DsTree,
+        MethodKind::Isax2Plus,
+        MethodKind::SfaTrie,
+        MethodKind::UcrSuite,
+        MethodKind::VaPlusFile,
+    ];
+
+    /// The canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::UcrSuite => "UCR-Suite",
+            MethodKind::Mass => "MASS",
+            MethodKind::Stepwise => "Stepwise",
+            MethodKind::VaPlusFile => "VA+file",
+            MethodKind::Isax2Plus => "iSAX2+",
+            MethodKind::AdsPlus => "ADS+",
+            MethodKind::DsTree => "DSTree",
+            MethodKind::SfaTrie => "SFA",
+            MethodKind::RStarTree => "R*-tree",
+            MethodKind::MTree => "M-tree",
+        }
+    }
+
+    /// True if the method builds a persistent index (false for scans and
+    /// multi-step filters).
+    pub fn is_index(&self) -> bool {
+        !matches!(self, MethodKind::UcrSuite | MethodKind::Mass | MethodKind::Stepwise)
+    }
+
+    /// Method-appropriate build options derived from shared defaults: the SFA
+    /// trie uses the paper's tuned alphabet of 8, the R*-tree a smaller
+    /// dimensionality, the M-tree a smaller leaf.
+    pub fn tuned_options(&self, base: &BuildOptions, series_length: usize) -> BuildOptions {
+        let mut o = base.clone();
+        o.segments = o.segments.min(series_length);
+        match self {
+            MethodKind::SfaTrie => o.with_alphabet_size(8),
+            MethodKind::RStarTree => {
+                let segments = o.segments.min(8);
+                o.with_segments(segments).with_leaf_capacity(base.leaf_capacity.clamp(2, 64))
+            }
+            MethodKind::MTree => o.with_leaf_capacity(base.leaf_capacity.clamp(2, 64)),
+            _ => o,
+        }
+    }
+}
+
+/// A built method: the answering interface plus optional index metadata.
+pub struct BuiltMethod {
+    /// Which method this is.
+    pub kind: MethodKind,
+    /// The query-answering interface.
+    pub method: Box<dyn AnsweringMethod>,
+    /// The index footprint, when the method builds an index.
+    pub footprint: Option<IndexFootprint>,
+}
+
+/// Builds a method over an instrumented store with (method-tuned) options.
+pub fn build_method(
+    kind: MethodKind,
+    store: Arc<DatasetStore>,
+    options: &BuildOptions,
+) -> Result<BuiltMethod> {
+    let tuned = kind.tuned_options(options, store.series_length());
+    let (method, footprint): (Box<dyn AnsweringMethod>, Option<IndexFootprint>) = match kind {
+        MethodKind::UcrSuite => (Box::new(UcrScan::new(store)), None),
+        MethodKind::Mass => (Box::new(MassScan::new(store)), None),
+        MethodKind::Stepwise => (Box::new(Stepwise::build(store)?), None),
+        MethodKind::VaPlusFile => {
+            let idx = VaPlusFile::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::Isax2Plus => {
+            let idx = Isax2Plus::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::AdsPlus => {
+            let idx = AdsPlus::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::DsTree => {
+            let idx = DsTree::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::SfaTrie => {
+            let idx = SfaTrie::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::RStarTree => {
+            let idx = RStarTree::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+        MethodKind::MTree => {
+            let idx = MTree::build_on_store(store, &tuned)?;
+            let fp = idx.footprint();
+            (Box::new(idx), Some(fp))
+        }
+    };
+    Ok(BuiltMethod { kind, method, footprint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::Query;
+    use hydra_data::RandomWalkGenerator;
+
+    #[test]
+    fn every_registered_method_builds_and_answers() {
+        let data = RandomWalkGenerator::new(1, 64).dataset(120);
+        let options = BuildOptions::default().with_leaf_capacity(16).with_train_samples(50);
+        let query = Query::nearest_neighbor(data.series(3).to_owned_series());
+        for kind in MethodKind::ALL {
+            let store = Arc::new(DatasetStore::new(data.clone()));
+            let built = build_method(kind, store, &options).unwrap();
+            assert_eq!(built.kind, kind);
+            assert_eq!(built.footprint.is_some(), kind.is_index(), "{}", kind.name());
+            let ans = built.method.answer_simple(&query).unwrap();
+            assert_eq!(ans.nearest().unwrap().id, 3, "{} missed the member query", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_best_six_is_a_subset() {
+        let mut names: Vec<&str> = MethodKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        for k in MethodKind::BEST_SIX {
+            assert!(MethodKind::ALL.contains(&k));
+        }
+    }
+
+    #[test]
+    fn tuned_options_respect_method_quirks() {
+        let base = BuildOptions::default().with_segments(16).with_leaf_capacity(1000);
+        assert_eq!(MethodKind::SfaTrie.tuned_options(&base, 256).alphabet_size, 8);
+        assert!(MethodKind::RStarTree.tuned_options(&base, 256).leaf_capacity <= 64);
+        assert!(MethodKind::MTree.tuned_options(&base, 256).leaf_capacity <= 64);
+        assert_eq!(MethodKind::DsTree.tuned_options(&base, 8).segments, 8);
+    }
+}

@@ -1,0 +1,262 @@
+//! Euclidean distance kernels.
+//!
+//! The paper's baseline, the UCR Suite, applies three optimizations to serial
+//! Euclidean distance scans, and the study applies the same optimizations to
+//! every method:
+//!
+//! 1. **squared distances** — the square root is monotone, so comparisons can
+//!    be done on squared distances and the root taken once at the end;
+//! 2. **early abandoning** — stop accumulating as soon as the partial sum
+//!    exceeds the best-so-far distance;
+//! 3. **reordered early abandoning** — visit dimensions in decreasing order of
+//!    the query's absolute (Z-normalized) value, so large contributions are
+//!    accumulated first and abandoning happens earlier.
+//!
+//! All kernels accumulate in `f64` for numerical robustness while accepting
+//! `f32` inputs (single-precision storage, as in the paper).
+
+/// Full squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics (debug builds) if the slices have different lengths.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "series must have equal length");
+    let mut sum = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = (x - y) as f64;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Full Euclidean distance between two equal-length slices.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Squared Euclidean distance with early abandoning.
+///
+/// Returns `None` as soon as the partial squared sum exceeds `threshold`
+/// (the squared best-so-far distance); otherwise returns the full squared
+/// distance.
+#[inline]
+pub fn squared_euclidean_early_abandon(a: &[f32], b: &[f32], threshold: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "series must have equal length");
+    let mut sum = 0.0f64;
+    // Check every 8 accumulations: checking on every element costs more in
+    // branches than it saves for typical series lengths.
+    const CHECK_EVERY: usize = 8;
+    let mut since_check = 0usize;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = (x - y) as f64;
+        sum += d * d;
+        since_check += 1;
+        if since_check == CHECK_EVERY {
+            since_check = 0;
+            if sum > threshold {
+                return None;
+            }
+        }
+    }
+    if sum > threshold {
+        None
+    } else {
+        Some(sum)
+    }
+}
+
+/// Euclidean distance with early abandoning on the (non-squared) threshold.
+///
+/// Convenience wrapper over [`squared_euclidean_early_abandon`].
+#[inline]
+pub fn euclidean_early_abandon(a: &[f32], b: &[f32], best_so_far: f64) -> Option<f64> {
+    squared_euclidean_early_abandon(a, b, best_so_far * best_so_far).map(f64::sqrt)
+}
+
+/// A precomputed visiting order over a query's dimensions, sorted by
+/// decreasing absolute value of the query.
+///
+/// On Z-normalized data the query sections farthest from the mean contribute
+/// the most to the distance; visiting those first makes early abandoning
+/// trigger sooner (UCR-Suite optimization "reordering early abandoning").
+#[derive(Clone, Debug)]
+pub struct QueryOrder {
+    order: Vec<u32>,
+}
+
+impl QueryOrder {
+    /// Builds the visiting order for `query`.
+    pub fn new(query: &[f32]) -> Self {
+        let mut order: Vec<u32> = (0..query.len() as u32).collect();
+        order.sort_by(|&i, &j| {
+            let a = query[i as usize].abs();
+            let b = query[j as usize].abs();
+            b.partial_cmp(&a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { order }
+    }
+
+    /// The dimension indices in visiting order.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The number of dimensions covered by this order.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns true when the order covers zero dimensions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Squared Euclidean distance with *reordered* early abandoning.
+///
+/// Dimensions are visited in the order given by `order` (typically built once
+/// per query with [`QueryOrder::new`]). Returns `None` as soon as the partial
+/// sum exceeds `threshold`.
+///
+/// # Panics
+/// Panics (debug builds) if `order` does not match the slices' length.
+#[inline]
+pub fn squared_euclidean_reordered(
+    query: &[f32],
+    candidate: &[f32],
+    order: &QueryOrder,
+    threshold: f64,
+) -> Option<f64> {
+    debug_assert_eq!(query.len(), candidate.len(), "series must have equal length");
+    debug_assert_eq!(order.len(), query.len(), "order must cover the query length");
+    let mut sum = 0.0f64;
+    const CHECK_EVERY: usize = 8;
+    let mut since_check = 0usize;
+    for &i in order.indices() {
+        let i = i as usize;
+        let d = (query[i] - candidate[i]) as f64;
+        sum += d * d;
+        since_check += 1;
+        if since_check == CHECK_EVERY {
+            since_check = 0;
+            if sum > threshold {
+                return None;
+            }
+        }
+    }
+    if sum > threshold {
+        None
+    } else {
+        Some(sum)
+    }
+}
+
+/// Euclidean distance with reordered early abandoning (non-squared threshold).
+#[inline]
+pub fn euclidean_reordered(
+    query: &[f32],
+    candidate: &[f32],
+    order: &QueryOrder,
+    best_so_far: f64,
+) -> Option<f64> {
+    squared_euclidean_reordered(query, candidate, order, best_so_far * best_so_far).map(f64::sqrt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_and_plain_distances_agree() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 0.0, 3.0];
+        let sq = squared_euclidean(&a, &b);
+        assert!((sq - 5.0).abs() < 1e-9);
+        assert!((euclidean(&a, &b) - 5.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [0.3, -1.2, 4.5, 0.0, 2.2];
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_returns_full_distance_under_threshold() {
+        let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..64).map(|i| i as f32 * 0.1 + 0.5).collect();
+        let exact = squared_euclidean(&a, &b);
+        let ea = squared_euclidean_early_abandon(&a, &b, exact + 1.0);
+        assert!(ea.is_some());
+        assert!((ea.unwrap() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_abandon_abandons_over_threshold() {
+        let a = vec![0.0f32; 64];
+        let b = vec![10.0f32; 64];
+        // True squared distance is 6400; threshold of 1 must abandon.
+        assert_eq!(squared_euclidean_early_abandon(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn early_abandon_threshold_is_inclusive() {
+        let a = [0.0f32, 0.0];
+        let b = [1.0f32, 1.0];
+        // squared distance exactly 2.0; threshold 2.0 should NOT abandon.
+        assert_eq!(squared_euclidean_early_abandon(&a, &b, 2.0), Some(2.0));
+        assert_eq!(squared_euclidean_early_abandon(&a, &b, 1.999), None);
+    }
+
+    #[test]
+    fn query_order_sorts_by_decreasing_magnitude() {
+        let q = [0.1f32, -5.0, 2.0, 0.0];
+        let order = QueryOrder::new(&q);
+        assert_eq!(order.indices(), &[1, 2, 0, 3]);
+        assert_eq!(order.len(), 4);
+        assert!(!order.is_empty());
+    }
+
+    #[test]
+    fn reordered_distance_matches_plain_distance() {
+        let q: Vec<f32> = (0..100).map(|i| ((i * 37) % 17) as f32 - 8.0).collect();
+        let c: Vec<f32> = (0..100).map(|i| ((i * 53) % 23) as f32 - 11.0).collect();
+        let order = QueryOrder::new(&q);
+        let exact = squared_euclidean(&q, &c);
+        let got = squared_euclidean_reordered(&q, &c, &order, f64::INFINITY).unwrap();
+        assert!((got - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reordered_abandons_like_plain_early_abandon() {
+        let q = vec![3.0f32; 32];
+        let c = vec![-3.0f32; 32];
+        let order = QueryOrder::new(&q);
+        assert_eq!(squared_euclidean_reordered(&q, &c, &order, 10.0), None);
+    }
+
+    #[test]
+    fn euclidean_wrappers_take_unsquared_threshold() {
+        let a = [0.0f32; 16];
+        let b = [1.0f32; 16];
+        // distance = 4.0
+        assert!(euclidean_early_abandon(&a, &b, 5.0).is_some());
+        assert_eq!(euclidean_early_abandon(&a, &b, 3.0), None);
+        let order = QueryOrder::new(&a);
+        assert!(euclidean_reordered(&a, &b, &order, 4.0).is_some());
+        assert_eq!(euclidean_reordered(&a, &b, &order, 3.9), None);
+    }
+
+    #[test]
+    fn empty_series_have_zero_distance() {
+        let a: [f32; 0] = [];
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+        assert_eq!(squared_euclidean_early_abandon(&a, &a, 0.0), Some(0.0));
+    }
+}

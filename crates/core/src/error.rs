@@ -1,0 +1,100 @@
+//! Error handling for the hydra crates.
+
+use std::fmt;
+
+/// Result alias used throughout the hydra crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the similarity search library.
+#[derive(Debug)]
+pub enum Error {
+    /// A query or candidate series does not match the expected length.
+    LengthMismatch {
+        /// The length expected by the index / dataset.
+        expected: usize,
+        /// The length that was provided.
+        actual: usize,
+    },
+    /// An operation was attempted on an empty dataset or index.
+    EmptyDataset,
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// The requested series, node, or page does not exist.
+    NotFound(String),
+    /// An underlying I/O error (real files or the simulated store).
+    Io(std::io::Error),
+    /// An index invariant was violated (indicates a bug in the index).
+    CorruptIndex(String),
+}
+
+impl Error {
+    /// Convenience constructor for invalid-parameter errors.
+    pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter { name, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch { expected, actual } => {
+                write!(f, "series length mismatch: expected {expected}, got {actual}")
+            }
+            Error::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::LengthMismatch { expected: 256, actual: 128 };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("128"));
+
+        let e = Error::invalid_parameter("leaf_capacity", "must be positive");
+        assert!(e.to_string().contains("leaf_capacity"));
+        assert!(e.to_string().contains("must be positive"));
+
+        assert!(Error::EmptyDataset.to_string().contains("non-empty"));
+        assert!(Error::NotFound("node 7".into()).to_string().contains("node 7"));
+        assert!(Error::CorruptIndex("bad fanout".into()).to_string().contains("bad fanout"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

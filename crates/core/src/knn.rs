@@ -1,0 +1,350 @@
+//! k-NN answer bookkeeping: bounded max-heaps of best-so-far candidates.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A single answer to a similarity query: a series identifier and its
+/// (non-squared) Euclidean distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Answer {
+    /// The position of the answering series in the dataset.
+    pub id: usize,
+    /// Euclidean distance between the query and the answering series.
+    pub distance: f64,
+}
+
+impl Answer {
+    /// Creates an answer.
+    pub fn new(id: usize, distance: f64) -> Self {
+        Self { id, distance }
+    }
+}
+
+/// The completed answer set of a query, sorted by increasing distance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnswerSet {
+    answers: Vec<Answer>,
+}
+
+impl AnswerSet {
+    /// Creates an answer set from unsorted answers.
+    pub fn from_unsorted(mut answers: Vec<Answer>) -> Self {
+        answers.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        Self { answers }
+    }
+
+    /// The answers, sorted by increasing distance (ties broken by id).
+    pub fn answers(&self) -> &[Answer] {
+        &self.answers
+    }
+
+    /// The number of answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether the answer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The nearest answer, if any.
+    pub fn nearest(&self) -> Option<Answer> {
+        self.answers.first().copied()
+    }
+
+    /// The distance of the k-th (1-based) nearest answer, if present.
+    pub fn kth_distance(&self, k: usize) -> Option<f64> {
+        if k == 0 {
+            return None;
+        }
+        self.answers.get(k - 1).map(|a| a.distance)
+    }
+
+    /// Iterates over the answers.
+    pub fn iter(&self) -> impl Iterator<Item = &Answer> {
+        self.answers.iter()
+    }
+
+    /// Checks that two answer sets agree on distances within `tolerance`.
+    ///
+    /// Exactness in the paper's sense is about *distances*: two exact methods
+    /// may return different series ids when candidates are tied at the same
+    /// distance, so comparing ids directly would be too strict.
+    pub fn distances_match(&self, other: &AnswerSet, tolerance: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .answers
+                .iter()
+                .zip(other.answers.iter())
+                .all(|(a, b)| (a.distance - b.distance).abs() <= tolerance)
+    }
+}
+
+impl From<KnnHeap> for AnswerSet {
+    fn from(heap: KnnHeap) -> Self {
+        heap.into_answer_set()
+    }
+}
+
+/// Max-heap entry ordered by distance (largest distance on top).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    distance: f64,
+    id: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance && self.id == other.id
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on distance; ties broken on id for determinism.
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// A bounded best-so-far structure for k-NN search.
+///
+/// Maintains the `k` smallest distances seen so far; [`KnnHeap::threshold`]
+/// returns the current best-so-far (bsf) pruning distance — the distance of
+/// the k-th nearest candidate, or `+inf` while fewer than `k` candidates have
+/// been seen.
+///
+/// Candidates are deduplicated by id: methods that may encounter the same
+/// series through several paths (an approximate seeding phase plus an exact
+/// traversal, for instance) can offer it repeatedly without corrupting the
+/// answer set.
+#[derive(Clone, Debug)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+    members: HashSet<usize>,
+}
+
+impl KnnHeap {
+    /// Creates a heap that keeps the `k` nearest candidates.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1), members: HashSet::new() }
+    }
+
+    /// The `k` this heap was created with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of candidates currently held (at most `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the heap already holds `k` candidates.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The current best-so-far pruning distance: the k-th nearest distance
+    /// seen so far, or `+inf` if fewer than `k` candidates have been offered.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|e| e.distance).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The squared best-so-far threshold (convenience for squared-distance
+    /// kernels). Returns `+inf` when the heap is not yet full.
+    #[inline]
+    pub fn threshold_squared(&self) -> f64 {
+        let t = self.threshold();
+        if t.is_finite() {
+            t * t
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it is among the `k` nearest so
+    /// far. Returns `true` if the candidate was kept.
+    pub fn offer(&mut self, id: usize, distance: f64) -> bool {
+        debug_assert!(distance >= 0.0, "distances must be non-negative");
+        if self.members.contains(&id) {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { distance, id });
+            self.members.insert(id);
+            true
+        } else if distance < self.threshold() {
+            self.heap.push(HeapEntry { distance, id });
+            self.members.insert(id);
+            if let Some(evicted) = self.heap.pop() {
+                self.members.remove(&evicted.id);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the series `id` is already part of the best-so-far
+    /// set (and therefore does not need to be re-examined).
+    pub fn contains(&self, id: usize) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// Returns `true` if a candidate whose lower bound is `lower_bound` could
+    /// still enter the answer set (i.e. the bound is below the threshold).
+    #[inline]
+    pub fn would_accept(&self, lower_bound: f64) -> bool {
+        lower_bound < self.threshold() || !self.is_full()
+    }
+
+    /// Finalizes the heap into a sorted answer set.
+    pub fn into_answer_set(self) -> AnswerSet {
+        AnswerSet::from_unsorted(
+            self.heap.into_iter().map(|e| Answer::new(e.id, e.distance)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            h.offer(id, d);
+        }
+        let ans = h.into_answer_set();
+        let dists: Vec<f64> = ans.iter().map(|a| a.distance).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+        let ids: Vec<usize> = ans.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_is_infinite_until_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        assert_eq!(h.threshold_squared(), f64::INFINITY);
+        h.offer(0, 1.0);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.offer(1, 2.0);
+        assert_eq!(h.threshold(), 2.0);
+        assert_eq!(h.threshold_squared(), 4.0);
+    }
+
+    #[test]
+    fn offer_rejects_far_candidates_when_full() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.offer(0, 1.0));
+        assert!(!h.offer(1, 2.0));
+        assert!(h.offer(2, 0.5));
+        let ans = h.into_answer_set();
+        assert_eq!(ans.nearest().unwrap().id, 2);
+    }
+
+    #[test]
+    fn would_accept_follows_threshold() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.would_accept(1e12));
+        h.offer(0, 3.0);
+        assert!(h.would_accept(2.9));
+        assert!(!h.would_accept(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_is_rejected() {
+        let _ = KnnHeap::new(0);
+    }
+
+    #[test]
+    fn answer_set_sorting_and_accessors() {
+        let set = AnswerSet::from_unsorted(vec![
+            Answer::new(7, 2.0),
+            Answer::new(1, 0.5),
+            Answer::new(3, 1.0),
+        ]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.nearest().unwrap().id, 1);
+        assert_eq!(set.kth_distance(1), Some(0.5));
+        assert_eq!(set.kth_distance(3), Some(2.0));
+        assert_eq!(set.kth_distance(4), None);
+        assert_eq!(set.kth_distance(0), None);
+    }
+
+    #[test]
+    fn answer_set_tie_break_by_id() {
+        let set = AnswerSet::from_unsorted(vec![Answer::new(9, 1.0), Answer::new(2, 1.0)]);
+        let ids: Vec<usize> = set.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+
+    #[test]
+    fn distances_match_tolerates_small_differences() {
+        let a = AnswerSet::from_unsorted(vec![Answer::new(0, 1.0), Answer::new(1, 2.0)]);
+        let b = AnswerSet::from_unsorted(vec![Answer::new(5, 1.0 + 1e-9), Answer::new(6, 2.0)]);
+        assert!(a.distances_match(&b, 1e-6));
+        let c = AnswerSet::from_unsorted(vec![Answer::new(5, 1.5)]);
+        assert!(!a.distances_match(&c, 1e-6));
+    }
+
+    #[test]
+    fn duplicate_ids_are_ignored() {
+        let mut h = KnnHeap::new(3);
+        assert!(h.offer(7, 1.0));
+        assert!(!h.offer(7, 1.0), "re-offering the same id must be a no-op");
+        assert!(h.contains(7));
+        assert!(!h.contains(8));
+        h.offer(8, 2.0);
+        h.offer(9, 3.0);
+        // 7 is evicted once three closer candidates arrive.
+        h.offer(1, 0.1);
+        h.offer(2, 0.2);
+        h.offer(3, 0.3);
+        assert!(!h.contains(7));
+        let ans = h.into_answer_set();
+        let ids: Vec<usize> = ans.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn heap_conversion_via_from_impl() {
+        let mut h = KnnHeap::new(2);
+        h.offer(0, 1.0);
+        let set: AnswerSet = h.into();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hydra-core
+//!
+//! Core types and traits for the `hydra` data series similarity search benchmark
+//! suite, a Rust reproduction of *"The Lernaean Hydra of Data Series Similarity
+//! Search: An Experimental Evaluation of the State of the Art"* (PVLDB 2018).
+//!
+//! This crate defines:
+//!
+//! * the data series model ([`Series`], [`Dataset`]) and Z-normalization,
+//! * Euclidean distance kernels, including the UCR-Suite optimizations
+//!   (no square root, early abandoning, reordered early abandoning) in
+//!   [`distance`],
+//! * the similarity query model (k-NN and r-range queries, whole matching)
+//!   in [`query`],
+//! * the common interface implemented by every method evaluated in the paper
+//!   ([`AnsweringMethod`], [`ExactIndex`]) in [`method`],
+//! * the measurement framework of the paper's Section 4.2: pruning ratio,
+//!   tightness of the lower bound (TLB), index footprint, and timing breakdowns
+//!   in [`stats`].
+//!
+//! All ten similarity search methods of the paper (UCR-Suite, MASS, Stepwise,
+//! R*-tree, M-tree, VA+file, SFA trie, DSTree, iSAX2+, ADS+) are implemented in
+//! sibling crates on top of these abstractions.
+
+pub mod distance;
+pub mod error;
+pub mod knn;
+pub mod method;
+pub mod query;
+pub mod series;
+pub mod stats;
+
+pub use distance::{
+    euclidean, euclidean_early_abandon, euclidean_reordered, squared_euclidean,
+    squared_euclidean_early_abandon, QueryOrder,
+};
+pub use error::{Error, Result};
+pub use knn::{Answer, AnswerSet, KnnHeap};
+pub use method::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor};
+pub use query::{MatchingKind, Query, QueryKind, RangeQuery};
+pub use series::{Dataset, Series, SeriesView};
+pub use stats::{PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

@@ -1,0 +1,309 @@
+//! The common interface implemented by every similarity search method.
+//!
+//! Each of the paper's ten methods — whether it is a sequential scan, a
+//! multi-step filter or a pre-built index — answers exact whole-matching k-NN
+//! queries. The harness drives all of them through [`AnsweringMethod`];
+//! methods that build a persistent structure additionally implement
+//! [`ExactIndex`] and report their footprint through [`IndexFootprint`].
+
+use crate::knn::AnswerSet;
+use crate::query::Query;
+use crate::series::Dataset;
+use crate::stats::QueryStats;
+use crate::Result;
+
+/// Static description of a method, mirroring Table 1 of the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodDescriptor {
+    /// Canonical method name (e.g. `"iSAX2+"`, `"UCR-Suite"`).
+    pub name: &'static str,
+    /// The summarization / representation the method relies on
+    /// (e.g. `"iSAX"`, `"EAPCA"`, `"raw"`).
+    pub representation: &'static str,
+    /// Whether the method builds a persistent index structure
+    /// (false for sequential / multi-step scans).
+    pub is_index: bool,
+    /// Whether the method supports ng-approximate query answering in addition
+    /// to exact answers.
+    pub supports_approximate: bool,
+}
+
+/// Options that control index construction, common across methods.
+///
+/// Not every method uses every knob: sequential scans ignore all of them, and
+/// the leaf capacity is the paper's single most critical parameter (its
+/// Figure 2 is devoted to tuning it per method).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuildOptions {
+    /// Maximum number of series an index leaf may hold before splitting.
+    pub leaf_capacity: usize,
+    /// Number of segments / coefficients used by fixed-size summarizations
+    /// (the paper fixes this to 16 for all methods).
+    pub segments: usize,
+    /// Alphabet size (cardinality) for symbolic summarizations
+    /// (iSAX default 256, SFA tuned to 8 in the paper).
+    pub alphabet_size: usize,
+    /// Memory budget, in bytes, available for build-time buffering.
+    pub buffer_bytes: usize,
+    /// Sample size used when a method learns breakpoints / quantization
+    /// intervals from the data (SFA, VA+file, M-tree sampling).
+    pub train_samples: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 100,
+            segments: 16,
+            alphabet_size: 256,
+            buffer_bytes: 256 << 20,
+            train_samples: 1000,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Sets the leaf capacity.
+    pub fn with_leaf_capacity(mut self, leaf_capacity: usize) -> Self {
+        self.leaf_capacity = leaf_capacity;
+        self
+    }
+
+    /// Sets the number of segments / coefficients.
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Sets the alphabet size.
+    pub fn with_alphabet_size(mut self, alphabet_size: usize) -> Self {
+        self.alphabet_size = alphabet_size;
+        self
+    }
+
+    /// Sets the build buffer budget in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
+
+    /// Sets the number of training samples for learned quantizations.
+    pub fn with_train_samples(mut self, train_samples: usize) -> Self {
+        self.train_samples = train_samples;
+        self
+    }
+
+    /// Validates the options against a dataset's series length.
+    pub fn validate(&self, series_length: usize) -> Result<()> {
+        if self.leaf_capacity == 0 {
+            return Err(crate::Error::invalid_parameter("leaf_capacity", "must be positive"));
+        }
+        if self.segments == 0 {
+            return Err(crate::Error::invalid_parameter("segments", "must be positive"));
+        }
+        if self.segments > series_length {
+            return Err(crate::Error::invalid_parameter(
+                "segments",
+                format!("cannot exceed series length {series_length}"),
+            ));
+        }
+        if self.alphabet_size < 2 {
+            return Err(crate::Error::invalid_parameter("alphabet_size", "must be at least 2"));
+        }
+        Ok(())
+    }
+}
+
+/// Structural footprint of an index, mirroring the measures of the paper's
+/// Figure 8: node counts, memory / disk sizes, and leaf statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IndexFootprint {
+    /// Total number of nodes (internal + leaf).
+    pub total_nodes: usize,
+    /// Number of leaf nodes.
+    pub leaf_nodes: usize,
+    /// Bytes of main memory occupied by the index structure (excluding raw data).
+    pub memory_bytes: usize,
+    /// Bytes occupied on (simulated) disk by index payloads.
+    pub disk_bytes: usize,
+    /// Fill factor of every leaf, as a fraction of the leaf capacity in `[0, 1]`.
+    pub leaf_fill_factors: Vec<f64>,
+    /// Depth of every leaf (root has depth 0).
+    pub leaf_depths: Vec<usize>,
+}
+
+impl IndexFootprint {
+    /// Mean leaf fill factor, or 0 if there are no leaves.
+    pub fn mean_fill_factor(&self) -> f64 {
+        if self.leaf_fill_factors.is_empty() {
+            0.0
+        } else {
+            self.leaf_fill_factors.iter().sum::<f64>() / self.leaf_fill_factors.len() as f64
+        }
+    }
+
+    /// Median leaf fill factor, or 0 if there are no leaves.
+    pub fn median_fill_factor(&self) -> f64 {
+        if self.leaf_fill_factors.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.leaf_fill_factors.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = v.len() / 2;
+        if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        }
+    }
+
+    /// Maximum leaf depth, or 0 if there are no leaves.
+    pub fn max_leaf_depth(&self) -> usize {
+        self.leaf_depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean leaf depth, or 0 if there are no leaves.
+    pub fn mean_leaf_depth(&self) -> f64 {
+        if self.leaf_depths.is_empty() {
+            0.0
+        } else {
+            self.leaf_depths.iter().sum::<usize>() as f64 / self.leaf_depths.len() as f64
+        }
+    }
+}
+
+/// A method able to answer exact whole-matching similarity queries.
+///
+/// `answer` must return the *exact* answer set (the true k nearest
+/// neighbours); this is the invariant validated throughout the test suite by
+/// comparison against the brute-force scan.
+pub trait AnsweringMethod {
+    /// Static description of the method (Table 1 row).
+    fn descriptor(&self) -> MethodDescriptor;
+
+    /// Answers an exact query, recording work counters into `stats`.
+    fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet>;
+
+    /// Answers an exact query, discarding statistics.
+    fn answer_simple(&self, query: &Query) -> Result<AnswerSet> {
+        let mut stats = QueryStats::default();
+        self.answer(query, &mut stats)
+    }
+}
+
+/// An index structure built over a dataset ahead of query time.
+pub trait ExactIndex: AnsweringMethod + Sized {
+    /// Builds the index over `dataset` with the given options.
+    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self>;
+
+    /// Reports the structural footprint of the built index.
+    fn footprint(&self) -> IndexFootprint;
+
+    /// The number of series indexed.
+    fn num_series(&self) -> usize;
+
+    /// The series length the index was built for.
+    fn series_length(&self) -> usize;
+
+    /// Answers a query approximately by visiting at most one leaf
+    /// (ng-approximate search in the paper's terminology), if supported.
+    ///
+    /// The default implementation reports lack of support by returning `None`.
+    fn answer_approximate(&self, _query: &Query, _stats: &mut QueryStats) -> Option<AnswerSet> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{Answer, KnnHeap};
+    use crate::series::Series;
+
+    #[test]
+    fn build_options_builder_pattern() {
+        let o = BuildOptions::default()
+            .with_leaf_capacity(500)
+            .with_segments(8)
+            .with_alphabet_size(16)
+            .with_buffer_bytes(1 << 20)
+            .with_train_samples(42);
+        assert_eq!(o.leaf_capacity, 500);
+        assert_eq!(o.segments, 8);
+        assert_eq!(o.alphabet_size, 16);
+        assert_eq!(o.buffer_bytes, 1 << 20);
+        assert_eq!(o.train_samples, 42);
+    }
+
+    #[test]
+    fn build_options_validation() {
+        let ok = BuildOptions::default().with_segments(16);
+        assert!(ok.validate(256).is_ok());
+        assert!(ok.validate(8).is_err(), "segments larger than length must fail");
+        assert!(BuildOptions::default().with_leaf_capacity(0).validate(256).is_err());
+        assert!(BuildOptions::default().with_segments(0).validate(256).is_err());
+        assert!(BuildOptions::default().with_alphabet_size(1).validate(256).is_err());
+    }
+
+    #[test]
+    fn footprint_statistics() {
+        let fp = IndexFootprint {
+            total_nodes: 7,
+            leaf_nodes: 4,
+            memory_bytes: 1024,
+            disk_bytes: 4096,
+            leaf_fill_factors: vec![1.0, 0.5, 0.25, 0.25],
+            leaf_depths: vec![1, 2, 2, 3],
+        };
+        assert!((fp.mean_fill_factor() - 0.5).abs() < 1e-12);
+        assert!((fp.median_fill_factor() - 0.375).abs() < 1e-12);
+        assert_eq!(fp.max_leaf_depth(), 3);
+        assert!((fp.mean_leaf_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_empty_is_zero() {
+        let fp = IndexFootprint::default();
+        assert_eq!(fp.mean_fill_factor(), 0.0);
+        assert_eq!(fp.median_fill_factor(), 0.0);
+        assert_eq!(fp.max_leaf_depth(), 0);
+        assert_eq!(fp.mean_leaf_depth(), 0.0);
+    }
+
+    /// A trivial brute-force method used to exercise the trait default impls.
+    struct BruteForce {
+        data: Dataset,
+    }
+
+    impl AnsweringMethod for BruteForce {
+        fn descriptor(&self) -> MethodDescriptor {
+            MethodDescriptor {
+                name: "BruteForce",
+                representation: "raw",
+                is_index: false,
+                supports_approximate: false,
+            }
+        }
+
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            let k = query.k().unwrap_or(1);
+            let mut heap = KnnHeap::new(k);
+            for (i, s) in self.data.iter().enumerate() {
+                let d = crate::distance::euclidean(query.values(), s.values());
+                stats.record_raw_series_examined(1);
+                heap.offer(i, d);
+            }
+            Ok(heap.into_answer_set())
+        }
+    }
+
+    #[test]
+    fn answering_method_default_answer_simple() {
+        let data = Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0, 5.0, 5.0], 2);
+        let m = BruteForce { data };
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]));
+        let ans = m.answer_simple(&q).unwrap();
+        assert_eq!(ans.nearest(), Some(Answer::new(1, ans.nearest().unwrap().distance)));
+        assert_eq!(ans.nearest().unwrap().id, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Similarity query model.
+//!
+//! The paper (Section 2) distinguishes k-NN queries from r-range queries, and
+//! whole-matching (WM) from subsequence-matching (SM). The experimental study
+//! — and therefore this library's primary code path — focuses on **exact
+//! whole-matching 1-NN queries** under Euclidean distance, but the query model
+//! here covers the full definitions so that range queries and k > 1 are first
+//! class citizens.
+
+use crate::series::Series;
+
+/// Whether a query matches whole series or subsequences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MatchingKind {
+    /// Whole matching: query and candidates have the same length (Def. 3).
+    Whole,
+    /// Subsequence matching: candidates are longer than the query (Def. 4).
+    ///
+    /// The study converts SM to WM by chopping long series into overlapping
+    /// subsequences; the indexes in this library operate on WM collections.
+    Subsequence,
+}
+
+/// The kind of similarity query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryKind {
+    /// k-nearest-neighbour query (Def. 1).
+    Knn {
+        /// The number of neighbours to retrieve.
+        k: usize,
+    },
+    /// r-range query (Def. 2): all series within distance `radius`.
+    Range {
+        /// The (non-squared) Euclidean distance radius.
+        radius: f64,
+    },
+}
+
+/// A similarity search query: the query series plus what to retrieve.
+#[derive(Clone, Debug)]
+pub struct Query {
+    series: Series,
+    kind: QueryKind,
+    matching: MatchingKind,
+}
+
+impl Query {
+    /// Creates a whole-matching k-NN query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn knn(series: Series, k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self { series, kind: QueryKind::Knn { k }, matching: MatchingKind::Whole }
+    }
+
+    /// Creates a whole-matching 1-NN query (the paper's primary workload).
+    pub fn nearest_neighbor(series: Series) -> Self {
+        Self::knn(series, 1)
+    }
+
+    /// Creates a whole-matching r-range query.
+    ///
+    /// # Panics
+    /// Panics if `radius` is negative or not finite.
+    pub fn range(series: Series, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be a non-negative finite value");
+        Self { series, kind: QueryKind::Range { radius }, matching: MatchingKind::Whole }
+    }
+
+    /// The query series.
+    #[inline]
+    pub fn series(&self) -> &Series {
+        &self.series
+    }
+
+    /// The query values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        self.series.values()
+    }
+
+    /// The length of the query series.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Returns `true` for a zero-length query.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The query kind (k-NN or range).
+    #[inline]
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// The matching kind (whole or subsequence).
+    #[inline]
+    pub fn matching(&self) -> MatchingKind {
+        self.matching
+    }
+
+    /// For a k-NN query, the number of neighbours; `None` for range queries.
+    #[inline]
+    pub fn k(&self) -> Option<usize> {
+        match self.kind {
+            QueryKind::Knn { k } => Some(k),
+            QueryKind::Range { .. } => None,
+        }
+    }
+
+    /// For a range query, the radius; `None` for k-NN queries.
+    #[inline]
+    pub fn radius(&self) -> Option<f64> {
+        match self.kind {
+            QueryKind::Knn { .. } => None,
+            QueryKind::Range { radius } => Some(radius),
+        }
+    }
+
+    /// Marks the query as a subsequence-matching query.
+    ///
+    /// The indexes in this suite answer whole-matching queries; callers that
+    /// perform SM-to-WM conversion can tag queries accordingly for reporting.
+    pub fn with_matching(mut self, matching: MatchingKind) -> Self {
+        self.matching = matching;
+        self
+    }
+
+    /// Consumes the query and returns its series.
+    pub fn into_series(self) -> Series {
+        self.series
+    }
+}
+
+/// A standalone r-range query description (convenience type for APIs that
+/// accept only range queries).
+#[derive(Clone, Debug)]
+pub struct RangeQuery {
+    /// The query series.
+    pub series: Series,
+    /// The Euclidean distance radius.
+    pub radius: f64,
+}
+
+impl RangeQuery {
+    /// Creates a new range query.
+    pub fn new(series: Series, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be a non-negative finite value");
+        Self { series, radius }
+    }
+}
+
+impl From<RangeQuery> for Query {
+    fn from(rq: RangeQuery) -> Self {
+        Query::range(rq.series, rq.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        Series::new(vec![0.0, 1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn knn_query_accessors() {
+        let q = Query::knn(series(), 5);
+        assert_eq!(q.k(), Some(5));
+        assert_eq!(q.radius(), None);
+        assert_eq!(q.len(), 4);
+        assert!(!q.is_empty());
+        assert_eq!(q.matching(), MatchingKind::Whole);
+        assert_eq!(q.kind(), QueryKind::Knn { k: 5 });
+    }
+
+    #[test]
+    fn nearest_neighbor_is_k1() {
+        let q = Query::nearest_neighbor(series());
+        assert_eq!(q.k(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn knn_rejects_zero_k() {
+        let _ = Query::knn(series(), 0);
+    }
+
+    #[test]
+    fn range_query_accessors() {
+        let q = Query::range(series(), 2.5);
+        assert_eq!(q.radius(), Some(2.5));
+        assert_eq!(q.k(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn range_rejects_negative_radius() {
+        let _ = Query::range(series(), -1.0);
+    }
+
+    #[test]
+    fn range_query_struct_converts_to_query() {
+        let rq = RangeQuery::new(series(), 1.0);
+        let q: Query = rq.into();
+        assert_eq!(q.radius(), Some(1.0));
+    }
+
+    #[test]
+    fn matching_kind_can_be_overridden() {
+        let q = Query::nearest_neighbor(series()).with_matching(MatchingKind::Subsequence);
+        assert_eq!(q.matching(), MatchingKind::Subsequence);
+    }
+
+    #[test]
+    fn into_series_round_trips() {
+        let q = Query::nearest_neighbor(series());
+        assert_eq!(q.into_series(), series());
+    }
+}

@@ -1,0 +1,271 @@
+//! Domain-flavoured synthetic stand-ins for the paper's four real datasets.
+//!
+//! The paper evaluates on Seismic (IRIS), Astro (celestial light curves), SALD
+//! (MRI) and Deep1B (CNN embeddings). Those collections are 100 GB each and
+//! not redistributable, so this module generates synthetic datasets whose
+//! *summarizability profile* — how well segment-mean / frequency summaries
+//! capture them, and therefore how much pruning an index achieves — spans the
+//! same spectrum the real datasets did:
+//!
+//! * [`DomainDataset::Seismic`]: mostly-quiet series with band-limited
+//!   oscillatory bursts (events) — moderately summarizable.
+//! * [`DomainDataset::Astro`]: smooth periodic light curves with occasional
+//!   transit-like dips — highly summarizable.
+//! * [`DomainDataset::Sald`]: smooth, low-frequency, strongly autocorrelated
+//!   signals (fMRI-like) — highly summarizable.
+//! * [`DomainDataset::Deep`]: high-entropy, nearly i.i.d. vectors (CNN
+//!   embedding-like) — poorly summarizable, the hardest case for every index,
+//!   matching the paper's finding that sequential scan wins on Deep1B's hard
+//!   queries.
+
+use crate::randomwalk::StandardNormal;
+use hydra_core::series::{z_normalize, Dataset, Series};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four real-dataset stand-ins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DomainDataset {
+    /// Seismic-instrument-like recordings (event bursts over noise).
+    Seismic,
+    /// Astronomical light-curve-like series (periodic with transient dips).
+    Astro,
+    /// MRI / fMRI-like smooth low-frequency signals.
+    Sald,
+    /// Deep-embedding-like high-entropy vectors.
+    Deep,
+}
+
+impl DomainDataset {
+    /// All domain datasets, in the order the paper lists them.
+    pub const ALL: [DomainDataset; 4] =
+        [DomainDataset::Seismic, DomainDataset::Astro, DomainDataset::Sald, DomainDataset::Deep];
+
+    /// The display name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DomainDataset::Seismic => "Seismic",
+            DomainDataset::Astro => "Astro",
+            DomainDataset::Sald => "SALD",
+            DomainDataset::Deep => "Deep1B",
+        }
+    }
+
+    /// The series length the paper's corresponding real dataset uses.
+    pub fn paper_series_length(&self) -> usize {
+        match self {
+            DomainDataset::Seismic | DomainDataset::Astro => 256,
+            DomainDataset::Sald => 128,
+            DomainDataset::Deep => 96,
+        }
+    }
+}
+
+/// Generator for domain-flavoured synthetic datasets.
+#[derive(Clone, Debug)]
+pub struct DomainGenerator {
+    domain: DomainDataset,
+    seed: u64,
+    series_length: usize,
+}
+
+impl DomainGenerator {
+    /// Creates a generator for `domain` with the paper's series length.
+    pub fn new(domain: DomainDataset, seed: u64) -> Self {
+        Self { domain, seed, series_length: domain.paper_series_length() }
+    }
+
+    /// Overrides the series length (used for length sweeps).
+    pub fn with_series_length(mut self, series_length: usize) -> Self {
+        assert!(series_length > 0, "series length must be positive");
+        self.series_length = series_length;
+        self
+    }
+
+    /// The configured series length.
+    pub fn series_length(&self) -> usize {
+        self.series_length
+    }
+
+    /// The domain being generated.
+    pub fn domain(&self) -> DomainDataset {
+        self.domain
+    }
+
+    /// Generates the `index`-th series (deterministic).
+    pub fn series(&self, index: u64) -> Series {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ ((self.domain as u64) << 56),
+        );
+        let mut values = match self.domain {
+            DomainDataset::Seismic => self.seismic(&mut rng),
+            DomainDataset::Astro => self.astro(&mut rng),
+            DomainDataset::Sald => self.sald(&mut rng),
+            DomainDataset::Deep => self.deep(&mut rng),
+        };
+        z_normalize(&mut values);
+        Series::new(values)
+    }
+
+    /// Generates a dataset of `count` series.
+    pub fn dataset(&self, count: usize) -> Dataset {
+        let mut data = Dataset::empty(self.series_length);
+        for i in 0..count {
+            data.push(self.series(i as u64).values());
+        }
+        data
+    }
+
+    fn seismic(&self, rng: &mut StdRng) -> Vec<f32> {
+        let n = self.series_length;
+        let normal = StandardNormal;
+        // Background microseismic noise.
+        let mut v: Vec<f64> = (0..n).map(|_| 0.1 * normal.sample(rng)).collect();
+        // 1-3 band-limited bursts (events) with exponential decay envelopes.
+        let bursts = rng.gen_range(1..=3);
+        for _ in 0..bursts {
+            let onset = rng.gen_range(0..n);
+            let freq = rng.gen_range(0.05..0.35);
+            let amp = rng.gen_range(1.0..4.0);
+            let decay = rng.gen_range(0.01..0.08);
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            for (offset, value) in v.iter_mut().enumerate().skip(onset) {
+                let t = (offset - onset) as f64;
+                *value += amp
+                    * (-decay * t).exp()
+                    * (std::f64::consts::TAU * freq * t + phase).sin();
+            }
+        }
+        v.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn astro(&self, rng: &mut StdRng) -> Vec<f32> {
+        let n = self.series_length;
+        let normal = StandardNormal;
+        // Smooth periodic light curve plus photometric noise and occasional
+        // box-shaped transit dips.
+        let period = rng.gen_range(16.0..(n as f64 / 2.0).max(17.0));
+        let amp = rng.gen_range(0.5..2.0);
+        let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                amp * (std::f64::consts::TAU * i as f64 / period + phase).sin()
+                    + 0.05 * normal.sample(rng)
+            })
+            .collect();
+        if rng.gen_bool(0.5) {
+            let dip_start = rng.gen_range(0..n);
+            let dip_len = rng.gen_range(2..(n / 8).max(3));
+            let depth = rng.gen_range(0.5..2.0);
+            for value in v.iter_mut().skip(dip_start).take(dip_len) {
+                *value -= depth;
+            }
+        }
+        v.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn sald(&self, rng: &mut StdRng) -> Vec<f32> {
+        let n = self.series_length;
+        let normal = StandardNormal;
+        // Sum of a few slow sinusoids (hemodynamic-like drifts) plus a heavily
+        // smoothed AR(1) component.
+        let mut v = vec![0.0f64; n];
+        for _ in 0..3 {
+            let freq = rng.gen_range(0.005..0.04);
+            let amp = rng.gen_range(0.5..1.5);
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            for (i, value) in v.iter_mut().enumerate() {
+                *value += amp * (std::f64::consts::TAU * freq * i as f64 + phase).sin();
+            }
+        }
+        let mut ar = 0.0f64;
+        for value in v.iter_mut() {
+            ar = 0.97 * ar + 0.1 * normal.sample(rng);
+            *value += ar;
+        }
+        v.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn deep(&self, rng: &mut StdRng) -> Vec<f32> {
+        let normal = StandardNormal;
+        // Nearly independent dimensions: ReLU-like sparse positive activations.
+        (0..self.series_length)
+            .map(|_| {
+                let x = normal.sample(rng);
+                (if x > 0.0 { x } else { 0.05 * x }) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_generate_normalized_series() {
+        for domain in DomainDataset::ALL {
+            let g = DomainGenerator::new(domain, 11);
+            let s = g.series(0);
+            assert_eq!(s.len(), domain.paper_series_length());
+            assert!(s.mean().abs() < 1e-3, "{} mean", domain.name());
+            assert!((s.std_dev() - 1.0).abs() < 1e-2, "{} sd", domain.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_domain() {
+        for domain in DomainDataset::ALL {
+            let g = DomainGenerator::new(domain, 3);
+            assert_eq!(g.series(5), g.series(5));
+            assert_ne!(g.series(5), g.series(6));
+        }
+    }
+
+    #[test]
+    fn domains_differ_from_each_other() {
+        let a = DomainGenerator::new(DomainDataset::Seismic, 3).with_series_length(128).series(0);
+        let b = DomainGenerator::new(DomainDataset::Deep, 3).with_series_length(128).series(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dataset_shape_and_length_override() {
+        let g = DomainGenerator::new(DomainDataset::Astro, 1).with_series_length(64);
+        let d = g.dataset(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.series_length(), 64);
+        assert_eq!(g.series_length(), 64);
+        assert_eq!(g.domain(), DomainDataset::Astro);
+    }
+
+    #[test]
+    fn deep_is_less_smooth_than_sald() {
+        // Lag-1 autocorrelation: SALD (smooth) should be much higher than Deep.
+        fn lag1(s: &Series) -> f64 {
+            let v = s.values();
+            let n = v.len();
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..n - 1 {
+                num += (v[i] as f64) * (v[i + 1] as f64);
+            }
+            for &x in v {
+                den += (x as f64) * (x as f64);
+            }
+            num / den
+        }
+        let sald = DomainGenerator::new(DomainDataset::Sald, 2).with_series_length(128).series(0);
+        let deep = DomainGenerator::new(DomainDataset::Deep, 2).with_series_length(128).series(0);
+        assert!(lag1(&sald) > 0.8, "SALD should be smooth, got {}", lag1(&sald));
+        assert!(lag1(&deep) < 0.5, "Deep should be rough, got {}", lag1(&deep));
+    }
+
+    #[test]
+    fn names_and_lengths_match_paper() {
+        assert_eq!(DomainDataset::Seismic.name(), "Seismic");
+        assert_eq!(DomainDataset::Deep.paper_series_length(), 96);
+        assert_eq!(DomainDataset::Sald.paper_series_length(), 128);
+    }
+}

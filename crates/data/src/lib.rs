@@ -1,0 +1,28 @@
+//! # hydra-data
+//!
+//! Dataset and query-workload generation for the hydra similarity search
+//! benchmark, mirroring Section 4.2 of the paper:
+//!
+//! * **Synthetic datasets** are random walks — cumulative sums of standard
+//!   Gaussian steps — the generator used throughout the data series indexing
+//!   literature ([`randomwalk`]).
+//! * **Real datasets** (Seismic, Astro, SALD, Deep1B) are not redistributable;
+//!   [`domains`] provides domain-flavoured synthetic stand-ins that span the
+//!   same range of "summarizability" (easy to hard pruning), which is the
+//!   property the paper's per-dataset results hinge on.
+//! * **Query workloads** come in two flavours ([`workload`]): `Synth-Rand`
+//!   queries drawn from the same random-walk generator with a different seed,
+//!   and noise-controlled `*-Ctrl` workloads produced by taking dataset series
+//!   and adding progressively larger amounts of Gaussian noise so that query
+//!   difficulty is controlled.
+//! * **On-disk format** ([`io`]): the flat single-precision binary format used
+//!   by all the original implementations, plus readers/writers.
+
+pub mod domains;
+pub mod io;
+pub mod randomwalk;
+pub mod workload;
+
+pub use domains::{DomainDataset, DomainGenerator};
+pub use randomwalk::RandomWalkGenerator;
+pub use workload::{NoiseLevel, QueryWorkload, WorkloadKind, WorkloadSpec};

@@ -1,0 +1,167 @@
+//! Random-walk (cumulative Gaussian sum) dataset generation.
+//!
+//! The paper's synthetic data series are "generated as random-walks (i.e.,
+//! cumulative sums) of steps that follow a Gaussian distribution (0,1)" — the
+//! classic model for stock-price-like sequences used since Faloutsos et al.
+//! Every generated series is Z-normalized, as in the paper's framework (all
+//! datasets were normalized in advance).
+
+use hydra_core::series::{z_normalize, Dataset, Series};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A standard-normal sampler based on the Box–Muller transform.
+///
+/// Implemented locally so the only external dependency is `rand`'s uniform
+/// source (keeping the dependency footprint to the allowed crate set).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one normal deviate (we discard the pair).
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+/// Deterministic random-walk data series generator.
+#[derive(Clone, Debug)]
+pub struct RandomWalkGenerator {
+    seed: u64,
+    series_length: usize,
+    z_normalize: bool,
+}
+
+impl RandomWalkGenerator {
+    /// Creates a generator for series of length `series_length` with the given
+    /// seed. Output is Z-normalized by default.
+    pub fn new(seed: u64, series_length: usize) -> Self {
+        assert!(series_length > 0, "series length must be positive");
+        Self { seed, series_length, z_normalize: true }
+    }
+
+    /// Disables Z-normalization of generated series.
+    pub fn without_normalization(mut self) -> Self {
+        self.z_normalize = false;
+        self
+    }
+
+    /// The configured series length.
+    pub fn series_length(&self) -> usize {
+        self.series_length
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates a single series (deterministic in `(seed, index)`).
+    pub fn series(&self, index: u64) -> Series {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let normal = StandardNormal;
+        let mut values = Vec::with_capacity(self.series_length);
+        let mut level = 0.0f64;
+        for _ in 0..self.series_length {
+            level += normal.sample(&mut rng);
+            values.push(level as f32);
+        }
+        if self.z_normalize {
+            z_normalize(&mut values);
+        }
+        Series::new(values)
+    }
+
+    /// Generates a dataset of `count` series.
+    pub fn dataset(&self, count: usize) -> Dataset {
+        let mut data = Dataset::empty(self.series_length);
+        for i in 0..count {
+            data.push(self.series(i as u64).values());
+        }
+        data
+    }
+
+    /// Generates `count` series as owned [`Series`] values (used for query
+    /// workloads).
+    pub fn series_batch(&self, count: usize) -> Vec<Series> {
+        (0..count as u64).map(|i| self.series(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_index() {
+        let g = RandomWalkGenerator::new(7, 64);
+        assert_eq!(g.series(3), g.series(3));
+        assert_ne!(g.series(3), g.series(4));
+        let g2 = RandomWalkGenerator::new(8, 64);
+        assert_ne!(g.series(3), g2.series(3));
+    }
+
+    #[test]
+    fn generated_series_are_z_normalized() {
+        let g = RandomWalkGenerator::new(42, 256);
+        let s = g.series(0);
+        assert_eq!(s.len(), 256);
+        assert!(s.mean().abs() < 1e-4);
+        assert!((s.std_dev() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn without_normalization_preserves_walk_shape() {
+        let g = RandomWalkGenerator::new(42, 128).without_normalization();
+        let s = g.series(0);
+        // A raw random walk of 128 standard normal steps almost surely has a
+        // standard deviation far from 1 and a non-zero mean.
+        assert!(s.std_dev() > 0.0);
+        assert!(!s.is_z_normalized(1e-3));
+    }
+
+    #[test]
+    fn dataset_has_requested_shape() {
+        let g = RandomWalkGenerator::new(1, 32);
+        let d = g.dataset(100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.series_length(), 32);
+        // Series must differ from each other.
+        assert_ne!(d.series(0).values(), d.series(99).values());
+    }
+
+    #[test]
+    fn series_batch_matches_individual_generation() {
+        let g = RandomWalkGenerator::new(5, 16);
+        let batch = g.series_batch(4);
+        assert_eq!(batch.len(), 4);
+        for (i, s) in batch.iter().enumerate() {
+            assert_eq!(s, &g.series(i as u64));
+        }
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let g = RandomWalkGenerator::new(9, 100);
+        assert_eq!(g.seed(), 9);
+        assert_eq!(g.series_length(), 100);
+    }
+
+    #[test]
+    fn standard_normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+}

@@ -1,0 +1,327 @@
+//! Query workload generation.
+//!
+//! The paper uses two kinds of 100-query workloads:
+//!
+//! * **Synth-Rand** — queries produced by the same random-walk generator as
+//!   the dataset, with a different seed. These queries tend to be far from
+//!   their nearest neighbour and are easy to prune.
+//! * **Controlled (`*-Ctrl`)** — queries created by extracting series from the
+//!   dataset and adding progressively larger amounts of Gaussian noise, so the
+//!   workload contains queries of varying, controlled difficulty (harder
+//!   queries are less similar to their nearest neighbour).
+//!
+//! The workload also supports the paper's *Easy-20* / *Hard-20* scenarios:
+//! queries are classified by their average pruning ratio across methods, and
+//! the 20 easiest / hardest are averaged separately (Table 2).
+
+use crate::randomwalk::{RandomWalkGenerator, StandardNormal};
+use hydra_core::series::{z_normalize, Dataset, Series};
+use hydra_core::Query;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The amount of noise added to a dataset series to form a controlled query.
+///
+/// `fraction` is the standard deviation of the added Gaussian noise relative
+/// to the (unit, Z-normalized) standard deviation of the original series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseLevel {
+    /// Relative noise standard deviation (0 = exact copy of a dataset series).
+    pub fraction: f64,
+}
+
+impl NoiseLevel {
+    /// The default ladder of noise levels used to build controlled workloads,
+    /// from near-duplicates (very easy) to noise-dominated (very hard).
+    pub const LADDER: [NoiseLevel; 10] = [
+        NoiseLevel { fraction: 0.0 },
+        NoiseLevel { fraction: 0.01 },
+        NoiseLevel { fraction: 0.02 },
+        NoiseLevel { fraction: 0.05 },
+        NoiseLevel { fraction: 0.1 },
+        NoiseLevel { fraction: 0.2 },
+        NoiseLevel { fraction: 0.4 },
+        NoiseLevel { fraction: 0.8 },
+        NoiseLevel { fraction: 1.6 },
+        NoiseLevel { fraction: 3.2 },
+    ];
+}
+
+/// The two workload generation strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Independent queries from the dataset's generative model (Synth-Rand).
+    Random,
+    /// Noise-controlled queries derived from dataset series (`*-Ctrl`).
+    Controlled,
+}
+
+/// Specification of a query workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Generation strategy.
+    pub kind: WorkloadKind,
+    /// Number of queries to generate (the paper uses 100).
+    pub num_queries: usize,
+    /// Seed for query generation (distinct from the dataset seed).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A 100-query random workload (Synth-Rand) with the given seed.
+    pub fn random(seed: u64) -> Self {
+        Self { kind: WorkloadKind::Random, num_queries: 100, seed }
+    }
+
+    /// A 100-query controlled workload (`*-Ctrl`) with the given seed.
+    pub fn controlled(seed: u64) -> Self {
+        Self { kind: WorkloadKind::Controlled, num_queries: 100, seed }
+    }
+
+    /// Overrides the number of queries.
+    pub fn with_num_queries(mut self, num_queries: usize) -> Self {
+        self.num_queries = num_queries;
+        self
+    }
+}
+
+/// A generated workload: the query series plus, for controlled workloads, the
+/// noise level each query was generated with.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    name: String,
+    queries: Vec<Series>,
+    noise_levels: Vec<Option<NoiseLevel>>,
+}
+
+impl QueryWorkload {
+    /// Generates a workload for `dataset` according to `spec`.
+    ///
+    /// For [`WorkloadKind::Random`], the dataset is only used for its series
+    /// length; queries come from an independent random-walk generator seeded
+    /// with `spec.seed` (matching Synth-Rand). For
+    /// [`WorkloadKind::Controlled`], queries are dataset series with added
+    /// noise, cycling through [`NoiseLevel::LADDER`] so difficulty is spread
+    /// evenly across the workload.
+    pub fn generate(name: impl Into<String>, dataset: &Dataset, spec: &WorkloadSpec) -> Self {
+        assert!(spec.num_queries > 0, "workload must contain at least one query");
+        assert!(!dataset.is_empty(), "cannot build a workload for an empty dataset");
+        match spec.kind {
+            WorkloadKind::Random => {
+                let gen = RandomWalkGenerator::new(spec.seed, dataset.series_length());
+                let queries = gen.series_batch(spec.num_queries);
+                let noise_levels = vec![None; spec.num_queries];
+                Self { name: name.into(), queries, noise_levels }
+            }
+            WorkloadKind::Controlled => {
+                let mut rng = StdRng::seed_from_u64(spec.seed);
+                let normal = StandardNormal;
+                let mut queries = Vec::with_capacity(spec.num_queries);
+                let mut noise_levels = Vec::with_capacity(spec.num_queries);
+                for q in 0..spec.num_queries {
+                    let level = NoiseLevel::LADDER[q % NoiseLevel::LADDER.len()];
+                    let source = rng.gen_range(0..dataset.len());
+                    let mut values: Vec<f32> = dataset.series(source).values().to_vec();
+                    if level.fraction > 0.0 {
+                        for v in values.iter_mut() {
+                            *v += (level.fraction * normal.sample(&mut rng)) as f32;
+                        }
+                    }
+                    z_normalize(&mut values);
+                    queries.push(Series::new(values));
+                    noise_levels.push(Some(level));
+                }
+                Self { name: name.into(), queries, noise_levels }
+            }
+        }
+    }
+
+    /// The workload's display name (e.g. `"Synth-Rand"`, `"Astro-Ctrl"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The query series.
+    pub fn queries(&self) -> &[Series] {
+        &self.queries
+    }
+
+    /// The noise level of the `i`-th query (`None` for random workloads).
+    pub fn noise_level(&self, i: usize) -> Option<NoiseLevel> {
+        self.noise_levels.get(i).copied().flatten()
+    }
+
+    /// Iterates the workload as 1-NN whole-matching [`Query`] values.
+    pub fn knn_queries(&self, k: usize) -> impl Iterator<Item = Query> + '_ {
+        self.queries.iter().map(move |s| Query::knn(s.clone(), k))
+    }
+
+    /// The paper's 10 000-query extrapolation rule: drop the 5 best and 5
+    /// worst per-query times, average the rest, multiply by `target_queries`.
+    ///
+    /// Returns `None` when fewer than 11 per-query observations are provided.
+    pub fn extrapolate_total_seconds(per_query_seconds: &[f64], target_queries: usize) -> Option<f64> {
+        if per_query_seconds.len() < 11 {
+            return None;
+        }
+        let mut v = per_query_seconds.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let trimmed = &v[5..v.len() - 5];
+        let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+        Some(mean * target_queries as f64)
+    }
+
+    /// Splits query indices into the `n` easiest and `n` hardest according to
+    /// a per-query difficulty score (higher = easier, e.g. average pruning
+    /// ratio across methods), mirroring Easy-20 / Hard-20 of Table 2.
+    ///
+    /// Returns `(easy, hard)` index vectors of length `min(n, len)`.
+    pub fn split_easy_hard(scores: &[f64], n: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n = n.min(idx.len());
+        let easy = idx[..n].to_vec();
+        let hard = idx[idx.len() - n..].to_vec();
+        (easy, hard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomwalk::RandomWalkGenerator;
+    use hydra_core::distance::euclidean;
+
+    fn dataset() -> Dataset {
+        RandomWalkGenerator::new(1, 64).dataset(200)
+    }
+
+    #[test]
+    fn random_workload_has_requested_size_and_length() {
+        let d = dataset();
+        let w = QueryWorkload::generate("Synth-Rand", &d, &WorkloadSpec::random(99));
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.name(), "Synth-Rand");
+        assert!(!w.is_empty());
+        assert_eq!(w.queries()[0].len(), 64);
+        assert_eq!(w.noise_level(0), None);
+    }
+
+    #[test]
+    fn random_workload_differs_from_dataset_seed() {
+        let d = dataset();
+        let w = QueryWorkload::generate("Synth-Rand", &d, &WorkloadSpec::random(2));
+        // Query 0 should not coincide with any dataset series.
+        let q = &w.queries()[0];
+        assert!(d.iter().all(|s| s.values() != q.values()));
+    }
+
+    #[test]
+    fn controlled_workload_tracks_noise_ladder() {
+        let d = dataset();
+        let w = QueryWorkload::generate(
+            "Synth-Ctrl",
+            &d,
+            &WorkloadSpec::controlled(7).with_num_queries(20),
+        );
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.noise_level(0).unwrap().fraction, 0.0);
+        assert_eq!(w.noise_level(1).unwrap().fraction, 0.01);
+        assert_eq!(w.noise_level(10).unwrap().fraction, 0.0);
+    }
+
+    #[test]
+    fn controlled_difficulty_grows_with_noise() {
+        // Queries with more noise should (on average) be farther from their NN.
+        let d = dataset();
+        let w = QueryWorkload::generate(
+            "Synth-Ctrl",
+            &d,
+            &WorkloadSpec::controlled(3).with_num_queries(100),
+        );
+        let nn_dist = |q: &Series| {
+            d.iter().map(|s| euclidean(q.values(), s.values())).fold(f64::INFINITY, f64::min)
+        };
+        let mut easy_sum = 0.0;
+        let mut easy_n = 0;
+        let mut hard_sum = 0.0;
+        let mut hard_n = 0;
+        for i in 0..w.len() {
+            let f = w.noise_level(i).unwrap().fraction;
+            let dist = nn_dist(&w.queries()[i]);
+            if f <= 0.02 {
+                easy_sum += dist;
+                easy_n += 1;
+            } else if f >= 1.6 {
+                hard_sum += dist;
+                hard_n += 1;
+            }
+        }
+        assert!((easy_sum / easy_n as f64) < (hard_sum / hard_n as f64));
+    }
+
+    #[test]
+    fn zero_noise_queries_are_dataset_members() {
+        let d = dataset();
+        let w = QueryWorkload::generate(
+            "Synth-Ctrl",
+            &d,
+            &WorkloadSpec::controlled(5).with_num_queries(10),
+        );
+        // Query 0 has zero noise: its distance to some dataset series is ~0.
+        let q = &w.queries()[0];
+        let min = d.iter().map(|s| euclidean(q.values(), s.values())).fold(f64::INFINITY, f64::min);
+        assert!(min < 1e-3, "zero-noise query should match a dataset series, got {min}");
+    }
+
+    #[test]
+    fn knn_queries_iterator_sets_k() {
+        let d = dataset();
+        let w = QueryWorkload::generate("w", &d, &WorkloadSpec::random(1).with_num_queries(3));
+        let qs: Vec<Query> = w.knn_queries(5).collect();
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|q| q.k() == Some(5)));
+    }
+
+    #[test]
+    fn extrapolation_trims_outliers() {
+        let mut times = vec![1.0; 100];
+        times[0] = 1000.0; // outliers that must be trimmed
+        times[1] = 0.0001;
+        let total = QueryWorkload::extrapolate_total_seconds(&times, 10_000).unwrap();
+        assert!((total - 10_000.0).abs() < 1e-6);
+        assert!(QueryWorkload::extrapolate_total_seconds(&[1.0; 5], 10).is_none());
+    }
+
+    #[test]
+    fn easy_hard_split() {
+        let scores = vec![0.9, 0.1, 0.5, 0.99, 0.3];
+        let (easy, hard) = QueryWorkload::split_easy_hard(&scores, 2);
+        assert_eq!(easy, vec![3, 0]);
+        assert_eq!(hard, vec![4, 1]);
+        let (e, h) = QueryWorkload::split_easy_hard(&scores, 10);
+        assert_eq!(e.len(), 5);
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let d = dataset();
+        let a = QueryWorkload::generate("w", &d, &WorkloadSpec::controlled(9));
+        let b = QueryWorkload::generate("w", &d, &WorkloadSpec::controlled(9));
+        assert_eq!(a.queries()[13], b.queries()[13]);
+    }
+}

@@ -1,0 +1,496 @@
+//! The DSTree index: construction, splitting and exact search.
+
+use crate::node::{
+    choose_split, enumerate_splits, LeafEntry, Node, NodeKind, NodeSynopsis, SplitAttribute,
+};
+use hydra_core::{
+    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+};
+use hydra_storage::DatasetStore;
+use hydra_transforms::eapca::{uniform_segmentation, Eapca};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// The DSTree index.
+pub struct DsTree {
+    store: Arc<DatasetStore>,
+    nodes: Vec<Node>,
+    leaf_capacity: usize,
+    initial_segments: usize,
+}
+
+struct Frontier {
+    lower_bound: f64,
+    node: usize,
+}
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower_bound == other.lower_bound
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl DsTree {
+    /// Builds the DSTree over an instrumented store.
+    pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
+        if store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        options.validate(store.series_length())?;
+        let initial_segments = options.segments.min(store.series_length());
+        let segmentation = uniform_segmentation(store.series_length(), initial_segments);
+        let root = Node {
+            segmentation: segmentation.clone(),
+            synopsis: NodeSynopsis::new(initial_segments),
+            kind: NodeKind::Leaf { entries: Vec::new() },
+            depth: 0,
+        };
+        let mut tree = Self {
+            store: store.clone(),
+            nodes: vec![root],
+            leaf_capacity: options.leaf_capacity,
+            initial_segments,
+        };
+        // One sequential pass over the raw data, inserting every series.
+        let ids: Vec<u32> = (0..store.len() as u32).collect();
+        store.scan_all(|_, _| {});
+        for id in ids {
+            tree.insert(id);
+        }
+        // Leaves materialize the raw series.
+        store.record_index_write((store.len() * store.series_bytes()) as u64);
+        Ok(tree)
+    }
+
+    /// The number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// The number of segments of the initial (root) segmentation.
+    pub fn initial_segments(&self) -> usize {
+        self.initial_segments
+    }
+
+    /// Total number of indexed entries across all leaves.
+    pub fn num_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Leaf { entries } => entries.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn series_values(&self, id: u32) -> Vec<f32> {
+        self.store.dataset().series(id as usize).values().to_vec()
+    }
+
+    fn insert(&mut self, id: u32) {
+        let series = self.series_values(id);
+        let mut current = 0usize;
+        loop {
+            // Update the synopsis of every node on the path.
+            let node_segmentation = self.nodes[current].segmentation.clone();
+            let eapca = Eapca::compute(&series, &node_segmentation);
+            self.nodes[current].synopsis.absorb(&eapca);
+            match &self.nodes[current].kind {
+                NodeKind::Internal { split, left, right } => {
+                    let (left, right) = (*left, *right);
+                    // Routing uses the *children's* segmentation (refined for
+                    // vertical splits).
+                    let routing = Eapca::compute(&series, &split.segmentation);
+                    let value = match split.attribute {
+                        SplitAttribute::Mean => routing.segments[split.segment].mean,
+                        SplitAttribute::StdDev => routing.segments[split.segment].std_dev,
+                    };
+                    current = if value <= split.threshold { left } else { right };
+                }
+                NodeKind::Leaf { .. } => break,
+            }
+        }
+        // Push the entry into the leaf.
+        let leaf_segmentation = self.nodes[current].segmentation.clone();
+        let eapca = Eapca::compute(&series, &leaf_segmentation);
+        if let NodeKind::Leaf { entries } = &mut self.nodes[current].kind {
+            entries.push(LeafEntry { id, eapca });
+        }
+        self.maybe_split(current);
+    }
+
+    fn maybe_split(&mut self, leaf: usize) {
+        let over_full = match &self.nodes[leaf].kind {
+            NodeKind::Leaf { entries } => entries.len() > self.leaf_capacity,
+            NodeKind::Internal { .. } => false,
+        };
+        if !over_full {
+            return;
+        }
+        let segmentation = self.nodes[leaf].segmentation.clone();
+        let synopsis = self.nodes[leaf].synopsis.clone();
+        let entries = match &self.nodes[leaf].kind {
+            NodeKind::Leaf { entries } => entries.clone(),
+            NodeKind::Internal { .. } => return,
+        };
+        let dataset = self.store.dataset();
+        let candidates = enumerate_splits(
+            |id| dataset.series(id as usize).values().to_vec(),
+            &entries,
+            &segmentation,
+            &synopsis,
+        );
+        let Some(best) = choose_split(&candidates) else {
+            return; // degenerate: identical entries, keep the over-full leaf
+        };
+        let spec = best.spec.clone();
+        let child_segmentation = spec.segmentation.clone();
+        let num_child_segments = child_segmentation.len();
+        let depth = self.nodes[leaf].depth;
+
+        let mut left_entries = Vec::new();
+        let mut right_entries = Vec::new();
+        let mut left_syn = NodeSynopsis::new(num_child_segments);
+        let mut right_syn = NodeSynopsis::new(num_child_segments);
+        for e in entries {
+            let series = self.series_values(e.id);
+            let child_eapca = Eapca::compute(&series, &child_segmentation);
+            let value = match spec.attribute {
+                SplitAttribute::Mean => child_eapca.segments[spec.segment].mean,
+                SplitAttribute::StdDev => child_eapca.segments[spec.segment].std_dev,
+            };
+            if value <= spec.threshold {
+                left_syn.absorb(&child_eapca);
+                left_entries.push(LeafEntry { id: e.id, eapca: child_eapca });
+            } else {
+                right_syn.absorb(&child_eapca);
+                right_entries.push(LeafEntry { id: e.id, eapca: child_eapca });
+            }
+        }
+        let left_id = self.nodes.len();
+        self.nodes.push(Node {
+            segmentation: child_segmentation.clone(),
+            synopsis: left_syn,
+            kind: NodeKind::Leaf { entries: left_entries },
+            depth: depth + 1,
+        });
+        let right_id = self.nodes.len();
+        self.nodes.push(Node {
+            segmentation: child_segmentation,
+            synopsis: right_syn,
+            kind: NodeKind::Leaf { entries: right_entries },
+            depth: depth + 1,
+        });
+        self.nodes[leaf].kind = NodeKind::Internal { split: spec, left: left_id, right: right_id };
+        // A split chosen by `choose_split` is always effective, so both
+        // children are strictly smaller than the parent; still, they may
+        // individually exceed the capacity and need further splitting.
+        self.maybe_split(left_id);
+        self.maybe_split(right_id);
+    }
+
+    fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+        let NodeKind::Leaf { entries } = &self.nodes[leaf].kind else {
+            return;
+        };
+        if entries.is_empty() {
+            return;
+        }
+        stats.record_leaf_visit();
+        let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
+        let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
+        stats.record_io(pages - 1, 1, leaf_bytes);
+        let dataset = self.store.dataset();
+        for e in entries {
+            stats.record_raw_series_examined(1);
+            let series = dataset.series(e.id as usize);
+            match hydra_core::distance::squared_euclidean_early_abandon(
+                query.values(),
+                series.values(),
+                heap.threshold_squared(),
+            ) {
+                Some(sq) => {
+                    heap.offer(e.id as usize, sq.sqrt());
+                }
+                None => stats.record_early_abandon(),
+            }
+        }
+    }
+
+    /// Descends from the root to the single most promising leaf for the query
+    /// (the ng-approximate search of the DSTree).
+    fn descend_to_leaf(&self, query: &[f32], stats: &mut QueryStats) -> usize {
+        let mut current = 0usize;
+        loop {
+            match &self.nodes[current].kind {
+                NodeKind::Internal { split, left, right } => {
+                    stats.record_internal_visit();
+                    let routing = Eapca::compute(query, &split.segmentation);
+                    let value = match split.attribute {
+                        SplitAttribute::Mean => routing.segments[split.segment].mean,
+                        SplitAttribute::StdDev => routing.segments[split.segment].std_dev,
+                    };
+                    current = if value <= split.threshold { *left } else { *right };
+                }
+                NodeKind::Leaf { .. } => return current,
+            }
+        }
+    }
+
+    fn node_lower_bound(&self, node: usize, query: &[f32]) -> f64 {
+        let n = &self.nodes[node];
+        let q_eapca = Eapca::compute(query, &n.segmentation);
+        n.synopsis.lower_bound(&q_eapca, &n.segmentation)
+    }
+}
+
+impl AnsweringMethod for DsTree {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor {
+            name: "DSTree",
+            representation: "EAPCA",
+            is_index: true,
+            supports_approximate: true,
+        }
+    }
+
+    fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.k().unwrap_or(1);
+        let clock = hydra_core::RunClock::start();
+        let mut heap = KnnHeap::new(k);
+
+        // Approximate descent seeds the best-so-far.
+        let seed_leaf = self.descend_to_leaf(query.values(), stats);
+        self.scan_leaf(seed_leaf, query, &mut heap, stats);
+
+        // Best-first traversal with synopsis lower bounds.
+        let mut frontier = BinaryHeap::new();
+        let root_lb = self.node_lower_bound(0, query.values());
+        stats.record_lower_bounds(1);
+        frontier.push(Frontier { lower_bound: root_lb, node: 0 });
+        while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+            if heap.is_full() && lower_bound >= heap.threshold() {
+                break;
+            }
+            match &self.nodes[node].kind {
+                NodeKind::Leaf { .. } => {
+                    if node != seed_leaf {
+                        self.scan_leaf(node, query, &mut heap, stats);
+                    }
+                }
+                NodeKind::Internal { left, right, .. } => {
+                    stats.record_internal_visit();
+                    for child in [*left, *right] {
+                        let lb = self.node_lower_bound(child, query.values());
+                        stats.record_lower_bounds(1);
+                        if !heap.is_full() || lb < heap.threshold() {
+                            frontier.push(Frontier { lower_bound: lb, node: child });
+                        }
+                    }
+                }
+            }
+        }
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set())
+    }
+}
+
+impl ExactIndex for DsTree {
+    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self> {
+        Self::build_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
+    }
+
+    fn footprint(&self) -> IndexFootprint {
+        let mut leaf_fill_factors = Vec::new();
+        let mut leaf_depths = Vec::new();
+        let mut leaf_nodes = 0usize;
+        let mut disk_bytes = 0usize;
+        let mut memory_bytes = 0usize;
+        for n in &self.nodes {
+            memory_bytes += std::mem::size_of::<Node>()
+                + n.segmentation.len() * std::mem::size_of::<usize>()
+                + n.synopsis.segments.len() * std::mem::size_of::<crate::node::SegmentSynopsis>();
+            if let NodeKind::Leaf { entries } = &n.kind {
+                leaf_nodes += 1;
+                leaf_fill_factors.push(entries.len() as f64 / self.leaf_capacity as f64);
+                leaf_depths.push(n.depth);
+                disk_bytes += entries.len() * self.store.series_bytes();
+                memory_bytes += entries.len()
+                    * (std::mem::size_of::<LeafEntry>() + n.segmentation.len() * 8);
+            }
+        }
+        IndexFootprint {
+            total_nodes: self.nodes.len(),
+            leaf_nodes,
+            memory_bytes,
+            disk_bytes,
+            leaf_fill_factors,
+            leaf_depths,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.store.len()
+    }
+
+    fn series_length(&self) -> usize {
+        self.store.series_length()
+    }
+
+    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return None;
+        }
+        let k = query.k().unwrap_or(1);
+        let mut heap = KnnHeap::new(k);
+        let leaf = self.descend_to_leaf(query.values(), stats);
+        self.scan_leaf(leaf, query, &mut heap, stats);
+        Some(heap.into_answer_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::RandomWalkGenerator;
+    use hydra_scan::ucr::brute_force_knn;
+
+    fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, DsTree) {
+        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(91, len).dataset(count)));
+        let options =
+            BuildOptions::default().with_segments(8.min(len)).with_leaf_capacity(leaf);
+        let index = DsTree::build_on_store(store.clone(), &options).unwrap();
+        (store, index)
+    }
+
+    #[test]
+    fn descriptor_matches_table1() {
+        let (_, idx) = build(40, 32, 16);
+        assert_eq!(idx.descriptor().name, "DSTree");
+        assert_eq!(idx.descriptor().representation, "EAPCA");
+        assert!(idx.descriptor().is_index);
+    }
+
+    #[test]
+    fn every_series_is_indexed_and_leaves_respect_capacity() {
+        let (_, idx) = build(500, 64, 25);
+        assert_eq!(idx.num_entries(), 500);
+        let fp = idx.footprint();
+        assert!(fp.total_nodes > 1, "a 500-series tree with capacity 25 must split");
+        assert!(fp.leaf_fill_factors.iter().all(|&f| f <= 1.0 + 1e-9));
+        assert_eq!(fp.disk_bytes, 500 * 64 * 4);
+    }
+
+    #[test]
+    fn splits_adapt_segmentation_somewhere() {
+        // At least one node should have refined its segmentation (vertical
+        // split) or used a std-based split on a non-trivial dataset.
+        let (_, idx) = build(800, 64, 20);
+        let has_adaptive = idx.nodes.iter().any(|n| match &n.kind {
+            NodeKind::Internal { split, .. } => {
+                split.is_vertical || split.attribute == SplitAttribute::StdDev
+            }
+            _ => false,
+        });
+        assert!(
+            has_adaptive || idx.num_nodes() < 3,
+            "expected at least one vertical or std-based split in a large tree"
+        );
+    }
+
+    #[test]
+    fn exactness_against_brute_force() {
+        let (store, idx) = build(400, 64, 20);
+        for q in RandomWalkGenerator::new(191, 64).series_batch(12) {
+            for k in [1usize, 5] {
+                let expected = brute_force_knn(store.dataset(), q.values(), k);
+                let got = idx.answer_simple(&Query::knn(q.clone(), k)).unwrap();
+                assert!(got.distances_match(&expected, 1e-4), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_on_deep_like_length() {
+        let (store, idx) = build(200, 96, 10);
+        let q = RandomWalkGenerator::new(92, 96).series(5);
+        let expected = brute_force_knn(store.dataset(), q.values(), 1);
+        let got = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
+        assert!(got.distances_match(&expected, 1e-4));
+    }
+
+    #[test]
+    fn self_queries_prune_heavily() {
+        let (store, idx) = build(1000, 64, 50);
+        let q = store.dataset().series(700).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert_eq!(ans.nearest().unwrap().id, 700);
+        assert!(stats.pruning_ratio(1000) > 0.8, "ratio {}", stats.pruning_ratio(1000));
+        assert!(stats.leaves_visited >= 1);
+    }
+
+    #[test]
+    fn approximate_answer_visits_one_leaf_and_is_upper_bound_of_exact() {
+        let (_, idx) = build(500, 64, 25);
+        for q in RandomWalkGenerator::new(291, 64).series_batch(5) {
+            let mut s1 = QueryStats::default();
+            let approx =
+                idx.answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1).unwrap();
+            assert!(s1.leaves_visited <= 1);
+            let exact = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
+            if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
+                assert!(a.distance + 1e-9 >= e.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_series_do_not_hang_the_build() {
+        let mut data = Dataset::empty(32);
+        let series = vec![1.0f32; 32];
+        for _ in 0..50 {
+            data.push(&series);
+        }
+        let idx = DsTree::build(&data, &BuildOptions::default().with_segments(4).with_leaf_capacity(8))
+            .unwrap();
+        assert_eq!(idx.num_entries(), 50);
+        // All identical: search still returns an exact answer.
+        let ans = idx
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(series)))
+            .unwrap();
+        assert!(ans.nearest().unwrap().distance < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_dataset_and_bad_query() {
+        assert!(DsTree::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
+        let (_, idx) = build(20, 64, 8);
+        assert!(idx
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .is_err());
+    }
+}

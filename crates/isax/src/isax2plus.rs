@@ -1,0 +1,344 @@
+//! The iSAX2+ index.
+//!
+//! iSAX2+ builds an iSAX tree whose leaves materialize the raw series they
+//! cover (so that a leaf visit is one contiguous disk read), using a
+//! balance-aware splitting policy. It answers:
+//!
+//! * **ng-approximate** queries by descending to the single leaf whose region
+//!   covers the query's SAX word and scanning only that leaf;
+//! * **exact** queries with a best-first traversal ordered by the MINDIST
+//!   lower bound, seeded with the approximate answer as the initial
+//!   best-so-far and pruning every subtree whose MINDIST is not below it.
+
+use crate::tree::{IsaxTree, NodeId, NodeKind};
+use hydra_core::{
+    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+};
+use hydra_storage::DatasetStore;
+use hydra_transforms::sax::SaxParams;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// The iSAX2+ index.
+pub struct Isax2Plus {
+    store: Arc<DatasetStore>,
+    tree: IsaxTree,
+}
+
+/// Priority-queue entry for best-first traversal (min-heap on MINDIST).
+struct Frontier {
+    mindist: f64,
+    node: NodeId,
+}
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.mindist == other.mindist
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap.
+        other.mindist.partial_cmp(&self.mindist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl Isax2Plus {
+    /// Builds the index over an instrumented store.
+    pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
+        if store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        options.validate(store.series_length())?;
+        let max_bits = log2_ceil(options.alphabet_size).max(1).min(16) as u8;
+        let params = SaxParams::new(store.series_length(), options.segments, max_bits);
+        let mut tree = IsaxTree::new(params.clone(), options.leaf_capacity);
+        // One sequential pass over the raw data: summarize and insert.
+        store.scan_all(|id, series| {
+            tree.insert(id as u32, params.sax_word(series.values()));
+        });
+        // Leaves materialize raw series: account for the bulk-load write.
+        store.record_index_write((store.len() * store.series_bytes()) as u64);
+        Ok(Self { store, tree })
+    }
+
+    /// The underlying iSAX tree.
+    pub fn tree(&self) -> &IsaxTree {
+        &self.tree
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// Scans one leaf: computes exact distances of its entries against the
+    /// query, charging one random access plus sequential pages for the leaf's
+    /// materialized payload.
+    fn scan_leaf(
+        &self,
+        leaf: NodeId,
+        query: &Query,
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+    ) {
+        let NodeKind::Leaf { entries } = &self.tree.node(leaf).kind else {
+            return;
+        };
+        stats.record_leaf_visit();
+        let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
+        let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
+        stats.record_io(pages - 1, 1, leaf_bytes);
+        let dataset = self.store.dataset();
+        for e in entries {
+            stats.record_raw_series_examined(1);
+            let series = dataset.series(e.id as usize);
+            match hydra_core::distance::squared_euclidean_early_abandon(
+                query.values(),
+                series.values(),
+                heap.threshold_squared(),
+            ) {
+                Some(sq) => {
+                    heap.offer(e.id as usize, sq.sqrt());
+                }
+                None => stats.record_early_abandon(),
+            }
+        }
+    }
+}
+
+fn log2_ceil(x: usize) -> u32 {
+    (usize::BITS - x.next_power_of_two().leading_zeros()).saturating_sub(1)
+}
+
+impl AnsweringMethod for Isax2Plus {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor {
+            name: "iSAX2+",
+            representation: "iSAX",
+            is_index: true,
+            supports_approximate: true,
+        }
+    }
+
+    fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.k().unwrap_or(1);
+        let clock = hydra_core::RunClock::start();
+        let params = self.tree.params().clone();
+        let query_paa = params.paa().transform(query.values());
+        let query_sax = params.sax_word_from_paa(&query_paa);
+
+        let mut heap = KnnHeap::new(k);
+        // Phase 1: ng-approximate search seeds the best-so-far.
+        if let Some(leaf) = self.tree.locate_leaf(&query_sax, stats) {
+            self.scan_leaf(leaf, query, &mut heap, stats);
+        }
+        // Phase 2: best-first traversal with MINDIST pruning.
+        let mut frontier = BinaryHeap::new();
+        for root_child in self.tree.root_children() {
+            let mindist = self.tree.mindist(&query_paa, root_child);
+            stats.record_lower_bounds(1);
+            frontier.push(Frontier { mindist, node: root_child });
+        }
+        while let Some(Frontier { mindist, node }) = frontier.pop() {
+            if heap.is_full() && mindist >= heap.threshold() {
+                break; // everything else in the frontier is at least as far
+            }
+            match &self.tree.node(node).kind {
+                NodeKind::Leaf { .. } => self.scan_leaf(node, query, &mut heap, stats),
+                NodeKind::Internal { left, right, .. } => {
+                    stats.record_internal_visit();
+                    for child in [*left, *right] {
+                        let d = self.tree.mindist(&query_paa, child);
+                        stats.record_lower_bounds(1);
+                        if !heap.is_full() || d < heap.threshold() {
+                            frontier.push(Frontier { mindist: d, node: child });
+                        }
+                    }
+                }
+            }
+        }
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set())
+    }
+}
+
+impl ExactIndex for Isax2Plus {
+    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self> {
+        Self::build_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
+    }
+
+    fn footprint(&self) -> IndexFootprint {
+        self.tree.footprint(self.store.series_bytes())
+    }
+
+    fn num_series(&self) -> usize {
+        self.store.len()
+    }
+
+    fn series_length(&self) -> usize {
+        self.store.series_length()
+    }
+
+    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return None;
+        }
+        let k = query.k().unwrap_or(1);
+        let params = self.tree.params().clone();
+        let query_sax = params.sax_word(query.values());
+        let mut heap = KnnHeap::new(k);
+        let leaf = self.tree.locate_leaf(&query_sax, stats)?;
+        self.scan_leaf(leaf, query, &mut heap, stats);
+        Some(heap.into_answer_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::RandomWalkGenerator;
+    use hydra_scan::ucr::brute_force_knn;
+
+    fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, Isax2Plus) {
+        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(51, len).dataset(count)));
+        let options = BuildOptions::default()
+            .with_segments(16.min(len))
+            .with_leaf_capacity(leaf)
+            .with_alphabet_size(256);
+        let index = Isax2Plus::build_on_store(store.clone(), &options).unwrap();
+        (store, index)
+    }
+
+    #[test]
+    fn descriptor_matches_table1() {
+        let (_, idx) = build(50, 64, 16);
+        let d = idx.descriptor();
+        assert_eq!(d.name, "iSAX2+");
+        assert_eq!(d.representation, "iSAX");
+        assert!(d.is_index);
+        assert!(d.supports_approximate);
+    }
+
+    #[test]
+    fn indexes_every_series() {
+        let (_, idx) = build(300, 64, 20);
+        assert_eq!(idx.tree().num_entries(), 300);
+        assert_eq!(idx.num_series(), 300);
+        assert_eq!(idx.series_length(), 64);
+    }
+
+    #[test]
+    fn exactness_against_brute_force() {
+        let (store, idx) = build(500, 64, 25);
+        for q in RandomWalkGenerator::new(151, 64).series_batch(15) {
+            for k in [1usize, 5] {
+                let expected = brute_force_knn(store.dataset(), q.values(), k);
+                let got = idx.answer_simple(&Query::knn(q.clone(), k)).unwrap();
+                assert!(got.distances_match(&expected, 1e-4), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_on_non_power_of_two_length() {
+        let (store, idx) = build(200, 96, 10);
+        let q = RandomWalkGenerator::new(61, 96).series(3);
+        let expected = brute_force_knn(store.dataset(), q.values(), 1);
+        let got = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
+        assert!(got.distances_match(&expected, 1e-4));
+    }
+
+    #[test]
+    fn self_queries_prune_heavily() {
+        let (store, idx) = build(1000, 64, 50);
+        let q = store.dataset().series(321).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert_eq!(ans.nearest().unwrap().id, 321);
+        assert!(stats.pruning_ratio(1000) > 0.8, "pruning ratio {}", stats.pruning_ratio(1000));
+        assert!(stats.leaves_visited >= 1);
+        assert!(stats.lower_bounds_computed > 0);
+    }
+
+    #[test]
+    fn approximate_search_visits_one_leaf() {
+        let (store, idx) = build(800, 64, 40);
+        let q = store.dataset().series(100).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ans = idx.answer_approximate(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert_eq!(stats.leaves_visited, 1);
+        // The approximate answer for a dataset member found in its own leaf is
+        // exact (distance 0).
+        assert_eq!(ans.nearest().unwrap().id, 100);
+        // And it never exceeds the dataset size worth of work.
+        assert!(stats.raw_series_examined <= 41);
+    }
+
+    #[test]
+    fn approximate_answer_is_never_better_than_exact() {
+        let (_, idx) = build(400, 64, 20);
+        for q in RandomWalkGenerator::new(251, 64).series_batch(5) {
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let approx = idx.answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1);
+            let exact = idx.answer(&Query::nearest_neighbor(q), &mut s2).unwrap();
+            if let Some(approx) = approx {
+                if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
+                    assert!(a.distance + 1e-9 >= e.distance);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_reflects_leaf_materialization() {
+        let (_, idx) = build(600, 64, 30);
+        let fp = idx.footprint();
+        assert!(fp.total_nodes >= fp.leaf_nodes);
+        assert_eq!(fp.disk_bytes, 600 * 64 * 4, "leaves materialize all raw series");
+        assert!(fp.mean_fill_factor() > 0.0);
+    }
+
+    #[test]
+    fn coarse_roots_force_splits_and_internal_nodes() {
+        // With only 4 segments the root fanout is 16, so 600 series with leaf
+        // capacity 30 must overflow some root children and create splits.
+        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(51, 64).dataset(600)));
+        let options =
+            BuildOptions::default().with_segments(4).with_leaf_capacity(30).with_alphabet_size(256);
+        let idx = Isax2Plus::build_on_store(store, &options).unwrap();
+        let fp = idx.footprint();
+        assert!(fp.total_nodes > fp.leaf_nodes, "expected internal nodes from splits");
+        assert!(fp.max_leaf_depth() >= 2);
+    }
+
+    #[test]
+    fn smaller_leaves_mean_more_nodes() {
+        let (_, small) = build(500, 64, 10);
+        let (_, large) = build(500, 64, 100);
+        assert!(small.footprint().total_nodes > large.footprint().total_nodes);
+    }
+
+    #[test]
+    fn rejects_empty_dataset_and_bad_query() {
+        assert!(Isax2Plus::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
+        let (_, idx) = build(20, 64, 8);
+        assert!(idx
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .is_err());
+    }
+}

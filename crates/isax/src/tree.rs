@@ -1,0 +1,443 @@
+//! The shared iSAX tree structure used by iSAX2+ and ADS+.
+//!
+//! The tree is rooted at a virtual node whose children correspond to the
+//! 1-bit-per-segment iSAX words (created on demand). Internal nodes carry an
+//! iSAX word and a split segment; splitting a leaf promotes one segment to one
+//! more bit and redistributes the leaf's entries between the two children.
+//! The split segment is chosen to balance the two children as evenly as
+//! possible (the iSAX 2.0 splitting policy).
+
+use hydra_core::{IndexFootprint, QueryStats};
+use hydra_transforms::sax::{IsaxWord, SaxParams, SaxWord};
+use std::collections::HashMap;
+
+/// Identifier of a node inside the tree's arena.
+pub type NodeId = usize;
+
+/// One entry stored in a leaf: the series position and its full-cardinality
+/// SAX word.
+#[derive(Clone, Debug)]
+pub struct LeafEntry {
+    /// Position of the series in the dataset.
+    pub id: u32,
+    /// Full-cardinality SAX word of the series.
+    pub sax: SaxWord,
+}
+
+/// The payload of a node.
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// An internal node with exactly two children produced by a split.
+    Internal {
+        /// The segment whose cardinality was increased by the split.
+        split_segment: usize,
+        /// Child whose promoted bit is 0.
+        left: NodeId,
+        /// Child whose promoted bit is 1.
+        right: NodeId,
+    },
+    /// A leaf node holding entries.
+    Leaf {
+        /// The entries stored in this leaf.
+        entries: Vec<LeafEntry>,
+    },
+}
+
+/// A node of the iSAX tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The iSAX word (region) this node covers.
+    pub word: IsaxWord,
+    /// The node payload.
+    pub kind: NodeKind,
+    /// Depth below the virtual root (root children have depth 1).
+    pub depth: usize,
+}
+
+/// An iSAX tree: a forest of root children keyed by their 1-bit words.
+#[derive(Clone, Debug)]
+pub struct IsaxTree {
+    params: SaxParams,
+    leaf_capacity: usize,
+    nodes: Vec<Node>,
+    root_children: HashMap<Vec<u16>, NodeId>,
+}
+
+impl IsaxTree {
+    /// Creates an empty tree.
+    pub fn new(params: SaxParams, leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        Self { params, leaf_capacity, nodes: Vec::new(), root_children: HashMap::new() }
+    }
+
+    /// The SAX parameters of the tree.
+    pub fn params(&self) -> &SaxParams {
+        &self.params
+    }
+
+    /// The leaf capacity.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// The number of nodes (internal + leaf).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access to a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The ids of the root children.
+    pub fn root_children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.root_children.values().copied()
+    }
+
+    /// Iterates over all leaf node ids.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Leaf { .. }))
+            .map(|(i, _)| i)
+    }
+
+    /// Total number of entries stored in the tree.
+    pub fn num_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Leaf { entries } => entries.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn root_key(&self, sax: &SaxWord) -> Vec<u16> {
+        let shift = self.params.max_bits() - 1;
+        sax.symbols.iter().map(|&s| s >> shift).collect()
+    }
+
+    /// Inserts one series (by id and full SAX word) into the tree, splitting
+    /// leaves as needed.
+    pub fn insert(&mut self, id: u32, sax: SaxWord) {
+        let key = self.root_key(&sax);
+        let root_child = match self.root_children.get(&key) {
+            Some(&nid) => nid,
+            None => {
+                let word = IsaxWord::root_of(&sax, self.params.max_bits());
+                let nid = self.nodes.len();
+                self.nodes.push(Node { word, kind: NodeKind::Leaf { entries: Vec::new() }, depth: 1 });
+                self.root_children.insert(key, nid);
+                nid
+            }
+        };
+        let mut current = root_child;
+        loop {
+            match &self.nodes[current].kind {
+                NodeKind::Internal { split_segment, left, right } => {
+                    let (left, right, seg) = (*left, *right, *split_segment);
+                    let child_bits = self.nodes[left].word.bits[seg];
+                    let shift = self.params.max_bits() - child_bits;
+                    let sym = sax.symbols[seg] >> shift;
+                    current = if sym & 1 == 0 { left } else { right };
+                }
+                NodeKind::Leaf { .. } => break,
+            }
+        }
+        if let NodeKind::Leaf { entries } = &mut self.nodes[current].kind {
+            entries.push(LeafEntry { id, sax });
+        }
+        self.maybe_split(current);
+    }
+
+    /// Splits `leaf` if it exceeds the capacity and a useful split exists.
+    fn maybe_split(&mut self, leaf: NodeId) {
+        {
+            let needs_split = match &self.nodes[leaf].kind {
+                NodeKind::Leaf { entries } => entries.len() > self.leaf_capacity,
+                NodeKind::Internal { .. } => false,
+            };
+            if !needs_split {
+                return;
+            }
+            let Some(segment) = self.choose_split_segment(leaf) else {
+                // No segment can be refined further: allow the over-full leaf.
+                return;
+            };
+            let word = self.nodes[leaf].word.clone();
+            let depth = self.nodes[leaf].depth;
+            let (left_word, right_word) =
+                word.split(segment).expect("chosen segment must be splittable");
+            let entries = match std::mem::replace(
+                &mut self.nodes[leaf].kind,
+                NodeKind::Internal { split_segment: segment, left: 0, right: 0 },
+            ) {
+                NodeKind::Leaf { entries } => entries,
+                NodeKind::Internal { .. } => unreachable!(),
+            };
+            let child_bits = left_word.bits[segment];
+            let shift = self.params.max_bits() - child_bits;
+            let mut left_entries = Vec::new();
+            let mut right_entries = Vec::new();
+            for e in entries {
+                let sym = e.sax.symbols[segment] >> shift;
+                if sym & 1 == 0 {
+                    left_entries.push(e);
+                } else {
+                    right_entries.push(e);
+                }
+            }
+            let left_len = left_entries.len();
+            let right_len = right_entries.len();
+            let left_id = self.nodes.len();
+            self.nodes.push(Node {
+                word: left_word,
+                kind: NodeKind::Leaf { entries: left_entries },
+                depth: depth + 1,
+            });
+            let right_id = self.nodes.len();
+            self.nodes.push(Node {
+                word: right_word,
+                kind: NodeKind::Leaf { entries: right_entries },
+                depth: depth + 1,
+            });
+            self.nodes[leaf].kind =
+                NodeKind::Internal { split_segment: segment, left: left_id, right: right_id };
+            // Recurse into whichever child is still over-full (at most one can
+            // hold all the entries).
+            let next = if left_len > self.leaf_capacity {
+                left_id
+            } else if right_len > self.leaf_capacity {
+                right_id
+            } else {
+                return;
+            };
+            // Recurse into the over-full child.
+            self.maybe_split(next);
+        }
+    }
+
+    /// Chooses the segment whose promotion splits the leaf's entries most
+    /// evenly. Returns `None` if every segment is at full cardinality or no
+    /// segment separates the entries at all (degenerate identical words).
+    fn choose_split_segment(&self, leaf: NodeId) -> Option<usize> {
+        let node = &self.nodes[leaf];
+        let entries = match &node.kind {
+            NodeKind::Leaf { entries } => entries,
+            NodeKind::Internal { .. } => return None,
+        };
+        let segments = self.params.segments();
+        let max_bits = self.params.max_bits();
+        let mut best: Option<(usize, usize)> = None; // (imbalance, segment)
+        for seg in 0..segments {
+            let bits = node.word.bits[seg];
+            if bits >= max_bits {
+                continue;
+            }
+            let shift = max_bits - (bits + 1);
+            let left = entries.iter().filter(|e| (e.sax.symbols[seg] >> shift) & 1 == 0).count();
+            let right = entries.len() - left;
+            if left == 0 || right == 0 {
+                continue;
+            }
+            let imbalance = left.abs_diff(right);
+            match best {
+                Some((b, _)) if imbalance >= b => {}
+                _ => best = Some((imbalance, seg)),
+            }
+        }
+        if best.is_none() {
+            // Fall back to any refinable segment (keeps cardinality growing so
+            // later inserts can separate), provided at least one exists.
+            return (0..segments).find(|&seg| self.nodes[leaf].word.bits[seg] < max_bits);
+        }
+        best.map(|(_, seg)| seg)
+    }
+
+    /// Finds the leaf whose region contains `sax`, if any, descending from the
+    /// matching root child. Records node visits into `stats`.
+    pub fn locate_leaf(&self, sax: &SaxWord, stats: &mut QueryStats) -> Option<NodeId> {
+        let key = self.root_key(sax);
+        let mut current = *self.root_children.get(&key)?;
+        loop {
+            match &self.nodes[current].kind {
+                NodeKind::Internal { split_segment, left, right } => {
+                    stats.record_internal_visit();
+                    let child_bits = self.nodes[*left].word.bits[*split_segment];
+                    let shift = self.params.max_bits() - child_bits;
+                    let sym = sax.symbols[*split_segment] >> shift;
+                    current = if sym & 1 == 0 { *left } else { *right };
+                }
+                NodeKind::Leaf { .. } => return Some(current),
+            }
+        }
+    }
+
+    /// The MINDIST lower bound between a query's PAA values and a node.
+    pub fn mindist(&self, query_paa: &[f32], node: NodeId) -> f64 {
+        self.params.mindist_paa_to_isax(query_paa, &self.nodes[node].word)
+    }
+
+    /// Builds the footprint report for this tree, given the byte cost of one
+    /// leaf entry on disk (raw series bytes for iSAX2+, summary bytes for
+    /// ADS+).
+    pub fn footprint(&self, entry_disk_bytes: usize) -> IndexFootprint {
+        let mut leaf_fill_factors = Vec::new();
+        let mut leaf_depths = Vec::new();
+        let mut leaf_nodes = 0usize;
+        let mut disk_bytes = 0usize;
+        for n in &self.nodes {
+            if let NodeKind::Leaf { entries } = &n.kind {
+                leaf_nodes += 1;
+                leaf_fill_factors.push(entries.len() as f64 / self.leaf_capacity as f64);
+                leaf_depths.push(n.depth);
+                disk_bytes += entries.len() * entry_disk_bytes;
+            }
+        }
+        let memory_bytes = self.nodes.len()
+            * (std::mem::size_of::<Node>() + self.params.segments() * 3)
+            + self.num_entries() * (std::mem::size_of::<LeafEntry>() + self.params.segments() * 2);
+        IndexFootprint {
+            total_nodes: self.nodes.len(),
+            leaf_nodes,
+            memory_bytes,
+            disk_bytes,
+            leaf_fill_factors,
+            leaf_depths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::RandomWalkGenerator;
+
+    fn params() -> SaxParams {
+        SaxParams::new(64, 8, 8)
+    }
+
+    fn build_tree(count: usize, leaf_capacity: usize) -> (IsaxTree, hydra_core::Dataset) {
+        let data = RandomWalkGenerator::new(5, 64).dataset(count);
+        let p = params();
+        let mut tree = IsaxTree::new(p.clone(), leaf_capacity);
+        for (i, s) in data.iter().enumerate() {
+            tree.insert(i as u32, p.sax_word(s.values()));
+        }
+        (tree, data)
+    }
+
+    #[test]
+    fn all_entries_are_stored() {
+        let (tree, _) = build_tree(500, 16);
+        assert_eq!(tree.num_entries(), 500);
+        assert!(tree.num_nodes() > 1);
+        assert_eq!(tree.leaf_capacity(), 16);
+    }
+
+    #[test]
+    fn leaves_respect_capacity_unless_degenerate() {
+        let (tree, _) = build_tree(1000, 16);
+        for leaf in tree.leaves() {
+            if let NodeKind::Leaf { entries } = &tree.node(leaf).kind {
+                // Random-walk SAX words are diverse enough that no leaf should
+                // stay over-full after splitting.
+                assert!(entries.len() <= 16, "leaf holds {} entries", entries.len());
+            }
+        }
+    }
+
+    #[test]
+    fn every_entry_is_in_a_leaf_whose_word_contains_it() {
+        let (tree, _) = build_tree(300, 8);
+        for leaf in tree.leaves() {
+            let node = tree.node(leaf);
+            if let NodeKind::Leaf { entries } = &node.kind {
+                for e in entries {
+                    assert!(node.word.contains(&e.sax), "leaf word must cover its entries");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_leaf_finds_the_leaf_containing_the_word() {
+        let (tree, data) = build_tree(400, 16);
+        let p = params();
+        let mut stats = QueryStats::default();
+        for i in (0..400).step_by(37) {
+            let sax = p.sax_word(data.series(i).values());
+            let leaf = tree.locate_leaf(&sax, &mut stats).expect("series word must map to a leaf");
+            if let NodeKind::Leaf { entries } = &tree.node(leaf).kind {
+                assert!(
+                    entries.iter().any(|e| e.id == i as u32),
+                    "series {i} must be in the located leaf"
+                );
+            }
+        }
+        assert!(stats.internal_nodes_visited > 0 || tree.num_nodes() <= 500);
+    }
+
+    #[test]
+    fn mindist_to_containing_leaf_is_zero_or_tiny() {
+        let (tree, data) = build_tree(200, 8);
+        let p = params();
+        let mut stats = QueryStats::default();
+        let q = data.series(0);
+        let paa = p.paa().transform(q.values());
+        let sax = p.sax_word(q.values());
+        let leaf = tree.locate_leaf(&sax, &mut stats).unwrap();
+        assert!(tree.mindist(&paa, leaf) < 1e-9);
+    }
+
+    #[test]
+    fn splitting_produces_internal_nodes_with_two_children() {
+        let (tree, _) = build_tree(500, 4);
+        let mut internals = 0;
+        for i in 0..tree.num_nodes() {
+            if let NodeKind::Internal { left, right, .. } = tree.node(i).kind {
+                internals += 1;
+                assert_ne!(left, right);
+                assert_eq!(tree.node(left).depth, tree.node(i).depth + 1);
+                assert_eq!(tree.node(right).depth, tree.node(i).depth + 1);
+            }
+        }
+        assert!(internals > 0, "a 500-series tree with capacity 4 must have split");
+    }
+
+    #[test]
+    fn footprint_reports_consistent_counts() {
+        let (tree, _) = build_tree(600, 32);
+        let fp = tree.footprint(64 * 4);
+        assert_eq!(fp.total_nodes, tree.num_nodes());
+        assert_eq!(fp.leaf_nodes, tree.leaves().count());
+        assert_eq!(fp.leaf_fill_factors.len(), fp.leaf_nodes);
+        assert_eq!(fp.disk_bytes, 600 * 64 * 4);
+        assert!(fp.mean_fill_factor() > 0.0 && fp.mean_fill_factor() <= 1.0 + 1e-9);
+        assert!(fp.max_leaf_depth() >= 1);
+    }
+
+    #[test]
+    fn duplicate_words_do_not_loop_forever() {
+        // Insert many series with identical values: their SAX words are all
+        // identical, so no split can separate them; the tree must terminate
+        // with one over-full leaf rather than hang.
+        let p = params();
+        let mut tree = IsaxTree::new(p.clone(), 4);
+        let series = vec![0.5f32; 64];
+        let sax = p.sax_word(&series);
+        for i in 0..100 {
+            tree.insert(i, sax.clone());
+        }
+        assert_eq!(tree.num_entries(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = IsaxTree::new(params(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The UCR-Suite-style optimized sequential scan, adapted to exact whole
+//! matching (the paper's baseline method).
+//!
+//! For every candidate series read sequentially from the store, the scan
+//! computes the squared Euclidean distance with reordered early abandoning
+//! against the current best-so-far. It performs exactly one full sequential
+//! pass over the dataset per query, which makes its I/O profile the reference
+//! point every index is compared against.
+
+use hydra_core::distance::{squared_euclidean_reordered, QueryOrder};
+use hydra_core::{
+    AnsweringMethod, AnswerSet, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+};
+use hydra_storage::DatasetStore;
+use std::sync::Arc;
+
+/// The optimized serial-scan baseline.
+#[derive(Clone)]
+pub struct UcrScan {
+    store: Arc<DatasetStore>,
+}
+
+impl UcrScan {
+    /// Creates a scan over the given store.
+    pub fn new(store: Arc<DatasetStore>) -> Self {
+        Self { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// The number of series scanned per query.
+    pub fn num_series(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl AnsweringMethod for UcrScan {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor {
+            name: "UCR-Suite",
+            representation: "raw",
+            is_index: false,
+            supports_approximate: false,
+        }
+    }
+
+    fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        if self.store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.k().unwrap_or(1);
+        let mut heap = KnnHeap::new(k);
+        let order = QueryOrder::new(query.values());
+        let before = self.store.io_snapshot();
+        let clock = hydra_core::RunClock::start();
+        self.store.scan_all(|id, series| {
+            stats.record_raw_series_examined(1);
+            match squared_euclidean_reordered(
+                query.values(),
+                series.values(),
+                &order,
+                heap.threshold_squared(),
+            ) {
+                Some(sq) => {
+                    heap.offer(id, sq.sqrt());
+                }
+                None => stats.record_early_abandon(),
+            }
+        });
+        stats.cpu_time += clock.elapsed();
+        let delta = self.store.io_snapshot().since(&before);
+        stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+        Ok(heap.into_answer_set())
+    }
+}
+
+/// Brute-force exact k-NN over an in-memory dataset, without any I/O
+/// accounting or early abandoning. Used as the ground-truth oracle in tests
+/// and experiments.
+pub fn brute_force_knn(
+    dataset: &hydra_core::Dataset,
+    query: &[f32],
+    k: usize,
+) -> AnswerSet {
+    let mut heap = KnnHeap::new(k);
+    for (i, s) in dataset.iter().enumerate() {
+        heap.offer(i, hydra_core::distance::euclidean(query, s.values()));
+    }
+    heap.into_answer_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::{Dataset, Series};
+    use hydra_data::RandomWalkGenerator;
+
+    fn store(count: usize, len: usize) -> Arc<DatasetStore> {
+        Arc::new(DatasetStore::new(RandomWalkGenerator::new(11, len).dataset(count)))
+    }
+
+    #[test]
+    fn descriptor_matches_table1() {
+        let scan = UcrScan::new(store(10, 32));
+        let d = scan.descriptor();
+        assert_eq!(d.name, "UCR-Suite");
+        assert!(!d.is_index);
+        assert_eq!(scan.num_series(), 10);
+    }
+
+    #[test]
+    fn scan_matches_brute_force_for_1nn_and_knn() {
+        let s = store(300, 64);
+        let scan = UcrScan::new(s.clone());
+        let queries = RandomWalkGenerator::new(99, 64).series_batch(10);
+        for q in &queries {
+            for k in [1usize, 5, 10] {
+                let expected = brute_force_knn(s.dataset(), q.values(), k);
+                let got = scan.answer_simple(&Query::knn(q.clone(), k)).unwrap();
+                assert!(got.distances_match(&expected, 1e-6), "k={k} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_finds_exact_duplicate_at_distance_zero() {
+        let s = store(100, 32);
+        let scan = UcrScan::new(s.clone());
+        let target = s.dataset().series(42).to_owned_series();
+        let ans = scan.answer_simple(&Query::nearest_neighbor(target)).unwrap();
+        assert_eq!(ans.nearest().unwrap().id, 42);
+        assert!(ans.nearest().unwrap().distance < 1e-6);
+    }
+
+    #[test]
+    fn scan_reads_whole_dataset_sequentially() {
+        let s = store(200, 256);
+        let scan = UcrScan::new(s.clone());
+        let q = RandomWalkGenerator::new(5, 256).series(0);
+        let mut stats = QueryStats::default();
+        scan.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert_eq!(stats.raw_series_examined, 200);
+        assert_eq!(stats.random_page_accesses, 1, "a scan seeks once then streams");
+        assert_eq!(stats.bytes_read, 200 * 256 * 4);
+        assert!(stats.early_abandons > 0, "early abandoning should trigger on most candidates");
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_empty_dataset() {
+        let s = store(10, 64);
+        let scan = UcrScan::new(s);
+        let err = scan.answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 32])));
+        assert!(matches!(err, Err(Error::LengthMismatch { expected: 64, actual: 32 })));
+
+        let empty = Arc::new(DatasetStore::new(Dataset::empty(8)));
+        let scan = UcrScan::new(empty);
+        let err = scan.answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 8])));
+        assert!(matches!(err, Err(Error::EmptyDataset)));
+    }
+
+    #[test]
+    fn brute_force_returns_sorted_k_answers() {
+        let d = RandomWalkGenerator::new(3, 16).dataset(50);
+        let q = RandomWalkGenerator::new(4, 16).series(0);
+        let ans = brute_force_knn(&d, q.values(), 5);
+        assert_eq!(ans.len(), 5);
+        let dists: Vec<f64> = ans.iter().map(|a| a.distance).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(dists, sorted);
+    }
+}

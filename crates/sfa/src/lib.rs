@@ -1,0 +1,498 @@
+//! # hydra-sfa
+//!
+//! The SFA trie: a prefix tree over Symbolic Fourier Approximation words.
+//!
+//! Every series is summarized by an SFA word (its first `l` DFT values, each
+//! discretized with per-dimension breakpoints learned from a sample — see
+//! `hydra_transforms::sfa`). The trie groups series by word prefix: the root's
+//! children are keyed by the first symbol, their children by the second, and
+//! so on. When a leaf exceeds its capacity and has not yet used all `l`
+//! symbols, it splits by the next symbol position, increasing the resolution
+//! of the words stored below it by one coefficient — the "vertical" splitting
+//! the paper contrasts with SAX's horizontal splits.
+//!
+//! Exact search is a best-first traversal ordered by the prefix lower bound;
+//! when a leaf is reached, all of its raw series are read (one contiguous leaf
+//! read) and refined with early-abandoning Euclidean distance.
+
+use hydra_core::{
+    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+};
+use hydra_storage::DatasetStore;
+use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// One entry stored in a trie leaf.
+#[derive(Clone, Debug)]
+struct LeafEntry {
+    id: u32,
+    word: SfaWord,
+}
+
+/// A node of the SFA trie.
+#[derive(Clone, Debug)]
+enum TrieNode {
+    /// Internal node: children keyed by the symbol at position `depth`.
+    Internal { children: HashMap<u8, usize> },
+    /// Leaf node holding entries sharing the prefix leading to it.
+    Leaf { entries: Vec<LeafEntry> },
+}
+
+/// The SFA trie index.
+pub struct SfaTrie {
+    store: Arc<DatasetStore>,
+    quantizer: SfaQuantizer,
+    nodes: Vec<TrieNode>,
+    /// Prefix (and therefore depth) of each node; the root has an empty prefix.
+    prefixes: Vec<Vec<u8>>,
+    leaf_capacity: usize,
+}
+
+struct Frontier {
+    lower_bound: f64,
+    node: usize,
+}
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower_bound == other.lower_bound
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl SfaTrie {
+    /// Builds the SFA trie over an instrumented store.
+    ///
+    /// `options.segments` is the SFA word length; `options.alphabet_size` the
+    /// per-dimension alphabet (the paper's tuned value is 8);
+    /// `options.train_samples` controls the breakpoint-learning sample.
+    pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
+        Self::build_with_binning(store, options, BinningMethod::EquiDepth)
+    }
+
+    /// Builds the trie with an explicit binning method (used by the ablation
+    /// experiments; the paper found equi-depth superior).
+    pub fn build_with_binning(
+        store: Arc<DatasetStore>,
+        options: &BuildOptions,
+        binning: BinningMethod,
+    ) -> Result<Self> {
+        if store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        options.validate(store.series_length())?;
+        let alphabet = options.alphabet_size.clamp(2, 256);
+        let params = SfaParams {
+            series_length: store.series_length(),
+            word_length: options.segments,
+            alphabet_size: alphabet,
+            binning,
+        };
+        let sample_size = options.train_samples.clamp(1, store.len());
+        let dataset = store.dataset();
+        let quantizer = SfaQuantizer::train(
+            params,
+            (0..sample_size).map(|i| dataset.series(i).values()),
+        );
+        let mut trie = Self {
+            store: store.clone(),
+            quantizer,
+            nodes: vec![TrieNode::Leaf { entries: Vec::new() }],
+            prefixes: vec![Vec::new()],
+            leaf_capacity: options.leaf_capacity,
+        };
+        store.scan_all(|id, series| {
+            let word = trie.quantizer.word(series.values());
+            trie.insert(id as u32, word);
+        });
+        store.record_index_write((store.len() * store.series_bytes()) as u64);
+        Ok(trie)
+    }
+
+    /// The trained quantizer.
+    pub fn quantizer(&self) -> &SfaQuantizer {
+        &self.quantizer
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// Total number of entries stored.
+    pub fn num_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                TrieNode::Leaf { entries } => entries.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The number of trie nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert(&mut self, id: u32, word: SfaWord) {
+        let mut current = 0usize;
+        loop {
+            let depth = self.prefixes[current].len();
+            match &self.nodes[current] {
+                TrieNode::Internal { children } => {
+                    let symbol = word.symbols[depth];
+                    if let Some(&child) = children.get(&symbol) {
+                        current = child;
+                    } else {
+                        let mut prefix = self.prefixes[current].clone();
+                        prefix.push(symbol);
+                        let child = self.nodes.len();
+                        self.nodes.push(TrieNode::Leaf { entries: Vec::new() });
+                        self.prefixes.push(prefix);
+                        if let TrieNode::Internal { children } = &mut self.nodes[current] {
+                            children.insert(symbol, child);
+                        }
+                        current = child;
+                    }
+                }
+                TrieNode::Leaf { .. } => break,
+            }
+        }
+        if let TrieNode::Leaf { entries } = &mut self.nodes[current] {
+            entries.push(LeafEntry { id, word });
+        }
+        self.maybe_split(current);
+    }
+
+    fn maybe_split(&mut self, leaf: usize) {
+        let depth = self.prefixes[leaf].len();
+        let word_length = self.quantizer.params().word_length;
+        let needs_split = match &self.nodes[leaf] {
+            TrieNode::Leaf { entries } => {
+                entries.len() > self.leaf_capacity && depth < word_length
+            }
+            TrieNode::Internal { .. } => false,
+        };
+        if !needs_split {
+            return;
+        }
+        let entries = match std::mem::replace(
+            &mut self.nodes[leaf],
+            TrieNode::Internal { children: HashMap::new() },
+        ) {
+            TrieNode::Leaf { entries } => entries,
+            TrieNode::Internal { .. } => unreachable!(),
+        };
+        let mut buckets: HashMap<u8, Vec<LeafEntry>> = HashMap::new();
+        for e in entries {
+            buckets.entry(e.word.symbols[depth]).or_default().push(e);
+        }
+        let mut over_full_children = Vec::new();
+        for (symbol, bucket) in buckets {
+            let mut prefix = self.prefixes[leaf].clone();
+            prefix.push(symbol);
+            let child = self.nodes.len();
+            let over = bucket.len() > self.leaf_capacity;
+            self.nodes.push(TrieNode::Leaf { entries: bucket });
+            self.prefixes.push(prefix);
+            if let TrieNode::Internal { children } = &mut self.nodes[leaf] {
+                children.insert(symbol, child);
+            }
+            if over {
+                over_full_children.push(child);
+            }
+        }
+        for child in over_full_children {
+            self.maybe_split(child);
+        }
+    }
+
+    fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+        let TrieNode::Leaf { entries } = &self.nodes[leaf] else {
+            return;
+        };
+        if entries.is_empty() {
+            return;
+        }
+        stats.record_leaf_visit();
+        let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
+        let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
+        stats.record_io(pages - 1, 1, leaf_bytes);
+        let dataset = self.store.dataset();
+        for e in entries {
+            stats.record_raw_series_examined(1);
+            let series = dataset.series(e.id as usize);
+            match hydra_core::distance::squared_euclidean_early_abandon(
+                query.values(),
+                series.values(),
+                heap.threshold_squared(),
+            ) {
+                Some(sq) => {
+                    heap.offer(e.id as usize, sq.sqrt());
+                }
+                None => stats.record_early_abandon(),
+            }
+        }
+    }
+
+    /// Descends to the leaf matching the query's word as far as possible
+    /// (ng-approximate search).
+    fn descend(&self, word: &SfaWord, stats: &mut QueryStats) -> usize {
+        let mut current = 0usize;
+        loop {
+            let depth = self.prefixes[current].len();
+            match &self.nodes[current] {
+                TrieNode::Internal { children } => {
+                    stats.record_internal_visit();
+                    let symbol = word.symbols[depth];
+                    match children.get(&symbol) {
+                        Some(&child) => current = child,
+                        None => {
+                            // No child for the query's symbol: fall back to any
+                            // child (the closest by symbol value).
+                            let Some((_, &child)) = children
+                                .iter()
+                                .min_by_key(|(s, _)| (**s as i32 - symbol as i32).abs())
+                            else {
+                                return current;
+                            };
+                            current = child;
+                        }
+                    }
+                }
+                TrieNode::Leaf { .. } => return current,
+            }
+        }
+    }
+}
+
+impl AnsweringMethod for SfaTrie {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor {
+            name: "SFA trie",
+            representation: "SFA",
+            is_index: true,
+            supports_approximate: true,
+        }
+    }
+
+    fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.k().unwrap_or(1);
+        let clock = hydra_core::RunClock::start();
+        let q_dft = self.quantizer.dft(query.values());
+        let q_word = self.quantizer.word_from_dft(&q_dft);
+        let mut heap = KnnHeap::new(k);
+
+        // Approximate descent for the initial best-so-far.
+        let seed_leaf = self.descend(&q_word, stats);
+        self.scan_leaf(seed_leaf, query, &mut heap, stats);
+
+        // Best-first traversal on prefix lower bounds.
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Frontier { lower_bound: 0.0, node: 0 });
+        while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+            if heap.is_full() && lower_bound >= heap.threshold() {
+                break;
+            }
+            match &self.nodes[node] {
+                TrieNode::Leaf { .. } => {
+                    if node != seed_leaf {
+                        self.scan_leaf(node, query, &mut heap, stats);
+                    }
+                }
+                TrieNode::Internal { children } => {
+                    stats.record_internal_visit();
+                    for &child in children.values() {
+                        let prefix = &self.prefixes[child];
+                        let lb = self.quantizer.mindist_prefix(&q_dft, prefix, prefix.len());
+                        stats.record_lower_bounds(1);
+                        if !heap.is_full() || lb < heap.threshold() {
+                            frontier.push(Frontier { lower_bound: lb, node: child });
+                        }
+                    }
+                }
+            }
+        }
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set())
+    }
+}
+
+impl ExactIndex for SfaTrie {
+    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self> {
+        Self::build_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
+    }
+
+    fn footprint(&self) -> IndexFootprint {
+        let mut leaf_fill_factors = Vec::new();
+        let mut leaf_depths = Vec::new();
+        let mut leaf_nodes = 0usize;
+        let mut disk_bytes = 0usize;
+        let word_length = self.quantizer.params().word_length;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let TrieNode::Leaf { entries } = n {
+                leaf_nodes += 1;
+                leaf_fill_factors.push(entries.len() as f64 / self.leaf_capacity as f64);
+                leaf_depths.push(self.prefixes[i].len());
+                disk_bytes += entries.len() * self.store.series_bytes();
+            }
+        }
+        let memory_bytes = self.nodes.len() * std::mem::size_of::<TrieNode>()
+            + self.num_entries() * (std::mem::size_of::<LeafEntry>() + word_length);
+        IndexFootprint {
+            total_nodes: self.nodes.len(),
+            leaf_nodes,
+            memory_bytes,
+            disk_bytes,
+            leaf_fill_factors,
+            leaf_depths,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.store.len()
+    }
+
+    fn series_length(&self) -> usize {
+        self.store.series_length()
+    }
+
+    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return None;
+        }
+        let k = query.k().unwrap_or(1);
+        let mut heap = KnnHeap::new(k);
+        let word = self.quantizer.word(query.values());
+        let leaf = self.descend(&word, stats);
+        self.scan_leaf(leaf, query, &mut heap, stats);
+        Some(heap.into_answer_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::RandomWalkGenerator;
+    use hydra_scan::ucr::brute_force_knn;
+
+    fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, SfaTrie) {
+        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(13, len).dataset(count)));
+        let options = BuildOptions::default()
+            .with_segments(16.min(len))
+            .with_leaf_capacity(leaf)
+            .with_alphabet_size(8)
+            .with_train_samples(200);
+        let index = SfaTrie::build_on_store(store.clone(), &options).unwrap();
+        (store, index)
+    }
+
+    #[test]
+    fn descriptor_matches_table1() {
+        let (_, idx) = build(30, 32, 10);
+        assert_eq!(idx.descriptor().name, "SFA trie");
+        assert_eq!(idx.descriptor().representation, "SFA");
+    }
+
+    #[test]
+    fn all_series_are_indexed_and_trie_splits() {
+        let (_, idx) = build(600, 64, 20);
+        assert_eq!(idx.num_entries(), 600);
+        assert!(idx.num_nodes() > 1, "600 series with capacity 20 must split the root");
+        let fp = idx.footprint();
+        assert_eq!(fp.leaf_fill_factors.len(), fp.leaf_nodes);
+        assert!(fp.max_leaf_depth() >= 1);
+        assert_eq!(fp.disk_bytes, 600 * 64 * 4);
+    }
+
+    #[test]
+    fn exactness_against_brute_force() {
+        let (store, idx) = build(400, 64, 20);
+        for q in RandomWalkGenerator::new(113, 64).series_batch(12) {
+            for k in [1usize, 5] {
+                let expected = brute_force_knn(store.dataset(), q.values(), k);
+                let got = idx.answer_simple(&Query::knn(q.clone(), k)).unwrap();
+                assert!(got.distances_match(&expected, 1e-4), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_with_equi_width_binning() {
+        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(13, 64).dataset(200)));
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(10)
+            .with_alphabet_size(8);
+        let idx =
+            SfaTrie::build_with_binning(store.clone(), &options, BinningMethod::EquiWidth).unwrap();
+        let q = RandomWalkGenerator::new(14, 64).series(0);
+        let expected = brute_force_knn(store.dataset(), q.values(), 1);
+        let got = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
+        assert!(got.distances_match(&expected, 1e-4));
+    }
+
+    #[test]
+    fn exactness_on_deep_like_length() {
+        let (store, idx) = build(150, 96, 10);
+        let q = RandomWalkGenerator::new(15, 96).series(2);
+        let expected = brute_force_knn(store.dataset(), q.values(), 1);
+        let got = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
+        assert!(got.distances_match(&expected, 1e-4));
+    }
+
+    #[test]
+    fn self_queries_prune() {
+        let (store, idx) = build(800, 64, 40);
+        let q = store.dataset().series(400).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert_eq!(ans.nearest().unwrap().id, 400);
+        assert!(stats.pruning_ratio(800) > 0.5, "ratio {}", stats.pruning_ratio(800));
+    }
+
+    #[test]
+    fn approximate_search_visits_at_most_one_leaf() {
+        let (store, idx) = build(300, 64, 15);
+        let q = store.dataset().series(10).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ans = idx.answer_approximate(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        assert!(stats.leaves_visited <= 1);
+        assert_eq!(ans.nearest().unwrap().id, 10);
+    }
+
+    #[test]
+    fn larger_leaves_mean_fewer_nodes() {
+        let (_, small) = build(500, 64, 10);
+        let (_, large) = build(500, 64, 200);
+        assert!(small.num_nodes() > large.num_nodes());
+    }
+
+    #[test]
+    fn rejects_empty_dataset_and_bad_query() {
+        assert!(SfaTrie::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
+        let (_, idx) = build(20, 64, 8);
+        assert!(idx
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .is_err());
+    }
+}

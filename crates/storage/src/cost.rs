@@ -1,0 +1,164 @@
+//! Storage cost models: converting counted I/O into modelled I/O time.
+//!
+//! The paper runs every experiment on two servers — an HDD machine (6-disk
+//! RAID0, very high sequential throughput of ~1290 MB/s but millisecond-class
+//! seeks) and an SSD machine (lower sequential throughput of ~330 MB/s, but
+//! near-free random access). The *relative* performance of the methods flips
+//! between the two (ADS+/VA+file win on SSD, DSTree on large HDD datasets)
+//! because their access patterns differ.
+//!
+//! [`CostModel`] captures exactly those two knobs — seek latency and
+//! sequential throughput — and turns an [`IoSnapshot`] into a modelled I/O
+//! duration. The harness reports both raw counters and modelled time, so the
+//! figure shapes can be checked independently of the constants chosen here.
+
+use crate::counters::IoSnapshot;
+use std::time::Duration;
+
+/// Named storage profiles mirroring the paper's two machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StorageProfile {
+    /// RAID0 of spinning disks: fast sequential, expensive seeks.
+    Hdd,
+    /// SATA SSD RAID0: cheaper seeks, lower sequential throughput.
+    Ssd,
+    /// Everything already in memory: only a small per-page software overhead.
+    InMemory,
+}
+
+/// A storage cost model: seek latency plus sequential transfer throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost charged per random page access (head seek / command overhead).
+    pub seek_latency: Duration,
+    /// Sequential transfer throughput in bytes per second.
+    pub sequential_bytes_per_sec: f64,
+    /// The profile this model was derived from.
+    pub profile: StorageProfile,
+}
+
+impl CostModel {
+    /// The HDD profile: ~1290 MB/s sequential (the paper's RAID0 array) and a
+    /// 5 ms average seek.
+    pub fn hdd() -> Self {
+        Self {
+            seek_latency: Duration::from_micros(5000),
+            sequential_bytes_per_sec: 1290.0 * 1024.0 * 1024.0,
+            profile: StorageProfile::Hdd,
+        }
+    }
+
+    /// The SSD profile: ~330 MB/s sequential (the paper's SATA2 SSD array) and
+    /// a 60 µs random access.
+    pub fn ssd() -> Self {
+        Self {
+            seek_latency: Duration::from_micros(60),
+            sequential_bytes_per_sec: 330.0 * 1024.0 * 1024.0,
+            profile: StorageProfile::Ssd,
+        }
+    }
+
+    /// An in-memory profile: no seeks, 10 GB/s effective bandwidth.
+    pub fn in_memory() -> Self {
+        Self {
+            seek_latency: Duration::ZERO,
+            sequential_bytes_per_sec: 10.0 * 1024.0 * 1024.0 * 1024.0,
+            profile: StorageProfile::InMemory,
+        }
+    }
+
+    /// Builds the model for a named profile.
+    pub fn for_profile(profile: StorageProfile) -> Self {
+        match profile {
+            StorageProfile::Hdd => Self::hdd(),
+            StorageProfile::Ssd => Self::ssd(),
+            StorageProfile::InMemory => Self::in_memory(),
+        }
+    }
+
+    /// The modelled I/O time for a set of counted accesses:
+    /// `random_pages * seek_latency + bytes_read / throughput`.
+    pub fn io_time(&self, io: &IoSnapshot) -> Duration {
+        let seek = self.seek_latency.mul_f64(io.random_pages as f64);
+        let transfer =
+            Duration::from_secs_f64(io.bytes_read as f64 / self.sequential_bytes_per_sec);
+        seek + transfer
+    }
+
+    /// The modelled time for writing `bytes_written` sequentially (index
+    /// construction output).
+    pub fn write_time(&self, io: &IoSnapshot) -> Duration {
+        Duration::from_secs_f64(io.bytes_written as f64 / self.sequential_bytes_per_sec)
+    }
+
+    /// Total modelled storage time (reads + writes).
+    pub fn total_time(&self, io: &IoSnapshot) -> Duration {
+        self.io_time(io) + self.write_time(io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(seq: u64, rand: u64, bytes: u64) -> IoSnapshot {
+        IoSnapshot {
+            sequential_pages: seq,
+            random_pages: rand,
+            bytes_read: bytes,
+            bytes_written: 0,
+        }
+    }
+
+    #[test]
+    fn named_profiles_have_expected_ordering() {
+        let hdd = CostModel::hdd();
+        let ssd = CostModel::ssd();
+        assert!(hdd.seek_latency > ssd.seek_latency, "HDD seeks cost more");
+        assert!(
+            hdd.sequential_bytes_per_sec > ssd.sequential_bytes_per_sec,
+            "the paper's HDD RAID0 outruns its SSD array sequentially"
+        );
+        assert_eq!(CostModel::for_profile(StorageProfile::Hdd), hdd);
+        assert_eq!(CostModel::for_profile(StorageProfile::Ssd), ssd);
+        assert_eq!(CostModel::for_profile(StorageProfile::InMemory), CostModel::in_memory());
+    }
+
+    #[test]
+    fn sequential_scan_favours_hdd_random_workload_favours_ssd() {
+        // 1 GB fully sequential read.
+        let scan = snapshot(262_144, 1, 1 << 30);
+        // 100k random 4 KiB reads (≈0.4 GB).
+        let random = snapshot(0, 100_000, 100_000 * 4096);
+        let hdd = CostModel::hdd();
+        let ssd = CostModel::ssd();
+        assert!(hdd.io_time(&scan) < ssd.io_time(&scan), "HDD RAID0 wins pure scans");
+        assert!(ssd.io_time(&random) < hdd.io_time(&random), "SSD wins random access");
+    }
+
+    #[test]
+    fn io_time_scales_linearly_with_seeks_and_bytes() {
+        let m = CostModel::hdd();
+        let one = m.io_time(&snapshot(0, 1, 0));
+        let ten = m.io_time(&snapshot(0, 10, 0));
+        assert!((ten.as_secs_f64() - 10.0 * one.as_secs_f64()).abs() < 1e-9);
+        let b1 = m.io_time(&snapshot(0, 0, 1 << 20));
+        let b4 = m.io_time(&snapshot(0, 0, 4 << 20));
+        assert!((b4.as_secs_f64() - 4.0 * b1.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_memory_profile_has_no_seek_cost() {
+        let m = CostModel::in_memory();
+        assert_eq!(m.io_time(&snapshot(0, 1_000_000, 0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn write_time_uses_sequential_throughput() {
+        let m = CostModel::ssd();
+        let io = IoSnapshot { bytes_written: (330.0 * 1024.0 * 1024.0) as u64, ..Default::default() };
+        let t = m.write_time(&io);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(m.total_time(&io), m.io_time(&io) + t);
+    }
+}

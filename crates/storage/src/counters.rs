@@ -1,0 +1,179 @@
+//! I/O accounting: sequential vs random page accesses and bytes read.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page reads that continued directly after the previously read page.
+    pub sequential_pages: u64,
+    /// Page reads that required a seek (any non-contiguous access).
+    pub random_pages: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written (index construction payloads).
+    pub bytes_written: u64,
+}
+
+impl IoSnapshot {
+    /// Total page accesses of either kind.
+    pub fn total_pages(&self) -> u64 {
+        self.sequential_pages + self.random_pages
+    }
+
+    /// The difference `self - earlier`, for measuring a code region.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            sequential_pages: self.sequential_pages - earlier.sequential_pages,
+            random_pages: self.random_pages - earlier.random_pages,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    snapshot: IoSnapshot,
+    last_page: Option<u64>,
+}
+
+/// Shared, thread-safe I/O counters.
+///
+/// Cloning an `IoCounters` yields a handle to the same underlying counters, so
+/// a store and the harness can observe the same traffic.
+#[derive(Clone, Debug, Default)]
+pub struct IoCounters {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl IoCounters {
+    /// Creates a fresh set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `pages` consecutive pages starting at `first_page`,
+    /// totalling `bytes` bytes. The first page is classified as sequential if
+    /// it immediately follows the last page previously read, random otherwise;
+    /// the remaining pages of the run are sequential.
+    pub fn record_read_run(&self, first_page: u64, pages: u64, bytes: u64) {
+        if pages == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let is_sequential = inner.last_page == Some(first_page.wrapping_sub(1));
+        if is_sequential {
+            inner.snapshot.sequential_pages += pages;
+        } else {
+            inner.snapshot.random_pages += 1;
+            inner.snapshot.sequential_pages += pages - 1;
+        }
+        inner.snapshot.bytes_read += bytes;
+        inner.last_page = Some(first_page + pages - 1);
+    }
+
+    /// Records `bytes` written to the store (index build payloads).
+    pub fn record_write(&self, bytes: u64) {
+        self.inner.lock().snapshot.bytes_written += bytes;
+    }
+
+    /// Explicitly records a seek (e.g. repositioning without reading).
+    pub fn record_seek(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_page = None;
+    }
+
+    /// Returns a copy of the current counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        self.inner.lock().snapshot
+    }
+
+    /// Resets all counters (and the sequentiality tracking) to zero.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.snapshot = IoSnapshot::default();
+        inner.last_page = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_runs_count_as_sequential() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 4, 4096);
+        // First access is random (cold start), remaining 3 sequential.
+        let s = c.snapshot();
+        assert_eq!(s.random_pages, 1);
+        assert_eq!(s.sequential_pages, 3);
+        // Continuing right after page 3 is fully sequential.
+        c.record_read_run(4, 2, 2048);
+        let s = c.snapshot();
+        assert_eq!(s.random_pages, 1);
+        assert_eq!(s.sequential_pages, 5);
+        assert_eq!(s.bytes_read, 6144);
+        assert_eq!(s.total_pages(), 6);
+    }
+
+    #[test]
+    fn jumps_count_as_random() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 1, 1024);
+        c.record_read_run(100, 1, 1024);
+        c.record_read_run(50, 1, 1024);
+        let s = c.snapshot();
+        assert_eq!(s.random_pages, 3);
+        assert_eq!(s.sequential_pages, 0);
+    }
+
+    #[test]
+    fn seek_breaks_sequentiality() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 1, 10);
+        c.record_seek();
+        c.record_read_run(1, 1, 10);
+        let s = c.snapshot();
+        assert_eq!(s.random_pages, 2, "the post-seek read must be classified random");
+    }
+
+    #[test]
+    fn writes_and_reset() {
+        let c = IoCounters::new();
+        c.record_write(500);
+        c.record_write(500);
+        assert_eq!(c.snapshot().bytes_written, 1000);
+        c.reset();
+        assert_eq!(c.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 2, 100);
+        let before = c.snapshot();
+        c.record_read_run(2, 3, 200);
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.sequential_pages, 3);
+        assert_eq!(delta.random_pages, 0);
+        assert_eq!(delta.bytes_read, 200);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = IoCounters::new();
+        let c2 = c.clone();
+        c.record_read_run(7, 1, 64);
+        assert_eq!(c2.snapshot().total_pages(), 1);
+    }
+
+    #[test]
+    fn zero_page_read_is_ignored() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 0, 0);
+        assert_eq!(c.snapshot(), IoSnapshot::default());
+    }
+}

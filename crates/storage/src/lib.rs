@@ -1,0 +1,32 @@
+//! # hydra-storage
+//!
+//! The instrumented storage substrate that every method in the suite reads
+//! raw series through.
+//!
+//! The paper's headline results (Figures 3–7) are driven by each method's
+//! *disk access pattern*: how many sequential page reads and how many random
+//! seeks it incurs. Reproducing them on laptop-scale data therefore requires
+//! an explicit accounting layer:
+//!
+//! * [`DatasetStore`] wraps a dataset in a page-granular store that classifies
+//!   every read as sequential (next page after the previous read) or random
+//!   (anything else), mirroring the paper's definition of "one random disk
+//!   access per leaf / per skip".
+//! * [`IoCounters`] accumulates the counts; they feed both the disk-access
+//!   figures (Figure 4) and the time model.
+//! * [`CostModel`] converts counted I/O into modelled I/O time for an HDD
+//!   profile (fast sequential throughput, expensive seeks — the paper's RAID0
+//!   server) and an SSD profile (cheap seeks, lower sequential throughput),
+//!   which is what produces the HDD/SSD winner reversal of Figures 6–7.
+//! * [`BufferPool`] provides a simple build-time buffer manager with a byte
+//!   budget, mimicking the buffering knobs the paper tunes.
+
+pub mod buffer;
+pub mod cost;
+pub mod counters;
+pub mod store;
+
+pub use buffer::BufferPool;
+pub use cost::{CostModel, StorageProfile};
+pub use counters::{IoCounters, IoSnapshot};
+pub use store::DatasetStore;

@@ -1,0 +1,264 @@
+//! Adaptive Piecewise Constant Approximation (APCA).
+//!
+//! APCA approximates a series with `l` constant segments of *varying* length,
+//! choosing segment boundaries adaptively so that smooth regions get long
+//! segments and busy regions get short ones. It is the predecessor of EAPCA
+//! (which additionally stores per-segment standard deviations) and is included
+//! both for completeness of the summarization survey (Figure 1 of the paper)
+//! and as the adaptive-segmentation building block reused by the DSTree's
+//! split-point selection.
+//!
+//! This implementation uses a bottom-up merge strategy: start from a fine
+//! uniform segmentation and repeatedly merge the adjacent pair whose merge
+//! increases the squared reconstruction error the least, until `l` segments
+//! remain. This greedy approach is the standard practical APCA construction
+//! and runs in `O(n log n)`.
+
+/// One APCA segment: a constant value over `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApcaSegment {
+    /// First point covered by the segment.
+    pub start: usize,
+    /// One past the last point covered by the segment.
+    pub end: usize,
+    /// The constant (mean) value of the segment.
+    pub value: f32,
+}
+
+impl ApcaSegment {
+    /// The number of points covered.
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The APCA representation of a series: `l` variable-length constant segments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Apca {
+    /// The segments, in series order, covering the whole series.
+    pub segments: Vec<ApcaSegment>,
+}
+
+impl Apca {
+    /// Computes an APCA representation of `series` with at most
+    /// `num_segments` segments using bottom-up merging.
+    ///
+    /// # Panics
+    /// Panics if `num_segments == 0` or the series is empty.
+    pub fn compute(series: &[f32], num_segments: usize) -> Self {
+        assert!(num_segments > 0, "num_segments must be positive");
+        assert!(!series.is_empty(), "series must be non-empty");
+        let num_segments = num_segments.min(series.len());
+
+        // Running (count, sum, sum of squares) per segment for O(1) merge cost.
+        #[derive(Clone, Copy)]
+        struct Acc {
+            start: usize,
+            end: usize,
+            sum: f64,
+            sum_sq: f64,
+        }
+        impl Acc {
+            fn sse(&self) -> f64 {
+                let n = (self.end - self.start) as f64;
+                (self.sum_sq - self.sum * self.sum / n).max(0.0)
+            }
+            fn merged(&self, other: &Acc) -> Acc {
+                Acc {
+                    start: self.start,
+                    end: other.end,
+                    sum: self.sum + other.sum,
+                    sum_sq: self.sum_sq + other.sum_sq,
+                }
+            }
+        }
+
+        let mut segs: Vec<Acc> = series
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Acc { start: i, end: i + 1, sum: v as f64, sum_sq: (v as f64) * (v as f64) })
+            .collect();
+
+        while segs.len() > num_segments {
+            // Find the adjacent pair whose merge adds the least error.
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for i in 0..segs.len() - 1 {
+                let merged = segs[i].merged(&segs[i + 1]);
+                let cost = merged.sse() - segs[i].sse() - segs[i + 1].sse();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            let merged = segs[best].merged(&segs[best + 1]);
+            segs[best] = merged;
+            segs.remove(best + 1);
+        }
+
+        let segments = segs
+            .into_iter()
+            .map(|a| ApcaSegment {
+                start: a.start,
+                end: a.end,
+                value: (a.sum / (a.end - a.start) as f64) as f32,
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// The number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the representation has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Reconstructs the piecewise-constant approximation of the original series.
+    pub fn reconstruct(&self, series_length: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; series_length];
+        for seg in &self.segments {
+            for v in out.iter_mut().take(seg.end.min(series_length)).skip(seg.start) {
+                *v = seg.value;
+            }
+        }
+        out
+    }
+
+    /// The squared reconstruction error against the original series.
+    pub fn reconstruction_error(&self, series: &[f32]) -> f64 {
+        let recon = self.reconstruct(series.len());
+        series
+            .iter()
+            .zip(recon.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Lower bound of the Euclidean distance between a raw query and the
+    /// series this APCA summarizes, treating each segment as the PAA bound on
+    /// the segment grid: the query is averaged over each candidate segment.
+    pub fn lower_bound_to_query(&self, query: &[f32]) -> f64 {
+        let mut sum = 0.0f64;
+        for seg in &self.segments {
+            let w = seg.width() as f64;
+            let q_mean: f64 =
+                query[seg.start..seg.end].iter().map(|&v| v as f64).sum::<f64>() / w;
+            let d = q_mean - seg.value as f64;
+            sum += w * d * d;
+        }
+        sum.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::distance::euclidean;
+
+    fn lcg_series(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segments_tile_the_series() {
+        let s = lcg_series(100, 1);
+        let apca = Apca::compute(&s, 8);
+        assert_eq!(apca.len(), 8);
+        assert_eq!(apca.segments[0].start, 0);
+        assert_eq!(apca.segments.last().unwrap().end, 100);
+        for w in apca.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must be contiguous");
+        }
+    }
+
+    #[test]
+    fn piecewise_constant_series_is_recovered_exactly() {
+        // A series with exactly 3 constant plateaus should be represented with
+        // zero error by a 3-segment APCA.
+        let mut s = vec![1.0f32; 10];
+        s.extend_from_slice(&[5.0; 20]);
+        s.extend_from_slice(&[-2.0; 10]);
+        let apca = Apca::compute(&s, 3);
+        assert!(apca.reconstruction_error(&s) < 1e-9);
+        let values: Vec<f32> = apca.segments.iter().map(|x| x.value).collect();
+        assert_eq!(values, vec![1.0, 5.0, -2.0]);
+        let widths: Vec<usize> = apca.segments.iter().map(|x| x.width()).collect();
+        assert_eq!(widths, vec![10, 20, 10]);
+    }
+
+    #[test]
+    fn adaptive_segments_beat_uniform_on_bursty_data() {
+        // A series that is flat for 3/4 of its length and busy in the last
+        // quarter: APCA with 4 segments should have lower error than uniform
+        // PAA-style reconstruction with 4 equal segments.
+        let mut s = vec![0.0f32; 96];
+        for i in 0..32 {
+            s.push(if i % 2 == 0 { 3.0 } else { -3.0 });
+        }
+        let apca = Apca::compute(&s, 4);
+        let apca_err = apca.reconstruction_error(&s);
+        // Uniform 4-segment reconstruction error.
+        let paa = crate::paa::Paa::new(128, 4);
+        let means = paa.transform(&s);
+        let mut uniform_err = 0.0f64;
+        for seg in 0..4 {
+            let (start, end) = paa.segment_range(seg);
+            for &v in &s[start..end] {
+                let d = (v - means[seg]) as f64;
+                uniform_err += d * d;
+            }
+        }
+        assert!(apca_err <= uniform_err + 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_and_error() {
+        let s = [1.0f32, 1.0, 2.0, 2.0];
+        let apca = Apca::compute(&s, 2);
+        let recon = apca.reconstruct(4);
+        assert_eq!(recon, vec![1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(apca.reconstruction_error(&s), 0.0);
+        assert!(!apca.is_empty());
+    }
+
+    #[test]
+    fn more_segments_than_points_is_clamped() {
+        let s = [3.0f32, 4.0];
+        let apca = Apca::compute(&s, 10);
+        assert_eq!(apca.len(), 2);
+        assert_eq!(apca.reconstruction_error(&s), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_to_query_never_exceeds_euclidean() {
+        for seed in 0..10u64 {
+            let c = lcg_series(64, seed * 2 + 1);
+            let q = lcg_series(64, seed * 2 + 2);
+            for l in [2usize, 8, 16] {
+                let apca = Apca::compute(&c, l);
+                let lb = apca.lower_bound_to_query(&q);
+                let ed = euclidean(&q, &c);
+                assert!(lb <= ed + 1e-5, "LB {lb} > ED {ed} with {l} segments");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_segments_rejected() {
+        let _ = Apca::compute(&[1.0, 2.0], 0);
+    }
+}

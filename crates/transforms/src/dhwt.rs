@@ -1,0 +1,263 @@
+//! Discrete Haar Wavelet Transform (DHWT).
+//!
+//! The Haar transform decomposes a series into a multi-level hierarchy of
+//! averages and details. Using the orthonormal variant, the transform is an
+//! isometry: Euclidean distances are preserved exactly, so the distance
+//! computed on any *prefix* of coefficients (coarse levels first) is a lower
+//! bound of the true distance — the property the Stepwise method exploits by
+//! filtering level by level.
+//!
+//! Series whose length is not a power of two are zero-padded on the right;
+//! padding both operands with zeros leaves their Euclidean distance unchanged,
+//! so lower-bounding is preserved.
+
+/// The orthonormal Haar wavelet transform for a fixed series length.
+#[derive(Clone, Debug)]
+pub struct HaarTransform {
+    series_length: usize,
+    padded_length: usize,
+}
+
+impl HaarTransform {
+    /// Creates a transform for series of length `series_length`.
+    pub fn new(series_length: usize) -> Self {
+        assert!(series_length > 0, "series length must be positive");
+        let padded_length = series_length.next_power_of_two();
+        Self { series_length, padded_length }
+    }
+
+    /// The expected input series length.
+    pub fn series_length(&self) -> usize {
+        self.series_length
+    }
+
+    /// The (power-of-two) length of the produced coefficient vector.
+    pub fn coefficient_length(&self) -> usize {
+        self.padded_length
+    }
+
+    /// The number of resolution levels (log2 of the padded length).
+    pub fn levels(&self) -> usize {
+        self.padded_length.trailing_zeros() as usize
+    }
+
+    /// Computes the full orthonormal Haar coefficient vector of `series`.
+    ///
+    /// The output is ordered coarse-to-fine: `[overall average, level-1
+    /// detail, level-2 details, …]`, so a prefix corresponds to a coarse
+    /// approximation.
+    pub fn transform(&self, series: &[f32]) -> Vec<f32> {
+        assert_eq!(series.len(), self.series_length, "series length mismatch");
+        let n = self.padded_length;
+        let mut current: Vec<f64> = series.iter().map(|&v| v as f64).collect();
+        current.resize(n, 0.0);
+        let mut output = vec![0.0f64; n];
+        let mut len = n;
+        // Repeatedly split into averages and details, storing details at the
+        // back half of the active region (standard Mallat ordering).
+        let inv_sqrt2 = 1.0 / std::f64::consts::SQRT_2;
+        let mut scratch = vec![0.0f64; n];
+        while len > 1 {
+            let half = len / 2;
+            for i in 0..half {
+                let a = current[2 * i];
+                let b = current[2 * i + 1];
+                scratch[i] = (a + b) * inv_sqrt2;
+                output[half + i] = (a - b) * inv_sqrt2;
+            }
+            current[..half].copy_from_slice(&scratch[..half]);
+            len = half;
+        }
+        output[0] = current[0];
+        output.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Reconstructs a series from its full coefficient vector (inverse
+    /// transform), truncating the padding back to the original length.
+    pub fn inverse(&self, coefficients: &[f32]) -> Vec<f32> {
+        assert_eq!(coefficients.len(), self.padded_length, "coefficient length mismatch");
+        let n = self.padded_length;
+        let mut current: Vec<f64> = coefficients.iter().map(|&v| v as f64).collect();
+        let inv_sqrt2 = 1.0 / std::f64::consts::SQRT_2;
+        let mut scratch = vec![0.0f64; n];
+        let mut len = 1usize;
+        while len < n {
+            // current[..len] holds averages, current[len..2len] holds details.
+            for i in 0..len {
+                let avg = current[i];
+                let det = current[len + i];
+                scratch[2 * i] = (avg + det) * inv_sqrt2;
+                scratch[2 * i + 1] = (avg - det) * inv_sqrt2;
+            }
+            current[..2 * len].copy_from_slice(&scratch[..2 * len]);
+            len *= 2;
+        }
+        current.into_iter().take(self.series_length).map(|v| v as f32).collect()
+    }
+
+    /// The number of coefficients that make up the first `level` resolution
+    /// levels (level 0 = just the overall average).
+    pub fn prefix_len_for_level(&self, level: usize) -> usize {
+        let level = level.min(self.levels());
+        1usize << level
+    }
+
+    /// Lower bound on the Euclidean distance between the original series
+    /// given only the first `prefix_len` coefficients of each.
+    pub fn prefix_lower_bound(coeffs_a: &[f32], coeffs_b: &[f32], prefix_len: usize) -> f64 {
+        let prefix_len = prefix_len.min(coeffs_a.len()).min(coeffs_b.len());
+        let mut sum = 0.0f64;
+        for i in 0..prefix_len {
+            let d = (coeffs_a[i] - coeffs_b[i]) as f64;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    /// Upper bound on the Euclidean distance given the first `prefix_len`
+    /// coefficients and the exact total energy (squared norm) of each
+    /// coefficient vector.
+    ///
+    /// By the triangle inequality in the orthogonal complement of the prefix,
+    /// the distance contributed by the unseen coefficients is at most
+    /// `sqrt(rest_a) + sqrt(rest_b)`, where `rest` is the energy outside the
+    /// prefix. Stepwise uses this to discard candidates whose *lower* bound
+    /// exceeds some other candidate's *upper* bound.
+    pub fn prefix_upper_bound(
+        coeffs_a: &[f32],
+        coeffs_b: &[f32],
+        prefix_len: usize,
+    ) -> f64 {
+        let prefix_len = prefix_len.min(coeffs_a.len()).min(coeffs_b.len());
+        let mut prefix_sq = 0.0f64;
+        for i in 0..prefix_len {
+            let d = (coeffs_a[i] - coeffs_b[i]) as f64;
+            prefix_sq += d * d;
+        }
+        let rest_a: f64 = coeffs_a[prefix_len..].iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let rest_b: f64 = coeffs_b[prefix_len..].iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let rest = rest_a.sqrt() + rest_b.sqrt();
+        (prefix_sq + rest * rest).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::distance::euclidean;
+
+    fn lcg_series(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transform_is_orthonormal_isometry() {
+        for &n in &[8usize, 64, 256] {
+            let t = HaarTransform::new(n);
+            let a = lcg_series(n, 1);
+            let b = lcg_series(n, 2);
+            let ed_original = euclidean(&a, &b);
+            let ed_transformed = euclidean(&t.transform(&a), &t.transform(&b));
+            assert!(
+                (ed_original - ed_transformed).abs() < 1e-4,
+                "isometry violated for n={n}: {ed_original} vs {ed_transformed}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_are_padded() {
+        let t = HaarTransform::new(96);
+        assert_eq!(t.coefficient_length(), 128);
+        assert_eq!(t.levels(), 7);
+        let a = lcg_series(96, 3);
+        let b = lcg_series(96, 4);
+        let ed = euclidean(&a, &b);
+        let tdist = euclidean(&t.transform(&a), &t.transform(&b));
+        assert!((ed - tdist).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_reconstructs_original() {
+        for &n in &[16usize, 96, 100] {
+            let t = HaarTransform::new(n);
+            let s = lcg_series(n, 9);
+            let back = t.inverse(&t.transform(&s));
+            assert_eq!(back.len(), n);
+            for (x, y) in s.iter().zip(back.iter()) {
+                assert!((x - y).abs() < 1e-4, "reconstruction failed for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_coefficient_is_scaled_mean() {
+        let t = HaarTransform::new(8);
+        let s = [2.0f32; 8];
+        let coeffs = t.transform(&s);
+        // Orthonormal Haar: c0 = mean * sqrt(n).
+        assert!((coeffs[0] - 2.0 * 8.0f32.sqrt()).abs() < 1e-5);
+        assert!(coeffs[1..].iter().all(|&c| c.abs() < 1e-6));
+    }
+
+    #[test]
+    fn prefix_lower_bounds_grow_and_never_exceed_distance() {
+        let n = 128;
+        let t = HaarTransform::new(n);
+        let a = lcg_series(n, 11);
+        let b = lcg_series(n, 12);
+        let ca = t.transform(&a);
+        let cb = t.transform(&b);
+        let ed = euclidean(&a, &b);
+        let mut prev = 0.0;
+        for level in 0..=t.levels() {
+            let p = t.prefix_len_for_level(level);
+            let lb = HaarTransform::prefix_lower_bound(&ca, &cb, p);
+            assert!(lb <= ed + 1e-4, "LB {lb} > ED {ed} at level {level}");
+            assert!(lb + 1e-9 >= prev, "LB must be monotone in the prefix length");
+            prev = lb;
+        }
+        // Full prefix equals the exact distance.
+        let full = HaarTransform::prefix_lower_bound(&ca, &cb, ca.len());
+        assert!((full - ed).abs() < 1e-4);
+    }
+
+    #[test]
+    fn prefix_upper_bounds_shrink_and_never_undershoot_distance() {
+        let n = 64;
+        let t = HaarTransform::new(n);
+        let a = lcg_series(n, 21);
+        let b = lcg_series(n, 22);
+        let ca = t.transform(&a);
+        let cb = t.transform(&b);
+        let ed = euclidean(&a, &b);
+        for level in 0..=t.levels() {
+            let p = t.prefix_len_for_level(level);
+            let ub = HaarTransform::prefix_upper_bound(&ca, &cb, p);
+            assert!(ub + 1e-4 >= ed, "UB {ub} < ED {ed} at level {level}");
+        }
+        let full = HaarTransform::prefix_upper_bound(&ca, &cb, ca.len());
+        assert!((full - ed).abs() < 1e-4);
+    }
+
+    #[test]
+    fn prefix_len_for_level_saturates() {
+        let t = HaarTransform::new(16);
+        assert_eq!(t.prefix_len_for_level(0), 1);
+        assert_eq!(t.prefix_len_for_level(2), 4);
+        assert_eq!(t.prefix_len_for_level(100), 16);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = HaarTransform::new(100);
+        assert_eq!(t.series_length(), 100);
+        assert_eq!(t.coefficient_length(), 128);
+    }
+}

@@ -1,0 +1,405 @@
+//! Discrete Fourier Transform (DFT) summaries.
+//!
+//! The DFT decomposes a series into frequency coefficients; keeping the first
+//! `l` coefficients yields a summary whose Euclidean distance lower-bounds the
+//! distance between the original series (by Parseval's theorem, when an
+//! orthonormal transform is used).
+//!
+//! This module implements:
+//!
+//! * an iterative radix-2 FFT for power-of-two lengths,
+//! * a direct `O(n²)` DFT fallback for other lengths (the paper's Deep1B
+//!   series have length 96),
+//! * [`dft_summary`], which produces the real-valued coefficient vector used
+//!   by VA+file, SFA and MASS, with the orthonormal scaling that makes the
+//!   truncated-coefficient distance a valid lower bound.
+
+use std::f64::consts::PI;
+
+/// A complex number (f64 precision) used by the FFT.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    #[inline]
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    #[inline]
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::add(self, rhs)
+    }
+}
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::sub(self, rhs)
+    }
+}
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::mul(self, rhs)
+    }
+}
+
+/// Forward/inverse Fourier transform engine for a fixed length.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    len: usize,
+    is_pow2: bool,
+}
+
+impl Fft {
+    /// Creates a transform for series of length `len`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "length must be positive");
+        Self { len, is_pow2: len.is_power_of_two() }
+    }
+
+    /// The configured length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the configured length is zero (never, kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forward DFT of a real-valued series; returns `len` complex coefficients
+    /// using the engineering convention `X[k] = Σ_t x[t]·e^{-2πi·kt/n}`.
+    pub fn forward_real(&self, series: &[f32]) -> Vec<Complex> {
+        assert_eq!(series.len(), self.len, "series length mismatch");
+        let mut buf: Vec<Complex> =
+            series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+        self.forward_in_place(&mut buf);
+        buf
+    }
+
+    /// Forward DFT of complex input, in place.
+    pub fn forward_in_place(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.len, "buffer length mismatch");
+        if self.is_pow2 {
+            fft_radix2(buf, false);
+        } else {
+            let out = dft_direct(buf, false);
+            buf.copy_from_slice(&out);
+        }
+    }
+
+    /// Inverse DFT, in place (includes the `1/n` scaling so that
+    /// `inverse(forward(x)) == x`).
+    pub fn inverse_in_place(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.len, "buffer length mismatch");
+        if self.is_pow2 {
+            fft_radix2(buf, true);
+        } else {
+            let out = dft_direct(buf, true);
+            buf.copy_from_slice(&out);
+        }
+        let scale = 1.0 / self.len as f64;
+        for c in buf.iter_mut() {
+            c.re *= scale;
+            c.im *= scale;
+        }
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT. `inverse` flips the twiddle sign (the
+/// `1/n` normalisation is applied by the caller).
+fn fft_radix2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Direct O(n²) DFT for arbitrary lengths.
+fn dft_direct(buf: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = buf.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex::default(); n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (t, &x) in buf.iter().enumerate() {
+            let ang = sign * 2.0 * PI * (k * t) as f64 / n as f64;
+            acc = acc + x * Complex::new(ang.cos(), ang.sin());
+        }
+        *out_k = acc;
+    }
+    out
+}
+
+/// Produces the real-valued DFT summary of length `num_coefficients` used by
+/// SFA and VA+file.
+///
+/// The summary interleaves the real and imaginary parts of the low-frequency
+/// DFT coefficients `[Re(X₀), Im(X₀), Re(X₁), Im(X₁), …]`, scaled by
+/// `sqrt(2/n)` (and `sqrt(1/n)` for the DC and Nyquist terms) so that the
+/// plain Euclidean distance between two summaries **lower-bounds** the
+/// Euclidean distance between the original series. The scaling follows from
+/// Parseval's theorem for real signals: each retained complex coefficient
+/// `X_k` (0 < k < n/2) accounts for `2·|X_k|²/n` of the squared series energy.
+pub fn dft_summary(series: &[f32], num_coefficients: usize) -> Vec<f32> {
+    let n = series.len();
+    assert!(n > 0, "series must be non-empty");
+    assert!(num_coefficients > 0, "must keep at least one coefficient");
+    let fft = Fft::new(n);
+    let spectrum = fft.forward_real(series);
+    let mut out = Vec::with_capacity(num_coefficients);
+    // Walk coefficients X_0, X_1, ... and emit scaled (re, im) pairs until we
+    // have num_coefficients real values.
+    let mut k = 0usize;
+    while out.len() < num_coefficients && k <= n / 2 {
+        let is_dc = k == 0;
+        let is_nyquist = n % 2 == 0 && k == n / 2;
+        let scale = if is_dc || is_nyquist {
+            (1.0 / n as f64).sqrt()
+        } else {
+            (2.0 / n as f64).sqrt()
+        };
+        out.push((spectrum[k].re * scale) as f32);
+        if out.len() < num_coefficients {
+            // The imaginary part of DC / Nyquist is always zero for real
+            // input; emitting it keeps the layout uniform and adds nothing to
+            // the distance.
+            out.push((spectrum[k].im * scale) as f32);
+        }
+        k += 1;
+    }
+    // If the caller asked for more values than the spectrum provides
+    // (num_coefficients > n+2-ish), pad with zeros: distances are unaffected.
+    out.resize(num_coefficients, 0.0);
+    out
+}
+
+/// Euclidean distance between two DFT summaries produced by [`dft_summary`];
+/// lower-bounds the true distance between the corresponding series.
+pub fn dft_lower_bound(summary_a: &[f32], summary_b: &[f32]) -> f64 {
+    debug_assert_eq!(summary_a.len(), summary_b.len());
+    let mut sum = 0.0f64;
+    for (&a, &b) in summary_a.iter().zip(summary_b.iter()) {
+        let d = (a - b) as f64;
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::distance::euclidean;
+
+    fn lcg_series(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-12);
+        assert!((a.abs() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let fft = Fft::new(8);
+        let mut series = vec![0.0f32; 8];
+        series[0] = 1.0;
+        let spec = fft.forward_real(&series);
+        for c in spec {
+            assert!((c.re - 1.0).abs() < 1e-9);
+            assert!(c.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_has_only_dc() {
+        let fft = Fft::new(16);
+        let spec = fft.forward_real(&[2.0f32; 16]);
+        assert!((spec[0].re - 32.0).abs() < 1e-9);
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_round_trips_pow2_and_arbitrary() {
+        for &n in &[8usize, 16, 96, 100, 33] {
+            let fft = Fft::new(n);
+            let series = lcg_series(n, 7);
+            let mut buf: Vec<Complex> =
+                series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+            fft.forward_in_place(&mut buf);
+            fft.inverse_in_place(&mut buf);
+            for (orig, c) in series.iter().zip(buf.iter()) {
+                assert!((c.re - *orig as f64).abs() < 1e-6, "round trip failed for n={n}");
+                assert!(c.im.abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn radix2_matches_direct_dft() {
+        let n = 32;
+        let series = lcg_series(n, 99);
+        let buf: Vec<Complex> = series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+        let direct = dft_direct(&buf, false);
+        let fft = Fft::new(n);
+        let fast = fft.forward_real(&series);
+        for (a, b) in direct.iter().zip(fast.iter()) {
+            assert!((a.re - b.re).abs() < 1e-6);
+            assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved_by_summary_at_full_resolution() {
+        // With all coefficients kept, the summary's squared norm equals the
+        // series' squared norm (Parseval with orthonormal scaling).
+        for &n in &[16usize, 96] {
+            let series = lcg_series(n, 3);
+            let summary = dft_summary(&series, n + 2);
+            let series_energy: f64 = series.iter().map(|&v| (v as f64) * (v as f64)).sum();
+            let summary_energy: f64 = summary.iter().map(|&v| (v as f64) * (v as f64)).sum();
+            assert!(
+                (series_energy - summary_energy).abs() < 1e-4,
+                "energy mismatch for n={n}: {series_energy} vs {summary_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn dft_summary_lower_bounds_euclidean_distance() {
+        for &n in &[64usize, 96, 256] {
+            for &l in &[4usize, 8, 16] {
+                for seed in 0..5 {
+                    let a = lcg_series(n, seed * 2 + 1);
+                    let b = lcg_series(n, seed * 2 + 2);
+                    let sa = dft_summary(&a, l);
+                    let sb = dft_summary(&b, l);
+                    let lb = dft_lower_bound(&sa, &sb);
+                    let ed = euclidean(&a, &b);
+                    assert!(lb <= ed + 1e-4, "LB {lb} > ED {ed} (n={n}, l={l})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_coefficients_give_tighter_bounds() {
+        let n = 128;
+        let a = lcg_series(n, 5);
+        let b = lcg_series(n, 6);
+        let lb4 = dft_lower_bound(&dft_summary(&a, 4), &dft_summary(&b, 4));
+        let lb16 = dft_lower_bound(&dft_summary(&a, 16), &dft_summary(&b, 16));
+        let lb64 = dft_lower_bound(&dft_summary(&a, 64), &dft_summary(&b, 64));
+        assert!(lb4 <= lb16 + 1e-9);
+        assert!(lb16 <= lb64 + 1e-9);
+    }
+
+    #[test]
+    fn summary_pads_with_zeros_beyond_spectrum() {
+        let s = lcg_series(8, 1);
+        let summary = dft_summary(&s, 64);
+        assert_eq!(summary.len(), 64);
+        assert!(summary[20..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fft_len_accessors() {
+        let fft = Fft::new(8);
+        assert_eq!(fft.len(), 8);
+        assert!(!fft.is_empty());
+    }
+}

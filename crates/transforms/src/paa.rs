@@ -1,0 +1,199 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA divides a series of length `n` into `l` equi-length segments and
+//! represents each segment by the mean of its points. Its lower-bounding
+//! distance is
+//!
+//! ```text
+//! LB_PAA(Q, C) = sqrt( Σ_i  w_i * (paa(Q)_i - paa(C)_i)^2 )
+//! ```
+//!
+//! where `w_i` is the number of points covered by segment `i`. When `n` is not
+//! a multiple of `l` the last segments cover one fewer point; the weights
+//! account for that so the bound stays valid.
+
+/// The PAA summarization of series of a fixed length into a fixed number of
+/// segments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Paa {
+    series_length: usize,
+    segments: usize,
+    /// Start offset of each segment (length `segments + 1`, last = series_length).
+    boundaries: Vec<usize>,
+}
+
+impl Paa {
+    /// Creates a PAA transform for series of length `series_length` reduced to
+    /// `segments` segments.
+    ///
+    /// # Panics
+    /// Panics if `segments == 0` or `segments > series_length`.
+    pub fn new(series_length: usize, segments: usize) -> Self {
+        assert!(segments > 0, "segments must be positive");
+        assert!(segments <= series_length, "cannot have more segments than points");
+        // Distribute points as evenly as possible: the first (n % l) segments
+        // get one extra point.
+        let base = series_length / segments;
+        let extra = series_length % segments;
+        let mut boundaries = Vec::with_capacity(segments + 1);
+        let mut pos = 0usize;
+        boundaries.push(0);
+        for i in 0..segments {
+            pos += base + usize::from(i < extra);
+            boundaries.push(pos);
+        }
+        debug_assert_eq!(pos, series_length);
+        Self { series_length, segments, boundaries }
+    }
+
+    /// The series length this transform expects.
+    pub fn series_length(&self) -> usize {
+        self.series_length
+    }
+
+    /// The number of segments produced.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The number of points covered by segment `i`.
+    #[inline]
+    pub fn segment_width(&self, i: usize) -> usize {
+        self.boundaries[i + 1] - self.boundaries[i]
+    }
+
+    /// The `[start, end)` point range of segment `i`.
+    #[inline]
+    pub fn segment_range(&self, i: usize) -> (usize, usize) {
+        (self.boundaries[i], self.boundaries[i + 1])
+    }
+
+    /// Computes the PAA representation (segment means) of `series`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the series length does not match.
+    pub fn transform(&self, series: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(series.len(), self.series_length, "series length mismatch");
+        let mut out = Vec::with_capacity(self.segments);
+        for i in 0..self.segments {
+            let (start, end) = self.segment_range(i);
+            let sum: f64 = series[start..end].iter().map(|&v| v as f64).sum();
+            out.push((sum / (end - start) as f64) as f32);
+        }
+        out
+    }
+
+    /// Lower-bounding distance between two PAA representations.
+    ///
+    /// Guaranteed not to exceed the Euclidean distance between the original
+    /// series (`LB_PAA(Q, C) ≤ ED(Q, C)`).
+    pub fn lower_bound(&self, paa_a: &[f32], paa_b: &[f32]) -> f64 {
+        debug_assert_eq!(paa_a.len(), self.segments);
+        debug_assert_eq!(paa_b.len(), self.segments);
+        let mut sum = 0.0f64;
+        for i in 0..self.segments {
+            let d = (paa_a[i] - paa_b[i]) as f64;
+            sum += self.segment_width(i) as f64 * d * d;
+        }
+        sum.sqrt()
+    }
+
+    /// Squared version of [`Paa::lower_bound`].
+    pub fn lower_bound_squared(&self, paa_a: &[f32], paa_b: &[f32]) -> f64 {
+        let lb = self.lower_bound(paa_a, paa_b);
+        lb * lb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::distance::euclidean;
+
+    #[test]
+    fn boundaries_cover_series_evenly() {
+        let paa = Paa::new(16, 4);
+        assert_eq!(paa.segments(), 4);
+        assert_eq!(paa.series_length(), 16);
+        for i in 0..4 {
+            assert_eq!(paa.segment_width(i), 4);
+        }
+        // Non-divisible case: 10 points in 4 segments -> widths 3,3,2,2.
+        let paa = Paa::new(10, 4);
+        let widths: Vec<usize> = (0..4).map(|i| paa.segment_width(i)).collect();
+        assert_eq!(widths, vec![3, 3, 2, 2]);
+        assert_eq!(widths.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn transform_computes_segment_means() {
+        let paa = Paa::new(8, 4);
+        let s = [1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 10.0, 0.0];
+        assert_eq!(paa.transform(&s), vec![2.0, 6.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn constant_series_transform_is_constant() {
+        let paa = Paa::new(12, 5);
+        let s = [3.5f32; 12];
+        assert!(paa.transform(&s).iter().all(|&v| (v - 3.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn single_segment_is_global_mean() {
+        let paa = Paa::new(4, 1);
+        assert_eq!(paa.transform(&[1.0, 2.0, 3.0, 6.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn full_resolution_paa_is_identity() {
+        let paa = Paa::new(5, 5);
+        let s = [1.0, -2.0, 3.0, 0.5, 9.0];
+        assert_eq!(paa.transform(&s), s.to_vec());
+        // And its lower bound equals the true distance.
+        let t = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let lb = paa.lower_bound(&paa.transform(&s), &paa.transform(&t));
+        assert!((lb - euclidean(&s, &t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_distance() {
+        // Deterministic pseudo-random series over several lengths/segments.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
+        };
+        for &(n, l) in &[(16usize, 4usize), (100, 7), (256, 16), (96, 16)] {
+            let paa = Paa::new(n, l);
+            for _ in 0..20 {
+                let a: Vec<f32> = (0..n).map(|_| next()).collect();
+                let b: Vec<f32> = (0..n).map(|_| next()).collect();
+                let lb = paa.lower_bound(&paa.transform(&a), &paa.transform(&b));
+                let ed = euclidean(&a, &b);
+                assert!(lb <= ed + 1e-6, "LB {lb} > ED {ed} for n={n}, l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_squared_consistency() {
+        let paa = Paa::new(8, 2);
+        let a = paa.transform(&[1.0; 8]);
+        let b = paa.transform(&[0.0; 8]);
+        let lb = paa.lower_bound(&a, &b);
+        assert!((paa.lower_bound_squared(&a, &b) - lb * lb).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "more segments than points")]
+    fn rejects_too_many_segments() {
+        let _ = Paa::new(4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments must be positive")]
+    fn rejects_zero_segments() {
+        let _ = Paa::new(4, 0);
+    }
+}

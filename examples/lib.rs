@@ -1,0 +1,49 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a standalone binary (run with
+//! `cargo run --release -p hydra-examples --example <name>`); this small
+//! library only hosts formatting utilities they share.
+
+/// Formats a duration in a compact human-readable form.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// Formats a byte count using binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1}{}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(20)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(3)).ends_with('s'));
+    }
+
+    #[test]
+    fn bytes_format_by_magnitude() {
+        assert_eq!(fmt_bytes(512), "512.0B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+}

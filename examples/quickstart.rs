@@ -1,0 +1,78 @@
+//! Quickstart: build an index over a data series collection and answer exact
+//! 1-NN queries.
+//!
+//! ```bash
+//! cargo run --release -p hydra-examples --example quickstart
+//! ```
+
+use hydra_core::{AnsweringMethod, BuildOptions, ExactIndex, Query, QueryStats};
+use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
+use hydra_dstree::DsTree;
+use hydra_examples::{fmt_bytes, fmt_duration};
+use hydra_scan::ucr::brute_force_knn;
+use hydra_storage::DatasetStore;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Generate a collection of 20 000 random-walk series of length 256
+    //    (the synthetic data model used throughout the similarity search
+    //    literature). In a real deployment you would load a flat binary file
+    //    with `hydra_data::io::read_dataset`.
+    let series_length = 256;
+    let dataset = RandomWalkGenerator::new(42, series_length).dataset(20_000);
+    println!(
+        "dataset: {} series of length {} ({})",
+        dataset.len(),
+        series_length,
+        fmt_bytes(dataset.size_bytes() as u64)
+    );
+
+    // 2. Wrap it in an instrumented store (counts sequential/random page
+    //    accesses) and build a DSTree index.
+    let store = Arc::new(DatasetStore::new(dataset.clone()));
+    let build_clock = std::time::Instant::now();
+    let options = BuildOptions::default().with_segments(16).with_leaf_capacity(100);
+    let index = DsTree::build_on_store(store.clone(), &options).expect("index construction");
+    println!(
+        "built DSTree in {} ({} nodes, {} leaves)",
+        fmt_duration(build_clock.elapsed()),
+        index.footprint().total_nodes,
+        index.footprint().leaf_nodes
+    );
+
+    // 3. Generate a 10-query workload and answer exact 1-NN queries.
+    let workload =
+        QueryWorkload::generate("Synth-Rand", &dataset, &WorkloadSpec::random(7).with_num_queries(10));
+    store.reset_io();
+    for (i, series) in workload.queries().iter().enumerate() {
+        let mut stats = QueryStats::default();
+        let clock = std::time::Instant::now();
+        let answers = index
+            .answer(&Query::nearest_neighbor(series.clone()), &mut stats)
+            .expect("query answering");
+        let nearest = answers.nearest().expect("non-empty answer");
+
+        // Sanity check against the brute-force oracle (exactness guarantee).
+        let oracle = brute_force_knn(&dataset, series.values(), 1);
+        assert!((nearest.distance - oracle.nearest().unwrap().distance).abs() < 1e-4);
+
+        println!(
+            "query {i:2}: nn=series#{:<6} distance={:<8.4} pruning={:>5.1}% \
+             leaves={:<3} time={}",
+            nearest.id,
+            nearest.distance,
+            stats.pruning_ratio(dataset.len()) * 100.0,
+            stats.leaves_visited,
+            fmt_duration(clock.elapsed())
+        );
+    }
+
+    // 4. Report the I/O profile of the whole workload.
+    let io = store.io_snapshot();
+    println!(
+        "workload I/O: {} sequential pages, {} random pages, {} read",
+        io.sequential_pages,
+        io.random_pages,
+        fmt_bytes(io.bytes_read)
+    );
+}

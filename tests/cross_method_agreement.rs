@@ -1,0 +1,146 @@
+//! Cross-method agreement and measurement-framework consistency.
+//!
+//! Beyond exactness against the brute-force oracle, this suite checks that all
+//! ten methods agree with *each other* on a workload, that their statistics
+//! are internally consistent (pruning ratios in range, counters populated),
+//! and that the approximate answers supported by the tree indexes are never
+//! better than the exact answer (which would indicate a bookkeeping bug).
+
+use hydra_core::{AnsweringMethod, ExactIndex, Query, QueryStats};
+use hydra_data::{QueryWorkload, WorkloadSpec};
+use hydra_integration::{all_methods, dataset, options};
+use hydra_isax::{AdsPlus, Isax2Plus};
+use hydra_storage::DatasetStore;
+use std::sync::Arc;
+
+#[test]
+fn all_methods_agree_pairwise_on_a_workload() {
+    let data = dataset(300, 64, 404);
+    let methods = all_methods(&data);
+    let workload =
+        QueryWorkload::generate("Synth-Rand", &data, &WorkloadSpec::random(5).with_num_queries(6));
+    for q in workload.queries() {
+        let answers: Vec<_> = methods
+            .iter()
+            .map(|(name, m)| {
+                (name.clone(), m.answer_simple(&Query::knn(q.clone(), 5)).unwrap())
+            })
+            .collect();
+        let (ref_name, reference) = &answers[0];
+        for (name, ans) in &answers[1..] {
+            assert!(
+                ans.distances_match(reference, 1e-3),
+                "{name} disagrees with {ref_name} on a 5-NN query"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_ratios_are_within_range_and_indexes_beat_scans() {
+    let data = dataset(600, 64, 505);
+    let methods = all_methods(&data);
+    // A member query: easy, so the summarization indexes should prune a lot.
+    let q = data.series(123).to_owned_series();
+    let mut scan_ratio = None;
+    let mut best_index_ratio: f64 = 0.0;
+    for (name, method) in &methods {
+        let mut stats = QueryStats::default();
+        method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+        let ratio = stats.pruning_ratio(data.len());
+        assert!((0.0..=1.0).contains(&ratio), "{name} pruning ratio out of range: {ratio}");
+        if name == "UCR-Suite" {
+            scan_ratio = Some(ratio);
+        } else if name != "MASS" {
+            best_index_ratio = best_index_ratio.max(ratio);
+        }
+    }
+    assert_eq!(scan_ratio.unwrap(), 0.0, "a sequential scan examines every series");
+    assert!(
+        best_index_ratio > 0.5,
+        "at least one index should prune more than half the dataset on an easy query"
+    );
+}
+
+#[test]
+fn query_stats_counters_are_populated_consistently() {
+    let data = dataset(400, 64, 606);
+    let methods = all_methods(&data);
+    let q = data.series(5).to_owned_series();
+    for (name, method) in &methods {
+        let mut stats = QueryStats::default();
+        method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+        assert!(
+            stats.raw_series_examined >= 1,
+            "{name} must examine at least one raw series to answer exactly"
+        );
+        assert!(
+            stats.raw_series_examined <= data.len() as u64,
+            "{name} examined more series than the dataset holds"
+        );
+        let descriptor = method.descriptor();
+        if descriptor.is_index {
+            assert!(
+                stats.lower_bounds_computed > 0 || stats.leaves_visited > 0,
+                "{name} is an index but recorded no filtering work"
+            );
+        }
+    }
+}
+
+#[test]
+fn isax_family_shares_tree_shape_but_not_build_cost() {
+    // The paper notes ADS+ and iSAX2+ have the same tree structure for equal
+    // leaf sizes, while their build costs differ enormously (ADS+ persists
+    // only summaries). Verify both halves of that claim.
+    let data = dataset(500, 64, 707);
+    let opts = options(64);
+    let s1 = Arc::new(DatasetStore::new(data.clone()));
+    let isax = Isax2Plus::build_on_store(s1.clone(), &opts).unwrap();
+    let s2 = Arc::new(DatasetStore::new(data.clone()));
+    let ads = AdsPlus::build_on_store(s2.clone(), &opts).unwrap();
+    assert_eq!(isax.footprint().total_nodes, ads.footprint().total_nodes);
+    assert_eq!(isax.footprint().leaf_nodes, ads.footprint().leaf_nodes);
+    assert!(s2.io_snapshot().bytes_written * 4 < s1.io_snapshot().bytes_written);
+}
+
+#[test]
+fn approximate_answers_never_beat_exact_answers() {
+    let data = dataset(400, 64, 808);
+    let opts = options(64);
+    let store = Arc::new(DatasetStore::new(data.clone()));
+    let isax = Isax2Plus::build_on_store(store, &opts).unwrap();
+    let store = Arc::new(DatasetStore::new(data.clone()));
+    let ads = AdsPlus::build_on_store(store, &opts).unwrap();
+    let workload =
+        QueryWorkload::generate("w", &data, &WorkloadSpec::controlled(3).with_num_queries(10));
+    for q in workload.queries() {
+        for (name, approx, exact) in [
+            (
+                "iSAX2+",
+                isax.answer_approximate(
+                    &Query::nearest_neighbor(q.clone()),
+                    &mut QueryStats::default(),
+                ),
+                isax.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap(),
+            ),
+            (
+                "ADS+",
+                ads.answer_approximate(
+                    &Query::nearest_neighbor(q.clone()),
+                    &mut QueryStats::default(),
+                ),
+                ads.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap(),
+            ),
+        ] {
+            if let Some(approx) = approx {
+                if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
+                    assert!(
+                        a.distance + 1e-6 >= e.distance,
+                        "{name}: approximate answer beat the exact one"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end checks of the storage accounting and cost model that the
+//! experiment harness uses to reproduce the paper's disk-access and
+//! scalability figures.
+
+use hydra_core::{AnsweringMethod, BuildOptions, Query, QueryStats};
+use hydra_data::RandomWalkGenerator;
+use hydra_integration::dataset;
+use hydra_isax::AdsPlus;
+use hydra_scan::UcrScan;
+use hydra_storage::{CostModel, DatasetStore, IoSnapshot};
+use hydra_vafile::VaPlusFile;
+use std::sync::Arc;
+
+#[test]
+fn sequential_scan_has_the_most_sequential_and_fewest_random_accesses() {
+    let data = dataset(1000, 128, 10);
+    let opts = BuildOptions::default().with_segments(16).with_leaf_capacity(50);
+
+    let scan_store = Arc::new(DatasetStore::new(data.clone()));
+    let scan = UcrScan::new(scan_store.clone());
+    let ads_store = Arc::new(DatasetStore::new(data.clone()));
+    let ads = AdsPlus::build_on_store(ads_store.clone(), &opts).unwrap();
+    let va_store = Arc::new(DatasetStore::new(data.clone()));
+    let va = VaPlusFile::build_on_store(va_store.clone(), &opts).unwrap();
+
+    // An easy (member) query so that the filter-based methods actually prune.
+    let q = data.series(500).to_owned_series();
+    let mut scan_stats = QueryStats::default();
+    scan.answer(&Query::nearest_neighbor(q.clone()), &mut scan_stats).unwrap();
+    let mut ads_stats = QueryStats::default();
+    ads.answer(&Query::nearest_neighbor(q.clone()), &mut ads_stats).unwrap();
+    let mut va_stats = QueryStats::default();
+    va.answer(&Query::nearest_neighbor(q), &mut va_stats).unwrap();
+
+    // The scan reads everything sequentially with a single seek.
+    assert_eq!(scan_stats.random_page_accesses, 1);
+    assert!(scan_stats.sequential_page_accesses > ads_stats.sequential_page_accesses);
+    assert!(scan_stats.sequential_page_accesses > va_stats.sequential_page_accesses);
+    // The filter-based methods trade sequential volume for random accesses.
+    assert!(ads_stats.random_page_accesses >= 1);
+    assert!(va_stats.random_page_accesses >= 1);
+    // And they read far fewer bytes of raw data.
+    assert!(va_stats.bytes_read < scan_stats.bytes_read);
+}
+
+#[test]
+fn cost_model_reverses_winners_between_hdd_and_ssd_access_patterns() {
+    // A scan-heavy profile vs a seek-heavy profile: the HDD model must favour
+    // the former relatively more than the SSD model does — the effect behind
+    // the paper's HDD/SSD winner flip.
+    let scan_like = IoSnapshot {
+        sequential_pages: 100_000,
+        random_pages: 1,
+        bytes_read: 100_000 * 4096,
+        bytes_written: 0,
+    };
+    let seek_like = IoSnapshot {
+        sequential_pages: 0,
+        random_pages: 3_000,
+        bytes_read: 3_000 * 4096,
+        bytes_written: 0,
+    };
+    let hdd = CostModel::hdd();
+    let ssd = CostModel::ssd();
+    let hdd_ratio = hdd.io_time(&seek_like).as_secs_f64() / hdd.io_time(&scan_like).as_secs_f64();
+    let ssd_ratio = ssd.io_time(&seek_like).as_secs_f64() / ssd.io_time(&scan_like).as_secs_f64();
+    assert!(
+        hdd_ratio > ssd_ratio,
+        "random-heavy access must be relatively more expensive on HDD ({hdd_ratio:.2}) than SSD ({ssd_ratio:.2})"
+    );
+    assert!(ssd.io_time(&seek_like) < hdd.io_time(&seek_like));
+}
+
+#[test]
+fn query_stats_io_matches_store_counters_for_the_scan() {
+    let data = dataset(500, 64, 20);
+    let store = Arc::new(DatasetStore::new(data));
+    let scan = UcrScan::new(store.clone());
+    store.reset_io();
+    let q = RandomWalkGenerator::new(9, 64).series(1);
+    let mut stats = QueryStats::default();
+    scan.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+    let io = store.io_snapshot();
+    assert_eq!(stats.sequential_page_accesses, io.sequential_pages);
+    assert_eq!(stats.random_page_accesses, io.random_pages);
+    assert_eq!(stats.bytes_read, io.bytes_read);
+}
+
+#[test]
+fn index_construction_writes_are_visible_to_the_cost_model() {
+    let data = dataset(400, 64, 30);
+    let store = Arc::new(DatasetStore::new(data));
+    let _va = VaPlusFile::build_on_store(
+        store.clone(),
+        &BuildOptions::default().with_segments(16).with_leaf_capacity(50),
+    )
+    .unwrap();
+    let io = store.io_snapshot();
+    assert!(io.bytes_written > 0, "index construction must record its write volume");
+    let model = CostModel::hdd();
+    assert!(model.write_time(&io) > std::time::Duration::ZERO);
+    assert!(model.total_time(&io) >= model.io_time(&io));
+}

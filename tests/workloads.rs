@@ -1,0 +1,107 @@
+//! Workload-level integration tests: the controlled-difficulty query
+//! generator, the Easy-20/Hard-20 split, and the end-to-end behaviour the
+//! experiment harness relies on (harder queries prune less, across methods).
+
+use hydra_core::{Query, QueryStats};
+use hydra_data::{DomainDataset, DomainGenerator, QueryWorkload, WorkloadSpec};
+use hydra_integration::{all_methods, dataset};
+
+#[test]
+fn controlled_workloads_span_difficulty_for_indexes() {
+    // Queries with little noise should be pruned better than queries with a
+    // lot of noise, averaged across index methods — the property the paper's
+    // controlled workloads are designed to exercise.
+    let data = dataset(400, 64, 31);
+    let methods = all_methods(&data);
+    let workload = QueryWorkload::generate(
+        "Synth-Ctrl",
+        &data,
+        &WorkloadSpec::controlled(17).with_num_queries(30),
+    );
+    let mut easy_ratios = Vec::new();
+    let mut hard_ratios = Vec::new();
+    for (i, q) in workload.queries().iter().enumerate() {
+        let noise = workload.noise_level(i).unwrap().fraction;
+        if noise > 0.05 && noise < 1.6 {
+            continue; // only compare the extremes
+        }
+        let mut per_query = Vec::new();
+        for (name, method) in &methods {
+            if name == "UCR-Suite" || name == "MASS" {
+                continue; // scans always examine everything
+            }
+            let mut stats = QueryStats::default();
+            method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+            per_query.push(stats.pruning_ratio(data.len()));
+        }
+        let avg = per_query.iter().sum::<f64>() / per_query.len() as f64;
+        if noise <= 0.05 {
+            easy_ratios.push(avg);
+        } else {
+            hard_ratios.push(avg);
+        }
+    }
+    let easy = easy_ratios.iter().sum::<f64>() / easy_ratios.len() as f64;
+    let hard = hard_ratios.iter().sum::<f64>() / hard_ratios.len() as f64;
+    assert!(
+        easy > hard,
+        "low-noise queries should prune better than high-noise ones ({easy:.3} vs {hard:.3})"
+    );
+}
+
+#[test]
+fn easy_hard_split_matches_pruning_scores() {
+    let scores = vec![0.99, 0.2, 0.8, 0.5, 0.95, 0.1];
+    let (easy, hard) = QueryWorkload::split_easy_hard(&scores, 2);
+    assert_eq!(easy, vec![0, 4]);
+    assert_eq!(hard, vec![1, 5]);
+}
+
+#[test]
+fn domain_datasets_differ_in_summarizability() {
+    // The Deep-like dataset should be harder to prune than the smooth SALD-
+    // like dataset for a summarization index, mirroring the paper's spread of
+    // pruning ratios across real datasets (Figure 9).
+    let mut ratios = Vec::new();
+    for domain in [DomainDataset::Sald, DomainDataset::Deep] {
+        let data = DomainGenerator::new(domain, 47).with_series_length(64).dataset(300);
+        let methods = all_methods(&data);
+        let workload = QueryWorkload::generate(
+            format!("{}-Ctrl", domain.name()),
+            &data,
+            &WorkloadSpec::controlled(9).with_num_queries(10),
+        );
+        let mut sum = 0.0;
+        let mut count = 0;
+        for q in workload.queries() {
+            for (name, method) in &methods {
+                if name != "VA+file" && name != "DSTree" {
+                    continue;
+                }
+                let mut stats = QueryStats::default();
+                method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+                sum += stats.pruning_ratio(data.len());
+                count += 1;
+            }
+        }
+        ratios.push(sum / count as f64);
+    }
+    assert!(
+        ratios[0] > ratios[1],
+        "SALD-like data should be easier to prune than Deep-like data ({:.3} vs {:.3})",
+        ratios[0],
+        ratios[1]
+    );
+}
+
+#[test]
+fn extrapolation_rule_matches_paper_definition() {
+    // 100 per-query times with known outliers: drop best/worst five, multiply
+    // the mean of the remaining 90 by 10 000.
+    let mut times: Vec<f64> = (0..100).map(|i| 1.0 + (i as f64) * 0.01).collect();
+    times[0] = 500.0;
+    times[99] = 0.000001;
+    let total = QueryWorkload::extrapolate_total_seconds(&times, 10_000).unwrap();
+    // The trimmed values are approximately 1.05..=1.94 (mean ≈ 1.5).
+    assert!(total > 10_000.0 && total < 20_000.0, "unexpected extrapolation {total}");
+}
