@@ -8,7 +8,7 @@
 //! * DSTree adaptive splitting vs a plain PAA-grid index (R*-tree) at query time.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hydra_bench::registry::{build_method, MethodKind};
+use hydra_bench::registry::MethodKind;
 use hydra_core::{AnsweringMethod, BuildOptions, Query};
 use hydra_data::RandomWalkGenerator;
 use hydra_sfa::SfaTrie;
@@ -20,7 +20,10 @@ const SERIES: usize = 2_000;
 const LENGTH: usize = 256;
 
 fn options() -> BuildOptions {
-    BuildOptions::default().with_segments(16).with_leaf_capacity(50).with_train_samples(500)
+    BuildOptions::default()
+        .with_segments(16)
+        .with_leaf_capacity(50)
+        .with_train_samples(500)
 }
 
 fn bench_sfa_binning_and_alphabet(c: &mut Criterion) {
@@ -34,15 +37,16 @@ fn bench_sfa_binning_and_alphabet(c: &mut Criterion) {
         ("equi_depth_a256", BinningMethod::EquiDepth, 256),
     ] {
         let store = Arc::new(DatasetStore::new(dataset.clone()));
-        let index = SfaTrie::build_with_binning(
-            store,
-            &options().with_alphabet_size(alphabet),
-            binning,
-        )
-        .unwrap();
+        let index =
+            SfaTrie::build_with_binning(store, &options().with_alphabet_size(alphabet), binning)
+                .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| {
-                black_box(index.answer_simple(&Query::nearest_neighbor(query.clone())).unwrap())
+                black_box(
+                    index
+                        .answer_simple(&Query::nearest_neighbor(query.clone()))
+                        .unwrap(),
+                )
             })
         });
     }
@@ -56,12 +60,16 @@ fn bench_build_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_build_strategy");
     group.sample_size(10);
     for kind in [MethodKind::AdsPlus, MethodKind::Isax2Plus] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let store = Arc::new(DatasetStore::new(dataset.clone()));
-                black_box(build_method(kind, store, &options()).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let store = Arc::new(DatasetStore::new(dataset.clone()));
+                    black_box(kind.build_boxed_on_store(store, &options()).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -74,13 +82,19 @@ fn bench_adaptive_vs_fixed_partitioning(c: &mut Criterion) {
     let query = RandomWalkGenerator::new(42, LENGTH).series(0);
     let mut group = c.benchmark_group("ablation_partitioning");
     group.sample_size(20);
-    for kind in [MethodKind::DsTree, MethodKind::RStarTree, MethodKind::Isax2Plus] {
+    for kind in [
+        MethodKind::DsTree,
+        MethodKind::RStarTree,
+        MethodKind::Isax2Plus,
+    ] {
         let store = Arc::new(DatasetStore::new(dataset.clone()));
-        let built = build_method(kind, store, &options()).unwrap();
+        let method = kind.build_boxed_on_store(store, &options()).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
             b.iter(|| {
                 black_box(
-                    built.method.answer_simple(&Query::nearest_neighbor(query.clone())).unwrap(),
+                    method
+                        .answer_simple(&Query::nearest_neighbor(query.clone()))
+                        .unwrap(),
                 )
             })
         });

@@ -29,19 +29,27 @@ fn bench_distance_kernels(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("early_abandon", len), &len, |b, _| {
             b.iter(|| {
-                black_box(squared_euclidean_early_abandon(q.values(), cand.values(), threshold))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("reordered_early_abandon", len), &len, |b, _| {
-            b.iter(|| {
-                black_box(squared_euclidean_reordered(
+                black_box(squared_euclidean_early_abandon(
                     q.values(),
                     cand.values(),
-                    &order,
                     threshold,
                 ))
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("reordered_early_abandon", len),
+            &len,
+            |b, _| {
+                b.iter(|| {
+                    black_box(squared_euclidean_reordered(
+                        q.values(),
+                        cand.values(),
+                        &order,
+                        threshold,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! paths that the figure-level experiments aggregate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hydra_bench::registry::{build_method, MethodKind};
+use hydra_bench::registry::MethodKind;
 use hydra_core::{BuildOptions, Query};
 use hydra_data::RandomWalkGenerator;
 use hydra_storage::DatasetStore;
@@ -13,7 +13,10 @@ const SERIES: usize = 2_000;
 const LENGTH: usize = 256;
 
 fn options() -> BuildOptions {
-    BuildOptions::default().with_segments(16).with_leaf_capacity(50).with_train_samples(500)
+    BuildOptions::default()
+        .with_segments(16)
+        .with_leaf_capacity(50)
+        .with_train_samples(500)
 }
 
 fn bench_index_build(c: &mut Criterion) {
@@ -28,12 +31,16 @@ fn bench_index_build(c: &mut Criterion) {
         MethodKind::VaPlusFile,
         MethodKind::RStarTree,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let store = Arc::new(DatasetStore::new(dataset.clone()));
-                black_box(build_method(kind, store, &options()).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let store = Arc::new(DatasetStore::new(dataset.clone()));
+                    black_box(kind.build_boxed_on_store(store, &options()).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -45,12 +52,11 @@ fn bench_exact_query(c: &mut Criterion) {
     group.sample_size(20);
     for kind in MethodKind::ALL {
         let store = Arc::new(DatasetStore::new(dataset.clone()));
-        let built = build_method(kind, store, &options()).unwrap();
+        let method = kind.build_boxed_on_store(store, &options()).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
             b.iter(|| {
                 black_box(
-                    built
-                        .method
+                    method
                         .answer_simple(&Query::nearest_neighbor(query_series.clone()))
                         .unwrap(),
                 )

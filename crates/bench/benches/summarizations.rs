@@ -76,7 +76,12 @@ fn bench_lower_bounds(c: &mut Criterion) {
         b.iter(|| black_box(sfa.mindist(&q_dft, &sfa_word)))
     });
 
-    let va = VaPlusQuantizer::train(len, segments, segments * 8, sample.iter().map(|s| s.as_slice()));
+    let va = VaPlusQuantizer::train(
+        len,
+        segments,
+        segments * 8,
+        sample.iter().map(|s| s.as_slice()),
+    );
     let q_vadft = va.dft(q.values());
     let cell = va.cell(cand.values());
     group.bench_function("vaplus_lower_bound", |b| {

@@ -6,6 +6,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = fig10_recommendations(ExperimentScale::from_env());
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "fig10_recommendations").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "fig10_recommendations")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -7,6 +7,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = fig3_scalability(ExperimentScale::from_env());
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "fig3_scalability").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "fig3_scalability")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

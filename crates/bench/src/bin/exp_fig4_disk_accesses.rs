@@ -9,6 +9,18 @@ fn main() {
     println!("{}", by_size.to_text());
     println!("{}", by_length.to_text());
     let dir = results_dir();
-    println!("wrote {}", by_size.write_csv(&dir, "fig4_disk_accesses_by_size").expect("csv").display());
-    println!("wrote {}", by_length.write_csv(&dir, "fig4_disk_accesses_by_length").expect("csv").display());
+    println!(
+        "wrote {}",
+        by_size
+            .write_csv(&dir, "fig4_disk_accesses_by_size")
+            .expect("csv")
+            .display()
+    );
+    println!(
+        "wrote {}",
+        by_length
+            .write_csv(&dir, "fig4_disk_accesses_by_length")
+            .expect("csv")
+            .display()
+    );
 }

@@ -7,6 +7,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = fig6_fig7_platform_comparison(ExperimentScale::from_env(), Platform::Hdd);
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "fig6_hdd").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "fig6_hdd")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

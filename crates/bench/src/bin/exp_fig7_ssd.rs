@@ -7,6 +7,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = fig6_fig7_platform_comparison(ExperimentScale::from_env(), Platform::Ssd);
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "fig7_ssd").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "fig7_ssd")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

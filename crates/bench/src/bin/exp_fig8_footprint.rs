@@ -11,6 +11,15 @@ fn main() {
     println!("{}", footprint.to_text());
     println!("{}", tlb.to_text());
     let dir = results_dir();
-    println!("wrote {}", footprint.write_csv(&dir, "fig8_footprint").expect("csv").display());
-    println!("wrote {}", tlb.write_csv(&dir, "fig8_tlb").expect("csv").display());
+    println!(
+        "wrote {}",
+        footprint
+            .write_csv(&dir, "fig8_footprint")
+            .expect("csv")
+            .display()
+    );
+    println!(
+        "wrote {}",
+        tlb.write_csv(&dir, "fig8_tlb").expect("csv").display()
+    );
 }

@@ -6,6 +6,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = fig9_pruning(ExperimentScale::from_env());
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "fig9_pruning").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "fig9_pruning")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -6,6 +6,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let table = methods_table();
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "table1_methods").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "table1_methods")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -7,6 +7,8 @@ use hydra_bench::report::results_dir;
 fn main() {
     let (table, _winners) = table2_winners(ExperimentScale::from_env());
     println!("{}", table.to_text());
-    let path = table.write_csv(&results_dir(), "table2_winners").expect("write csv");
+    let path = table
+        .write_csv(&results_dir(), "table2_winners")
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

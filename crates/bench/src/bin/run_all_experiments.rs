@@ -9,7 +9,10 @@ use hydra_bench::report::results_dir;
 fn main() {
     let scale = exp::ExperimentScale::from_env();
     let dir = results_dir();
-    println!("running all experiments at scale {scale:?}; writing CSVs to {}\n", dir.display());
+    println!(
+        "running all experiments at scale {scale:?}; writing CSVs to {}\n",
+        dir.display()
+    );
 
     let t1 = exp::methods_table();
     println!("{}", t1.to_text());

@@ -36,17 +36,26 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Tiny datasets for CI smoke runs.
     pub fn smoke() -> Self {
-        Self { base_series: 1_000, queries: 10 }
+        Self {
+            base_series: 1_000,
+            queries: 10,
+        }
     }
 
     /// The default laptop-scale setting.
     pub fn small() -> Self {
-        Self { base_series: 10_000, queries: 50 }
+        Self {
+            base_series: 10_000,
+            queries: 50,
+        }
     }
 
     /// A larger setting for longer runs.
     pub fn full() -> Self {
-        Self { base_series: 50_000, queries: 100 }
+        Self {
+            base_series: 50_000,
+            queries: 100,
+        }
     }
 
     /// Reads the scale from the `HYDRA_SCALE` environment variable.
@@ -87,7 +96,10 @@ impl ExperimentScale {
 /// same regime as the paper's setup; `fig8_tlb` keeps the paper's 16
 /// coefficients since TLB is independent of tree geometry.
 pub fn default_options() -> BuildOptions {
-    BuildOptions::default().with_segments(8).with_leaf_capacity(100).with_train_samples(1_000)
+    BuildOptions::default()
+        .with_segments(8)
+        .with_leaf_capacity(100)
+        .with_train_samples(1_000)
 }
 
 fn synth_dataset(count: usize, length: usize) -> Dataset {
@@ -114,16 +126,27 @@ fn ctrl_workload(name: &str, dataset: &Dataset, queries: usize) -> QueryWorkload
 pub fn methods_table() -> ResultTable {
     let mut table = ResultTable::new(
         "Table 1 — similarity search methods",
-        &["method", "representation", "kind", "exact", "ng-approximate"],
+        &[
+            "method",
+            "representation",
+            "kind",
+            "exact",
+            "ng-approximate",
+        ],
     );
     let data = synth_dataset(200, 64);
     for kind in MethodKind::ALL {
-        let (_, built, _) = run_build(kind, &data, &default_options()).expect("build");
-        let d = built.method.descriptor();
+        let (engine, _) = run_build(kind, &data, &default_options()).expect("build");
+        let d = engine.descriptor();
         table.push_row(vec![
             d.name.to_string(),
             d.representation.to_string(),
-            if d.is_index { "index" } else { "sequential/multi-step" }.to_string(),
+            if d.is_index {
+                "index"
+            } else {
+                "sequential/multi-step"
+            }
+            .to_string(),
             "yes".to_string(),
             if d.supports_approximate { "yes" } else { "no" }.to_string(),
         ]);
@@ -136,7 +159,13 @@ pub fn methods_table() -> ResultTable {
 pub fn fig2_leaf_size(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 2 — leaf size parametrization (HDD model, times normalized per method)",
-        &["method", "leaf_capacity", "idx_time_s", "query_time_s", "normalized_total"],
+        &[
+            "method",
+            "leaf_capacity",
+            "idx_time_s",
+            "query_time_s",
+            "normalized_total",
+        ],
     );
     let dataset = synth_dataset(scale.base_series, 256);
     let workload = rand_workload(&dataset, scale.queries.min(20));
@@ -153,8 +182,8 @@ pub fn fig2_leaf_size(scale: ExperimentScale) -> ResultTable {
         let mut max_total = 0.0f64;
         for capacity in capacities {
             let options = default_options().with_leaf_capacity(capacity);
-            let (store, built, build) = run_build(kind, &dataset, &options).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, build) = run_build(kind, &dataset, &options).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             let idx = build.total_time(Platform::Hdd).as_secs_f64();
             let query = run.total_time(Platform::Hdd).as_secs_f64();
             max_total = max_total.max(idx + query);
@@ -178,7 +207,15 @@ pub fn fig2_leaf_size(scale: ExperimentScale) -> ResultTable {
 pub fn fig3_scalability(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 3 — scalability with increasing dataset sizes (HDD model)",
-        &["method", "dataset_series", "idx_cpu_s", "idx_io_s", "query_cpu_s", "query_io_s", "total_s"],
+        &[
+            "method",
+            "dataset_series",
+            "idx_cpu_s",
+            "idx_io_s",
+            "query_cpu_s",
+            "query_io_s",
+            "total_s",
+        ],
     );
     let model = Platform::Hdd;
     for kind in MethodKind::ALL {
@@ -195,8 +232,8 @@ pub fn fig3_scalability(scale: ExperimentScale) -> ResultTable {
             }
             let dataset = synth_dataset(size, 256);
             let workload = rand_workload(&dataset, scale.queries.min(20));
-            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             let idx_io = model.cost_model().total_time(&build.io);
             let total = build.cpu_time + idx_io + run.total_time(model);
             table.push_row(vec![
@@ -216,8 +253,16 @@ pub fn fig3_scalability(scale: ExperimentScale) -> ResultTable {
 /// Figure 4: number of sequential and random disk accesses per query for the
 /// best six methods, across dataset sizes and series lengths.
 pub fn fig4_disk_accesses(scale: ExperimentScale) -> (ResultTable, ResultTable) {
-    let headers =
-        &["method", "x_value", "seq_pages_min", "seq_pages_median", "seq_pages_max", "rand_pages_min", "rand_pages_median", "rand_pages_max"];
+    let headers = &[
+        "method",
+        "x_value",
+        "seq_pages_min",
+        "seq_pages_median",
+        "seq_pages_max",
+        "rand_pages_min",
+        "rand_pages_median",
+        "rand_pages_max",
+    ];
     let mut by_size = ResultTable::new(
         "Figure 4a/4c — disk accesses vs dataset size (series length 256)",
         headers,
@@ -233,28 +278,33 @@ pub fn fig4_disk_accesses(scale: ExperimentScale) -> (ResultTable, ResultTable) 
         let median = values.get(values.len() / 2).copied().unwrap_or(0);
         (min, median, max)
     };
-    let record = |table: &mut ResultTable, kind: MethodKind, x: String, run: &WorkloadMeasurement| {
-        let seq: Vec<u64> = run.queries.iter().map(|q| q.io.sequential_pages).collect();
-        let rand: Vec<u64> = run.queries.iter().map(|q| q.io.random_pages).collect();
-        let (smin, smed, smax) = quantiles(seq);
-        let (rmin, rmed, rmax) = quantiles(rand);
-        table.push_row(vec![
-            kind.name().to_string(),
-            x,
-            smin.to_string(),
-            smed.to_string(),
-            smax.to_string(),
-            rmin.to_string(),
-            rmed.to_string(),
-            rmax.to_string(),
-        ]);
-    };
+    let record =
+        |table: &mut ResultTable, kind: MethodKind, x: String, run: &WorkloadMeasurement| {
+            let seq: Vec<u64> = run
+                .queries
+                .iter()
+                .map(|q| q.io().sequential_pages)
+                .collect();
+            let rand: Vec<u64> = run.queries.iter().map(|q| q.io().random_pages).collect();
+            let (smin, smed, smax) = quantiles(seq);
+            let (rmin, rmed, rmax) = quantiles(rand);
+            table.push_row(vec![
+                kind.name().to_string(),
+                x,
+                smin.to_string(),
+                smed.to_string(),
+                smax.to_string(),
+                rmin.to_string(),
+                rmed.to_string(),
+                rmax.to_string(),
+            ]);
+        };
     for kind in MethodKind::BEST_SIX {
         for &size in &scale.size_ladder() {
             let dataset = synth_dataset(size, 256);
             let workload = rand_workload(&dataset, scale.queries.min(20));
-            let (store, built, _) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, _) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             record(&mut by_size, kind, size.to_string(), &run);
         }
         for &length in &scale.length_ladder() {
@@ -263,8 +313,8 @@ pub fn fig4_disk_accesses(scale: ExperimentScale) -> (ResultTable, ResultTable) 
             let count = (scale.base_series / 2 * 256 / length).max(200);
             let dataset = synth_dataset(count, length);
             let workload = rand_workload(&dataset, scale.queries.min(20));
-            let (store, built, _) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, _) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             record(&mut by_length, kind, length.to_string(), &run);
         }
     }
@@ -276,7 +326,12 @@ pub fn fig4_disk_accesses(scale: ExperimentScale) -> (ResultTable, ResultTable) 
 pub fn fig5_lengths(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 5 — scalability with increasing series lengths (HDD model)",
-        &["method", "series_length", "idx_plus_100_s", "idx_plus_10k_s"],
+        &[
+            "method",
+            "series_length",
+            "idx_plus_100_s",
+            "idx_plus_10k_s",
+        ],
     );
     let model = Platform::Hdd;
     for kind in MethodKind::BEST_SIX {
@@ -286,11 +341,10 @@ pub fn fig5_lengths(scale: ExperimentScale) -> ResultTable {
             let count = (scale.base_series / 2 * 256 / length).max(200);
             let dataset = synth_dataset(count, length);
             let workload = rand_workload(&dataset, scale.queries.min(20));
-            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             let idx = build.total_time(model);
-            let q100 = run
-                .extrapolated_time(model, 100);
+            let q100 = run.extrapolated_time(model, 100);
             let q10k = run.extrapolated_time(model, 10_000);
             table.push_row(vec![
                 kind.name().to_string(),
@@ -308,15 +362,25 @@ pub fn fig5_lengths(scale: ExperimentScale) -> ResultTable {
 /// platform model.
 pub fn fig6_fig7_platform_comparison(scale: ExperimentScale, platform: Platform) -> ResultTable {
     let mut table = ResultTable::new(
-        format!("Figures 6/7 — scalability comparison ({} model)", platform.name()),
-        &["method", "dataset_series", "idx_s", "exact100_s", "idx_plus_100_s", "idx_plus_10k_s"],
+        format!(
+            "Figures 6/7 — scalability comparison ({} model)",
+            platform.name()
+        ),
+        &[
+            "method",
+            "dataset_series",
+            "idx_s",
+            "exact100_s",
+            "idx_plus_100_s",
+            "idx_plus_10k_s",
+        ],
     );
     for kind in MethodKind::BEST_SIX {
         for &size in &scale.size_ladder() {
             let dataset = synth_dataset(size, 256);
             let workload = rand_workload(&dataset, scale.queries.min(20));
-            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             let idx = build.total_time(platform);
             let exact100 = run.extrapolated_time(platform, 100);
             let exact10k = run.extrapolated_time(platform, 10_000);
@@ -359,7 +423,7 @@ pub fn fig8_footprint(scale: ExperimentScale) -> ResultTable {
     for kind in indexes {
         for &size in &scale.size_ladder() {
             let dataset = synth_dataset(size, 256);
-            let (_, _, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let (_, build) = run_build(kind, &dataset, &default_options()).expect("build");
             let fp = build.footprint.expect("index footprint");
             table.push_row(vec![
                 kind.name().to_string(),
@@ -394,7 +458,9 @@ pub fn fig8_tlb(scale: ExperimentScale) -> ResultTable {
         let workload = rand_workload(&dataset, pairs);
         let segments = 16.min(length);
         // Train the learned quantizers on a dataset sample.
-        let sample: Vec<&[f32]> = (0..500.min(dataset.len())).map(|i| dataset.series(i).values()).collect();
+        let sample: Vec<&[f32]> = (0..500.min(dataset.len()))
+            .map(|i| dataset.series(i).values())
+            .collect();
         let sfa = SfaQuantizer::train(
             SfaParams::new(length, segments).with_alphabet_size(8),
             sample.iter().copied(),
@@ -404,7 +470,7 @@ pub fn fig8_tlb(scale: ExperimentScale) -> ResultTable {
         let paa = Paa::new(length, segments);
         let segmentation = uniform_segmentation(length, segments);
 
-        let mut sums = vec![0.0f64; 6];
+        let mut sums = [0.0f64; 6];
         let mut count = 0u64;
         for (qi, q) in workload.queries().iter().enumerate() {
             let cand = dataset.series((qi * 37) % dataset.len());
@@ -433,7 +499,14 @@ pub fn fig8_tlb(scale: ExperimentScale) -> ResultTable {
                 &dft_summary(cand.values(), segments),
             ) / true_dist;
         }
-        let names = ["ADS+/iSAX2+", "DSTree", "SFA", "VA+file", "R*-tree (PAA)", "DFT-16"];
+        let names = [
+            "ADS+/iSAX2+",
+            "DSTree",
+            "SFA",
+            "VA+file",
+            "R*-tree (PAA)",
+            "DFT-16",
+        ];
         for (i, name) in names.iter().enumerate() {
             table.push_row(vec![
                 name.to_string(),
@@ -481,8 +554,8 @@ pub fn fig9_pruning(scale: ExperimentScale) -> ResultTable {
     }
     for kind in indexes {
         for (name, dataset, workload) in &workloads {
-            let (store, built, _) = run_build(kind, dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, workload).expect("queries");
+            let (mut engine, _) = run_build(kind, dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, workload).expect("queries");
             let mut ratios = run.pruning_ratios();
             ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p).round() as usize];
@@ -514,12 +587,24 @@ pub struct ScenarioWinners {
 pub fn table2_winners(scale: ExperimentScale) -> (ResultTable, Vec<ScenarioWinners>) {
     let mut table = ResultTable::new(
         "Table 2 — best method per scenario",
-        &["platform", "dataset", "Idx", "Exact100", "Idx+Exact100", "Idx+Exact10K", "Easy-20", "Hard-20"],
+        &[
+            "platform",
+            "dataset",
+            "Idx",
+            "Exact100",
+            "Idx+Exact100",
+            "Idx+Exact10K",
+            "Easy-20",
+            "Hard-20",
+        ],
     );
     // Datasets: a small (in-memory-like) and a large synthetic one, plus the
     // four domain stand-ins, all with controlled workloads as in the paper.
     let mut datasets: Vec<(String, Dataset)> = vec![
-        ("Small".to_string(), synth_dataset(scale.base_series / 4, 256)),
+        (
+            "Small".to_string(),
+            synth_dataset(scale.base_series / 4, 256),
+        ),
         ("Large".to_string(), synth_dataset(scale.base_series, 256)),
     ];
     for domain in DomainDataset::ALL {
@@ -535,9 +620,9 @@ pub fn table2_winners(scale: ExperimentScale) -> (ResultTable, Vec<ScenarioWinne
             // Run every candidate method once.
             let mut runs: Vec<(MethodKind, Duration, WorkloadMeasurement)> = Vec::new();
             for kind in MethodKind::BEST_SIX {
-                let (store, built, build) =
+                let (mut engine, build) =
                     run_build(kind, dataset, &default_options()).expect("build");
-                let run = run_queries(&built, &store, &workload).expect("queries");
+                let run = run_queries(&mut engine, &workload).expect("queries");
                 runs.push((kind, build.total_time(platform), run));
             }
             // Easy/hard query split by average pruning ratio across methods.
@@ -559,21 +644,26 @@ pub fn table2_winners(scale: ExperimentScale) -> (ResultTable, Vec<ScenarioWinne
             };
             let winners: Vec<(&'static str, &'static str)> = vec![
                 ("Idx", winner_by(&|r| r.1.as_secs_f64())),
-                ("Exact100", winner_by(&|r| r.2.extrapolated_time(platform, 100).as_secs_f64())),
+                (
+                    "Exact100",
+                    winner_by(&|r| r.2.extrapolated_time(platform, 100).as_secs_f64()),
+                ),
                 (
                     "Idx+Exact100",
-                    winner_by(&|r| {
-                        (r.1 + r.2.extrapolated_time(platform, 100)).as_secs_f64()
-                    }),
+                    winner_by(&|r| (r.1 + r.2.extrapolated_time(platform, 100)).as_secs_f64()),
                 ),
                 (
                     "Idx+Exact10K",
-                    winner_by(&|r| {
-                        (r.1 + r.2.extrapolated_time(platform, 10_000)).as_secs_f64()
-                    }),
+                    winner_by(&|r| (r.1 + r.2.extrapolated_time(platform, 10_000)).as_secs_f64()),
                 ),
-                ("Easy-20", winner_by(&|r| r.2.mean_time_of(&easy, platform).as_secs_f64())),
-                ("Hard-20", winner_by(&|r| r.2.mean_time_of(&hard, platform).as_secs_f64())),
+                (
+                    "Easy-20",
+                    winner_by(&|r| r.2.mean_time_of(&easy, platform).as_secs_f64()),
+                ),
+                (
+                    "Hard-20",
+                    winner_by(&|r| r.2.mean_time_of(&hard, platform).as_secs_f64()),
+                ),
             ];
             table.push_row(vec![
                 platform.name().to_string(),
@@ -604,18 +694,38 @@ pub fn fig10_recommendations(scale: ExperimentScale) -> ResultTable {
     );
     let platform = Platform::Hdd;
     let cells = [
-        ("short (256)", "in-memory (small)", 256usize, scale.base_series / 4),
-        ("short (256)", "disk-resident (large)", 256, scale.base_series),
-        ("long (2048)", "in-memory (small)", 2048, scale.base_series / 16),
-        ("long (2048)", "disk-resident (large)", 2048, scale.base_series / 4),
+        (
+            "short (256)",
+            "in-memory (small)",
+            256usize,
+            scale.base_series / 4,
+        ),
+        (
+            "short (256)",
+            "disk-resident (large)",
+            256,
+            scale.base_series,
+        ),
+        (
+            "long (2048)",
+            "in-memory (small)",
+            2048,
+            scale.base_series / 16,
+        ),
+        (
+            "long (2048)",
+            "disk-resident (large)",
+            2048,
+            scale.base_series / 4,
+        ),
     ];
     for (length_label, collection_label, length, size) in cells {
         let dataset = synth_dataset(size.max(500), length);
         let workload = rand_workload(&dataset, scale.queries.min(20));
         let mut totals: Vec<(&'static str, f64)> = Vec::new();
         for kind in MethodKind::BEST_SIX {
-            let (store, built, build) = run_build(kind, &dataset, &default_options()).expect("build");
-            let run = run_queries(&built, &store, &workload).expect("queries");
+            let (mut engine, build) = run_build(kind, &dataset, &default_options()).expect("build");
+            let run = run_queries(&mut engine, &workload).expect("queries");
             let total = build.total_time(platform) + run.extrapolated_time(platform, 10_000);
             totals.push((kind.name(), total.as_secs_f64()));
         }
@@ -635,7 +745,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentScale {
-        ExperimentScale { base_series: 400, queries: 8 }
+        ExperimentScale {
+            base_series: 400,
+            queries: 8,
+        }
     }
 
     #[test]
@@ -645,7 +758,10 @@ mod tests {
         let ladder = ExperimentScale::small().size_ladder();
         assert_eq!(ladder.len(), 4);
         assert!(ladder.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(ExperimentScale::small().length_ladder(), vec![64, 128, 256, 512]);
+        assert_eq!(
+            ExperimentScale::small().length_ladder(),
+            vec![64, 128, 256, 512]
+        );
     }
 
     #[test]
@@ -666,7 +782,10 @@ mod tests {
 
     #[test]
     fn fig8_tlb_orders_va_above_sfa() {
-        let t = fig8_tlb(ExperimentScale { base_series: 600, queries: 20 });
+        let t = fig8_tlb(ExperimentScale {
+            base_series: 600,
+            queries: 20,
+        });
         let csv = t.to_csv();
         // Extract the length-256 rows and compare VA+file vs SFA TLB.
         let mut va = 0.0;
@@ -683,12 +802,18 @@ mod tests {
             }
         }
         assert!(va > 0.0 && sfa > 0.0);
-        assert!(va > sfa, "VA+file TLB ({va}) should exceed SFA's with alphabet 8 ({sfa})");
+        assert!(
+            va > sfa,
+            "VA+file TLB ({va}) should exceed SFA's with alphabet 8 ({sfa})"
+        );
     }
 
     #[test]
     fn table2_produces_winners_for_all_cells() {
-        let scale = ExperimentScale { base_series: 300, queries: 6 };
+        let scale = ExperimentScale {
+            base_series: 300,
+            queries: 6,
+        };
         let (table, winners) = table2_winners(scale);
         // 2 platforms x 6 datasets
         assert_eq!(table.num_rows(), 12);

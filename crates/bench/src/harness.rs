@@ -1,12 +1,15 @@
 //! The experiment runner: timed builds, timed query workloads, extrapolation,
 //! and platform cost models.
+//!
+//! Every method is driven through the uniform [`QueryEngine`] built by the
+//! registry; the harness only adds workload iteration, extrapolation and the
+//! platform cost models on top.
 
-use crate::registry::{build_method, BuiltMethod, MethodKind};
-use hydra_core::{BuildOptions, Dataset, Query, QueryStats, Result};
+use crate::registry::MethodKind;
+use hydra_core::{BuildOptions, Dataset, IoSnapshot, Query, QueryEngine, QueryStats, Result};
 use hydra_data::QueryWorkload;
-use hydra_storage::{CostModel, DatasetStore, IoSnapshot, StorageProfile};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use hydra_storage::{CostModel, StorageProfile};
+use std::time::Duration;
 
 /// The hardware platform an experiment models (the paper's two servers plus
 /// an in-memory setting).
@@ -65,16 +68,19 @@ impl BuildMeasurement {
 pub struct QueryMeasurement {
     /// Measured CPU time.
     pub cpu_time: Duration,
-    /// Counted I/O.
-    pub io: IoSnapshot,
-    /// Work counters (pruning, leaf visits, ...).
+    /// Work counters (pruning, leaf visits, I/O — reconciled by the engine).
     pub stats: QueryStats,
 }
 
 impl QueryMeasurement {
+    /// The query's I/O, as reconciled into the stats by the engine.
+    pub fn io(&self) -> IoSnapshot {
+        self.stats.io_snapshot()
+    }
+
     /// The modelled total time of this query on `platform`.
     pub fn total_time(&self, platform: Platform) -> Duration {
-        self.cpu_time + platform.cost_model().io_time(&self.io)
+        self.cpu_time + platform.cost_model().io_time(&self.io())
     }
 }
 
@@ -102,17 +108,21 @@ impl WorkloadMeasurement {
 
     /// Total modelled I/O time on `platform`.
     pub fn io_time(&self, platform: Platform) -> Duration {
-        self.queries.iter().map(|q| platform.cost_model().io_time(&q.io)).sum()
+        self.queries
+            .iter()
+            .map(|q| platform.cost_model().io_time(&q.io()))
+            .sum()
     }
 
     /// Summed I/O counters across the workload.
     pub fn total_io(&self) -> IoSnapshot {
         let mut io = IoSnapshot::default();
+        // Query-side writes are never charged (bytes_written stays zero).
         for q in &self.queries {
-            io.sequential_pages += q.io.sequential_pages;
-            io.random_pages += q.io.random_pages;
-            io.bytes_read += q.io.bytes_read;
-            io.bytes_written += q.io.bytes_written;
+            let q_io = q.io();
+            io.sequential_pages += q_io.sequential_pages;
+            io.random_pages += q_io.random_pages;
+            io.bytes_read += q_io.bytes_read;
         }
         io
     }
@@ -122,13 +132,19 @@ impl WorkloadMeasurement {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.stats.pruning_ratio(self.dataset_size)).sum::<f64>()
+        self.queries
+            .iter()
+            .map(|q| q.stats.pruning_ratio(self.dataset_size))
+            .sum::<f64>()
             / self.queries.len() as f64
     }
 
     /// Per-query pruning ratios.
     pub fn pruning_ratios(&self) -> Vec<f64> {
-        self.queries.iter().map(|q| q.stats.pruning_ratio(self.dataset_size)).collect()
+        self.queries
+            .iter()
+            .map(|q| q.stats.pruning_ratio(self.dataset_size))
+            .collect()
     }
 
     /// The paper's extrapolation to a larger workload: drop the 5 best / 5
@@ -136,8 +152,11 @@ impl WorkloadMeasurement {
     /// `target_queries`. Falls back to a plain mean when there are fewer than
     /// 11 queries.
     pub fn extrapolated_time(&self, platform: Platform, target_queries: usize) -> Duration {
-        let times: Vec<f64> =
-            self.queries.iter().map(|q| q.total_time(platform).as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .queries
+            .iter()
+            .map(|q| q.total_time(platform).as_secs_f64())
+            .collect();
         let total = QueryWorkload::extrapolate_total_seconds(&times, target_queries)
             .unwrap_or_else(|| {
                 let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
@@ -152,55 +171,60 @@ impl WorkloadMeasurement {
         if indices.is_empty() {
             return Duration::ZERO;
         }
-        let total: Duration = indices.iter().map(|&i| self.queries[i].total_time(platform)).sum();
+        let total: Duration = indices
+            .iter()
+            .map(|&i| self.queries[i].total_time(platform))
+            .sum();
         total / indices.len() as u32
     }
 }
 
-/// Builds a method over `dataset`, measuring build time and I/O.
+/// Builds a method over `dataset` through the registry, returning the
+/// measuring engine plus the build measurement.
 pub fn run_build(
     kind: MethodKind,
     dataset: &Dataset,
     options: &BuildOptions,
-) -> Result<(Arc<DatasetStore>, BuiltMethod, BuildMeasurement)> {
-    let store = Arc::new(DatasetStore::new(dataset.clone()));
-    let clock = Instant::now();
-    let built = build_method(kind, store.clone(), options)?;
-    let cpu_time = clock.elapsed();
-    let io = store.io_snapshot();
-    store.reset_io();
-    let measurement =
-        BuildMeasurement { kind, cpu_time, io, footprint: built.footprint.clone() };
-    Ok((store, built, measurement))
+) -> Result<(QueryEngine, BuildMeasurement)> {
+    let engine = kind.engine(dataset, options)?;
+    let measurement = BuildMeasurement {
+        kind,
+        cpu_time: engine.build_time(),
+        io: engine.build_io(),
+        footprint: engine.footprint(),
+    };
+    Ok((engine, measurement))
 }
 
-/// Runs a 1-NN query workload against a built method, measuring each query.
+/// Runs a 1-NN query workload through an engine, measuring each query.
+///
+/// The engine resets the store counters before each query and reconciles
+/// store-side traffic with the stats the method recorded itself, so the
+/// measurement here is a straight read-out. The method kind is recovered
+/// from the engine's descriptor, so it cannot drift from the engine the
+/// caller passes.
 pub fn run_queries(
-    built: &BuiltMethod,
-    store: &DatasetStore,
+    engine: &mut QueryEngine,
     workload: &QueryWorkload,
 ) -> Result<WorkloadMeasurement> {
+    let name = engine.descriptor().name;
+    let kind = MethodKind::from_name(name).ok_or_else(|| {
+        hydra_core::Error::invalid_parameter("engine", format!("unknown method {name:?}"))
+    })?;
+    let dataset_size = engine.dataset_size();
     let mut queries = Vec::with_capacity(workload.len());
     for series in workload.queries() {
-        store.reset_io();
-        let mut stats = QueryStats::default();
-        let clock = Instant::now();
-        built.method.answer(&Query::nearest_neighbor(series.clone()), &mut stats)?;
-        let cpu_time = clock.elapsed();
-        // Methods report I/O through their stats (leaf reads are charged
-        // there); the store counters cover raw-file traffic. Use whichever
-        // recorded more pages so neither accounting path is lost.
-        let store_io = store.io_snapshot();
-        let stats_io = IoSnapshot {
-            sequential_pages: stats.sequential_page_accesses,
-            random_pages: stats.random_page_accesses,
-            bytes_read: stats.bytes_read,
-            bytes_written: 0,
-        };
-        let io = if stats_io.total_pages() >= store_io.total_pages() { stats_io } else { store_io };
-        queries.push(QueryMeasurement { cpu_time, io, stats });
+        let answered = engine.answer(&Query::nearest_neighbor(series.clone()))?;
+        queries.push(QueryMeasurement {
+            cpu_time: answered.wall_time,
+            stats: answered.stats,
+        });
     }
-    Ok(WorkloadMeasurement { kind: built.kind, queries, dataset_size: store.len() })
+    Ok(WorkloadMeasurement {
+        kind,
+        queries,
+        dataset_size,
+    })
 }
 
 #[cfg(test)]
@@ -215,30 +239,36 @@ mod tests {
             &data,
             &WorkloadSpec::controlled(5).with_num_queries(12),
         );
-        let options = BuildOptions::default().with_leaf_capacity(20).with_train_samples(50);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(20)
+            .with_train_samples(50);
         (data, workload, options)
     }
 
     #[test]
     fn build_and_query_measurements_are_populated() {
         let (data, workload, options) = small_setup();
-        let (store, built, build) = run_build(MethodKind::DsTree, &data, &options).unwrap();
+        let (mut engine, build) = run_build(MethodKind::DsTree, &data, &options).unwrap();
         assert!(build.cpu_time > Duration::ZERO);
         assert!(build.io.bytes_written > 0, "index construction must write");
         assert!(build.footprint.is_some());
-        let run = run_queries(&built, &store, &workload).unwrap();
+        let run = run_queries(&mut engine, &workload).unwrap();
+        assert_eq!(run.kind, MethodKind::DsTree);
         assert_eq!(run.queries.len(), 12);
         assert!(run.total_time(Platform::Hdd) >= run.cpu_time());
         assert!(run.mean_pruning_ratio() > 0.0);
         assert_eq!(run.pruning_ratios().len(), 12);
         assert!(run.total_io().total_pages() > 0);
+        // The engine aggregates the same workload internally.
+        assert_eq!(engine.queries_answered(), 12);
+        assert!((engine.mean_pruning_ratio() - run.mean_pruning_ratio()).abs() < 1e-9);
     }
 
     #[test]
     fn scan_has_zero_pruning_and_finite_times() {
         let (data, workload, options) = small_setup();
-        let (store, built, _) = run_build(MethodKind::UcrSuite, &data, &options).unwrap();
-        let run = run_queries(&built, &store, &workload).unwrap();
+        let (mut engine, _) = run_build(MethodKind::UcrSuite, &data, &options).unwrap();
+        let run = run_queries(&mut engine, &workload).unwrap();
         assert_eq!(run.mean_pruning_ratio(), 0.0);
         let t10k = run.extrapolated_time(Platform::Hdd, 10_000);
         let t100 = run.total_time(Platform::Hdd);
@@ -248,8 +278,8 @@ mod tests {
     #[test]
     fn platform_models_order_io_costs_sensibly() {
         let (data, workload, options) = small_setup();
-        let (store, built, _) = run_build(MethodKind::AdsPlus, &data, &options).unwrap();
-        let run = run_queries(&built, &store, &workload).unwrap();
+        let (mut engine, _) = run_build(MethodKind::AdsPlus, &data, &options).unwrap();
+        let run = run_queries(&mut engine, &workload).unwrap();
         // ADS+ is seek-heavy: the HDD I/O model must charge it more than SSD.
         assert!(run.io_time(Platform::Hdd) >= run.io_time(Platform::Ssd));
         assert_eq!(Platform::Hdd.name(), "HDD");
@@ -259,8 +289,8 @@ mod tests {
     #[test]
     fn mean_time_of_subsets() {
         let (data, workload, options) = small_setup();
-        let (store, built, _) = run_build(MethodKind::VaPlusFile, &data, &options).unwrap();
-        let run = run_queries(&built, &store, &workload).unwrap();
+        let (mut engine, _) = run_build(MethodKind::VaPlusFile, &data, &options).unwrap();
+        let run = run_queries(&mut engine, &workload).unwrap();
         let all: Vec<usize> = (0..run.queries.len()).collect();
         let mean_all = run.mean_time_of(&all, Platform::Ssd);
         assert!(mean_all > Duration::ZERO);

@@ -5,7 +5,8 @@
 //!
 //! The harness is organized as:
 //!
-//! * [`registry`] — a uniform way to build any of the ten methods by name
+//! * [`registry`] — [`MethodKind`]: build any of the ten methods uniformly as
+//!   a `Box<dyn AnsweringMethod>` or as a measuring `hydra_core::QueryEngine`
 //!   over an instrumented store;
 //! * [`harness`] — the experiment runner: timed index construction, timed
 //!   query workloads with per-query statistics, the paper's 10 000-query
@@ -24,5 +25,5 @@ pub mod report;
 pub use harness::{
     run_build, run_queries, BuildMeasurement, Platform, QueryMeasurement, WorkloadMeasurement,
 };
-pub use registry::{build_method, BuiltMethod, MethodKind};
+pub use registry::MethodKind;
 pub use report::ResultTable;

@@ -1,6 +1,11 @@
 //! A registry of the ten evaluated methods, buildable by name.
+//!
+//! [`MethodKind::build_boxed`] constructs any method as a
+//! `Box<dyn AnsweringMethod>`, and [`MethodKind::engine`] wraps the result in
+//! a measuring [`QueryEngine`] wired to the instrumented store — the single
+//! code path the harness, the experiment binaries and the examples all drive.
 
-use hydra_core::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, Result};
+use hydra_core::{AnsweringMethod, BuildOptions, Dataset, QueryEngine, Result, RunClock};
 use hydra_dstree::DsTree;
 use hydra_isax::{AdsPlus, Isax2Plus};
 use hydra_mtree::MTree;
@@ -72,16 +77,26 @@ impl MethodKind {
             MethodKind::Isax2Plus => "iSAX2+",
             MethodKind::AdsPlus => "ADS+",
             MethodKind::DsTree => "DSTree",
-            MethodKind::SfaTrie => "SFA",
+            MethodKind::SfaTrie => "SFA trie",
             MethodKind::RStarTree => "R*-tree",
             MethodKind::MTree => "M-tree",
         }
     }
 
+    /// Looks a method up by its canonical display name (the inverse of
+    /// [`MethodKind::name`], which also matches the built method's
+    /// `descriptor().name`).
+    pub fn from_name(name: &str) -> Option<MethodKind> {
+        MethodKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// True if the method builds a persistent index (false for scans and
     /// multi-step filters).
     pub fn is_index(&self) -> bool {
-        !matches!(self, MethodKind::UcrSuite | MethodKind::Mass | MethodKind::Stepwise)
+        !matches!(
+            self,
+            MethodKind::UcrSuite | MethodKind::Mass | MethodKind::Stepwise
+        )
     }
 
     /// Method-appropriate build options derived from shared defaults: the SFA
@@ -94,72 +109,72 @@ impl MethodKind {
             MethodKind::SfaTrie => o.with_alphabet_size(8),
             MethodKind::RStarTree => {
                 let segments = o.segments.min(8);
-                o.with_segments(segments).with_leaf_capacity(base.leaf_capacity.clamp(2, 64))
+                o.with_segments(segments)
+                    .with_leaf_capacity(base.leaf_capacity.clamp(2, 64))
             }
             MethodKind::MTree => o.with_leaf_capacity(base.leaf_capacity.clamp(2, 64)),
             _ => o,
         }
     }
-}
 
-/// A built method: the answering interface plus optional index metadata.
-pub struct BuiltMethod {
-    /// Which method this is.
-    pub kind: MethodKind,
-    /// The query-answering interface.
-    pub method: Box<dyn AnsweringMethod>,
-    /// The index footprint, when the method builds an index.
-    pub footprint: Option<IndexFootprint>,
-}
+    /// Builds this method over an instrumented store with (method-tuned)
+    /// options, as the uniform dyn-dispatch interface.
+    pub fn build_boxed_on_store(
+        &self,
+        store: Arc<DatasetStore>,
+        options: &BuildOptions,
+    ) -> Result<Box<dyn AnsweringMethod>> {
+        let tuned = self.tuned_options(options, store.series_length());
+        Ok(match self {
+            MethodKind::UcrSuite => Box::new(UcrScan::new(store)),
+            MethodKind::Mass => Box::new(MassScan::new(store)),
+            MethodKind::Stepwise => Box::new(Stepwise::build(store)?),
+            MethodKind::VaPlusFile => Box::new(VaPlusFile::build_on_store(store, &tuned)?),
+            MethodKind::Isax2Plus => Box::new(Isax2Plus::build_on_store(store, &tuned)?),
+            MethodKind::AdsPlus => Box::new(AdsPlus::build_on_store(store, &tuned)?),
+            MethodKind::DsTree => Box::new(DsTree::build_on_store(store, &tuned)?),
+            MethodKind::SfaTrie => Box::new(SfaTrie::build_on_store(store, &tuned)?),
+            MethodKind::RStarTree => Box::new(RStarTree::build_on_store(store, &tuned)?),
+            MethodKind::MTree => Box::new(MTree::build_on_store(store, &tuned)?),
+        })
+    }
 
-/// Builds a method over an instrumented store with (method-tuned) options.
-pub fn build_method(
-    kind: MethodKind,
-    store: Arc<DatasetStore>,
-    options: &BuildOptions,
-) -> Result<BuiltMethod> {
-    let tuned = kind.tuned_options(options, store.series_length());
-    let (method, footprint): (Box<dyn AnsweringMethod>, Option<IndexFootprint>) = match kind {
-        MethodKind::UcrSuite => (Box::new(UcrScan::new(store)), None),
-        MethodKind::Mass => (Box::new(MassScan::new(store)), None),
-        MethodKind::Stepwise => (Box::new(Stepwise::build(store)?), None),
-        MethodKind::VaPlusFile => {
-            let idx = VaPlusFile::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::Isax2Plus => {
-            let idx = Isax2Plus::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::AdsPlus => {
-            let idx = AdsPlus::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::DsTree => {
-            let idx = DsTree::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::SfaTrie => {
-            let idx = SfaTrie::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::RStarTree => {
-            let idx = RStarTree::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-        MethodKind::MTree => {
-            let idx = MTree::build_on_store(store, &tuned)?;
-            let fp = idx.footprint();
-            (Box::new(idx), Some(fp))
-        }
-    };
-    Ok(BuiltMethod { kind, method, footprint })
+    /// Builds this method over `dataset` (wrapping it in a fresh instrumented
+    /// store) as the uniform dyn-dispatch interface.
+    pub fn build_boxed(
+        &self,
+        dataset: &Dataset,
+        options: &BuildOptions,
+    ) -> Result<Box<dyn AnsweringMethod>> {
+        self.build_boxed_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
+    }
+
+    /// Builds this method over an instrumented store and wraps it in a
+    /// [`QueryEngine`] wired to the store's I/O counters.
+    ///
+    /// Construction time and I/O are measured and recorded on the engine, and
+    /// the counters are reset afterwards so the first query starts clean.
+    pub fn engine_on_store(
+        &self,
+        store: Arc<DatasetStore>,
+        options: &BuildOptions,
+    ) -> Result<QueryEngine> {
+        store.reset_io();
+        let clock = RunClock::start();
+        let method = self.build_boxed_on_store(store.clone(), options)?;
+        let build_time = clock.elapsed();
+        let build_io = store.io_snapshot();
+        store.reset_io();
+        Ok(QueryEngine::new(method, store.len())
+            .with_io_source(store)
+            .with_build_measurement(build_time, build_io))
+    }
+
+    /// Builds this method over `dataset` and wraps it in a measuring
+    /// [`QueryEngine`] (see [`MethodKind::engine_on_store`]).
+    pub fn engine(&self, dataset: &Dataset, options: &BuildOptions) -> Result<QueryEngine> {
+        self.engine_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
+    }
 }
 
 #[cfg(test)]
@@ -171,15 +186,61 @@ mod tests {
     #[test]
     fn every_registered_method_builds_and_answers() {
         let data = RandomWalkGenerator::new(1, 64).dataset(120);
-        let options = BuildOptions::default().with_leaf_capacity(16).with_train_samples(50);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(16)
+            .with_train_samples(50);
         let query = Query::nearest_neighbor(data.series(3).to_owned_series());
         for kind in MethodKind::ALL {
-            let store = Arc::new(DatasetStore::new(data.clone()));
-            let built = build_method(kind, store, &options).unwrap();
-            assert_eq!(built.kind, kind);
-            assert_eq!(built.footprint.is_some(), kind.is_index(), "{}", kind.name());
-            let ans = built.method.answer_simple(&query).unwrap();
-            assert_eq!(ans.nearest().unwrap().id, 3, "{} missed the member query", kind.name());
+            let mut engine = kind.engine(&data, &options).unwrap();
+            assert_eq!(engine.descriptor().name, kind.name());
+            assert_eq!(
+                engine.footprint().is_some(),
+                kind.is_index(),
+                "{}",
+                kind.name()
+            );
+            let ans = engine.answer_simple(&query).unwrap();
+            assert_eq!(
+                ans.nearest().unwrap().id,
+                3,
+                "{} missed the member query",
+                kind.name()
+            );
+            assert_eq!(engine.queries_answered(), 1);
+        }
+    }
+
+    #[test]
+    fn all_ten_methods_match_the_ucr_baseline_through_build_boxed() {
+        // The registry smoke test: every MethodKind built through the uniform
+        // dyn interface must answer k-NN queries with exactly the brute-force
+        // scan's distances (the paper's exactness invariant).
+        let data = RandomWalkGenerator::new(7, 96).dataset(250);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(25)
+            .with_train_samples(100);
+        let baseline = MethodKind::UcrSuite.build_boxed(&data, &options).unwrap();
+        let queries: Vec<Query> = RandomWalkGenerator::new(1234, 96)
+            .series_batch(4)
+            .into_iter()
+            .map(|s| Query::knn(s, 5))
+            .collect();
+        let expected_answers: Vec<_> = queries
+            .iter()
+            .map(|q| baseline.answer_simple(q).unwrap())
+            .collect();
+        for kind in MethodKind::ALL {
+            let method = kind.build_boxed(&data, &options).unwrap();
+            for (qi, (query, expected)) in queries.iter().zip(&expected_answers).enumerate() {
+                let got = method.answer_simple(query).unwrap();
+                assert!(
+                    got.distances_match(expected, 1e-4),
+                    "{} diverged from UCR-Suite on query {qi}: {:?} vs {:?}",
+                    kind.name(),
+                    got.answers(),
+                    expected.answers(),
+                );
+            }
         }
     }
 
@@ -196,9 +257,19 @@ mod tests {
 
     #[test]
     fn tuned_options_respect_method_quirks() {
-        let base = BuildOptions::default().with_segments(16).with_leaf_capacity(1000);
-        assert_eq!(MethodKind::SfaTrie.tuned_options(&base, 256).alphabet_size, 8);
-        assert!(MethodKind::RStarTree.tuned_options(&base, 256).leaf_capacity <= 64);
+        let base = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(1000);
+        assert_eq!(
+            MethodKind::SfaTrie.tuned_options(&base, 256).alphabet_size,
+            8
+        );
+        assert!(
+            MethodKind::RStarTree
+                .tuned_options(&base, 256)
+                .leaf_capacity
+                <= 64
+        );
         assert!(MethodKind::MTree.tuned_options(&base, 256).leaf_capacity <= 64);
         assert_eq!(MethodKind::DsTree.tuned_options(&base, 8).segments, 8);
     }

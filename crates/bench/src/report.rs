@@ -35,7 +35,11 @@ impl ResultTable {
 
     /// Appends a row; its length must match the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match the header");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
         self.rows.push(cells);
     }
 
@@ -81,7 +85,14 @@ impl ResultTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -132,8 +132,16 @@ pub fn squared_euclidean_reordered(
     order: &QueryOrder,
     threshold: f64,
 ) -> Option<f64> {
-    debug_assert_eq!(query.len(), candidate.len(), "series must have equal length");
-    debug_assert_eq!(order.len(), query.len(), "order must cover the query length");
+    debug_assert_eq!(
+        query.len(),
+        candidate.len(),
+        "series must have equal length"
+    );
+    debug_assert_eq!(
+        order.len(),
+        query.len(),
+        "order must cover the query length"
+    );
     let mut sum = 0.0f64;
     const CHECK_EVERY: usize = 8;
     let mut since_check = 0usize;

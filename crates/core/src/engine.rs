@@ -1,0 +1,365 @@
+//! The unified query engine: one driver for all ten methods.
+//!
+//! Every method in the suite — sequential scans, multi-step filters and
+//! pre-built indexes alike — is answered through the same dyn-dispatch
+//! interface here. A [`QueryEngine`] owns a built [`AnsweringMethod`] as a
+//! trait object, an optional handle to the instrumented store's I/O counters
+//! (the [`IoSource`] implemented by `hydra_storage::DatasetStore`), and the
+//! running [`QueryStats`] aggregate across the queries it has answered.
+//!
+//! The engine enforces the measurement discipline the experiment harness
+//! previously re-implemented per call site:
+//!
+//! * I/O counters are reset before each query and reconciled into the query's
+//!   [`QueryStats`] afterwards — methods that charge their I/O through stats
+//!   (leaf reads) and methods whose traffic is only visible to the store are
+//!   accounted under the same rule (whichever recorded more pages wins, so
+//!   neither path is lost);
+//! * wall-clock time is measured around the dyn call;
+//! * per-query stats are merged into a running total, giving workload-level
+//!   aggregates (mean pruning ratio, total I/O) for free.
+
+use crate::knn::AnswerSet;
+use crate::method::{AnsweringMethod, IndexFootprint, MethodDescriptor};
+use crate::query::Query;
+use crate::stats::{IoSnapshot, QueryStats};
+use crate::Result;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of I/O counters observed around every query.
+///
+/// Implemented by `hydra_storage::DatasetStore`; defined here so the engine
+/// can reconcile store-side traffic without depending on the storage crate.
+pub trait IoSource: Send + Sync {
+    /// A point-in-time copy of the counters.
+    fn io_snapshot(&self) -> IoSnapshot;
+
+    /// Resets the counters (and any sequentiality tracking) to zero.
+    fn reset_io(&self);
+}
+
+/// The result of one engine-driven query: the exact answers plus the
+/// reconciled measurements.
+#[derive(Clone, Debug)]
+pub struct EngineAnswer {
+    /// The exact answer set.
+    pub answers: AnswerSet,
+    /// Work counters for this query, with I/O reconciled against the store.
+    pub stats: QueryStats,
+    /// Wall-clock time of the dyn `answer` call.
+    pub wall_time: Duration,
+}
+
+/// A built method plus everything needed to answer and measure queries
+/// uniformly.
+pub struct QueryEngine {
+    method: Box<dyn AnsweringMethod>,
+    io: Option<Arc<dyn IoSource>>,
+    dataset_size: usize,
+    build_time: Duration,
+    build_io: IoSnapshot,
+    totals: QueryStats,
+    queries_answered: u64,
+}
+
+impl QueryEngine {
+    /// Wraps a built method. `dataset_size` is the number of series the
+    /// method answers over (the denominator of pruning ratios).
+    pub fn new(method: Box<dyn AnsweringMethod>, dataset_size: usize) -> Self {
+        Self {
+            method,
+            io: None,
+            dataset_size,
+            build_time: Duration::ZERO,
+            build_io: IoSnapshot::default(),
+            totals: QueryStats::default(),
+            queries_answered: 0,
+        }
+    }
+
+    /// Attaches the store's I/O counters; they are reset before and read
+    /// after every query.
+    pub fn with_io_source(mut self, io: Arc<dyn IoSource>) -> Self {
+        self.io = Some(io);
+        self
+    }
+
+    /// Records what index construction cost (time and I/O), so downstream
+    /// reporting can model build phases without a side channel.
+    pub fn with_build_measurement(mut self, build_time: Duration, build_io: IoSnapshot) -> Self {
+        self.build_time = build_time;
+        self.build_io = build_io;
+        self
+    }
+
+    /// The method's static description.
+    pub fn descriptor(&self) -> MethodDescriptor {
+        self.method.descriptor()
+    }
+
+    /// The structural footprint, when the method builds an index.
+    pub fn footprint(&self) -> Option<IndexFootprint> {
+        self.method.index_footprint()
+    }
+
+    /// The wrapped method.
+    pub fn method(&self) -> &dyn AnsweringMethod {
+        self.method.as_ref()
+    }
+
+    /// The number of series the engine answers over.
+    pub fn dataset_size(&self) -> usize {
+        self.dataset_size
+    }
+
+    /// Wall-clock time of index construction (zero for scans).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// I/O counted during index construction.
+    pub fn build_io(&self) -> IoSnapshot {
+        self.build_io
+    }
+
+    /// The number of queries answered so far.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries_answered
+    }
+
+    /// The running total of per-query stats since construction (or the last
+    /// [`QueryEngine::reset_totals`]).
+    pub fn totals(&self) -> &QueryStats {
+        &self.totals
+    }
+
+    /// Mean pruning ratio across the answered queries.
+    pub fn mean_pruning_ratio(&self) -> f64 {
+        if self.queries_answered == 0 || self.dataset_size == 0 {
+            return 0.0;
+        }
+        let mean_examined = self.totals.raw_series_examined as f64 / self.queries_answered as f64;
+        (1.0 - mean_examined / self.dataset_size as f64).clamp(0.0, 1.0)
+    }
+
+    /// Clears the running aggregate (e.g. between workloads).
+    pub fn reset_totals(&mut self) {
+        self.totals = QueryStats::default();
+        self.queries_answered = 0;
+    }
+
+    /// Answers an exact query, measuring it and folding the stats into the
+    /// running totals.
+    pub fn answer(&mut self, query: &Query) -> Result<EngineAnswer> {
+        if let Some(io) = &self.io {
+            io.reset_io();
+        }
+        let mut stats = QueryStats::default();
+        let clock = Instant::now();
+        let answers = self.method.answer(query, &mut stats)?;
+        let wall_time = clock.elapsed();
+        if let Some(io) = &self.io {
+            let observed = io.io_snapshot();
+            // Methods charge leaf reads through their stats; the store
+            // counters cover raw-file traffic. Keep whichever accounting path
+            // recorded more pages so neither is lost.
+            if observed.total_pages() > stats.io_snapshot().total_pages() {
+                stats.sequential_page_accesses = observed.sequential_pages;
+                stats.random_page_accesses = observed.random_pages;
+                stats.bytes_read = observed.bytes_read;
+            }
+        }
+        self.totals.merge(&stats);
+        self.queries_answered += 1;
+        Ok(EngineAnswer {
+            answers,
+            stats,
+            wall_time,
+        })
+    }
+
+    /// Answers an exact query, discarding the measurements.
+    pub fn answer_simple(&mut self, query: &Query) -> Result<AnswerSet> {
+        Ok(self.answer(query)?.answers)
+    }
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("method", &self.descriptor().name)
+            .field("dataset_size", &self.dataset_size)
+            .field("queries_answered", &self.queries_answered)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnHeap;
+    use crate::method::MethodDescriptor;
+    use crate::series::{Dataset, Series};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A brute-force method that examines every series.
+    struct BruteForce {
+        data: Dataset,
+        io: Arc<FakeIo>,
+    }
+
+    impl AnsweringMethod for BruteForce {
+        fn descriptor(&self) -> MethodDescriptor {
+            MethodDescriptor {
+                name: "BruteForce",
+                representation: "raw",
+                is_index: false,
+                supports_approximate: false,
+            }
+        }
+
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            self.io
+                .pages
+                .fetch_add(self.data.len() as u64, Ordering::SeqCst);
+            let mut heap = KnnHeap::new(query.k().unwrap_or(1));
+            for (i, s) in self.data.iter().enumerate() {
+                stats.record_raw_series_examined(1);
+                heap.offer(i, crate::distance::euclidean(query.values(), s.values()));
+            }
+            Ok(heap.into_answer_set())
+        }
+    }
+
+    /// An I/O source backed by a plain page counter.
+    #[derive(Default)]
+    struct FakeIo {
+        pages: AtomicU64,
+    }
+
+    impl IoSource for FakeIo {
+        fn io_snapshot(&self) -> IoSnapshot {
+            let pages = self.pages.load(Ordering::SeqCst);
+            IoSnapshot {
+                sequential_pages: pages,
+                random_pages: 0,
+                bytes_read: pages * 4096,
+                bytes_written: 0,
+            }
+        }
+
+        fn reset_io(&self) {
+            self.pages.store(0, Ordering::SeqCst);
+        }
+    }
+
+    fn engine() -> QueryEngine {
+        let data = Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0, 5.0, 5.0, 9.0, 9.0], 2);
+        let io = Arc::new(FakeIo::default());
+        let size = data.len();
+        QueryEngine::new(
+            Box::new(BruteForce {
+                data,
+                io: io.clone(),
+            }),
+            size,
+        )
+        .with_io_source(io)
+        .with_build_measurement(
+            Duration::from_millis(3),
+            IoSnapshot {
+                bytes_written: 64,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn engine_answers_and_aggregates() {
+        let mut e = engine();
+        assert_eq!(e.descriptor().name, "BruteForce");
+        assert_eq!(e.footprint(), None, "scans expose no footprint");
+        assert_eq!(e.dataset_size(), 4);
+        assert_eq!(e.build_time(), Duration::from_millis(3));
+        assert_eq!(e.build_io().bytes_written, 64);
+
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]));
+        let a = e.answer(&q).unwrap();
+        assert_eq!(a.answers.nearest().unwrap().id, 1);
+        assert_eq!(a.stats.raw_series_examined, 4);
+        // Store-side pages exceed the stats-side zero, so they win.
+        assert_eq!(a.stats.sequential_page_accesses, 4);
+        assert_eq!(a.stats.bytes_read, 4 * 4096);
+
+        e.answer(&q).unwrap();
+        assert_eq!(e.queries_answered(), 2);
+        assert_eq!(e.totals().raw_series_examined, 8);
+        // Brute force examines everything: zero pruning.
+        assert_eq!(e.mean_pruning_ratio(), 0.0);
+
+        e.reset_totals();
+        assert_eq!(e.queries_answered(), 0);
+        assert_eq!(e.totals().raw_series_examined, 0);
+    }
+
+    #[test]
+    fn answer_simple_discards_measurements() {
+        let mut e = engine();
+        let q = Query::nearest_neighbor(Series::new(vec![5.1, 5.1]));
+        let ans = e.answer_simple(&q).unwrap();
+        assert_eq!(ans.nearest().unwrap().id, 2);
+    }
+
+    #[test]
+    fn io_reconciliation_prefers_the_larger_recording() {
+        /// A method that records more I/O into stats than the store observes.
+        struct StatsHeavy;
+        impl AnsweringMethod for StatsHeavy {
+            fn descriptor(&self) -> MethodDescriptor {
+                MethodDescriptor {
+                    name: "StatsHeavy",
+                    representation: "raw",
+                    is_index: false,
+                    supports_approximate: false,
+                }
+            }
+            fn answer(&self, _q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+                stats.record_io(100, 10, 1 << 20);
+                Ok(AnswerSet::default())
+            }
+        }
+        let io = Arc::new(FakeIo::default());
+        let mut e = QueryEngine::new(Box::new(StatsHeavy), 1).with_io_source(io);
+        let q = Query::nearest_neighbor(Series::new(vec![0.0]));
+        let a = e.answer(&q).unwrap();
+        assert_eq!(a.stats.sequential_page_accesses, 100);
+        assert_eq!(a.stats.random_page_accesses, 10);
+        assert_eq!(a.stats.bytes_read, 1 << 20);
+    }
+
+    #[test]
+    fn pruning_ratio_reflects_partial_examination() {
+        /// Pretends to examine one series per query over a 10-series dataset.
+        struct Pruner;
+        impl AnsweringMethod for Pruner {
+            fn descriptor(&self) -> MethodDescriptor {
+                MethodDescriptor {
+                    name: "Pruner",
+                    representation: "raw",
+                    is_index: true,
+                    supports_approximate: false,
+                }
+            }
+            fn answer(&self, _q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+                stats.record_raw_series_examined(1);
+                Ok(AnswerSet::default())
+            }
+        }
+        let mut e = QueryEngine::new(Box::new(Pruner), 10);
+        let q = Query::nearest_neighbor(Series::new(vec![0.0]));
+        e.answer(&q).unwrap();
+        e.answer(&q).unwrap();
+        assert!((e.mean_pruning_ratio() - 0.9).abs() < 1e-12);
+    }
+}

@@ -35,7 +35,10 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for invalid-parameter errors.
     pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
-        Error::InvalidParameter { name, message: message.into() }
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
     }
 }
 
@@ -43,7 +46,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::LengthMismatch { expected, actual } => {
-                write!(f, "series length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "series length mismatch: expected {expected}, got {actual}"
+                )
             }
             Error::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             Error::InvalidParameter { name, message } => {
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::LengthMismatch { expected: 256, actual: 128 };
+        let e = Error::LengthMismatch {
+            expected: 256,
+            actual: 128,
+        };
         assert!(e.to_string().contains("256"));
         assert!(e.to_string().contains("128"));
 
@@ -86,13 +95,17 @@ mod tests {
         assert!(e.to_string().contains("must be positive"));
 
         assert!(Error::EmptyDataset.to_string().contains("non-empty"));
-        assert!(Error::NotFound("node 7".into()).to_string().contains("node 7"));
-        assert!(Error::CorruptIndex("bad fanout".into()).to_string().contains("bad fanout"));
+        assert!(Error::NotFound("node 7".into())
+            .to_string()
+            .contains("node 7"));
+        assert!(Error::CorruptIndex("bad fanout".into())
+            .to_string()
+            .contains("bad fanout"));
     }
 
     #[test]
     fn io_errors_convert_and_chain() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: Error = io.into();
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());

@@ -145,7 +145,11 @@ impl KnnHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1), members: HashSet::new() }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            members: HashSet::new(),
+        }
     }
 
     /// The `k` this heap was created with.
@@ -173,7 +177,10 @@ impl KnnHeap {
     #[inline]
     pub fn threshold(&self) -> f64 {
         if self.is_full() {
-            self.heap.peek().map(|e| e.distance).unwrap_or(f64::INFINITY)
+            self.heap
+                .peek()
+                .map(|e| e.distance)
+                .unwrap_or(f64::INFINITY)
         } else {
             f64::INFINITY
         }
@@ -230,7 +237,10 @@ impl KnnHeap {
     /// Finalizes the heap into a sorted answer set.
     pub fn into_answer_set(self) -> AnswerSet {
         AnswerSet::from_unsorted(
-            self.heap.into_iter().map(|e| Answer::new(e.id, e.distance)).collect(),
+            self.heap
+                .into_iter()
+                .map(|e| Answer::new(e.id, e.distance))
+                .collect(),
         )
     }
 }

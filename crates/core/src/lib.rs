@@ -14,6 +14,8 @@
 //!   in [`query`],
 //! * the common interface implemented by every method evaluated in the paper
 //!   ([`AnsweringMethod`], [`ExactIndex`]) in [`method`],
+//! * the unified dyn-dispatch query driver ([`QueryEngine`]) that answers and
+//!   measures queries identically across all ten methods in [`engine`],
 //! * the measurement framework of the paper's Section 4.2: pruning ratio,
 //!   tightness of the lower bound (TLB), index footprint, and timing breakdowns
 //!   in [`stats`].
@@ -23,6 +25,7 @@
 //! sibling crates on top of these abstractions.
 
 pub mod distance;
+pub mod engine;
 pub mod error;
 pub mod knn;
 pub mod method;
@@ -34,9 +37,10 @@ pub use distance::{
     euclidean, euclidean_early_abandon, euclidean_reordered, squared_euclidean,
     squared_euclidean_early_abandon, QueryOrder,
 };
+pub use engine::{EngineAnswer, IoSource, QueryEngine};
 pub use error::{Error, Result};
 pub use knn::{Answer, AnswerSet, KnnHeap};
 pub use method::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor};
 pub use query::{MatchingKind, Query, QueryKind, RangeQuery};
 pub use series::{Dataset, Series, SeriesView};
-pub use stats::{PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};
+pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

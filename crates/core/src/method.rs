@@ -96,10 +96,16 @@ impl BuildOptions {
     /// Validates the options against a dataset's series length.
     pub fn validate(&self, series_length: usize) -> Result<()> {
         if self.leaf_capacity == 0 {
-            return Err(crate::Error::invalid_parameter("leaf_capacity", "must be positive"));
+            return Err(crate::Error::invalid_parameter(
+                "leaf_capacity",
+                "must be positive",
+            ));
         }
         if self.segments == 0 {
-            return Err(crate::Error::invalid_parameter("segments", "must be positive"));
+            return Err(crate::Error::invalid_parameter(
+                "segments",
+                "must be positive",
+            ));
         }
         if self.segments > series_length {
             return Err(crate::Error::invalid_parameter(
@@ -108,7 +114,10 @@ impl BuildOptions {
             ));
         }
         if self.alphabet_size < 2 {
-            return Err(crate::Error::invalid_parameter("alphabet_size", "must be at least 2"));
+            return Err(crate::Error::invalid_parameter(
+                "alphabet_size",
+                "must be at least 2",
+            ));
         }
         Ok(())
     }
@@ -177,6 +186,9 @@ impl IndexFootprint {
 /// `answer` must return the *exact* answer set (the true k nearest
 /// neighbours); this is the invariant validated throughout the test suite by
 /// comparison against the brute-force scan.
+///
+/// The trait is dyn-compatible: the engine and the bench registry drive all
+/// ten methods of the paper uniformly as `Box<dyn AnsweringMethod>`.
 pub trait AnsweringMethod {
     /// Static description of the method (Table 1 row).
     fn descriptor(&self) -> MethodDescriptor;
@@ -189,12 +201,27 @@ pub trait AnsweringMethod {
         let mut stats = QueryStats::default();
         self.answer(query, &mut stats)
     }
+
+    /// The structural footprint, for methods that build an index.
+    ///
+    /// Sequential and multi-step scans return `None` (the default); index
+    /// methods override this to expose [`ExactIndex::footprint`] through the
+    /// trait object.
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        None
+    }
 }
 
 /// An index structure built over a dataset ahead of query time.
-pub trait ExactIndex: AnsweringMethod + Sized {
+///
+/// Dyn-compatible: only the constructor is restricted to sized `Self`, so a
+/// built index can also be handled as `Box<dyn ExactIndex>` where the
+/// footprint accessors are needed without the answering interface.
+pub trait ExactIndex: AnsweringMethod {
     /// Builds the index over `dataset` with the given options.
-    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self>;
+    fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self>
+    where
+        Self: Sized;
 
     /// Reports the structural footprint of the built index.
     fn footprint(&self) -> IndexFootprint;
@@ -239,10 +266,22 @@ mod tests {
     fn build_options_validation() {
         let ok = BuildOptions::default().with_segments(16);
         assert!(ok.validate(256).is_ok());
-        assert!(ok.validate(8).is_err(), "segments larger than length must fail");
-        assert!(BuildOptions::default().with_leaf_capacity(0).validate(256).is_err());
-        assert!(BuildOptions::default().with_segments(0).validate(256).is_err());
-        assert!(BuildOptions::default().with_alphabet_size(1).validate(256).is_err());
+        assert!(
+            ok.validate(8).is_err(),
+            "segments larger than length must fail"
+        );
+        assert!(BuildOptions::default()
+            .with_leaf_capacity(0)
+            .validate(256)
+            .is_err());
+        assert!(BuildOptions::default()
+            .with_segments(0)
+            .validate(256)
+            .is_err());
+        assert!(BuildOptions::default()
+            .with_alphabet_size(1)
+            .validate(256)
+            .is_err());
     }
 
     #[test]
@@ -303,7 +342,10 @@ mod tests {
         let m = BruteForce { data };
         let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]));
         let ans = m.answer_simple(&q).unwrap();
-        assert_eq!(ans.nearest(), Some(Answer::new(1, ans.nearest().unwrap().distance)));
+        assert_eq!(
+            ans.nearest(),
+            Some(Answer::new(1, ans.nearest().unwrap().distance))
+        );
         assert_eq!(ans.nearest().unwrap().id, 1);
     }
 }

@@ -51,7 +51,11 @@ impl Query {
     /// Panics if `k == 0`.
     pub fn knn(series: Series, k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
-        Self { series, kind: QueryKind::Knn { k }, matching: MatchingKind::Whole }
+        Self {
+            series,
+            kind: QueryKind::Knn { k },
+            matching: MatchingKind::Whole,
+        }
     }
 
     /// Creates a whole-matching 1-NN query (the paper's primary workload).
@@ -64,8 +68,15 @@ impl Query {
     /// # Panics
     /// Panics if `radius` is negative or not finite.
     pub fn range(series: Series, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "radius must be a non-negative finite value");
-        Self { series, kind: QueryKind::Range { radius }, matching: MatchingKind::Whole }
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be a non-negative finite value"
+        );
+        Self {
+            series,
+            kind: QueryKind::Range { radius },
+            matching: MatchingKind::Whole,
+        }
     }
 
     /// The query series.
@@ -150,7 +161,10 @@ pub struct RangeQuery {
 impl RangeQuery {
     /// Creates a new range query.
     pub fn new(series: Series, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "radius must be a non-negative finite value");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be a non-negative finite value"
+        );
         Self { series, radius }
     }
 }

@@ -108,7 +108,9 @@ impl Series {
     /// A borrowed view of this series.
     #[inline]
     pub fn view(&self) -> SeriesView<'_> {
-        SeriesView { values: &self.values }
+        SeriesView {
+            values: &self.values,
+        }
     }
 }
 
@@ -118,7 +120,13 @@ impl fmt::Debug for Series {
         if self.len() <= 8 {
             write!(f, "{:?})", self.values)
         } else {
-            write!(f, "[{:.3}, {:.3}, ..., {:.3}])", self.values[0], self.values[1], self.values[self.len() - 1])
+            write!(
+                f,
+                "[{:.3}, {:.3}, ..., {:.3}])",
+                self.values[0],
+                self.values[1],
+                self.values[self.len() - 1]
+            )
         }
     }
 }
@@ -211,7 +219,9 @@ pub fn z_normalize(values: &mut [f32]) {
         values.iter_mut().for_each(|v| *v = 0.0);
     } else {
         let inv = 1.0 / sd;
-        values.iter_mut().for_each(|v| *v = ((*v as f64 - mean) * inv) as f32);
+        values
+            .iter_mut()
+            .for_each(|v| *v = ((*v as f64 - mean) * inv) as f32);
     }
 }
 
@@ -234,7 +244,10 @@ impl Dataset {
     /// Creates an empty dataset whose series all have length `series_length`.
     pub fn empty(series_length: usize) -> Self {
         assert!(series_length > 0, "series length must be positive");
-        Self { values: Vec::new(), series_length }
+        Self {
+            values: Vec::new(),
+            series_length,
+        }
     }
 
     /// Creates a dataset from a flat buffer of `count * series_length` values.
@@ -244,12 +257,15 @@ impl Dataset {
     pub fn from_flat(values: Vec<f32>, series_length: usize) -> Self {
         assert!(series_length > 0, "series length must be positive");
         assert!(
-            values.len() % series_length == 0,
+            values.len().is_multiple_of(series_length),
             "flat buffer length {} is not a multiple of series length {}",
             values.len(),
             series_length
         );
-        Self { values, series_length }
+        Self {
+            values,
+            series_length,
+        }
     }
 
     /// Creates a dataset from a list of equally long series.
@@ -261,14 +277,23 @@ impl Dataset {
         I: IntoIterator<Item = Series>,
     {
         let mut iter = series.into_iter();
-        let first = iter.next().expect("dataset must contain at least one series");
+        let first = iter
+            .next()
+            .expect("dataset must contain at least one series");
         let series_length = first.len();
         let mut values = first.into_values();
         for s in iter {
-            assert_eq!(s.len(), series_length, "all series in a dataset must have equal length");
+            assert_eq!(
+                s.len(),
+                series_length,
+                "all series in a dataset must have equal length"
+            );
             values.extend_from_slice(s.values());
         }
-        Self { values, series_length }
+        Self {
+            values,
+            series_length,
+        }
     }
 
     /// Appends one series to the dataset.
@@ -283,11 +308,10 @@ impl Dataset {
     /// The number of series in the dataset.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.series_length == 0 {
-            0
-        } else {
-            self.values.len() / self.series_length
-        }
+        self.values
+            .len()
+            .checked_div(self.series_length)
+            .unwrap_or(0)
     }
 
     /// Returns `true` if the dataset holds no series.
@@ -327,7 +351,9 @@ impl Dataset {
 
     /// Iterates over all series views in storage order.
     pub fn iter(&self) -> impl Iterator<Item = SeriesView<'_>> + '_ {
-        self.values.chunks_exact(self.series_length).map(SeriesView::new)
+        self.values
+            .chunks_exact(self.series_length)
+            .map(SeriesView::new)
     }
 
     /// Z-normalizes every series in the dataset in place.
@@ -425,7 +451,10 @@ mod tests {
         d.push(&[4.0, 5.0]);
         assert_eq!(d.len(), 3);
         let collected: Vec<_> = d.iter().map(|v| v.values().to_vec()).collect();
-        assert_eq!(collected, vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]);
+        assert_eq!(
+            collected,
+            vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]
+        );
     }
 
     #[test]

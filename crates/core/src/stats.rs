@@ -16,6 +16,41 @@
 
 use std::time::{Duration, Instant};
 
+/// A point-in-time copy of I/O counters: page accesses split by access
+/// pattern, plus byte totals.
+///
+/// Counters are produced by the instrumented store in `hydra-storage` (which
+/// re-exports this type) and consumed by the [`crate::engine::QueryEngine`]
+/// and the cost models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page reads that continued directly after the previously read page.
+    pub sequential_pages: u64,
+    /// Page reads that required a seek (any non-contiguous access).
+    pub random_pages: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written (index construction payloads).
+    pub bytes_written: u64,
+}
+
+impl IoSnapshot {
+    /// Total page accesses of either kind.
+    pub fn total_pages(&self) -> u64 {
+        self.sequential_pages + self.random_pages
+    }
+
+    /// The difference `self - earlier`, for measuring a code region.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            sequential_pages: self.sequential_pages - earlier.sequential_pages,
+            random_pages: self.random_pages - earlier.random_pages,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
 /// Per-query work counters, filled in by every method while answering.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryStats {
@@ -96,6 +131,19 @@ impl QueryStats {
         self.io_time += other.io_time;
     }
 
+    /// The I/O recorded in these stats as a snapshot.
+    ///
+    /// Query-side writes are not charged to queries, so `bytes_written` is
+    /// always zero here.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            sequential_pages: self.sequential_page_accesses,
+            random_pages: self.random_page_accesses,
+            bytes_read: self.bytes_read,
+            bytes_written: 0,
+        }
+    }
+
     /// The pruning ratio of this query against a dataset of `dataset_size`
     /// series: `1 - examined / dataset_size`. Clamped to `[0, 1]`.
     pub fn pruning_ratio(&self, dataset_size: usize) -> f64 {
@@ -160,7 +208,11 @@ impl PruningStats {
 
     /// Minimum pruning ratio (hardest query).
     pub fn min(&self) -> f64 {
-        self.ratios.iter().copied().fold(f64::INFINITY, f64::min).clamp(0.0, 1.0)
+        self.ratios
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .clamp(0.0, 1.0)
     }
 
     /// Maximum pruning ratio (easiest query).
@@ -273,7 +325,9 @@ pub struct RunClock {
 impl RunClock {
     /// Starts the clock.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.
@@ -391,7 +445,10 @@ mod tests {
         let mut tb = TimeBreakdown::new(Duration::from_secs(3), Duration::from_secs(1));
         assert_eq!(tb.total(), Duration::from_secs(4));
         assert!((tb.cpu_fraction() - 0.75).abs() < 1e-12);
-        tb.add(TimeBreakdown::new(Duration::from_secs(1), Duration::from_secs(3)));
+        tb.add(TimeBreakdown::new(
+            Duration::from_secs(1),
+            Duration::from_secs(3),
+        ));
         assert_eq!(tb.total(), Duration::from_secs(8));
         assert!((tb.cpu_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(TimeBreakdown::default().cpu_fraction(), 0.0);

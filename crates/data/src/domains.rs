@@ -39,8 +39,12 @@ pub enum DomainDataset {
 
 impl DomainDataset {
     /// All domain datasets, in the order the paper lists them.
-    pub const ALL: [DomainDataset; 4] =
-        [DomainDataset::Seismic, DomainDataset::Astro, DomainDataset::Sald, DomainDataset::Deep];
+    pub const ALL: [DomainDataset; 4] = [
+        DomainDataset::Seismic,
+        DomainDataset::Astro,
+        DomainDataset::Sald,
+        DomainDataset::Deep,
+    ];
 
     /// The display name used in result tables.
     pub fn name(&self) -> &'static str {
@@ -73,7 +77,11 @@ pub struct DomainGenerator {
 impl DomainGenerator {
     /// Creates a generator for `domain` with the paper's series length.
     pub fn new(domain: DomainDataset, seed: u64) -> Self {
-        Self { domain, seed, series_length: domain.paper_series_length() }
+        Self {
+            domain,
+            seed,
+            series_length: domain.paper_series_length(),
+        }
     }
 
     /// Overrides the series length (used for length sweeps).
@@ -132,9 +140,8 @@ impl DomainGenerator {
             let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             for (offset, value) in v.iter_mut().enumerate().skip(onset) {
                 let t = (offset - onset) as f64;
-                *value += amp
-                    * (-decay * t).exp()
-                    * (std::f64::consts::TAU * freq * t + phase).sin();
+                *value +=
+                    amp * (-decay * t).exp() * (std::f64::consts::TAU * freq * t + phase).sin();
             }
         }
         v.into_iter().map(|x| x as f32).collect()
@@ -225,8 +232,12 @@ mod tests {
 
     #[test]
     fn domains_differ_from_each_other() {
-        let a = DomainGenerator::new(DomainDataset::Seismic, 3).with_series_length(128).series(0);
-        let b = DomainGenerator::new(DomainDataset::Deep, 3).with_series_length(128).series(0);
+        let a = DomainGenerator::new(DomainDataset::Seismic, 3)
+            .with_series_length(128)
+            .series(0);
+        let b = DomainGenerator::new(DomainDataset::Deep, 3)
+            .with_series_length(128)
+            .series(0);
         assert_ne!(a, b);
     }
 
@@ -256,10 +267,22 @@ mod tests {
             }
             num / den
         }
-        let sald = DomainGenerator::new(DomainDataset::Sald, 2).with_series_length(128).series(0);
-        let deep = DomainGenerator::new(DomainDataset::Deep, 2).with_series_length(128).series(0);
-        assert!(lag1(&sald) > 0.8, "SALD should be smooth, got {}", lag1(&sald));
-        assert!(lag1(&deep) < 0.5, "Deep should be rough, got {}", lag1(&deep));
+        let sald = DomainGenerator::new(DomainDataset::Sald, 2)
+            .with_series_length(128)
+            .series(0);
+        let deep = DomainGenerator::new(DomainDataset::Deep, 2)
+            .with_series_length(128)
+            .series(0);
+        assert!(
+            lag1(&sald) > 0.8,
+            "SALD should be smooth, got {}",
+            lag1(&sald)
+        );
+        assert!(
+            lag1(&deep) < 0.5,
+            "Deep should be rough, got {}",
+            lag1(&deep)
+        );
     }
 
     #[test]

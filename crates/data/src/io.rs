@@ -29,7 +29,10 @@ pub fn write_dataset(dataset: &Dataset, path: &Path) -> Result<()> {
 /// `series_length * 4` bytes.
 pub fn read_dataset(path: &Path, series_length: usize) -> Result<Dataset> {
     if series_length == 0 {
-        return Err(Error::invalid_parameter("series_length", "must be positive"));
+        return Err(Error::invalid_parameter(
+            "series_length",
+            "must be positive",
+        ));
     }
     let file = File::open(path)?;
     let mut reader = BufReader::new(file);
@@ -45,10 +48,13 @@ pub fn read_dataset(path: &Path, series_length: usize) -> Result<Dataset> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
-    if values.len() % series_length != 0 {
+    if !values.len().is_multiple_of(series_length) {
         return Err(Error::invalid_parameter(
             "series_length",
-            format!("{} values is not a multiple of series length {series_length}", values.len()),
+            format!(
+                "{} values is not a multiple of series length {series_length}",
+                values.len()
+            ),
         ));
     }
     Ok(Dataset::from_flat(values, series_length))

@@ -44,7 +44,11 @@ impl RandomWalkGenerator {
     /// seed. Output is Z-normalized by default.
     pub fn new(seed: u64, series_length: usize) -> Self {
         assert!(series_length > 0, "series length must be positive");
-        Self { seed, series_length, z_normalize: true }
+        Self {
+            seed,
+            series_length,
+            z_normalize: true,
+        }
     }
 
     /// Disables Z-normalization of generated series.

@@ -71,12 +71,20 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A 100-query random workload (Synth-Rand) with the given seed.
     pub fn random(seed: u64) -> Self {
-        Self { kind: WorkloadKind::Random, num_queries: 100, seed }
+        Self {
+            kind: WorkloadKind::Random,
+            num_queries: 100,
+            seed,
+        }
     }
 
     /// A 100-query controlled workload (`*-Ctrl`) with the given seed.
     pub fn controlled(seed: u64) -> Self {
-        Self { kind: WorkloadKind::Controlled, num_queries: 100, seed }
+        Self {
+            kind: WorkloadKind::Controlled,
+            num_queries: 100,
+            seed,
+        }
     }
 
     /// Overrides the number of queries.
@@ -105,14 +113,24 @@ impl QueryWorkload {
     /// noise, cycling through [`NoiseLevel::LADDER`] so difficulty is spread
     /// evenly across the workload.
     pub fn generate(name: impl Into<String>, dataset: &Dataset, spec: &WorkloadSpec) -> Self {
-        assert!(spec.num_queries > 0, "workload must contain at least one query");
-        assert!(!dataset.is_empty(), "cannot build a workload for an empty dataset");
+        assert!(
+            spec.num_queries > 0,
+            "workload must contain at least one query"
+        );
+        assert!(
+            !dataset.is_empty(),
+            "cannot build a workload for an empty dataset"
+        );
         match spec.kind {
             WorkloadKind::Random => {
                 let gen = RandomWalkGenerator::new(spec.seed, dataset.series_length());
                 let queries = gen.series_batch(spec.num_queries);
                 let noise_levels = vec![None; spec.num_queries];
-                Self { name: name.into(), queries, noise_levels }
+                Self {
+                    name: name.into(),
+                    queries,
+                    noise_levels,
+                }
             }
             WorkloadKind::Controlled => {
                 let mut rng = StdRng::seed_from_u64(spec.seed);
@@ -132,7 +150,11 @@ impl QueryWorkload {
                     queries.push(Series::new(values));
                     noise_levels.push(Some(level));
                 }
-                Self { name: name.into(), queries, noise_levels }
+                Self {
+                    name: name.into(),
+                    queries,
+                    noise_levels,
+                }
             }
         }
     }
@@ -171,7 +193,10 @@ impl QueryWorkload {
     /// worst per-query times, average the rest, multiply by `target_queries`.
     ///
     /// Returns `None` when fewer than 11 per-query observations are provided.
-    pub fn extrapolate_total_seconds(per_query_seconds: &[f64], target_queries: usize) -> Option<f64> {
+    pub fn extrapolate_total_seconds(
+        per_query_seconds: &[f64],
+        target_queries: usize,
+    ) -> Option<f64> {
         if per_query_seconds.len() < 11 {
             return None;
         }
@@ -190,7 +215,9 @@ impl QueryWorkload {
     pub fn split_easy_hard(scores: &[f64], n: usize) -> (Vec<usize>, Vec<usize>) {
         let mut idx: Vec<usize> = (0..scores.len()).collect();
         idx.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let n = n.min(idx.len());
         let easy = idx[..n].to_vec();
@@ -253,7 +280,9 @@ mod tests {
             &WorkloadSpec::controlled(3).with_num_queries(100),
         );
         let nn_dist = |q: &Series| {
-            d.iter().map(|s| euclidean(q.values(), s.values())).fold(f64::INFINITY, f64::min)
+            d.iter()
+                .map(|s| euclidean(q.values(), s.values()))
+                .fold(f64::INFINITY, f64::min)
         };
         let mut easy_sum = 0.0;
         let mut easy_n = 0;
@@ -283,8 +312,14 @@ mod tests {
         );
         // Query 0 has zero noise: its distance to some dataset series is ~0.
         let q = &w.queries()[0];
-        let min = d.iter().map(|s| euclidean(q.values(), s.values())).fold(f64::INFINITY, f64::min);
-        assert!(min < 1e-3, "zero-noise query should match a dataset series, got {min}");
+        let min = d
+            .iter()
+            .map(|s| euclidean(q.values(), s.values()))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min < 1e-3,
+            "zero-noise query should match a dataset series, got {min}"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::node::{
     choose_split, enumerate_splits, LeafEntry, Node, NodeKind, NodeSynopsis, SplitAttribute,
 };
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::eapca::{uniform_segmentation, Eapca};
@@ -38,7 +38,10 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+        other
+            .lower_bound
+            .partial_cmp(&self.lower_bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -54,7 +57,9 @@ impl DsTree {
         let root = Node {
             segmentation: segmentation.clone(),
             synopsis: NodeSynopsis::new(initial_segments),
-            kind: NodeKind::Leaf { entries: Vec::new() },
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+            },
             depth: 0,
         };
         let mut tree = Self {
@@ -122,7 +127,11 @@ impl DsTree {
                         SplitAttribute::Mean => routing.segments[split.segment].mean,
                         SplitAttribute::StdDev => routing.segments[split.segment].std_dev,
                     };
-                    current = if value <= split.threshold { left } else { right };
+                    current = if value <= split.threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
                 NodeKind::Leaf { .. } => break,
             }
@@ -178,27 +187,41 @@ impl DsTree {
             };
             if value <= spec.threshold {
                 left_syn.absorb(&child_eapca);
-                left_entries.push(LeafEntry { id: e.id, eapca: child_eapca });
+                left_entries.push(LeafEntry {
+                    id: e.id,
+                    eapca: child_eapca,
+                });
             } else {
                 right_syn.absorb(&child_eapca);
-                right_entries.push(LeafEntry { id: e.id, eapca: child_eapca });
+                right_entries.push(LeafEntry {
+                    id: e.id,
+                    eapca: child_eapca,
+                });
             }
         }
         let left_id = self.nodes.len();
         self.nodes.push(Node {
             segmentation: child_segmentation.clone(),
             synopsis: left_syn,
-            kind: NodeKind::Leaf { entries: left_entries },
+            kind: NodeKind::Leaf {
+                entries: left_entries,
+            },
             depth: depth + 1,
         });
         let right_id = self.nodes.len();
         self.nodes.push(Node {
             segmentation: child_segmentation,
             synopsis: right_syn,
-            kind: NodeKind::Leaf { entries: right_entries },
+            kind: NodeKind::Leaf {
+                entries: right_entries,
+            },
             depth: depth + 1,
         });
-        self.nodes[leaf].kind = NodeKind::Internal { split: spec, left: left_id, right: right_id };
+        self.nodes[leaf].kind = NodeKind::Internal {
+            split: spec,
+            left: left_id,
+            right: right_id,
+        };
         // A split chosen by `choose_split` is always effective, so both
         // children are strictly smaller than the parent; still, they may
         // individually exceed the capacity and need further splitting.
@@ -247,7 +270,11 @@ impl DsTree {
                         SplitAttribute::Mean => routing.segments[split.segment].mean,
                         SplitAttribute::StdDev => routing.segments[split.segment].std_dev,
                     };
-                    current = if value <= split.threshold { *left } else { *right };
+                    current = if value <= split.threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 NodeKind::Leaf { .. } => return current,
             }
@@ -271,6 +298,10 @@ impl AnsweringMethod for DsTree {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -290,7 +321,10 @@ impl AnsweringMethod for DsTree {
         let mut frontier = BinaryHeap::new();
         let root_lb = self.node_lower_bound(0, query.values());
         stats.record_lower_bounds(1);
-        frontier.push(Frontier { lower_bound: root_lb, node: 0 });
+        frontier.push(Frontier {
+            lower_bound: root_lb,
+            node: 0,
+        });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
             if heap.is_full() && lower_bound >= heap.threshold() {
                 break;
@@ -307,7 +341,10 @@ impl AnsweringMethod for DsTree {
                         let lb = self.node_lower_bound(child, query.values());
                         stats.record_lower_bounds(1);
                         if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier { lower_bound: lb, node: child });
+                            frontier.push(Frontier {
+                                lower_bound: lb,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -338,8 +375,8 @@ impl ExactIndex for DsTree {
                 leaf_fill_factors.push(entries.len() as f64 / self.leaf_capacity as f64);
                 leaf_depths.push(n.depth);
                 disk_bytes += entries.len() * self.store.series_bytes();
-                memory_bytes += entries.len()
-                    * (std::mem::size_of::<LeafEntry>() + n.segmentation.len() * 8);
+                memory_bytes +=
+                    entries.len() * (std::mem::size_of::<LeafEntry>() + n.segmentation.len() * 8);
             }
         }
         IndexFootprint {
@@ -379,9 +416,12 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, DsTree) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(91, len).dataset(count)));
-        let options =
-            BuildOptions::default().with_segments(8.min(len)).with_leaf_capacity(leaf);
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(91, len).dataset(count),
+        ));
+        let options = BuildOptions::default()
+            .with_segments(8.min(len))
+            .with_leaf_capacity(leaf);
         let index = DsTree::build_on_store(store.clone(), &options).unwrap();
         (store, index)
     }
@@ -399,7 +439,10 @@ mod tests {
         let (_, idx) = build(500, 64, 25);
         assert_eq!(idx.num_entries(), 500);
         let fp = idx.footprint();
-        assert!(fp.total_nodes > 1, "a 500-series tree with capacity 25 must split");
+        assert!(
+            fp.total_nodes > 1,
+            "a 500-series tree with capacity 25 must split"
+        );
         assert!(fp.leaf_fill_factors.iter().all(|&f| f <= 1.0 + 1e-9));
         assert_eq!(fp.disk_bytes, 500 * 64 * 4);
     }
@@ -449,7 +492,11 @@ mod tests {
         let mut stats = QueryStats::default();
         let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
         assert_eq!(ans.nearest().unwrap().id, 700);
-        assert!(stats.pruning_ratio(1000) > 0.8, "ratio {}", stats.pruning_ratio(1000));
+        assert!(
+            stats.pruning_ratio(1000) > 0.8,
+            "ratio {}",
+            stats.pruning_ratio(1000)
+        );
         assert!(stats.leaves_visited >= 1);
     }
 
@@ -458,8 +505,9 @@ mod tests {
         let (_, idx) = build(500, 64, 25);
         for q in RandomWalkGenerator::new(291, 64).series_batch(5) {
             let mut s1 = QueryStats::default();
-            let approx =
-                idx.answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1).unwrap();
+            let approx = idx
+                .answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1)
+                .unwrap();
             assert!(s1.leaves_visited <= 1);
             let exact = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
             if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
@@ -475,8 +523,13 @@ mod tests {
         for _ in 0..50 {
             data.push(&series);
         }
-        let idx = DsTree::build(&data, &BuildOptions::default().with_segments(4).with_leaf_capacity(8))
-            .unwrap();
+        let idx = DsTree::build(
+            &data,
+            &BuildOptions::default()
+                .with_segments(4)
+                .with_leaf_capacity(8),
+        )
+        .unwrap();
         assert_eq!(idx.num_entries(), 50);
         // All identical: search still returns an exact answer.
         let ans = idx
@@ -490,7 +543,10 @@ mod tests {
         assert!(DsTree::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                8
+            ])))
             .is_err());
     }
 }

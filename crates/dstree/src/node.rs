@@ -95,7 +95,9 @@ pub struct NodeSynopsis {
 impl NodeSynopsis {
     /// An empty synopsis over `num_segments` segments.
     pub fn new(num_segments: usize) -> Self {
-        Self { segments: vec![SegmentSynopsis::default(); num_segments] }
+        Self {
+            segments: vec![SegmentSynopsis::default(); num_segments],
+        }
     }
 
     /// Absorbs an EAPCA representation into the ranges.
@@ -139,8 +141,9 @@ impl NodeSynopsis {
             let syn = &self.segments[i];
             if !syn.is_empty() {
                 let q = &query.segments[i];
-                let d_mean =
-                    (q.mean - syn.min_mean).abs().max((q.mean - syn.max_mean).abs()) as f64;
+                let d_mean = (q.mean - syn.min_mean)
+                    .abs()
+                    .max((q.mean - syn.max_mean).abs()) as f64;
                 let d_std = (q.std_dev as f64) + syn.max_std as f64;
                 sum += w * (d_mean * d_mean + d_std * d_std);
             }
@@ -316,13 +319,13 @@ pub fn choose_split(candidates: &[CandidateSplit]) -> Option<&CandidateSplit> {
     if effective.is_empty() {
         return None;
     }
-    effective
-        .into_iter()
-        .max_by(|a, b| {
-            let score_a = a.balance() - if a.spec.is_vertical { 0.1 } else { 0.0 };
-            let score_b = b.balance() - if b.spec.is_vertical { 0.1 } else { 0.0 };
-            score_a.partial_cmp(&score_b).unwrap_or(std::cmp::Ordering::Equal)
-        })
+    effective.into_iter().max_by(|a, b| {
+        let score_a = a.balance() - if a.spec.is_vertical { 0.1 } else { 0.0 };
+        let score_b = b.balance() - if b.spec.is_vertical { 0.1 } else { 0.0 };
+        score_a
+            .partial_cmp(&score_b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]
@@ -335,7 +338,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect()
@@ -397,11 +402,16 @@ mod tests {
     }
 
     fn make_entries(count: usize, len: usize, seg: &[usize]) -> (Vec<LeafEntry>, Vec<Vec<f32>>) {
-        let raw: Vec<Vec<f32>> = (0..count).map(|i| lcg_series(len, 300 + i as u64)).collect();
+        let raw: Vec<Vec<f32>> = (0..count)
+            .map(|i| lcg_series(len, 300 + i as u64))
+            .collect();
         let entries = raw
             .iter()
             .enumerate()
-            .map(|(i, s)| LeafEntry { id: i as u32, eapca: Eapca::compute(s, seg) })
+            .map(|(i, s)| LeafEntry {
+                id: i as u32,
+                eapca: Eapca::compute(s, seg),
+            })
             .collect();
         (entries, raw)
     }
@@ -414,8 +424,7 @@ mod tests {
         for e in &entries {
             syn.absorb(&e.eapca);
         }
-        let candidates =
-            enumerate_splits(|id| raw[id as usize].clone(), &entries, &seg, &syn);
+        let candidates = enumerate_splits(|id| raw[id as usize].clone(), &entries, &seg, &syn);
         assert!(candidates.iter().any(|c| !c.spec.is_vertical));
         assert!(candidates.iter().any(|c| c.spec.is_vertical));
         // Horizontal: 2 per segment; vertical: 1 per splittable segment.
@@ -436,7 +445,10 @@ mod tests {
         let candidates = enumerate_splits(|id| raw[id as usize].clone(), &entries, &seg, &syn);
         let best = choose_split(&candidates).expect("some split must be effective");
         assert!(best.is_effective());
-        assert!(best.balance() >= 0.3, "best split should be reasonably balanced");
+        assert!(
+            best.balance() >= 0.3,
+            "best split should be reasonably balanced"
+        );
     }
 
     #[test]
@@ -444,14 +456,20 @@ mod tests {
         let seg = uniform_segmentation(8, 2);
         let series = vec![1.0f32; 8];
         let entries: Vec<LeafEntry> = (0..5)
-            .map(|i| LeafEntry { id: i, eapca: Eapca::compute(&series, &seg) })
+            .map(|i| LeafEntry {
+                id: i,
+                eapca: Eapca::compute(&series, &seg),
+            })
             .collect();
         let mut syn = NodeSynopsis::new(2);
         for e in &entries {
             syn.absorb(&e.eapca);
         }
         let candidates = enumerate_splits(|_| series.clone(), &entries, &seg, &syn);
-        assert!(choose_split(&candidates).is_none(), "identical entries cannot be separated");
+        assert!(
+            choose_split(&candidates).is_none(),
+            "identical entries cannot be separated"
+        );
     }
 
     #[test]
@@ -463,12 +481,24 @@ mod tests {
             threshold: 0.0,
             is_vertical: false,
         };
-        let c = CandidateSplit { spec: spec.clone(), left_count: 5, right_count: 5 };
+        let c = CandidateSplit {
+            spec: spec.clone(),
+            left_count: 5,
+            right_count: 5,
+        };
         assert_eq!(c.balance(), 1.0);
-        let c = CandidateSplit { spec: spec.clone(), left_count: 10, right_count: 0 };
+        let c = CandidateSplit {
+            spec: spec.clone(),
+            left_count: 10,
+            right_count: 0,
+        };
         assert_eq!(c.balance(), 0.0);
         assert!(!c.is_effective());
-        let c = CandidateSplit { spec, left_count: 0, right_count: 0 };
+        let c = CandidateSplit {
+            spec,
+            left_count: 0,
+            right_count: 0,
+        };
         assert_eq!(c.balance(), 0.0);
     }
 }

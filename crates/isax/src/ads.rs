@@ -19,8 +19,8 @@
 
 use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -42,7 +42,7 @@ impl AdsPlus {
             return Err(Error::EmptyDataset);
         }
         options.validate(store.series_length())?;
-        let max_bits = log2_ceil(options.alphabet_size).max(1).min(16) as u8;
+        let max_bits = log2_ceil(options.alphabet_size).clamp(1, 16) as u8;
         let params = SaxParams::new(store.series_length(), options.segments, max_bits);
         let mut tree = IsaxTree::new(params.clone(), options.leaf_capacity);
         let mut summaries = Vec::with_capacity(store.len());
@@ -54,7 +54,11 @@ impl AdsPlus {
         // Only the summaries are written out: the index is tiny on disk.
         let summary_bytes = store.len() * options.segments * 2;
         store.record_index_write(summary_bytes as u64);
-        Ok(Self { store, tree, summaries })
+        Ok(Self {
+            store,
+            tree,
+            summaries,
+        })
     }
 
     /// The underlying iSAX tree.
@@ -99,6 +103,10 @@ impl AnsweringMethod for AdsPlus {
             is_index: true,
             supports_approximate: true,
         }
+    }
+
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
     }
 
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
@@ -205,7 +213,9 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, AdsPlus) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(71, len).dataset(count)));
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(71, len).dataset(count),
+        ));
         let options = BuildOptions::default()
             .with_segments(16.min(len))
             .with_leaf_capacity(leaf)
@@ -223,12 +233,18 @@ mod tests {
 
     #[test]
     fn build_writes_far_less_than_isax2plus() {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(71, 64).dataset(300)));
-        let options = BuildOptions::default().with_segments(16).with_leaf_capacity(20);
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(71, 64).dataset(300),
+        ));
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(20);
         let _ads = AdsPlus::build_on_store(store.clone(), &options).unwrap();
         let ads_written = store.io_snapshot().bytes_written;
 
-        let store2 = Arc::new(DatasetStore::new(RandomWalkGenerator::new(71, 64).dataset(300)));
+        let store2 = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(71, 64).dataset(300),
+        ));
         let _isax = crate::Isax2Plus::build_on_store(store2.clone(), &options).unwrap();
         let isax_written = store2.io_snapshot().bytes_written;
         assert!(
@@ -260,14 +276,48 @@ mod tests {
 
     #[test]
     fn sims_performs_skip_sequential_access() {
-        let (store, idx) = build(2000, 64, 100);
+        // Plant near-duplicates of an off-dataset base series at scattered
+        // positions. The approximate descent seeds a small but non-zero bsf,
+        // so SIMS must seek to each scattered surviving candidate while still
+        // pruning the bulk of the file.
+        let len = 64;
+        let gen = RandomWalkGenerator::new(71, len);
+        let base = gen.series(5000);
+        let planted = [200usize, 600, 1000, 1400, 1800];
+        let mut data = Dataset::empty(len);
+        for i in 0..2000usize {
+            if let Some(rank) = planted.iter().position(|&p| p == i) {
+                let mut v = base.values().to_vec();
+                for (j, x) in v.iter_mut().enumerate() {
+                    *x += 0.01 * (rank as f32 + 1.0) * ((j % 7) as f32 - 3.0);
+                }
+                data.push(&v);
+            } else {
+                data.push(gen.series(i as u64).values());
+            }
+        }
+        let store = Arc::new(DatasetStore::new(data));
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(100)
+            .with_alphabet_size(256);
+        let idx = AdsPlus::build_on_store(store.clone(), &options).unwrap();
         store.reset_io();
-        let q = store.dataset().series(1234).to_owned_series();
         let mut stats = QueryStats::default();
-        let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
-        assert_eq!(ans.nearest().unwrap().id, 1234);
+        let ans = idx
+            .answer(&Query::nearest_neighbor(base), &mut stats)
+            .unwrap();
+        assert_eq!(
+            ans.nearest().unwrap().id,
+            200,
+            "least-perturbed planted copy must win"
+        );
         // Strong pruning: most series are skipped...
-        assert!(stats.pruning_ratio(2000) > 0.8, "ratio {}", stats.pruning_ratio(2000));
+        assert!(
+            stats.pruning_ratio(2000) > 0.8,
+            "ratio {}",
+            stats.pruning_ratio(2000)
+        );
         // ...at the price of multiple random accesses (skips).
         assert!(
             stats.random_page_accesses > 1,
@@ -281,7 +331,9 @@ mod tests {
         let (store, idx) = build(600, 64, 30);
         let q = store.dataset().series(77).to_owned_series();
         let mut stats = QueryStats::default();
-        let ans = idx.answer_approximate(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        let ans = idx
+            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .unwrap();
         assert!(stats.leaves_visited <= 1);
         assert!(stats.raw_series_examined <= 31);
         assert_eq!(ans.nearest().unwrap().id, 77);
@@ -291,14 +343,21 @@ mod tests {
     fn footprint_is_summary_sized() {
         let (_, idx) = build(400, 64, 20);
         let fp = idx.footprint();
-        assert!(fp.disk_bytes < 400 * 64 * 4 / 4, "ADS+ persists summaries, not raw data");
+        assert!(
+            fp.disk_bytes < 400 * 64 * 4 / 4,
+            "ADS+ persists summaries, not raw data"
+        );
         assert_eq!(fp.leaf_fill_factors.len(), fp.leaf_nodes);
         // Same tree shape as iSAX2+ for the same parameters (checked loosely:
         // node counts are equal because insertion order and policy are shared).
-        let store2 = Arc::new(DatasetStore::new(RandomWalkGenerator::new(71, 64).dataset(400)));
+        let store2 = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(71, 64).dataset(400),
+        ));
         let isax = crate::Isax2Plus::build_on_store(
             store2,
-            &BuildOptions::default().with_segments(16).with_leaf_capacity(20),
+            &BuildOptions::default()
+                .with_segments(16)
+                .with_leaf_capacity(20),
         )
         .unwrap();
         assert_eq!(fp.total_nodes, isax.footprint().total_nodes);
@@ -309,7 +368,10 @@ mod tests {
         assert!(AdsPlus::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 16])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                16
+            ])))
             .is_err());
     }
 }

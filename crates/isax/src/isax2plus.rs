@@ -12,8 +12,8 @@
 
 use crate::tree::{IsaxTree, NodeId, NodeKind};
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::SaxParams;
@@ -46,7 +46,10 @@ impl PartialOrd for Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap.
-        other.mindist.partial_cmp(&self.mindist).unwrap_or(Ordering::Equal)
+        other
+            .mindist
+            .partial_cmp(&self.mindist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -57,7 +60,7 @@ impl Isax2Plus {
             return Err(Error::EmptyDataset);
         }
         options.validate(store.series_length())?;
-        let max_bits = log2_ceil(options.alphabet_size).max(1).min(16) as u8;
+        let max_bits = log2_ceil(options.alphabet_size).clamp(1, 16) as u8;
         let params = SaxParams::new(store.series_length(), options.segments, max_bits);
         let mut tree = IsaxTree::new(params.clone(), options.leaf_capacity);
         // One sequential pass over the raw data: summarize and insert.
@@ -82,13 +85,7 @@ impl Isax2Plus {
     /// Scans one leaf: computes exact distances of its entries against the
     /// query, charging one random access plus sequential pages for the leaf's
     /// materialized payload.
-    fn scan_leaf(
-        &self,
-        leaf: NodeId,
-        query: &Query,
-        heap: &mut KnnHeap,
-        stats: &mut QueryStats,
-    ) {
+    fn scan_leaf(&self, leaf: NodeId, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
         let NodeKind::Leaf { entries } = &self.tree.node(leaf).kind else {
             return;
         };
@@ -128,6 +125,10 @@ impl AnsweringMethod for Isax2Plus {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -151,7 +152,10 @@ impl AnsweringMethod for Isax2Plus {
         for root_child in self.tree.root_children() {
             let mindist = self.tree.mindist(&query_paa, root_child);
             stats.record_lower_bounds(1);
-            frontier.push(Frontier { mindist, node: root_child });
+            frontier.push(Frontier {
+                mindist,
+                node: root_child,
+            });
         }
         while let Some(Frontier { mindist, node }) = frontier.pop() {
             if heap.is_full() && mindist >= heap.threshold() {
@@ -165,7 +169,10 @@ impl AnsweringMethod for Isax2Plus {
                         let d = self.tree.mindist(&query_paa, child);
                         stats.record_lower_bounds(1);
                         if !heap.is_full() || d < heap.threshold() {
-                            frontier.push(Frontier { mindist: d, node: child });
+                            frontier.push(Frontier {
+                                mindist: d,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -214,7 +221,9 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, Isax2Plus) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(51, len).dataset(count)));
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(51, len).dataset(count),
+        ));
         let options = BuildOptions::default()
             .with_segments(16.min(len))
             .with_leaf_capacity(leaf)
@@ -269,7 +278,11 @@ mod tests {
         let mut stats = QueryStats::default();
         let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
         assert_eq!(ans.nearest().unwrap().id, 321);
-        assert!(stats.pruning_ratio(1000) > 0.8, "pruning ratio {}", stats.pruning_ratio(1000));
+        assert!(
+            stats.pruning_ratio(1000) > 0.8,
+            "pruning ratio {}",
+            stats.pruning_ratio(1000)
+        );
         assert!(stats.leaves_visited >= 1);
         assert!(stats.lower_bounds_computed > 0);
     }
@@ -279,7 +292,9 @@ mod tests {
         let (store, idx) = build(800, 64, 40);
         let q = store.dataset().series(100).to_owned_series();
         let mut stats = QueryStats::default();
-        let ans = idx.answer_approximate(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        let ans = idx
+            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .unwrap();
         assert_eq!(stats.leaves_visited, 1);
         // The approximate answer for a dataset member found in its own leaf is
         // exact (distance 0).
@@ -309,7 +324,11 @@ mod tests {
         let (_, idx) = build(600, 64, 30);
         let fp = idx.footprint();
         assert!(fp.total_nodes >= fp.leaf_nodes);
-        assert_eq!(fp.disk_bytes, 600 * 64 * 4, "leaves materialize all raw series");
+        assert_eq!(
+            fp.disk_bytes,
+            600 * 64 * 4,
+            "leaves materialize all raw series"
+        );
         assert!(fp.mean_fill_factor() > 0.0);
     }
 
@@ -317,12 +336,19 @@ mod tests {
     fn coarse_roots_force_splits_and_internal_nodes() {
         // With only 4 segments the root fanout is 16, so 600 series with leaf
         // capacity 30 must overflow some root children and create splits.
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(51, 64).dataset(600)));
-        let options =
-            BuildOptions::default().with_segments(4).with_leaf_capacity(30).with_alphabet_size(256);
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(51, 64).dataset(600),
+        ));
+        let options = BuildOptions::default()
+            .with_segments(4)
+            .with_leaf_capacity(30)
+            .with_alphabet_size(256);
         let idx = Isax2Plus::build_on_store(store, &options).unwrap();
         let fp = idx.footprint();
-        assert!(fp.total_nodes > fp.leaf_nodes, "expected internal nodes from splits");
+        assert!(
+            fp.total_nodes > fp.leaf_nodes,
+            "expected internal nodes from splits"
+        );
         assert!(fp.max_leaf_depth() >= 2);
     }
 
@@ -338,7 +364,10 @@ mod tests {
         assert!(Isax2Plus::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                8
+            ])))
             .is_err());
     }
 }

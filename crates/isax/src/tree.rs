@@ -67,7 +67,12 @@ impl IsaxTree {
     /// Creates an empty tree.
     pub fn new(params: SaxParams, leaf_capacity: usize) -> Self {
         assert!(leaf_capacity > 0, "leaf capacity must be positive");
-        Self { params, leaf_capacity, nodes: Vec::new(), root_children: HashMap::new() }
+        Self {
+            params,
+            leaf_capacity,
+            nodes: Vec::new(),
+            root_children: HashMap::new(),
+        }
     }
 
     /// The SAX parameters of the tree.
@@ -129,23 +134,29 @@ impl IsaxTree {
             None => {
                 let word = IsaxWord::root_of(&sax, self.params.max_bits());
                 let nid = self.nodes.len();
-                self.nodes.push(Node { word, kind: NodeKind::Leaf { entries: Vec::new() }, depth: 1 });
+                self.nodes.push(Node {
+                    word,
+                    kind: NodeKind::Leaf {
+                        entries: Vec::new(),
+                    },
+                    depth: 1,
+                });
                 self.root_children.insert(key, nid);
                 nid
             }
         };
         let mut current = root_child;
-        loop {
-            match &self.nodes[current].kind {
-                NodeKind::Internal { split_segment, left, right } => {
-                    let (left, right, seg) = (*left, *right, *split_segment);
-                    let child_bits = self.nodes[left].word.bits[seg];
-                    let shift = self.params.max_bits() - child_bits;
-                    let sym = sax.symbols[seg] >> shift;
-                    current = if sym & 1 == 0 { left } else { right };
-                }
-                NodeKind::Leaf { .. } => break,
-            }
+        while let NodeKind::Internal {
+            split_segment,
+            left,
+            right,
+        } = &self.nodes[current].kind
+        {
+            let (left, right, seg) = (*left, *right, *split_segment);
+            let child_bits = self.nodes[left].word.bits[seg];
+            let shift = self.params.max_bits() - child_bits;
+            let sym = sax.symbols[seg] >> shift;
+            current = if sym & 1 == 0 { left } else { right };
         }
         if let NodeKind::Leaf { entries } = &mut self.nodes[current].kind {
             entries.push(LeafEntry { id, sax });
@@ -169,11 +180,16 @@ impl IsaxTree {
             };
             let word = self.nodes[leaf].word.clone();
             let depth = self.nodes[leaf].depth;
-            let (left_word, right_word) =
-                word.split(segment).expect("chosen segment must be splittable");
+            let (left_word, right_word) = word
+                .split(segment)
+                .expect("chosen segment must be splittable");
             let entries = match std::mem::replace(
                 &mut self.nodes[leaf].kind,
-                NodeKind::Internal { split_segment: segment, left: 0, right: 0 },
+                NodeKind::Internal {
+                    split_segment: segment,
+                    left: 0,
+                    right: 0,
+                },
             ) {
                 NodeKind::Leaf { entries } => entries,
                 NodeKind::Internal { .. } => unreachable!(),
@@ -195,17 +211,24 @@ impl IsaxTree {
             let left_id = self.nodes.len();
             self.nodes.push(Node {
                 word: left_word,
-                kind: NodeKind::Leaf { entries: left_entries },
+                kind: NodeKind::Leaf {
+                    entries: left_entries,
+                },
                 depth: depth + 1,
             });
             let right_id = self.nodes.len();
             self.nodes.push(Node {
                 word: right_word,
-                kind: NodeKind::Leaf { entries: right_entries },
+                kind: NodeKind::Leaf {
+                    entries: right_entries,
+                },
                 depth: depth + 1,
             });
-            self.nodes[leaf].kind =
-                NodeKind::Internal { split_segment: segment, left: left_id, right: right_id };
+            self.nodes[leaf].kind = NodeKind::Internal {
+                split_segment: segment,
+                left: left_id,
+                right: right_id,
+            };
             // Recurse into whichever child is still over-full (at most one can
             // hold all the entries).
             let next = if left_len > self.leaf_capacity {
@@ -238,7 +261,10 @@ impl IsaxTree {
                 continue;
             }
             let shift = max_bits - (bits + 1);
-            let left = entries.iter().filter(|e| (e.sax.symbols[seg] >> shift) & 1 == 0).count();
+            let left = entries
+                .iter()
+                .filter(|e| (e.sax.symbols[seg] >> shift) & 1 == 0)
+                .count();
             let right = entries.len() - left;
             if left == 0 || right == 0 {
                 continue;
@@ -264,7 +290,11 @@ impl IsaxTree {
         let mut current = *self.root_children.get(&key)?;
         loop {
             match &self.nodes[current].kind {
-                NodeKind::Internal { split_segment, left, right } => {
+                NodeKind::Internal {
+                    split_segment,
+                    left,
+                    right,
+                } => {
                     stats.record_internal_visit();
                     let child_bits = self.nodes[*left].word.bits[*split_segment];
                     let shift = self.params.max_bits() - child_bits;
@@ -278,7 +308,8 @@ impl IsaxTree {
 
     /// The MINDIST lower bound between a query's PAA values and a node.
     pub fn mindist(&self, query_paa: &[f32], node: NodeId) -> f64 {
-        self.params.mindist_paa_to_isax(query_paa, &self.nodes[node].word)
+        self.params
+            .mindist_paa_to_isax(query_paa, &self.nodes[node].word)
     }
 
     /// Builds the footprint report for this tree, given the byte cost of one
@@ -357,7 +388,10 @@ mod tests {
             let node = tree.node(leaf);
             if let NodeKind::Leaf { entries } = &node.kind {
                 for e in entries {
-                    assert!(node.word.contains(&e.sax), "leaf word must cover its entries");
+                    assert!(
+                        node.word.contains(&e.sax),
+                        "leaf word must cover its entries"
+                    );
                 }
             }
         }
@@ -370,7 +404,9 @@ mod tests {
         let mut stats = QueryStats::default();
         for i in (0..400).step_by(37) {
             let sax = p.sax_word(data.series(i).values());
-            let leaf = tree.locate_leaf(&sax, &mut stats).expect("series word must map to a leaf");
+            let leaf = tree
+                .locate_leaf(&sax, &mut stats)
+                .expect("series word must map to a leaf");
             if let NodeKind::Leaf { entries } = &tree.node(leaf).kind {
                 assert!(
                     entries.iter().any(|e| e.id == i as u32),
@@ -405,7 +441,10 @@ mod tests {
                 assert_eq!(tree.node(right).depth, tree.node(i).depth + 1);
             }
         }
-        assert!(internals > 0, "a 500-series tree with capacity 4 must have split");
+        assert!(
+            internals > 0,
+            "a 500-series tree with capacity 4 must have split"
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! indexes, which is exactly the scaling weakness the paper reports.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use std::cmp::Ordering;
@@ -80,7 +80,10 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+        other
+            .lower_bound
+            .partial_cmp(&self.lower_bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -91,7 +94,10 @@ impl MTree {
             return Err(Error::EmptyDataset);
         }
         if options.leaf_capacity == 0 {
-            return Err(Error::invalid_parameter("leaf_capacity", "must be positive"));
+            return Err(Error::invalid_parameter(
+                "leaf_capacity",
+                "must be positive",
+            ));
         }
         let mut tree = Self {
             store: store.clone(),
@@ -105,7 +111,9 @@ impl MTree {
             pivot: 0,
             radius: 0.0,
             to_parent: 0.0,
-            kind: NodeKind::Leaf { entries: Vec::new() },
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+            },
             depth: 0,
         });
         store.scan_all(|id, _| {
@@ -144,37 +152,38 @@ impl MTree {
     fn distance_ids(&mut self, a: u32, b: u32) -> f64 {
         self.build_distance_computations += 1;
         let d = self.store.dataset();
-        hydra_core::distance::euclidean(d.series(a as usize).values(), d.series(b as usize).values())
+        hydra_core::distance::euclidean(
+            d.series(a as usize).values(),
+            d.series(b as usize).values(),
+        )
     }
 
     fn insert(&mut self, id: u32) {
         // Descend to the most suitable leaf.
         let mut path = vec![self.root];
         let mut current = self.root;
-        loop {
-            match &self.nodes[current].kind {
-                NodeKind::Internal { children } => {
-                    let children = children.clone();
-                    let mut best = children[0];
-                    let mut best_key = (f64::INFINITY, f64::INFINITY);
-                    for child in children {
-                        let d = self.distance_ids(id, self.nodes[child].pivot);
-                        let enlargement = (d - self.nodes[child].radius).max(0.0);
-                        let key = (enlargement, d);
-                        if key < best_key {
-                            best_key = key;
-                            best = child;
-                        }
-                    }
-                    current = best;
-                    path.push(current);
+        while let NodeKind::Internal { children } = &self.nodes[current].kind {
+            let children = children.clone();
+            let mut best = children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for child in children {
+                let d = self.distance_ids(id, self.nodes[child].pivot);
+                let enlargement = (d - self.nodes[child].radius).max(0.0);
+                let key = (enlargement, d);
+                if key < best_key {
+                    best_key = key;
+                    best = child;
                 }
-                NodeKind::Leaf { .. } => break,
             }
+            current = best;
+            path.push(current);
         }
         let d_to_pivot = self.distance_ids(id, self.nodes[current].pivot);
         if let NodeKind::Leaf { entries } = &mut self.nodes[current].kind {
-            entries.push(LeafEntry { id, to_parent: d_to_pivot });
+            entries.push(LeafEntry {
+                id,
+                to_parent: d_to_pivot,
+            });
         }
         // Grow covering radii along the path.
         for &n in &path {
@@ -198,14 +207,15 @@ impl MTree {
                 // New root above the two halves.
                 let left_pivot = self.nodes[left].pivot;
                 let d = self.distance_ids(left_pivot, self.nodes[right].pivot);
-                let radius = (self.nodes[left].radius)
-                    .max(d + self.nodes[right].radius);
+                let radius = (self.nodes[left].radius).max(d + self.nodes[right].radius);
                 let new_root = self.nodes.len();
                 self.nodes.push(Node {
                     pivot: left_pivot,
                     radius,
                     to_parent: 0.0,
-                    kind: NodeKind::Internal { children: vec![left, right] },
+                    kind: NodeKind::Internal {
+                        children: vec![left, right],
+                    },
                     depth: 0,
                 });
                 self.nodes[left].to_parent = 0.0;
@@ -259,10 +269,16 @@ impl MTree {
                     let d2 = self.distance_ids(e.id, p2);
                     if d1 <= d2 {
                         left_radius = left_radius.max(d1);
-                        left_entries.push(LeafEntry { id: e.id, to_parent: d1 });
+                        left_entries.push(LeafEntry {
+                            id: e.id,
+                            to_parent: d1,
+                        });
                     } else {
                         right_radius = right_radius.max(d2);
-                        right_entries.push(LeafEntry { id: e.id, to_parent: d2 });
+                        right_entries.push(LeafEntry {
+                            id: e.id,
+                            to_parent: d2,
+                        });
                     }
                 }
                 // Reuse the original slot for the left half so no stale node
@@ -271,7 +287,9 @@ impl MTree {
                     pivot: p1,
                     radius: left_radius,
                     to_parent: 0.0,
-                    kind: NodeKind::Leaf { entries: left_entries },
+                    kind: NodeKind::Leaf {
+                        entries: left_entries,
+                    },
                     depth,
                 };
                 let right_id = self.nodes.len();
@@ -279,7 +297,9 @@ impl MTree {
                     pivot: p2,
                     radius: right_radius,
                     to_parent: 0.0,
-                    kind: NodeKind::Leaf { entries: right_entries },
+                    kind: NodeKind::Leaf {
+                        entries: right_entries,
+                    },
                     depth,
                 });
                 (node, right_id)
@@ -308,7 +328,9 @@ impl MTree {
                     pivot: p1,
                     radius: left_radius,
                     to_parent: 0.0,
-                    kind: NodeKind::Internal { children: left_children },
+                    kind: NodeKind::Internal {
+                        children: left_children,
+                    },
                     depth,
                 };
                 let right_id = self.nodes.len();
@@ -316,7 +338,9 @@ impl MTree {
                     pivot: p2,
                     radius: right_radius,
                     to_parent: 0.0,
-                    kind: NodeKind::Internal { children: right_children },
+                    kind: NodeKind::Internal {
+                        children: right_children,
+                    },
                     depth,
                 });
                 (node, right_id)
@@ -405,6 +429,10 @@ impl AnsweringMethod for MTree {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -435,9 +463,7 @@ impl AnsweringMethod for MTree {
             }
             let d_pivot = dist_to_pivot(&self.nodes[node]);
             match &self.nodes[node].kind {
-                NodeKind::Leaf { .. } => {
-                    self.scan_leaf(node, query, d_pivot, &mut heap, stats)
-                }
+                NodeKind::Leaf { .. } => self.scan_leaf(node, query, d_pivot, &mut heap, stats),
                 NodeKind::Internal { children } => {
                     stats.record_internal_visit();
                     for &child in children {
@@ -454,7 +480,10 @@ impl AnsweringMethod for MTree {
                         stats.record_lower_bounds(1);
                         let lb = (d_child - child_node.radius).max(0.0);
                         if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier { lower_bound: lb, node: child });
+                            frontier.push(Frontier {
+                                lower_bound: lb,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -511,7 +540,9 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, MTree) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(19, len).dataset(count)));
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(19, len).dataset(count),
+        ));
         let options = BuildOptions::default().with_leaf_capacity(leaf);
         let index = MTree::build_on_store(store.clone(), &options).unwrap();
         (store, index)
@@ -610,7 +641,10 @@ mod tests {
         assert!(MTree::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                8
+            ])))
             .is_err());
     }
 }

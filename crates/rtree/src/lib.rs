@@ -17,8 +17,8 @@
 //! behaviour the benchmark documents.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::Paa;
@@ -38,12 +38,18 @@ pub struct Mbr {
 impl Mbr {
     /// An empty (inverted) rectangle of the given dimensionality.
     pub fn empty(dims: usize) -> Self {
-        Self { low: vec![f32::INFINITY; dims], high: vec![f32::NEG_INFINITY; dims] }
+        Self {
+            low: vec![f32::INFINITY; dims],
+            high: vec![f32::NEG_INFINITY; dims],
+        }
     }
 
     /// A rectangle covering a single point.
     pub fn point(p: &[f32]) -> Self {
-        Self { low: p.to_vec(), high: p.to_vec() }
+        Self {
+            low: p.to_vec(),
+            high: p.to_vec(),
+        }
     }
 
     /// Whether the rectangle covers nothing.
@@ -76,7 +82,11 @@ impl Mbr {
         if self.is_empty() {
             return 0.0;
         }
-        self.low.iter().zip(self.high.iter()).map(|(l, h)| (h - l).max(0.0) as f64).sum()
+        self.low
+            .iter()
+            .zip(self.high.iter())
+            .map(|(l, h)| (h - l).max(0.0) as f64)
+            .sum()
     }
 
     /// The volume of the intersection with another rectangle.
@@ -166,7 +176,10 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+        other
+            .lower_bound
+            .partial_cmp(&self.lower_bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -182,11 +195,15 @@ impl RStarTree {
         }
         options.validate(store.series_length())?;
         let paa = Paa::new(store.series_length(), options.segments);
-        let weights: Vec<usize> = (0..options.segments).map(|i| paa.segment_width(i)).collect();
+        let weights: Vec<usize> = (0..options.segments)
+            .map(|i| paa.segment_width(i))
+            .collect();
         let dims = options.segments;
         let root = Node {
             mbr: Mbr::empty(dims),
-            kind: NodeKind::Leaf { entries: Vec::new() },
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+            },
             depth: 0,
         };
         let mut tree = Self {
@@ -232,43 +249,38 @@ impl RStarTree {
         // Choose the leaf by descending with the R*-tree criteria.
         let mut path = vec![self.root];
         let mut current = self.root;
-        loop {
-            match &self.nodes[current].kind {
-                NodeKind::Internal { children } => {
-                    let child_is_leaf = children
-                        .first()
-                        .map(|&c| matches!(self.nodes[c].kind, NodeKind::Leaf { .. }))
-                        .unwrap_or(true);
-                    let mut best = children[0];
-                    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-                    for &child in children {
-                        let enlargement = self.nodes[child].mbr.enlargement(&entry_mbr);
-                        let overlap_increase = if child_is_leaf {
-                            // R*: minimize overlap enlargement at the leaf level.
-                            let mut enlarged = self.nodes[child].mbr.clone();
-                            enlarged.merge(&entry_mbr);
-                            children
-                                .iter()
-                                .filter(|&&o| o != child)
-                                .map(|&o| {
-                                    enlarged.overlap(&self.nodes[o].mbr)
-                                        - self.nodes[child].mbr.overlap(&self.nodes[o].mbr)
-                                })
-                                .sum::<f64>()
-                        } else {
-                            0.0
-                        };
-                        let key = (overlap_increase, enlargement, self.nodes[child].mbr.area());
-                        if key < best_key {
-                            best_key = key;
-                            best = child;
-                        }
-                    }
-                    current = best;
-                    path.push(current);
+        while let NodeKind::Internal { children } = &self.nodes[current].kind {
+            let child_is_leaf = children
+                .first()
+                .map(|&c| matches!(self.nodes[c].kind, NodeKind::Leaf { .. }))
+                .unwrap_or(true);
+            let mut best = children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for &child in children {
+                let enlargement = self.nodes[child].mbr.enlargement(&entry_mbr);
+                let overlap_increase = if child_is_leaf {
+                    // R*: minimize overlap enlargement at the leaf level.
+                    let mut enlarged = self.nodes[child].mbr.clone();
+                    enlarged.merge(&entry_mbr);
+                    children
+                        .iter()
+                        .filter(|&&o| o != child)
+                        .map(|&o| {
+                            enlarged.overlap(&self.nodes[o].mbr)
+                                - self.nodes[child].mbr.overlap(&self.nodes[o].mbr)
+                        })
+                        .sum::<f64>()
+                } else {
+                    0.0
+                };
+                let key = (overlap_increase, enlargement, self.nodes[child].mbr.area());
+                if key < best_key {
+                    best_key = key;
+                    best = child;
                 }
-                NodeKind::Leaf { .. } => break,
             }
+            current = best;
+            path.push(current);
         }
         // Insert into the leaf and grow MBRs along the path.
         if let NodeKind::Leaf { entries } = &mut self.nodes[current].kind {
@@ -299,7 +311,9 @@ impl RStarTree {
                 let depth = 0;
                 self.nodes.push(Node {
                     mbr,
-                    kind: NodeKind::Internal { children: vec![left, right] },
+                    kind: NodeKind::Internal {
+                        children: vec![left, right],
+                    },
                     depth,
                 });
                 self.root = new_root;
@@ -356,18 +370,25 @@ impl RStarTree {
                 let (axis, split_at) =
                     choose_split(&entries, dims, |e| &e.point, self.leaf_capacity);
                 entries.sort_by(|a, b| {
-                    a.point[axis].partial_cmp(&b.point[axis]).unwrap_or(Ordering::Equal)
+                    a.point[axis]
+                        .partial_cmp(&b.point[axis])
+                        .unwrap_or(Ordering::Equal)
                 });
                 let right_entries = entries.split_off(split_at);
                 // Reuse the original slot for the left half so no stale node
                 // remains in the arena.
-                self.nodes[node] =
-                    Node { mbr: Mbr::empty(dims), kind: NodeKind::Leaf { entries }, depth };
+                self.nodes[node] = Node {
+                    mbr: Mbr::empty(dims),
+                    kind: NodeKind::Leaf { entries },
+                    depth,
+                };
                 self.recompute_mbr(node);
                 let right_id = self.nodes.len();
                 self.nodes.push(Node {
                     mbr: Mbr::empty(dims),
-                    kind: NodeKind::Leaf { entries: right_entries },
+                    kind: NodeKind::Leaf {
+                        entries: right_entries,
+                    },
                     depth,
                 });
                 self.recompute_mbr(right_id);
@@ -383,8 +404,7 @@ impl RStarTree {
                     .collect();
                 let indexed: Vec<(usize, Vec<f32>)> =
                     children.iter().copied().zip(centers).collect();
-                let (axis, split_at) =
-                    choose_split(&indexed, dims, |e| &e.1, self.fanout);
+                let (axis, split_at) = choose_split(&indexed, dims, |e| &e.1, self.fanout);
                 let mut order: Vec<usize> = (0..children.len()).collect();
                 order.sort_by(|&a, &b| {
                     indexed[a].1[axis]
@@ -398,14 +418,18 @@ impl RStarTree {
                 children.clear();
                 self.nodes[node] = Node {
                     mbr: Mbr::empty(dims),
-                    kind: NodeKind::Internal { children: left_children },
+                    kind: NodeKind::Internal {
+                        children: left_children,
+                    },
                     depth,
                 };
                 self.recompute_mbr(node);
                 let right_id = self.nodes.len();
                 self.nodes.push(Node {
                     mbr: Mbr::empty(dims),
-                    kind: NodeKind::Internal { children: right_children },
+                    kind: NodeKind::Internal {
+                        children: right_children,
+                    },
                     depth,
                 });
                 self.recompute_mbr(right_id);
@@ -458,7 +482,7 @@ fn choose_split<T>(
     let mut best_axis = 0usize;
     let mut best_axis_margin = f64::INFINITY;
     let mut best_split_for_axis = vec![min_fill; dims];
-    for axis in 0..dims {
+    for (axis, axis_best_split) in best_split_for_axis.iter_mut().enumerate() {
         let mut order: Vec<usize> = (0..len).collect();
         order.sort_by(|&a, &b| {
             point_of(&entries[a])[axis]
@@ -494,7 +518,7 @@ fn choose_split<T>(
             best_axis_margin = margin_sum;
             best_axis = axis;
         }
-        best_split_for_axis[axis] = best_split;
+        *axis_best_split = best_split;
     }
     (best_axis, best_split_for_axis[best_axis])
 }
@@ -509,6 +533,10 @@ impl AnsweringMethod for RStarTree {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -521,7 +549,10 @@ impl AnsweringMethod for RStarTree {
         let q_paa = self.paa.transform(query.values());
         let mut heap = KnnHeap::new(k);
         let mut frontier = BinaryHeap::new();
-        frontier.push(Frontier { lower_bound: 0.0, node: self.root });
+        frontier.push(Frontier {
+            lower_bound: 0.0,
+            node: self.root,
+        });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
             if heap.is_full() && lower_bound >= heap.threshold() {
                 break;
@@ -531,11 +562,16 @@ impl AnsweringMethod for RStarTree {
                 NodeKind::Internal { children } => {
                     stats.record_internal_visit();
                     for &child in children {
-                        let lb =
-                            self.nodes[child].mbr.mindist_sq(&q_paa, &self.weights).sqrt();
+                        let lb = self.nodes[child]
+                            .mbr
+                            .mindist_sq(&q_paa, &self.weights)
+                            .sqrt();
                         stats.record_lower_bounds(1);
                         if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier { lower_bound: lb, node: child });
+                            frontier.push(Frontier {
+                                lower_bound: lb,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -593,8 +629,12 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, RStarTree) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(17, len).dataset(count)));
-        let options = BuildOptions::default().with_segments(8.min(len)).with_leaf_capacity(leaf);
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(17, len).dataset(count),
+        ));
+        let options = BuildOptions::default()
+            .with_segments(8.min(len))
+            .with_leaf_capacity(leaf);
         let index = RStarTree::build_on_store(store.clone(), &options).unwrap();
         (store, index)
     }
@@ -609,7 +649,10 @@ mod tests {
         assert!(!m.is_empty());
         assert_eq!(m.area(), 6.0);
         assert_eq!(m.margin(), 5.0);
-        let other = Mbr { low: vec![1.0, 1.0], high: vec![4.0, 2.0] };
+        let other = Mbr {
+            low: vec![1.0, 1.0],
+            high: vec![4.0, 2.0],
+        };
         assert_eq!(m.overlap(&other), 1.0);
         assert!(m.enlargement(&other) > 0.0);
         // mindist: inside is zero, outside is weighted.
@@ -631,7 +674,10 @@ mod tests {
         assert!(idx.num_nodes() > 1);
         let fp = idx.footprint();
         assert_eq!(fp.leaf_fill_factors.len(), fp.leaf_nodes);
-        assert!(fp.total_nodes > fp.leaf_nodes, "a 500-entry tree must have internal nodes");
+        assert!(
+            fp.total_nodes > fp.leaf_nodes,
+            "a 500-entry tree must have internal nodes"
+        );
         assert_eq!(fp.disk_bytes, 500 * 64 * 4);
     }
 
@@ -663,7 +709,11 @@ mod tests {
         let mut stats = QueryStats::default();
         let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
         assert_eq!(ans.nearest().unwrap().id, 99);
-        assert!(stats.pruning_ratio(800) > 0.2, "ratio {}", stats.pruning_ratio(800));
+        assert!(
+            stats.pruning_ratio(800) > 0.2,
+            "ratio {}",
+            stats.pruning_ratio(800)
+        );
         assert!(stats.leaves_visited >= 1);
     }
 
@@ -672,7 +722,10 @@ mod tests {
         assert!(RStarTree::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                8
+            ])))
             .is_err());
     }
 }

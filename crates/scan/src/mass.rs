@@ -18,7 +18,7 @@
 //! one sequential pass of I/O per query.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::fft::{Complex, Fft};
@@ -66,7 +66,10 @@ impl AnsweringMethod for MassScan {
         }
         let n = self.store.series_length();
         if query.len() != n {
-            return Err(Error::LengthMismatch { expected: n, actual: query.len() });
+            return Err(Error::LengthMismatch {
+                expected: n,
+                actual: query.len(),
+            });
         }
         let k = query.k().unwrap_or(1);
         let mut heap = KnnHeap::new(k);
@@ -100,7 +103,9 @@ mod tests {
     use hydra_data::RandomWalkGenerator;
 
     fn store(count: usize, len: usize) -> Arc<DatasetStore> {
-        Arc::new(DatasetStore::new(RandomWalkGenerator::new(21, len).dataset(count)))
+        Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(21, len).dataset(count),
+        ))
     }
 
     #[test]
@@ -118,7 +123,10 @@ mod tests {
         for q in RandomWalkGenerator::new(77, 64).series_batch(5) {
             let expected = brute_force_knn(s.dataset(), q.values(), 3);
             let got = m.answer_simple(&Query::knn(q, 3)).unwrap();
-            assert!(got.distances_match(&expected, 1e-3), "distances diverge: {got:?} vs {expected:?}");
+            assert!(
+                got.distances_match(&expected, 1e-3),
+                "distances diverge: {got:?} vs {expected:?}"
+            );
         }
     }
 
@@ -149,8 +157,11 @@ mod tests {
         let s = store(100, 128);
         let m = MassScan::new(s.clone());
         let mut stats = QueryStats::default();
-        m.answer(&Query::nearest_neighbor(RandomWalkGenerator::new(5, 128).series(0)), &mut stats)
-            .unwrap();
+        m.answer(
+            &Query::nearest_neighbor(RandomWalkGenerator::new(5, 128).series(0)),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(stats.raw_series_examined, 100);
         assert_eq!(stats.random_page_accesses, 1);
         assert!(stats.cpu_time.as_nanos() > 0);
@@ -159,6 +170,8 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let m = MassScan::new(store(10, 64));
-        assert!(m.answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 16]))).is_err());
+        assert!(m
+            .answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 16])))
+            .is_err());
     }
 }

@@ -15,7 +15,7 @@
 //! pattern responsible for its high cost in the paper's evaluation.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::HaarTransform;
@@ -62,7 +62,13 @@ impl Stepwise {
             }
         });
         store.record_index_write(written);
-        Ok(Self { store, haar, levels, residuals, preprocessing_bytes: written })
+        Ok(Self {
+            store,
+            haar,
+            levels,
+            residuals,
+            preprocessing_bytes: written,
+        })
     }
 
     /// The underlying store.
@@ -94,7 +100,10 @@ impl AnsweringMethod for Stepwise {
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         let n_len = self.store.series_length();
         if query.len() != n_len {
-            return Err(Error::LengthMismatch { expected: n_len, actual: query.len() });
+            return Err(Error::LengthMismatch {
+                expected: n_len,
+                actual: query.len(),
+            });
         }
         let k = query.k().unwrap_or(1);
         let clock = hydra_core::RunClock::start();
@@ -106,14 +115,15 @@ impl AnsweringMethod for Stepwise {
         let mut alive: Vec<bool> = vec![true; n];
         let mut alive_count = n;
 
-        let series_bytes = self.store.series_bytes() as u64;
         let page_bytes = self.store.page_bytes() as u64;
 
         for level in 0..self.levels.len() {
             let lo = if level == 0 { 0 } else { 1usize << (level - 1) };
             let hi = (1usize << level).min(q_coeffs.len());
-            let q_rest: f64 =
-                q_coeffs[hi..].iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            let q_rest: f64 = q_coeffs[hi..]
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
             // Reading this level's coefficients for the alive candidates is a
             // sequential pass over the level file.
             let level_bytes = (alive_count * (hi - lo) * std::mem::size_of::<f32>()) as u64;
@@ -147,14 +157,13 @@ impl AnsweringMethod for Stepwise {
             let threshold = if k == 1 {
                 best_upper
             } else {
-                let mut ub: Vec<f64> =
-                    uppers.iter().copied().filter(|u| u.is_finite()).collect();
+                let mut ub: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
                 ub.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
                 ub.get(k - 1).copied().unwrap_or(best_upper)
             };
-            for id in 0..n {
-                if alive[id] && prefix_sq[id].sqrt() > threshold + 1e-9 {
-                    alive[id] = false;
+            for (flag, p_sq) in alive.iter_mut().zip(&prefix_sq) {
+                if *flag && p_sq.sqrt() > threshold + 1e-9 {
+                    *flag = false;
                     alive_count -= 1;
                 }
             }
@@ -163,19 +172,19 @@ impl AnsweringMethod for Stepwise {
         // Refinement: exact distances on the raw data for the survivors,
         // charged as random accesses.
         let mut heap = KnnHeap::new(k);
-        for id in 0..n {
-            if !alive[id] {
-                continue;
-            }
+        for id in alive
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| a.then_some(id))
+        {
             let series = self.store.read_series(id);
             stats.record_raw_series_examined(1);
             let d = hydra_core::distance::euclidean(query.values(), series.values());
             heap.offer(id, d);
         }
         stats.cpu_time += clock.elapsed();
-        // I/O for the refinement reads was recorded by the store; fold the
-        // random-access count into the stats snapshot for reporting.
-        let _ = series_bytes;
+        // I/O for the refinement reads was recorded by the store counters;
+        // the engine reconciles it into the stats snapshot.
         Ok(heap.into_answer_set())
     }
 }
@@ -188,7 +197,9 @@ mod tests {
     use hydra_data::RandomWalkGenerator;
 
     fn store(count: usize, len: usize) -> Arc<DatasetStore> {
-        Arc::new(DatasetStore::new(RandomWalkGenerator::new(31, len).dataset(count)))
+        Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(31, len).dataset(count),
+        ))
     }
 
     #[test]
@@ -264,7 +275,9 @@ mod tests {
     #[test]
     fn rejects_bad_query_length_and_empty_build() {
         let s = Stepwise::build(store(10, 32)).unwrap();
-        assert!(s.answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 8]))).is_err());
+        assert!(s
+            .answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 8])))
+            .is_err());
         let empty = Arc::new(DatasetStore::new(hydra_core::Dataset::empty(8)));
         assert!(Stepwise::build(empty).is_err());
     }

@@ -9,7 +9,7 @@
 
 use hydra_core::distance::{squared_euclidean_reordered, QueryOrder};
 use hydra_core::{
-    AnsweringMethod, AnswerSet, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use std::sync::Arc;
@@ -86,11 +86,7 @@ impl AnsweringMethod for UcrScan {
 /// Brute-force exact k-NN over an in-memory dataset, without any I/O
 /// accounting or early abandoning. Used as the ground-truth oracle in tests
 /// and experiments.
-pub fn brute_force_knn(
-    dataset: &hydra_core::Dataset,
-    query: &[f32],
-    k: usize,
-) -> AnswerSet {
+pub fn brute_force_knn(dataset: &hydra_core::Dataset, query: &[f32], k: usize) -> AnswerSet {
     let mut heap = KnnHeap::new(k);
     for (i, s) in dataset.iter().enumerate() {
         heap.offer(i, hydra_core::distance::euclidean(query, s.values()));
@@ -105,7 +101,9 @@ mod tests {
     use hydra_data::RandomWalkGenerator;
 
     fn store(count: usize, len: usize) -> Arc<DatasetStore> {
-        Arc::new(DatasetStore::new(RandomWalkGenerator::new(11, len).dataset(count)))
+        Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(11, len).dataset(count),
+        ))
     }
 
     #[test]
@@ -136,7 +134,9 @@ mod tests {
         let s = store(100, 32);
         let scan = UcrScan::new(s.clone());
         let target = s.dataset().series(42).to_owned_series();
-        let ans = scan.answer_simple(&Query::nearest_neighbor(target)).unwrap();
+        let ans = scan
+            .answer_simple(&Query::nearest_neighbor(target))
+            .unwrap();
         assert_eq!(ans.nearest().unwrap().id, 42);
         assert!(ans.nearest().unwrap().distance < 1e-6);
     }
@@ -147,11 +147,18 @@ mod tests {
         let scan = UcrScan::new(s.clone());
         let q = RandomWalkGenerator::new(5, 256).series(0);
         let mut stats = QueryStats::default();
-        scan.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        scan.answer(&Query::nearest_neighbor(q), &mut stats)
+            .unwrap();
         assert_eq!(stats.raw_series_examined, 200);
-        assert_eq!(stats.random_page_accesses, 1, "a scan seeks once then streams");
+        assert_eq!(
+            stats.random_page_accesses, 1,
+            "a scan seeks once then streams"
+        );
         assert_eq!(stats.bytes_read, 200 * 256 * 4);
-        assert!(stats.early_abandons > 0, "early abandoning should trigger on most candidates");
+        assert!(
+            stats.early_abandons > 0,
+            "early abandoning should trigger on most candidates"
+        );
     }
 
     #[test]
@@ -159,7 +166,13 @@ mod tests {
         let s = store(10, 64);
         let scan = UcrScan::new(s);
         let err = scan.answer_simple(&Query::nearest_neighbor(Series::new(vec![0.0; 32])));
-        assert!(matches!(err, Err(Error::LengthMismatch { expected: 64, actual: 32 })));
+        assert!(matches!(
+            err,
+            Err(Error::LengthMismatch {
+                expected: 64,
+                actual: 32
+            })
+        ));
 
         let empty = Arc::new(DatasetStore::new(Dataset::empty(8)));
         let scan = UcrScan::new(empty);

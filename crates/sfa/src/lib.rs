@@ -16,8 +16,8 @@
 //! read) and refined with early-abandoning Euclidean distance.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
@@ -68,7 +68,10 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.lower_bound.partial_cmp(&self.lower_bound).unwrap_or(Ordering::Equal)
+        other
+            .lower_bound
+            .partial_cmp(&self.lower_bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -102,14 +105,14 @@ impl SfaTrie {
         };
         let sample_size = options.train_samples.clamp(1, store.len());
         let dataset = store.dataset();
-        let quantizer = SfaQuantizer::train(
-            params,
-            (0..sample_size).map(|i| dataset.series(i).values()),
-        );
+        let quantizer =
+            SfaQuantizer::train(params, (0..sample_size).map(|i| dataset.series(i).values()));
         let mut trie = Self {
             store: store.clone(),
             quantizer,
-            nodes: vec![TrieNode::Leaf { entries: Vec::new() }],
+            nodes: vec![TrieNode::Leaf {
+                entries: Vec::new(),
+            }],
             prefixes: vec![Vec::new()],
             leaf_capacity: options.leaf_capacity,
         };
@@ -160,7 +163,9 @@ impl SfaTrie {
                         let mut prefix = self.prefixes[current].clone();
                         prefix.push(symbol);
                         let child = self.nodes.len();
-                        self.nodes.push(TrieNode::Leaf { entries: Vec::new() });
+                        self.nodes.push(TrieNode::Leaf {
+                            entries: Vec::new(),
+                        });
                         self.prefixes.push(prefix);
                         if let TrieNode::Internal { children } = &mut self.nodes[current] {
                             children.insert(symbol, child);
@@ -181,9 +186,7 @@ impl SfaTrie {
         let depth = self.prefixes[leaf].len();
         let word_length = self.quantizer.params().word_length;
         let needs_split = match &self.nodes[leaf] {
-            TrieNode::Leaf { entries } => {
-                entries.len() > self.leaf_capacity && depth < word_length
-            }
+            TrieNode::Leaf { entries } => entries.len() > self.leaf_capacity && depth < word_length,
             TrieNode::Internal { .. } => false,
         };
         if !needs_split {
@@ -191,7 +194,9 @@ impl SfaTrie {
         }
         let entries = match std::mem::replace(
             &mut self.nodes[leaf],
-            TrieNode::Internal { children: HashMap::new() },
+            TrieNode::Internal {
+                children: HashMap::new(),
+            },
         ) {
             TrieNode::Leaf { entries } => entries,
             TrieNode::Internal { .. } => unreachable!(),
@@ -289,6 +294,10 @@ impl AnsweringMethod for SfaTrie {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -308,7 +317,10 @@ impl AnsweringMethod for SfaTrie {
 
         // Best-first traversal on prefix lower bounds.
         let mut frontier = BinaryHeap::new();
-        frontier.push(Frontier { lower_bound: 0.0, node: 0 });
+        frontier.push(Frontier {
+            lower_bound: 0.0,
+            node: 0,
+        });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
             if heap.is_full() && lower_bound >= heap.threshold() {
                 break;
@@ -326,7 +338,10 @@ impl AnsweringMethod for SfaTrie {
                         let lb = self.quantizer.mindist_prefix(&q_dft, prefix, prefix.len());
                         stats.record_lower_bounds(1);
                         if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier { lower_bound: lb, node: child });
+                            frontier.push(Frontier {
+                                lower_bound: lb,
+                                node: child,
+                            });
                         }
                     }
                 }
@@ -396,7 +411,9 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize, leaf: usize) -> (Arc<DatasetStore>, SfaTrie) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(13, len).dataset(count)));
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(13, len).dataset(count),
+        ));
         let options = BuildOptions::default()
             .with_segments(16.min(len))
             .with_leaf_capacity(leaf)
@@ -417,7 +434,10 @@ mod tests {
     fn all_series_are_indexed_and_trie_splits() {
         let (_, idx) = build(600, 64, 20);
         assert_eq!(idx.num_entries(), 600);
-        assert!(idx.num_nodes() > 1, "600 series with capacity 20 must split the root");
+        assert!(
+            idx.num_nodes() > 1,
+            "600 series with capacity 20 must split the root"
+        );
         let fp = idx.footprint();
         assert_eq!(fp.leaf_fill_factors.len(), fp.leaf_nodes);
         assert!(fp.max_leaf_depth() >= 1);
@@ -438,7 +458,9 @@ mod tests {
 
     #[test]
     fn exactness_with_equi_width_binning() {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(13, 64).dataset(200)));
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(13, 64).dataset(200),
+        ));
         let options = BuildOptions::default()
             .with_segments(16)
             .with_leaf_capacity(10)
@@ -467,7 +489,11 @@ mod tests {
         let mut stats = QueryStats::default();
         let ans = idx.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
         assert_eq!(ans.nearest().unwrap().id, 400);
-        assert!(stats.pruning_ratio(800) > 0.5, "ratio {}", stats.pruning_ratio(800));
+        assert!(
+            stats.pruning_ratio(800) > 0.5,
+            "ratio {}",
+            stats.pruning_ratio(800)
+        );
     }
 
     #[test]
@@ -475,7 +501,9 @@ mod tests {
         let (store, idx) = build(300, 64, 15);
         let q = store.dataset().series(10).to_owned_series();
         let mut stats = QueryStats::default();
-        let ans = idx.answer_approximate(&Query::nearest_neighbor(q), &mut stats).unwrap();
+        let ans = idx
+            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .unwrap();
         assert!(stats.leaves_visited <= 1);
         assert_eq!(ans.nearest().unwrap().id, 10);
     }
@@ -492,7 +520,10 @@ mod tests {
         assert!(SfaTrie::build(&Dataset::empty(8), &BuildOptions::default()).is_err());
         let (_, idx) = build(20, 64, 8);
         assert!(idx
-            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 8])))
+            .answer_simple(&Query::nearest_neighbor(hydra_core::Series::new(vec![
+                0.0;
+                8
+            ])))
             .is_err());
     }
 }

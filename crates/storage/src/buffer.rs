@@ -27,7 +27,10 @@ pub struct BufferPool {
 impl BufferPool {
     /// Creates a pool with the given byte budget.
     pub fn new(budget_bytes: usize) -> Self {
-        Self { budget_bytes, inner: Arc::new(Mutex::new(Inner::default())) }
+        Self {
+            budget_bytes,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
     }
 
     /// The configured budget in bytes.
@@ -99,7 +102,10 @@ mod tests {
     #[test]
     fn oversized_single_reservation_is_allowed_when_empty() {
         let pool = BufferPool::new(100);
-        assert!(!pool.reserve(500), "an empty buffer accepts an oversized item without spilling");
+        assert!(
+            !pool.reserve(500),
+            "an empty buffer accepts an oversized item without spilling"
+        );
         assert_eq!(pool.used_bytes(), 500);
     }
 

@@ -121,7 +121,10 @@ mod tests {
         );
         assert_eq!(CostModel::for_profile(StorageProfile::Hdd), hdd);
         assert_eq!(CostModel::for_profile(StorageProfile::Ssd), ssd);
-        assert_eq!(CostModel::for_profile(StorageProfile::InMemory), CostModel::in_memory());
+        assert_eq!(
+            CostModel::for_profile(StorageProfile::InMemory),
+            CostModel::in_memory()
+        );
     }
 
     #[test]
@@ -132,8 +135,14 @@ mod tests {
         let random = snapshot(0, 100_000, 100_000 * 4096);
         let hdd = CostModel::hdd();
         let ssd = CostModel::ssd();
-        assert!(hdd.io_time(&scan) < ssd.io_time(&scan), "HDD RAID0 wins pure scans");
-        assert!(ssd.io_time(&random) < hdd.io_time(&random), "SSD wins random access");
+        assert!(
+            hdd.io_time(&scan) < ssd.io_time(&scan),
+            "HDD RAID0 wins pure scans"
+        );
+        assert!(
+            ssd.io_time(&random) < hdd.io_time(&random),
+            "SSD wins random access"
+        );
     }
 
     #[test]
@@ -156,7 +165,10 @@ mod tests {
     #[test]
     fn write_time_uses_sequential_throughput() {
         let m = CostModel::ssd();
-        let io = IoSnapshot { bytes_written: (330.0 * 1024.0 * 1024.0) as u64, ..Default::default() };
+        let io = IoSnapshot {
+            bytes_written: (330.0 * 1024.0 * 1024.0) as u64,
+            ..Default::default()
+        };
         let t = m.write_time(&io);
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
         assert_eq!(m.total_time(&io), m.io_time(&io) + t);

@@ -3,35 +3,10 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A point-in-time copy of the counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IoSnapshot {
-    /// Page reads that continued directly after the previously read page.
-    pub sequential_pages: u64,
-    /// Page reads that required a seek (any non-contiguous access).
-    pub random_pages: u64,
-    /// Total bytes read.
-    pub bytes_read: u64,
-    /// Total bytes written (index construction payloads).
-    pub bytes_written: u64,
-}
-
-impl IoSnapshot {
-    /// Total page accesses of either kind.
-    pub fn total_pages(&self) -> u64 {
-        self.sequential_pages + self.random_pages
-    }
-
-    /// The difference `self - earlier`, for measuring a code region.
-    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
-        IoSnapshot {
-            sequential_pages: self.sequential_pages - earlier.sequential_pages,
-            random_pages: self.random_pages - earlier.random_pages,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-        }
-    }
-}
+// The snapshot type lives in `hydra-core` (the query engine aggregates it
+// without depending on this crate); re-exported here so `hydra_storage::
+// IoSnapshot` keeps working for existing users.
+pub use hydra_core::stats::IoSnapshot;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -137,7 +112,10 @@ mod tests {
         c.record_seek();
         c.record_read_run(1, 1, 10);
         let s = c.snapshot();
-        assert_eq!(s.random_pages, 2, "the post-seek read must be classified random");
+        assert_eq!(
+            s.random_pages, 2,
+            "the post-seek read must be classified random"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! identical rules — the paper's "same conditions for every method" principle.
 
 use crate::counters::{IoCounters, IoSnapshot};
+use hydra_core::engine::IoSource;
 use hydra_core::series::{Dataset, SeriesView};
 
 /// Default page size: 4 KiB, a typical filesystem block.
@@ -34,7 +35,12 @@ impl DatasetStore {
     pub fn with_page_bytes(dataset: Dataset, page_bytes: usize) -> Self {
         assert!(page_bytes > 0, "page size must be positive");
         let series_bytes = dataset.series_length() * std::mem::size_of::<f32>();
-        Self { dataset, page_bytes, series_bytes, counters: IoCounters::new() }
+        Self {
+            dataset,
+            page_bytes,
+            series_bytes,
+            counters: IoCounters::new(),
+        }
     }
 
     /// The number of series stored.
@@ -97,7 +103,10 @@ impl DatasetStore {
     fn page_range(&self, id: usize) -> (u64, u64) {
         let start_byte = (id * self.series_bytes) as u64;
         let end_byte = start_byte + self.series_bytes as u64 - 1;
-        (start_byte / self.page_bytes as u64, end_byte / self.page_bytes as u64)
+        (
+            start_byte / self.page_bytes as u64,
+            end_byte / self.page_bytes as u64,
+        )
     }
 
     /// Reads a single series by id, charging the access to the counters.
@@ -106,7 +115,8 @@ impl DatasetStore {
     /// Panics if `id` is out of bounds.
     pub fn read_series(&self, id: usize) -> SeriesView<'_> {
         let (first, last) = self.page_range(id);
-        self.counters.record_read_run(first, last - first + 1, self.series_bytes as u64);
+        self.counters
+            .record_read_run(first, last - first + 1, self.series_bytes as u64);
         self.dataset.series(id)
     }
 
@@ -129,7 +139,9 @@ impl DatasetStore {
             last_page - first_page + 1,
             (count * self.series_bytes) as u64,
         );
-        (first_id..first_id + count).map(|i| self.dataset.series(i)).collect()
+        (first_id..first_id + count)
+            .map(|i| self.dataset.series(i))
+            .collect()
     }
 
     /// Sequentially scans the whole dataset (the UCR-Suite / sequential-scan
@@ -160,6 +172,18 @@ impl DatasetStore {
     /// Records `bytes` of index payload written to this store's disk.
     pub fn record_index_write(&self, bytes: u64) {
         self.counters.record_write(bytes);
+    }
+}
+
+/// The store is the I/O counter source the [`hydra_core::QueryEngine`]
+/// observes around every query.
+impl IoSource for DatasetStore {
+    fn io_snapshot(&self) -> IoSnapshot {
+        DatasetStore::io_snapshot(self)
+    }
+
+    fn reset_io(&self) {
+        DatasetStore::reset_io(self)
     }
 }
 

@@ -76,7 +76,12 @@ impl Apca {
         let mut segs: Vec<Acc> = series
             .iter()
             .enumerate()
-            .map(|(i, &v)| Acc { start: i, end: i + 1, sum: v as f64, sum_sq: (v as f64) * (v as f64) })
+            .map(|(i, &v)| Acc {
+                start: i,
+                end: i + 1,
+                sum: v as f64,
+                sum_sq: (v as f64) * (v as f64),
+            })
             .collect();
 
         while segs.len() > num_segments {
@@ -121,7 +126,11 @@ impl Apca {
     pub fn reconstruct(&self, series_length: usize) -> Vec<f32> {
         let mut out = vec![0.0f32; series_length];
         for seg in &self.segments {
-            for v in out.iter_mut().take(seg.end.min(series_length)).skip(seg.start) {
+            for v in out
+                .iter_mut()
+                .take(seg.end.min(series_length))
+                .skip(seg.start)
+            {
                 *v = seg.value;
             }
         }
@@ -148,8 +157,11 @@ impl Apca {
         let mut sum = 0.0f64;
         for seg in &self.segments {
             let w = seg.width() as f64;
-            let q_mean: f64 =
-                query[seg.start..seg.end].iter().map(|&v| v as f64).sum::<f64>() / w;
+            let q_mean: f64 = query[seg.start..seg.end]
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>()
+                / w;
             let d = q_mean - seg.value as f64;
             sum += w * d * d;
         }
@@ -166,7 +178,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect()
@@ -214,10 +228,10 @@ mod tests {
         let paa = crate::paa::Paa::new(128, 4);
         let means = paa.transform(&s);
         let mut uniform_err = 0.0f64;
-        for seg in 0..4 {
+        for (seg, &mean) in means.iter().enumerate().take(4) {
             let (start, end) = paa.segment_range(seg);
             for &v in &s[start..end] {
-                let d = (v - means[seg]) as f64;
+                let d = (v - mean) as f64;
                 uniform_err += d * d;
             }
         }

@@ -23,7 +23,10 @@ impl HaarTransform {
     pub fn new(series_length: usize) -> Self {
         assert!(series_length > 0, "series length must be positive");
         let padded_length = series_length.next_power_of_two();
-        Self { series_length, padded_length }
+        Self {
+            series_length,
+            padded_length,
+        }
     }
 
     /// The expected input series length.
@@ -75,7 +78,11 @@ impl HaarTransform {
     /// Reconstructs a series from its full coefficient vector (inverse
     /// transform), truncating the padding back to the original length.
     pub fn inverse(&self, coefficients: &[f32]) -> Vec<f32> {
-        assert_eq!(coefficients.len(), self.padded_length, "coefficient length mismatch");
+        assert_eq!(
+            coefficients.len(),
+            self.padded_length,
+            "coefficient length mismatch"
+        );
         let n = self.padded_length;
         let mut current: Vec<f64> = coefficients.iter().map(|&v| v as f64).collect();
         let inv_sqrt2 = 1.0 / std::f64::consts::SQRT_2;
@@ -92,7 +99,11 @@ impl HaarTransform {
             current[..2 * len].copy_from_slice(&scratch[..2 * len]);
             len *= 2;
         }
-        current.into_iter().take(self.series_length).map(|v| v as f32).collect()
+        current
+            .into_iter()
+            .take(self.series_length)
+            .map(|v| v as f32)
+            .collect()
     }
 
     /// The number of coefficients that make up the first `level` resolution
@@ -123,19 +134,21 @@ impl HaarTransform {
     /// `sqrt(rest_a) + sqrt(rest_b)`, where `rest` is the energy outside the
     /// prefix. Stepwise uses this to discard candidates whose *lower* bound
     /// exceeds some other candidate's *upper* bound.
-    pub fn prefix_upper_bound(
-        coeffs_a: &[f32],
-        coeffs_b: &[f32],
-        prefix_len: usize,
-    ) -> f64 {
+    pub fn prefix_upper_bound(coeffs_a: &[f32], coeffs_b: &[f32], prefix_len: usize) -> f64 {
         let prefix_len = prefix_len.min(coeffs_a.len()).min(coeffs_b.len());
         let mut prefix_sq = 0.0f64;
         for i in 0..prefix_len {
             let d = (coeffs_a[i] - coeffs_b[i]) as f64;
             prefix_sq += d * d;
         }
-        let rest_a: f64 = coeffs_a[prefix_len..].iter().map(|&v| (v as f64) * (v as f64)).sum();
-        let rest_b: f64 = coeffs_b[prefix_len..].iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let rest_a: f64 = coeffs_a[prefix_len..]
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum();
+        let rest_b: f64 = coeffs_b[prefix_len..]
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum();
         let rest = rest_a.sqrt() + rest_b.sqrt();
         (prefix_sq + rest * rest).sqrt()
     }
@@ -150,7 +163,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect()
@@ -220,7 +235,10 @@ mod tests {
             let p = t.prefix_len_for_level(level);
             let lb = HaarTransform::prefix_lower_bound(&ca, &cb, p);
             assert!(lb <= ed + 1e-4, "LB {lb} > ED {ed} at level {level}");
-            assert!(lb + 1e-9 >= prev, "LB must be monotone in the prefix length");
+            assert!(
+                lb + 1e-9 >= prev,
+                "LB must be monotone in the prefix length"
+            );
             prev = lb;
         }
         // Full prefix equals the exact distance.

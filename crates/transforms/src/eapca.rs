@@ -49,7 +49,10 @@ impl Eapca {
                 })
                 .sum::<f64>()
                 / n;
-            segments.push(EapcaSegment { mean: mean as f32, std_dev: var.sqrt() as f32 });
+            segments.push(EapcaSegment {
+                mean: mean as f32,
+                std_dev: var.sqrt() as f32,
+            });
             start = end;
         }
         Self { segments }
@@ -116,7 +119,11 @@ pub fn uniform_segmentation(series_length: usize, segments: usize) -> Vec<usize>
 /// segmentation with one more segment. Returns `None` if the segment has a
 /// single point and cannot be split.
 pub fn split_segment(segmentation: &[usize], segment: usize) -> Option<Vec<usize>> {
-    let start = if segment == 0 { 0 } else { segmentation[segment - 1] };
+    let start = if segment == 0 {
+        0
+    } else {
+        segmentation[segment - 1]
+    };
     let end = segmentation[segment];
     if end - start < 2 {
         return None;
@@ -138,7 +145,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect()
@@ -157,7 +166,10 @@ mod tests {
     fn segmentation_validation() {
         assert!(valid_segmentation(&[4, 8], 8));
         assert!(!valid_segmentation(&[4, 8], 10), "must end at len");
-        assert!(!valid_segmentation(&[4, 4, 8], 8), "must be strictly increasing");
+        assert!(
+            !valid_segmentation(&[4, 4, 8], 8),
+            "must be strictly increasing"
+        );
         assert!(!valid_segmentation(&[], 8), "must be non-empty");
     }
 
@@ -222,8 +234,12 @@ mod tests {
         for seg in (0..4).rev() {
             fine = split_segment(&fine, seg).unwrap();
         }
-        let lb_coarse = Eapca::compute(&a, &coarse).lower_bound(&Eapca::compute(&b, &coarse), &coarse);
+        let lb_coarse =
+            Eapca::compute(&a, &coarse).lower_bound(&Eapca::compute(&b, &coarse), &coarse);
         let lb_fine = Eapca::compute(&a, &fine).lower_bound(&Eapca::compute(&b, &fine), &fine);
-        assert!(lb_fine + 1e-9 >= lb_coarse, "finer segmentation must not loosen the bound");
+        assert!(
+            lb_fine + 1e-9 >= lb_coarse,
+            "finer segmentation must not loosen the bound"
+        );
     }
 }

@@ -35,7 +35,10 @@ impl Complex {
     /// The complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -60,12 +63,18 @@ impl Complex {
 
     #[inline]
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     #[inline]
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -99,7 +108,10 @@ impl Fft {
     /// Creates a transform for series of length `len`.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "length must be positive");
-        Self { len, is_pow2: len.is_power_of_two() }
+        Self {
+            len,
+            is_pow2: len.is_power_of_two(),
+        }
     }
 
     /// The configured length.
@@ -116,8 +128,10 @@ impl Fft {
     /// using the engineering convention `X[k] = Σ_t x[t]·e^{-2πi·kt/n}`.
     pub fn forward_real(&self, series: &[f32]) -> Vec<Complex> {
         assert_eq!(series.len(), self.len, "series length mismatch");
-        let mut buf: Vec<Complex> =
-            series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+        let mut buf: Vec<Complex> = series
+            .iter()
+            .map(|&v| Complex::new(v as f64, 0.0))
+            .collect();
         self.forward_in_place(&mut buf);
         buf
     }
@@ -231,7 +245,7 @@ pub fn dft_summary(series: &[f32], num_coefficients: usize) -> Vec<f32> {
     let mut k = 0usize;
     while out.len() < num_coefficients && k <= n / 2 {
         let is_dc = k == 0;
-        let is_nyquist = n % 2 == 0 && k == n / 2;
+        let is_nyquist = n.is_multiple_of(2) && k == n / 2;
         let scale = if is_dc || is_nyquist {
             (1.0 / n as f64).sqrt()
         } else {
@@ -273,7 +287,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect()
@@ -318,12 +334,17 @@ mod tests {
         for &n in &[8usize, 16, 96, 100, 33] {
             let fft = Fft::new(n);
             let series = lcg_series(n, 7);
-            let mut buf: Vec<Complex> =
-                series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+            let mut buf: Vec<Complex> = series
+                .iter()
+                .map(|&v| Complex::new(v as f64, 0.0))
+                .collect();
             fft.forward_in_place(&mut buf);
             fft.inverse_in_place(&mut buf);
             for (orig, c) in series.iter().zip(buf.iter()) {
-                assert!((c.re - *orig as f64).abs() < 1e-6, "round trip failed for n={n}");
+                assert!(
+                    (c.re - *orig as f64).abs() < 1e-6,
+                    "round trip failed for n={n}"
+                );
                 assert!(c.im.abs() < 1e-6);
             }
         }
@@ -333,7 +354,10 @@ mod tests {
     fn radix2_matches_direct_dft() {
         let n = 32;
         let series = lcg_series(n, 99);
-        let buf: Vec<Complex> = series.iter().map(|&v| Complex::new(v as f64, 0.0)).collect();
+        let buf: Vec<Complex> = series
+            .iter()
+            .map(|&v| Complex::new(v as f64, 0.0))
+            .collect();
         let direct = dft_direct(&buf, false);
         let fft = Fft::new(n);
         let fast = fft.forward_real(&series);

@@ -23,7 +23,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -81,8 +81,7 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         ans
@@ -113,7 +112,8 @@ pub fn sax_breakpoints(alphabet_size: usize) -> Vec<f64> {
 #[inline]
 pub fn symbol_for_value(value: f64, breakpoints: &[f64]) -> usize {
     // Binary search for the first breakpoint >= value.
-    match breakpoints.binary_search_by(|b| b.partial_cmp(&value).unwrap_or(std::cmp::Ordering::Less))
+    match breakpoints
+        .binary_search_by(|b| b.partial_cmp(&value).unwrap_or(std::cmp::Ordering::Less))
     {
         Ok(i) => i,
         Err(i) => i,
@@ -138,7 +138,10 @@ mod tests {
     fn inverse_cdf_and_cdf_are_inverses() {
         for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
             let x = inverse_normal_cdf(p);
-            assert!((normal_cdf(x) - p).abs() < 1e-6, "round trip failed at p={p}");
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-6,
+                "round trip failed at p={p}"
+            );
         }
     }
 

@@ -30,7 +30,10 @@ impl Paa {
     /// Panics if `segments == 0` or `segments > series_length`.
     pub fn new(series_length: usize, segments: usize) -> Self {
         assert!(segments > 0, "segments must be positive");
-        assert!(segments <= series_length, "cannot have more segments than points");
+        assert!(
+            segments <= series_length,
+            "cannot have more segments than points"
+        );
         // Distribute points as evenly as possible: the first (n % l) segments
         // get one extra point.
         let base = series_length / segments;
@@ -43,7 +46,11 @@ impl Paa {
             boundaries.push(pos);
         }
         debug_assert_eq!(pos, series_length);
-        Self { series_length, segments, boundaries }
+        Self {
+            series_length,
+            segments,
+            boundaries,
+        }
     }
 
     /// The series length this transform expects.
@@ -161,7 +168,9 @@ mod tests {
         // Deterministic pseudo-random series over several lengths/segments.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
         };
         for &(n, l) in &[(16usize, 4usize), (100, 7), (256, 16), (96, 16)] {

@@ -32,10 +32,14 @@ impl SaxParams {
     /// # Panics
     /// Panics if `max_bits` is 0 or greater than 16.
     pub fn new(series_length: usize, segments: usize, max_bits: u8) -> Self {
-        assert!(max_bits >= 1 && max_bits <= 16, "max_bits must be in 1..=16");
+        assert!((1..=16).contains(&max_bits), "max_bits must be in 1..=16");
         let paa = Paa::new(series_length, segments);
         let breakpoints = sax_breakpoints(1usize << max_bits);
-        Self { paa, max_bits, breakpoints }
+        Self {
+            paa,
+            max_bits,
+            breakpoints,
+        }
     }
 
     /// The PAA layout underlying this SAX summarization.
@@ -116,9 +120,9 @@ impl SaxParams {
         debug_assert_eq!(query_paa.len(), self.segments());
         debug_assert_eq!(word.len(), self.segments());
         let mut sum = 0.0f64;
-        for i in 0..self.segments() {
+        for (i, &q_paa) in query_paa.iter().enumerate() {
             let (low, high) = self.symbol_range(word.symbols[i], word.bits[i]);
-            let q = query_paa[i] as f64;
+            let q = q_paa as f64;
             let d = if q < low {
                 low - q
             } else if q > high {
@@ -188,12 +192,14 @@ impl IsaxWord {
     /// region this iSAX word represents.
     pub fn contains(&self, full: &SaxWord) -> bool {
         debug_assert_eq!(full.len(), self.len());
-        self.symbols.iter().zip(self.bits.iter()).zip(full.symbols.iter()).all(
-            |((&sym, &bits), &full_sym)| {
+        self.symbols
+            .iter()
+            .zip(self.bits.iter())
+            .zip(full.symbols.iter())
+            .all(|((&sym, &bits), &full_sym)| {
                 let shift = self.max_bits - bits;
                 (full_sym >> shift) == sym
-            },
-        )
+            })
     }
 
     /// Produces the two children obtained by splitting on `segment`: the
@@ -228,7 +234,9 @@ mod tests {
         let mut state = seed;
         let mut v: Vec<f32> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect();
@@ -242,7 +250,10 @@ mod tests {
         let w = params.sax_word(&lcg_series(64, 1));
         assert_eq!(w.len(), 8);
         assert!(!w.is_empty());
-        assert!(w.symbols.iter().all(|&s| (s as u32) < params.max_cardinality()));
+        assert!(w
+            .symbols
+            .iter()
+            .all(|&s| (s as u32) < params.max_cardinality()));
     }
 
     #[test]
@@ -262,10 +273,10 @@ mod tests {
         let s = lcg_series(64, 5);
         let paa = params.paa().transform(&s);
         let w = params.sax_word(&s);
-        for i in 0..8 {
+        for (i, &p) in paa.iter().enumerate().take(8) {
             let (low, high) = params.symbol_range(w.symbols[i], params.max_bits());
-            assert!(low <= paa[i] as f64 + 1e-9, "segment {i}: {low} > {}", paa[i]);
-            assert!(paa[i] as f64 <= high + 1e-9, "segment {i}: {} > {high}", paa[i]);
+            assert!(low <= p as f64 + 1e-9, "segment {i}: {low} > {p}");
+            assert!(p as f64 <= high + 1e-9, "segment {i}: {p} > {high}");
         }
     }
 
@@ -311,7 +322,10 @@ mod tests {
         let mut prev = 0.0;
         for bits in 1..=8u8 {
             let lb = params.mindist_paa_to_isax(&q_paa, &full.to_isax(bits, 8));
-            assert!(lb + 1e-9 >= prev, "MINDIST must not decrease with more bits");
+            assert!(
+                lb + 1e-9 >= prev,
+                "MINDIST must not decrease with more bits"
+            );
             prev = lb;
         }
     }
@@ -333,7 +347,11 @@ mod tests {
 
     #[test]
     fn split_preserves_other_segments() {
-        let w = IsaxWord { symbols: vec![1, 2, 3], bits: vec![2, 2, 2], max_bits: 4 };
+        let w = IsaxWord {
+            symbols: vec![1, 2, 3],
+            bits: vec![2, 2, 2],
+            max_bits: 4,
+        };
         let (l, r) = w.split(1).unwrap();
         assert_eq!(l.symbols, vec![1, 4, 3]);
         assert_eq!(r.symbols, vec![1, 5, 3]);
@@ -343,7 +361,9 @@ mod tests {
 
     #[test]
     fn to_isax_at_full_bits_is_identity_on_symbols() {
-        let w = SaxWord { symbols: vec![200, 3, 128, 255] };
+        let w = SaxWord {
+            symbols: vec![200, 3, 128, 255],
+        };
         let i = w.to_isax(8, 8);
         assert_eq!(i.symbols, vec![200, 3, 128, 255]);
         assert!(i.contains(&w));

@@ -40,7 +40,12 @@ pub struct SfaParams {
 impl SfaParams {
     /// Creates parameters with the paper's defaults (equi-depth, alphabet 8).
     pub fn new(series_length: usize, word_length: usize) -> Self {
-        Self { series_length, word_length, alphabet_size: 8, binning: BinningMethod::EquiDepth }
+        Self {
+            series_length,
+            word_length,
+            alphabet_size: 8,
+            binning: BinningMethod::EquiDepth,
+        }
     }
 
     /// Overrides the alphabet size.
@@ -99,13 +104,20 @@ impl SfaQuantizer {
     where
         I: IntoIterator<Item = &'a [f32]>,
     {
-        assert!(params.alphabet_size >= 2, "alphabet size must be at least 2");
+        assert!(
+            params.alphabet_size >= 2,
+            "alphabet size must be at least 2"
+        );
         assert!(params.word_length >= 1, "word length must be at least 1");
         // Collect the DFT summaries of the sample, one column per dimension.
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); params.word_length];
         let mut count = 0usize;
         for series in sample {
-            assert_eq!(series.len(), params.series_length, "sample series length mismatch");
+            assert_eq!(
+                series.len(),
+                params.series_length,
+                "sample series length mismatch"
+            );
             let summary = dft_summary(series, params.word_length);
             for (d, &v) in summary.iter().enumerate() {
                 columns[d].push(v as f64);
@@ -135,7 +147,10 @@ impl SfaQuantizer {
                 }
             })
             .collect();
-        Self { params, breakpoints }
+        Self {
+            params,
+            breakpoints,
+        }
     }
 
     /// The parameters this quantizer was trained with.
@@ -226,7 +241,9 @@ mod tests {
         let mut state = seed;
         let mut v: Vec<f32> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect();
@@ -276,7 +293,10 @@ mod tests {
     #[test]
     fn equi_width_breakpoints_are_evenly_spaced() {
         let s = sample(100, 32);
-        let q = train(SfaParams::new(32, 4).with_binning(BinningMethod::EquiWidth), &s);
+        let q = train(
+            SfaParams::new(32, 4).with_binning(BinningMethod::EquiWidth),
+            &s,
+        );
         for d in 0..4 {
             let bp = q.breakpoints(d);
             assert_eq!(bp.len(), 7);
@@ -294,10 +314,10 @@ mod tests {
         let series = lcg_series(96, 999);
         let dft = q.dft(&series);
         let w = q.word_from_dft(&dft);
-        for d in 0..8 {
+        for (d, &v) in dft.iter().enumerate().take(8) {
             let (low, high) = q.cell(d, w.symbols[d]);
-            assert!(low <= dft[d] as f64 + 1e-9);
-            assert!(dft[d] as f64 <= high + 1e-9);
+            assert!(low <= v as f64 + 1e-9);
+            assert!(v as f64 <= high + 1e-9);
         }
     }
 
@@ -307,7 +327,9 @@ mod tests {
         for binning in [BinningMethod::EquiDepth, BinningMethod::EquiWidth] {
             for alpha in [4usize, 8, 64] {
                 let q = train(
-                    SfaParams::new(128, 16).with_alphabet_size(alpha).with_binning(binning),
+                    SfaParams::new(128, 16)
+                        .with_alphabet_size(alpha)
+                        .with_binning(binning),
                     &s,
                 );
                 for seed in 0..5u64 {
@@ -315,7 +337,10 @@ mod tests {
                     let cand = lcg_series(128, 2000 + seed);
                     let lb = q.mindist(&q.dft(&query), &q.word(&cand));
                     let ed = euclidean(&query, &cand);
-                    assert!(lb <= ed + 1e-4, "LB {lb} > ED {ed} ({binning:?}, a={alpha})");
+                    assert!(
+                        lb <= ed + 1e-4,
+                        "LB {lb} > ED {ed} ({binning:?}, a={alpha})"
+                    );
                 }
             }
         }
@@ -361,7 +386,9 @@ mod tests {
 
     #[test]
     fn params_builders() {
-        let p = SfaParams::new(64, 16).with_alphabet_size(32).with_binning(BinningMethod::EquiWidth);
+        let p = SfaParams::new(64, 16)
+            .with_alphabet_size(32)
+            .with_binning(BinningMethod::EquiWidth);
         assert_eq!(p.alphabet_size, 32);
         assert_eq!(p.binning, BinningMethod::EquiWidth);
         assert_eq!(p.word_length, 16);

@@ -64,7 +64,10 @@ impl VaPlusQuantizer {
         I: IntoIterator<Item = &'a [f32]>,
     {
         assert!(dims >= 1, "dims must be at least 1");
-        assert!(total_bits >= dims, "need at least one bit per dimension on average");
+        assert!(
+            total_bits >= dims,
+            "need at least one bit per dimension on average"
+        );
         // Gather DFT summaries column-wise.
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); dims];
         for series in sample {
@@ -88,7 +91,12 @@ impl VaPlusQuantizer {
                 }
             })
             .collect();
-        Self { series_length, dims, bits, boundaries }
+        Self {
+            series_length,
+            dims,
+            bits,
+            boundaries,
+        }
     }
 
     /// The number of retained dimensions.
@@ -154,9 +162,9 @@ impl VaPlusQuantizer {
         debug_assert_eq!(query_dft.len(), self.dims);
         debug_assert_eq!(cell.len(), self.dims);
         let mut sum = 0.0f64;
-        for d in 0..self.dims {
+        for (d, &qv) in query_dft.iter().enumerate() {
             let (low, high) = self.interval(d, cell.cells[d]);
-            let q = query_dft[d] as f64;
+            let q = qv as f64;
             let dist = if q < low {
                 low - q
             } else if q > high {
@@ -175,9 +183,9 @@ impl VaPlusQuantizer {
     /// the summary distance, not the full-resolution distance.
     pub fn summary_upper_bound(&self, query_dft: &[f32], cell: &VaPlusCell) -> f64 {
         let mut sum = 0.0f64;
-        for d in 0..self.dims {
+        for (d, &qv) in query_dft.iter().take(self.dims).enumerate() {
             let (low, high) = self.interval(d, cell.cells[d]);
-            let q = query_dft[d] as f64;
+            let q = qv as f64;
             // Distance to the farthest finite boundary; unbounded cells fall
             // back to the nearest boundary (conservative but finite).
             let far = match (low.is_finite(), high.is_finite()) {
@@ -241,8 +249,9 @@ fn kmeans_boundaries(values: &[f64], k: usize) -> Vec<f64> {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = sorted.len();
     // Initialize centroids at equi-depth quantiles (good seeds for 1-D data).
-    let mut centroids: Vec<f64> =
-        (0..k).map(|i| sorted[((2 * i + 1) * n / (2 * k)).min(n - 1)]).collect();
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sorted[((2 * i + 1) * n / (2 * k)).min(n - 1)])
+        .collect();
     let mut assignments = vec![0usize; n];
     for _iter in 0..50 {
         let mut changed = false;
@@ -293,7 +302,9 @@ mod tests {
         let mut state = seed;
         let mut v: Vec<f32> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) as f32
             })
             .collect();
@@ -306,10 +317,13 @@ mod tests {
         // into low frequencies, so bit allocation should be non-uniform).
         let raw = lcg_series(n, seed);
         let mut acc = 0.0f32;
-        let mut v: Vec<f32> = raw.iter().map(|&x| {
-            acc += x;
-            acc
-        }).collect();
+        let mut v: Vec<f32> = raw
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
         z_normalize(&mut v);
         v
     }
@@ -347,7 +361,10 @@ mod tests {
             "expected non-uniform allocation favouring low frequencies, got {bits:?}"
         );
         // And the allocation must actually be non-uniform somewhere.
-        assert!(bits.iter().min() != bits.iter().max(), "allocation should not be uniform: {bits:?}");
+        assert!(
+            bits.iter().min() != bits.iter().max(),
+            "allocation should not be uniform: {bits:?}"
+        );
     }
 
     #[test]
@@ -359,10 +376,10 @@ mod tests {
         let cell = q.cell_from_dft(&dft);
         assert_eq!(cell.len(), 16);
         assert!(!cell.is_empty());
-        for d in 0..16 {
+        for (d, &v) in dft.iter().enumerate().take(16) {
             let (low, high) = q.interval(d, cell.cells[d]);
-            assert!(low <= dft[d] as f64 + 1e-9);
-            assert!(dft[d] as f64 <= high + 1e-9);
+            assert!(low <= v as f64 + 1e-9);
+            assert!(v as f64 <= high + 1e-9);
         }
     }
 
@@ -415,7 +432,10 @@ mod tests {
             sum_small += q_small.lower_bound(&q_small.dft(&query), &q_small.cell(&cand));
             sum_large += q_large.lower_bound(&q_large.dft(&query), &q_large.cell(&cand));
         }
-        assert!(sum_large >= sum_small, "more bits should tighten bounds: {sum_large} vs {sum_small}");
+        assert!(
+            sum_large >= sum_small,
+            "more bits should tighten bounds: {sum_large} vs {sum_small}"
+        );
     }
 
     #[test]
@@ -424,7 +444,10 @@ mod tests {
         values.extend(vec![10.0f64; 50]);
         let b = kmeans_boundaries(&values, 2);
         assert_eq!(b.len(), 1);
-        assert!(b[0] > 2.0 && b[0] < 8.0, "boundary {b:?} should separate the clusters");
+        assert!(
+            b[0] > 2.0 && b[0] < 8.0,
+            "boundary {b:?} should separate the clusters"
+        );
     }
 
     #[test]

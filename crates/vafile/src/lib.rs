@@ -21,8 +21,8 @@
 //! the tight, data-adaptive quantization.
 
 use hydra_core::{
-    AnsweringMethod, AnswerSet, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
+    MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{VaPlusCell, VaPlusQuantizer};
@@ -53,20 +53,24 @@ impl VaPlusFile {
         // Train the quantizer on a sample (first train_samples series).
         let sample_size = options.train_samples.clamp(1, store.len());
         let dataset = store.dataset();
-        let sample: Vec<&[f32]> =
-            (0..sample_size).map(|i| dataset.series(i).values()).collect();
-        let quantizer =
-            VaPlusQuantizer::train(store.series_length(), dims, total_bits, sample.into_iter());
+        let sample: Vec<&[f32]> = (0..sample_size)
+            .map(|i| dataset.series(i).values())
+            .collect();
+        let quantizer = VaPlusQuantizer::train(store.series_length(), dims, total_bits, sample);
 
         // One sequential pass to compute every approximation.
         let mut cells = Vec::with_capacity(store.len());
         store.scan_all(|_, series| {
             cells.push(quantizer.cell(series.values()));
         });
-        let approximation_bytes =
-            (store.len() * quantizer.bits_per_series()).div_ceil(8);
+        let approximation_bytes = (store.len() * quantizer.bits_per_series()).div_ceil(8);
         store.record_index_write(approximation_bytes as u64);
-        Ok(Self { store, quantizer, cells, approximation_bytes })
+        Ok(Self {
+            store,
+            quantizer,
+            cells,
+            approximation_bytes,
+        })
     }
 
     /// The trained quantizer.
@@ -95,6 +99,10 @@ impl AnsweringMethod for VaPlusFile {
         }
     }
 
+    fn index_footprint(&self) -> Option<IndexFootprint> {
+        Some(ExactIndex::footprint(self))
+    }
+
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
@@ -107,9 +115,14 @@ impl AnsweringMethod for VaPlusFile {
         let q_dft = self.quantizer.dft(query.values());
 
         // Phase 1: scan the filter file (sequential, small) computing bounds.
-        let approx_pages =
-            (self.approximation_bytes as u64).div_ceil(self.store.page_bytes() as u64).max(1);
-        stats.record_io(approx_pages.saturating_sub(1), 1, self.approximation_bytes as u64);
+        let approx_pages = (self.approximation_bytes as u64)
+            .div_ceil(self.store.page_bytes() as u64)
+            .max(1);
+        stats.record_io(
+            approx_pages.saturating_sub(1),
+            1,
+            self.approximation_bytes as u64,
+        );
         let mut ranked: Vec<(f64, usize)> = self
             .cells
             .iter()
@@ -173,8 +186,12 @@ mod tests {
     use hydra_scan::ucr::brute_force_knn;
 
     fn build(count: usize, len: usize) -> (Arc<DatasetStore>, VaPlusFile) {
-        let store = Arc::new(DatasetStore::new(RandomWalkGenerator::new(41, len).dataset(count)));
-        let options = BuildOptions::default().with_segments(16).with_train_samples(200);
+        let store = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(41, len).dataset(count),
+        ));
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_train_samples(200);
         let index = VaPlusFile::build_on_store(store.clone(), &options).unwrap();
         (store, index)
     }

@@ -6,49 +6,33 @@
 //! catalogued curves. This example builds two indexes with very different
 //! access patterns — ADS+ (skip-sequential, seek-heavy) and DSTree
 //! (leaf-clustered, sequential-friendly) — answers the same query batch with
-//! both, and shows how the HDD and SSD cost models change which one is
-//! preferable, the central hardware lesson of the study.
+//! both through the unified query engine, and shows how the HDD and SSD cost
+//! models change which one is preferable, the central hardware lesson of the
+//! study.
 //!
 //! ```bash
 //! cargo run --release -p hydra-examples --example astro_pipeline
 //! ```
 
-use hydra_core::{AnsweringMethod, BuildOptions, Query, QueryStats};
+use hydra_bench::MethodKind;
+use hydra_core::{BuildOptions, IoSnapshot, Query};
 use hydra_data::{DomainDataset, DomainGenerator, QueryWorkload, WorkloadSpec};
-use hydra_dstree::DsTree;
 use hydra_examples::fmt_duration;
-use hydra_isax::AdsPlus;
-use hydra_storage::{CostModel, DatasetStore, IoSnapshot};
-use std::sync::Arc;
+use hydra_storage::CostModel;
 use std::time::Duration;
-
-fn io_of(stats: &QueryStats) -> IoSnapshot {
-    IoSnapshot {
-        sequential_pages: stats.sequential_page_accesses,
-        random_pages: stats.random_page_accesses,
-        bytes_read: stats.bytes_read,
-        bytes_written: 0,
-    }
-}
 
 fn main() {
     // The catalogue: 25 000 astro-flavoured light curves of length 256.
     let catalogue = DomainGenerator::new(DomainDataset::Astro, 77).dataset(25_000);
-    println!("catalogue: {} light curves of length {}", catalogue.len(), catalogue.series_length());
+    println!(
+        "catalogue: {} light curves of length {}",
+        catalogue.len(),
+        catalogue.series_length()
+    );
 
-    let options = BuildOptions::default().with_segments(16).with_leaf_capacity(100);
-
-    let ads_store = Arc::new(DatasetStore::new(catalogue.clone()));
-    let ads_clock = std::time::Instant::now();
-    let ads = AdsPlus::build_on_store(ads_store.clone(), &options).expect("ADS+ build");
-    let ads_build = ads_clock.elapsed();
-
-    let ds_store = Arc::new(DatasetStore::new(catalogue.clone()));
-    let ds_clock = std::time::Instant::now();
-    let dstree = DsTree::build_on_store(ds_store.clone(), &options).expect("DSTree build");
-    let ds_build = ds_clock.elapsed();
-
-    println!("index construction: ADS+ {}, DSTree {}", fmt_duration(ads_build), fmt_duration(ds_build));
+    let options = BuildOptions::default()
+        .with_segments(16)
+        .with_leaf_capacity(100);
 
     // New observations to cross-match.
     let observations = QueryWorkload::generate(
@@ -58,22 +42,27 @@ fn main() {
     );
 
     let mut totals: Vec<(&str, Duration, IoSnapshot)> = Vec::new();
-    for (name, method) in [("ADS+", &ads as &dyn AnsweringMethod), ("DSTree", &dstree)] {
+    for kind in [MethodKind::AdsPlus, MethodKind::DsTree] {
+        let mut engine = kind.engine(&catalogue, &options).expect("build");
+        println!(
+            "built {} in {}",
+            kind.name(),
+            fmt_duration(engine.build_time())
+        );
         let mut cpu = Duration::ZERO;
-        let mut io = IoSnapshot::default();
         for obs in observations.queries() {
-            let mut stats = QueryStats::default();
-            method.answer(&Query::nearest_neighbor(obs.clone()), &mut stats).expect("query");
-            cpu += stats.cpu_time;
-            let q_io = io_of(&stats);
-            io.sequential_pages += q_io.sequential_pages;
-            io.random_pages += q_io.random_pages;
-            io.bytes_read += q_io.bytes_read;
+            let answered = engine
+                .answer(&Query::nearest_neighbor(obs.clone()))
+                .expect("query");
+            cpu += answered.stats.cpu_time;
         }
-        totals.push((name, cpu, io));
+        totals.push((kind.name(), cpu, engine.totals().io_snapshot()));
     }
 
-    println!("\n{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}", "method", "CPU", "seq pages", "rand pages", "HDD I/O", "SSD I/O");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "method", "CPU", "seq pages", "rand pages", "HDD I/O", "SSD I/O"
+    );
     let hdd = CostModel::hdd();
     let ssd = CostModel::ssd();
     for (name, cpu, io) in &totals {
@@ -97,6 +86,10 @@ fn main() {
                 best = (name, total);
             }
         }
-        println!("best method for the 50-query batch on {platform}: {} ({})", best.0, fmt_duration(best.1));
+        println!(
+            "best method for the 50-query batch on {platform}: {} ({})",
+            best.0,
+            fmt_duration(best.1)
+        );
     }
 }

@@ -2,27 +2,19 @@
 //! dataset and workload and print a comparison table.
 //!
 //! This is a miniature version of the paper's headline experiment — every
-//! method, same data, same queries, same measurement rules — and a good
-//! starting point for exploring how the methods trade build time, query CPU,
-//! pruning power and access pattern against each other.
+//! method, same data, same queries, same measurement rules — driven entirely
+//! through the registry's uniform [`hydra_core::QueryEngine`] path: no
+//! per-method code, just a loop over [`MethodKind::ALL`].
 //!
 //! ```bash
 //! cargo run --release -p hydra-examples --example method_bakeoff
 //! ```
 
-use hydra_core::{AnsweringMethod, BuildOptions, Query, QueryStats};
+use hydra_bench::MethodKind;
+use hydra_core::{BuildOptions, Query};
 use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
-use hydra_dstree::DsTree;
 use hydra_examples::fmt_duration;
-use hydra_isax::{AdsPlus, Isax2Plus};
-use hydra_mtree::MTree;
-use hydra_rtree::RStarTree;
-use hydra_scan::{MassScan, Stepwise, UcrScan};
-use hydra_sfa::SfaTrie;
-use hydra_storage::DatasetStore;
-use hydra_vafile::VaPlusFile;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct Row {
     name: &'static str,
@@ -41,6 +33,9 @@ fn main() {
         &dataset,
         &WorkloadSpec::controlled(13).with_num_queries(20),
     );
+    // One shared base configuration; the registry applies the per-method
+    // tunings the paper prescribes (SFA alphabet 8, smaller R*-tree/M-tree
+    // leaves) on top.
     let options = BuildOptions::default()
         .with_segments(16)
         .with_leaf_capacity(100)
@@ -53,75 +48,24 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
-    let mut run = |name: &'static str, build: Box<dyn Fn() -> Box<dyn AnsweringMethod>>| {
-        let clock = Instant::now();
-        let method = build();
-        let build_time = clock.elapsed();
-        let mut cpu = Duration::ZERO;
-        let mut pruning = 0.0;
-        let mut seq = 0;
-        let mut rand = 0;
+    for kind in MethodKind::ALL {
+        let mut engine = kind.engine(&dataset, &options).expect("build");
+        let mut query_cpu = Duration::ZERO;
         for q in workload.queries() {
-            let mut stats = QueryStats::default();
-            method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).expect("query");
-            cpu += stats.cpu_time;
-            pruning += stats.pruning_ratio(dataset.len());
-            seq += stats.sequential_page_accesses;
-            rand += stats.random_page_accesses;
+            let answered = engine
+                .answer(&Query::nearest_neighbor(q.clone()))
+                .expect("query");
+            query_cpu += answered.stats.cpu_time;
         }
         rows.push(Row {
-            name,
-            build: build_time,
-            query_cpu: cpu,
-            pruning: pruning / workload.len() as f64,
-            seq_pages: seq,
-            rand_pages: rand,
+            name: kind.name(),
+            build: engine.build_time(),
+            query_cpu,
+            pruning: engine.mean_pruning_ratio(),
+            seq_pages: engine.totals().sequential_page_accesses,
+            rand_pages: engine.totals().random_page_accesses,
         });
-    };
-
-    let d = dataset.clone();
-    run("UCR-Suite", Box::new(move || Box::new(UcrScan::new(Arc::new(DatasetStore::new(d.clone()))))));
-    let d = dataset.clone();
-    run("MASS", Box::new(move || Box::new(MassScan::new(Arc::new(DatasetStore::new(d.clone()))))));
-    let d = dataset.clone();
-    run("Stepwise", Box::new(move || {
-        Box::new(Stepwise::build(Arc::new(DatasetStore::new(d.clone()))).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone();
-    run("VA+file", Box::new(move || {
-        Box::new(VaPlusFile::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone();
-    run("iSAX2+", Box::new(move || {
-        Box::new(Isax2Plus::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone();
-    run("ADS+", Box::new(move || {
-        Box::new(AdsPlus::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone();
-    run("DSTree", Box::new(move || {
-        Box::new(DsTree::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone().with_alphabet_size(8);
-    run("SFA trie", Box::new(move || {
-        Box::new(SfaTrie::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone().with_segments(8);
-    run("R*-tree", Box::new(move || {
-        Box::new(RStarTree::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
-    let d = dataset.clone();
-    let o = options.clone().with_leaf_capacity(20);
-    run("M-tree", Box::new(move || {
-        Box::new(MTree::build_on_store(Arc::new(DatasetStore::new(d.clone())), &o).expect("build"))
-    }));
+    }
 
     println!(
         "{:<10} {:>10} {:>12} {:>9} {:>11} {:>11}",

@@ -1,17 +1,15 @@
 //! Quickstart: build an index over a data series collection and answer exact
-//! 1-NN queries.
+//! 1-NN queries through the unified query engine.
 //!
 //! ```bash
 //! cargo run --release -p hydra-examples --example quickstart
 //! ```
 
-use hydra_core::{AnsweringMethod, BuildOptions, ExactIndex, Query, QueryStats};
+use hydra_bench::MethodKind;
+use hydra_core::{BuildOptions, Query};
 use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
-use hydra_dstree::DsTree;
 use hydra_examples::{fmt_bytes, fmt_duration};
 use hydra_scan::ucr::brute_force_knn;
-use hydra_storage::DatasetStore;
-use std::sync::Arc;
 
 fn main() {
     // 1. Generate a collection of 20 000 random-walk series of length 256
@@ -27,30 +25,36 @@ fn main() {
         fmt_bytes(dataset.size_bytes() as u64)
     );
 
-    // 2. Wrap it in an instrumented store (counts sequential/random page
-    //    accesses) and build a DSTree index.
-    let store = Arc::new(DatasetStore::new(dataset.clone()));
-    let build_clock = std::time::Instant::now();
-    let options = BuildOptions::default().with_segments(16).with_leaf_capacity(100);
-    let index = DsTree::build_on_store(store.clone(), &options).expect("index construction");
+    // 2. Build a DSTree through the registry. The engine wraps the method
+    //    behind the uniform dyn interface, wires up the instrumented store's
+    //    I/O counters, and measures construction. Swap the `MethodKind` to
+    //    try any of the other nine methods — nothing else changes.
+    let options = BuildOptions::default()
+        .with_segments(16)
+        .with_leaf_capacity(100);
+    let mut engine = MethodKind::DsTree
+        .engine(&dataset, &options)
+        .expect("index construction");
+    let footprint = engine.footprint().expect("DSTree builds an index");
     println!(
-        "built DSTree in {} ({} nodes, {} leaves)",
-        fmt_duration(build_clock.elapsed()),
-        index.footprint().total_nodes,
-        index.footprint().leaf_nodes
+        "built {} in {} ({} nodes, {} leaves)",
+        engine.descriptor().name,
+        fmt_duration(engine.build_time()),
+        footprint.total_nodes,
+        footprint.leaf_nodes
     );
 
     // 3. Generate a 10-query workload and answer exact 1-NN queries.
-    let workload =
-        QueryWorkload::generate("Synth-Rand", &dataset, &WorkloadSpec::random(7).with_num_queries(10));
-    store.reset_io();
+    let workload = QueryWorkload::generate(
+        "Synth-Rand",
+        &dataset,
+        &WorkloadSpec::random(7).with_num_queries(10),
+    );
     for (i, series) in workload.queries().iter().enumerate() {
-        let mut stats = QueryStats::default();
-        let clock = std::time::Instant::now();
-        let answers = index
-            .answer(&Query::nearest_neighbor(series.clone()), &mut stats)
+        let answered = engine
+            .answer(&Query::nearest_neighbor(series.clone()))
             .expect("query answering");
-        let nearest = answers.nearest().expect("non-empty answer");
+        let nearest = answered.answers.nearest().expect("non-empty answer");
 
         // Sanity check against the brute-force oracle (exactness guarantee).
         let oracle = brute_force_knn(&dataset, series.values(), 1);
@@ -61,18 +65,19 @@ fn main() {
              leaves={:<3} time={}",
             nearest.id,
             nearest.distance,
-            stats.pruning_ratio(dataset.len()) * 100.0,
-            stats.leaves_visited,
-            fmt_duration(clock.elapsed())
+            answered.stats.pruning_ratio(dataset.len()) * 100.0,
+            answered.stats.leaves_visited,
+            fmt_duration(answered.wall_time)
         );
     }
 
-    // 4. Report the I/O profile of the whole workload.
-    let io = store.io_snapshot();
+    // 4. Report the I/O profile of the whole workload, aggregated by the
+    //    engine across the queries it answered.
+    let totals = engine.totals();
     println!(
         "workload I/O: {} sequential pages, {} random pages, {} read",
-        io.sequential_pages,
-        io.random_pages,
-        fmt_bytes(io.bytes_read)
+        totals.sequential_page_accesses,
+        totals.random_page_accesses,
+        fmt_bytes(totals.bytes_read)
     );
 }

@@ -6,19 +6,18 @@
 //! analysts look for the most similar historical waveforms. This example
 //! builds a VA+file over a seismic-flavoured synthetic archive, then answers a
 //! stream of "new event" queries with exact 5-NN search, comparing the work
-//! done against a full sequential scan.
+//! done against a full sequential scan — both driven through the unified
+//! query engine.
 //!
 //! ```bash
 //! cargo run --release -p hydra-examples --example seismic_monitoring
 //! ```
 
-use hydra_core::{AnsweringMethod, BuildOptions, Query, QueryStats};
+use hydra_bench::MethodKind;
+use hydra_core::{BuildOptions, Query};
 use hydra_data::{DomainDataset, DomainGenerator, QueryWorkload, WorkloadSpec};
 use hydra_examples::{fmt_bytes, fmt_duration};
-use hydra_scan::UcrScan;
-use hydra_storage::{CostModel, DatasetStore};
-use hydra_vafile::VaPlusFile;
-use std::sync::Arc;
+use hydra_storage::CostModel;
 
 fn main() {
     // The archive: 30 000 seismic-flavoured series of length 256.
@@ -33,22 +32,22 @@ fn main() {
 
     // Index the archive with a VA+file (the strongest all-round performer on
     // the paper's disk-resident workloads).
-    let store = Arc::new(DatasetStore::new(archive.clone()));
-    let build_clock = std::time::Instant::now();
-    let index = VaPlusFile::build_on_store(
-        store.clone(),
-        &BuildOptions::default().with_segments(16).with_train_samples(2_000),
-    )
-    .expect("index construction");
+    let options = BuildOptions::default()
+        .with_segments(16)
+        .with_train_samples(2_000);
+    let mut index = MethodKind::VaPlusFile
+        .engine(&archive, &options)
+        .expect("index construction");
     println!(
         "VA+file built in {} (filter file: {})",
-        fmt_duration(build_clock.elapsed()),
-        fmt_bytes(index.approximation_bytes() as u64)
+        fmt_duration(index.build_time()),
+        fmt_bytes(index.build_io().bytes_written)
     );
 
-    // Baseline: the optimized sequential scan.
-    let scan_store = Arc::new(DatasetStore::new(archive.clone()));
-    let scan = UcrScan::new(scan_store);
+    // Baseline: the optimized sequential scan, through the same engine API.
+    let mut scan = MethodKind::UcrSuite
+        .engine(&archive, &options)
+        .expect("scan setup");
 
     // Incoming events: noisy variants of archived waveforms (controlled
     // difficulty), as produced by the paper's query generator.
@@ -63,32 +62,23 @@ fn main() {
     let mut scan_io_time = std::time::Duration::ZERO;
     println!("\nevent  noise   nn-distance  examined  pruning   modelled-HDD-I/O");
     for (i, event) in events.queries().iter().enumerate() {
-        let mut stats = QueryStats::default();
-        let answers =
-            index.answer(&Query::knn(event.clone(), 5), &mut stats).expect("query answering");
-        let io = hydra_storage::IoSnapshot {
-            sequential_pages: stats.sequential_page_accesses,
-            random_pages: stats.random_page_accesses,
-            bytes_read: stats.bytes_read,
-            bytes_written: 0,
-        };
+        let answered = index
+            .answer(&Query::knn(event.clone(), 5))
+            .expect("query answering");
+        let io = answered.stats.io_snapshot();
         index_io_time += hdd.io_time(&io);
 
-        let mut scan_stats = QueryStats::default();
-        scan.answer(&Query::knn(event.clone(), 5), &mut scan_stats).expect("scan answering");
-        scan_io_time += hdd.io_time(&hydra_storage::IoSnapshot {
-            sequential_pages: scan_stats.sequential_page_accesses,
-            random_pages: scan_stats.random_page_accesses,
-            bytes_read: scan_stats.bytes_read,
-            bytes_written: 0,
-        });
+        let scanned = scan
+            .answer(&Query::knn(event.clone(), 5))
+            .expect("scan answering");
+        scan_io_time += hdd.io_time(&scanned.stats.io_snapshot());
 
         println!(
             "{i:5}  {:>5.2}  {:>11.4}  {:>8}  {:>6.1}%  {:>12}",
             events.noise_level(i).map(|n| n.fraction).unwrap_or(0.0),
-            answers.nearest().unwrap().distance,
-            stats.raw_series_examined,
-            stats.pruning_ratio(archive.len()) * 100.0,
+            answered.answers.nearest().unwrap().distance,
+            answered.stats.raw_series_examined,
+            answered.stats.pruning_ratio(archive.len()) * 100.0,
             fmt_duration(hdd.io_time(&io)),
         );
     }

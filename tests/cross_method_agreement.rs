@@ -17,13 +17,19 @@ use std::sync::Arc;
 fn all_methods_agree_pairwise_on_a_workload() {
     let data = dataset(300, 64, 404);
     let methods = all_methods(&data);
-    let workload =
-        QueryWorkload::generate("Synth-Rand", &data, &WorkloadSpec::random(5).with_num_queries(6));
+    let workload = QueryWorkload::generate(
+        "Synth-Rand",
+        &data,
+        &WorkloadSpec::random(5).with_num_queries(6),
+    );
     for q in workload.queries() {
         let answers: Vec<_> = methods
             .iter()
             .map(|(name, m)| {
-                (name.clone(), m.answer_simple(&Query::knn(q.clone(), 5)).unwrap())
+                (
+                    name.clone(),
+                    m.answer_simple(&Query::knn(q.clone(), 5)).unwrap(),
+                )
             })
             .collect();
         let (ref_name, reference) = &answers[0];
@@ -46,16 +52,25 @@ fn pruning_ratios_are_within_range_and_indexes_beat_scans() {
     let mut best_index_ratio: f64 = 0.0;
     for (name, method) in &methods {
         let mut stats = QueryStats::default();
-        method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+        method
+            .answer(&Query::nearest_neighbor(q.clone()), &mut stats)
+            .unwrap();
         let ratio = stats.pruning_ratio(data.len());
-        assert!((0.0..=1.0).contains(&ratio), "{name} pruning ratio out of range: {ratio}");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "{name} pruning ratio out of range: {ratio}"
+        );
         if name == "UCR-Suite" {
             scan_ratio = Some(ratio);
         } else if name != "MASS" {
             best_index_ratio = best_index_ratio.max(ratio);
         }
     }
-    assert_eq!(scan_ratio.unwrap(), 0.0, "a sequential scan examines every series");
+    assert_eq!(
+        scan_ratio.unwrap(),
+        0.0,
+        "a sequential scan examines every series"
+    );
     assert!(
         best_index_ratio > 0.5,
         "at least one index should prune more than half the dataset on an easy query"
@@ -69,7 +84,9 @@ fn query_stats_counters_are_populated_consistently() {
     let q = data.series(5).to_owned_series();
     for (name, method) in &methods {
         let mut stats = QueryStats::default();
-        method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+        method
+            .answer(&Query::nearest_neighbor(q.clone()), &mut stats)
+            .unwrap();
         assert!(
             stats.raw_series_examined >= 1,
             "{name} must examine at least one raw series to answer exactly"
@@ -112,8 +129,11 @@ fn approximate_answers_never_beat_exact_answers() {
     let isax = Isax2Plus::build_on_store(store, &opts).unwrap();
     let store = Arc::new(DatasetStore::new(data.clone()));
     let ads = AdsPlus::build_on_store(store, &opts).unwrap();
-    let workload =
-        QueryWorkload::generate("w", &data, &WorkloadSpec::controlled(3).with_num_queries(10));
+    let workload = QueryWorkload::generate(
+        "w",
+        &data,
+        &WorkloadSpec::controlled(3).with_num_queries(10),
+    );
     for q in workload.queries() {
         for (name, approx, exact) in [
             (
@@ -122,7 +142,8 @@ fn approximate_answers_never_beat_exact_answers() {
                     &Query::nearest_neighbor(q.clone()),
                     &mut QueryStats::default(),
                 ),
-                isax.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap(),
+                isax.answer_simple(&Query::nearest_neighbor(q.clone()))
+                    .unwrap(),
             ),
             (
                 "ADS+",
@@ -130,7 +151,8 @@ fn approximate_answers_never_beat_exact_answers() {
                     &Query::nearest_neighbor(q.clone()),
                     &mut QueryStats::default(),
                 ),
-                ads.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap(),
+                ads.answer_simple(&Query::nearest_neighbor(q.clone()))
+                    .unwrap(),
             ),
         ] {
             if let Some(approx) = approx {

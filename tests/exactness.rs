@@ -19,7 +19,9 @@ fn every_method_is_exact_on_random_walk_data() {
     for (name, method) in &methods {
         for q in queries.queries() {
             let expected = brute_force_knn(&data, q.values(), 1);
-            let got = method.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap();
+            let got = method
+                .answer_simple(&Query::nearest_neighbor(q.clone()))
+                .unwrap();
             assert!(
                 got.distances_match(&expected, 1e-3),
                 "{name} returned a non-exact 1-NN answer: {:?} vs {:?}",
@@ -71,7 +73,9 @@ fn every_method_is_exact_on_every_domain_dataset() {
         for (name, method) in &methods {
             for q in queries.queries() {
                 let expected = brute_force_knn(&data, q.values(), 1);
-                let got = method.answer_simple(&Query::nearest_neighbor(q.clone())).unwrap();
+                let got = method
+                    .answer_simple(&Query::nearest_neighbor(q.clone()))
+                    .unwrap();
                 assert!(
                     got.distances_match(&expected, 1e-3),
                     "{name} non-exact on {} data",

@@ -6,17 +6,9 @@
 //! with the brute-force scan), lower-bounding correctness, and the sanity of
 //! the I/O accounting that the experiment harness relies on.
 
+use hydra_bench::MethodKind;
 use hydra_core::{AnsweringMethod, BuildOptions, Dataset};
 use hydra_data::RandomWalkGenerator;
-use hydra_dstree::DsTree;
-use hydra_isax::{AdsPlus, Isax2Plus};
-use hydra_mtree::MTree;
-use hydra_rtree::RStarTree;
-use hydra_scan::{MassScan, Stepwise, UcrScan};
-use hydra_sfa::SfaTrie;
-use hydra_storage::DatasetStore;
-use hydra_vafile::VaPlusFile;
-use std::sync::Arc;
 
 /// A small random-walk dataset shared by the integration tests.
 pub fn dataset(count: usize, len: usize, seed: u64) -> Dataset {
@@ -31,40 +23,18 @@ pub fn options(len: usize) -> BuildOptions {
         .with_train_samples(100)
 }
 
-/// Builds every one of the ten methods over the same dataset and returns them
-/// as trait objects, so tests can iterate uniformly (the paper's "all methods
-/// under the same conditions" principle).
+/// Builds every one of the ten methods over the same dataset through the
+/// registry's uniform dyn-dispatch path, so tests can iterate uniformly (the
+/// paper's "all methods under the same conditions" principle).
 pub fn all_methods(data: &Dataset) -> Vec<(String, Box<dyn AnsweringMethod>)> {
-    let len = data.series_length();
-    let opts = options(len);
-    let store = || Arc::new(DatasetStore::new(data.clone()));
-    let mut methods: Vec<(String, Box<dyn AnsweringMethod>)> = Vec::new();
-    methods.push(("UCR-Suite".into(), Box::new(UcrScan::new(store()))));
-    methods.push(("MASS".into(), Box::new(MassScan::new(store()))));
-    methods.push(("Stepwise".into(), Box::new(Stepwise::build(store()).unwrap())));
-    methods.push((
-        "VA+file".into(),
-        Box::new(VaPlusFile::build_on_store(store(), &opts).unwrap()),
-    ));
-    methods.push((
-        "iSAX2+".into(),
-        Box::new(Isax2Plus::build_on_store(store(), &opts).unwrap()),
-    ));
-    methods.push(("ADS+".into(), Box::new(AdsPlus::build_on_store(store(), &opts).unwrap())));
-    methods.push(("DSTree".into(), Box::new(DsTree::build_on_store(store(), &opts).unwrap())));
-    methods.push((
-        "SFA trie".into(),
-        Box::new(SfaTrie::build_on_store(store(), &opts.clone().with_alphabet_size(8)).unwrap()),
-    ));
-    methods.push((
-        "R*-tree".into(),
-        Box::new(
-            RStarTree::build_on_store(store(), &opts.clone().with_segments(8.min(len))).unwrap(),
-        ),
-    ));
-    methods.push((
-        "M-tree".into(),
-        Box::new(MTree::build_on_store(store(), &opts.clone().with_leaf_capacity(10)).unwrap()),
-    ));
-    methods
+    let opts = options(data.series_length());
+    MethodKind::ALL
+        .iter()
+        .map(|kind| {
+            let method = kind
+                .build_boxed(data, &opts)
+                .unwrap_or_else(|e| panic!("building {} failed: {e:?}", kind.name()));
+            (kind.name().to_string(), method)
+        })
+        .collect()
 }

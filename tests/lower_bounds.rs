@@ -1,12 +1,15 @@
-//! Property-based tests of the lower-bounding lemma across every
-//! summarization technique.
+//! Randomized tests of the lower-bounding lemma across every summarization
+//! technique.
 //!
 //! Lower-bounding is the invariant that makes index pruning exact ("no false
 //! dismissals"): for any pair of series, the distance computed in the reduced
-//! space must never exceed the true Euclidean distance. These proptest suites
-//! generate arbitrary series pairs and check the invariant for PAA, DFT, DHWT,
-//! EAPCA, SAX/iSAX at every cardinality, SFA with both binning methods, and
-//! the VA+ quantizer.
+//! space must never exceed the true Euclidean distance. These suites generate
+//! seeded pseudo-random series pairs and check the invariant for PAA, DFT,
+//! DHWT, EAPCA, SAX/iSAX at every cardinality, SFA with both binning methods,
+//! and the VA+ quantizer.
+//!
+//! (The seed repo expressed these as `proptest` properties; the offline build
+//! replays the same invariants over a deterministic seeded case stream.)
 
 use hydra_core::distance::euclidean;
 use hydra_core::series::z_normalize;
@@ -16,49 +19,64 @@ use hydra_transforms::sax::SaxParams;
 use hydra_transforms::sfa::{BinningMethod, SfaParams, SfaQuantizer};
 use hydra_transforms::vaplus::VaPlusQuantizer;
 use hydra_transforms::{HaarTransform, Paa};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a Z-normalized series of the given length with bounded values.
-fn series(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, len).prop_map(|mut v| {
-        z_normalize(&mut v);
-        v
-    })
+/// Number of random cases for the cheap per-pair properties.
+const CASES: u64 = 64;
+/// Number of random cases for properties that train a quantizer per case.
+const QUANTIZER_CASES: u64 = 16;
+
+/// A Z-normalized pseudo-random series of the given length.
+fn series(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..len)
+        .map(|_| (rng.gen_range(-100.0..100.0)) as f32)
+        .collect();
+    z_normalize(&mut v);
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn paa_lower_bound_never_exceeds_distance(
-        a in series(64),
-        b in series(64),
-        segments in 1usize..=16,
-    ) {
+#[test]
+fn paa_lower_bound_never_exceeds_distance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9AA0 + case);
+        let a = series(&mut rng, 64);
+        let b = series(&mut rng, 64);
+        let segments = rng.gen_range(1..=16usize);
         let paa = Paa::new(64, segments);
         let lb = paa.lower_bound(&paa.transform(&a), &paa.transform(&b));
-        prop_assert!(lb <= euclidean(&a, &b) + 1e-3);
+        assert!(
+            lb <= euclidean(&a, &b) + 1e-3,
+            "case {case}: PAA bound {lb} above distance with {segments} segments"
+        );
     }
+}
 
-    #[test]
-    fn dft_lower_bound_never_exceeds_distance(
-        a in series(96),
-        b in series(96),
-        coefficients in 1usize..=32,
-    ) {
+#[test]
+fn dft_lower_bound_never_exceeds_distance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDF70 + case);
+        let a = series(&mut rng, 96);
+        let b = series(&mut rng, 96);
+        let coefficients = rng.gen_range(1..=32usize);
         let lb = dft_lower_bound(
             &dft_summary(&a, coefficients),
             &dft_summary(&b, coefficients),
         );
-        prop_assert!(lb <= euclidean(&a, &b) + 1e-3);
+        assert!(
+            lb <= euclidean(&a, &b) + 1e-3,
+            "case {case}: DFT bound {lb} above distance with {coefficients} coefficients"
+        );
     }
+}
 
-    #[test]
-    fn haar_prefix_bounds_bracket_the_distance(
-        a in series(100),
-        b in series(100),
-        level in 0usize..=7,
-    ) {
+#[test]
+fn haar_prefix_bounds_bracket_the_distance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4AA2 + case);
+        let a = series(&mut rng, 100);
+        let b = series(&mut rng, 100);
+        let level = rng.gen_range(0..=7usize);
         let t = HaarTransform::new(100);
         let ca = t.transform(&a);
         let cb = t.transform(&b);
@@ -66,86 +84,108 @@ proptest! {
         let ed = euclidean(&a, &b);
         let lb = HaarTransform::prefix_lower_bound(&ca, &cb, prefix);
         let ub = HaarTransform::prefix_upper_bound(&ca, &cb, prefix);
-        prop_assert!(lb <= ed + 1e-3, "lower bound {lb} above distance {ed}");
-        prop_assert!(ub + 1e-3 >= ed, "upper bound {ub} below distance {ed}");
-    }
-
-    #[test]
-    fn eapca_lower_bound_never_exceeds_distance(
-        a in series(64),
-        b in series(64),
-        segments in 1usize..=16,
-    ) {
-        let segmentation = uniform_segmentation(64, segments);
-        let ea = Eapca::compute(&a, &segmentation);
-        let eb = Eapca::compute(&b, &segmentation);
-        prop_assert!(ea.lower_bound(&eb, &segmentation) <= euclidean(&a, &b) + 1e-3);
-    }
-
-    #[test]
-    fn isax_mindist_never_exceeds_distance_at_any_cardinality(
-        a in series(64),
-        b in series(64),
-        bits in 1u8..=8,
-    ) {
-        let params = SaxParams::new(64, 16, 8);
-        let q_paa = params.paa().transform(&a);
-        let word = params.sax_word(&b).to_isax(bits, 8);
-        prop_assert!(params.mindist_paa_to_isax(&q_paa, &word) <= euclidean(&a, &b) + 1e-3);
+        assert!(
+            lb <= ed + 1e-3,
+            "case {case}: lower bound {lb} above distance {ed}"
+        );
+        assert!(
+            ub + 1e-3 >= ed,
+            "case {case}: upper bound {ub} below distance {ed}"
+        );
     }
 }
 
-proptest! {
-    // The quantizer-based bounds need a trained quantizer, which is expensive
-    // to rebuild per case; use fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn eapca_lower_bound_never_exceeds_distance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xEA9C + case);
+        let a = series(&mut rng, 64);
+        let b = series(&mut rng, 64);
+        let segments = rng.gen_range(1..=16usize);
+        let segmentation = uniform_segmentation(64, segments);
+        let ea = Eapca::compute(&a, &segmentation);
+        let eb = Eapca::compute(&b, &segmentation);
+        assert!(
+            ea.lower_bound(&eb, &segmentation) <= euclidean(&a, &b) + 1e-3,
+            "case {case}: EAPCA bound above distance with {segments} segments"
+        );
+    }
+}
 
-    #[test]
-    fn sfa_mindist_never_exceeds_distance(
-        queries in prop::collection::vec(series(64), 3),
-        binning_equi_depth in any::<bool>(),
-    ) {
-        let sample: Vec<Vec<f32>> = (0..60u64)
-            .map(|i| {
-                let g = hydra_data::RandomWalkGenerator::new(900 + i, 64);
-                g.series(i).into_values()
-            })
-            .collect();
-        let binning = if binning_equi_depth {
+#[test]
+fn isax_mindist_never_exceeds_distance_at_any_cardinality() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x15A8 + case);
+        let a = series(&mut rng, 64);
+        let b = series(&mut rng, 64);
+        let bits = rng.gen_range(1..=8i32) as u8;
+        let params = SaxParams::new(64, 16, 8);
+        let q_paa = params.paa().transform(&a);
+        let word = params.sax_word(&b).to_isax(bits, 8);
+        assert!(
+            params.mindist_paa_to_isax(&q_paa, &word) <= euclidean(&a, &b) + 1e-3,
+            "case {case}: iSAX mindist above distance at {bits} bits"
+        );
+    }
+}
+
+/// A fixed random-walk sample for training quantizers (matches the seed suite).
+fn walk_sample(seed_base: u64) -> Vec<Vec<f32>> {
+    (0..60u64)
+        .map(|i| {
+            let g = hydra_data::RandomWalkGenerator::new(seed_base + i, 64);
+            g.series(i).into_values()
+        })
+        .collect()
+}
+
+#[test]
+fn sfa_mindist_never_exceeds_distance() {
+    // Training the quantizer is expensive, so this property uses fewer cases.
+    let sample = walk_sample(900);
+    for case in 0..QUANTIZER_CASES {
+        let mut rng = StdRng::seed_from_u64(0x5FA0 + case);
+        let queries: Vec<Vec<f32>> = (0..3).map(|_| series(&mut rng, 64)).collect();
+        let binning = if rng.gen_bool(0.5) {
             BinningMethod::EquiDepth
         } else {
             BinningMethod::EquiWidth
         };
         let quantizer = SfaQuantizer::train(
-            SfaParams::new(64, 16).with_alphabet_size(8).with_binning(binning),
+            SfaParams::new(64, 16)
+                .with_alphabet_size(8)
+                .with_binning(binning),
             sample.iter().map(|s| s.as_slice()),
         );
         for pair in queries.windows(2) {
             let q = &pair[0];
             let c = &pair[1];
             let lb = quantizer.mindist(&quantizer.dft(q), &quantizer.word(c));
-            prop_assert!(lb <= euclidean(q, c) + 1e-3);
+            assert!(
+                lb <= euclidean(q, c) + 1e-3,
+                "case {case}: SFA mindist {lb} above distance with {binning:?} binning"
+            );
         }
     }
+}
 
-    #[test]
-    fn vaplus_lower_bound_never_exceeds_distance(
-        queries in prop::collection::vec(series(64), 3),
-        total_bits in 16usize..=128,
-    ) {
-        let sample: Vec<Vec<f32>> = (0..60u64)
-            .map(|i| {
-                let g = hydra_data::RandomWalkGenerator::new(700 + i, 64);
-                g.series(i).into_values()
-            })
-            .collect();
+#[test]
+fn vaplus_lower_bound_never_exceeds_distance() {
+    let sample = walk_sample(700);
+    for case in 0..QUANTIZER_CASES {
+        let mut rng = StdRng::seed_from_u64(0x7A90 + case);
+        let queries: Vec<Vec<f32>> = (0..3).map(|_| series(&mut rng, 64)).collect();
+        let total_bits = rng.gen_range(16..=128usize);
         let quantizer =
             VaPlusQuantizer::train(64, 16, total_bits, sample.iter().map(|s| s.as_slice()));
         for pair in queries.windows(2) {
             let q = &pair[0];
             let c = &pair[1];
             let lb = quantizer.lower_bound(&quantizer.dft(q), &quantizer.cell(c));
-            prop_assert!(lb <= euclidean(q, c) + 1e-3);
+            assert!(
+                lb <= euclidean(q, c) + 1e-3,
+                "case {case}: VA+ bound {lb} above distance with {total_bits} bits"
+            );
         }
     }
 }

@@ -14,7 +14,9 @@ use std::sync::Arc;
 #[test]
 fn sequential_scan_has_the_most_sequential_and_fewest_random_accesses() {
     let data = dataset(1000, 128, 10);
-    let opts = BuildOptions::default().with_segments(16).with_leaf_capacity(50);
+    let opts = BuildOptions::default()
+        .with_segments(16)
+        .with_leaf_capacity(50);
 
     let scan_store = Arc::new(DatasetStore::new(data.clone()));
     let scan = UcrScan::new(scan_store.clone());
@@ -26,11 +28,14 @@ fn sequential_scan_has_the_most_sequential_and_fewest_random_accesses() {
     // An easy (member) query so that the filter-based methods actually prune.
     let q = data.series(500).to_owned_series();
     let mut scan_stats = QueryStats::default();
-    scan.answer(&Query::nearest_neighbor(q.clone()), &mut scan_stats).unwrap();
+    scan.answer(&Query::nearest_neighbor(q.clone()), &mut scan_stats)
+        .unwrap();
     let mut ads_stats = QueryStats::default();
-    ads.answer(&Query::nearest_neighbor(q.clone()), &mut ads_stats).unwrap();
+    ads.answer(&Query::nearest_neighbor(q.clone()), &mut ads_stats)
+        .unwrap();
     let mut va_stats = QueryStats::default();
-    va.answer(&Query::nearest_neighbor(q), &mut va_stats).unwrap();
+    va.answer(&Query::nearest_neighbor(q), &mut va_stats)
+        .unwrap();
 
     // The scan reads everything sequentially with a single seek.
     assert_eq!(scan_stats.random_page_accesses, 1);
@@ -79,7 +84,8 @@ fn query_stats_io_matches_store_counters_for_the_scan() {
     store.reset_io();
     let q = RandomWalkGenerator::new(9, 64).series(1);
     let mut stats = QueryStats::default();
-    scan.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
+    scan.answer(&Query::nearest_neighbor(q), &mut stats)
+        .unwrap();
     let io = store.io_snapshot();
     assert_eq!(stats.sequential_page_accesses, io.sequential_pages);
     assert_eq!(stats.random_page_accesses, io.random_pages);
@@ -92,11 +98,16 @@ fn index_construction_writes_are_visible_to_the_cost_model() {
     let store = Arc::new(DatasetStore::new(data));
     let _va = VaPlusFile::build_on_store(
         store.clone(),
-        &BuildOptions::default().with_segments(16).with_leaf_capacity(50),
+        &BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(50),
     )
     .unwrap();
     let io = store.io_snapshot();
-    assert!(io.bytes_written > 0, "index construction must record its write volume");
+    assert!(
+        io.bytes_written > 0,
+        "index construction must record its write volume"
+    );
     let model = CostModel::hdd();
     assert!(model.write_time(&io) > std::time::Duration::ZERO);
     assert!(model.total_time(&io) >= model.io_time(&io));

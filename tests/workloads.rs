@@ -31,7 +31,9 @@ fn controlled_workloads_span_difficulty_for_indexes() {
                 continue; // scans always examine everything
             }
             let mut stats = QueryStats::default();
-            method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+            method
+                .answer(&Query::nearest_neighbor(q.clone()), &mut stats)
+                .unwrap();
             per_query.push(stats.pruning_ratio(data.len()));
         }
         let avg = per_query.iter().sum::<f64>() / per_query.len() as f64;
@@ -64,7 +66,9 @@ fn domain_datasets_differ_in_summarizability() {
     // pruning ratios across real datasets (Figure 9).
     let mut ratios = Vec::new();
     for domain in [DomainDataset::Sald, DomainDataset::Deep] {
-        let data = DomainGenerator::new(domain, 47).with_series_length(64).dataset(300);
+        let data = DomainGenerator::new(domain, 47)
+            .with_series_length(64)
+            .dataset(300);
         let methods = all_methods(&data);
         let workload = QueryWorkload::generate(
             format!("{}-Ctrl", domain.name()),
@@ -79,7 +83,9 @@ fn domain_datasets_differ_in_summarizability() {
                     continue;
                 }
                 let mut stats = QueryStats::default();
-                method.answer(&Query::nearest_neighbor(q.clone()), &mut stats).unwrap();
+                method
+                    .answer(&Query::nearest_neighbor(q.clone()), &mut stats)
+                    .unwrap();
                 sum += stats.pruning_ratio(data.len());
                 count += 1;
             }
@@ -103,5 +109,8 @@ fn extrapolation_rule_matches_paper_definition() {
     times[99] = 0.000001;
     let total = QueryWorkload::extrapolate_total_seconds(&times, 10_000).unwrap();
     // The trimmed values are approximately 1.05..=1.94 (mean ≈ 1.5).
-    assert!(total > 10_000.0 && total < 20_000.0, "unexpected extrapolation {total}");
+    assert!(
+        total > 10_000.0 && total < 20_000.0,
+        "unexpected extrapolation {total}"
+    );
 }

@@ -1,0 +1,199 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the slice of the `criterion` API that the hydra benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline it runs a short
+//! warm-up, sizes the iteration count to a ~50 ms measurement window, and
+//! prints the mean time per iteration — enough to compare kernels locally
+//! while keeping `cargo bench` dependency-free.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to every benchmark closure.
+pub struct Bencher {
+    iters_hint: u64,
+    measured: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & calibration: time a single call to size the batch.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(50);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, self.iters_hint as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed());
+        self.iters_done = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample size (used as an iteration-count cap here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters_hint: self.sample_size * 100,
+            measured: None,
+            iters_done: 0,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(total) if bencher.iters_done > 0 => {
+                let per_iter = total / bencher.iters_done as u32;
+                println!(
+                    "bench {}/{id}: {per_iter:?}/iter ({} iters)",
+                    self.name, bencher.iters_done
+                );
+            }
+            _ => println!("bench {}/{id}: no measurement", self.name),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside of any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("main");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4, |b, &x| {
+            ran = true;
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
