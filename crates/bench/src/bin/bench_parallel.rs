@@ -1,0 +1,139 @@
+//! BENCH-PAR: the parallel-execution throughput baseline.
+//!
+//! Measures, on the random-walk workload, (a) query throughput of the
+//! multi-threaded workload driver at 1/2/4/8 worker threads for a scan method
+//! and a tree index, and (b) index-construction wall time serial vs parallel
+//! for the four tree methods. Results go to stdout and to
+//! `BENCH_parallel.json` so later PRs have a performance trajectory to compare
+//! against.
+//!
+//! Speedups are bounded by the CPUs actually available to the process (the
+//! `host_cpus` field): on a single-core container every thread count measures
+//! ~1×, while the answers and per-query counters stay identical by
+//! construction.
+
+use hydra_bench::registry::MethodKind;
+use hydra_core::{parallel, BuildOptions, Parallelism, Query, RunClock};
+use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+const SERIES: usize = 5_000;
+const LENGTH: usize = 256;
+const QUERIES: usize = 64;
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let data = RandomWalkGenerator::new(0xDA7A, LENGTH).dataset(SERIES);
+    let workload = QueryWorkload::generate(
+        "Synth-Rand",
+        &data,
+        &WorkloadSpec::random(0x5EED).with_num_queries(QUERIES),
+    );
+    let queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+    let options = BuildOptions::default()
+        .with_segments(8)
+        .with_leaf_capacity(100)
+        .with_train_samples(1_000);
+    let host_cpus = parallel::available_threads();
+    println!("parallel throughput baseline: {SERIES} series x {LENGTH}, {QUERIES} queries, {host_cpus} CPU(s) available\n");
+
+    let mut throughput_rows = String::new();
+    for kind in [MethodKind::UcrSuite, MethodKind::DsTree] {
+        let mut engine = kind.engine(&data, &options).expect("build");
+        let mut serial_qps = 0.0f64;
+        for threads in THREAD_LADDER {
+            engine.reset_totals();
+            let clock = RunClock::start();
+            let answers = engine
+                .answer_workload(&queries, Parallelism::Threads(threads))
+                .expect("workload");
+            let wall = clock.elapsed().as_secs_f64();
+            assert_eq!(answers.len(), QUERIES);
+            let qps = QUERIES as f64 / wall;
+            if threads == 1 {
+                serial_qps = qps;
+            }
+            let speedup = qps / serial_qps;
+            println!(
+                "{:<10} threads={threads}  {:>8.1} queries/s  speedup {speedup:.2}x",
+                kind.name(),
+                qps
+            );
+            if !throughput_rows.is_empty() {
+                throughput_rows.push_str(",\n");
+            }
+            let _ = write!(
+                throughput_rows,
+                r#"    {{"method": "{}", "threads": {threads}, "wall_seconds": {wall:.6}, "queries_per_second": {qps:.2}, "speedup_vs_serial": {speedup:.3}}}"#,
+                kind.name()
+            );
+        }
+        println!();
+    }
+
+    let mut build_rows = String::new();
+    for kind in [
+        MethodKind::DsTree,
+        MethodKind::Isax2Plus,
+        MethodKind::AdsPlus,
+        MethodKind::SfaTrie,
+    ] {
+        let mut serial_secs = 0.0f64;
+        for threads in [1usize, 8] {
+            let clock = RunClock::start();
+            let engine = kind
+                .engine(&data, &options.clone().with_build_threads(threads))
+                .expect("build");
+            let wall = clock.elapsed().as_secs_f64();
+            drop(engine);
+            if threads == 1 {
+                serial_secs = wall;
+            }
+            let speedup = serial_secs / wall;
+            println!(
+                "{:<10} build threads={threads}  {wall:.3}s  speedup {speedup:.2}x",
+                kind.name()
+            );
+            if !build_rows.is_empty() {
+                build_rows.push_str(",\n");
+            }
+            let _ = write!(
+                build_rows,
+                r#"    {{"method": "{}", "threads": {threads}, "wall_seconds": {wall:.6}, "speedup_vs_serial": {speedup:.3}}}"#,
+                kind.name()
+            );
+        }
+    }
+
+    let ladder = THREAD_LADDER
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        r#"{{
+  "bench": "parallel_workload",
+  "generated_by": "cargo run --release --bin bench_parallel",
+  "host_cpus": {host_cpus},
+  "dataset": {{"kind": "random-walk", "series": {SERIES}, "length": {LENGTH}}},
+  "queries": {QUERIES},
+  "thread_ladder": [{ladder}],
+  "query_throughput": [
+{throughput_rows}
+  ],
+  "index_build": [
+{build_rows}
+  ]
+}}
+"#
+    );
+    let path = std::path::Path::new("BENCH_parallel.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_parallel.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

@@ -4,6 +4,7 @@ use hydra_bench::experiments::{fig10_recommendations, ExperimentScale};
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let table = fig10_recommendations(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

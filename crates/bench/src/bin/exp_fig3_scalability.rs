@@ -5,6 +5,7 @@ use hydra_bench::experiments::{fig3_scalability, ExperimentScale};
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let table = fig3_scalability(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

@@ -4,6 +4,7 @@ use hydra_bench::experiments::{fig5_lengths, ExperimentScale};
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let table = fig5_lengths(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

@@ -5,6 +5,7 @@ use hydra_bench::harness::Platform;
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let table = fig6_fig7_platform_comparison(ExperimentScale::from_env(), Platform::Ssd);
     println!("{}", table.to_text());
     let path = table

@@ -5,6 +5,7 @@ use hydra_bench::experiments::{fig8_footprint, fig8_tlb, ExperimentScale};
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let scale = ExperimentScale::from_env();
     let footprint = fig8_footprint(scale);
     let tlb = fig8_tlb(scale);

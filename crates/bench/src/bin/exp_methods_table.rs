@@ -4,6 +4,7 @@ use hydra_bench::experiments::methods_table;
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let table = methods_table();
     println!("{}", table.to_text());
     let path = table

@@ -5,6 +5,7 @@ use hydra_bench::experiments::{table2_winners, ExperimentScale};
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let (table, _winners) = table2_winners(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

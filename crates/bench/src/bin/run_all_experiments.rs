@@ -7,6 +7,7 @@ use hydra_bench::harness::Platform;
 use hydra_bench::report::results_dir;
 
 fn main() {
+    hydra_bench::cli::init_threads();
     let scale = exp::ExperimentScale::from_env();
     let dir = results_dir();
     println!(

@@ -1,0 +1,86 @@
+//! Minimal command-line plumbing shared by every experiment binary.
+//!
+//! The suite avoids external argument-parsing crates; the only cross-cutting
+//! flag is `--threads N`, which selects the worker-thread count for query
+//! workloads *and* index construction. [`init_threads`] parses it from the
+//! process arguments and exports it through the `HYDRA_THREADS` environment
+//! variable, which is where the harness ([`crate::harness::run_queries`]) and
+//! the shared build options ([`crate::experiments::default_options`]) read it
+//! back from — so one call at the top of `main` makes an entire experiment run
+//! parallel.
+
+use hydra_core::Parallelism;
+
+/// Parses `--threads N` (or `--threads=N`) from the process arguments,
+/// exports the value via `HYDRA_THREADS`, and returns the resolved worker
+/// count. Without the flag, an already-set `HYDRA_THREADS` is left alone
+/// (defaulting to serial when that is unset too). `--threads 0` means one
+/// worker per CPU.
+///
+/// A `--threads` flag with a missing or unparseable value aborts the process:
+/// silently falling back to serial would record benchmark results under the
+/// wrong configuration.
+pub fn init_threads() -> usize {
+    match threads_from(std::env::args()) {
+        Some(Ok(requested)) => std::env::set_var("HYDRA_THREADS", requested.to_string()),
+        Some(Err(bad)) => {
+            eprintln!("error: invalid --threads value {bad:?} (expected a number; 0 = one worker per CPU)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    Parallelism::from_env().worker_threads()
+}
+
+/// Extracts the `--threads` value from an argument list: `None` when the flag
+/// is absent, `Some(Err(raw))` when it is present but not a number.
+fn threads_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<usize, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--threads" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(raw.trim().parse::<usize>().map_err(|_| raw));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_separate_and_joined_forms() {
+        assert_eq!(threads_from(argv(&["bin", "--threads", "4"])), Some(Ok(4)));
+        assert_eq!(threads_from(argv(&["bin", "--threads=8"])), Some(Ok(8)));
+        assert_eq!(threads_from(argv(&["bin", "--threads", "0"])), Some(Ok(0)));
+        assert_eq!(threads_from(argv(&["bin"])), None);
+    }
+
+    #[test]
+    fn missing_or_malformed_values_are_reported_not_ignored() {
+        assert_eq!(
+            threads_from(argv(&["bin", "--threads"])),
+            Some(Err(String::new()))
+        );
+        assert_eq!(
+            threads_from(argv(&["bin", "--threads", "lots"])),
+            Some(Err("lots".into()))
+        );
+        assert_eq!(
+            threads_from(argv(&["bin", "--threads="])),
+            Some(Err(String::new()))
+        );
+    }
+}

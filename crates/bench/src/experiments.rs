@@ -100,6 +100,10 @@ pub fn default_options() -> BuildOptions {
         .with_segments(8)
         .with_leaf_capacity(100)
         .with_train_samples(1_000)
+        // Index builds use the same worker count as the query workloads
+        // (`--threads` / HYDRA_THREADS); the built indexes are identical for
+        // every thread count, so measurements stay comparable.
+        .with_build_threads(hydra_core::Parallelism::from_env().worker_threads())
 }
 
 fn synth_dataset(count: usize, length: usize) -> Dataset {

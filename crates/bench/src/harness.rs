@@ -6,7 +6,9 @@
 //! platform cost models on top.
 
 use crate::registry::MethodKind;
-use hydra_core::{BuildOptions, Dataset, IoSnapshot, Query, QueryEngine, QueryStats, Result};
+use hydra_core::{
+    BuildOptions, Dataset, IoSnapshot, Parallelism, Query, QueryEngine, QueryStats, Result,
+};
 use hydra_data::QueryWorkload;
 use hydra_storage::{CostModel, StorageProfile};
 use std::time::Duration;
@@ -198,28 +200,49 @@ pub fn run_build(
 
 /// Runs a 1-NN query workload through an engine, measuring each query.
 ///
-/// The engine resets the store counters before each query and reconciles
-/// store-side traffic with the stats the method recorded itself, so the
-/// measurement here is a straight read-out. The method kind is recovered
-/// from the engine's descriptor, so it cannot drift from the engine the
-/// caller passes.
+/// The worker-thread count comes from the environment (`HYDRA_THREADS`, set
+/// by the binaries' `--threads` flag; serial when unset), so every existing
+/// experiment runs parallel without code changes. See [`run_queries_with`]
+/// for the measurement rules.
 pub fn run_queries(
     engine: &mut QueryEngine,
     workload: &QueryWorkload,
+) -> Result<WorkloadMeasurement> {
+    run_queries_with(engine, workload, Parallelism::from_env())
+}
+
+/// Runs a 1-NN query workload through an engine with an explicit thread
+/// count, measuring each query.
+///
+/// The engine resets each worker's counter shard before each query and
+/// reconciles store-side traffic with the stats the method recorded itself,
+/// so the measurement here is a straight read-out, and per-query work
+/// counters are identical for every `parallelism` (only wall-clock `cpu_time`
+/// varies with scheduling). The method kind is recovered from the engine's
+/// descriptor, so it cannot drift from the engine the caller passes.
+pub fn run_queries_with(
+    engine: &mut QueryEngine,
+    workload: &QueryWorkload,
+    parallelism: Parallelism,
 ) -> Result<WorkloadMeasurement> {
     let name = engine.descriptor().name;
     let kind = MethodKind::from_name(name).ok_or_else(|| {
         hydra_core::Error::invalid_parameter("engine", format!("unknown method {name:?}"))
     })?;
     let dataset_size = engine.dataset_size();
-    let mut queries = Vec::with_capacity(workload.len());
-    for series in workload.queries() {
-        let answered = engine.answer(&Query::nearest_neighbor(series.clone()))?;
-        queries.push(QueryMeasurement {
+    let query_list: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|series| Query::nearest_neighbor(series.clone()))
+        .collect();
+    let queries = engine
+        .answer_workload(&query_list, parallelism)?
+        .into_iter()
+        .map(|answered| QueryMeasurement {
             cpu_time: answered.wall_time,
             stats: answered.stats,
-        });
-    }
+        })
+        .collect();
     Ok(WorkloadMeasurement {
         kind,
         queries,
@@ -284,6 +307,24 @@ mod tests {
         assert!(run.io_time(Platform::Hdd) >= run.io_time(Platform::Ssd));
         assert_eq!(Platform::Hdd.name(), "HDD");
         assert_eq!(Platform::InMemory.name(), "in-memory");
+    }
+
+    #[test]
+    fn parallel_workload_run_matches_serial_counters() {
+        let (data, workload, options) = small_setup();
+        let (mut serial_engine, _) = run_build(MethodKind::Isax2Plus, &data, &options).unwrap();
+        let serial = run_queries_with(&mut serial_engine, &workload, Parallelism::Serial).unwrap();
+        serial_engine.reset_totals();
+        let parallel =
+            run_queries_with(&mut serial_engine, &workload, Parallelism::Threads(4)).unwrap();
+        assert_eq!(parallel.queries.len(), serial.queries.len());
+        for (s, p) in serial.queries.iter().zip(&parallel.queries) {
+            assert_eq!(s.stats.raw_series_examined, p.stats.raw_series_examined);
+            assert_eq!(s.stats.leaves_visited, p.stats.leaves_visited);
+            assert_eq!(s.io(), p.io());
+        }
+        assert_eq!(parallel.total_io(), serial.total_io());
+        assert!((parallel.mean_pruning_ratio() - serial.mean_pruning_ratio()).abs() < 1e-12);
     }
 
     #[test]

@@ -11,19 +11,23 @@
 //! * [`harness`] — the experiment runner: timed index construction, timed
 //!   query workloads with per-query statistics, the paper's 10 000-query
 //!   extrapolation rule, and platform cost models (HDD / SSD / in-memory);
-//! * [`report`] — plain-text / CSV emitters for the result tables.
+//! * [`report`] — plain-text / CSV emitters for the result tables;
+//! * [`cli`] — the shared `--threads N` flag that runs any experiment with a
+//!   multi-threaded query driver and parallel index builds.
 //!
 //! Every figure and table has a dedicated binary under `src/bin/` (see
 //! `DESIGN.md` for the experiment index); Criterion micro-benchmarks for the
 //! hot kernels and the ablation studies live under `benches/`.
 
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod registry;
 pub mod report;
 
 pub use harness::{
-    run_build, run_queries, BuildMeasurement, Platform, QueryMeasurement, WorkloadMeasurement,
+    run_build, run_queries, run_queries_with, BuildMeasurement, Platform, QueryMeasurement,
+    WorkloadMeasurement,
 };
 pub use registry::MethodKind;
 pub use report::ResultTable;

@@ -21,6 +21,7 @@
 
 use crate::knn::AnswerSet;
 use crate::method::{AnsweringMethod, IndexFootprint, MethodDescriptor};
+use crate::parallel::{self, Parallelism};
 use crate::query::Query;
 use crate::stats::{IoSnapshot, QueryStats};
 use crate::Result;
@@ -37,6 +38,37 @@ pub trait IoSource: Send + Sync {
 
     /// Resets the counters (and any sequentiality tracking) to zero.
     fn reset_io(&self);
+
+    /// A point-in-time copy of the traffic recorded *by the calling thread*.
+    ///
+    /// Sources that shard their counters per thread (the instrumented store)
+    /// override this so concurrent queries can each observe exactly their own
+    /// traffic; the default falls back to the global counters, which is
+    /// equivalent for single-threaded sources.
+    fn thread_io_snapshot(&self) -> IoSnapshot {
+        self.io_snapshot()
+    }
+
+    /// Resets the calling thread's counters (and its sequentiality tracking).
+    ///
+    /// The default falls back to the global reset, which is equivalent for
+    /// single-threaded sources.
+    fn reset_thread_io(&self) {
+        self.reset_io()
+    }
+
+    /// Whether [`IoSource::thread_io_snapshot`] / [`IoSource::reset_thread_io`]
+    /// really are thread-scoped (as opposed to the global-fallback defaults).
+    ///
+    /// [`QueryEngine::answer_workload`] only runs queries concurrently over
+    /// sources that return `true` here — with the global fallbacks, one
+    /// worker's reset would wipe another's in-flight traffic and snapshots
+    /// would mix all threads' pages, corrupting per-query stats. Sources that
+    /// shard per thread (the instrumented store) override this together with
+    /// the two methods above.
+    fn has_thread_scoped_counters(&self) -> bool {
+        false
+    }
 }
 
 /// The result of one engine-driven query: the exact answers plus the
@@ -152,37 +184,116 @@ impl QueryEngine {
     /// Answers an exact query, measuring it and folding the stats into the
     /// running totals.
     pub fn answer(&mut self, query: &Query) -> Result<EngineAnswer> {
-        if let Some(io) = &self.io {
-            io.reset_io();
-        }
-        let mut stats = QueryStats::default();
-        let clock = Instant::now();
-        let answers = self.method.answer(query, &mut stats)?;
-        let wall_time = clock.elapsed();
-        if let Some(io) = &self.io {
-            let observed = io.io_snapshot();
-            // Methods charge leaf reads through their stats; the store
-            // counters cover raw-file traffic. Keep whichever accounting path
-            // recorded more pages so neither is lost.
-            if observed.total_pages() > stats.io_snapshot().total_pages() {
-                stats.sequential_page_accesses = observed.sequential_pages;
-                stats.random_page_accesses = observed.random_pages;
-                stats.bytes_read = observed.bytes_read;
-            }
-        }
-        self.totals.merge(&stats);
+        let answered = measure_query(self.method.as_ref(), self.io.as_deref(), query)?;
+        self.totals.merge(&answered.stats);
         self.queries_answered += 1;
-        Ok(EngineAnswer {
-            answers,
-            stats,
-            wall_time,
-        })
+        Ok(answered)
     }
 
     /// Answers an exact query, discarding the measurements.
     pub fn answer_simple(&mut self, query: &Query) -> Result<AnswerSet> {
         Ok(self.answer(query)?.answers)
     }
+
+    /// Answers a whole workload, spreading the queries over `parallelism`
+    /// worker threads.
+    ///
+    /// Results come back **in workload order**, and the running totals are
+    /// merged in workload order too, so the outcome is deterministic: for any
+    /// thread count, the answer sets and the per-query work counters are
+    /// identical to the serial loop (`cpu_time`/`io_time` naturally vary with
+    /// scheduling). Per-query I/O stays exact under concurrency because every
+    /// worker resets and reads only its own counter shard (see
+    /// [`IoSource::thread_io_snapshot`]); the shards of the shared store still
+    /// sum to the workload's true aggregate traffic.
+    ///
+    /// If any query fails, the stats of the queries *before* the first failing
+    /// index are merged, later queries stop being issued, and the first error
+    /// in workload order is returned (matching the serial loop).
+    pub fn answer_workload(
+        &mut self,
+        queries: &[Query],
+        parallelism: Parallelism,
+    ) -> Result<Vec<EngineAnswer>> {
+        let threads = parallelism.worker_threads().min(queries.len().max(1));
+        let thread_scoped_io = self
+            .io
+            .as_ref()
+            .is_none_or(|io| io.has_thread_scoped_counters());
+        // Concurrency is only sound over thread-scoped counters (see
+        // [`IoSource::has_thread_scoped_counters`]); otherwise fall back to
+        // the serial loop, which is always correct.
+        if threads <= 1 || !thread_scoped_io {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+        let method: &dyn AnsweringMethod = self.method.as_ref();
+        let io = self.io.as_deref();
+        // Like the serial loop, stop issuing work after the first failure.
+        // A worker that observes the flag marks its query skipped (`None`)
+        // instead of answering it.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let results: Vec<Option<Result<EngineAnswer>>> =
+            parallel::map_indexed(queries.len(), threads, |i| {
+                if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                    return None;
+                }
+                let result = measure_query(method, io, &queries[i]);
+                if result.is_err() {
+                    abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                Some(result)
+            });
+        let mut out = Vec::with_capacity(results.len());
+        for (i, result) in results.into_iter().enumerate() {
+            let answered = match result {
+                Some(result) => result?,
+                // A pre-error skip: the claim/abort-check race can skip an
+                // index *below* the first failing one; the serial loop would
+                // have answered it, so repair it here on the calling thread.
+                // (Skips above the first error are unreachable: the `?` on
+                // that error returns first.)
+                None => measure_query(method, io, &queries[i])?,
+            };
+            self.totals.merge(&answered.stats);
+            self.queries_answered += 1;
+            out.push(answered);
+        }
+        Ok(out)
+    }
+}
+
+/// Measures one query on the calling thread: resets the calling thread's I/O
+/// shard, times the dyn call, and reconciles store-side traffic into the
+/// stats. Used by both the serial [`QueryEngine::answer`] path and the
+/// workload workers, so the two produce identical per-query measurements.
+fn measure_query(
+    method: &dyn AnsweringMethod,
+    io: Option<&dyn IoSource>,
+    query: &Query,
+) -> Result<EngineAnswer> {
+    if let Some(io) = io {
+        io.reset_thread_io();
+    }
+    let mut stats = QueryStats::default();
+    let clock = Instant::now();
+    let answers = method.answer(query, &mut stats)?;
+    let wall_time = clock.elapsed();
+    if let Some(io) = io {
+        let observed = io.thread_io_snapshot();
+        // Methods charge leaf reads through their stats; the store counters
+        // cover raw-file traffic. Keep whichever accounting path recorded more
+        // pages so neither is lost.
+        if observed.total_pages() > stats.io_snapshot().total_pages() {
+            stats.sequential_page_accesses = observed.sequential_pages;
+            stats.random_page_accesses = observed.random_pages;
+            stats.bytes_read = observed.bytes_read;
+        }
+    }
+    Ok(EngineAnswer {
+        answers,
+        stats,
+        wall_time,
+    })
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -201,7 +312,6 @@ mod tests {
     use crate::knn::KnnHeap;
     use crate::method::MethodDescriptor;
     use crate::series::{Dataset, Series};
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A brute-force method that examines every series.
     struct BruteForce {
@@ -220,9 +330,7 @@ mod tests {
         }
 
         fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
-            self.io
-                .pages
-                .fetch_add(self.data.len() as u64, Ordering::SeqCst);
+            self.io.record(self.data.len() as u64);
             let mut heap = KnnHeap::new(query.k().unwrap_or(1));
             for (i, s) in self.data.iter().enumerate() {
                 stats.record_raw_series_examined(1);
@@ -232,15 +340,25 @@ mod tests {
         }
     }
 
-    /// An I/O source backed by a plain page counter.
+    /// A thread-sharded page counter, so workload tests exercise the real
+    /// concurrent path of `answer_workload` (an `IoSource` without
+    /// thread-scoped counters falls back to the serial loop).
     #[derive(Default)]
     struct FakeIo {
-        pages: AtomicU64,
+        pages: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, u64>>,
     }
 
-    impl IoSource for FakeIo {
-        fn io_snapshot(&self) -> IoSnapshot {
-            let pages = self.pages.load(Ordering::SeqCst);
+    impl FakeIo {
+        fn record(&self, pages: u64) {
+            *self
+                .pages
+                .lock()
+                .unwrap()
+                .entry(std::thread::current().id())
+                .or_default() += pages;
+        }
+
+        fn snapshot_of(pages: u64) -> IoSnapshot {
             IoSnapshot {
                 sequential_pages: pages,
                 random_pages: 0,
@@ -248,9 +366,37 @@ mod tests {
                 bytes_written: 0,
             }
         }
+    }
+
+    impl IoSource for FakeIo {
+        fn io_snapshot(&self) -> IoSnapshot {
+            Self::snapshot_of(self.pages.lock().unwrap().values().sum())
+        }
 
         fn reset_io(&self) {
-            self.pages.store(0, Ordering::SeqCst);
+            self.pages.lock().unwrap().clear();
+        }
+
+        fn thread_io_snapshot(&self) -> IoSnapshot {
+            let pages = self
+                .pages
+                .lock()
+                .unwrap()
+                .get(&std::thread::current().id())
+                .copied()
+                .unwrap_or(0);
+            Self::snapshot_of(pages)
+        }
+
+        fn reset_thread_io(&self) {
+            self.pages
+                .lock()
+                .unwrap()
+                .remove(&std::thread::current().id());
+        }
+
+        fn has_thread_scoped_counters(&self) -> bool {
+            true
         }
     }
 
@@ -336,6 +482,96 @@ mod tests {
         assert_eq!(a.stats.sequential_page_accesses, 100);
         assert_eq!(a.stats.random_page_accesses, 10);
         assert_eq!(a.stats.bytes_read, 1 << 20);
+    }
+
+    #[test]
+    fn answer_workload_matches_the_serial_loop() {
+        let queries: Vec<Query> = [
+            [0.9f32, 0.9],
+            [5.1, 5.1],
+            [0.1, 0.1],
+            [8.0, 8.0],
+            [1.2, 0.8],
+            [4.4, 4.6],
+        ]
+        .iter()
+        .map(|v| Query::nearest_neighbor(Series::new(v.to_vec())))
+        .collect();
+
+        let mut serial = engine();
+        let serial_answers: Vec<EngineAnswer> =
+            queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+
+        let mut parallel = engine();
+        let parallel_answers = parallel
+            .answer_workload(&queries, Parallelism::Threads(3))
+            .unwrap();
+
+        assert_eq!(parallel_answers.len(), queries.len());
+        for (s, p) in serial_answers.iter().zip(&parallel_answers) {
+            assert_eq!(s.answers, p.answers);
+            assert_eq!(s.stats.raw_series_examined, p.stats.raw_series_examined);
+            assert_eq!(
+                s.stats.sequential_page_accesses,
+                p.stats.sequential_page_accesses
+            );
+            assert_eq!(s.stats.bytes_read, p.stats.bytes_read);
+        }
+        assert_eq!(parallel.queries_answered(), serial.queries_answered());
+        assert_eq!(
+            parallel.totals().raw_series_examined,
+            serial.totals().raw_series_examined
+        );
+        assert_eq!(parallel.totals().bytes_read, serial.totals().bytes_read);
+    }
+
+    #[test]
+    fn answer_workload_serial_fallback_and_empty_workload() {
+        let mut e = engine();
+        assert!(e
+            .answer_workload(&[], Parallelism::Auto)
+            .unwrap()
+            .is_empty());
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]));
+        let answers = e
+            .answer_workload(std::slice::from_ref(&q), Parallelism::Serial)
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].answers.nearest().unwrap().id, 1);
+        assert_eq!(e.queries_answered(), 1);
+    }
+
+    #[test]
+    fn answer_workload_reports_the_first_error_in_workload_order() {
+        /// Fails on queries whose first value is negative.
+        struct Picky;
+        impl AnsweringMethod for Picky {
+            fn descriptor(&self) -> MethodDescriptor {
+                MethodDescriptor {
+                    name: "Picky",
+                    representation: "raw",
+                    is_index: false,
+                    supports_approximate: false,
+                }
+            }
+            fn answer(&self, q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+                if q.values()[0] < 0.0 {
+                    return Err(crate::Error::EmptyDataset);
+                }
+                stats.record_raw_series_examined(1);
+                Ok(AnswerSet::default())
+            }
+        }
+        let mut e = QueryEngine::new(Box::new(Picky), 1);
+        let queries: Vec<Query> = [1.0f32, 2.0, -3.0, 4.0, -5.0]
+            .iter()
+            .map(|&v| Query::nearest_neighbor(Series::new(vec![v])))
+            .collect();
+        let err = e.answer_workload(&queries, Parallelism::Threads(2));
+        assert!(err.is_err());
+        // Exactly the two queries before the first failure were merged.
+        assert_eq!(e.queries_answered(), 2);
+        assert_eq!(e.totals().raw_series_examined, 2);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   ([`AnsweringMethod`], [`ExactIndex`]) in [`method`],
 //! * the unified dyn-dispatch query driver ([`QueryEngine`]) that answers and
 //!   measures queries identically across all ten methods in [`engine`],
+//!   including the multi-threaded workload driver
+//!   ([`QueryEngine::answer_workload`]) built on the primitives in
+//!   [`parallel`],
 //! * the measurement framework of the paper's Section 4.2: pruning ratio,
 //!   tightness of the lower bound (TLB), index footprint, and timing breakdowns
 //!   in [`stats`].
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod knn;
 pub mod method;
+pub mod parallel;
 pub mod query;
 pub mod series;
 pub mod stats;
@@ -41,6 +45,7 @@ pub use engine::{EngineAnswer, IoSource, QueryEngine};
 pub use error::{Error, Result};
 pub use knn::{Answer, AnswerSet, KnnHeap};
 pub use method::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor};
+pub use parallel::Parallelism;
 pub use query::{MatchingKind, Query, QueryKind, RangeQuery};
 pub use series::{Dataset, Series, SeriesView};
 pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

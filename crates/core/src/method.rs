@@ -48,6 +48,11 @@ pub struct BuildOptions {
     /// Sample size used when a method learns breakpoints / quantization
     /// intervals from the data (SFA, VA+file, M-tree sampling).
     pub train_samples: usize,
+    /// Number of worker threads index construction may use: `1` (the default)
+    /// builds serially, `0` uses one thread per CPU, any other value is a
+    /// fixed count. Tree methods guarantee the built index is identical for
+    /// every thread count.
+    pub build_threads: usize,
 }
 
 impl Default for BuildOptions {
@@ -58,6 +63,7 @@ impl Default for BuildOptions {
             alphabet_size: 256,
             buffer_bytes: 256 << 20,
             train_samples: 1000,
+            build_threads: 1,
         }
     }
 }
@@ -90,6 +96,13 @@ impl BuildOptions {
     /// Sets the number of training samples for learned quantizations.
     pub fn with_train_samples(mut self, train_samples: usize) -> Self {
         self.train_samples = train_samples;
+        self
+    }
+
+    /// Sets the number of index-construction worker threads (`0` = one per
+    /// CPU, `1` = serial).
+    pub fn with_build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
         self
     }
 
@@ -189,7 +202,12 @@ impl IndexFootprint {
 ///
 /// The trait is dyn-compatible: the engine and the bench registry drive all
 /// ten methods of the paper uniformly as `Box<dyn AnsweringMethod>`.
-pub trait AnsweringMethod {
+///
+/// `Send + Sync` are supertraits so that every built method can be shared
+/// across the worker threads of [`crate::engine::QueryEngine::answer_workload`]
+/// by reference: `answer` takes `&self`, and any interior state a method needs
+/// must therefore be thread-safe by construction.
+pub trait AnsweringMethod: Send + Sync {
     /// Static description of the method (Table 1 row).
     fn descriptor(&self) -> MethodDescriptor;
 
@@ -254,12 +272,15 @@ mod tests {
             .with_segments(8)
             .with_alphabet_size(16)
             .with_buffer_bytes(1 << 20)
-            .with_train_samples(42);
+            .with_train_samples(42)
+            .with_build_threads(4);
         assert_eq!(o.leaf_capacity, 500);
         assert_eq!(o.segments, 8);
         assert_eq!(o.alphabet_size, 16);
         assert_eq!(o.buffer_bytes, 1 << 20);
         assert_eq!(o.train_samples, 42);
+        assert_eq!(o.build_threads, 4);
+        assert_eq!(BuildOptions::default().build_threads, 1, "serial default");
     }
 
     #[test]

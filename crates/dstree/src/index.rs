@@ -4,13 +4,13 @@ use crate::node::{
     choose_split, enumerate_splits, LeafEntry, Node, NodeKind, NodeSynopsis, SplitAttribute,
 };
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::eapca::{uniform_segmentation, Eapca};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// The DSTree index.
@@ -45,68 +45,17 @@ impl Ord for Frontier {
     }
 }
 
-impl DsTree {
-    /// Builds the DSTree over an instrumented store.
-    pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
-        if store.is_empty() {
-            return Err(Error::EmptyDataset);
-        }
-        options.validate(store.series_length())?;
-        let initial_segments = options.segments.min(store.series_length());
-        let segmentation = uniform_segmentation(store.series_length(), initial_segments);
-        let root = Node {
-            segmentation: segmentation.clone(),
-            synopsis: NodeSynopsis::new(initial_segments),
-            kind: NodeKind::Leaf {
-                entries: Vec::new(),
-            },
-            depth: 0,
-        };
-        let mut tree = Self {
-            store: store.clone(),
-            nodes: vec![root],
-            leaf_capacity: options.leaf_capacity,
-            initial_segments,
-        };
-        // One sequential pass over the raw data, inserting every series.
-        let ids: Vec<u32> = (0..store.len() as u32).collect();
-        store.scan_all(|_, _| {});
-        for id in ids {
-            tree.insert(id);
-        }
-        // Leaves materialize the raw series.
-        store.record_index_write((store.len() * store.series_bytes()) as u64);
-        Ok(tree)
-    }
+/// Arena-level insertion machinery, shared by the serial build (over the
+/// tree's own arena) and the parallel build (over per-partition local arenas).
+struct TreeBuilder<'a> {
+    nodes: &'a mut Vec<Node>,
+    dataset: &'a Dataset,
+    leaf_capacity: usize,
+}
 
-    /// The number of nodes in the tree.
-    pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// The underlying store.
-    pub fn store(&self) -> &DatasetStore {
-        &self.store
-    }
-
-    /// The number of segments of the initial (root) segmentation.
-    pub fn initial_segments(&self) -> usize {
-        self.initial_segments
-    }
-
-    /// Total number of indexed entries across all leaves.
-    pub fn num_entries(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| match &n.kind {
-                NodeKind::Leaf { entries } => entries.len(),
-                _ => 0,
-            })
-            .sum()
-    }
-
+impl TreeBuilder<'_> {
     fn series_values(&self, id: u32) -> Vec<f32> {
-        self.store.dataset().series(id as usize).values().to_vec()
+        self.dataset.series(id as usize).values().to_vec()
     }
 
     fn insert(&mut self, id: u32) {
@@ -159,9 +108,8 @@ impl DsTree {
             NodeKind::Leaf { entries } => entries.clone(),
             NodeKind::Internal { .. } => return,
         };
-        let dataset = self.store.dataset();
         let candidates = enumerate_splits(
-            |id| dataset.series(id as usize).values().to_vec(),
+            |id| self.dataset.series(id as usize).values().to_vec(),
             &entries,
             &segmentation,
             &synopsis,
@@ -227,6 +175,198 @@ impl DsTree {
         // individually exceed the capacity and need further splitting.
         self.maybe_split(left_id);
         self.maybe_split(right_id);
+    }
+}
+
+/// Per-chunk routing result of the parallel build: pending synopsis updates
+/// for the frozen internal nodes, and the series of each frozen-leaf
+/// partition in dataset order.
+struct RoutedChunk {
+    absorbs: HashMap<usize, NodeSynopsis>,
+    partitions: HashMap<usize, Vec<u32>>,
+}
+
+impl DsTree {
+    /// Builds the DSTree over an instrumented store.
+    ///
+    /// With `options.build_threads > 1` the build runs in three phases: a
+    /// serial seed pass grows an initial tree, the remaining series are routed
+    /// through that frozen top structure in parallel (split decisions are
+    /// immutable once made, so routing needs no locks), and each frozen-leaf
+    /// partition's subtree is then built on its own worker and grafted back.
+    /// Because a series only ever interacts with the other series of its own
+    /// partition, and synopsis range-unions are exact under merging, the
+    /// resulting tree is **identical to the serial build** for every thread
+    /// count.
+    pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
+        if store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        options.validate(store.series_length())?;
+        let initial_segments = options.segments.min(store.series_length());
+        let segmentation = uniform_segmentation(store.series_length(), initial_segments);
+        let root = Node {
+            segmentation: segmentation.clone(),
+            synopsis: NodeSynopsis::new(initial_segments),
+            kind: NodeKind::Leaf {
+                entries: Vec::new(),
+            },
+            depth: 0,
+        };
+        let mut tree = Self {
+            store: store.clone(),
+            nodes: vec![root],
+            leaf_capacity: options.leaf_capacity,
+            initial_segments,
+        };
+        // One sequential pass over the raw data, inserting every series.
+        store.scan_all(|_, _| {});
+        let threads = parallel::resolve_threads(options.build_threads);
+        let n = store.len();
+        let dataset = store.dataset();
+        // The seed pass must create enough frozen leaves to spread the
+        // partition phase over the workers; past that point everything else
+        // is routed and built in parallel.
+        let seed = if threads <= 1 {
+            n
+        } else {
+            n.min(threads.max(2) * options.leaf_capacity.max(1) * 2)
+        };
+        {
+            let mut builder = TreeBuilder {
+                nodes: &mut tree.nodes,
+                dataset,
+                leaf_capacity: options.leaf_capacity,
+            };
+            for id in 0..seed as u32 {
+                builder.insert(id);
+            }
+        }
+        if seed < n {
+            tree.insert_partitioned(dataset, seed, n, threads);
+        }
+        // Leaves materialize the raw series.
+        store.record_index_write((store.len() * store.series_bytes()) as u64);
+        Ok(tree)
+    }
+
+    /// Routes `start..end` through the frozen tree and builds each partition's
+    /// subtree in parallel (see [`DsTree::build_on_store`]).
+    fn insert_partitioned(&mut self, dataset: &Dataset, start: usize, end: usize, threads: usize) {
+        // Phase 1: parallel routing. Workers read the frozen structure and
+        // accumulate thread-local synopsis updates plus per-leaf partitions.
+        let ranges = parallel::split_ranges(end - start, threads);
+        let routed: Vec<RoutedChunk> = {
+            let nodes = &self.nodes;
+            parallel::map_indexed(ranges.len(), threads, |ri| {
+                let mut chunk = RoutedChunk {
+                    absorbs: HashMap::new(),
+                    partitions: HashMap::new(),
+                };
+                for offset in ranges[ri].clone() {
+                    let id = (start + offset) as u32;
+                    let series = dataset.series(id as usize).values();
+                    let mut current = 0usize;
+                    while let NodeKind::Internal { split, left, right } = &nodes[current].kind {
+                        let eapca = Eapca::compute(series, &nodes[current].segmentation);
+                        chunk
+                            .absorbs
+                            .entry(current)
+                            .or_insert_with(|| NodeSynopsis::new(nodes[current].segmentation.len()))
+                            .absorb(&eapca);
+                        let routing = Eapca::compute(series, &split.segmentation);
+                        let value = match split.attribute {
+                            SplitAttribute::Mean => routing.segments[split.segment].mean,
+                            SplitAttribute::StdDev => routing.segments[split.segment].std_dev,
+                        };
+                        current = if value <= split.threshold {
+                            *left
+                        } else {
+                            *right
+                        };
+                    }
+                    chunk.partitions.entry(current).or_default().push(id);
+                }
+                chunk
+            })
+        };
+        // Merge the routing results in chunk order, which preserves dataset
+        // order inside every partition and keeps synopsis unions exact.
+        let mut partitions: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for chunk in routed {
+            for (node, synopsis) in chunk.absorbs {
+                self.nodes[node].synopsis.merge(&synopsis);
+            }
+            for (leaf, ids) in chunk.partitions {
+                partitions.entry(leaf).or_default().extend(ids);
+            }
+        }
+        // Phase 2: each partition's subtree grows on its own worker, rooted at
+        // a copy of its frozen leaf.
+        let parts: Vec<(usize, Vec<u32>)> = partitions.into_iter().collect();
+        let leaf_capacity = self.leaf_capacity;
+        let subtrees: Vec<Vec<Node>> = {
+            let nodes = &self.nodes;
+            parallel::map_indexed(parts.len(), threads, |pi| {
+                let (leaf, ids) = &parts[pi];
+                let mut local = vec![nodes[*leaf].clone()];
+                let mut builder = TreeBuilder {
+                    nodes: &mut local,
+                    dataset,
+                    leaf_capacity,
+                };
+                for &id in ids {
+                    builder.insert(id);
+                }
+                local
+            })
+        };
+        // Phase 3: graft every subtree back, rewriting local arena indices
+        // (local 0 is the frozen leaf's slot; the rest are appended).
+        for ((leaf, _), local) in parts.into_iter().zip(subtrees) {
+            let offset = self.nodes.len();
+            let map_id = |child: usize| if child == 0 { leaf } else { offset + child - 1 };
+            let mut local = local.into_iter();
+            let mut subtree_root = local.next().expect("partition subtree has a root");
+            if let NodeKind::Internal { left, right, .. } = &mut subtree_root.kind {
+                *left = map_id(*left);
+                *right = map_id(*right);
+            }
+            self.nodes[leaf] = subtree_root;
+            for mut node in local {
+                if let NodeKind::Internal { left, right, .. } = &mut node.kind {
+                    *left = map_id(*left);
+                    *right = map_id(*right);
+                }
+                self.nodes.push(node);
+            }
+        }
+    }
+
+    /// The number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// The number of segments of the initial (root) segmentation.
+    pub fn initial_segments(&self) -> usize {
+        self.initial_segments
+    }
+
+    /// Total number of indexed entries across all leaves.
+    pub fn num_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Leaf { entries } => entries.len(),
+                _ => 0,
+            })
+            .sum()
     }
 
     fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
@@ -512,6 +652,59 @@ mod tests {
             let exact = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
             if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
                 assert!(a.distance + 1e-9 >= e.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_produces_the_identical_tree() {
+        let data = RandomWalkGenerator::new(91, 64).dataset(600);
+        let options = BuildOptions::default()
+            .with_segments(8)
+            .with_leaf_capacity(20);
+        let serial = DsTree::build_on_store(
+            Arc::new(DatasetStore::new(data.clone())),
+            &options.clone().with_build_threads(1),
+        )
+        .unwrap();
+        for threads in [2usize, 4] {
+            let parallel = DsTree::build_on_store(
+                Arc::new(DatasetStore::new(data.clone())),
+                &options.clone().with_build_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(parallel.num_entries(), 600);
+            assert_eq!(
+                parallel.num_nodes(),
+                serial.num_nodes(),
+                "threads={threads}"
+            );
+            // Shape: identical leaf (depth, occupancy) multiset.
+            let leaf_shape = |t: &DsTree| {
+                let mut v: Vec<(usize, usize)> = t
+                    .nodes
+                    .iter()
+                    .filter_map(|n| match &n.kind {
+                        NodeKind::Leaf { entries } => Some((n.depth, entries.len())),
+                        _ => None,
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(leaf_shape(&parallel), leaf_shape(&serial));
+            // Synopses: the frozen internals got their deferred absorbs, so
+            // lower bounds — and therefore search behaviour — are identical.
+            for q in RandomWalkGenerator::new(991, 64).series_batch(6) {
+                let mut s_stats = QueryStats::default();
+                let mut p_stats = QueryStats::default();
+                let a = serial
+                    .answer(&Query::knn(q.clone(), 3), &mut s_stats)
+                    .unwrap();
+                let b = parallel.answer(&Query::knn(q, 3), &mut p_stats).unwrap();
+                assert!(a.distances_match(&b, 1e-12));
+                assert_eq!(s_stats.raw_series_examined, p_stats.raw_series_examined);
+                assert_eq!(s_stats.lower_bounds_computed, p_stats.lower_bounds_computed);
             }
         }
     }

@@ -61,6 +61,18 @@ impl SegmentSynopsis {
         self.max_std = self.max_std.max(std);
     }
 
+    /// Extends the ranges to cover everything `other` covers.
+    ///
+    /// Merging is exact: absorbing a set of values and merging per-thread
+    /// partial synopses of the same set produce bitwise-identical ranges, the
+    /// property the parallel tree build relies on.
+    pub fn merge(&mut self, other: &SegmentSynopsis) {
+        self.min_mean = self.min_mean.min(other.min_mean);
+        self.max_mean = self.max_mean.max(other.max_mean);
+        self.min_std = self.min_std.min(other.min_std);
+        self.max_std = self.max_std.max(other.max_std);
+    }
+
     /// Whether no value has been absorbed yet.
     pub fn is_empty(&self) -> bool {
         self.min_mean > self.max_mean
@@ -105,6 +117,15 @@ impl NodeSynopsis {
         debug_assert_eq!(eapca.len(), self.segments.len());
         for (syn, seg) in self.segments.iter_mut().zip(eapca.segments.iter()) {
             syn.absorb(seg.mean, seg.std_dev);
+        }
+    }
+
+    /// Merges another synopsis over the same segmentation into this one
+    /// (segment-wise range union; see [`SegmentSynopsis::merge`]).
+    pub fn merge(&mut self, other: &NodeSynopsis) {
+        debug_assert_eq!(self.segments.len(), other.segments.len());
+        for (a, b) in self.segments.iter_mut().zip(other.segments.iter()) {
+            a.merge(b);
         }
     }
 
@@ -392,6 +413,26 @@ mod tests {
         }
         let q = Eapca::compute(&lcg_series(32, 77), &seg);
         assert!(syn.upper_bound(&q, &seg) + 1e-9 >= syn.lower_bound(&q, &seg));
+    }
+
+    #[test]
+    fn merging_partial_synopses_equals_absorbing_everything() {
+        let seg = uniform_segmentation(32, 4);
+        let series: Vec<Vec<f32>> = (0..24).map(|i| lcg_series(32, 40 + i)).collect();
+        let mut whole = NodeSynopsis::new(4);
+        for s in &series {
+            whole.absorb(&Eapca::compute(s, &seg));
+        }
+        // Split the same series over three partial synopses and merge.
+        let mut merged = NodeSynopsis::new(4);
+        for part in series.chunks(8) {
+            let mut partial = NodeSynopsis::new(4);
+            for s in part {
+                partial.absorb(&Eapca::compute(s, &seg));
+            }
+            merged.merge(&partial);
+        }
+        assert_eq!(merged.segments, whole.segments, "merge must be exact");
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -37,20 +37,33 @@ pub struct AdsPlus {
 
 impl AdsPlus {
     /// Builds the ADS+ index over an instrumented store.
+    ///
+    /// `options.build_threads` workers summarize the collection and build the
+    /// root-child subtrees in parallel; the resulting tree is identical for
+    /// every thread count (see [`IsaxTree::from_entries`]).
     pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
         if store.is_empty() {
             return Err(Error::EmptyDataset);
         }
         options.validate(store.series_length())?;
+        let threads = parallel::resolve_threads(options.build_threads);
         let max_bits = log2_ceil(options.alphabet_size).clamp(1, 16) as u8;
         let params = SaxParams::new(store.series_length(), options.segments, max_bits);
-        let mut tree = IsaxTree::new(params.clone(), options.leaf_capacity);
-        let mut summaries = Vec::with_capacity(store.len());
-        store.scan_all(|id, series| {
-            let sax = params.sax_word(series.values());
-            tree.insert(id as u32, sax.clone());
-            summaries.push(sax);
+        // One sequential pass over the raw data (charged up front), then
+        // summarization spread over the workers in dataset order.
+        store.scan_all(|_, _| {});
+        let dataset = store.dataset();
+        let summaries: Vec<SaxWord> = parallel::map_chunks(store.len(), threads, |range| {
+            range
+                .map(|id| params.sax_word(dataset.series(id).values()))
+                .collect()
         });
+        let entries: Vec<(u32, SaxWord)> = summaries
+            .iter()
+            .enumerate()
+            .map(|(id, sax)| (id as u32, sax.clone()))
+            .collect();
+        let tree = IsaxTree::from_entries(params, options.leaf_capacity, entries, threads);
         // Only the summaries are written out: the index is tiny on disk.
         let summary_bytes = store.len() * options.segments * 2;
         store.record_index_write(summary_bytes as u64);
@@ -122,7 +135,9 @@ impl AnsweringMethod for AdsPlus {
         let query_paa = params.paa().transform(query.values());
 
         let mut heap = KnnHeap::new(k);
-        let io_before = self.store.io_snapshot();
+        // Thread-scoped snapshot: under a parallel workload each worker must
+        // observe only its own raw-file traffic.
+        let io_before = self.store.thread_io_snapshot();
 
         // Step 1: approximate search for the initial bsf.
         self.approximate_bsf(query, &mut heap, stats);
@@ -170,7 +185,7 @@ impl AnsweringMethod for AdsPlus {
             }
         }
 
-        let delta = self.store.io_snapshot().since(&io_before);
+        let delta = self.store.thread_io_snapshot().since(&io_before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set())

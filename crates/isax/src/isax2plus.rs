@@ -12,11 +12,11 @@
 
 use crate::tree::{IsaxTree, NodeId, NodeKind};
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
-use hydra_transforms::sax::SaxParams;
+use hydra_transforms::sax::{SaxParams, SaxWord};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -55,18 +55,28 @@ impl Ord for Frontier {
 
 impl Isax2Plus {
     /// Builds the index over an instrumented store.
+    ///
+    /// `options.build_threads` workers summarize the collection and build the
+    /// root-child subtrees in parallel; the resulting tree is identical for
+    /// every thread count (see [`IsaxTree::from_entries`]).
     pub fn build_on_store(store: Arc<DatasetStore>, options: &BuildOptions) -> Result<Self> {
         if store.is_empty() {
             return Err(Error::EmptyDataset);
         }
         options.validate(store.series_length())?;
+        let threads = parallel::resolve_threads(options.build_threads);
         let max_bits = log2_ceil(options.alphabet_size).clamp(1, 16) as u8;
         let params = SaxParams::new(store.series_length(), options.segments, max_bits);
-        let mut tree = IsaxTree::new(params.clone(), options.leaf_capacity);
-        // One sequential pass over the raw data: summarize and insert.
-        store.scan_all(|id, series| {
-            tree.insert(id as u32, params.sax_word(series.values()));
+        // One sequential pass over the raw data (charged up front), then
+        // summarization and subtree construction spread over the workers.
+        store.scan_all(|_, _| {});
+        let dataset = store.dataset();
+        let entries: Vec<(u32, SaxWord)> = parallel::map_chunks(store.len(), threads, |range| {
+            range
+                .map(|id| (id as u32, params.sax_word(dataset.series(id).values())))
+                .collect()
         });
+        let tree = IsaxTree::from_entries(params, options.leaf_capacity, entries, threads);
         // Leaves materialize raw series: account for the bulk-load write.
         store.record_index_write((store.len() * store.series_bytes()) as u64);
         Ok(Self { store, tree })

@@ -7,7 +7,7 @@
 //! The split segment is chosen to balance the two children as evenly as
 //! possible (the iSAX 2.0 splitting policy).
 
-use hydra_core::{IndexFootprint, QueryStats};
+use hydra_core::{parallel, IndexFootprint, QueryStats};
 use hydra_transforms::sax::{IsaxWord, SaxParams, SaxWord};
 use std::collections::HashMap;
 
@@ -123,6 +123,63 @@ impl IsaxTree {
     fn root_key(&self, sax: &SaxWord) -> Vec<u16> {
         let shift = self.params.max_bits() - 1;
         sax.symbols.iter().map(|&s| s >> shift).collect()
+    }
+
+    /// Bulk-builds a tree from `(id, word)` entries using up to `threads`
+    /// workers.
+    ///
+    /// Entries are grouped by their 1-bit root key; each root-child subtree is
+    /// then built independently (inserting its entries in the given order) and
+    /// the finished subtrees are grafted into one arena. Because an insert
+    /// only ever touches the subtree of its own root child, this produces a
+    /// tree with **exactly the same shape** as serially inserting the entries
+    /// in order — for every thread count, including 1 — so a parallel build is
+    /// indistinguishable from a serial one.
+    pub fn from_entries(
+        params: SaxParams,
+        leaf_capacity: usize,
+        entries: Vec<(u32, SaxWord)>,
+        threads: usize,
+    ) -> Self {
+        type RootBucket = (Vec<u16>, Vec<(u32, SaxWord)>);
+        let mut tree = Self::new(params.clone(), leaf_capacity);
+        // Group by root key, preserving the entry order inside each bucket;
+        // sort the keys so the arena layout is deterministic.
+        let mut buckets: Vec<RootBucket> = Vec::new();
+        let mut key_index: HashMap<Vec<u16>, usize> = HashMap::new();
+        for (id, sax) in entries {
+            let key = tree.root_key(&sax);
+            let slot = *key_index.entry(key.clone()).or_insert_with(|| {
+                buckets.push((key, Vec::new()));
+                buckets.len() - 1
+            });
+            buckets[slot].1.push((id, sax));
+        }
+        buckets.sort_by(|a, b| a.0.cmp(&b.0));
+        let (keys, payloads): (Vec<_>, Vec<_>) = buckets.into_iter().unzip();
+        // Build each root-child subtree as its own single-root-child tree,
+        // consuming its bucket (no per-word copies on the build path).
+        let subtrees: Vec<IsaxTree> = parallel::map_items(payloads, threads, |_, bucket| {
+            let mut subtree = IsaxTree::new(params.clone(), leaf_capacity);
+            for (id, sax) in bucket {
+                subtree.insert(id, sax);
+            }
+            subtree
+        });
+        // Graft the subtree arenas into one, offsetting child indices.
+        for (key, subtree) in keys.into_iter().zip(subtrees) {
+            let offset = tree.nodes.len();
+            let root_child = subtree.root_children[&key] + offset;
+            for mut node in subtree.nodes {
+                if let NodeKind::Internal { left, right, .. } = &mut node.kind {
+                    *left += offset;
+                    *right += offset;
+                }
+                tree.nodes.push(node);
+            }
+            tree.root_children.insert(key, root_child);
+        }
+        tree
     }
 
     /// Inserts one series (by id and full SAX word) into the tree, splitting
@@ -478,5 +535,52 @@ mod tests {
     #[should_panic(expected = "leaf capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = IsaxTree::new(params(), 0);
+    }
+
+    /// Shape signature independent of arena layout: sorted (depth, entries)
+    /// per leaf plus the node count.
+    fn shape(tree: &IsaxTree) -> (usize, Vec<(usize, usize)>) {
+        let mut leaves: Vec<(usize, usize)> = tree
+            .leaves()
+            .map(|l| {
+                let n = tree.node(l);
+                match &n.kind {
+                    NodeKind::Leaf { entries } => (n.depth, entries.len()),
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        leaves.sort();
+        (tree.num_nodes(), leaves)
+    }
+
+    #[test]
+    fn from_entries_matches_incremental_insertion_for_any_thread_count() {
+        let data = RandomWalkGenerator::new(5, 64).dataset(700);
+        let p = params();
+        let entries: Vec<(u32, SaxWord)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, p.sax_word(s.values())))
+            .collect();
+        let mut incremental = IsaxTree::new(p.clone(), 16);
+        for (id, sax) in &entries {
+            incremental.insert(*id, sax.clone());
+        }
+        let expected = shape(&incremental);
+        for threads in [1usize, 4] {
+            let bulk = IsaxTree::from_entries(p.clone(), 16, entries.clone(), threads);
+            assert_eq!(bulk.num_entries(), 700, "threads={threads}");
+            assert_eq!(shape(&bulk), expected, "threads={threads}");
+            // Every entry must still be locatable in a covering leaf.
+            let mut stats = QueryStats::default();
+            for i in (0..700).step_by(97) {
+                let sax = p.sax_word(data.series(i).values());
+                let leaf = bulk.locate_leaf(&sax, &mut stats).unwrap();
+                if let NodeKind::Leaf { entries } = &bulk.node(leaf).kind {
+                    assert!(entries.iter().any(|e| e.id == i as u32));
+                }
+            }
+        }
     }
 }

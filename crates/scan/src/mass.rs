@@ -75,7 +75,9 @@ impl AnsweringMethod for MassScan {
         let mut heap = KnnHeap::new(k);
         let clock = hydra_core::RunClock::start();
         let (q_spec, q_norm_sq) = self.spectrum_and_norm(query.values());
-        let before = self.store.io_snapshot();
+        // Thread-scoped snapshot: under a parallel workload each worker must
+        // observe only its own scan traffic.
+        let before = self.store.thread_io_snapshot();
         self.store.scan_all(|id, series| {
             stats.record_raw_series_examined(1);
             let (c_spec, c_norm_sq) = self.spectrum_and_norm(series.values());
@@ -89,7 +91,7 @@ impl AnsweringMethod for MassScan {
             heap.offer(id, sq.sqrt());
         });
         stats.cpu_time += clock.elapsed();
-        let delta = self.store.io_snapshot().since(&before);
+        let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         Ok(heap.into_answer_set())
     }

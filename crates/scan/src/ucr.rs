@@ -60,7 +60,9 @@ impl AnsweringMethod for UcrScan {
         let k = query.k().unwrap_or(1);
         let mut heap = KnnHeap::new(k);
         let order = QueryOrder::new(query.values());
-        let before = self.store.io_snapshot();
+        // Thread-scoped snapshot: under a parallel workload each worker must
+        // observe only its own scan traffic.
+        let before = self.store.thread_io_snapshot();
         let clock = hydra_core::RunClock::start();
         self.store.scan_all(|id, series| {
             stats.record_raw_series_examined(1);
@@ -77,7 +79,7 @@ impl AnsweringMethod for UcrScan {
             }
         });
         stats.cpu_time += clock.elapsed();
-        let delta = self.store.io_snapshot().since(&before);
+        let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         Ok(heap.into_answer_set())
     }

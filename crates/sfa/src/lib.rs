@@ -16,13 +16,13 @@
 //! read) and refined with early-abandoning Euclidean distance.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
+    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// One entry stored in a trie leaf.
@@ -107,19 +107,26 @@ impl SfaTrie {
         let dataset = store.dataset();
         let quantizer =
             SfaQuantizer::train(params, (0..sample_size).map(|i| dataset.series(i).values()));
+        let threads = parallel::resolve_threads(options.build_threads);
+        // One sequential pass over the raw data (charged up front), then
+        // summarization spread over the workers in dataset order.
+        store.scan_all(|_, _| {});
+        let entries: Vec<LeafEntry> = parallel::map_chunks(store.len(), threads, |range| {
+            range
+                .map(|id| LeafEntry {
+                    id: id as u32,
+                    word: quantizer.word(dataset.series(id).values()),
+                })
+                .collect()
+        });
         let mut trie = Self {
             store: store.clone(),
             quantizer,
-            nodes: vec![TrieNode::Leaf {
-                entries: Vec::new(),
-            }],
-            prefixes: vec![Vec::new()],
+            nodes: Vec::new(),
+            prefixes: Vec::new(),
             leaf_capacity: options.leaf_capacity,
         };
-        store.scan_all(|id, series| {
-            let word = trie.quantizer.word(series.values());
-            trie.insert(id as u32, word);
-        });
+        trie.build_from_entries(entries, threads);
         store.record_index_write((store.len() * store.series_bytes()) as u64);
         Ok(trie)
     }
@@ -150,79 +157,71 @@ impl SfaTrie {
         self.nodes.len()
     }
 
-    fn insert(&mut self, id: u32, word: SfaWord) {
-        let mut current = 0usize;
-        loop {
-            let depth = self.prefixes[current].len();
-            match &self.nodes[current] {
-                TrieNode::Internal { children } => {
-                    let symbol = word.symbols[depth];
-                    if let Some(&child) = children.get(&symbol) {
-                        current = child;
-                    } else {
-                        let mut prefix = self.prefixes[current].clone();
-                        prefix.push(symbol);
-                        let child = self.nodes.len();
-                        self.nodes.push(TrieNode::Leaf {
-                            entries: Vec::new(),
-                        });
-                        self.prefixes.push(prefix);
-                        if let TrieNode::Internal { children } = &mut self.nodes[current] {
-                            children.insert(symbol, child);
-                        }
-                        current = child;
-                    }
-                }
-                TrieNode::Leaf { .. } => break,
-            }
-        }
-        if let TrieNode::Leaf { entries } = &mut self.nodes[current] {
-            entries.push(LeafEntry { id, word });
-        }
-        self.maybe_split(current);
-    }
-
-    fn maybe_split(&mut self, leaf: usize) {
-        let depth = self.prefixes[leaf].len();
+    /// Builds the trie over `entries` with up to `threads` workers.
+    ///
+    /// A node at prefix `p` is internal exactly when more than `leaf_capacity`
+    /// entries share `p` and `p` is shorter than the word, so the trie shape
+    /// is fully determined by the entry multiset: the recursive bulk build
+    /// below produces the same trie as one-by-one insertion, and the
+    /// first-symbol subtries are independent — each can be built on its own
+    /// worker and grafted under the root. The result is **identical for every
+    /// thread count**.
+    fn build_from_entries(&mut self, entries: Vec<LeafEntry>, threads: usize) {
         let word_length = self.quantizer.params().word_length;
-        let needs_split = match &self.nodes[leaf] {
-            TrieNode::Leaf { entries } => entries.len() > self.leaf_capacity && depth < word_length,
-            TrieNode::Internal { .. } => false,
-        };
-        if !needs_split {
+        let splittable = entries.len() > self.leaf_capacity && word_length > 0;
+        if !splittable || threads <= 1 {
+            build_subtrie(
+                &mut self.nodes,
+                &mut self.prefixes,
+                Vec::new(),
+                entries,
+                self.leaf_capacity,
+                word_length,
+            );
             return;
         }
-        let entries = match std::mem::replace(
-            &mut self.nodes[leaf],
-            TrieNode::Internal {
-                children: HashMap::new(),
-            },
-        ) {
-            TrieNode::Leaf { entries } => entries,
-            TrieNode::Internal { .. } => unreachable!(),
-        };
-        let mut buckets: HashMap<u8, Vec<LeafEntry>> = HashMap::new();
+        // Partition by the first symbol (deterministic order via BTreeMap) and
+        // build each subtrie on its own worker, consuming its bucket.
+        let mut grouped: BTreeMap<u8, Vec<LeafEntry>> = BTreeMap::new();
         for e in entries {
-            buckets.entry(e.word.symbols[depth]).or_default().push(e);
+            grouped.entry(e.word.symbols[0]).or_default().push(e);
         }
-        let mut over_full_children = Vec::new();
-        for (symbol, bucket) in buckets {
-            let mut prefix = self.prefixes[leaf].clone();
-            prefix.push(symbol);
-            let child = self.nodes.len();
-            let over = bucket.len() > self.leaf_capacity;
-            self.nodes.push(TrieNode::Leaf { entries: bucket });
-            self.prefixes.push(prefix);
-            if let TrieNode::Internal { children } = &mut self.nodes[leaf] {
-                children.insert(symbol, child);
+        let (symbols, payloads): (Vec<u8>, Vec<Vec<LeafEntry>>) = grouped.into_iter().unzip();
+        let leaf_capacity = self.leaf_capacity;
+        let subtries: Vec<(Vec<TrieNode>, Vec<Vec<u8>>)> =
+            parallel::map_items(payloads, threads, |i, bucket| {
+                let mut nodes = Vec::new();
+                let mut prefixes = Vec::new();
+                build_subtrie(
+                    &mut nodes,
+                    &mut prefixes,
+                    vec![symbols[i]],
+                    bucket,
+                    leaf_capacity,
+                    word_length,
+                );
+                (nodes, prefixes)
+            });
+        // Graft the subtrie arenas under an internal root, offsetting ids.
+        self.nodes.push(TrieNode::Internal {
+            children: HashMap::new(),
+        });
+        self.prefixes.push(Vec::new());
+        let mut children = HashMap::new();
+        for (&symbol, (nodes, prefixes)) in symbols.iter().zip(subtries) {
+            let offset = self.nodes.len();
+            children.insert(symbol, offset);
+            for mut node in nodes {
+                if let TrieNode::Internal { children } = &mut node {
+                    for child in children.values_mut() {
+                        *child += offset;
+                    }
+                }
+                self.nodes.push(node);
             }
-            if over {
-                over_full_children.push(child);
-            }
+            self.prefixes.extend(prefixes);
         }
-        for child in over_full_children {
-            self.maybe_split(child);
-        }
+        self.nodes[0] = TrieNode::Internal { children };
     }
 
     fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
@@ -282,6 +281,50 @@ impl SfaTrie {
             }
         }
     }
+}
+
+/// Appends the subtrie covering `entries` (which all share `prefix`) to the
+/// arena and returns its root node id. Recursion depth is bounded by the SFA
+/// word length.
+fn build_subtrie(
+    nodes: &mut Vec<TrieNode>,
+    prefixes: &mut Vec<Vec<u8>>,
+    prefix: Vec<u8>,
+    entries: Vec<LeafEntry>,
+    leaf_capacity: usize,
+    word_length: usize,
+) -> usize {
+    let id = nodes.len();
+    let depth = prefix.len();
+    if entries.len() <= leaf_capacity || depth >= word_length {
+        nodes.push(TrieNode::Leaf { entries });
+        prefixes.push(prefix);
+        return id;
+    }
+    nodes.push(TrieNode::Internal {
+        children: HashMap::new(),
+    });
+    prefixes.push(prefix.clone());
+    let mut buckets: BTreeMap<u8, Vec<LeafEntry>> = BTreeMap::new();
+    for e in entries {
+        buckets.entry(e.word.symbols[depth]).or_default().push(e);
+    }
+    let mut children = HashMap::new();
+    for (symbol, bucket) in buckets {
+        let mut child_prefix = prefix.clone();
+        child_prefix.push(symbol);
+        let child = build_subtrie(
+            nodes,
+            prefixes,
+            child_prefix,
+            bucket,
+            leaf_capacity,
+            word_length,
+        );
+        children.insert(symbol, child);
+    }
+    nodes[id] = TrieNode::Internal { children };
+    id
 }
 
 impl AnsweringMethod for SfaTrie {
@@ -513,6 +556,44 @@ mod tests {
         let (_, small) = build(500, 64, 10);
         let (_, large) = build(500, 64, 200);
         assert!(small.num_nodes() > large.num_nodes());
+    }
+
+    #[test]
+    fn parallel_build_produces_the_identical_trie() {
+        let data = RandomWalkGenerator::new(13, 64).dataset(500);
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(20)
+            .with_alphabet_size(8)
+            .with_train_samples(200);
+        let serial = SfaTrie::build_on_store(
+            Arc::new(DatasetStore::new(data.clone())),
+            &options.clone().with_build_threads(1),
+        )
+        .unwrap();
+        let parallel = SfaTrie::build_on_store(
+            Arc::new(DatasetStore::new(data.clone())),
+            &options.with_build_threads(4),
+        )
+        .unwrap();
+        assert_eq!(parallel.num_nodes(), serial.num_nodes());
+        assert_eq!(parallel.num_entries(), serial.num_entries());
+        let (fp_s, fp_p) = (serial.footprint(), parallel.footprint());
+        assert_eq!(fp_p.total_nodes, fp_s.total_nodes);
+        assert_eq!(fp_p.leaf_nodes, fp_s.leaf_nodes);
+        let sorted = |mut v: Vec<usize>| {
+            v.sort();
+            v
+        };
+        assert_eq!(
+            sorted(fp_p.leaf_depths.clone()),
+            sorted(fp_s.leaf_depths.clone())
+        );
+        for q in RandomWalkGenerator::new(913, 64).series_batch(6) {
+            let a = serial.answer_simple(&Query::knn(q.clone(), 3)).unwrap();
+            let b = parallel.answer_simple(&Query::knn(q, 3)).unwrap();
+            assert!(a.distances_match(&b, 1e-12));
+        }
     }
 
     #[test]

@@ -79,15 +79,27 @@ impl DatasetStore {
         &self.counters
     }
 
-    /// A snapshot of the I/O counters.
+    /// A snapshot of the I/O counters, aggregated over every thread.
     pub fn io_snapshot(&self) -> IoSnapshot {
         self.counters.snapshot()
     }
 
-    /// Resets the I/O counters (e.g. between the build phase and the query
-    /// phase of an experiment).
+    /// A snapshot of the traffic recorded by the calling thread only (each
+    /// thread shards its own counters — see [`IoCounters`]).
+    pub fn thread_io_snapshot(&self) -> IoSnapshot {
+        self.counters.thread_snapshot()
+    }
+
+    /// Resets the I/O counters of every thread (e.g. between the build phase
+    /// and the query phase of an experiment).
     pub fn reset_io(&self) {
         self.counters.reset();
+    }
+
+    /// Resets the calling thread's counters only, leaving concurrent readers'
+    /// shards untouched (used around each query of a parallel workload).
+    pub fn reset_thread_io(&self) {
+        self.counters.reset_thread();
     }
 
     /// Direct, *uncounted* access to the underlying dataset.
@@ -184,6 +196,18 @@ impl IoSource for DatasetStore {
 
     fn reset_io(&self) {
         DatasetStore::reset_io(self)
+    }
+
+    fn thread_io_snapshot(&self) -> IoSnapshot {
+        DatasetStore::thread_io_snapshot(self)
+    }
+
+    fn reset_thread_io(&self) {
+        DatasetStore::reset_thread_io(self)
+    }
+
+    fn has_thread_scoped_counters(&self) -> bool {
+        true
     }
 }
 

@@ -136,7 +136,9 @@ impl AnsweringMethod for VaPlusFile {
 
         // Phase 2: visit candidates in lower-bound order, refining on raw data.
         let mut heap = KnnHeap::new(k);
-        let before = self.store.io_snapshot();
+        // Thread-scoped snapshot: under a parallel workload each worker must
+        // observe only its own refinement traffic.
+        let before = self.store.thread_io_snapshot();
         for &(lb, id) in &ranked {
             if heap.is_full() && lb > heap.threshold() {
                 break;
@@ -146,7 +148,7 @@ impl AnsweringMethod for VaPlusFile {
             let d = hydra_core::distance::euclidean(query.values(), series.values());
             heap.offer(id, d);
         }
-        let delta = self.store.io_snapshot().since(&before);
+        let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set())

@@ -93,6 +93,42 @@ fn query_stats_io_matches_store_counters_for_the_scan() {
 }
 
 #[test]
+fn concurrent_readers_produce_exact_aggregate_io_totals() {
+    // N threads hammering reads through the same store: the aggregate
+    // IoSnapshot must be the exact sum of every thread's traffic — no lost
+    // updates, no double counting — because each thread records into its own
+    // shard and the global snapshot sums the shards.
+    const THREADS: usize = 8;
+    const READS_PER_THREAD: usize = 200;
+    // 1 KiB series, 4 per page: a stride of 8 series jumps 2 pages, so every
+    // single-series read is a random access under per-thread head tracking.
+    let store = Arc::new(DatasetStore::new(dataset(1600, 256, 7)));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            scope.spawn(move || {
+                for r in 0..READS_PER_THREAD {
+                    let id = ((t + r) * 8) % 1600;
+                    let series = store.read_series(id);
+                    assert_eq!(series.len(), 256);
+                }
+                // Each worker observed exactly its own traffic.
+                let local = store.thread_io_snapshot();
+                assert_eq!(local.total_pages(), READS_PER_THREAD as u64);
+                assert_eq!(local.random_pages, READS_PER_THREAD as u64);
+                assert_eq!(local.bytes_read, (READS_PER_THREAD * 1024) as u64);
+            });
+        }
+    });
+    let total = store.io_snapshot();
+    let expected_reads = (THREADS * READS_PER_THREAD) as u64;
+    assert_eq!(total.total_pages(), expected_reads);
+    assert_eq!(total.random_pages, expected_reads);
+    assert_eq!(total.sequential_pages, 0);
+    assert_eq!(total.bytes_read, expected_reads * 1024);
+}
+
+#[test]
 fn index_construction_writes_are_visible_to_the_cost_model() {
     let data = dataset(400, 64, 30);
     let store = Arc::new(DatasetStore::new(data));
