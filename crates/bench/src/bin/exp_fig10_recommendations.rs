@@ -5,6 +5,7 @@ use hydra_bench::report::results_dir;
 
 fn main() {
     hydra_bench::cli::init_threads();
+    hydra_bench::cli::init_index_dir();
     let table = fig10_recommendations(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

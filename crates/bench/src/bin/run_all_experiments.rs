@@ -8,6 +8,7 @@ use hydra_bench::report::results_dir;
 
 fn main() {
     hydra_bench::cli::init_threads();
+    hydra_bench::cli::init_index_dir();
     let scale = exp::ExperimentScale::from_env();
     let dir = results_dir();
     println!(

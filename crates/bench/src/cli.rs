@@ -1,15 +1,24 @@
 //! Minimal command-line plumbing shared by every experiment binary.
 //!
-//! The suite avoids external argument-parsing crates; the only cross-cutting
-//! flag is `--threads N`, which selects the worker-thread count for query
-//! workloads *and* index construction. [`init_threads`] parses it from the
-//! process arguments and exports it through the `HYDRA_THREADS` environment
-//! variable, which is where the harness ([`crate::harness::run_queries`]) and
-//! the shared build options ([`crate::experiments::default_options`]) read it
-//! back from — so one call at the top of `main` makes an entire experiment run
-//! parallel.
+//! The suite avoids external argument-parsing crates; the cross-cutting flags
+//! are:
+//!
+//! * `--threads N` — worker-thread count for query workloads *and* index
+//!   construction. [`init_threads`] parses it and exports `HYDRA_THREADS`,
+//!   which is where the harness ([`crate::harness::run_queries`]) and the
+//!   shared build options ([`crate::experiments::default_options`]) read it
+//!   back from.
+//! * `--index-dir DIR` — the on-disk index snapshot directory.
+//!   [`init_index_dir`] parses it and exports `HYDRA_INDEX_DIR`, which
+//!   [`crate::harness::run_build`] reads back: with the directory set, a
+//!   valid snapshot is *loaded* instead of rebuilding the index, and a fresh
+//!   build saves a snapshot for the next run — turning a multi-method sweep
+//!   from one rebuild per run into one build ever.
+//!
+//! One call to each at the top of `main` wires a whole experiment binary.
 
 use hydra_core::Parallelism;
+use std::path::PathBuf;
 
 /// Parses `--threads N` (or `--threads=N`) from the process arguments,
 /// exports the value via `HYDRA_THREADS`, and returns the resolved worker
@@ -49,6 +58,56 @@ fn threads_from(args: impl Iterator<Item = String>) -> Option<std::result::Resul
     None
 }
 
+/// Parses `--index-dir DIR` (or `--index-dir=DIR`) from the process
+/// arguments, exports the value via `HYDRA_INDEX_DIR`, and returns the
+/// directory the run persists index snapshots under. Without the flag, an
+/// already-set `HYDRA_INDEX_DIR` is respected; `None` (no persistence, every
+/// build is fresh) when that is unset too.
+///
+/// A `--index-dir` flag with a missing value aborts the process: silently
+/// rebuilding everything would defeat the point of asking for persistence.
+pub fn init_index_dir() -> Option<PathBuf> {
+    match index_dir_from(std::env::args()) {
+        Some(Ok(dir)) => std::env::set_var("HYDRA_INDEX_DIR", &dir),
+        Some(Err(())) => {
+            eprintln!("error: --index-dir requires a directory path");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    index_dir_from_env()
+}
+
+/// The snapshot directory currently exported through `HYDRA_INDEX_DIR`
+/// (empty means unset).
+pub fn index_dir_from_env() -> Option<PathBuf> {
+    match std::env::var("HYDRA_INDEX_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Extracts the `--index-dir` value from an argument list: `None` when the
+/// flag is absent, `Some(Err(()))` when it is present without a value.
+fn index_dir_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<String, ()>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--index-dir" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--index-dir=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(if raw.trim().is_empty() {
+            Err(())
+        } else {
+            Ok(raw)
+        });
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +125,24 @@ mod tests {
         assert_eq!(threads_from(argv(&["bin", "--threads=8"])), Some(Ok(8)));
         assert_eq!(threads_from(argv(&["bin", "--threads", "0"])), Some(Ok(0)));
         assert_eq!(threads_from(argv(&["bin"])), None);
+    }
+
+    #[test]
+    fn parses_index_dir_forms() {
+        assert_eq!(
+            index_dir_from(argv(&["bin", "--index-dir", "snapshots"])),
+            Some(Ok("snapshots".into()))
+        );
+        assert_eq!(
+            index_dir_from(argv(&["bin", "--index-dir=/tmp/idx"])),
+            Some(Ok("/tmp/idx".into()))
+        );
+        assert_eq!(index_dir_from(argv(&["bin"])), None);
+        assert_eq!(index_dir_from(argv(&["bin", "--index-dir"])), Some(Err(())));
+        assert_eq!(
+            index_dir_from(argv(&["bin", "--index-dir="])),
+            Some(Err(()))
+        );
     }
 
     #[test]

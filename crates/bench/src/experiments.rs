@@ -561,7 +561,7 @@ pub fn fig9_pruning(scale: ExperimentScale) -> ResultTable {
             let (mut engine, _) = run_build(kind, dataset, &default_options()).expect("build");
             let run = run_queries(&mut engine, workload).expect("queries");
             let mut ratios = run.pruning_ratios();
-            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ratios.sort_by(f64::total_cmp);
             let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p).round() as usize];
             table.push_row(vec![
                 kind.name().to_string(),
@@ -642,7 +642,7 @@ pub fn table2_winners(scale: ExperimentScale) -> (ResultTable, Vec<ScenarioWinne
 
             let winner_by = |key: &dyn Fn(&(MethodKind, Duration, WorkloadMeasurement)) -> f64| {
                 runs.iter()
-                    .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+                    .min_by(|a, b| key(a).total_cmp(&key(b)))
                     .map(|(k, _, _)| k.name())
                     .unwrap_or("-")
             };
@@ -733,7 +733,7 @@ pub fn fig10_recommendations(scale: ExperimentScale) -> ResultTable {
             let total = build.total_time(platform) + run.extrapolated_time(platform, 10_000);
             totals.push((kind.name(), total.as_secs_f64()));
         }
-        totals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        totals.sort_by(|a, b| a.1.total_cmp(&b.1));
         table.push_row(vec![
             length_label.to_string(),
             collection_label.to_string(),

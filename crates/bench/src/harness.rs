@@ -5,12 +5,13 @@
 //! registry; the harness only adds workload iteration, extrapolation and the
 //! platform cost models on top.
 
-use crate::registry::MethodKind;
+use crate::registry::{MethodKind, SnapshotOutcome};
 use hydra_core::{
     BuildOptions, Dataset, IoSnapshot, Parallelism, Query, QueryEngine, QueryStats, Result,
 };
 use hydra_data::QueryWorkload;
-use hydra_storage::{CostModel, StorageProfile};
+use hydra_storage::{CostModel, DatasetStore, StorageProfile};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The hardware platform an experiment models (the paper's two servers plus
@@ -50,12 +51,17 @@ impl Platform {
 pub struct BuildMeasurement {
     /// Which method was built.
     pub kind: MethodKind,
-    /// Measured CPU (wall) time of the build.
+    /// Measured CPU (wall) time of the build (or of the snapshot load that
+    /// replaced it).
     pub cpu_time: Duration,
-    /// I/O counted during the build (one sequential read pass plus writes).
+    /// I/O counted during the build: one sequential read pass plus index
+    /// writes for a fresh build, or the counted snapshot read for a load.
     pub io: IoSnapshot,
     /// The footprint of the built structure, if it is an index.
     pub footprint: Option<hydra_core::IndexFootprint>,
+    /// How the snapshot cache participated (always
+    /// [`SnapshotOutcome::Unsupported`] when no index directory is set).
+    pub snapshot: SnapshotOutcome,
 }
 
 impl BuildMeasurement {
@@ -183,17 +189,30 @@ impl WorkloadMeasurement {
 
 /// Builds a method over `dataset` through the registry, returning the
 /// measuring engine plus the build measurement.
+///
+/// When an index snapshot directory is configured (`HYDRA_INDEX_DIR`, set by
+/// the binaries' `--index-dir` flag), index methods load a valid snapshot
+/// instead of rebuilding — keyed on the dataset fingerprint and the tuned
+/// build options — and save one after a fresh build, so repeated sweeps pay
+/// the construction cost once.
 pub fn run_build(
     kind: MethodKind,
     dataset: &Dataset,
     options: &BuildOptions,
 ) -> Result<(QueryEngine, BuildMeasurement)> {
-    let engine = kind.engine(dataset, options)?;
+    let (engine, snapshot) = match crate::cli::index_dir_from_env() {
+        Some(dir) => {
+            let store = Arc::new(DatasetStore::new(dataset.clone()));
+            kind.engine_with_snapshot(store, options, &dir)?
+        }
+        None => (kind.engine(dataset, options)?, SnapshotOutcome::Unsupported),
+    };
     let measurement = BuildMeasurement {
         kind,
         cpu_time: engine.build_time(),
         io: engine.build_io(),
         footprint: engine.footprint(),
+        snapshot,
     };
     Ok((engine, measurement))
 }

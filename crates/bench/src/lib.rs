@@ -29,5 +29,5 @@ pub use harness::{
     run_build, run_queries, run_queries_with, BuildMeasurement, Platform, QueryMeasurement,
     WorkloadMeasurement,
 };
-pub use registry::MethodKind;
+pub use registry::{MethodKind, SnapshotOutcome};
 pub use report::ResultTable;

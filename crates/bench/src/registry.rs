@@ -5,6 +5,7 @@
 //! a measuring [`QueryEngine`] wired to the instrumented store — the single
 //! code path the harness, the experiment binaries and the examples all drive.
 
+use hydra_core::persist::PersistentIndex;
 use hydra_core::{AnsweringMethod, BuildOptions, Dataset, QueryEngine, Result, RunClock};
 use hydra_dstree::DsTree;
 use hydra_isax::{AdsPlus, Isax2Plus};
@@ -12,8 +13,9 @@ use hydra_mtree::MTree;
 use hydra_rtree::RStarTree;
 use hydra_scan::{MassScan, Stepwise, UcrScan};
 use hydra_sfa::SfaTrie;
-use hydra_storage::DatasetStore;
+use hydra_storage::{snapshot, DatasetStore};
 use hydra_vafile::VaPlusFile;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The ten similarity search methods of the study.
@@ -175,6 +177,144 @@ impl MethodKind {
     pub fn engine(&self, dataset: &Dataset, options: &BuildOptions) -> Result<QueryEngine> {
         self.engine_on_store(Arc::new(DatasetStore::new(dataset.clone())), options)
     }
+
+    /// Whether this method can persist its built index as an on-disk snapshot
+    /// (see [`hydra_core::persist::PersistentIndex`]).
+    pub fn supports_snapshots(&self) -> bool {
+        matches!(
+            self,
+            MethodKind::VaPlusFile
+                | MethodKind::Isax2Plus
+                | MethodKind::AdsPlus
+                | MethodKind::DsTree
+                | MethodKind::SfaTrie
+        )
+    }
+
+    /// Builds this method with the snapshot cache under `index_dir`: a valid
+    /// snapshot (matching dataset fingerprint and tuned build options) is
+    /// loaded instead of rebuilding; otherwise the method is built fresh and
+    /// a snapshot is saved for the next run. Methods without snapshot support
+    /// always build fresh.
+    ///
+    /// Snapshot reads and writes go through real file I/O charged to the
+    /// store's counters, so they show up in the build measurement exactly
+    /// like the modelled index writes they replace.
+    pub fn build_boxed_with_snapshot(
+        &self,
+        store: Arc<DatasetStore>,
+        options: &BuildOptions,
+        index_dir: &Path,
+    ) -> Result<(Box<dyn AnsweringMethod>, SnapshotOutcome)> {
+        let tuned = self.tuned_options(options, store.series_length());
+        match self {
+            MethodKind::VaPlusFile => {
+                snapshot_cycle(store, &tuned, index_dir, VaPlusFile::build_on_store)
+            }
+            MethodKind::Isax2Plus => {
+                snapshot_cycle(store, &tuned, index_dir, Isax2Plus::build_on_store)
+            }
+            MethodKind::AdsPlus => {
+                snapshot_cycle(store, &tuned, index_dir, AdsPlus::build_on_store)
+            }
+            MethodKind::DsTree => snapshot_cycle(store, &tuned, index_dir, DsTree::build_on_store),
+            MethodKind::SfaTrie => {
+                snapshot_cycle(store, &tuned, index_dir, SfaTrie::build_on_store)
+            }
+            _ => {
+                debug_assert!(
+                    !self.supports_snapshots(),
+                    "{}: supports_snapshots() promises a snapshot path this match does not provide",
+                    self.name()
+                );
+                Ok((
+                    self.build_boxed_on_store(store, options)?,
+                    SnapshotOutcome::Unsupported,
+                ))
+            }
+        }
+    }
+
+    /// Like [`MethodKind::engine_on_store`], but routed through the snapshot
+    /// cache under `index_dir` (see [`MethodKind::build_boxed_with_snapshot`]).
+    /// The engine's build measurement covers whichever path ran: a counted
+    /// snapshot load, or a fresh build plus the snapshot save.
+    pub fn engine_with_snapshot(
+        &self,
+        store: Arc<DatasetStore>,
+        options: &BuildOptions,
+        index_dir: &Path,
+    ) -> Result<(QueryEngine, SnapshotOutcome)> {
+        store.reset_io();
+        let clock = RunClock::start();
+        let (method, outcome) =
+            self.build_boxed_with_snapshot(store.clone(), options, index_dir)?;
+        let build_time = clock.elapsed();
+        let build_io = store.io_snapshot();
+        store.reset_io();
+        let engine = QueryEngine::new(method, store.len())
+            .with_io_source(store)
+            .with_build_measurement(build_time, build_io);
+        Ok((engine, outcome))
+    }
+}
+
+/// How a snapshot-aware build satisfied the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotOutcome {
+    /// The method does not persist snapshots; it was built fresh.
+    Unsupported,
+    /// A valid snapshot of `bytes` bytes was loaded; the rebuild was skipped.
+    Loaded {
+        /// Size of the snapshot file read.
+        bytes: u64,
+    },
+    /// No usable snapshot existed (missing, corrupt, or stale); the index was
+    /// built fresh and a snapshot of `bytes` bytes was saved.
+    Saved {
+        /// Size of the snapshot file written.
+        bytes: u64,
+    },
+}
+
+impl SnapshotOutcome {
+    /// Whether a snapshot load satisfied the build (the rebuild was skipped).
+    pub fn loaded(&self) -> bool {
+        matches!(self, SnapshotOutcome::Loaded { .. })
+    }
+}
+
+/// One load-or-build-and-save round through the snapshot cache. Any load
+/// failure — no file yet, a damaged file, or a stale fingerprint — falls back
+/// to a fresh build whose snapshot then replaces the unusable file.
+fn snapshot_cycle<I, F>(
+    store: Arc<DatasetStore>,
+    tuned: &BuildOptions,
+    index_dir: &Path,
+    build: F,
+) -> Result<(Box<dyn AnsweringMethod>, SnapshotOutcome)>
+where
+    I: PersistentIndex<Context = Arc<DatasetStore>> + 'static,
+    F: FnOnce(Arc<DatasetStore>, &BuildOptions) -> Result<I>,
+{
+    std::fs::create_dir_all(index_dir)?;
+    // Hash the dataset exactly once per cycle: the same fingerprints name the
+    // file and validate its header on load / stamp it on save.
+    let dataset_fp = snapshot::dataset_fingerprint(store.dataset());
+    let options_fp = snapshot::options_fingerprint(tuned);
+    let path = index_dir.join(snapshot::snapshot_file_name(
+        I::snapshot_kind(),
+        dataset_fp,
+        options_fp,
+    ));
+    match snapshot::load_index_with::<I>(store.clone(), dataset_fp, options_fp, &path) {
+        Ok((index, bytes)) => Ok((Box::new(index), SnapshotOutcome::Loaded { bytes })),
+        Err(_) => {
+            let index = build(store.clone(), tuned)?;
+            let bytes = snapshot::save_index_with(&index, &store, dataset_fp, options_fp, &path)?;
+            Ok((Box::new(index), SnapshotOutcome::Saved { bytes }))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +382,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_support_matches_the_snapshot_build_path() {
+        // supports_snapshots() must agree with what build_boxed_with_snapshot
+        // actually does for every method, or snapshot_check would silently
+        // skip a persistent method's verification.
+        let data = RandomWalkGenerator::new(1, 32).dataset(60);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(30);
+        let dir = std::env::temp_dir().join(format!("hydra-registry-snap-{}", std::process::id()));
+        for kind in MethodKind::ALL {
+            let store = Arc::new(DatasetStore::new(data.clone()));
+            let (_, outcome) = kind.engine_with_snapshot(store, &options, &dir).unwrap();
+            assert_eq!(
+                outcome != SnapshotOutcome::Unsupported,
+                kind.supports_snapshots(),
+                "{}",
+                kind.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

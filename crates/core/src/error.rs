@@ -30,6 +30,12 @@ pub enum Error {
     Io(std::io::Error),
     /// An index invariant was violated (indicates a bug in the index).
     CorruptIndex(String),
+    /// A snapshot file is malformed or damaged: bad magic, unsupported
+    /// format version, checksum mismatch, or truncation.
+    InvalidSnapshot(String),
+    /// A structurally valid snapshot that does not describe the requested
+    /// index: different method, dataset fingerprint, or build options.
+    StaleSnapshot(String),
 }
 
 impl Error {
@@ -58,6 +64,8 @@ impl fmt::Display for Error {
             Error::NotFound(what) => write!(f, "not found: {what}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
+            Error::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
+            Error::StaleSnapshot(msg) => write!(f, "stale snapshot: {msg}"),
         }
     }
 }
@@ -101,6 +109,12 @@ mod tests {
         assert!(Error::CorruptIndex("bad fanout".into())
             .to_string()
             .contains("bad fanout"));
+        assert!(Error::InvalidSnapshot("checksum mismatch".into())
+            .to_string()
+            .contains("checksum mismatch"));
+        assert!(Error::StaleSnapshot("dataset fingerprint".into())
+            .to_string()
+            .contains("dataset fingerprint"));
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   including the multi-threaded workload driver
 //!   ([`QueryEngine::answer_workload`]) built on the primitives in
 //!   [`parallel`],
+//! * the persistence interface ([`PersistentIndex`]) through which index
+//!   methods snapshot their built structure to disk and reload it
+//!   bit-identically in a later session (see `hydra_storage::snapshot` for
+//!   the on-disk container format) in [`persist`],
 //! * the measurement framework of the paper's Section 4.2: pruning ratio,
 //!   tightness of the lower bound (TLB), index footprint, and timing breakdowns
 //!   in [`stats`].
@@ -33,6 +37,7 @@ pub mod error;
 pub mod knn;
 pub mod method;
 pub mod parallel;
+pub mod persist;
 pub mod query;
 pub mod series;
 pub mod stats;
@@ -46,6 +51,7 @@ pub use error::{Error, Result};
 pub use knn::{Answer, AnswerSet, KnnHeap};
 pub use method::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor};
 pub use parallel::Parallelism;
+pub use persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 pub use query::{MatchingKind, Query, QueryKind, RangeQuery};
 pub use series::{Dataset, Series, SeriesView};
 pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

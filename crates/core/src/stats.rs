@@ -206,8 +206,13 @@ impl PruningStats {
         }
     }
 
-    /// Minimum pruning ratio (hardest query).
+    /// Minimum pruning ratio (hardest query), or 0 when no query has been
+    /// recorded — consistent with [`PruningStats::mean`] and
+    /// [`PruningStats::max`], which also report 0 on an empty aggregate.
     pub fn min(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
         self.ratios
             .iter()
             .copied()
@@ -408,6 +413,17 @@ mod tests {
         assert!((p.max() - 1.0).abs() < 1e-12);
         assert!((p.quantile(0.5) - 0.7).abs() < 1e-12);
         assert_eq!(p.ratios().len(), 5);
+    }
+
+    #[test]
+    fn empty_pruning_stats_report_zero_for_every_aggregate() {
+        // An empty aggregate used to report min() = 1.0 (the INFINITY fold
+        // seed clamped into range) while mean() and max() reported 0.0.
+        let p = PruningStats::new();
+        assert_eq!(p.min(), 0.0);
+        assert_eq!(p.max(), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -3,12 +3,13 @@
 use crate::node::{
     choose_split, enumerate_splits, LeafEntry, Node, NodeKind, NodeSynopsis, SplitAttribute,
 };
+use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
     KnnHeap, MethodDescriptor, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
-use hydra_transforms::eapca::{uniform_segmentation, Eapca};
+use hydra_transforms::eapca::{uniform_segmentation, valid_segmentation, Eapca, EapcaSegment};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -492,6 +493,230 @@ impl AnsweringMethod for DsTree {
         }
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set())
+    }
+}
+
+impl DsTree {
+    fn write_segmentation(out: &mut dyn SnapshotSink, segmentation: &[usize]) -> Result<()> {
+        out.put_usize(segmentation.len())?;
+        for &end in segmentation {
+            out.put_usize(end)?;
+        }
+        Ok(())
+    }
+
+    fn read_segmentation(
+        input: &mut dyn SnapshotSource,
+        series_length: usize,
+    ) -> Result<Vec<usize>> {
+        let count = input.get_count(8)?;
+        let mut segmentation = Vec::with_capacity(count);
+        for _ in 0..count {
+            segmentation.push(input.get_usize()?);
+        }
+        if !valid_segmentation(&segmentation, series_length) {
+            return Err(Error::InvalidSnapshot(format!(
+                "segmentation {segmentation:?} is not strictly increasing up to {series_length}"
+            )));
+        }
+        Ok(segmentation)
+    }
+
+    fn write_synopsis(out: &mut dyn SnapshotSink, synopsis: &NodeSynopsis) -> Result<()> {
+        out.put_usize(synopsis.segments.len())?;
+        for s in &synopsis.segments {
+            out.put_f32(s.min_mean)?;
+            out.put_f32(s.max_mean)?;
+            out.put_f32(s.min_std)?;
+            out.put_f32(s.max_std)?;
+        }
+        Ok(())
+    }
+
+    fn read_synopsis(input: &mut dyn SnapshotSource) -> Result<NodeSynopsis> {
+        let count = input.get_count(16)?;
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            let min_mean = input.get_f32()?;
+            let max_mean = input.get_f32()?;
+            let min_std = input.get_f32()?;
+            let max_std = input.get_f32()?;
+            segments.push(crate::node::SegmentSynopsis {
+                min_mean,
+                max_mean,
+                min_std,
+                max_std,
+            });
+        }
+        Ok(NodeSynopsis { segments })
+    }
+}
+
+impl PersistentIndex for DsTree {
+    type Context = Arc<DatasetStore>;
+
+    fn snapshot_kind() -> &'static str {
+        "dstree/v1"
+    }
+
+    fn save_payload(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        out.put_usize(self.store.series_length())?;
+        out.put_usize(self.initial_segments)?;
+        out.put_usize(self.leaf_capacity)?;
+        out.put_usize(self.nodes.len())?;
+        for node in &self.nodes {
+            out.put_usize(node.depth)?;
+            Self::write_segmentation(out, &node.segmentation)?;
+            Self::write_synopsis(out, &node.synopsis)?;
+            match &node.kind {
+                NodeKind::Internal { split, left, right } => {
+                    out.put_u8(0)?;
+                    Self::write_segmentation(out, &split.segmentation)?;
+                    out.put_usize(split.segment)?;
+                    out.put_u8(match split.attribute {
+                        SplitAttribute::Mean => 0,
+                        SplitAttribute::StdDev => 1,
+                    })?;
+                    out.put_f32(split.threshold)?;
+                    out.put_u8(split.is_vertical as u8)?;
+                    out.put_usize(*left)?;
+                    out.put_usize(*right)?;
+                }
+                NodeKind::Leaf { entries } => {
+                    out.put_u8(1)?;
+                    out.put_usize(entries.len())?;
+                    for e in entries {
+                        out.put_u32(e.id)?;
+                        for seg in &e.eapca.segments {
+                            out.put_f32(seg.mean)?;
+                            out.put_f32(seg.std_dev)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_payload(store: Arc<DatasetStore>, input: &mut dyn SnapshotSource) -> Result<Self> {
+        let invalid = Error::InvalidSnapshot;
+        let series_length = input.get_usize()?;
+        if series_length != store.series_length() {
+            return Err(invalid(format!(
+                "tree summarizes series of length {series_length}, store holds {}",
+                store.series_length()
+            )));
+        }
+        let initial_segments = input.get_usize()?;
+        if initial_segments == 0 || initial_segments > series_length {
+            return Err(invalid(format!(
+                "initial segmentation of {initial_segments} segments over length {series_length}"
+            )));
+        }
+        let leaf_capacity = input.get_usize()?;
+        if leaf_capacity == 0 {
+            return Err(invalid("tree has zero leaf capacity".to_string()));
+        }
+        let num_nodes = input.get_count(2)?;
+        let n = store.len();
+        let mut seen = vec![false; n];
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let depth = input.get_usize()?;
+            let segmentation = Self::read_segmentation(input, series_length)?;
+            let synopsis = Self::read_synopsis(input)?;
+            if synopsis.segments.len() != segmentation.len() {
+                return Err(invalid(format!(
+                    "synopsis covers {} segments, segmentation has {}",
+                    synopsis.segments.len(),
+                    segmentation.len()
+                )));
+            }
+            let kind = match input.get_u8()? {
+                0 => {
+                    let split_segmentation = Self::read_segmentation(input, series_length)?;
+                    let segment = input.get_usize()?;
+                    if segment >= split_segmentation.len() {
+                        return Err(invalid(format!(
+                            "split tests segment {segment} of a {}-segment segmentation",
+                            split_segmentation.len()
+                        )));
+                    }
+                    let attribute = match input.get_u8()? {
+                        0 => SplitAttribute::Mean,
+                        1 => SplitAttribute::StdDev,
+                        tag => return Err(invalid(format!("unknown split attribute tag {tag}"))),
+                    };
+                    let threshold = input.get_f32()?;
+                    let is_vertical = input.get_u8()? != 0;
+                    let left = input.get_usize()?;
+                    let right = input.get_usize()?;
+                    if left >= num_nodes || right >= num_nodes {
+                        return Err(invalid(format!(
+                            "internal node references children {left},{right} outside the \
+                             arena of {num_nodes}"
+                        )));
+                    }
+                    NodeKind::Internal {
+                        split: crate::node::SplitSpec {
+                            segmentation: split_segmentation,
+                            segment,
+                            attribute,
+                            threshold,
+                            is_vertical,
+                        },
+                        left,
+                        right,
+                    }
+                }
+                1 => {
+                    let entry_bytes = 4 + segmentation.len() * 8;
+                    let count = input.get_count(entry_bytes)?;
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let id = input.get_u32()?;
+                        if id as usize >= n || seen[id as usize] {
+                            return Err(invalid(format!(
+                                "leaf entry id {id} is out of range or duplicated (store holds {n})"
+                            )));
+                        }
+                        seen[id as usize] = true;
+                        let mut segments = Vec::with_capacity(segmentation.len());
+                        for _ in 0..segmentation.len() {
+                            let mean = input.get_f32()?;
+                            let std_dev = input.get_f32()?;
+                            segments.push(EapcaSegment { mean, std_dev });
+                        }
+                        entries.push(LeafEntry {
+                            id,
+                            eapca: Eapca { segments },
+                        });
+                    }
+                    NodeKind::Leaf { entries }
+                }
+                tag => return Err(invalid(format!("unknown node tag {tag}"))),
+            };
+            nodes.push(Node {
+                segmentation,
+                synopsis,
+                kind,
+                depth,
+            });
+        }
+        if nodes.is_empty() {
+            return Err(invalid("tree has no nodes".to_string()));
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(invalid(format!(
+                "tree does not cover every series of the store ({n})"
+            )));
+        }
+        Ok(Self {
+            store,
+            nodes,
+            leaf_capacity,
+            initial_segments,
+        })
     }
 }
 

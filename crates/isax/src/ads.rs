@@ -18,6 +18,7 @@
 //! fast on SSDs), exactly the trade-off the paper analyses.
 
 use crate::tree::{IsaxTree, NodeKind};
+use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
     KnnHeap, MethodDescriptor, Query, QueryStats, Result,
@@ -218,6 +219,46 @@ impl ExactIndex for AdsPlus {
         let mut heap = KnnHeap::new(k);
         self.approximate_bsf(query, &mut heap, stats);
         Some(heap.into_answer_set())
+    }
+}
+
+impl PersistentIndex for AdsPlus {
+    type Context = Arc<DatasetStore>;
+
+    fn snapshot_kind() -> &'static str {
+        "adsplus/v1"
+    }
+
+    fn save_payload(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        // The tree's leaves hold every series' full-cardinality SAX word, so
+        // the in-memory summary array SIMS scans is NOT serialized separately:
+        // the loader rebuilds it from the leaves (each id appears exactly
+        // once), halving the snapshot size.
+        self.tree.write_snapshot(out)
+    }
+
+    fn load_payload(store: Arc<DatasetStore>, input: &mut dyn SnapshotSource) -> Result<Self> {
+        let tree = IsaxTree::read_snapshot(input)?;
+        crate::isax2plus::validate_tree_against_store(&tree, &store)?;
+        // Rebuild the dataset-order summary array from the leaf entries
+        // (validated above: every id in 0..n appears exactly once).
+        let mut summaries: Vec<Option<SaxWord>> = vec![None; store.len()];
+        for leaf in tree.leaves() {
+            if let NodeKind::Leaf { entries } = &tree.node(leaf).kind {
+                for e in entries {
+                    summaries[e.id as usize] = Some(e.sax.clone());
+                }
+            }
+        }
+        let summaries = summaries
+            .into_iter()
+            .map(|s| s.ok_or_else(|| Error::InvalidSnapshot("missing summary".into())))
+            .collect::<Result<Vec<SaxWord>>>()?;
+        Ok(Self {
+            store,
+            tree,
+            summaries,
+        })
     }
 }
 

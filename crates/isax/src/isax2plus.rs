@@ -11,6 +11,7 @@
 //!   best-so-far and pruning every subtree whose MINDIST is not below it.
 
 use crate::tree::{IsaxTree, NodeId, NodeKind};
+use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
     KnnHeap, MethodDescriptor, Query, QueryStats, Result,
@@ -221,6 +222,59 @@ impl ExactIndex for Isax2Plus {
         let leaf = self.tree.locate_leaf(&query_sax, stats)?;
         self.scan_leaf(leaf, query, &mut heap, stats);
         Some(heap.into_answer_set())
+    }
+}
+
+/// Validates that a reloaded tree actually describes the series of `store`:
+/// matching series length, every leaf entry in range, and exactly one entry
+/// per series. Shared by the iSAX2+ and ADS+ snapshot loaders.
+pub(crate) fn validate_tree_against_store(tree: &IsaxTree, store: &DatasetStore) -> Result<()> {
+    if tree.params().series_length() != store.series_length() {
+        return Err(Error::InvalidSnapshot(format!(
+            "tree summarizes series of length {}, store holds {}",
+            tree.params().series_length(),
+            store.series_length()
+        )));
+    }
+    let n = store.len();
+    let mut seen = vec![false; n];
+    for leaf in tree.leaves() {
+        if let NodeKind::Leaf { entries } = &tree.node(leaf).kind {
+            for e in entries {
+                let id = e.id as usize;
+                if id >= n || seen[id] {
+                    return Err(Error::InvalidSnapshot(format!(
+                        "leaf entry id {id} is out of range or duplicated (store holds {n})"
+                    )));
+                }
+                seen[id] = true;
+            }
+        }
+    }
+    if tree.num_entries() != n {
+        return Err(Error::InvalidSnapshot(format!(
+            "tree indexes {} series, store holds {n}",
+            tree.num_entries()
+        )));
+    }
+    Ok(())
+}
+
+impl PersistentIndex for Isax2Plus {
+    type Context = Arc<DatasetStore>;
+
+    fn snapshot_kind() -> &'static str {
+        "isax2plus/v1"
+    }
+
+    fn save_payload(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        self.tree.write_snapshot(out)
+    }
+
+    fn load_payload(store: Arc<DatasetStore>, input: &mut dyn SnapshotSource) -> Result<Self> {
+        let tree = IsaxTree::read_snapshot(input)?;
+        validate_tree_against_store(&tree, &store)?;
+        Ok(Self { store, tree })
     }
 }
 

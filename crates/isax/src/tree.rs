@@ -7,9 +7,10 @@
 //! The split segment is chosen to balance the two children as evenly as
 //! possible (the iSAX 2.0 splitting policy).
 
-use hydra_core::{parallel, IndexFootprint, QueryStats};
+use hydra_core::persist::{SnapshotSink, SnapshotSource};
+use hydra_core::{parallel, Error, IndexFootprint, QueryStats, Result};
 use hydra_transforms::sax::{IsaxWord, SaxParams, SaxWord};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a node inside the tree's arena.
 pub type NodeId = usize;
@@ -55,12 +56,18 @@ pub struct Node {
 }
 
 /// An iSAX tree: a forest of root children keyed by their 1-bit words.
+///
+/// Root children are held in a `BTreeMap` so that iterating them (the
+/// best-first search seeds one frontier entry per root child) follows a
+/// deterministic key order — two structurally identical trees, e.g. a fresh
+/// build and a reloaded snapshot, then traverse identically even when
+/// MINDIST values tie.
 #[derive(Clone, Debug)]
 pub struct IsaxTree {
     params: SaxParams,
     leaf_capacity: usize,
     nodes: Vec<Node>,
-    root_children: HashMap<Vec<u16>, NodeId>,
+    root_children: BTreeMap<Vec<u16>, NodeId>,
 }
 
 impl IsaxTree {
@@ -71,7 +78,7 @@ impl IsaxTree {
             params,
             leaf_capacity,
             nodes: Vec::new(),
-            root_children: HashMap::new(),
+            root_children: BTreeMap::new(),
         }
     }
 
@@ -369,6 +376,171 @@ impl IsaxTree {
             .mindist_paa_to_isax(query_paa, &self.nodes[node].word)
     }
 
+    /// Serializes the complete tree — parameters, node arena (including every
+    /// leaf's SAX word table), and root-child directory — for an index
+    /// snapshot.
+    pub fn write_snapshot(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        let segments = self.params.segments();
+        out.put_usize(self.params.series_length())?;
+        out.put_usize(segments)?;
+        out.put_u8(self.params.max_bits())?;
+        out.put_usize(self.leaf_capacity)?;
+        out.put_usize(self.nodes.len())?;
+        for node in &self.nodes {
+            out.put_usize(node.depth)?;
+            for &sym in &node.word.symbols {
+                out.put_u16(sym)?;
+            }
+            for &bits in &node.word.bits {
+                out.put_u8(bits)?;
+            }
+            match &node.kind {
+                NodeKind::Internal {
+                    split_segment,
+                    left,
+                    right,
+                } => {
+                    out.put_u8(0)?;
+                    out.put_usize(*split_segment)?;
+                    out.put_usize(*left)?;
+                    out.put_usize(*right)?;
+                }
+                NodeKind::Leaf { entries } => {
+                    out.put_u8(1)?;
+                    out.put_usize(entries.len())?;
+                    for e in entries {
+                        out.put_u32(e.id)?;
+                        for &sym in &e.sax.symbols {
+                            out.put_u16(sym)?;
+                        }
+                    }
+                }
+            }
+        }
+        out.put_usize(self.root_children.len())?;
+        for (key, &node) in &self.root_children {
+            for &k in key {
+                out.put_u16(k)?;
+            }
+            out.put_usize(node)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a tree from a snapshot payload written by
+    /// [`IsaxTree::write_snapshot`]. Structural inconsistencies (out-of-range
+    /// node ids or segment indices, degenerate parameters) are typed
+    /// [`Error::InvalidSnapshot`]s, never panics.
+    pub fn read_snapshot(input: &mut dyn SnapshotSource) -> Result<IsaxTree> {
+        let invalid = |msg: String| Error::InvalidSnapshot(msg);
+        let series_length = input.get_usize()?;
+        let segments = input.get_usize()?;
+        let max_bits = input.get_u8()?;
+        if segments == 0 || segments > series_length {
+            return Err(invalid(format!(
+                "iSAX tree has {segments} segments over series length {series_length}"
+            )));
+        }
+        if !(1..=16).contains(&max_bits) {
+            return Err(invalid(format!("iSAX max_bits {max_bits} outside 1..=16")));
+        }
+        let leaf_capacity = input.get_usize()?;
+        if leaf_capacity == 0 {
+            return Err(invalid("iSAX tree has zero leaf capacity".to_string()));
+        }
+        let params = SaxParams::new(series_length, segments, max_bits);
+        let num_nodes = input.get_count(segments * 3 + 2)?;
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let depth = input.get_usize()?;
+            let mut symbols = Vec::with_capacity(segments);
+            for _ in 0..segments {
+                symbols.push(input.get_u16()?);
+            }
+            let mut bits = Vec::with_capacity(segments);
+            for _ in 0..segments {
+                bits.push(input.get_u8()?);
+            }
+            // Word sanity: a segment's cardinality never exceeds the table's,
+            // and its symbol must fit that cardinality — otherwise MINDIST's
+            // breakpoint lookups would index out of range at query time.
+            for (seg, (&b, &sym)) in bits.iter().zip(&symbols).enumerate() {
+                let bits_ok = (1..=max_bits).contains(&b);
+                let symbol_ok = b >= 16 || sym < (1u16 << b);
+                if !bits_ok || !symbol_ok {
+                    return Err(invalid(format!(
+                        "segment {seg}: symbol {sym} at {b} bits is outside the \
+                         {max_bits}-bit table"
+                    )));
+                }
+            }
+            let word = IsaxWord {
+                symbols,
+                bits,
+                max_bits,
+            };
+            let kind = match input.get_u8()? {
+                0 => {
+                    let split_segment = input.get_usize()?;
+                    let left = input.get_usize()?;
+                    let right = input.get_usize()?;
+                    if split_segment >= segments || left >= num_nodes || right >= num_nodes {
+                        return Err(invalid(format!(
+                            "internal node references segment {split_segment} / children \
+                             {left},{right} outside the arena of {num_nodes}"
+                        )));
+                    }
+                    NodeKind::Internal {
+                        split_segment,
+                        left,
+                        right,
+                    }
+                }
+                1 => {
+                    let count = input.get_count(4 + segments * 2)?;
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let id = input.get_u32()?;
+                        let mut sax_symbols = Vec::with_capacity(segments);
+                        for _ in 0..segments {
+                            sax_symbols.push(input.get_u16()?);
+                        }
+                        entries.push(LeafEntry {
+                            id,
+                            sax: SaxWord {
+                                symbols: sax_symbols,
+                            },
+                        });
+                    }
+                    NodeKind::Leaf { entries }
+                }
+                tag => return Err(invalid(format!("unknown node tag {tag}"))),
+            };
+            nodes.push(Node { word, kind, depth });
+        }
+        let num_roots = input.get_count(segments * 2 + 8)?;
+        let mut root_children = BTreeMap::new();
+        for _ in 0..num_roots {
+            let mut key = Vec::with_capacity(segments);
+            for _ in 0..segments {
+                key.push(input.get_u16()?);
+            }
+            let node = input.get_usize()?;
+            if node >= num_nodes {
+                return Err(invalid(format!(
+                    "root child {node} outside the arena of {num_nodes}"
+                )));
+            }
+            root_children.insert(key, node);
+        }
+        Ok(IsaxTree {
+            params,
+            leaf_capacity,
+            nodes,
+            root_children,
+        })
+    }
+
     /// Builds the footprint report for this tree, given the byte cost of one
     /// leaf entry on disk (raw series bytes for iSAX2+, summary bytes for
     /// ADS+).
@@ -552,6 +724,37 @@ mod tests {
             .collect();
         leaves.sort();
         (tree.num_nodes(), leaves)
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_forged_words() {
+        use hydra_core::persist::SliceSource;
+        let (tree, _) = build_tree(300, 16);
+        let mut payload: Vec<u8> = Vec::new();
+        tree.write_snapshot(&mut payload).unwrap();
+        let mut src = SliceSource::new(&payload);
+        let reloaded = IsaxTree::read_snapshot(&mut src).unwrap();
+        assert_eq!(src.remaining(), 0);
+        assert_eq!(reloaded.num_nodes(), tree.num_nodes());
+        assert_eq!(reloaded.num_entries(), tree.num_entries());
+        assert_eq!(shape(&reloaded), shape(&tree));
+
+        // Forge the first node's first per-segment bit count beyond max_bits:
+        // header is series_length (8) + segments (8) + max_bits (1) +
+        // leaf_capacity (8) + num_nodes (8) + depth (8), then the word's
+        // symbols (2 bytes per segment) precede its bits bytes.
+        let segments = tree.params().segments();
+        let bits_at = 41 + 2 * segments;
+        let mut forged = payload.clone();
+        forged[bits_at] = 200;
+        let mut src = SliceSource::new(&forged);
+        match IsaxTree::read_snapshot(&mut src) {
+            Err(hydra_core::Error::InvalidSnapshot(msg)) => {
+                assert!(msg.contains("bits"), "{msg}")
+            }
+            Err(other) => panic!("expected InvalidSnapshot, got {other}"),
+            Ok(_) => panic!("a word beyond the table's cardinality must be rejected"),
+        }
     }
 
     #[test]

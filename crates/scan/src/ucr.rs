@@ -190,7 +190,7 @@ mod tests {
         assert_eq!(ans.len(), 5);
         let dists: Vec<f64> = ans.iter().map(|a| a.distance).collect();
         let mut sorted = dists.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         assert_eq!(dists, sorted);
     }
 }

@@ -15,6 +15,7 @@
 //! when a leaf is reached, all of its raw series are read (one contiguous leaf
 //! read) and refined with early-abandoning Euclidean distance.
 
+use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
     KnnHeap, MethodDescriptor, Query, QueryStats, Result,
@@ -22,7 +23,7 @@ use hydra_core::{
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// One entry stored in a trie leaf.
@@ -36,7 +37,12 @@ struct LeafEntry {
 #[derive(Clone, Debug)]
 enum TrieNode {
     /// Internal node: children keyed by the symbol at position `depth`.
-    Internal { children: HashMap<u8, usize> },
+    ///
+    /// A `BTreeMap` so that iterating the children (the best-first search
+    /// pushes one frontier entry per child) follows a deterministic symbol
+    /// order — a fresh build and a reloaded snapshot then traverse
+    /// identically even when prefix lower bounds tie.
+    Internal { children: BTreeMap<u8, usize> },
     /// Leaf node holding entries sharing the prefix leading to it.
     Leaf { entries: Vec<LeafEntry> },
 }
@@ -204,10 +210,10 @@ impl SfaTrie {
             });
         // Graft the subtrie arenas under an internal root, offsetting ids.
         self.nodes.push(TrieNode::Internal {
-            children: HashMap::new(),
+            children: BTreeMap::new(),
         });
         self.prefixes.push(Vec::new());
-        let mut children = HashMap::new();
+        let mut children = BTreeMap::new();
         for (&symbol, (nodes, prefixes)) in symbols.iter().zip(subtries) {
             let offset = self.nodes.len();
             children.insert(symbol, offset);
@@ -302,14 +308,14 @@ fn build_subtrie(
         return id;
     }
     nodes.push(TrieNode::Internal {
-        children: HashMap::new(),
+        children: BTreeMap::new(),
     });
     prefixes.push(prefix.clone());
     let mut buckets: BTreeMap<u8, Vec<LeafEntry>> = BTreeMap::new();
     for e in entries {
         buckets.entry(e.word.symbols[depth]).or_default().push(e);
     }
-    let mut children = HashMap::new();
+    let mut children = BTreeMap::new();
     for (symbol, bucket) in buckets {
         let mut child_prefix = prefix.clone();
         child_prefix.push(symbol);
@@ -444,6 +450,167 @@ impl ExactIndex for SfaTrie {
         let leaf = self.descend(&word, stats);
         self.scan_leaf(leaf, query, &mut heap, stats);
         Some(heap.into_answer_set())
+    }
+}
+
+impl PersistentIndex for SfaTrie {
+    type Context = Arc<DatasetStore>;
+
+    fn snapshot_kind() -> &'static str {
+        "sfatrie/v1"
+    }
+
+    fn save_payload(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        let params = *self.quantizer.params();
+        out.put_usize(params.series_length)?;
+        out.put_usize(params.word_length)?;
+        out.put_usize(params.alphabet_size)?;
+        out.put_u8(match params.binning {
+            BinningMethod::EquiDepth => 0,
+            BinningMethod::EquiWidth => 1,
+        })?;
+        for d in 0..params.word_length {
+            for &bp in self.quantizer.breakpoints(d) {
+                out.put_f64(bp)?;
+            }
+        }
+        out.put_usize(self.leaf_capacity)?;
+        out.put_usize(self.nodes.len())?;
+        for (node, prefix) in self.nodes.iter().zip(&self.prefixes) {
+            out.put_usize(prefix.len())?;
+            out.write_bytes(prefix)?;
+            match node {
+                TrieNode::Internal { children } => {
+                    out.put_u8(0)?;
+                    out.put_usize(children.len())?;
+                    for (&symbol, &child) in children {
+                        out.put_u8(symbol)?;
+                        out.put_usize(child)?;
+                    }
+                }
+                TrieNode::Leaf { entries } => {
+                    out.put_u8(1)?;
+                    out.put_usize(entries.len())?;
+                    for e in entries {
+                        out.put_u32(e.id)?;
+                        out.write_bytes(&e.word.symbols)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_payload(store: Arc<DatasetStore>, input: &mut dyn SnapshotSource) -> Result<Self> {
+        let invalid = Error::InvalidSnapshot;
+        let series_length = input.get_usize()?;
+        if series_length != store.series_length() {
+            return Err(invalid(format!(
+                "trie summarizes series of length {series_length}, store holds {}",
+                store.series_length()
+            )));
+        }
+        let word_length = input.get_usize()?;
+        let alphabet_size = input.get_usize()?;
+        if word_length == 0 || !(2..=256).contains(&alphabet_size) {
+            return Err(invalid(format!(
+                "degenerate SFA parameters: word length {word_length}, alphabet {alphabet_size}"
+            )));
+        }
+        let binning = match input.get_u8()? {
+            0 => BinningMethod::EquiDepth,
+            1 => BinningMethod::EquiWidth,
+            tag => return Err(invalid(format!("unknown binning tag {tag}"))),
+        };
+        let params = SfaParams {
+            series_length,
+            word_length,
+            alphabet_size,
+            binning,
+        };
+        let mut breakpoints = Vec::with_capacity(word_length);
+        for _ in 0..word_length {
+            let mut bp = Vec::with_capacity(alphabet_size - 1);
+            for _ in 0..alphabet_size - 1 {
+                bp.push(input.get_f64()?);
+            }
+            breakpoints.push(bp);
+        }
+        let quantizer = SfaQuantizer::from_parts(params, breakpoints);
+        let leaf_capacity = input.get_usize()?;
+        if leaf_capacity == 0 {
+            return Err(invalid("trie has zero leaf capacity".to_string()));
+        }
+        let num_nodes = input.get_count(2)?;
+        let mut nodes = Vec::with_capacity(num_nodes);
+        let mut prefixes = Vec::with_capacity(num_nodes);
+        let n = store.len();
+        let mut seen = vec![false; n];
+        for _ in 0..num_nodes {
+            let prefix_len = input.get_count(1)?;
+            if prefix_len > word_length {
+                return Err(invalid(format!(
+                    "node prefix of length {prefix_len} exceeds the word length {word_length}"
+                )));
+            }
+            let mut prefix = vec![0u8; prefix_len];
+            input.read_bytes(&mut prefix)?;
+            let node = match input.get_u8()? {
+                0 => {
+                    let count = input.get_count(9)?;
+                    let mut children = BTreeMap::new();
+                    for _ in 0..count {
+                        let symbol = input.get_u8()?;
+                        let child = input.get_usize()?;
+                        if child >= num_nodes {
+                            return Err(invalid(format!(
+                                "child {child} outside the arena of {num_nodes}"
+                            )));
+                        }
+                        children.insert(symbol, child);
+                    }
+                    TrieNode::Internal { children }
+                }
+                1 => {
+                    let count = input.get_count(4 + word_length)?;
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let id = input.get_u32()?;
+                        if id as usize >= n || seen[id as usize] {
+                            return Err(invalid(format!(
+                                "leaf entry id {id} is out of range or duplicated (store holds {n})"
+                            )));
+                        }
+                        seen[id as usize] = true;
+                        let mut symbols = vec![0u8; word_length];
+                        input.read_bytes(&mut symbols)?;
+                        entries.push(LeafEntry {
+                            id,
+                            word: SfaWord { symbols },
+                        });
+                    }
+                    TrieNode::Leaf { entries }
+                }
+                tag => return Err(invalid(format!("unknown node tag {tag}"))),
+            };
+            nodes.push(node);
+            prefixes.push(prefix);
+        }
+        if nodes.is_empty() {
+            return Err(invalid("trie has no nodes".to_string()));
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(invalid(format!(
+                "trie does not cover every series of the store ({n})"
+            )));
+        }
+        Ok(Self {
+            store,
+            quantizer,
+            nodes,
+            prefixes,
+            leaf_capacity,
+        })
     }
 }
 

@@ -185,6 +185,22 @@ impl IoCounters {
         self.shard().lock().snapshot.bytes_written += bytes;
     }
 
+    /// Records a read of `pages` pages from a *different* file than the raw
+    /// dataset (an index snapshot): one seek to reach it, the remaining pages
+    /// sequential, and the raw-file head position is forgotten — the next
+    /// dataset read has to seek back.
+    pub fn record_detached_read(&self, pages: u64, bytes: u64) {
+        if pages == 0 {
+            return;
+        }
+        let shard = self.shard();
+        let mut shard = shard.lock();
+        shard.snapshot.random_pages += 1;
+        shard.snapshot.sequential_pages += pages - 1;
+        shard.snapshot.bytes_read += bytes;
+        shard.last_page = None;
+    }
+
     /// Explicitly records a seek (e.g. repositioning without reading).
     pub fn record_seek(&self) {
         self.shard().lock().last_page = None;

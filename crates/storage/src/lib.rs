@@ -20,13 +20,19 @@
 //!   which is what produces the HDD/SSD winner reversal of Figures 6–7.
 //! * [`BufferPool`] provides a simple build-time buffer manager with a byte
 //!   budget, mimicking the buffering knobs the paper tunes.
+//! * [`snapshot`] persists built indexes to disk as versioned, checksummed
+//!   files keyed on a dataset + build-options fingerprint, with save and
+//!   load charged through the same counters — measured snapshot I/O instead
+//!   of modelled index I/O.
 
 pub mod buffer;
 pub mod cost;
 pub mod counters;
+pub mod snapshot;
 pub mod store;
 
 pub use buffer::BufferPool;
 pub use cost::{CostModel, StorageProfile};
 pub use counters::{IoCounters, IoSnapshot};
+pub use snapshot::{load_index, save_index, snapshot_file_name, SnapshotReader, SnapshotWriter};
 pub use store::DatasetStore;

@@ -185,6 +185,15 @@ impl DatasetStore {
     pub fn record_index_write(&self, bytes: u64) {
         self.counters.record_write(bytes);
     }
+
+    /// Records `bytes` of index payload read back from this store's disk
+    /// (a snapshot load): one contiguous run — a seek plus sequential pages —
+    /// on a file separate from the raw data, so the raw-file head position is
+    /// invalidated.
+    pub fn record_index_read(&self, bytes: u64) {
+        let pages = bytes.div_ceil(self.page_bytes as u64).max(1);
+        self.counters.record_detached_read(pages, bytes);
+    }
 }
 
 /// The store is the I/O counter source the [`hydra_core::QueryEngine`]
@@ -316,6 +325,24 @@ mod tests {
         let store = DatasetStore::new(dataset(10, 256));
         store.record_index_write(12345);
         assert_eq!(store.io_snapshot().bytes_written, 12345);
+    }
+
+    #[test]
+    fn index_reads_are_one_seek_then_sequential_and_break_the_head() {
+        let store = DatasetStore::new(dataset(10, 256));
+        // 3 pages worth of snapshot: 1 random + 2 sequential.
+        store.record_index_read(3 * 4096);
+        let io = store.io_snapshot();
+        assert_eq!(io.random_pages, 1);
+        assert_eq!(io.sequential_pages, 2);
+        assert_eq!(io.bytes_read, 3 * 4096);
+        // A sub-page snapshot still costs one page access.
+        store.record_index_read(100);
+        assert_eq!(store.io_snapshot().random_pages, 2);
+        // The snapshot lives in a different file: the next raw read must
+        // seek even though it starts at page 0.
+        store.read_series(0);
+        assert_eq!(store.io_snapshot().random_pages, 3);
     }
 
     #[test]

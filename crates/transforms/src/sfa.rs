@@ -153,6 +153,34 @@ impl SfaQuantizer {
         }
     }
 
+    /// Reassembles a quantizer from previously trained state (the inverse of
+    /// reading it back through [`SfaQuantizer::breakpoints`]) — used by index
+    /// snapshots, which persist the trained tables rather than retraining on
+    /// load.
+    ///
+    /// # Panics
+    /// Panics if the breakpoint table shape disagrees with `params`.
+    pub fn from_parts(params: SfaParams, breakpoints: Vec<Vec<f64>>) -> Self {
+        assert_eq!(
+            breakpoints.len(),
+            params.word_length,
+            "one breakpoint list per DFT dimension"
+        );
+        for (d, bp) in breakpoints.iter().enumerate() {
+            assert_eq!(
+                bp.len(),
+                params.alphabet_size - 1,
+                "dimension {d}: alphabet {} needs {} breakpoints",
+                params.alphabet_size,
+                params.alphabet_size - 1
+            );
+        }
+        Self {
+            params,
+            breakpoints,
+        }
+    }
+
     /// The parameters this quantizer was trained with.
     pub fn params(&self) -> &SfaParams {
         &self.params

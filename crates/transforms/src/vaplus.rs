@@ -99,9 +99,47 @@ impl VaPlusQuantizer {
         }
     }
 
+    /// Reassembles a quantizer from previously trained state (the inverse of
+    /// reading it back through [`VaPlusQuantizer::bits`] and
+    /// [`VaPlusQuantizer::boundaries`]) — used by index snapshots, which
+    /// persist the trained tables rather than retraining on load.
+    ///
+    /// # Panics
+    /// Panics if the per-dimension vectors disagree with `dims` or a boundary
+    /// list has the wrong length for its bit count.
+    pub fn from_parts(
+        series_length: usize,
+        dims: usize,
+        bits: Vec<u8>,
+        boundaries: Vec<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(bits.len(), dims, "one bit count per dimension");
+        assert_eq!(boundaries.len(), dims, "one boundary list per dimension");
+        for (d, (&b, bounds)) in bits.iter().zip(boundaries.iter()).enumerate() {
+            let expected = if b == 0 { 0 } else { (1usize << b) - 1 };
+            assert_eq!(
+                bounds.len(),
+                expected,
+                "dimension {d}: {b} bits need {expected} boundaries"
+            );
+        }
+        Self {
+            series_length,
+            dims,
+            bits,
+            boundaries,
+        }
+    }
+
     /// The number of retained dimensions.
     pub fn dims(&self) -> usize {
         self.dims
+    }
+
+    /// The sorted decision boundaries of dimension `d` (empty for a zero-bit
+    /// dimension).
+    pub fn boundaries(&self, d: usize) -> &[f64] {
+        &self.boundaries[d]
     }
 
     /// The series length the quantizer expects.

@@ -20,6 +20,7 @@
 //! proportional to the unpruned candidates, and excellent pruning thanks to
 //! the tight, data-adaptive quantization.
 
+use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
     MethodDescriptor, Query, QueryStats, Result,
@@ -132,7 +133,9 @@ impl AnsweringMethod for VaPlusFile {
                 (self.quantizer.lower_bound(&q_dft, cell), id)
             })
             .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN lower bound must not scramble the refinement order
+        // (and with it the early-termination point) nondeterministically.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Phase 2: visit candidates in lower-bound order, refining on raw data.
         let mut heap = KnnHeap::new(k);
@@ -178,6 +181,87 @@ impl ExactIndex for VaPlusFile {
 
     fn series_length(&self) -> usize {
         self.store.series_length()
+    }
+}
+
+impl PersistentIndex for VaPlusFile {
+    type Context = Arc<DatasetStore>;
+
+    fn snapshot_kind() -> &'static str {
+        "vafile/v1"
+    }
+
+    fn save_payload(&self, out: &mut dyn SnapshotSink) -> Result<()> {
+        out.put_usize(self.quantizer.series_length())?;
+        out.put_usize(self.quantizer.dims())?;
+        for &b in self.quantizer.bits() {
+            out.put_u8(b)?;
+        }
+        for d in 0..self.quantizer.dims() {
+            for &boundary in self.quantizer.boundaries(d) {
+                out.put_f64(boundary)?;
+            }
+        }
+        out.put_usize(self.cells.len())?;
+        for cell in &self.cells {
+            for &c in &cell.cells {
+                out.put_u16(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_payload(store: Arc<DatasetStore>, input: &mut dyn SnapshotSource) -> Result<Self> {
+        let series_length = input.get_usize()?;
+        if series_length != store.series_length() {
+            return Err(Error::InvalidSnapshot(format!(
+                "snapshot is for series length {series_length}, store holds {}",
+                store.series_length()
+            )));
+        }
+        let dims = input.get_count(1)?;
+        let mut bits = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let b = input.get_u8()?;
+            if b > 16 {
+                return Err(Error::InvalidSnapshot(format!(
+                    "dimension quantized with {b} bits (the quantizer never exceeds 16)"
+                )));
+            }
+            bits.push(b);
+        }
+        let mut boundaries = Vec::with_capacity(dims);
+        for &b in &bits {
+            let count = if b == 0 { 0 } else { (1usize << b) - 1 };
+            let mut bounds = Vec::with_capacity(count);
+            for _ in 0..count {
+                bounds.push(input.get_f64()?);
+            }
+            boundaries.push(bounds);
+        }
+        let quantizer = VaPlusQuantizer::from_parts(series_length, dims, bits, boundaries);
+        let num_cells = input.get_count(dims * 2)?;
+        if num_cells != store.len() {
+            return Err(Error::InvalidSnapshot(format!(
+                "snapshot approximates {num_cells} series, store holds {}",
+                store.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(num_cells);
+        for _ in 0..num_cells {
+            let mut cell = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                cell.push(input.get_u16()?);
+            }
+            cells.push(VaPlusCell { cells: cell });
+        }
+        let approximation_bytes = (num_cells * quantizer.bits_per_series()).div_ceil(8);
+        Ok(Self {
+            store,
+            quantizer,
+            cells,
+            approximation_bytes,
+        })
     }
 }
 
@@ -284,5 +368,66 @@ mod tests {
         let (_, idx) = build(50, 64);
         let q = Query::nearest_neighbor(hydra_core::Series::new(vec![0.0; 32]));
         assert!(idx.answer_simple(&q).is_err());
+    }
+
+    #[test]
+    fn payload_round_trip_restores_the_identical_filter_file() {
+        let (store, idx) = build(200, 64);
+        let mut payload: Vec<u8> = Vec::new();
+        idx.save_payload(&mut payload).unwrap();
+        let fresh = Arc::new(DatasetStore::new(store.dataset().clone()));
+        let mut src = hydra_core::persist::SliceSource::new(&payload);
+        let loaded = VaPlusFile::load_payload(fresh, &mut src).unwrap();
+        assert_eq!(src.remaining(), 0, "payload fully consumed");
+        assert_eq!(loaded.cells, idx.cells);
+        assert_eq!(loaded.approximation_bytes(), idx.approximation_bytes());
+        assert_eq!(loaded.quantizer.bits(), idx.quantizer.bits());
+        for q in RandomWalkGenerator::new(5, 64).series_batch(4) {
+            let query = Query::knn(q, 3);
+            let mut s_built = QueryStats::default();
+            let mut s_loaded = QueryStats::default();
+            let a = idx.answer(&query, &mut s_built).unwrap();
+            let b = loaded.answer(&query, &mut s_loaded).unwrap();
+            assert_eq!(a, b, "answers must be bit-identical");
+            assert_eq!(s_built.raw_series_examined, s_loaded.raw_series_examined);
+            assert_eq!(
+                s_built.lower_bounds_computed,
+                s_loaded.lower_bounds_computed
+            );
+        }
+    }
+
+    #[test]
+    fn payload_with_impossible_bit_counts_is_rejected_not_panicking() {
+        let (store, idx) = build(100, 64);
+        let mut payload: Vec<u8> = Vec::new();
+        idx.save_payload(&mut payload).unwrap();
+        // Layout: series_length (8) + dims (8), then one bits byte per
+        // dimension. 20 bits per dimension is beyond what training can
+        // produce and must be a typed error, not a shift overflow.
+        payload[16] = 20;
+        let fresh = Arc::new(DatasetStore::new(store.dataset().clone()));
+        let mut src = hydra_core::persist::SliceSource::new(&payload);
+        match VaPlusFile::load_payload(fresh, &mut src) {
+            Err(Error::InvalidSnapshot(msg)) => assert!(msg.contains("bits"), "{msg}"),
+            Err(other) => panic!("expected InvalidSnapshot, got {other}"),
+            Ok(_) => panic!("an impossible bit count must be rejected"),
+        }
+    }
+
+    #[test]
+    fn payload_for_a_different_store_size_is_rejected() {
+        let (_, idx) = build(200, 64);
+        let mut payload: Vec<u8> = Vec::new();
+        idx.save_payload(&mut payload).unwrap();
+        let small = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(41, 64).dataset(50),
+        ));
+        let mut src = hydra_core::persist::SliceSource::new(&payload);
+        match VaPlusFile::load_payload(small, &mut src) {
+            Err(Error::InvalidSnapshot(_)) => {}
+            Err(other) => panic!("expected InvalidSnapshot, got {other}"),
+            Ok(_) => panic!("a mismatched store must be rejected"),
+        }
     }
 }
