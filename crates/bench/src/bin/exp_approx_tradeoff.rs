@@ -1,0 +1,29 @@
+//! EXP-APPROX: the approximate-answering trade-off (the sequel study's
+//! headline figure) — ε sweep plus ng and δ-ε points over every mode-capable
+//! method, reporting mean error ratio and speedup vs exact. Exact results are
+//! validated unchanged along the way (the ε = 0 run must answer
+//! bit-identically, or the binary aborts).
+//!
+//! Writes `results/approx_tradeoff.csv` and `results/approx_tradeoff.json`
+//! (the JSON is uploaded as a CI artifact by the `approx-smoke` job).
+//!
+//! This binary sweeps the whole mode ladder itself, so it takes no `--mode`
+//! flag (unlike the per-figure binaries).
+
+use hydra_bench::experiments::{approx_tradeoff, ExperimentScale};
+use hydra_bench::report::results_dir;
+use std::io::Write as _;
+
+fn main() {
+    hydra_bench::cli::init_threads();
+    hydra_bench::cli::init_index_dir();
+    let (table, json) = approx_tradeoff(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+    let dir = results_dir();
+    let csv_path = table.write_csv(&dir, "approx_tradeoff").expect("write csv");
+    println!("wrote {}", csv_path.display());
+    let json_path = dir.join("approx_tradeoff.json");
+    let mut file = std::fs::File::create(&json_path).expect("create approx_tradeoff.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", json_path.display());
+}

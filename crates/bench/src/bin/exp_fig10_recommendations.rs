@@ -6,6 +6,7 @@ use hydra_bench::report::results_dir;
 fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
+    hydra_bench::cli::init_mode();
     let table = fig10_recommendations(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

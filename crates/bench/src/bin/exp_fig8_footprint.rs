@@ -7,6 +7,7 @@ use hydra_bench::report::results_dir;
 fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
+    hydra_bench::cli::init_mode();
     let scale = ExperimentScale::from_env();
     let footprint = fig8_footprint(scale);
     let tlb = fig8_tlb(scale);

@@ -9,6 +9,7 @@ use hydra_bench::report::results_dir;
 fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
+    hydra_bench::cli::init_mode();
     let scale = exp::ExperimentScale::from_env();
     let dir = results_dir();
     println!(
@@ -65,6 +66,11 @@ fn main() {
     let f10 = exp::fig10_recommendations(scale);
     println!("{}", f10.to_text());
     f10.write_csv(&dir, "fig10_recommendations").unwrap();
+
+    let (approx, approx_json) = exp::approx_tradeoff(scale);
+    println!("{}", approx.to_text());
+    approx.write_csv(&dir, "approx_tradeoff").unwrap();
+    std::fs::write(dir.join("approx_tradeoff.json"), approx_json).unwrap();
 
     println!("all experiments complete; CSVs in {}", dir.display());
 }

@@ -14,10 +14,15 @@
 //!   valid snapshot is *loaded* instead of rebuilding the index, and a fresh
 //!   build saves a snapshot for the next run — turning a multi-method sweep
 //!   from one rebuild per run into one build ever.
+//! * `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` — the answering mode query
+//!   workloads run under. [`init_mode`] parses and validates it and exports
+//!   `HYDRA_MODE`, which [`crate::harness::run_queries`] reads back when
+//!   constructing its queries. Methods that cannot answer the mode surface a
+//!   typed `UnsupportedMode` error (never a silent exact fallback).
 //!
 //! One call to each at the top of `main` wires a whole experiment binary.
 
-use hydra_core::Parallelism;
+use hydra_core::{AnswerMode, Parallelism};
 use std::path::PathBuf;
 
 /// Parses `--threads N` (or `--threads=N`) from the process arguments,
@@ -108,6 +113,65 @@ fn index_dir_from(args: impl Iterator<Item = String>) -> Option<std::result::Res
     None
 }
 
+/// Parses `--mode M` (or `--mode=M`) from the process arguments, validates it
+/// through [`AnswerMode::parse`], exports the canonical form via `HYDRA_MODE`,
+/// and returns the mode the run's query workloads use. Without the flag, an
+/// already-set `HYDRA_MODE` is respected; [`AnswerMode::Exact`] when that is
+/// unset too.
+///
+/// A `--mode` flag with a missing or invalid value aborts the process:
+/// silently answering exactly would record results under the wrong mode.
+pub fn init_mode() -> AnswerMode {
+    match mode_from(std::env::args()) {
+        Some(Ok(mode)) => std::env::set_var("HYDRA_MODE", mode.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --mode value {bad:?} (expected exact | ng | eps:<v> | deltaeps:<d>,<e>)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    mode_from_env()
+}
+
+/// The answering mode currently exported through `HYDRA_MODE`
+/// ([`AnswerMode::Exact`] when unset).
+///
+/// A set-but-invalid `HYDRA_MODE` aborts the process, exactly like an
+/// invalid `--mode` flag: silently answering exactly would record results
+/// under the wrong mode.
+pub fn mode_from_env() -> AnswerMode {
+    match std::env::var("HYDRA_MODE") {
+        Ok(raw) if !raw.trim().is_empty() => AnswerMode::parse(&raw).unwrap_or_else(|_| {
+            eprintln!(
+                "error: invalid HYDRA_MODE value {raw:?} (expected exact | ng | eps:<v> | deltaeps:<d>,<e>)"
+            );
+            std::process::exit(2);
+        }),
+        _ => AnswerMode::Exact,
+    }
+}
+
+/// Extracts the `--mode` value from an argument list: `None` when the flag is
+/// absent, `Some(Err(raw))` when it is present but not a valid mode.
+fn mode_from(
+    args: impl Iterator<Item = String>,
+) -> Option<std::result::Result<AnswerMode, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--mode" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--mode=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(AnswerMode::parse(&raw).map_err(|_| raw));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +206,38 @@ mod tests {
         assert_eq!(
             index_dir_from(argv(&["bin", "--index-dir="])),
             Some(Err(()))
+        );
+    }
+
+    #[test]
+    fn parses_mode_forms() {
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode", "ng"])),
+            Some(Ok(AnswerMode::NgApproximate))
+        );
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode=eps:0.1"])),
+            Some(Ok(AnswerMode::EpsilonApproximate { epsilon: 0.1 }))
+        );
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode", "deltaeps:0.9,0.25"])),
+            Some(Ok(AnswerMode::DeltaEpsilon {
+                delta: 0.9,
+                epsilon: 0.25
+            }))
+        );
+        assert_eq!(mode_from(argv(&["bin"])), None);
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode", "sloppy"])),
+            Some(Err("sloppy".into()))
+        );
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode", "eps:-1"])),
+            Some(Err("eps:-1".into()))
+        );
+        assert_eq!(
+            mode_from(argv(&["bin", "--mode"])),
+            Some(Err(String::new()))
         );
     }
 

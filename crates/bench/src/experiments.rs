@@ -12,7 +12,7 @@
 use crate::harness::{run_build, run_queries, Platform, WorkloadMeasurement};
 use crate::registry::MethodKind;
 use crate::report::{fmt_pct, fmt_secs, ResultTable};
-use hydra_core::{BuildOptions, Dataset};
+use hydra_core::{AnswerMode, BuildOptions, Dataset, Parallelism, Query};
 use hydra_data::{
     DomainDataset, DomainGenerator, QueryWorkload, RandomWalkGenerator, WorkloadSpec,
 };
@@ -126,18 +126,22 @@ fn ctrl_workload(name: &str, dataset: &Dataset, queries: usize) -> QueryWorkload
     )
 }
 
-/// Table 1: the method property matrix.
+/// Table 1: the method property matrix, extended with the answering-mode
+/// capability columns of the sequel study.
 pub fn methods_table() -> ResultTable {
     let mut table = ResultTable::new(
-        "Table 1 — similarity search methods",
+        "Table 1 — similarity search methods and answering-mode capabilities",
         &[
             "method",
             "representation",
             "kind",
             "exact",
             "ng-approximate",
+            "eps-approximate",
+            "delta-eps-approximate",
         ],
     );
+    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
     let data = synth_dataset(200, 64);
     for kind in MethodKind::ALL {
         let (engine, _) = run_build(kind, &data, &default_options()).expect("build");
@@ -151,8 +155,10 @@ pub fn methods_table() -> ResultTable {
                 "sequential/multi-step"
             }
             .to_string(),
-            "yes".to_string(),
-            if d.supports_approximate { "yes" } else { "no" }.to_string(),
+            yes_no(d.modes.exact),
+            yes_no(d.modes.ng_approximate),
+            yes_no(d.modes.epsilon_approximate),
+            yes_no(d.modes.delta_epsilon),
         ]);
     }
     table
@@ -744,6 +750,151 @@ pub fn fig10_recommendations(scale: ExperimentScale) -> ResultTable {
     table
 }
 
+/// The mode ladder the approximate-answering trade-off sweeps: ng-approximate,
+/// an ε ladder, and one δ-ε point (the sequel's headline figure shape).
+pub fn approx_mode_ladder() -> Vec<AnswerMode> {
+    vec![
+        AnswerMode::NgApproximate,
+        AnswerMode::EpsilonApproximate { epsilon: 0.05 },
+        AnswerMode::EpsilonApproximate { epsilon: 0.1 },
+        AnswerMode::EpsilonApproximate { epsilon: 0.25 },
+        AnswerMode::EpsilonApproximate { epsilon: 0.5 },
+        AnswerMode::EpsilonApproximate { epsilon: 1.0 },
+        AnswerMode::DeltaEpsilon {
+            delta: 0.9,
+            epsilon: 0.5,
+        },
+    ]
+}
+
+/// The approximate-answering trade-off (the sequel study's headline figure):
+/// for every mode-capable method, sweep ε (plus the ng and δ-ε points) and
+/// report the mean error ratio and the speedup against the same method's
+/// exact run — wall-clock and, deterministically, the ratio of raw series
+/// examined. Exact results are validated unchanged on the way: the ε = 0 run
+/// must answer bit-identically to the exact run, or this function panics.
+///
+/// Returns the result table plus a JSON rendering (written by the
+/// `exp_approx_tradeoff` binary and uploaded as a CI artifact).
+pub fn approx_tradeoff(scale: ExperimentScale) -> (ResultTable, String) {
+    use std::fmt::Write as _;
+
+    let dataset = synth_dataset(scale.base_series, 128);
+    let workload = rand_workload(&dataset, scale.queries.min(20));
+    let queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+    let parallelism = Parallelism::from_env();
+
+    let mut table = ResultTable::new(
+        "Approximate answering trade-off — error ratio and speedup vs exact",
+        &[
+            "method",
+            "mode",
+            "mean_error_ratio",
+            "speedup_wall",
+            "examined_ratio",
+            "mean_pruning",
+        ],
+    );
+    let mut json_rows = String::new();
+    for kind in MethodKind::ALL {
+        if !kind.modes().any_approximate() {
+            continue;
+        }
+        let mut engine = kind.engine(&dataset, &default_options()).expect("build");
+
+        let exact = engine
+            .answer_workload(&queries, parallelism)
+            .expect("exact workload");
+        let exact_wall: f64 = exact.iter().map(|a| a.wall_time.as_secs_f64()).sum();
+        let exact_examined: u64 = exact.iter().map(|a| a.stats.raw_series_examined).sum();
+
+        // Exact results validated unchanged: ε = 0 must be bit-identical.
+        let zero_queries: Vec<Query> = queries
+            .iter()
+            .map(|q| {
+                q.clone()
+                    .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 })
+            })
+            .collect();
+        let zero = engine
+            .answer_workload(&zero_queries, parallelism)
+            .expect("eps:0 workload");
+        for (qi, (e, z)) in exact.iter().zip(&zero).enumerate() {
+            assert_eq!(
+                e.answers.answers(),
+                z.answers.answers(),
+                "{}: eps:0 diverged from exact on query {qi}",
+                kind.name()
+            );
+            assert_eq!(
+                e.stats.raw_series_examined,
+                z.stats.raw_series_examined,
+                "{}: eps:0 work diverged from exact on query {qi}",
+                kind.name()
+            );
+        }
+
+        for mode in approx_mode_ladder() {
+            let mode_queries: Vec<Query> =
+                queries.iter().map(|q| q.clone().with_mode(mode)).collect();
+            let run = engine
+                .answer_workload(&mode_queries, parallelism)
+                .unwrap_or_else(|e| panic!("{} {mode} workload: {e}", kind.name()));
+            let wall: f64 = run.iter().map(|a| a.wall_time.as_secs_f64()).sum();
+            let examined: u64 = run.iter().map(|a| a.stats.raw_series_examined).sum();
+            let mean_error_ratio = run
+                .iter()
+                .zip(&exact)
+                .filter_map(|(a, e)| a.answers.error_ratio_vs(&e.answers))
+                .sum::<f64>()
+                / run.len().max(1) as f64;
+            let speedup_wall = exact_wall / wall.max(1e-12);
+            let examined_ratio = examined as f64 / exact_examined.max(1) as f64;
+            let mean_pruning = run
+                .iter()
+                .map(|a| a.stats.pruning_ratio(dataset.len()))
+                .sum::<f64>()
+                / run.len().max(1) as f64;
+            table.push_row(vec![
+                kind.name().to_string(),
+                mode.to_string(),
+                format!("{mean_error_ratio:.4}"),
+                format!("{speedup_wall:.2}"),
+                format!("{examined_ratio:.4}"),
+                fmt_pct(mean_pruning),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            let _ = write!(
+                json_rows,
+                r#"    {{"method": "{}", "mode": "{mode}", "mean_error_ratio": {mean_error_ratio:.6}, "speedup_wall": {speedup_wall:.4}, "examined_ratio": {examined_ratio:.6}, "mean_pruning": {mean_pruning:.6}}}"#,
+                kind.name()
+            );
+        }
+    }
+    let json = format!(
+        r#"{{
+  "bench": "approx_tradeoff",
+  "generated_by": "cargo run --release --bin exp_approx_tradeoff",
+  "dataset": {{"kind": "random-walk", "series": {}, "length": 128}},
+  "queries": {},
+  "exact_validated": true,
+  "rows": [
+{json_rows}
+  ]
+}}
+"#,
+        scale.base_series,
+        scale.queries.min(20),
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +926,27 @@ mod tests {
         let text = t.to_text();
         assert!(text.contains("UCR-Suite"));
         assert!(text.contains("iSAX2+"));
+        assert!(text.contains("delta-eps-approximate"));
+    }
+
+    #[test]
+    fn approx_tradeoff_covers_every_capable_method_and_mode() {
+        let (t, json) = approx_tradeoff(tiny());
+        let capable = MethodKind::ALL
+            .iter()
+            .filter(|k| k.modes().any_approximate())
+            .count();
+        assert_eq!(t.num_rows(), capable * approx_mode_ladder().len());
+        assert!(json.contains("\"bench\": \"approx_tradeoff\""));
+        assert!(json.contains("\"mode\": \"ng\""));
+        assert!(json.contains("deltaeps:0.9,0.5"));
+        // Every error ratio is at least 1 (approximate answers are never
+        // better than exact). Index from the end of the line: the deltaeps
+        // mode cell itself contains a (quoted) comma.
+        for line in t.to_csv().lines().skip(1) {
+            let ratio: f64 = line.rsplit(',').nth(3).unwrap().parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-9, "{line}");
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use crate::registry::{MethodKind, SnapshotOutcome};
 use hydra_core::{
-    BuildOptions, Dataset, IoSnapshot, Parallelism, Query, QueryEngine, QueryStats, Result,
+    AnswerMode, BuildOptions, Dataset, IoSnapshot, Parallelism, Query, QueryEngine, QueryStats,
+    Result,
 };
 use hydra_data::QueryWorkload;
 use hydra_storage::{CostModel, DatasetStore, StorageProfile};
@@ -220,29 +221,49 @@ pub fn run_build(
 /// Runs a 1-NN query workload through an engine, measuring each query.
 ///
 /// The worker-thread count comes from the environment (`HYDRA_THREADS`, set
-/// by the binaries' `--threads` flag; serial when unset), so every existing
-/// experiment runs parallel without code changes. See [`run_queries_with`]
-/// for the measurement rules.
+/// by the binaries' `--threads` flag; serial when unset), and so does the
+/// answering mode (`HYDRA_MODE`, set by `--mode`; exact when unset) — every
+/// existing experiment runs parallel and mode-aware without code changes.
+/// See [`run_queries_with_mode`] for the measurement rules.
 pub fn run_queries(
     engine: &mut QueryEngine,
     workload: &QueryWorkload,
 ) -> Result<WorkloadMeasurement> {
-    run_queries_with(engine, workload, Parallelism::from_env())
+    run_queries_with_mode(
+        engine,
+        workload,
+        Parallelism::from_env(),
+        crate::cli::mode_from_env(),
+    )
 }
 
 /// Runs a 1-NN query workload through an engine with an explicit thread
-/// count, measuring each query.
+/// count in exact mode, measuring each query (see
+/// [`run_queries_with_mode`]).
+pub fn run_queries_with(
+    engine: &mut QueryEngine,
+    workload: &QueryWorkload,
+    parallelism: Parallelism,
+) -> Result<WorkloadMeasurement> {
+    run_queries_with_mode(engine, workload, parallelism, AnswerMode::Exact)
+}
+
+/// Runs a 1-NN query workload through an engine with an explicit thread
+/// count and answering mode, measuring each query.
 ///
 /// The engine resets each worker's counter shard before each query and
 /// reconciles store-side traffic with the stats the method recorded itself,
 /// so the measurement here is a straight read-out, and per-query work
 /// counters are identical for every `parallelism` (only wall-clock `cpu_time`
 /// varies with scheduling). The method kind is recovered from the engine's
-/// descriptor, so it cannot drift from the engine the caller passes.
-pub fn run_queries_with(
+/// descriptor, so it cannot drift from the engine the caller passes. A mode
+/// outside the method's capabilities is a typed `UnsupportedMode` error
+/// (the engine's strict fallback policy), never a silent exact run.
+pub fn run_queries_with_mode(
     engine: &mut QueryEngine,
     workload: &QueryWorkload,
     parallelism: Parallelism,
+    mode: AnswerMode,
 ) -> Result<WorkloadMeasurement> {
     let name = engine.descriptor().name;
     let kind = MethodKind::from_name(name).ok_or_else(|| {
@@ -252,8 +273,8 @@ pub fn run_queries_with(
     let query_list: Vec<Query> = workload
         .queries()
         .iter()
-        .map(|series| Query::nearest_neighbor(series.clone()))
-        .collect();
+        .map(|series| Query::nearest_neighbor(series.clone()).try_with_mode(mode))
+        .collect::<Result<_>>()?;
     let queries = engine
         .answer_workload(&query_list, parallelism)?
         .into_iter()
@@ -344,6 +365,42 @@ mod tests {
         }
         assert_eq!(parallel.total_io(), serial.total_io());
         assert!((parallel.mean_pruning_ratio() - serial.mean_pruning_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_aware_runs_route_through_the_engine() {
+        let (data, workload, options) = small_setup();
+        // A capable index answers ng-approximate with far less work.
+        let (mut engine, _) = run_build(MethodKind::DsTree, &data, &options).unwrap();
+        let exact = run_queries_with(&mut engine, &workload, Parallelism::Serial).unwrap();
+        let ng = run_queries_with_mode(
+            &mut engine,
+            &workload,
+            Parallelism::Serial,
+            AnswerMode::NgApproximate,
+        )
+        .unwrap();
+        let exact_examined: u64 = exact
+            .queries
+            .iter()
+            .map(|q| q.stats.raw_series_examined)
+            .sum();
+        let ng_examined: u64 = ng.queries.iter().map(|q| q.stats.raw_series_examined).sum();
+        assert!(
+            ng_examined < exact_examined,
+            "{ng_examined} vs {exact_examined}"
+        );
+        // A scan rejects the mode with a typed error, never a silent run.
+        let (mut scan, _) = run_build(MethodKind::UcrSuite, &data, &options).unwrap();
+        assert!(matches!(
+            run_queries_with_mode(
+                &mut scan,
+                &workload,
+                Parallelism::Serial,
+                AnswerMode::NgApproximate
+            ),
+            Err(hydra_core::Error::UnsupportedMode { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! code path the harness, the experiment binaries and the examples all drive.
 
 use hydra_core::persist::PersistentIndex;
-use hydra_core::{AnsweringMethod, BuildOptions, Dataset, QueryEngine, Result, RunClock};
+use hydra_core::{
+    AnswerMode, AnsweringMethod, BuildOptions, Dataset, ModeCapabilities, QueryEngine, Result,
+    RunClock,
+};
 use hydra_dstree::DsTree;
 use hydra_isax::{AdsPlus, Isax2Plus};
 use hydra_mtree::MTree;
@@ -99,6 +102,24 @@ impl MethodKind {
             self,
             MethodKind::UcrSuite | MethodKind::Mass | MethodKind::Stepwise
         )
+    }
+
+    /// The answering modes this method supports (matches the built method's
+    /// `descriptor().modes`, checked in the tests): the scans and multi-step
+    /// filters are exact-only; the tree indexes and the VA+file answer every
+    /// mode.
+    pub fn modes(&self) -> ModeCapabilities {
+        match self {
+            MethodKind::UcrSuite | MethodKind::Mass | MethodKind::Stepwise => {
+                ModeCapabilities::exact_only()
+            }
+            _ => ModeCapabilities::all(),
+        }
+    }
+
+    /// Whether this method can answer queries in `mode`.
+    pub fn supports_mode(&self, mode: AnswerMode) -> bool {
+        self.modes().supports(mode)
     }
 
     /// Method-appropriate build options derived from shared defaults: the SFA
@@ -405,6 +426,24 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_mode_capabilities_match_the_built_descriptors() {
+        let data = RandomWalkGenerator::new(1, 32).dataset(60);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(30);
+        for kind in MethodKind::ALL {
+            let method = kind.build_boxed(&data, &options).unwrap();
+            assert_eq!(
+                method.descriptor().modes,
+                kind.modes(),
+                "{} capability drift between registry and descriptor",
+                kind.name()
+            );
+            assert!(kind.supports_mode(AnswerMode::Exact), "{}", kind.name());
+        }
     }
 
     #[test]

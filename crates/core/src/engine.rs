@@ -19,12 +19,12 @@
 //! * per-query stats are merged into a running total, giving workload-level
 //!   aggregates (mean pruning ratio, total I/O) for free.
 
-use crate::knn::AnswerSet;
+use crate::knn::{AnswerSet, Guarantee};
 use crate::method::{AnsweringMethod, IndexFootprint, MethodDescriptor};
 use crate::parallel::{self, Parallelism};
-use crate::query::Query;
+use crate::query::{AnswerMode, Query};
 use crate::stats::{IoSnapshot, QueryStats};
-use crate::Result;
+use crate::{Error, Result};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -71,12 +71,30 @@ pub trait IoSource: Send + Sync {
     }
 }
 
-/// The result of one engine-driven query: the exact answers plus the
-/// reconciled measurements.
+/// What the engine does with a query whose [`AnswerMode`] the method does not
+/// support.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Reject with a typed [`Error::UnsupportedMode`] (the default: an
+    /// approximate request must never silently degrade to a slower — or a
+    /// differently-guaranteed — answer).
+    #[default]
+    Strict,
+    /// Answer the query exactly instead. The returned [`EngineAnswer`] then
+    /// carries [`Guarantee::Exact`], so the substitution stays visible.
+    ExactFallback,
+}
+
+/// The result of one engine-driven query: the answers (tagged with the
+/// guarantee they satisfy) plus the reconciled measurements.
 #[derive(Clone, Debug)]
 pub struct EngineAnswer {
-    /// The exact answer set.
+    /// The answer set.
     pub answers: AnswerSet,
+    /// The guarantee the answers actually satisfy (copied from the answer
+    /// set; [`Guarantee::Exact`] when an unsupported mode fell back to exact
+    /// search under [`FallbackPolicy::ExactFallback`]).
+    pub guarantee: Guarantee,
     /// Work counters for this query, with I/O reconciled against the store.
     pub stats: QueryStats,
     /// Wall-clock time of the dyn `answer` call.
@@ -91,6 +109,7 @@ pub struct QueryEngine {
     dataset_size: usize,
     build_time: Duration,
     build_io: IoSnapshot,
+    fallback: FallbackPolicy,
     totals: QueryStats,
     queries_answered: u64,
 }
@@ -105,6 +124,7 @@ impl QueryEngine {
             dataset_size,
             build_time: Duration::ZERO,
             build_io: IoSnapshot::default(),
+            fallback: FallbackPolicy::Strict,
             totals: QueryStats::default(),
             queries_answered: 0,
         }
@@ -123,6 +143,18 @@ impl QueryEngine {
         self.build_time = build_time;
         self.build_io = build_io;
         self
+    }
+
+    /// Sets what happens when a query's [`AnswerMode`] is outside the
+    /// method's capabilities (default: [`FallbackPolicy::Strict`]).
+    pub fn with_fallback_policy(mut self, fallback: FallbackPolicy) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// The configured fallback policy.
+    pub fn fallback_policy(&self) -> FallbackPolicy {
+        self.fallback
     }
 
     /// The method's static description.
@@ -181,16 +213,21 @@ impl QueryEngine {
         self.queries_answered = 0;
     }
 
-    /// Answers an exact query, measuring it and folding the stats into the
-    /// running totals.
+    /// Answers a query in its requested mode, measuring it and folding the
+    /// stats into the running totals.
     pub fn answer(&mut self, query: &Query) -> Result<EngineAnswer> {
-        let answered = measure_query(self.method.as_ref(), self.io.as_deref(), query)?;
+        let answered = measure_query(
+            self.method.as_ref(),
+            self.io.as_deref(),
+            query,
+            self.fallback,
+        )?;
         self.totals.merge(&answered.stats);
         self.queries_answered += 1;
         Ok(answered)
     }
 
-    /// Answers an exact query, discarding the measurements.
+    /// Answers a query, discarding the measurements.
     pub fn answer_simple(&mut self, query: &Query) -> Result<AnswerSet> {
         Ok(self.answer(query)?.answers)
     }
@@ -228,6 +265,7 @@ impl QueryEngine {
         }
         let method: &dyn AnsweringMethod = self.method.as_ref();
         let io = self.io.as_deref();
+        let fallback = self.fallback;
         // Like the serial loop, stop issuing work after the first failure.
         // A worker that observes the flag marks its query skipped (`None`)
         // instead of answering it.
@@ -237,7 +275,7 @@ impl QueryEngine {
                 if abort.load(std::sync::atomic::Ordering::Relaxed) {
                     return None;
                 }
-                let result = measure_query(method, io, &queries[i]);
+                let result = measure_query(method, io, &queries[i], fallback);
                 if result.is_err() {
                     abort.store(true, std::sync::atomic::Ordering::Relaxed);
                 }
@@ -252,7 +290,7 @@ impl QueryEngine {
                 // have answered it, so repair it here on the calling thread.
                 // (Skips above the first error are unreachable: the `?` on
                 // that error returns first.)
-                None => measure_query(method, io, &queries[i])?,
+                None => measure_query(method, io, &queries[i], fallback)?,
             };
             self.totals.merge(&answered.stats);
             self.queries_answered += 1;
@@ -262,15 +300,37 @@ impl QueryEngine {
     }
 }
 
-/// Measures one query on the calling thread: resets the calling thread's I/O
-/// shard, times the dyn call, and reconciles store-side traffic into the
-/// stats. Used by both the serial [`QueryEngine::answer`] path and the
-/// workload workers, so the two produce identical per-query measurements.
+/// Measures one query on the calling thread: enforces the method's mode and
+/// query-kind capabilities, resets the calling thread's I/O shard, times the
+/// dyn call, and reconciles store-side traffic into the stats. Used by both
+/// the serial [`QueryEngine::answer`] path and the workload workers, so the
+/// two produce identical per-query measurements.
 fn measure_query(
     method: &dyn AnsweringMethod,
     io: Option<&dyn IoSource>,
     query: &Query,
+    fallback: FallbackPolicy,
 ) -> Result<EngineAnswer> {
+    let descriptor = method.descriptor();
+    // Range queries are a typed error at the engine boundary: no method in
+    // the suite answers them (previously they silently became 1-NN queries).
+    query.knn_k(descriptor.name)?;
+    // An unsupported mode is a typed error too, unless the caller explicitly
+    // opted into the exact fallback.
+    let exact_substitute;
+    let query = if descriptor.modes.supports(query.mode()) {
+        query
+    } else {
+        match fallback {
+            FallbackPolicy::Strict => {
+                return Err(Error::unsupported_mode(descriptor.name, query.mode()))
+            }
+            FallbackPolicy::ExactFallback => {
+                exact_substitute = query.clone().with_mode(AnswerMode::Exact);
+                &exact_substitute
+            }
+        }
+    };
     if let Some(io) = io {
         io.reset_thread_io();
     }
@@ -290,6 +350,7 @@ fn measure_query(
         }
     }
     Ok(EngineAnswer {
+        guarantee: answers.guarantee(),
         answers,
         stats,
         wall_time,
@@ -325,7 +386,7 @@ mod tests {
                 name: "BruteForce",
                 representation: "raw",
                 is_index: false,
-                supports_approximate: false,
+                modes: crate::method::ModeCapabilities::exact_only(),
             }
         }
 
@@ -467,7 +528,7 @@ mod tests {
                     name: "StatsHeavy",
                     representation: "raw",
                     is_index: false,
-                    supports_approximate: false,
+                    modes: crate::method::ModeCapabilities::exact_only(),
                 }
             }
             fn answer(&self, _q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
@@ -551,7 +612,7 @@ mod tests {
                     name: "Picky",
                     representation: "raw",
                     is_index: false,
-                    supports_approximate: false,
+                    modes: crate::method::ModeCapabilities::exact_only(),
                 }
             }
             fn answer(&self, q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
@@ -584,7 +645,7 @@ mod tests {
                     name: "Pruner",
                     representation: "raw",
                     is_index: true,
-                    supports_approximate: false,
+                    modes: crate::method::ModeCapabilities::exact_only(),
                 }
             }
             fn answer(&self, _q: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
@@ -597,5 +658,61 @@ mod tests {
         e.answer(&q).unwrap();
         e.answer(&q).unwrap();
         assert!((e.mean_pruning_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_modes_are_typed_errors_under_the_strict_policy() {
+        let mut e = engine();
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]))
+            .with_mode(AnswerMode::NgApproximate);
+        match e.answer(&q) {
+            Err(Error::UnsupportedMode { method, mode }) => {
+                assert_eq!(method, "BruteForce");
+                assert_eq!(mode, AnswerMode::NgApproximate);
+            }
+            other => panic!("expected UnsupportedMode, got {other:?}"),
+        }
+        // The failed query is not counted.
+        assert_eq!(e.queries_answered(), 0);
+        // The workload driver surfaces the same error.
+        assert!(matches!(
+            e.answer_workload(std::slice::from_ref(&q), Parallelism::Threads(2)),
+            Err(Error::UnsupportedMode { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_fallback_answers_exactly_and_says_so() {
+        let mut e = engine().with_fallback_policy(FallbackPolicy::ExactFallback);
+        assert_eq!(e.fallback_policy(), FallbackPolicy::ExactFallback);
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]))
+            .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.5 });
+        let a = e.answer(&q).unwrap();
+        assert_eq!(a.guarantee, Guarantee::Exact, "the substitution is visible");
+        assert_eq!(a.answers.nearest().unwrap().id, 1);
+        assert_eq!(a.stats.raw_series_examined, 4, "fell back to a full scan");
+    }
+
+    #[test]
+    fn range_queries_are_typed_errors_at_the_engine_boundary() {
+        let mut e = engine();
+        let q = Query::range(Series::new(vec![0.9, 0.9]), 2.0);
+        match e.answer(&q) {
+            Err(Error::UnsupportedQuery { method, reason }) => {
+                assert_eq!(method, "BruteForce");
+                assert!(reason.contains("range"), "{reason}");
+            }
+            other => panic!("expected UnsupportedQuery, got {other:?}"),
+        }
+        assert_eq!(e.queries_answered(), 0);
+    }
+
+    #[test]
+    fn engine_answers_carry_the_guarantee_tag() {
+        let mut e = engine();
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]));
+        let a = e.answer(&q).unwrap();
+        assert_eq!(a.guarantee, Guarantee::Exact);
+        assert_eq!(a.answers.guarantee(), Guarantee::Exact);
     }
 }

@@ -36,6 +36,23 @@ pub enum Error {
     /// A structurally valid snapshot that does not describe the requested
     /// index: different method, dataset fingerprint, or build options.
     StaleSnapshot(String),
+    /// The method cannot answer queries in the requested
+    /// [`crate::query::AnswerMode`] (and no exact fallback was requested via
+    /// [`crate::engine::FallbackPolicy`]).
+    UnsupportedMode {
+        /// The method that rejected the query.
+        method: &'static str,
+        /// The requested answering mode.
+        mode: crate::query::AnswerMode,
+    },
+    /// The method cannot answer this kind of query at all (e.g. a range query
+    /// posed to a k-NN-only method).
+    UnsupportedQuery {
+        /// The method that rejected the query.
+        method: &'static str,
+        /// Why the query is unanswerable.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -44,6 +61,19 @@ impl Error {
         Error::InvalidParameter {
             name,
             message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for unsupported-mode errors.
+    pub fn unsupported_mode(method: &'static str, mode: crate::query::AnswerMode) -> Self {
+        Error::UnsupportedMode { method, mode }
+    }
+
+    /// Convenience constructor for unsupported-query errors.
+    pub fn unsupported_query(method: &'static str, reason: impl Into<String>) -> Self {
+        Error::UnsupportedQuery {
+            method,
+            reason: reason.into(),
         }
     }
 }
@@ -66,6 +96,12 @@ impl fmt::Display for Error {
             Error::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
             Error::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
             Error::StaleSnapshot(msg) => write!(f, "stale snapshot: {msg}"),
+            Error::UnsupportedMode { method, mode } => {
+                write!(f, "{method} does not support {mode} answering")
+            }
+            Error::UnsupportedQuery { method, reason } => {
+                write!(f, "{method} cannot answer this query: {reason}")
+            }
         }
     }
 }
@@ -115,6 +151,14 @@ mod tests {
         assert!(Error::StaleSnapshot("dataset fingerprint".into())
             .to_string()
             .contains("dataset fingerprint"));
+
+        let e = Error::unsupported_mode("UCR-Suite", crate::query::AnswerMode::NgApproximate);
+        assert!(e.to_string().contains("UCR-Suite"));
+        assert!(e.to_string().contains("ng"));
+
+        let e = Error::unsupported_query("M-tree", "range queries are not supported");
+        assert!(e.to_string().contains("M-tree"));
+        assert!(e.to_string().contains("range"));
     }
 
     #[test]

@@ -20,22 +20,78 @@ impl Answer {
     }
 }
 
-/// The completed answer set of a query, sorted by increasing distance.
+/// The guarantee an [`AnswerSet`] actually satisfies, attached by the method
+/// that produced it (mirrors [`crate::query::AnswerMode`], which describes
+/// what the caller *asked* for).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Guarantee {
+    /// The answers are the true k nearest neighbours.
+    #[default]
+    Exact,
+    /// No guarantee: the answers come from a single-leaf (ng-approximate)
+    /// visit.
+    None,
+    /// Every answer distance is within a factor `(1 + epsilon)` of the
+    /// corresponding exact distance.
+    EpsilonBound {
+        /// The relative error bound.
+        epsilon: f64,
+    },
+    /// The δ-ε relaxation: the *target* contract is "with probability at
+    /// least `delta`, every answer distance is within a factor
+    /// `(1 + epsilon)` of exact". The current implementation is a
+    /// deterministic stand-in for the sequel's histogram-based early stop —
+    /// pruning thresholds are scaled by `delta` (see
+    /// [`crate::query::AnswerMode::DeltaEpsilon`]) — so the hard bound it
+    /// actually provides is the weaker `(1 + epsilon) / delta` factor, not a
+    /// per-query probability. Treat the tag as "ε-relaxed with confidence
+    /// knob δ", not as a verified probabilistic guarantee.
+    ProbabilisticEpsilonBound {
+        /// The confidence level.
+        delta: f64,
+        /// The relative error bound.
+        epsilon: f64,
+    },
+}
+
+impl Guarantee {
+    /// Whether this guarantee promises the exact answer.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Guarantee::Exact)
+    }
+}
+
+/// The completed answer set of a query, sorted by increasing distance, tagged
+/// with the [`Guarantee`] it satisfies.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct AnswerSet {
     answers: Vec<Answer>,
+    guarantee: Guarantee,
 }
 
 impl AnswerSet {
-    /// Creates an answer set from unsorted answers.
+    /// Creates an answer set from unsorted answers (guarantee:
+    /// [`Guarantee::Exact`]; approximate producers override it with
+    /// [`AnswerSet::with_guarantee`]).
     pub fn from_unsorted(mut answers: Vec<Answer>) -> Self {
-        answers.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        Self { answers }
+        answers.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        Self {
+            answers,
+            guarantee: Guarantee::Exact,
+        }
+    }
+
+    /// Tags the answer set with the guarantee it satisfies.
+    pub fn with_guarantee(mut self, guarantee: Guarantee) -> Self {
+        self.guarantee = guarantee;
+        self
+    }
+
+    /// The guarantee these answers satisfy.
+    #[inline]
+    pub fn guarantee(&self) -> Guarantee {
+        self.guarantee
     }
 
     /// The answers, sorted by increasing distance (ties broken by id).
@@ -83,6 +139,34 @@ impl AnswerSet {
                 .iter()
                 .zip(other.answers.iter())
                 .all(|(a, b)| (a.distance - b.distance).abs() <= tolerance)
+    }
+
+    /// The error ratio of this (approximate) answer set against the `exact`
+    /// one: the mean of `approx_distance / exact_distance` over the paired
+    /// answer ranks (the sequel study's quality measure; `1.0` means the
+    /// approximate answers are in fact exact).
+    ///
+    /// Pairs where both distances are zero contribute `1.0`; pairs where only
+    /// the exact distance is zero contribute `+inf`. Returns `None` when
+    /// either set is empty.
+    pub fn error_ratio_vs(&self, exact: &AnswerSet) -> Option<f64> {
+        let pairs = self.answers.iter().zip(exact.answers.iter());
+        let n = self.len().min(exact.len());
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = pairs
+            .map(|(a, e)| {
+                if e.distance > 0.0 {
+                    a.distance / e.distance
+                } else if a.distance <= 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .sum();
+        Some(sum / n as f64)
     }
 }
 
@@ -356,5 +440,35 @@ mod tests {
         h.offer(0, 1.0);
         let set: AnswerSet = h.into();
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn guarantee_defaults_to_exact_and_tags_travel_with_the_set() {
+        let set = AnswerSet::from_unsorted(vec![Answer::new(0, 1.0)]);
+        assert_eq!(set.guarantee(), Guarantee::Exact);
+        assert!(set.guarantee().is_exact());
+        let tagged = set.with_guarantee(Guarantee::EpsilonBound { epsilon: 0.5 });
+        assert_eq!(tagged.guarantee(), Guarantee::EpsilonBound { epsilon: 0.5 });
+        assert!(!tagged.guarantee().is_exact());
+        // The guarantee participates in equality: an approximate set is not
+        // "equal" to an exact set with the same distances.
+        let exact = AnswerSet::from_unsorted(vec![Answer::new(0, 1.0)]);
+        assert_ne!(tagged, exact);
+    }
+
+    #[test]
+    fn error_ratio_vs_exact() {
+        let exact = AnswerSet::from_unsorted(vec![Answer::new(0, 1.0), Answer::new(1, 2.0)]);
+        let approx = AnswerSet::from_unsorted(vec![Answer::new(3, 1.5), Answer::new(4, 2.0)]);
+        let ratio = approx.error_ratio_vs(&exact).unwrap();
+        assert!((ratio - 1.25).abs() < 1e-12);
+        // Both zero: counts as exact.
+        let z = AnswerSet::from_unsorted(vec![Answer::new(0, 0.0)]);
+        assert_eq!(z.error_ratio_vs(&z).unwrap(), 1.0);
+        // Only the exact distance zero: infinite error.
+        let far = AnswerSet::from_unsorted(vec![Answer::new(9, 3.0)]);
+        assert!(far.error_ratio_vs(&z).unwrap().is_infinite());
+        // Empty sets have no ratio.
+        assert_eq!(AnswerSet::default().error_ratio_vs(&exact), None);
     }
 }

@@ -10,8 +10,9 @@
 //! * Euclidean distance kernels, including the UCR-Suite optimizations
 //!   (no square root, early abandoning, reordered early abandoning) in
 //!   [`distance`],
-//! * the similarity query model (k-NN and r-range queries, whole matching)
-//!   in [`query`],
+//! * the similarity query model (k-NN and r-range queries, whole matching,
+//!   and the exact / ng-approximate / ε- / δ-ε-approximate answering modes of
+//!   the sequel study) in [`query`],
 //! * the common interface implemented by every method evaluated in the paper
 //!   ([`AnsweringMethod`], [`ExactIndex`]) in [`method`],
 //! * the unified dyn-dispatch query driver ([`QueryEngine`]) that answers and
@@ -46,12 +47,14 @@ pub use distance::{
     euclidean, euclidean_early_abandon, euclidean_reordered, squared_euclidean,
     squared_euclidean_early_abandon, QueryOrder,
 };
-pub use engine::{EngineAnswer, IoSource, QueryEngine};
+pub use engine::{EngineAnswer, FallbackPolicy, IoSource, QueryEngine};
 pub use error::{Error, Result};
-pub use knn::{Answer, AnswerSet, KnnHeap};
-pub use method::{AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor};
+pub use knn::{Answer, AnswerSet, Guarantee, KnnHeap};
+pub use method::{
+    AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor, ModeCapabilities,
+};
 pub use parallel::Parallelism;
 pub use persist::{PersistentIndex, SnapshotSink, SnapshotSource};
-pub use query::{MatchingKind, Query, QueryKind, RangeQuery};
+pub use query::{AnswerMode, MatchingKind, Query, QueryKind};
 pub use series::{Dataset, Series, SeriesView};
 pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

@@ -1,18 +1,73 @@
 //! The common interface implemented by every similarity search method.
 //!
 //! Each of the paper's ten methods — whether it is a sequential scan, a
-//! multi-step filter or a pre-built index — answers exact whole-matching k-NN
-//! queries. The harness drives all of them through [`AnsweringMethod`];
-//! methods that build a persistent structure additionally implement
-//! [`ExactIndex`] and report their footprint through [`IndexFootprint`].
+//! multi-step filter or a pre-built index — answers whole-matching k-NN
+//! queries in the [`AnswerMode`]s its [`ModeCapabilities`] declare. The
+//! harness drives all of them through [`AnsweringMethod`]; methods that build
+//! a persistent structure additionally implement [`ExactIndex`] and report
+//! their footprint through [`IndexFootprint`].
 
 use crate::knn::AnswerSet;
-use crate::query::Query;
+use crate::query::{AnswerMode, Query};
 use crate::series::Dataset;
 use crate::stats::QueryStats;
 use crate::Result;
 
-/// Static description of a method, mirroring Table 1 of the paper.
+/// The set of [`AnswerMode`]s a method can answer, declared on its
+/// [`MethodDescriptor`] and enforced at the engine boundary (a mode outside
+/// the set is a typed [`crate::Error::UnsupportedMode`], never a silent exact
+/// fallback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModeCapabilities {
+    /// Exact search (every method in the suite supports it).
+    pub exact: bool,
+    /// ng-approximate (single covering leaf) search.
+    pub ng_approximate: bool,
+    /// ε-approximate search (relaxed-pruning frontier traversal).
+    pub epsilon_approximate: bool,
+    /// δ-ε-approximate search (probabilistically relaxed ε search).
+    pub delta_epsilon: bool,
+}
+
+impl ModeCapabilities {
+    /// Exact search only (the scans and multi-step filters).
+    pub const fn exact_only() -> Self {
+        Self {
+            exact: true,
+            ng_approximate: false,
+            epsilon_approximate: false,
+            delta_epsilon: false,
+        }
+    }
+
+    /// Every mode (the tree indexes).
+    pub const fn all() -> Self {
+        Self {
+            exact: true,
+            ng_approximate: true,
+            epsilon_approximate: true,
+            delta_epsilon: true,
+        }
+    }
+
+    /// Whether queries in `mode` are answerable.
+    pub fn supports(&self, mode: AnswerMode) -> bool {
+        match mode {
+            AnswerMode::Exact => self.exact,
+            AnswerMode::NgApproximate => self.ng_approximate,
+            AnswerMode::EpsilonApproximate { .. } => self.epsilon_approximate,
+            AnswerMode::DeltaEpsilon { .. } => self.delta_epsilon,
+        }
+    }
+
+    /// Whether any approximate mode is supported.
+    pub fn any_approximate(&self) -> bool {
+        self.ng_approximate || self.epsilon_approximate || self.delta_epsilon
+    }
+}
+
+/// Static description of a method, mirroring Table 1 of the paper (extended
+/// with the answering-mode capabilities of the sequel study).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MethodDescriptor {
     /// Canonical method name (e.g. `"iSAX2+"`, `"UCR-Suite"`).
@@ -23,9 +78,8 @@ pub struct MethodDescriptor {
     /// Whether the method builds a persistent index structure
     /// (false for sequential / multi-step scans).
     pub is_index: bool,
-    /// Whether the method supports ng-approximate query answering in addition
-    /// to exact answers.
-    pub supports_approximate: bool,
+    /// The answering modes the method supports.
+    pub modes: ModeCapabilities,
 }
 
 /// Options that control index construction, common across methods.
@@ -170,7 +224,9 @@ impl IndexFootprint {
             return 0.0;
         }
         let mut v = self.leaf_fill_factors.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN fill factor (a degenerate leaf) must not scramble
+        // the sort and with it which element lands in the middle.
+        v.sort_by(|a, b| a.total_cmp(b));
         let mid = v.len() / 2;
         if v.len() % 2 == 1 {
             v[mid]
@@ -194,11 +250,15 @@ impl IndexFootprint {
     }
 }
 
-/// A method able to answer exact whole-matching similarity queries.
+/// A method able to answer whole-matching similarity queries.
 ///
-/// `answer` must return the *exact* answer set (the true k nearest
-/// neighbours); this is the invariant validated throughout the test suite by
-/// comparison against the brute-force scan.
+/// The query's [`AnswerMode`] selects what `answer` must deliver: in
+/// [`AnswerMode::Exact`] it returns the *exact* answer set (the true k
+/// nearest neighbours — the invariant validated throughout the test suite by
+/// comparison against the brute-force scan); in the approximate modes it
+/// returns a set tagged with the [`crate::knn::Guarantee`] it satisfies.
+/// Queries in a mode outside [`MethodDescriptor::modes`] are rejected with a
+/// typed [`crate::Error::UnsupportedMode`].
 ///
 /// The trait is dyn-compatible: the engine and the bench registry drive all
 /// ten methods of the paper uniformly as `Box<dyn AnsweringMethod>`.
@@ -211,10 +271,11 @@ pub trait AnsweringMethod: Send + Sync {
     /// Static description of the method (Table 1 row).
     fn descriptor(&self) -> MethodDescriptor;
 
-    /// Answers an exact query, recording work counters into `stats`.
+    /// Answers a query in its requested mode, recording work counters into
+    /// `stats`.
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet>;
 
-    /// Answers an exact query, discarding statistics.
+    /// Answers a query, discarding statistics.
     fn answer_simple(&self, query: &Query) -> Result<AnswerSet> {
         let mut stats = QueryStats::default();
         self.answer(query, &mut stats)
@@ -249,14 +310,6 @@ pub trait ExactIndex: AnsweringMethod {
 
     /// The series length the index was built for.
     fn series_length(&self) -> usize;
-
-    /// Answers a query approximately by visiting at most one leaf
-    /// (ng-approximate search in the paper's terminology), if supported.
-    ///
-    /// The default implementation reports lack of support by returning `None`.
-    fn answer_approximate(&self, _query: &Query, _stats: &mut QueryStats) -> Option<AnswerSet> {
-        None
-    }
 }
 
 #[cfg(test)]
@@ -322,6 +375,39 @@ mod tests {
     }
 
     #[test]
+    fn median_fill_factor_is_nan_safe() {
+        // A NaN fill factor (a degenerate leaf) must sort deterministically
+        // (total_cmp puts NaN last) instead of scrambling the median.
+        let fp = IndexFootprint {
+            leaf_fill_factors: vec![0.75, f64::NAN, 0.25],
+            ..Default::default()
+        };
+        assert_eq!(fp.median_fill_factor(), 0.75);
+        let fp = IndexFootprint {
+            leaf_fill_factors: vec![f64::NAN, 0.5, 0.25, 1.0],
+            ..Default::default()
+        };
+        // Sorted: 0.25, 0.5, 1.0, NaN → median of the two middle finite values.
+        assert_eq!(fp.median_fill_factor(), 0.75);
+    }
+
+    #[test]
+    fn mode_capabilities_sets() {
+        let scans = ModeCapabilities::exact_only();
+        assert!(scans.supports(crate::query::AnswerMode::Exact));
+        assert!(!scans.supports(crate::query::AnswerMode::NgApproximate));
+        assert!(!scans.any_approximate());
+        let trees = ModeCapabilities::all();
+        assert!(trees.supports(crate::query::AnswerMode::NgApproximate));
+        assert!(trees.supports(crate::query::AnswerMode::EpsilonApproximate { epsilon: 0.1 }));
+        assert!(trees.supports(crate::query::AnswerMode::DeltaEpsilon {
+            delta: 0.9,
+            epsilon: 0.1
+        }));
+        assert!(trees.any_approximate());
+    }
+
+    #[test]
     fn footprint_empty_is_zero() {
         let fp = IndexFootprint::default();
         assert_eq!(fp.mean_fill_factor(), 0.0);
@@ -341,12 +427,12 @@ mod tests {
                 name: "BruteForce",
                 representation: "raw",
                 is_index: false,
-                supports_approximate: false,
+                modes: ModeCapabilities::exact_only(),
             }
         }
 
         fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
-            let k = query.k().unwrap_or(1);
+            let k = query.knn_k("BruteForce")?;
             let mut heap = KnnHeap::new(k);
             for (i, s) in self.data.iter().enumerate() {
                 let d = crate::distance::euclidean(query.values(), s.values());

@@ -1,13 +1,18 @@
 //! Similarity query model.
 //!
 //! The paper (Section 2) distinguishes k-NN queries from r-range queries, and
-//! whole-matching (WM) from subsequence-matching (SM). The experimental study
-//! — and therefore this library's primary code path — focuses on **exact
-//! whole-matching 1-NN queries** under Euclidean distance, but the query model
-//! here covers the full definitions so that range queries and k > 1 are first
-//! class citizens.
+//! whole-matching (WM) from subsequence-matching (SM). Its companion study —
+//! *Return of the Lernaean Hydra* (PVLDB 2019) — additionally distinguishes
+//! **answering modes**: the same index can answer a query exactly, or
+//! approximately with progressively weaker (but orders-of-magnitude cheaper)
+//! guarantees. Both axes are first class here: a [`Query`] carries the series,
+//! the kind (k-NN or range), the matching kind, and the [`AnswerMode`] the
+//! caller wants, and the whole stack routes on them.
 
+use crate::knn::Guarantee;
 use crate::series::Series;
+use crate::{Error, Result};
+use std::fmt;
 
 /// Whether a query matches whole series or subsequences.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,47 +41,221 @@ pub enum QueryKind {
     },
 }
 
-/// A similarity search query: the query series plus what to retrieve.
+/// The answering mode of a query: what guarantee the caller wants and what
+/// work the method may skip to provide it (the mode spectrum of the sequel
+/// study, Section 2.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AnswerMode {
+    /// The true k nearest neighbours (the primary mode of the source paper).
+    Exact,
+    /// No-guarantees approximate search: visit (at most) the one index leaf
+    /// that covers the query's summarization and return its best candidates.
+    NgApproximate,
+    /// ε-approximate search: every returned distance is within a factor
+    /// `(1 + epsilon)` of the corresponding exact distance. Implemented by
+    /// relaxed pruning — a node is pruned when its lower bound reaches
+    /// `bsf / (1 + ε)` (Def. 5 of the sequel). `epsilon = 0` degenerates to
+    /// exact search.
+    EpsilonApproximate {
+        /// The allowed relative error (≥ 0, finite).
+        epsilon: f64,
+    },
+    /// δ-ε-approximate search: with probability at least `delta` the answer is
+    /// an ε-approximation; with probability `1 - delta` the search may stop
+    /// even earlier. Implemented as ε-relaxed pruning additionally scaled by
+    /// δ (a node is pruned when its lower bound reaches `δ·bsf / (1 + ε)`) —
+    /// a deterministic stand-in for the sequel's histogram-based early stop.
+    /// `delta = 1` degenerates to plain ε-approximate search.
+    DeltaEpsilon {
+        /// The confidence level (in `(0, 1]`).
+        delta: f64,
+        /// The allowed relative error (≥ 0, finite).
+        epsilon: f64,
+    },
+}
+
+impl AnswerMode {
+    /// Whether this mode demands the exact answer.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, AnswerMode::Exact)
+    }
+
+    /// Validates the mode's parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            AnswerMode::Exact | AnswerMode::NgApproximate => Ok(()),
+            AnswerMode::EpsilonApproximate { epsilon } => validate_epsilon(epsilon),
+            AnswerMode::DeltaEpsilon { delta, epsilon } => {
+                validate_epsilon(epsilon)?;
+                if !(delta.is_finite() && delta > 0.0 && delta <= 1.0) {
+                    return Err(Error::invalid_parameter(
+                        "delta",
+                        format!("must be in (0, 1], got {delta}"),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The factor a method multiplies its best-so-far with before comparing
+    /// against a node's lower bound: a node is prunable when
+    /// `lower_bound >= bsf * prune_shrink()`.
+    ///
+    /// `1.0` for exact search (and for the ng descent, which prunes nothing),
+    /// `1 / (1 + ε)` for ε-approximate search, `δ / (1 + ε)` for δ-ε search.
+    /// With `ε = 0` (and `δ = 1`) the factor is exactly `1.0`, so the relaxed
+    /// search is bit-identical to the exact one.
+    #[inline]
+    pub fn prune_shrink(&self) -> f64 {
+        match *self {
+            AnswerMode::Exact | AnswerMode::NgApproximate => 1.0,
+            AnswerMode::EpsilonApproximate { epsilon } => 1.0 / (1.0 + epsilon),
+            AnswerMode::DeltaEpsilon { delta, epsilon } => delta / (1.0 + epsilon),
+        }
+    }
+
+    /// The guarantee a conforming method provides when answering in this mode.
+    pub fn guarantee(&self) -> Guarantee {
+        match *self {
+            AnswerMode::Exact => Guarantee::Exact,
+            AnswerMode::NgApproximate => Guarantee::None,
+            AnswerMode::EpsilonApproximate { epsilon } => Guarantee::EpsilonBound { epsilon },
+            AnswerMode::DeltaEpsilon { delta, epsilon } => {
+                Guarantee::ProbabilisticEpsilonBound { delta, epsilon }
+            }
+        }
+    }
+
+    /// Parses the CLI syntax `exact | ng | eps:<v> | deltaeps:<d>,<e>`.
+    pub fn parse(text: &str) -> Result<AnswerMode> {
+        let bad = |msg: String| Error::invalid_parameter("mode", msg);
+        let mode = match text.trim() {
+            "exact" => AnswerMode::Exact,
+            "ng" => AnswerMode::NgApproximate,
+            other => {
+                if let Some(raw) = other.strip_prefix("eps:") {
+                    let epsilon = raw
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| bad(format!("invalid epsilon {raw:?}")))?;
+                    AnswerMode::EpsilonApproximate { epsilon }
+                } else if let Some(raw) = other.strip_prefix("deltaeps:") {
+                    let (d, e) = raw
+                        .split_once(',')
+                        .ok_or_else(|| bad(format!("expected deltaeps:<d>,<e>, got {other:?}")))?;
+                    let delta = d
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| bad(format!("invalid delta {d:?}")))?;
+                    let epsilon = e
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| bad(format!("invalid epsilon {e:?}")))?;
+                    AnswerMode::DeltaEpsilon { delta, epsilon }
+                } else {
+                    return Err(bad(format!(
+                        "unknown mode {other:?} (expected exact | ng | eps:<v> | deltaeps:<d>,<e>)"
+                    )));
+                }
+            }
+        };
+        mode.validate()?;
+        Ok(mode)
+    }
+}
+
+fn validate_epsilon(epsilon: f64) -> Result<()> {
+    if !(epsilon.is_finite() && epsilon >= 0.0) {
+        return Err(Error::invalid_parameter(
+            "epsilon",
+            format!("must be a non-negative finite value, got {epsilon}"),
+        ));
+    }
+    Ok(())
+}
+
+impl fmt::Display for AnswerMode {
+    /// Formats the mode in the CLI syntax accepted by [`AnswerMode::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AnswerMode::Exact => write!(f, "exact"),
+            AnswerMode::NgApproximate => write!(f, "ng"),
+            AnswerMode::EpsilonApproximate { epsilon } => write!(f, "eps:{epsilon}"),
+            AnswerMode::DeltaEpsilon { delta, epsilon } => write!(f, "deltaeps:{delta},{epsilon}"),
+        }
+    }
+}
+
+/// A similarity search query: the query series plus what to retrieve and
+/// under what answering mode.
 #[derive(Clone, Debug)]
 pub struct Query {
     series: Series,
     kind: QueryKind,
     matching: MatchingKind,
+    mode: AnswerMode,
 }
 
 impl Query {
-    /// Creates a whole-matching k-NN query.
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
-    pub fn knn(series: Series, k: usize) -> Self {
-        assert!(k > 0, "k must be at least 1");
-        Self {
+    /// Creates a whole-matching exact k-NN query, or a typed
+    /// [`Error::InvalidParameter`] when `k == 0`.
+    pub fn try_knn(series: Series, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::invalid_parameter("k", "must be at least 1"));
+        }
+        Ok(Self {
             series,
             kind: QueryKind::Knn { k },
             matching: MatchingKind::Whole,
-        }
+            mode: AnswerMode::Exact,
+        })
     }
 
-    /// Creates a whole-matching 1-NN query (the paper's primary workload).
+    /// Creates a whole-matching exact k-NN query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`; use [`Query::try_knn`] for a fallible variant.
+    pub fn knn(series: Series, k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self::try_knn(series, k).expect("validated above")
+    }
+
+    /// Creates a whole-matching exact 1-NN query (the paper's primary
+    /// workload).
     pub fn nearest_neighbor(series: Series) -> Self {
         Self::knn(series, 1)
+    }
+
+    /// Creates a whole-matching r-range query, or a typed
+    /// [`Error::InvalidParameter`] when `radius` is negative or not finite.
+    pub fn try_range(series: Series, radius: f64) -> Result<Self> {
+        if !(radius.is_finite() && radius >= 0.0) {
+            return Err(Error::invalid_parameter(
+                "radius",
+                format!("must be a non-negative finite value, got {radius}"),
+            ));
+        }
+        Ok(Self {
+            series,
+            kind: QueryKind::Range { radius },
+            matching: MatchingKind::Whole,
+            mode: AnswerMode::Exact,
+        })
     }
 
     /// Creates a whole-matching r-range query.
     ///
     /// # Panics
-    /// Panics if `radius` is negative or not finite.
+    /// Panics if `radius` is negative or not finite; use [`Query::try_range`]
+    /// for a fallible variant.
     pub fn range(series: Series, radius: f64) -> Self {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "radius must be a non-negative finite value"
         );
-        Self {
-            series,
-            kind: QueryKind::Range { radius },
-            matching: MatchingKind::Whole,
-        }
+        Self::try_range(series, radius).expect("validated above")
     }
 
     /// The query series.
@@ -115,6 +294,13 @@ impl Query {
         self.matching
     }
 
+    /// The answering mode ([`AnswerMode::Exact`] unless overridden with
+    /// [`Query::with_mode`]).
+    #[inline]
+    pub fn mode(&self) -> AnswerMode {
+        self.mode
+    }
+
     /// For a k-NN query, the number of neighbours; `None` for range queries.
     #[inline]
     pub fn k(&self) -> Option<usize> {
@@ -122,6 +308,19 @@ impl Query {
             QueryKind::Knn { k } => Some(k),
             QueryKind::Range { .. } => None,
         }
+    }
+
+    /// The `k` of a k-NN query, or a typed [`Error::UnsupportedQuery`] naming
+    /// `method` for range queries.
+    ///
+    /// Every method in the suite answers k-NN queries only; this is the one
+    /// boundary through which they reject range queries (instead of silently
+    /// answering a 1-NN query, as the pre-mode API did).
+    #[inline]
+    pub fn knn_k(&self, method: &'static str) -> Result<usize> {
+        self.k().ok_or_else(|| {
+            Error::unsupported_query(method, "range queries are not supported; use a k-NN query")
+        })
     }
 
     /// For a range query, the radius; `None` for k-NN queries.
@@ -142,36 +341,30 @@ impl Query {
         self
     }
 
+    /// Sets the answering mode.
+    ///
+    /// # Panics
+    /// Panics when the mode's parameters are invalid (negative or non-finite
+    /// `epsilon`, `delta` outside `(0, 1]`); use [`Query::try_with_mode`] for
+    /// a fallible variant (CLI-originated construction goes through
+    /// [`AnswerMode::parse`], which validates already).
+    pub fn with_mode(mut self, mode: AnswerMode) -> Self {
+        mode.validate().expect("invalid answer mode");
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the answering mode, or returns a typed
+    /// [`Error::InvalidParameter`] when the mode's parameters are invalid.
+    pub fn try_with_mode(mut self, mode: AnswerMode) -> Result<Self> {
+        mode.validate()?;
+        self.mode = mode;
+        Ok(self)
+    }
+
     /// Consumes the query and returns its series.
     pub fn into_series(self) -> Series {
         self.series
-    }
-}
-
-/// A standalone r-range query description (convenience type for APIs that
-/// accept only range queries).
-#[derive(Clone, Debug)]
-pub struct RangeQuery {
-    /// The query series.
-    pub series: Series,
-    /// The Euclidean distance radius.
-    pub radius: f64,
-}
-
-impl RangeQuery {
-    /// Creates a new range query.
-    pub fn new(series: Series, radius: f64) -> Self {
-        assert!(
-            radius.is_finite() && radius >= 0.0,
-            "radius must be a non-negative finite value"
-        );
-        Self { series, radius }
-    }
-}
-
-impl From<RangeQuery> for Query {
-    fn from(rq: RangeQuery) -> Self {
-        Query::range(rq.series, rq.radius)
     }
 }
 
@@ -192,6 +385,8 @@ mod tests {
         assert!(!q.is_empty());
         assert_eq!(q.matching(), MatchingKind::Whole);
         assert_eq!(q.kind(), QueryKind::Knn { k: 5 });
+        assert_eq!(q.mode(), AnswerMode::Exact);
+        assert_eq!(q.knn_k("test").unwrap(), 5);
     }
 
     #[test]
@@ -207,10 +402,28 @@ mod tests {
     }
 
     #[test]
+    fn try_knn_returns_a_typed_error_instead_of_panicking() {
+        assert!(matches!(
+            Query::try_knn(series(), 0),
+            Err(Error::InvalidParameter { name: "k", .. })
+        ));
+        assert_eq!(Query::try_knn(series(), 3).unwrap().k(), Some(3));
+    }
+
+    #[test]
     fn range_query_accessors() {
         let q = Query::range(series(), 2.5);
         assert_eq!(q.radius(), Some(2.5));
         assert_eq!(q.k(), None);
+    }
+
+    #[test]
+    fn range_queries_yield_a_typed_error_from_knn_k() {
+        let q = Query::range(series(), 1.0);
+        match q.knn_k("DSTree") {
+            Err(Error::UnsupportedQuery { method, .. }) => assert_eq!(method, "DSTree"),
+            other => panic!("expected UnsupportedQuery, got {other:?}"),
+        }
     }
 
     #[test]
@@ -220,10 +433,13 @@ mod tests {
     }
 
     #[test]
-    fn range_query_struct_converts_to_query() {
-        let rq = RangeQuery::new(series(), 1.0);
-        let q: Query = rq.into();
-        assert_eq!(q.radius(), Some(1.0));
+    fn try_range_returns_a_typed_error_instead_of_panicking() {
+        assert!(matches!(
+            Query::try_range(series(), -1.0),
+            Err(Error::InvalidParameter { name: "radius", .. })
+        ));
+        assert!(Query::try_range(series(), f64::NAN).is_err());
+        assert_eq!(Query::try_range(series(), 1.0).unwrap().radius(), Some(1.0));
     }
 
     #[test]
@@ -236,5 +452,140 @@ mod tests {
     fn into_series_round_trips() {
         let q = Query::nearest_neighbor(series());
         assert_eq!(q.into_series(), series());
+    }
+
+    #[test]
+    fn with_mode_builder_carries_the_mode() {
+        let q = Query::knn(series(), 2).with_mode(AnswerMode::NgApproximate);
+        assert_eq!(q.mode(), AnswerMode::NgApproximate);
+        let q = q.with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.5 });
+        assert_eq!(q.mode(), AnswerMode::EpsilonApproximate { epsilon: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid answer mode")]
+    fn with_mode_rejects_negative_epsilon() {
+        let _ = Query::nearest_neighbor(series())
+            .with_mode(AnswerMode::EpsilonApproximate { epsilon: -0.1 });
+    }
+
+    #[test]
+    fn try_with_mode_returns_typed_errors() {
+        let bad = Query::nearest_neighbor(series()).try_with_mode(AnswerMode::DeltaEpsilon {
+            delta: 0.0,
+            epsilon: 0.1,
+        });
+        assert!(matches!(
+            bad,
+            Err(Error::InvalidParameter { name: "delta", .. })
+        ));
+        let good = Query::nearest_neighbor(series())
+            .try_with_mode(AnswerMode::DeltaEpsilon {
+                delta: 0.9,
+                epsilon: 0.1,
+            })
+            .unwrap();
+        assert!(!good.mode().is_exact());
+    }
+
+    #[test]
+    fn mode_validation_rules() {
+        assert!(AnswerMode::Exact.validate().is_ok());
+        assert!(AnswerMode::NgApproximate.validate().is_ok());
+        assert!(AnswerMode::EpsilonApproximate { epsilon: 0.0 }
+            .validate()
+            .is_ok());
+        assert!(AnswerMode::EpsilonApproximate {
+            epsilon: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(AnswerMode::DeltaEpsilon {
+            delta: 1.0,
+            epsilon: 0.0
+        }
+        .validate()
+        .is_ok());
+        assert!(AnswerMode::DeltaEpsilon {
+            delta: 1.1,
+            epsilon: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn prune_shrink_degenerates_to_exact_at_zero_epsilon() {
+        assert_eq!(AnswerMode::Exact.prune_shrink(), 1.0);
+        assert_eq!(
+            AnswerMode::EpsilonApproximate { epsilon: 0.0 }.prune_shrink(),
+            1.0
+        );
+        assert_eq!(
+            AnswerMode::DeltaEpsilon {
+                delta: 1.0,
+                epsilon: 0.0
+            }
+            .prune_shrink(),
+            1.0
+        );
+        assert!(
+            (AnswerMode::EpsilonApproximate { epsilon: 1.0 }.prune_shrink() - 0.5).abs() < 1e-12
+        );
+        assert!(
+            (AnswerMode::DeltaEpsilon {
+                delta: 0.5,
+                epsilon: 1.0
+            }
+            .prune_shrink()
+                - 0.25)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn mode_guarantee_mapping() {
+        assert_eq!(AnswerMode::Exact.guarantee(), Guarantee::Exact);
+        assert_eq!(AnswerMode::NgApproximate.guarantee(), Guarantee::None);
+        assert_eq!(
+            AnswerMode::EpsilonApproximate { epsilon: 0.5 }.guarantee(),
+            Guarantee::EpsilonBound { epsilon: 0.5 }
+        );
+        assert_eq!(
+            AnswerMode::DeltaEpsilon {
+                delta: 0.9,
+                epsilon: 0.5
+            }
+            .guarantee(),
+            Guarantee::ProbabilisticEpsilonBound {
+                delta: 0.9,
+                epsilon: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn mode_parse_round_trips_the_cli_syntax() {
+        for (text, mode) in [
+            ("exact", AnswerMode::Exact),
+            ("ng", AnswerMode::NgApproximate),
+            ("eps:0.25", AnswerMode::EpsilonApproximate { epsilon: 0.25 }),
+            (
+                "deltaeps:0.95,0.1",
+                AnswerMode::DeltaEpsilon {
+                    delta: 0.95,
+                    epsilon: 0.1,
+                },
+            ),
+        ] {
+            assert_eq!(AnswerMode::parse(text).unwrap(), mode, "{text}");
+            assert_eq!(AnswerMode::parse(&mode.to_string()).unwrap(), mode);
+        }
+        assert!(AnswerMode::parse("approximate").is_err());
+        assert!(AnswerMode::parse("eps:lots").is_err());
+        assert!(AnswerMode::parse("eps:-1").is_err());
+        assert!(AnswerMode::parse("deltaeps:0.5").is_err());
+        assert!(AnswerMode::parse("deltaeps:2,0.1").is_err());
     }
 }

@@ -5,8 +5,8 @@ use crate::node::{
 };
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::eapca::{uniform_segmentation, valid_segmentation, Eapca, EapcaSegment};
@@ -435,7 +435,7 @@ impl AnsweringMethod for DsTree {
             name: "DSTree",
             representation: "EAPCA",
             is_index: true,
-            supports_approximate: true,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -450,49 +450,58 @@ impl AnsweringMethod for DsTree {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("DSTree")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let mut heap = KnnHeap::new(k);
 
-        // Approximate descent seeds the best-so-far.
+        // Approximate descent seeds the best-so-far — and in ng-approximate
+        // mode this single covering leaf is the whole answer.
         let seed_leaf = self.descend_to_leaf(query.values(), stats);
         self.scan_leaf(seed_leaf, query, &mut heap, stats);
 
-        // Best-first traversal with synopsis lower bounds.
-        let mut frontier = BinaryHeap::new();
-        let root_lb = self.node_lower_bound(0, query.values());
-        stats.record_lower_bounds(1);
-        frontier.push(Frontier {
-            lower_bound: root_lb,
-            node: 0,
-        });
-        while let Some(Frontier { lower_bound, node }) = frontier.pop() {
-            if heap.is_full() && lower_bound >= heap.threshold() {
-                break;
-            }
-            match &self.nodes[node].kind {
-                NodeKind::Leaf { .. } => {
-                    if node != seed_leaf {
-                        self.scan_leaf(node, query, &mut heap, stats);
-                    }
+        if mode != AnswerMode::NgApproximate {
+            // Best-first traversal with synopsis lower bounds. `shrink` is
+            // 1 for exact search and `δ/(1+ε)` for the relaxed modes: a node
+            // is pruned as soon as its lower bound reaches `bsf * shrink`
+            // (see `AnswerMode::prune_shrink`), so `ε = 0` is bit-identical
+            // to exact search.
+            let shrink = mode.prune_shrink();
+            let mut frontier = BinaryHeap::new();
+            let root_lb = self.node_lower_bound(0, query.values());
+            stats.record_lower_bounds(1);
+            frontier.push(Frontier {
+                lower_bound: root_lb,
+                node: 0,
+            });
+            while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+                if heap.is_full() && lower_bound >= heap.threshold() * shrink {
+                    break;
                 }
-                NodeKind::Internal { left, right, .. } => {
-                    stats.record_internal_visit();
-                    for child in [*left, *right] {
-                        let lb = self.node_lower_bound(child, query.values());
-                        stats.record_lower_bounds(1);
-                        if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier {
-                                lower_bound: lb,
-                                node: child,
-                            });
+                match &self.nodes[node].kind {
+                    NodeKind::Leaf { .. } => {
+                        if node != seed_leaf {
+                            self.scan_leaf(node, query, &mut heap, stats);
+                        }
+                    }
+                    NodeKind::Internal { left, right, .. } => {
+                        stats.record_internal_visit();
+                        for child in [*left, *right] {
+                            let lb = self.node_lower_bound(child, query.values());
+                            stats.record_lower_bounds(1);
+                            if !heap.is_full() || lb < heap.threshold() * shrink {
+                                frontier.push(Frontier {
+                                    lower_bound: lb,
+                                    node: child,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -761,17 +770,6 @@ impl ExactIndex for DsTree {
     fn series_length(&self) -> usize {
         self.store.series_length()
     }
-
-    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
-        if query.len() != self.store.series_length() {
-            return None;
-        }
-        let k = query.k().unwrap_or(1);
-        let mut heap = KnnHeap::new(k);
-        let leaf = self.descend_to_leaf(query.values(), stats);
-        self.scan_leaf(leaf, query, &mut heap, stats);
-        Some(heap.into_answer_set())
-    }
 }
 
 #[cfg(test)]
@@ -866,18 +864,66 @@ mod tests {
     }
 
     #[test]
-    fn approximate_answer_visits_one_leaf_and_is_upper_bound_of_exact() {
+    fn ng_approximate_visits_one_leaf_and_is_upper_bound_of_exact() {
         let (_, idx) = build(500, 64, 25);
         for q in RandomWalkGenerator::new(291, 64).series_batch(5) {
             let mut s1 = QueryStats::default();
             let approx = idx
-                .answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1)
+                .answer(
+                    &Query::nearest_neighbor(q.clone()).with_mode(AnswerMode::NgApproximate),
+                    &mut s1,
+                )
                 .unwrap();
             assert!(s1.leaves_visited <= 1);
+            assert_eq!(approx.guarantee(), hydra_core::Guarantee::None);
             let exact = idx.answer_simple(&Query::nearest_neighbor(q)).unwrap();
             if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
                 assert!(a.distance + 1e-9 >= e.distance);
             }
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_bit_identical_to_exact_and_epsilon_bounds_hold() {
+        let (_, idx) = build(500, 64, 25);
+        for q in RandomWalkGenerator::new(391, 64).series_batch(5) {
+            let exact_q = Query::knn(q.clone(), 3);
+            let mut exact_stats = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut exact_stats).unwrap();
+
+            let zero_q = exact_q
+                .clone()
+                .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 });
+            let mut zero_stats = QueryStats::default();
+            let zero = idx.answer(&zero_q, &mut zero_stats).unwrap();
+            assert_eq!(zero.answers(), exact.answers(), "ε=0 must be exact");
+            assert_eq!(
+                exact_stats.raw_series_examined,
+                zero_stats.raw_series_examined
+            );
+            assert_eq!(
+                exact_stats.lower_bounds_computed,
+                zero_stats.lower_bounds_computed
+            );
+            assert_eq!(exact_stats.leaves_visited, zero_stats.leaves_visited);
+
+            // ε > 0: never better than exact, never worse than (1+ε)·exact,
+            // and never more work.
+            let eps = 1.0;
+            let relaxed = idx
+                .answer_simple(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: eps }),
+                )
+                .unwrap();
+            assert_eq!(
+                relaxed.guarantee(),
+                hydra_core::Guarantee::EpsilonBound { epsilon: eps }
+            );
+            let (a, e) = (relaxed.nearest().unwrap(), exact.nearest().unwrap());
+            assert!(a.distance + 1e-9 >= e.distance);
+            assert!(a.distance <= (1.0 + eps) * e.distance + 1e-9);
         }
     }
 

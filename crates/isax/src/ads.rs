@@ -20,8 +20,8 @@
 use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -87,10 +87,27 @@ impl AdsPlus {
 
     /// Seeds the best-so-far with an ng-approximate search: descend to the
     /// covering leaf and read its series from the raw file (random accesses).
-    fn approximate_bsf(&self, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+    ///
+    /// With `nearest_fallback` (the ng-approximate mode, which must always
+    /// visit one leaf) a query whose region was never populated descends to
+    /// the MINDIST-nearest leaf instead of seeding nothing; exact search
+    /// keeps the plain lookup so its work counters are unchanged.
+    fn approximate_bsf(
+        &self,
+        query: &Query,
+        query_paa: &[f32],
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+        nearest_fallback: bool,
+    ) {
         let params = self.tree.params();
-        let sax = params.sax_word(query.values());
-        let Some(leaf) = self.tree.locate_leaf(&sax, stats) else {
+        let sax = params.sax_word_from_paa(query_paa);
+        let located = if nearest_fallback {
+            self.tree.locate_nearest_leaf(query_paa, &sax, stats)
+        } else {
+            self.tree.locate_leaf(&sax, stats)
+        };
+        let Some(leaf) = located else {
             return;
         };
         stats.record_leaf_visit();
@@ -115,7 +132,7 @@ impl AnsweringMethod for AdsPlus {
             name: "ADS+",
             representation: "iSAX",
             is_index: true,
-            supports_approximate: true,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -130,7 +147,8 @@ impl AnsweringMethod for AdsPlus {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("ADS+")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let params = self.tree.params().clone();
         let query_paa = params.paa().transform(query.values());
@@ -140,8 +158,22 @@ impl AnsweringMethod for AdsPlus {
         // observe only its own raw-file traffic.
         let io_before = self.store.thread_io_snapshot();
 
-        // Step 1: approximate search for the initial bsf.
-        self.approximate_bsf(query, &mut heap, stats);
+        // Step 1: approximate search for the initial bsf — the whole answer
+        // in ng-approximate mode.
+        self.approximate_bsf(
+            query,
+            &query_paa,
+            &mut heap,
+            stats,
+            mode == AnswerMode::NgApproximate,
+        );
+
+        if mode == AnswerMode::NgApproximate {
+            let delta = self.store.thread_io_snapshot().since(&io_before);
+            stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+            stats.cpu_time += clock.elapsed();
+            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+        }
 
         // Step 2: in-memory lower bounds against every full-resolution summary.
         let max_bits = params.max_bits();
@@ -154,18 +186,21 @@ impl AnsweringMethod for AdsPlus {
             })
             .collect();
 
-        // Step 3: skip-sequential scan over the raw file.
+        // Step 3: skip-sequential scan over the raw file. The ε-relaxed modes
+        // skip a candidate as soon as its bound reaches `bsf * shrink` with
+        // `shrink = δ/(1+ε)` (1 for exact, so ε = 0 is bit-identical).
+        let shrink = mode.prune_shrink();
         let n = self.store.len();
         let mut id = 0usize;
         while id < n {
-            if heap.is_full() && bounds[id] >= heap.threshold() {
+            if heap.is_full() && bounds[id] >= heap.threshold() * shrink {
                 id += 1;
                 continue;
             }
             // Extend a contiguous run of non-pruned candidates and read it in
             // one go (one seek + sequential transfer).
             let run_start = id;
-            let threshold = heap.threshold();
+            let threshold = heap.threshold() * shrink;
             while id < n && !(heap.is_full() && bounds[id] >= threshold) {
                 id += 1;
             }
@@ -189,7 +224,7 @@ impl AnsweringMethod for AdsPlus {
         let delta = self.store.thread_io_snapshot().since(&io_before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -209,16 +244,6 @@ impl ExactIndex for AdsPlus {
 
     fn series_length(&self) -> usize {
         self.store.series_length()
-    }
-
-    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
-        if query.len() != self.store.series_length() {
-            return None;
-        }
-        let k = query.k().unwrap_or(1);
-        let mut heap = KnnHeap::new(k);
-        self.approximate_bsf(query, &mut heap, stats);
-        Some(heap.into_answer_set())
     }
 }
 
@@ -284,7 +309,7 @@ mod tests {
     fn descriptor_matches_table1() {
         let (_, idx) = build(50, 64, 16);
         assert_eq!(idx.descriptor().name, "ADS+");
-        assert!(idx.descriptor().supports_approximate);
+        assert_eq!(idx.descriptor().modes, ModeCapabilities::all());
     }
 
     #[test]
@@ -383,16 +408,42 @@ mod tests {
     }
 
     #[test]
-    fn approximate_answers_come_from_a_single_leaf() {
+    fn ng_approximate_answers_come_from_a_single_leaf() {
         let (store, idx) = build(600, 64, 30);
         let q = store.dataset().series(77).to_owned_series();
         let mut stats = QueryStats::default();
         let ans = idx
-            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .answer(
+                &Query::nearest_neighbor(q).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
             .unwrap();
         assert!(stats.leaves_visited <= 1);
         assert!(stats.raw_series_examined <= 31);
         assert_eq!(ans.nearest().unwrap().id, 77);
+        assert_eq!(ans.guarantee(), hydra_core::Guarantee::None);
+    }
+
+    #[test]
+    fn epsilon_zero_sims_is_bit_identical_to_exact() {
+        let (_, idx) = build(400, 64, 20);
+        for q in RandomWalkGenerator::new(175, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 5);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            assert_eq!(s1.random_page_accesses, s2.random_page_accesses);
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use crate::tree::{IsaxTree, NodeId, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -132,7 +132,7 @@ impl AnsweringMethod for Isax2Plus {
             name: "iSAX2+",
             representation: "iSAX",
             is_index: true,
-            supports_approximate: true,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -147,50 +147,65 @@ impl AnsweringMethod for Isax2Plus {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("iSAX2+")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let params = self.tree.params().clone();
         let query_paa = params.paa().transform(query.values());
         let query_sax = params.sax_word_from_paa(&query_paa);
 
         let mut heap = KnnHeap::new(k);
-        // Phase 1: ng-approximate search seeds the best-so-far.
-        if let Some(leaf) = self.tree.locate_leaf(&query_sax, stats) {
+        // Phase 1: ng-approximate search seeds the best-so-far — and in
+        // ng-approximate mode this covering leaf is the whole answer, so that
+        // mode falls back to the MINDIST-nearest leaf when the query's region
+        // was never populated (exact search keeps the plain lookup so its
+        // work counters are unchanged: the traversal finds every leaf anyway).
+        let seed = if mode == AnswerMode::NgApproximate {
+            self.tree.locate_nearest_leaf(&query_paa, &query_sax, stats)
+        } else {
+            self.tree.locate_leaf(&query_sax, stats)
+        };
+        if let Some(leaf) = seed {
             self.scan_leaf(leaf, query, &mut heap, stats);
         }
-        // Phase 2: best-first traversal with MINDIST pruning.
-        let mut frontier = BinaryHeap::new();
-        for root_child in self.tree.root_children() {
-            let mindist = self.tree.mindist(&query_paa, root_child);
-            stats.record_lower_bounds(1);
-            frontier.push(Frontier {
-                mindist,
-                node: root_child,
-            });
-        }
-        while let Some(Frontier { mindist, node }) = frontier.pop() {
-            if heap.is_full() && mindist >= heap.threshold() {
-                break; // everything else in the frontier is at least as far
+        if mode != AnswerMode::NgApproximate {
+            // Phase 2: best-first traversal with MINDIST pruning, relaxed by
+            // `shrink = δ/(1+ε)` in the approximate modes (1 for exact, so
+            // ε = 0 is bit-identical to exact search).
+            let shrink = mode.prune_shrink();
+            let mut frontier = BinaryHeap::new();
+            for root_child in self.tree.root_children() {
+                let mindist = self.tree.mindist(&query_paa, root_child);
+                stats.record_lower_bounds(1);
+                frontier.push(Frontier {
+                    mindist,
+                    node: root_child,
+                });
             }
-            match &self.tree.node(node).kind {
-                NodeKind::Leaf { .. } => self.scan_leaf(node, query, &mut heap, stats),
-                NodeKind::Internal { left, right, .. } => {
-                    stats.record_internal_visit();
-                    for child in [*left, *right] {
-                        let d = self.tree.mindist(&query_paa, child);
-                        stats.record_lower_bounds(1);
-                        if !heap.is_full() || d < heap.threshold() {
-                            frontier.push(Frontier {
-                                mindist: d,
-                                node: child,
-                            });
+            while let Some(Frontier { mindist, node }) = frontier.pop() {
+                if heap.is_full() && mindist >= heap.threshold() * shrink {
+                    break; // everything else in the frontier is at least as far
+                }
+                match &self.tree.node(node).kind {
+                    NodeKind::Leaf { .. } => self.scan_leaf(node, query, &mut heap, stats),
+                    NodeKind::Internal { left, right, .. } => {
+                        stats.record_internal_visit();
+                        for child in [*left, *right] {
+                            let d = self.tree.mindist(&query_paa, child);
+                            stats.record_lower_bounds(1);
+                            if !heap.is_full() || d < heap.threshold() * shrink {
+                                frontier.push(Frontier {
+                                    mindist: d,
+                                    node: child,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -209,19 +224,6 @@ impl ExactIndex for Isax2Plus {
 
     fn series_length(&self) -> usize {
         self.store.series_length()
-    }
-
-    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
-        if query.len() != self.store.series_length() {
-            return None;
-        }
-        let k = query.k().unwrap_or(1);
-        let params = self.tree.params().clone();
-        let query_sax = params.sax_word(query.values());
-        let mut heap = KnnHeap::new(k);
-        let leaf = self.tree.locate_leaf(&query_sax, stats)?;
-        self.scan_leaf(leaf, query, &mut heap, stats);
-        Some(heap.into_answer_set())
     }
 }
 
@@ -303,7 +305,7 @@ mod tests {
         assert_eq!(d.name, "iSAX2+");
         assert_eq!(d.representation, "iSAX");
         assert!(d.is_index);
-        assert!(d.supports_approximate);
+        assert_eq!(d.modes, ModeCapabilities::all());
     }
 
     #[test]
@@ -352,14 +354,18 @@ mod tests {
     }
 
     #[test]
-    fn approximate_search_visits_one_leaf() {
+    fn ng_approximate_search_visits_one_leaf() {
         let (store, idx) = build(800, 64, 40);
         let q = store.dataset().series(100).to_owned_series();
         let mut stats = QueryStats::default();
         let ans = idx
-            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .answer(
+                &Query::nearest_neighbor(q).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(stats.leaves_visited, 1);
+        assert_eq!(ans.guarantee(), hydra_core::Guarantee::None);
         // The approximate answer for a dataset member found in its own leaf is
         // exact (distance 0).
         assert_eq!(ans.nearest().unwrap().id, 100);
@@ -368,18 +374,50 @@ mod tests {
     }
 
     #[test]
-    fn approximate_answer_is_never_better_than_exact() {
+    fn approximate_answers_are_never_better_than_exact() {
         let (_, idx) = build(400, 64, 20);
         for q in RandomWalkGenerator::new(251, 64).series_batch(5) {
-            let mut s1 = QueryStats::default();
-            let mut s2 = QueryStats::default();
-            let approx = idx.answer_approximate(&Query::nearest_neighbor(q.clone()), &mut s1);
-            let exact = idx.answer(&Query::nearest_neighbor(q), &mut s2).unwrap();
-            if let Some(approx) = approx {
+            let exact = idx
+                .answer_simple(&Query::nearest_neighbor(q.clone()))
+                .unwrap();
+            for mode in [
+                AnswerMode::NgApproximate,
+                AnswerMode::EpsilonApproximate { epsilon: 0.5 },
+                AnswerMode::DeltaEpsilon {
+                    delta: 0.9,
+                    epsilon: 0.5,
+                },
+            ] {
+                let approx = idx
+                    .answer_simple(&Query::nearest_neighbor(q.clone()).with_mode(mode))
+                    .unwrap();
                 if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
-                    assert!(a.distance + 1e-9 >= e.distance);
+                    assert!(a.distance + 1e-9 >= e.distance, "{mode}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_matches_exact_bit_for_bit() {
+        let (_, idx) = build(400, 64, 20);
+        for q in RandomWalkGenerator::new(253, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 5);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            assert_eq!(s1.lower_bounds_computed, s2.lower_bounds_computed);
+            assert_eq!(s1.leaves_visited, s2.leaves_visited);
         }
     }
 

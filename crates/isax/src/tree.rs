@@ -376,6 +376,41 @@ impl IsaxTree {
             .mindist_paa_to_isax(query_paa, &self.nodes[node].word)
     }
 
+    /// Like [`IsaxTree::locate_leaf`], but never gives up: when no root child
+    /// covers `sax` (the query's region was never populated), descends from
+    /// the MINDIST-closest root child, picking the MINDIST-closer side at
+    /// every split. Used by ng-approximate answering, which must always visit
+    /// one leaf; exact search keeps [`IsaxTree::locate_leaf`] so its seeding
+    /// (and its work counters) are unchanged.
+    pub fn locate_nearest_leaf(
+        &self,
+        query_paa: &[f32],
+        sax: &SaxWord,
+        stats: &mut QueryStats,
+    ) -> Option<NodeId> {
+        if let Some(leaf) = self.locate_leaf(sax, stats) {
+            return Some(leaf);
+        }
+        let mut current = self.root_children().min_by(|&a, &b| {
+            self.mindist(query_paa, a)
+                .total_cmp(&self.mindist(query_paa, b))
+        })?;
+        loop {
+            match &self.nodes[current].kind {
+                NodeKind::Internal { left, right, .. } => {
+                    stats.record_internal_visit();
+                    stats.record_lower_bounds(2);
+                    current = if self.mindist(query_paa, *left) <= self.mindist(query_paa, *right) {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                NodeKind::Leaf { .. } => return Some(current),
+            }
+        }
+    }
+
     /// Serializes the complete tree — parameters, node arena (including every
     /// leaf's SAX word table), and root-child directory — for an index
     /// snapshot.

@@ -18,8 +18,8 @@
 //! indexes, which is exactly the scaling weakness the paper reports.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use std::cmp::Ordering;
@@ -425,7 +425,7 @@ impl AnsweringMethod for MTree {
             name: "M-tree",
             representation: "raw (metric)",
             is_index: true,
-            supports_approximate: false,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -440,7 +440,8 @@ impl AnsweringMethod for MTree {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("M-tree")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let dataset = self.store.dataset();
         let dist_to_pivot = |node: &Node| {
@@ -450,6 +451,37 @@ impl AnsweringMethod for MTree {
             )
         };
         let mut heap = KnnHeap::new(k);
+
+        if mode == AnswerMode::NgApproximate {
+            // ng-approximate: descend to the leaf of the closest pivot at
+            // every level and scan only that leaf.
+            let mut current = self.root;
+            while let NodeKind::Internal { children } = &self.nodes[current].kind {
+                stats.record_internal_visit();
+                let mut best = children[0];
+                let mut best_d = f64::INFINITY;
+                for &child in children {
+                    let d = dist_to_pivot(&self.nodes[child]);
+                    stats.record_lower_bounds(1);
+                    if d < best_d {
+                        best_d = d;
+                        best = child;
+                    }
+                }
+                current = best;
+            }
+            let d_pivot = dist_to_pivot(&self.nodes[current]);
+            self.scan_leaf(current, query, d_pivot, &mut heap, stats);
+            stats.cpu_time += clock.elapsed();
+            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+        }
+
+        // Exact / ε-relaxed best-first traversal: a subtree is pruned as soon
+        // as its triangle-inequality lower bound reaches `bsf * shrink` with
+        // `shrink = δ/(1+ε)` (1 for exact, so ε = 0 is bit-identical). The
+        // cheap pre-filters keep the exact threshold: they only skip work
+        // that cannot improve the best-so-far, which is always allowed.
+        let shrink = mode.prune_shrink();
         let mut frontier = BinaryHeap::new();
         let root_d = dist_to_pivot(&self.nodes[self.root]);
         stats.record_lower_bounds(1);
@@ -458,7 +490,7 @@ impl AnsweringMethod for MTree {
             node: self.root,
         });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
-            if heap.is_full() && lower_bound >= heap.threshold() {
+            if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                 break;
             }
             let d_pivot = dist_to_pivot(&self.nodes[node]);
@@ -479,7 +511,7 @@ impl AnsweringMethod for MTree {
                         let d_child = dist_to_pivot(child_node);
                         stats.record_lower_bounds(1);
                         let lb = (d_child - child_node.radius).max(0.0);
-                        if !heap.is_full() || lb < heap.threshold() {
+                        if !heap.is_full() || lb < heap.threshold() * shrink {
                             frontier.push(Frontier {
                                 lower_bound: lb,
                                 node: child,
@@ -490,7 +522,7 @@ impl AnsweringMethod for MTree {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -634,6 +666,39 @@ mod tests {
         assert_eq!(ans.nearest().unwrap().id, 250);
         assert!(ans.nearest().unwrap().distance < 1e-6);
         assert!(stats.leaves_visited >= 1);
+    }
+
+    #[test]
+    fn ng_visits_one_leaf_and_epsilon_zero_is_bit_identical_to_exact() {
+        let (store, idx) = build(400, 64, 12);
+        let member = store.dataset().series(200).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ng = idx
+            .answer(
+                &Query::nearest_neighbor(member).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
+            .unwrap();
+        assert!(stats.leaves_visited <= 1);
+        assert_eq!(ng.guarantee(), hydra_core::Guarantee::None);
+
+        for q in RandomWalkGenerator::new(219, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 3);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            assert_eq!(s1.lower_bounds_computed, s2.lower_bounds_computed);
+        }
     }
 
     #[test]

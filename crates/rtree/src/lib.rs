@@ -17,8 +17,8 @@
 //! behaviour the benchmark documents.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::Paa;
@@ -529,7 +529,7 @@ impl AnsweringMethod for RStarTree {
             name: "R*-tree",
             representation: "PAA",
             is_index: true,
-            supports_approximate: false,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -544,17 +544,45 @@ impl AnsweringMethod for RStarTree {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("R*-tree")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let q_paa = self.paa.transform(query.values());
         let mut heap = KnnHeap::new(k);
+
+        if mode == AnswerMode::NgApproximate {
+            // ng-approximate: descend to the MBR-closest leaf and scan it.
+            let mut current = self.root;
+            while let NodeKind::Internal { children } = &self.nodes[current].kind {
+                stats.record_internal_visit();
+                let mut best = children[0];
+                let mut best_d = f64::INFINITY;
+                for &child in children {
+                    let d = self.nodes[child].mbr.mindist_sq(&q_paa, &self.weights);
+                    stats.record_lower_bounds(1);
+                    if d < best_d {
+                        best_d = d;
+                        best = child;
+                    }
+                }
+                current = best;
+            }
+            self.scan_leaf(current, query, &mut heap, stats);
+            stats.cpu_time += clock.elapsed();
+            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+        }
+
+        // Exact / ε-relaxed best-first traversal: a subtree is pruned as soon
+        // as its MBR lower bound reaches `bsf * shrink` with
+        // `shrink = δ/(1+ε)` (1 for exact, so ε = 0 is bit-identical).
+        let shrink = mode.prune_shrink();
         let mut frontier = BinaryHeap::new();
         frontier.push(Frontier {
             lower_bound: 0.0,
             node: self.root,
         });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
-            if heap.is_full() && lower_bound >= heap.threshold() {
+            if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                 break;
             }
             match &self.nodes[node].kind {
@@ -567,7 +595,7 @@ impl AnsweringMethod for RStarTree {
                             .mindist_sq(&q_paa, &self.weights)
                             .sqrt();
                         stats.record_lower_bounds(1);
-                        if !heap.is_full() || lb < heap.threshold() {
+                        if !heap.is_full() || lb < heap.threshold() * shrink {
                             frontier.push(Frontier {
                                 lower_bound: lb,
                                 node: child,
@@ -578,7 +606,7 @@ impl AnsweringMethod for RStarTree {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -715,6 +743,39 @@ mod tests {
             stats.pruning_ratio(800)
         );
         assert!(stats.leaves_visited >= 1);
+    }
+
+    #[test]
+    fn ng_visits_one_leaf_and_epsilon_zero_is_bit_identical_to_exact() {
+        let (store, idx) = build(400, 64, 16);
+        let member = store.dataset().series(123).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ng = idx
+            .answer(
+                &Query::nearest_neighbor(member).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
+            .unwrap();
+        assert!(stats.leaves_visited <= 1);
+        assert_eq!(ng.guarantee(), hydra_core::Guarantee::None);
+
+        for q in RandomWalkGenerator::new(317, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 3);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            assert_eq!(s1.lower_bounds_computed, s2.lower_bounds_computed);
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! one sequential pass of I/O per query.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
+    QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::fft::{Complex, Fft};
@@ -56,7 +57,7 @@ impl AnsweringMethod for MassScan {
             name: "MASS",
             representation: "DFT",
             is_index: false,
-            supports_approximate: false,
+            modes: ModeCapabilities::exact_only(),
         }
     }
 
@@ -71,7 +72,10 @@ impl AnsweringMethod for MassScan {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("MASS", query.mode()));
+        }
+        let k = query.knn_k("MASS")?;
         let mut heap = KnnHeap::new(k);
         let clock = hydra_core::RunClock::start();
         let (q_spec, q_norm_sq) = self.spectrum_and_norm(query.values());

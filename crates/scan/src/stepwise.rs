@@ -15,7 +15,8 @@
 //! pattern responsible for its high cost in the paper's evaluation.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
+    QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::HaarTransform;
@@ -93,7 +94,7 @@ impl AnsweringMethod for Stepwise {
             name: "Stepwise",
             representation: "DHWT",
             is_index: false,
-            supports_approximate: false,
+            modes: ModeCapabilities::exact_only(),
         }
     }
 
@@ -105,7 +106,10 @@ impl AnsweringMethod for Stepwise {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("Stepwise", query.mode()));
+        }
+        let k = query.knn_k("Stepwise")?;
         let clock = hydra_core::RunClock::start();
         let q_coeffs = self.haar.transform(query.values());
         let n = self.store.len();

@@ -9,7 +9,8 @@
 
 use hydra_core::distance::{squared_euclidean_reordered, QueryOrder};
 use hydra_core::{
-    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
+    QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use std::sync::Arc;
@@ -43,7 +44,7 @@ impl AnsweringMethod for UcrScan {
             name: "UCR-Suite",
             representation: "raw",
             is_index: false,
-            supports_approximate: false,
+            modes: ModeCapabilities::exact_only(),
         }
     }
 
@@ -57,7 +58,10 @@ impl AnsweringMethod for UcrScan {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("UCR-Suite", query.mode()));
+        }
+        let k = query.knn_k("UCR-Suite")?;
         let mut heap = KnnHeap::new(k);
         let order = QueryOrder::new(query.values());
         // Thread-scoped snapshot: under a parallel workload each worker must

@@ -17,8 +17,8 @@
 
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint,
-    KnnHeap, MethodDescriptor, Query, QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
@@ -339,7 +339,7 @@ impl AnsweringMethod for SfaTrie {
             name: "SFA trie",
             representation: "SFA",
             is_index: true,
-            supports_approximate: true,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -354,50 +354,57 @@ impl AnsweringMethod for SfaTrie {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("SFA trie")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let q_dft = self.quantizer.dft(query.values());
         let q_word = self.quantizer.word_from_dft(&q_dft);
         let mut heap = KnnHeap::new(k);
 
-        // Approximate descent for the initial best-so-far.
+        // Approximate descent for the initial best-so-far — the whole answer
+        // in ng-approximate mode.
         let seed_leaf = self.descend(&q_word, stats);
         self.scan_leaf(seed_leaf, query, &mut heap, stats);
 
-        // Best-first traversal on prefix lower bounds.
-        let mut frontier = BinaryHeap::new();
-        frontier.push(Frontier {
-            lower_bound: 0.0,
-            node: 0,
-        });
-        while let Some(Frontier { lower_bound, node }) = frontier.pop() {
-            if heap.is_full() && lower_bound >= heap.threshold() {
-                break;
-            }
-            match &self.nodes[node] {
-                TrieNode::Leaf { .. } => {
-                    if node != seed_leaf {
-                        self.scan_leaf(node, query, &mut heap, stats);
-                    }
+        if mode != AnswerMode::NgApproximate {
+            // Best-first traversal on prefix lower bounds, relaxed by
+            // `shrink = δ/(1+ε)` in the approximate modes (1 for exact, so
+            // ε = 0 is bit-identical to exact search).
+            let shrink = mode.prune_shrink();
+            let mut frontier = BinaryHeap::new();
+            frontier.push(Frontier {
+                lower_bound: 0.0,
+                node: 0,
+            });
+            while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+                if heap.is_full() && lower_bound >= heap.threshold() * shrink {
+                    break;
                 }
-                TrieNode::Internal { children } => {
-                    stats.record_internal_visit();
-                    for &child in children.values() {
-                        let prefix = &self.prefixes[child];
-                        let lb = self.quantizer.mindist_prefix(&q_dft, prefix, prefix.len());
-                        stats.record_lower_bounds(1);
-                        if !heap.is_full() || lb < heap.threshold() {
-                            frontier.push(Frontier {
-                                lower_bound: lb,
-                                node: child,
-                            });
+                match &self.nodes[node] {
+                    TrieNode::Leaf { .. } => {
+                        if node != seed_leaf {
+                            self.scan_leaf(node, query, &mut heap, stats);
+                        }
+                    }
+                    TrieNode::Internal { children } => {
+                        stats.record_internal_visit();
+                        for &child in children.values() {
+                            let prefix = &self.prefixes[child];
+                            let lb = self.quantizer.mindist_prefix(&q_dft, prefix, prefix.len());
+                            stats.record_lower_bounds(1);
+                            if !heap.is_full() || lb < heap.threshold() * shrink {
+                                frontier.push(Frontier {
+                                    lower_bound: lb,
+                                    node: child,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -438,18 +445,6 @@ impl ExactIndex for SfaTrie {
 
     fn series_length(&self) -> usize {
         self.store.series_length()
-    }
-
-    fn answer_approximate(&self, query: &Query, stats: &mut QueryStats) -> Option<AnswerSet> {
-        if query.len() != self.store.series_length() {
-            return None;
-        }
-        let k = query.k().unwrap_or(1);
-        let mut heap = KnnHeap::new(k);
-        let word = self.quantizer.word(query.values());
-        let leaf = self.descend(&word, stats);
-        self.scan_leaf(leaf, query, &mut heap, stats);
-        Some(heap.into_answer_set())
     }
 }
 
@@ -707,15 +702,41 @@ mod tests {
     }
 
     #[test]
-    fn approximate_search_visits_at_most_one_leaf() {
+    fn ng_approximate_search_visits_at_most_one_leaf() {
         let (store, idx) = build(300, 64, 15);
         let q = store.dataset().series(10).to_owned_series();
         let mut stats = QueryStats::default();
         let ans = idx
-            .answer_approximate(&Query::nearest_neighbor(q), &mut stats)
+            .answer(
+                &Query::nearest_neighbor(q).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
             .unwrap();
         assert!(stats.leaves_visited <= 1);
         assert_eq!(ans.nearest().unwrap().id, 10);
+        assert_eq!(ans.guarantee(), hydra_core::Guarantee::None);
+    }
+
+    #[test]
+    fn epsilon_zero_is_bit_identical_to_exact() {
+        let (_, idx) = build(300, 64, 15);
+        for q in RandomWalkGenerator::new(513, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 3);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            assert_eq!(s1.lower_bounds_computed, s2.lower_bounds_computed);
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@
 
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex, IndexFootprint, KnnHeap,
-    MethodDescriptor, Query, QueryStats, Result,
+    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{VaPlusCell, VaPlusQuantizer};
@@ -96,7 +96,7 @@ impl AnsweringMethod for VaPlusFile {
             name: "VA+file",
             representation: "DFT",
             is_index: true,
-            supports_approximate: false,
+            modes: ModeCapabilities::all(),
         }
     }
 
@@ -111,7 +111,8 @@ impl AnsweringMethod for VaPlusFile {
                 actual: query.len(),
             });
         }
-        let k = query.k().unwrap_or(1);
+        let k = query.knn_k("VA+file")?;
+        let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let q_dft = self.quantizer.dft(query.values());
 
@@ -137,13 +138,26 @@ impl AnsweringMethod for VaPlusFile {
         // (and with it the early-termination point) nondeterministically.
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-        // Phase 2: visit candidates in lower-bound order, refining on raw data.
+        // Phase 2: visit candidates in lower-bound order, refining on raw
+        // data. The stopping rule depends on the mode: exact refinement stops
+        // when the next lower bound exceeds the best-so-far, the ε-relaxed
+        // modes stop as soon as it exceeds `bsf * shrink` (`shrink =
+        // δ/(1+ε)`; 1 for exact, so ε = 0 is bit-identical), and the
+        // ng-approximate mode refines only the `k` best-ranked candidates
+        // (the VA+file has no leaves — its "one leaf visit" is the k-deep
+        // filter-file prefix).
+        let shrink = mode.prune_shrink();
+        let ng_budget = if mode == AnswerMode::NgApproximate {
+            k
+        } else {
+            usize::MAX
+        };
         let mut heap = KnnHeap::new(k);
         // Thread-scoped snapshot: under a parallel workload each worker must
         // observe only its own refinement traffic.
         let before = self.store.thread_io_snapshot();
-        for &(lb, id) in &ranked {
-            if heap.is_full() && lb > heap.threshold() {
+        for &(lb, id) in ranked.iter().take(ng_budget) {
+            if heap.is_full() && lb > heap.threshold() * shrink {
                 break;
             }
             let series = self.store.read_series(id);
@@ -154,7 +168,7 @@ impl AnsweringMethod for VaPlusFile {
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set())
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 
@@ -345,6 +359,54 @@ mod tests {
         assert!(stats.random_page_accesses >= 1);
         assert!(stats.raw_series_examined >= 1);
         assert!(stats.lower_bounds_computed == 300);
+    }
+
+    #[test]
+    fn ng_refines_only_k_candidates_and_epsilon_zero_is_bit_identical() {
+        let (store, idx) = build(400, 64);
+        let member = store.dataset().series(42).to_owned_series();
+        let mut stats = QueryStats::default();
+        let ng = idx
+            .answer(
+                &Query::knn(member, 3).with_mode(AnswerMode::NgApproximate),
+                &mut stats,
+            )
+            .unwrap();
+        assert!(stats.raw_series_examined <= 3, "ng refines at most k");
+        assert_eq!(ng.guarantee(), hydra_core::Guarantee::None);
+        // A member query's own cell ranks first, so the member is found.
+        assert_eq!(ng.nearest().unwrap().id, 42);
+
+        for q in RandomWalkGenerator::new(83, 64).series_batch(4) {
+            let exact_q = Query::knn(q, 5);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let exact = idx.answer(&exact_q, &mut s1).unwrap();
+            let zero = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.0 }),
+                    &mut s2,
+                )
+                .unwrap();
+            assert_eq!(zero.answers(), exact.answers());
+            assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
+            // ε > 0 refines no more candidates than exact search.
+            let mut s3 = QueryStats::default();
+            let relaxed = idx
+                .answer(
+                    &exact_q
+                        .clone()
+                        .with_mode(AnswerMode::EpsilonApproximate { epsilon: 1.0 }),
+                    &mut s3,
+                )
+                .unwrap();
+            assert!(s3.raw_series_examined <= s1.raw_series_examined);
+            let (a, e) = (relaxed.nearest().unwrap(), exact.nearest().unwrap());
+            assert!(a.distance + 1e-9 >= e.distance);
+            assert!(a.distance <= 2.0 * e.distance + 1e-9);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 
 use hydra_bench::MethodKind;
-use hydra_core::{BuildOptions, Query};
+use hydra_core::{AnswerMode, BuildOptions, Query};
 use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
 use hydra_examples::{fmt_bytes, fmt_duration};
 use hydra_scan::ucr::brute_force_knn;
@@ -80,4 +80,29 @@ fn main() {
         totals.random_page_accesses,
         fmt_bytes(totals.bytes_read)
     );
+
+    // 5. The same queries, answered approximately: ng-approximate visits one
+    //    leaf, ε-approximate prunes against bsf/(1+ε). The engine returns the
+    //    guarantee each answer actually satisfies.
+    let series = workload.queries()[0].clone();
+    let exact_d = brute_force_knn(&dataset, series.values(), 1)
+        .nearest()
+        .unwrap()
+        .distance;
+    for mode in [
+        AnswerMode::NgApproximate,
+        AnswerMode::EpsilonApproximate { epsilon: 0.1 },
+    ] {
+        let answered = engine
+            .answer(&Query::nearest_neighbor(series.clone()).with_mode(mode))
+            .expect("approximate answering");
+        let nearest = answered.answers.nearest().expect("non-empty answer");
+        println!(
+            "mode {mode:<8} distance={:<8.4} error-ratio={:<6.3} examined={:<6} guarantee={:?}",
+            nearest.distance,
+            nearest.distance / exact_d,
+            answered.stats.raw_series_examined,
+            answered.guarantee
+        );
+    }
 }

@@ -6,7 +6,7 @@
 //! and that the approximate answers supported by the tree indexes are never
 //! better than the exact answer (which would indicate a bookkeeping bug).
 
-use hydra_core::{AnsweringMethod, ExactIndex, Query, QueryStats};
+use hydra_core::{AnswerMode, AnsweringMethod, ExactIndex, Query, QueryStats};
 use hydra_data::{QueryWorkload, WorkloadSpec};
 use hydra_integration::{all_methods, dataset, options};
 use hydra_isax::{AdsPlus, Isax2Plus};
@@ -134,32 +134,31 @@ fn approximate_answers_never_beat_exact_answers() {
         &data,
         &WorkloadSpec::controlled(3).with_num_queries(10),
     );
+    let methods: [(&str, &dyn AnsweringMethod); 2] = [("iSAX2+", &isax), ("ADS+", &ads)];
     for q in workload.queries() {
-        for (name, approx, exact) in [
-            (
-                "iSAX2+",
-                isax.answer_approximate(
-                    &Query::nearest_neighbor(q.clone()),
-                    &mut QueryStats::default(),
-                ),
-                isax.answer_simple(&Query::nearest_neighbor(q.clone()))
-                    .unwrap(),
-            ),
-            (
-                "ADS+",
-                ads.answer_approximate(
-                    &Query::nearest_neighbor(q.clone()),
-                    &mut QueryStats::default(),
-                ),
-                ads.answer_simple(&Query::nearest_neighbor(q.clone()))
-                    .unwrap(),
-            ),
-        ] {
-            if let Some(approx) = approx {
+        for (name, method) in methods {
+            let exact = method
+                .answer_simple(&Query::nearest_neighbor(q.clone()))
+                .unwrap();
+            for mode in [
+                AnswerMode::NgApproximate,
+                AnswerMode::EpsilonApproximate { epsilon: 0.25 },
+                AnswerMode::DeltaEpsilon {
+                    delta: 0.9,
+                    epsilon: 0.25,
+                },
+            ] {
+                let approx = method
+                    .answer(
+                        &Query::nearest_neighbor(q.clone()).with_mode(mode),
+                        &mut QueryStats::default(),
+                    )
+                    .unwrap();
+                assert_eq!(approx.guarantee(), mode.guarantee(), "{name} {mode}");
                 if let (Some(a), Some(e)) = (approx.nearest(), exact.nearest()) {
                     assert!(
                         a.distance + 1e-6 >= e.distance,
-                        "{name}: approximate answer beat the exact one"
+                        "{name}: {mode} answer beat the exact one"
                     );
                 }
             }

@@ -16,7 +16,7 @@
 
 use hydra_core::persist::PersistentIndex;
 use hydra_core::{
-    BuildOptions, Dataset, Error, Parallelism, Query, QueryEngine, QueryStats, Result,
+    AnswerMode, BuildOptions, Dataset, Error, Parallelism, Query, QueryEngine, QueryStats, Result,
 };
 use hydra_data::RandomWalkGenerator;
 use hydra_dstree::DsTree;
@@ -37,11 +37,26 @@ fn dataset(count: usize, len: usize) -> Dataset {
     RandomWalkGenerator::new(2024, len).dataset(count)
 }
 
+/// The round-trip workload mixes answering modes: a loaded snapshot must
+/// answer exact, ng-approximate, ε- and δ-ε-approximate queries identically
+/// to the fresh build (every persistent method supports every mode).
 fn queries(len: usize) -> Vec<Query> {
     RandomWalkGenerator::new(777, len)
         .series_batch(8)
         .into_iter()
-        .map(|s| Query::knn(s, 5))
+        .enumerate()
+        .map(|(i, s)| {
+            let q = Query::knn(s, 5);
+            match i % 4 {
+                0 => q,
+                1 => q.with_mode(AnswerMode::NgApproximate),
+                2 => q.with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.25 }),
+                _ => q.with_mode(AnswerMode::DeltaEpsilon {
+                    delta: 0.9,
+                    epsilon: 0.25,
+                }),
+            }
+        })
         .collect()
 }
 
