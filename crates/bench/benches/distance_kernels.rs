@@ -1,13 +1,17 @@
 //! Criterion micro-benchmarks of the Euclidean distance kernels, including
 //! the ablation of the UCR-Suite optimizations (plain vs early abandoning vs
-//! reordered early abandoning) that the paper applies to every method.
+//! reordered early abandoning) that the paper applies to every method, plus
+//! the hot-loop allocation sweep (per-candidate allocation vs reused
+//! per-query scratch) and the query-major batched kernel.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_core::distance::{
-    euclidean, squared_euclidean, squared_euclidean_early_abandon, squared_euclidean_reordered,
-    QueryOrder,
+    euclidean, squared_euclidean, squared_euclidean_early_abandon,
+    squared_euclidean_multi_reordered, squared_euclidean_reordered, QueryOrder,
 };
+use hydra_core::KnnHeap;
 use hydra_data::RandomWalkGenerator;
+use hydra_transforms::fft::{Complex, Fft};
 
 fn bench_distance_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance_kernels");
@@ -54,5 +58,125 @@ fn bench_distance_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distance_kernels);
+/// The hot-loop allocation sweep: the before/after of reusing per-query
+/// scratch (k-NN heap, FFT spectrum buffer) instead of allocating per
+/// candidate / per query — the difference the batch kernels bank on.
+fn bench_allocation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_sweep");
+    group.sample_size(40);
+
+    // k-NN heap: fresh allocation per query vs one reset heap.
+    let offers: Vec<(usize, f64)> = (0..512)
+        .map(|i| (i, ((i * 37) % 101) as f64 + 0.5))
+        .collect();
+    group.bench_function("knn_heap_fresh_per_query", |b| {
+        b.iter(|| {
+            let mut h = KnnHeap::new(10);
+            for &(id, d) in &offers {
+                h.offer(id, d);
+            }
+            black_box(h.take_answer_set())
+        })
+    });
+    group.bench_function("knn_heap_reset_reused", |b| {
+        let mut h = KnnHeap::new(10);
+        b.iter(|| {
+            h.reset(10);
+            for &(id, d) in &offers {
+                h.offer(id, d);
+            }
+            black_box(h.take_answer_set())
+        })
+    });
+
+    // MASS candidate spectra: allocation per candidate vs reused scratch.
+    let len = 256usize;
+    let fft = Fft::new(len);
+    let candidates: Vec<Vec<f32>> = (0..32)
+        .map(|i| {
+            RandomWalkGenerator::new(i as u64, len)
+                .series(0)
+                .into_values()
+        })
+        .collect();
+    group.bench_function("fft_alloc_per_candidate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                let spec = fft.forward_real(cand);
+                acc += spec[1].re;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fft_scratch_reused", |b| {
+        let mut spec: Vec<Complex> = Vec::with_capacity(len);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                fft.forward_real_into(cand, &mut spec);
+                acc += spec[1].re;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// The batched scan's inner kernel: evaluating Q queries per candidate
+/// (candidate cache-resident, one data pass) vs Q separate passes.
+fn bench_batched_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_scan_kernel");
+    group.sample_size(30);
+    let len = 256usize;
+    let num_queries = 16usize;
+    let gen = RandomWalkGenerator::new(7, len);
+    let candidates: Vec<Vec<f32>> = (0..64)
+        .map(|i| gen.series(i as u64).into_values())
+        .collect();
+    let queries: Vec<Vec<f32>> = (100..100 + num_queries)
+        .map(|i| gen.series(i as u64).into_values())
+        .collect();
+    let query_refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+    let orders: Vec<QueryOrder> = queries.iter().map(|q| QueryOrder::new(q)).collect();
+    let thresholds = vec![f64::INFINITY; num_queries];
+
+    group.bench_function("query_major_one_pass", |b| {
+        let mut out = vec![None; num_queries];
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                squared_euclidean_multi_reordered(
+                    &query_refs,
+                    &orders,
+                    cand,
+                    &thresholds,
+                    &mut out,
+                );
+                acc += out[0].unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("per_query_q_passes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (q, order) in queries.iter().zip(&orders) {
+                for cand in &candidates {
+                    acc +=
+                        squared_euclidean_reordered(q, cand, order, f64::INFINITY).unwrap_or(0.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_allocation_sweep,
+    bench_batched_kernel
+);
 criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! BENCH-BATCH: the batched-execution baseline.
+//!
+//! Runs the batch-size ladder (per-query loop, then batches of 1/8/64/256)
+//! over every method with a native batch kernel — the three scans, the
+//! VA+file and ADS+ — reporting throughput and the *physical* store pages
+//! per query. The scans' sequential pages per query shrink ~1/B with batch
+//! size B (one amortized pass per batch chunk), while answers and per-query
+//! logical counters are validated bit-identical to the per-query loop on the
+//! way. Results go to stdout and to `BENCH_batch.json` so later PRs have a
+//! throughput trajectory to compare against.
+//!
+//! Takes the shared flags: `--threads N` (batches run thread-parallel across
+//! chunks), `--index-dir DIR`, and `HYDRA_SCALE` for the dataset size.
+
+use hydra_bench::experiments as exp;
+use std::io::Write as _;
+
+fn main() {
+    hydra_bench::cli::init_threads();
+    hydra_bench::cli::init_index_dir();
+    let scale = exp::ExperimentScale::from_env();
+    let (table, json) = exp::batch_amortization(scale);
+    println!("{}", table.to_text());
+    let path = std::path::Path::new("BENCH_batch.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_batch.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", path.display());
+}

@@ -8,6 +8,7 @@ fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
     hydra_bench::cli::init_mode();
+    hydra_bench::cli::init_batch();
     let (by_size, by_length) = fig4_disk_accesses(ExperimentScale::from_env());
     println!("{}", by_size.to_text());
     println!("{}", by_length.to_text());

@@ -8,6 +8,7 @@ fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
     hydra_bench::cli::init_mode();
+    hydra_bench::cli::init_batch();
     let table = fig6_fig7_platform_comparison(ExperimentScale::from_env(), Platform::Hdd);
     println!("{}", table.to_text());
     let path = table

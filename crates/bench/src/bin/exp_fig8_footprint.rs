@@ -8,6 +8,7 @@ fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
     hydra_bench::cli::init_mode();
+    hydra_bench::cli::init_batch();
     let scale = ExperimentScale::from_env();
     let footprint = fig8_footprint(scale);
     let tlb = fig8_tlb(scale);

@@ -8,6 +8,7 @@ fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
     hydra_bench::cli::init_mode();
+    hydra_bench::cli::init_batch();
     let (table, _winners) = table2_winners(ExperimentScale::from_env());
     println!("{}", table.to_text());
     let path = table

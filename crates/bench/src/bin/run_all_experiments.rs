@@ -10,6 +10,7 @@ fn main() {
     hydra_bench::cli::init_threads();
     hydra_bench::cli::init_index_dir();
     hydra_bench::cli::init_mode();
+    hydra_bench::cli::init_batch();
     let scale = exp::ExperimentScale::from_env();
     let dir = results_dir();
     println!(
@@ -71,6 +72,11 @@ fn main() {
     println!("{}", approx.to_text());
     approx.write_csv(&dir, "approx_tradeoff").unwrap();
     std::fs::write(dir.join("approx_tradeoff.json"), approx_json).unwrap();
+
+    let (batch, batch_json) = exp::batch_amortization(scale);
+    println!("{}", batch.to_text());
+    batch.write_csv(&dir, "batch_amortization").unwrap();
+    std::fs::write(dir.join("batch_amortization.json"), batch_json).unwrap();
 
     println!("all experiments complete; CSVs in {}", dir.display());
 }

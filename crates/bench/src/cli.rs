@@ -19,6 +19,13 @@
 //!   `HYDRA_MODE`, which [`crate::harness::run_queries`] reads back when
 //!   constructing its queries. Methods that cannot answer the mode surface a
 //!   typed `UnsupportedMode` error (never a silent exact fallback).
+//! * `--batch N` — the query-batch size. [`init_batch`] parses it and exports
+//!   `HYDRA_BATCH`, which [`crate::harness::run_queries`] reads back: with a
+//!   batch size set, workloads run through `QueryEngine::answer_batch` in
+//!   batches of `N` queries, amortizing one data pass per batch for methods
+//!   with a native batch kernel. `0` (or unset) keeps the per-query loop.
+//!   Batches compose with `--mode` and `--threads` (thread-parallel across
+//!   batch chunks); answers and per-query counters are identical either way.
 //!
 //! One call to each at the top of `main` wires a whole experiment binary.
 
@@ -172,6 +179,66 @@ fn mode_from(
     None
 }
 
+/// Parses `--batch N` (or `--batch=N`) from the process arguments, exports
+/// the value via `HYDRA_BATCH`, and returns the batch size the run's query
+/// workloads use. Without the flag, an already-set `HYDRA_BATCH` is
+/// respected; `0` (per-query execution, no batching) when that is unset too.
+///
+/// A `--batch` flag with a missing or unparseable value aborts the process:
+/// silently running per-query would record benchmark results under the wrong
+/// configuration.
+pub fn init_batch() -> usize {
+    match batch_from(std::env::args()) {
+        Some(Ok(batch)) => std::env::set_var("HYDRA_BATCH", batch.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --batch value {bad:?} (expected a number; 0 = per-query execution)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    batch_from_env()
+}
+
+/// The batch size currently exported through `HYDRA_BATCH` (`0` — per-query
+/// execution — when unset).
+///
+/// A set-but-unparseable `HYDRA_BATCH` falls back to per-query execution with
+/// a warning on stderr, mirroring `Parallelism::from_env`.
+pub fn batch_from_env() -> usize {
+    let Ok(raw) = std::env::var("HYDRA_BATCH") else {
+        return 0;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring unparseable HYDRA_BATCH={raw:?}; running per-query \
+                 (expected a number; 0 = per-query execution)"
+            );
+            0
+        }
+    }
+}
+
+/// Extracts the `--batch` value from an argument list: `None` when the flag
+/// is absent, `Some(Err(raw))` when it is present but not a number.
+fn batch_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<usize, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--batch" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--batch=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(raw.trim().parse::<usize>().map_err(|_| raw));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +305,22 @@ mod tests {
         assert_eq!(
             mode_from(argv(&["bin", "--mode"])),
             Some(Err(String::new()))
+        );
+    }
+
+    #[test]
+    fn parses_batch_forms() {
+        assert_eq!(batch_from(argv(&["bin", "--batch", "64"])), Some(Ok(64)));
+        assert_eq!(batch_from(argv(&["bin", "--batch=8"])), Some(Ok(8)));
+        assert_eq!(batch_from(argv(&["bin", "--batch", "0"])), Some(Ok(0)));
+        assert_eq!(batch_from(argv(&["bin"])), None);
+        assert_eq!(
+            batch_from(argv(&["bin", "--batch"])),
+            Some(Err(String::new()))
+        );
+        assert_eq!(
+            batch_from(argv(&["bin", "--batch", "many"])),
+            Some(Err("many".into()))
         );
     }
 

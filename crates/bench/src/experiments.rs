@@ -895,6 +895,170 @@ pub fn approx_tradeoff(scale: ExperimentScale) -> (ResultTable, String) {
     (table, json)
 }
 
+/// The batch-size ladder of the batched-execution baseline (`0` is the
+/// per-query loop the speedups are measured against).
+pub const BATCH_LADDER: [usize; 4] = [1, 8, 64, 256];
+
+/// The methods with native batch kernels, in ladder order: the three scans
+/// (one amortized sequential pass), the VA+file (shared filter-file sweep)
+/// and ADS+ (shared SIMS summary-array sweep).
+pub fn batch_capable_methods() -> Vec<MethodKind> {
+    MethodKind::ALL
+        .into_iter()
+        .filter(|k| k.supports_batch())
+        .collect()
+}
+
+/// The batched-execution baseline: for every method with a native batch
+/// kernel, run the same workload through the per-query loop and through
+/// `QueryEngine::answer_batch` at each ladder batch size, reporting
+/// throughput and the **physical** store traffic per query (the amortization
+/// the batch kernels exist for: a scan's sequential pages per query shrink
+/// ~1/B with batch size B, while per-query logical counters stay identical).
+///
+/// Answers are validated bit-identical to the per-query loop at every batch
+/// size on the way — this function panics on any divergence.
+///
+/// Returns the result table plus a JSON rendering (written to
+/// `BENCH_batch.json` by the `bench_batch` binary and uploaded as a CI
+/// artifact).
+pub fn batch_amortization(scale: ExperimentScale) -> (ResultTable, String) {
+    use std::fmt::Write as _;
+
+    // Enough queries that the larger ladder steps actually form full
+    // batches at the default scales, without blowing up smoke runs.
+    let num_queries = (scale.queries * 8).clamp(32, 256);
+    let dataset = synth_dataset(scale.base_series, 128);
+    let workload = rand_workload(&dataset, num_queries);
+    let queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+    let parallelism = Parallelism::from_env();
+
+    let mut table = ResultTable::new(
+        "Batched query execution — throughput and physical pages per query",
+        &[
+            "method",
+            "batch",
+            "wall_s",
+            "queries_per_s",
+            "speedup_vs_per_query",
+            "seq_pages_per_query",
+            "rand_pages_per_query",
+        ],
+    );
+    let mut json_rows = String::new();
+    for kind in batch_capable_methods() {
+        let mut engine = kind.engine(&dataset, &default_options()).expect("build");
+
+        // The per-query baseline wall time. Its physical traffic is emitted
+        // from the batch=1 measurement below: batch 1 performs store reads
+        // identical to the per-query loop (the determinism contract), and
+        // using the store-observed counters keeps every row of a method on
+        // the same physical scale (the logical per-query counters also
+        // charge modelled filter-file passes that never touch the store).
+        let clock = hydra_core::RunClock::start();
+        let reference = engine
+            .answer_workload(&queries, parallelism)
+            .expect("per-query workload");
+        let base_wall = clock.elapsed().as_secs_f64();
+        let mut emit = |batch: usize, wall: f64, io: hydra_core::IoSnapshot| {
+            let qps = num_queries as f64 / wall.max(1e-12);
+            let speedup = base_wall / wall.max(1e-12);
+            let seq_per_query = io.sequential_pages as f64 / num_queries as f64;
+            let rand_per_query = io.random_pages as f64 / num_queries as f64;
+            table.push_row(vec![
+                kind.name().to_string(),
+                if batch == 0 {
+                    "per-query".to_string()
+                } else {
+                    batch.to_string()
+                },
+                format!("{wall:.4}"),
+                format!("{qps:.1}"),
+                format!("{speedup:.2}"),
+                format!("{seq_per_query:.1}"),
+                format!("{rand_per_query:.2}"),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            let _ = write!(
+                json_rows,
+                r#"    {{"method": "{}", "batch": {batch}, "wall_seconds": {wall:.6}, "queries_per_second": {qps:.2}, "speedup_vs_per_query": {speedup:.4}, "seq_pages_per_query": {seq_per_query:.4}, "rand_pages_per_query": {rand_per_query:.4}}}"#,
+                kind.name()
+            );
+        };
+        let mut ladder_rows: Vec<(usize, f64, hydra_core::IoSnapshot)> = Vec::new();
+        for batch in BATCH_LADDER {
+            engine.reset_totals();
+            let mut physical = hydra_core::IoSnapshot::default();
+            let mut answered = Vec::with_capacity(num_queries);
+            let clock = hydra_core::RunClock::start();
+            for chunk in queries.chunks(batch) {
+                answered.extend(
+                    engine
+                        .answer_batch(chunk, parallelism)
+                        .unwrap_or_else(|e| panic!("{} batch={batch}: {e}", kind.name())),
+                );
+                let io = engine
+                    .last_batch_io()
+                    .expect("batch-capable methods run their native kernel");
+                physical.sequential_pages += io.sequential_pages;
+                physical.random_pages += io.random_pages;
+                physical.bytes_read += io.bytes_read;
+            }
+            let wall = clock.elapsed().as_secs_f64();
+            // The determinism contract, validated on the way: every batch
+            // size answers bit-identically to the per-query loop.
+            for (qi, (r, b)) in reference.iter().zip(&answered).enumerate() {
+                assert_eq!(
+                    r.answers.answers(),
+                    b.answers.answers(),
+                    "{} batch={batch} diverged from the per-query loop on query {qi}",
+                    kind.name()
+                );
+                assert_eq!(
+                    r.stats.raw_series_examined,
+                    b.stats.raw_series_examined,
+                    "{} batch={batch} work counters diverged on query {qi}",
+                    kind.name()
+                );
+            }
+            ladder_rows.push((batch, wall, physical));
+        }
+        emit(0, base_wall, ladder_rows[0].2);
+        for (batch, wall, physical) in ladder_rows {
+            emit(batch, wall, physical);
+        }
+    }
+    let json = format!(
+        r#"{{
+  "bench": "batch_execution",
+  "generated_by": "cargo run --release --bin bench_batch",
+  "host_cpus": {},
+  "dataset": {{"kind": "random-walk", "series": {}, "length": 128}},
+  "queries": {num_queries},
+  "batch_ladder": [{}],
+  "answers_validated_bit_identical": true,
+  "rows": [
+{json_rows}
+  ]
+}}
+"#,
+        hydra_core::parallel::available_threads(),
+        scale.base_series,
+        BATCH_LADDER
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,6 +1111,47 @@ mod tests {
             let ratio: f64 = line.rsplit(',').nth(3).unwrap().parse().unwrap();
             assert!(ratio >= 1.0 - 1e-9, "{line}");
         }
+    }
+
+    #[test]
+    fn batch_amortization_shows_the_single_amortized_pass() {
+        let (t, json) = batch_amortization(tiny());
+        // One per-query baseline row plus one row per ladder step, for each
+        // batch-capable method.
+        assert_eq!(
+            t.num_rows(),
+            batch_capable_methods().len() * (BATCH_LADDER.len() + 1)
+        );
+        assert!(json.contains("\"bench\": \"batch_execution\""));
+        assert!(json.contains("\"answers_validated_bit_identical\": true"));
+        // The scan's physical sequential pages per query must shrink ~1/B:
+        // at batch 8 the per-query share is at most a quarter of the
+        // per-query loop's (it would be exactly 1/8th with perfectly
+        // divisible chunks).
+        let csv = t.to_csv();
+        let seq_of = |batch: &str| -> f64 {
+            csv.lines()
+                .skip(1)
+                .map(|l| l.split(',').collect::<Vec<_>>())
+                .find(|c| c[0] == "UCR-Suite" && c[1] == batch)
+                .map(|c| c[5].parse::<f64>().unwrap())
+                .unwrap()
+        };
+        let per_query = seq_of("per-query");
+        assert!(per_query > 0.0);
+        // Each batch of B costs min(threads, B) physical passes (one per
+        // thread chunk) instead of B, so the per-query share shrinks by
+        // B / min(threads, B).
+        let threads = Parallelism::from_env().worker_threads() as f64;
+        let expected_8 = per_query * threads.min(8.0) / 8.0;
+        assert!(
+            seq_of("8") <= expected_8 + 1.0,
+            "batch=8 sequential pages per query did not amortize: {} vs {expected_8}",
+            seq_of("8")
+        );
+        assert!(seq_of("64") < seq_of("8"));
+        // No regression at batch 1: identical physical traffic.
+        assert!((seq_of("1") - per_query).abs() < 1.0);
     }
 
     #[test]

@@ -221,19 +221,22 @@ pub fn run_build(
 /// Runs a 1-NN query workload through an engine, measuring each query.
 ///
 /// The worker-thread count comes from the environment (`HYDRA_THREADS`, set
-/// by the binaries' `--threads` flag; serial when unset), and so does the
-/// answering mode (`HYDRA_MODE`, set by `--mode`; exact when unset) — every
-/// existing experiment runs parallel and mode-aware without code changes.
-/// See [`run_queries_with_mode`] for the measurement rules.
+/// by the binaries' `--threads` flag; serial when unset), so does the
+/// answering mode (`HYDRA_MODE`, set by `--mode`; exact when unset), and so
+/// does the query-batch size (`HYDRA_BATCH`, set by `--batch`; per-query when
+/// unset) — every existing experiment runs parallel, mode-aware and batched
+/// without code changes. See [`run_queries_with_batch`] for the measurement
+/// rules.
 pub fn run_queries(
     engine: &mut QueryEngine,
     workload: &QueryWorkload,
 ) -> Result<WorkloadMeasurement> {
-    run_queries_with_mode(
+    run_queries_with_batch(
         engine,
         workload,
         Parallelism::from_env(),
         crate::cli::mode_from_env(),
+        crate::cli::batch_from_env(),
     )
 }
 
@@ -265,6 +268,30 @@ pub fn run_queries_with_mode(
     parallelism: Parallelism,
     mode: AnswerMode,
 ) -> Result<WorkloadMeasurement> {
+    run_queries_with_batch(engine, workload, parallelism, mode, 0)
+}
+
+/// Runs a 1-NN query workload through an engine with an explicit thread
+/// count, answering mode and query-batch size, measuring each query.
+///
+/// With `batch == 0` the workload runs through the per-query
+/// `answer_workload` driver; with `batch == N > 0` it runs through
+/// `QueryEngine::answer_batch` in chunks of `N` queries, so methods with a
+/// native batch kernel amortize one data pass per chunk. Either way the
+/// engine guarantees answers and per-query work counters identical to the
+/// serial per-query loop for every `parallelism` and batch size (only
+/// wall-clock `cpu_time` varies — batched runs report the amortized
+/// per-query share). The method kind is recovered from the engine's
+/// descriptor, so it cannot drift from the engine the caller passes. A mode
+/// outside the method's capabilities is a typed `UnsupportedMode` error
+/// (the engine's strict fallback policy), never a silent exact run.
+pub fn run_queries_with_batch(
+    engine: &mut QueryEngine,
+    workload: &QueryWorkload,
+    parallelism: Parallelism,
+    mode: AnswerMode,
+    batch: usize,
+) -> Result<WorkloadMeasurement> {
     let name = engine.descriptor().name;
     let kind = MethodKind::from_name(name).ok_or_else(|| {
         hydra_core::Error::invalid_parameter("engine", format!("unknown method {name:?}"))
@@ -275,8 +302,16 @@ pub fn run_queries_with_mode(
         .iter()
         .map(|series| Query::nearest_neighbor(series.clone()).try_with_mode(mode))
         .collect::<Result<_>>()?;
-    let queries = engine
-        .answer_workload(&query_list, parallelism)?
+    let answered = if batch == 0 {
+        engine.answer_workload(&query_list, parallelism)?
+    } else {
+        let mut all = Vec::with_capacity(query_list.len());
+        for chunk in query_list.chunks(batch) {
+            all.extend(engine.answer_batch(chunk, parallelism)?);
+        }
+        all
+    };
+    let queries = answered
         .into_iter()
         .map(|answered| QueryMeasurement {
             cpu_time: answered.wall_time,
@@ -365,6 +400,37 @@ mod tests {
         }
         assert_eq!(parallel.total_io(), serial.total_io());
         assert!((parallel.mean_pruning_ratio() - serial.mean_pruning_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_runs_match_per_query_runs() {
+        let (data, workload, options) = small_setup();
+        for kind in [MethodKind::UcrSuite, MethodKind::VaPlusFile] {
+            let (mut engine, _) = run_build(kind, &data, &options).unwrap();
+            let per_query = run_queries_with(&mut engine, &workload, Parallelism::Serial).unwrap();
+            engine.reset_totals();
+            // A batch size that does not divide the workload exercises the
+            // remainder chunk too.
+            let batched = run_queries_with_batch(
+                &mut engine,
+                &workload,
+                Parallelism::Serial,
+                AnswerMode::Exact,
+                5,
+            )
+            .unwrap();
+            assert_eq!(batched.queries.len(), per_query.queries.len());
+            for (a, b) in per_query.queries.iter().zip(&batched.queries) {
+                assert_eq!(
+                    a.stats.raw_series_examined,
+                    b.stats.raw_series_examined,
+                    "{}",
+                    kind.name()
+                );
+                assert_eq!(a.io(), b.io(), "{}", kind.name());
+            }
+            assert_eq!(batched.total_io(), per_query.total_io(), "{}", kind.name());
+        }
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   extrapolation rule, and platform cost models (HDD / SSD / in-memory);
 //! * [`report`] — plain-text / CSV emitters for the result tables;
 //! * [`cli`] — the shared flags: `--threads N` (multi-threaded query driver
-//!   and parallel index builds), `--index-dir DIR` (snapshot cache), and
-//!   `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` (answering mode).
+//!   and parallel index builds), `--index-dir DIR` (snapshot cache),
+//!   `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` (answering mode), and
+//!   `--batch N` (batched query execution through
+//!   `QueryEngine::answer_batch`).
 //!
 //! Every figure and table has a dedicated binary under `src/bin/` (see
 //! `DESIGN.md` for the experiment index); Criterion micro-benchmarks for the
@@ -27,8 +29,8 @@ pub mod registry;
 pub mod report;
 
 pub use harness::{
-    run_build, run_queries, run_queries_with, run_queries_with_mode, BuildMeasurement, Platform,
-    QueryMeasurement, WorkloadMeasurement,
+    run_build, run_queries, run_queries_with, run_queries_with_batch, run_queries_with_mode,
+    BuildMeasurement, Platform, QueryMeasurement, WorkloadMeasurement,
 };
 pub use registry::{MethodKind, SnapshotOutcome};
 pub use report::ResultTable;

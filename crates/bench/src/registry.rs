@@ -122,6 +122,22 @@ impl MethodKind {
         self.modes().supports(mode)
     }
 
+    /// Whether this method has a native batch kernel (matches the built
+    /// method's `batch_answering()`, checked in the tests): the three scans
+    /// amortize their sequential pass, the VA+file its filter-file sweep and
+    /// ADS+ its SIMS summary-array sweep; the tree indexes answer batches
+    /// through the engine's per-query fallback.
+    pub fn supports_batch(&self) -> bool {
+        matches!(
+            self,
+            MethodKind::UcrSuite
+                | MethodKind::Mass
+                | MethodKind::Stepwise
+                | MethodKind::VaPlusFile
+                | MethodKind::AdsPlus
+        )
+    }
+
     /// Method-appropriate build options derived from shared defaults: the SFA
     /// trie uses the paper's tuned alphabet of 8, the R*-tree a smaller
     /// dimensionality, the M-tree a smaller leaf.
@@ -443,6 +459,23 @@ mod tests {
                 kind.name()
             );
             assert!(kind.supports_mode(AnswerMode::Exact), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn registry_batch_capability_matches_the_built_methods() {
+        let data = RandomWalkGenerator::new(1, 32).dataset(60);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(30);
+        for kind in MethodKind::ALL {
+            let method = kind.build_boxed(&data, &options).unwrap();
+            assert_eq!(
+                method.batch_answering().is_some(),
+                kind.supports_batch(),
+                "{} batch-capability drift between registry and method",
+                kind.name()
+            );
         }
     }
 

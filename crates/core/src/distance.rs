@@ -216,6 +216,46 @@ pub fn squared_euclidean_reordered(
     }
 }
 
+/// Query-major batched evaluation: one candidate against many queries, each
+/// with reordered early abandoning against its **own** threshold.
+///
+/// This is the inner kernel of the batched scans: the candidate series is
+/// loaded from memory once and stays cache-resident while all `Q` queries
+/// evaluate against it in turn, so a batch of queries costs one data pass
+/// instead of `Q`. Each query runs the scalar reordered kernel with its own
+/// 4 accumulator lanes — the queries are *not* interleaved within a block
+/// (their per-query dimension orders differ, so cross-query SIMD would
+/// change nothing about the gathers); the win here is the candidate's cache
+/// residency, not extra instruction-level parallelism. Per query the
+/// arithmetic — lane structure, accumulation order, the every-8-dimensions
+/// threshold check — is exactly [`squared_euclidean_reordered`], so each
+/// `out[i]` is bit-identical to a standalone per-query call; batching
+/// changes only the memory traffic.
+///
+/// `out[i]` is `Some(squared_distance)` or `None` when query `i` abandoned.
+///
+/// # Panics
+/// Panics (debug builds) if the slice lengths disagree.
+pub fn squared_euclidean_multi_reordered(
+    queries: &[&[f32]],
+    orders: &[QueryOrder],
+    candidate: &[f32],
+    thresholds: &[f64],
+    out: &mut [Option<f64>],
+) {
+    debug_assert_eq!(queries.len(), orders.len());
+    debug_assert_eq!(queries.len(), thresholds.len());
+    debug_assert_eq!(queries.len(), out.len());
+    for (((slot, query), order), &threshold) in out
+        .iter_mut()
+        .zip(queries.iter())
+        .zip(orders.iter())
+        .zip(thresholds.iter())
+    {
+        *slot = squared_euclidean_reordered(query, candidate, order, threshold);
+    }
+}
+
 /// Euclidean distance with reordered early abandoning (non-squared threshold).
 #[inline]
 pub fn euclidean_reordered(
@@ -343,6 +383,42 @@ mod tests {
         let c = vec![-3.0f32; 32];
         let order = QueryOrder::new(&q);
         assert_eq!(squared_euclidean_reordered(&q, &c, &order, 10.0), None);
+    }
+
+    #[test]
+    fn multi_query_kernel_matches_per_query_calls_bit_for_bit() {
+        let candidate: Vec<f32> = (0..96)
+            .map(|i| ((i * 31) % 19) as f32 * 0.3 - 2.0)
+            .collect();
+        let queries: Vec<Vec<f32>> = (0..5)
+            .map(|q| {
+                (0..96)
+                    .map(|i| ((i * 7 + q * 13) % 23) as f32 * 0.25 - 2.5)
+                    .collect()
+            })
+            .collect();
+        let query_refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let orders: Vec<QueryOrder> = queries.iter().map(|q| QueryOrder::new(q)).collect();
+        // Mix of thresholds so some queries abandon and others complete.
+        let thresholds: Vec<f64> = (0..5)
+            .map(|q| {
+                let full = squared_euclidean(&queries[q], &candidate);
+                if q % 2 == 0 {
+                    full + 1.0
+                } else {
+                    full * 0.25
+                }
+            })
+            .collect();
+        let mut out = vec![None; 5];
+        squared_euclidean_multi_reordered(&query_refs, &orders, &candidate, &thresholds, &mut out);
+        for q in 0..5 {
+            let expected =
+                squared_euclidean_reordered(&queries[q], &candidate, &orders[q], thresholds[q]);
+            assert_eq!(out[q], expected, "query {q}");
+        }
+        assert!(out.iter().any(|o| o.is_none()), "tight thresholds abandon");
+        assert!(out.iter().any(|o| o.is_some()), "loose thresholds complete");
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub struct QueryEngine {
     fallback: FallbackPolicy,
     totals: QueryStats,
     queries_answered: u64,
+    last_batch_io: Option<IoSnapshot>,
 }
 
 impl QueryEngine {
@@ -127,6 +128,7 @@ impl QueryEngine {
             fallback: FallbackPolicy::Strict,
             totals: QueryStats::default(),
             queries_answered: 0,
+            last_batch_io: None,
         }
     }
 
@@ -298,6 +300,201 @@ impl QueryEngine {
         }
         Ok(out)
     }
+
+    /// Answers a batch of queries through the method's native batch kernel,
+    /// amortizing one shared data pass across the whole batch; methods
+    /// without a kernel (see [`AnsweringMethod::batch_answering`]) fall back
+    /// to the per-query loop of [`QueryEngine::answer_workload`].
+    ///
+    /// The determinism contract of the suite carries over: for every method,
+    /// batch size and thread count, the answer sets and the per-query work
+    /// counters are **bit-identical to the serial per-query loop** (only
+    /// wall-clock times vary). Per-query counters keep their serial meaning —
+    /// each query is charged the logical work it would have cost on its own —
+    /// while the *physical* traffic of the shared pass (one pass per batch
+    /// chunk instead of one per query) is observed at batch scope and exposed
+    /// through [`QueryEngine::last_batch_io`].
+    ///
+    /// With `parallelism` > 1 (over a thread-scoped [`IoSource`]), the batch
+    /// is split into contiguous chunks and the kernel runs thread-parallel
+    /// *across* chunks — each worker amortizes one pass over its chunk, and
+    /// results merge back in batch order.
+    ///
+    /// Mode routing matches the per-query path exactly: a query whose
+    /// [`AnswerMode`] the method does not support is a typed
+    /// [`Error::UnsupportedMode`] under [`FallbackPolicy::Strict`] (queries
+    /// before it in the batch are answered and merged, like the serial
+    /// loop), or substituted with an exact query under
+    /// [`FallbackPolicy::ExactFallback`]; range queries are typed
+    /// [`Error::UnsupportedQuery`] errors. A method-level kernel error
+    /// (length mismatch, empty dataset) reruns the batch through the
+    /// per-query loop, which reproduces the serial error semantics exactly.
+    pub fn answer_batch(
+        &mut self,
+        queries: &[Query],
+        parallelism: Parallelism,
+    ) -> Result<Vec<EngineAnswer>> {
+        self.last_batch_io = None;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.method.batch_answering().is_none() {
+            return self.answer_workload(queries, parallelism);
+        }
+        // Engine-boundary routing, mirroring `measure_query`: substitute
+        // unsupported modes under the exact-fallback policy, and stop the
+        // batch at the first rejected query — the serial loop answers the
+        // queries before it, then surfaces its typed error. The common case
+        // (every query accepted as-is) passes the caller's slice straight
+        // through; queries are only cloned when a substitution forces an
+        // owned batch.
+        let descriptor = self.method.descriptor();
+        let mut substituted: Vec<Query> = Vec::new();
+        let mut accepted = 0usize;
+        let mut boundary_error = None;
+        for query in queries {
+            if let Err(e) = query.knn_k(descriptor.name) {
+                boundary_error = Some(e);
+                break;
+            }
+            if descriptor.modes.supports(query.mode()) {
+                if !substituted.is_empty() {
+                    substituted.push(query.clone());
+                }
+            } else {
+                match self.fallback {
+                    FallbackPolicy::Strict => {
+                        boundary_error =
+                            Some(Error::unsupported_mode(descriptor.name, query.mode()));
+                        break;
+                    }
+                    FallbackPolicy::ExactFallback => {
+                        if substituted.is_empty() {
+                            substituted.extend(queries[..accepted].iter().cloned());
+                        }
+                        substituted.push(query.clone().with_mode(AnswerMode::Exact));
+                    }
+                }
+            }
+            accepted += 1;
+        }
+        let routed: &[Query] = if substituted.is_empty() {
+            &queries[..accepted]
+        } else {
+            &substituted
+        };
+        match self.run_batch_kernel(routed, parallelism) {
+            Ok((answers, physical_io)) => {
+                for answered in &answers {
+                    self.totals.merge(&answered.stats);
+                    self.queries_answered += 1;
+                }
+                // `Some` means a native kernel actually ran; an empty routed
+                // prefix (first query rejected) never reached the kernel.
+                if !routed.is_empty() {
+                    self.last_batch_io = Some(physical_io);
+                }
+                match boundary_error {
+                    None => Ok(answers),
+                    Some(e) => Err(e),
+                }
+            }
+            // A method-level error (length mismatch, empty dataset): the
+            // kernel returns no partial results, so rerun through the
+            // per-query loop, which answers the prefix before the failing
+            // query and surfaces the first error in batch order — exactly
+            // the serial semantics.
+            Err(_) => self.answer_workload(queries, parallelism),
+        }
+    }
+
+    /// Runs the native batch kernel over `queries`, thread-parallel across
+    /// contiguous chunks, returning the answers in batch order plus the
+    /// physical store traffic of all chunks.
+    fn run_batch_kernel(
+        &self,
+        queries: &[Query],
+        parallelism: Parallelism,
+    ) -> Result<(Vec<EngineAnswer>, IoSnapshot)> {
+        let kernel = self
+            .method
+            .batch_answering()
+            .expect("checked by answer_batch");
+        let io = self.io.as_deref();
+        let threads = parallelism.worker_threads().min(queries.len().max(1));
+        let thread_scoped_io = self
+            .io
+            .as_ref()
+            .is_none_or(|src| src.has_thread_scoped_counters());
+        if threads <= 1 || !thread_scoped_io {
+            return run_batch_chunk(kernel, io, queries);
+        }
+        let ranges = parallel::split_ranges(queries.len(), threads);
+        let chunks: Vec<Result<(Vec<EngineAnswer>, IoSnapshot)>> =
+            parallel::map_indexed(ranges.len(), ranges.len(), |i| {
+                run_batch_chunk(kernel, io, &queries[ranges[i].clone()])
+            });
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut physical = IoSnapshot::default();
+        for chunk in chunks {
+            let (chunk_answers, chunk_io) = chunk?;
+            answers.extend(chunk_answers);
+            physical.sequential_pages += chunk_io.sequential_pages;
+            physical.random_pages += chunk_io.random_pages;
+            physical.bytes_read += chunk_io.bytes_read;
+            physical.bytes_written += chunk_io.bytes_written;
+        }
+        Ok((answers, physical))
+    }
+
+    /// The physical store traffic of the most recent
+    /// [`QueryEngine::answer_batch`] call that ran a native batch kernel
+    /// (summed over its thread chunks), or `None` when the last batch fell
+    /// back to the per-query loop (or none ran yet).
+    ///
+    /// This is the batch-scoped accounting counterpart of the per-query
+    /// logical counters: for a batched scan it records **one** sequential
+    /// pass per chunk, while every query's own stats keep the full pass the
+    /// serial loop would have charged it.
+    pub fn last_batch_io(&self) -> Option<IoSnapshot> {
+        self.last_batch_io
+    }
+}
+
+/// Runs the batch kernel over one contiguous chunk on the calling thread:
+/// resets the thread's I/O shard, times the kernel, collects per-query stats,
+/// and snapshots the chunk's physical store traffic.
+fn run_batch_chunk(
+    kernel: &dyn crate::method::BatchAnswering,
+    io: Option<&dyn IoSource>,
+    queries: &[Query],
+) -> Result<(Vec<EngineAnswer>, IoSnapshot)> {
+    if queries.is_empty() {
+        return Ok((Vec::new(), IoSnapshot::default()));
+    }
+    if let Some(io) = io {
+        io.reset_thread_io();
+    }
+    let mut stats = vec![QueryStats::default(); queries.len()];
+    let clock = Instant::now();
+    let answer_sets = kernel.answer_batch(queries, &mut stats)?;
+    let wall_time = clock.elapsed();
+    let physical = io.map(|io| io.thread_io_snapshot()).unwrap_or_default();
+    debug_assert_eq!(answer_sets.len(), queries.len(), "kernel answered all");
+    // Per-query wall time inside a shared pass is ill-defined; attribute the
+    // chunk's elapsed time evenly (the amortized per-query cost).
+    let per_query_wall = wall_time / queries.len() as u32;
+    let answers = answer_sets
+        .into_iter()
+        .zip(stats)
+        .map(|(answers, stats)| EngineAnswer {
+            guarantee: answers.guarantee(),
+            answers,
+            stats,
+            wall_time: per_query_wall,
+        })
+        .collect();
+    Ok((answers, physical))
 }
 
 /// Measures one query on the calling thread: enforces the method's mode and
@@ -339,15 +536,10 @@ fn measure_query(
     let answers = method.answer(query, &mut stats)?;
     let wall_time = clock.elapsed();
     if let Some(io) = io {
-        let observed = io.thread_io_snapshot();
         // Methods charge leaf reads through their stats; the store counters
         // cover raw-file traffic. Keep whichever accounting path recorded more
         // pages so neither is lost.
-        if observed.total_pages() > stats.io_snapshot().total_pages() {
-            stats.sequential_page_accesses = observed.sequential_pages;
-            stats.random_page_accesses = observed.random_pages;
-            stats.bytes_read = observed.bytes_read;
-        }
+        stats.reconcile_io(io.thread_io_snapshot());
     }
     Ok(EngineAnswer {
         guarantee: answers.guarantee(),
@@ -633,6 +825,186 @@ mod tests {
         // Exactly the two queries before the first failure were merged.
         assert_eq!(e.queries_answered(), 2);
         assert_eq!(e.totals().raw_series_examined, 2);
+    }
+
+    /// A brute-force method with a native batch kernel: one shared "pass"
+    /// (one FakeIo recording) answers the whole batch, while each query's
+    /// stats keep the full per-query pass the serial path charges.
+    struct BatchBruteForce {
+        inner: BruteForce,
+    }
+
+    impl AnsweringMethod for BatchBruteForce {
+        fn descriptor(&self) -> MethodDescriptor {
+            self.inner.descriptor()
+        }
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            self.inner.answer(query, stats)
+        }
+        fn batch_answering(&self) -> Option<&dyn crate::method::BatchAnswering> {
+            Some(self)
+        }
+    }
+
+    impl crate::method::BatchAnswering for BatchBruteForce {
+        fn answer_batch(
+            &self,
+            queries: &[Query],
+            stats: &mut [QueryStats],
+        ) -> Result<Vec<AnswerSet>> {
+            let n = self.inner.data.len() as u64;
+            // One physical pass for the whole chunk...
+            self.inner.io.record(n);
+            let mut out = Vec::with_capacity(queries.len());
+            for (query, stats) in queries.iter().zip(stats.iter_mut()) {
+                let mut heap = KnnHeap::new(query.knn_k("BruteForce")?);
+                for (i, s) in self.inner.data.iter().enumerate() {
+                    stats.record_raw_series_examined(1);
+                    heap.offer(i, crate::distance::euclidean(query.values(), s.values()));
+                }
+                // ...while every query keeps the logical pass the serial
+                // path reconciles into its stats.
+                stats.record_io(n, 0, n * 4096);
+                out.push(heap.into_answer_set());
+            }
+            Ok(out)
+        }
+    }
+
+    fn batch_engine() -> QueryEngine {
+        let data = Dataset::from_flat(vec![0.0, 0.0, 1.0, 1.0, 5.0, 5.0, 9.0, 9.0], 2);
+        let io = Arc::new(FakeIo::default());
+        let size = data.len();
+        QueryEngine::new(
+            Box::new(BatchBruteForce {
+                inner: BruteForce {
+                    data,
+                    io: io.clone(),
+                },
+            }),
+            size,
+        )
+        .with_io_source(io)
+    }
+
+    fn batch_queries() -> Vec<Query> {
+        [
+            [0.9f32, 0.9],
+            [5.1, 5.1],
+            [0.1, 0.1],
+            [8.0, 8.0],
+            [4.4, 4.6],
+        ]
+        .iter()
+        .map(|v| Query::nearest_neighbor(Series::new(v.to_vec())))
+        .collect()
+    }
+
+    #[test]
+    fn answer_batch_matches_the_serial_loop_and_amortizes_physical_io() {
+        let queries = batch_queries();
+        let mut serial = batch_engine();
+        let serial_answers: Vec<EngineAnswer> =
+            queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+
+        for threads in [Parallelism::Serial, Parallelism::Threads(2)] {
+            let mut batched = batch_engine();
+            let batch_answers = batched.answer_batch(&queries, threads).unwrap();
+            assert_eq!(batch_answers.len(), queries.len());
+            for (s, b) in serial_answers.iter().zip(&batch_answers) {
+                assert_eq!(s.answers, b.answers);
+                assert_eq!(s.stats.raw_series_examined, b.stats.raw_series_examined);
+                assert_eq!(
+                    s.stats.sequential_page_accesses,
+                    b.stats.sequential_page_accesses
+                );
+                assert_eq!(s.stats.bytes_read, b.stats.bytes_read);
+            }
+            assert_eq!(batched.queries_answered(), queries.len() as u64);
+            assert_eq!(
+                batched.totals().raw_series_examined,
+                serial.totals().raw_series_examined
+            );
+            // Physical traffic: one pass per chunk, not one per query.
+            let physical = batched.last_batch_io().expect("a native kernel ran");
+            let chunks = match threads {
+                Parallelism::Serial => 1,
+                _ => 2,
+            };
+            assert_eq!(physical.sequential_pages, 4 * chunks);
+            // Each query's logical stats still carry the full pass.
+            assert_eq!(batch_answers[0].stats.sequential_page_accesses, 4);
+        }
+    }
+
+    #[test]
+    fn answer_batch_without_a_kernel_falls_back_to_the_per_query_loop() {
+        let queries = batch_queries();
+        let mut plain = engine();
+        let answers = plain
+            .answer_batch(&queries, Parallelism::Threads(2))
+            .unwrap();
+        assert_eq!(answers.len(), queries.len());
+        assert_eq!(answers[0].answers.nearest().unwrap().id, 1);
+        assert_eq!(plain.last_batch_io(), None, "no native kernel ran");
+        assert_eq!(plain.queries_answered(), queries.len() as u64);
+    }
+
+    #[test]
+    fn answer_batch_empty_batch_is_a_no_op() {
+        let mut e = batch_engine();
+        assert!(e.answer_batch(&[], Parallelism::Auto).unwrap().is_empty());
+        assert_eq!(e.queries_answered(), 0);
+        assert_eq!(e.last_batch_io(), None);
+    }
+
+    #[test]
+    fn answer_batch_routes_unsupported_modes_like_the_serial_loop() {
+        // Strict: the queries before the first unsupported mode are answered
+        // and merged, then the typed error surfaces — exactly the per-query
+        // path's behaviour.
+        let mut e = batch_engine();
+        let mut queries = batch_queries();
+        queries[2] = queries[2].clone().with_mode(AnswerMode::NgApproximate);
+        match e.answer_batch(&queries, Parallelism::Serial) {
+            Err(Error::UnsupportedMode { method, mode }) => {
+                assert_eq!(method, "BruteForce");
+                assert_eq!(mode, AnswerMode::NgApproximate);
+            }
+            other => panic!("expected UnsupportedMode, got {other:?}"),
+        }
+        assert_eq!(e.queries_answered(), 2, "the prefix was answered");
+        assert_eq!(e.totals().raw_series_examined, 8);
+        assert!(
+            e.last_batch_io().is_some(),
+            "the kernel ran over the answered prefix"
+        );
+
+        // With the FIRST query rejected nothing reaches the kernel, so no
+        // batch traffic is reported.
+        let mut e = batch_engine();
+        let mut queries = batch_queries();
+        queries[0] = queries[0].clone().with_mode(AnswerMode::NgApproximate);
+        assert!(e.answer_batch(&queries, Parallelism::Serial).is_err());
+        assert_eq!(e.queries_answered(), 0);
+        assert_eq!(e.last_batch_io(), None, "no kernel work ran");
+
+        // ExactFallback: the whole batch runs, substitutions visibly exact.
+        let mut e = batch_engine().with_fallback_policy(FallbackPolicy::ExactFallback);
+        let answers = e.answer_batch(&queries, Parallelism::Serial).unwrap();
+        assert_eq!(answers.len(), queries.len());
+        assert_eq!(answers[2].guarantee, Guarantee::Exact);
+
+        // Range queries are typed errors after the prefix, like the serial
+        // loop.
+        let mut e = batch_engine();
+        let mut queries = batch_queries();
+        queries[1] = Query::range(Series::new(vec![0.0, 0.0]), 1.0);
+        assert!(matches!(
+            e.answer_batch(&queries, Parallelism::Serial),
+            Err(Error::UnsupportedQuery { .. })
+        ));
+        assert_eq!(e.queries_answered(), 1);
     }
 
     #[test]

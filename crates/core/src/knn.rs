@@ -241,6 +241,24 @@ impl KnnHeap {
         self.k
     }
 
+    /// Clears the heap for a new query of `k` neighbours, keeping the heap's
+    /// and the membership set's allocations.
+    ///
+    /// Batch kernels and workload drivers answer many queries back to back;
+    /// resetting one heap per worker instead of allocating a fresh
+    /// `KnnHeap` (heap buffer + hash set) per query keeps the hot loop
+    /// allocation-free. A reset heap behaves exactly like
+    /// [`KnnHeap::new(k)`].
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be at least 1");
+        self.k = k;
+        self.heap.clear();
+        self.members.clear();
+    }
+
     /// The number of candidates currently held (at most `k`).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -319,10 +337,18 @@ impl KnnHeap {
     }
 
     /// Finalizes the heap into a sorted answer set.
-    pub fn into_answer_set(self) -> AnswerSet {
+    pub fn into_answer_set(mut self) -> AnswerSet {
+        self.take_answer_set()
+    }
+
+    /// Drains the heap into a sorted answer set, leaving the heap empty but
+    /// with its allocations intact — the companion of [`KnnHeap::reset`] for
+    /// loops that answer many queries with one reused heap.
+    pub fn take_answer_set(&mut self) -> AnswerSet {
+        self.members.clear();
         AnswerSet::from_unsorted(
             self.heap
-                .into_iter()
+                .drain()
                 .map(|e| Answer::new(e.id, e.distance))
                 .collect(),
         )
@@ -432,6 +458,51 @@ mod tests {
         let ans = h.into_answer_set();
         let ids: Vec<usize> = ans.iter().map(|a| a.id).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_reuses_a_heap_across_queries() {
+        let mut h = KnnHeap::new(2);
+        h.offer(0, 1.0);
+        h.offer(1, 2.0);
+        h.offer(2, 0.5);
+        // A reset heap must behave exactly like a fresh one, including a
+        // different k and cleared membership.
+        h.reset(3);
+        assert_eq!(h.k(), 3);
+        assert!(h.is_empty());
+        assert_eq!(h.threshold(), f64::INFINITY);
+        assert!(!h.contains(0), "membership must be cleared");
+        for (id, d) in [(5, 4.0), (6, 1.0), (7, 3.0), (8, 2.0)] {
+            h.offer(id, d);
+        }
+        let ids: Vec<usize> = h.into_answer_set().iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![6, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn reset_rejects_zero_k() {
+        KnnHeap::new(1).reset(0);
+    }
+
+    #[test]
+    fn take_answer_set_drains_without_consuming() {
+        let mut h = KnnHeap::new(2);
+        h.offer(3, 1.0);
+        h.offer(9, 0.5);
+        let first = h.take_answer_set();
+        assert_eq!(
+            first.iter().map(|a| a.id).collect::<Vec<_>>(),
+            vec![9, 3],
+            "drained in sorted order"
+        );
+        // The drained heap is immediately reusable.
+        assert!(h.is_empty());
+        assert!(!h.contains(9));
+        h.reset(1);
+        h.offer(1, 2.0);
+        assert_eq!(h.take_answer_set().nearest().unwrap().id, 1);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * the unified dyn-dispatch query driver ([`QueryEngine`]) that answers and
 //!   measures queries identically across all ten methods in [`engine`],
 //!   including the multi-threaded workload driver
-//!   ([`QueryEngine::answer_workload`]) built on the primitives in
+//!   ([`QueryEngine::answer_workload`]) and the batched driver
+//!   ([`QueryEngine::answer_batch`], backed by the opt-in
+//!   [`method::BatchAnswering`] capability that amortizes one data pass
+//!   across a whole batch of queries) built on the primitives in
 //!   [`parallel`],
 //! * the persistence interface ([`PersistentIndex`]) through which index
 //!   methods snapshot their built structure to disk and reload it
@@ -51,7 +54,8 @@ pub use engine::{EngineAnswer, FallbackPolicy, IoSource, QueryEngine};
 pub use error::{Error, Result};
 pub use knn::{Answer, AnswerSet, Guarantee, KnnHeap};
 pub use method::{
-    AnsweringMethod, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor, ModeCapabilities,
+    AnsweringMethod, BatchAnswering, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor,
+    ModeCapabilities,
 };
 pub use parallel::Parallelism;
 pub use persist::{PersistentIndex, SnapshotSink, SnapshotSource};

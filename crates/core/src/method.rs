@@ -289,6 +289,108 @@ pub trait AnsweringMethod: Send + Sync {
     fn index_footprint(&self) -> Option<IndexFootprint> {
         None
     }
+
+    /// The method's native batch kernel, when it has one.
+    ///
+    /// The default is `None`: [`crate::engine::QueryEngine::answer_batch`]
+    /// then answers the batch through the per-query loop, so every method
+    /// keeps working unchanged. Methods that can amortize one data pass
+    /// across a batch (the scans, the VA+file filter sweep, the ADS+ SIMS
+    /// summary sweep) override this to return `Some(self)`.
+    fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
+        None
+    }
+}
+
+/// The opt-in batched answering capability: one shared data pass answers a
+/// whole batch of queries.
+///
+/// The paper's cost model is dominated by data passes — a scan pays one full
+/// sequential sweep *per query*, and the summary-array methods pay one
+/// summary sweep per query. A method that can amortize that pass across Q
+/// queries implements this trait and exposes it through
+/// [`AnsweringMethod::batch_answering`]; methods without a native batch
+/// kernel simply inherit the default (`None`) and the engine falls back to
+/// the per-query loop.
+///
+/// # Contract (enforced by `tests/batch_agreement.rs`)
+///
+/// For every query `i`, the returned `AnswerSet` **and** the counters written
+/// into `stats[i]` must be bit-identical to what the engine's serial
+/// per-query path produces for `queries[i]` — including the store-reconciled
+/// I/O attribution (see [`crate::stats::QueryStats::reconcile_io`]). Only the
+/// wall-clock time fields may differ. The kernel must therefore:
+///
+/// * keep each query's best-so-far evolution independent and in the same
+///   candidate order as the serial code path;
+/// * self-attribute per-query *logical* I/O (the pages the query would have
+///   cost on its own), leaving the shared pass's *physical* traffic on the
+///   store counters for the engine to observe at batch scope;
+/// * invalidate the simulated disk head before any per-query private read
+///   phase, mirroring the engine's per-query counter reset.
+///
+/// Implementations may assume the engine has already routed modes (every
+/// query's [`AnswerMode`] is within the method's capabilities) but must still
+/// validate lengths and dataset emptiness; any error makes the engine rerun
+/// the batch through the per-query loop, which reproduces the serial error
+/// semantics exactly.
+pub trait BatchAnswering: Send + Sync {
+    /// Answers all `queries` in one shared pass, writing query `i`'s work
+    /// counters into `stats[i]`.
+    ///
+    /// `stats` has the same length as `queries` (zero-initialized by the
+    /// engine).
+    fn answer_batch(&self, queries: &[Query], stats: &mut [QueryStats]) -> Result<Vec<AnswerSet>>;
+}
+
+/// Validates that every query of a batch has length `expected`, returning
+/// the serial path's typed [`crate::Error::LengthMismatch`] for the first
+/// mismatch in batch order. Part of the shared batch-kernel prelude, so the
+/// five native kernels cannot drift apart in their validation.
+pub fn batch_expect_length(queries: &[Query], expected: usize) -> Result<()> {
+    for query in queries {
+        if query.len() != expected {
+            return Err(crate::Error::LengthMismatch {
+                expected,
+                actual: query.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates that every query of a batch is an exact-mode query, returning
+/// the serial path's typed [`crate::Error::UnsupportedMode`] (naming
+/// `method`) for the first non-exact query in batch order. Used by the
+/// exact-only scans' batch kernels.
+pub fn batch_expect_exact(queries: &[Query], method: &'static str) -> Result<()> {
+    for query in queries {
+        if !query.mode().is_exact() {
+            return Err(crate::Error::unsupported_mode(method, query.mode()));
+        }
+    }
+    Ok(())
+}
+
+/// Collects the `k` of every k-NN query of a batch, returning the typed
+/// [`crate::Error::UnsupportedQuery`] (naming `method`) for the first range
+/// query in batch order.
+pub fn batch_knn_ks(queries: &[Query], method: &'static str) -> Result<Vec<usize>> {
+    queries.iter().map(|q| q.knn_k(method)).collect()
+}
+
+/// Distributes a shared pass's elapsed wall time evenly across the batch's
+/// per-query stats — the amortized per-query CPU cost a batch kernel
+/// reports in place of the serial path's per-query timing. No-op on an
+/// empty batch.
+pub fn share_batch_cpu_time(stats: &mut [QueryStats], elapsed: std::time::Duration) {
+    if stats.is_empty() {
+        return;
+    }
+    let share = elapsed / stats.len() as u32;
+    for stats in stats.iter_mut() {
+        stats.cpu_time += share;
+    }
 }
 
 /// An index structure built over a dataset ahead of query time.
@@ -441,6 +543,40 @@ mod tests {
             }
             Ok(heap.into_answer_set())
         }
+    }
+
+    #[test]
+    fn batch_prelude_helpers_mirror_the_serial_checks() {
+        let q32 = Query::nearest_neighbor(Series::new(vec![0.0; 32]));
+        let q16 = Query::knn(Series::new(vec![0.0; 16]), 3);
+        assert!(batch_expect_length(std::slice::from_ref(&q32), 32).is_ok());
+        assert!(matches!(
+            batch_expect_length(&[q32.clone(), q16.clone()], 32),
+            Err(crate::Error::LengthMismatch {
+                expected: 32,
+                actual: 16
+            })
+        ));
+        assert!(batch_expect_exact(std::slice::from_ref(&q32), "Scan").is_ok());
+        let ng = q32
+            .clone()
+            .with_mode(crate::query::AnswerMode::NgApproximate);
+        assert!(matches!(
+            batch_expect_exact(&[q32.clone(), ng], "Scan"),
+            Err(crate::Error::UnsupportedMode { method: "Scan", .. })
+        ));
+        assert_eq!(batch_knn_ks(&[q32.clone(), q16], "M").unwrap(), vec![1, 3]);
+        let range = Query::range(Series::new(vec![0.0; 32]), 1.0);
+        assert!(matches!(
+            batch_knn_ks(&[q32, range], "M"),
+            Err(crate::Error::UnsupportedQuery { method: "M", .. })
+        ));
+        let mut stats = vec![QueryStats::default(); 4];
+        share_batch_cpu_time(&mut stats, std::time::Duration::from_millis(8));
+        assert!(stats
+            .iter()
+            .all(|s| s.cpu_time == std::time::Duration::from_millis(2)));
+        share_batch_cpu_time(&mut [], std::time::Duration::from_millis(8));
     }
 
     #[test]

@@ -144,6 +144,22 @@ impl QueryStats {
         }
     }
 
+    /// Reconciles store-observed I/O into these stats: methods charge leaf
+    /// and filter reads through their stats while the store counters cover
+    /// raw-file traffic, so whichever accounting path recorded more pages
+    /// wins and neither is lost.
+    ///
+    /// This is the single reconciliation rule of the suite — applied by the
+    /// engine around every serial query, and by batch kernels per query so
+    /// that batched stats stay bit-identical to the serial path.
+    pub fn reconcile_io(&mut self, observed: IoSnapshot) {
+        if observed.total_pages() > self.io_snapshot().total_pages() {
+            self.sequential_page_accesses = observed.sequential_pages;
+            self.random_page_accesses = observed.random_pages;
+            self.bytes_read = observed.bytes_read;
+        }
+    }
+
     /// The pruning ratio of this query against a dataset of `dataset_size`
     /// series: `1 - examined / dataset_size`. Clamped to `[0, 1]`.
     pub fn pruning_ratio(&self, dataset_size: usize) -> f64 {
@@ -384,6 +400,31 @@ mod tests {
         assert_eq!(a.random_page_accesses, 3);
         assert_eq!(a.bytes_read, 5120);
         assert_eq!(a.total_time(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn reconcile_io_keeps_the_larger_recording() {
+        let mut s = QueryStats::default();
+        s.record_io(5, 1, 4096);
+        // The store observed less: the stats-side recording survives.
+        s.reconcile_io(IoSnapshot {
+            sequential_pages: 1,
+            random_pages: 1,
+            bytes_read: 100,
+            bytes_written: 0,
+        });
+        assert_eq!(s.sequential_page_accesses, 5);
+        assert_eq!(s.bytes_read, 4096);
+        // The store observed more: its counters replace the stats-side ones.
+        s.reconcile_io(IoSnapshot {
+            sequential_pages: 10,
+            random_pages: 3,
+            bytes_read: 1 << 20,
+            bytes_written: 0,
+        });
+        assert_eq!(s.sequential_page_accesses, 10);
+        assert_eq!(s.random_page_accesses, 3);
+        assert_eq!(s.bytes_read, 1 << 20);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
-    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
+    ExactIndex, IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats,
+    Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -120,6 +121,54 @@ impl AdsPlus {
             }
         }
     }
+
+    /// SIMS step 3 for one query: the skip-sequential pass over the raw
+    /// file, reading contiguous runs of non-pruned candidates (one seek +
+    /// sequential transfer per run) and refining the best-so-far. The
+    /// ε-relaxed modes skip a candidate as soon as its bound reaches
+    /// `bsf * shrink` with `shrink = δ/(1+ε)` (1 for exact, so ε = 0 is
+    /// bit-identical).
+    ///
+    /// Shared verbatim by the serial path and the batch kernel.
+    fn skip_sequential_scan(
+        &self,
+        query: &Query,
+        bounds: &[f64],
+        shrink: f64,
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+    ) {
+        let n = self.store.len();
+        let mut id = 0usize;
+        while id < n {
+            if heap.is_full() && bounds[id] >= heap.threshold() * shrink {
+                id += 1;
+                continue;
+            }
+            // Extend a contiguous run of non-pruned candidates and read it in
+            // one go (one seek + sequential transfer).
+            let run_start = id;
+            let threshold = heap.threshold() * shrink;
+            while id < n && !(heap.is_full() && bounds[id] >= threshold) {
+                id += 1;
+            }
+            let run = self.store.read_run(run_start, id - run_start);
+            for (offset, series) in run.iter().enumerate() {
+                let sid = run_start + offset;
+                stats.record_raw_series_examined(1);
+                match hydra_core::distance::squared_euclidean_early_abandon(
+                    query.values(),
+                    series.values(),
+                    heap.threshold_squared(),
+                ) {
+                    Some(sq) => {
+                        heap.offer(sid, sq.sqrt());
+                    }
+                    None => stats.record_early_abandon(),
+                }
+            }
+        }
+    }
 }
 
 fn log2_ceil(x: usize) -> u32 {
@@ -186,47 +235,134 @@ impl AnsweringMethod for AdsPlus {
             })
             .collect();
 
-        // Step 3: skip-sequential scan over the raw file. The ε-relaxed modes
-        // skip a candidate as soon as its bound reaches `bsf * shrink` with
-        // `shrink = δ/(1+ε)` (1 for exact, so ε = 0 is bit-identical).
-        let shrink = mode.prune_shrink();
-        let n = self.store.len();
-        let mut id = 0usize;
-        while id < n {
-            if heap.is_full() && bounds[id] >= heap.threshold() * shrink {
-                id += 1;
-                continue;
-            }
-            // Extend a contiguous run of non-pruned candidates and read it in
-            // one go (one seek + sequential transfer).
-            let run_start = id;
-            let threshold = heap.threshold() * shrink;
-            while id < n && !(heap.is_full() && bounds[id] >= threshold) {
-                id += 1;
-            }
-            let run = self.store.read_run(run_start, id - run_start);
-            for (offset, series) in run.iter().enumerate() {
-                let sid = run_start + offset;
-                stats.record_raw_series_examined(1);
-                match hydra_core::distance::squared_euclidean_early_abandon(
-                    query.values(),
-                    series.values(),
-                    heap.threshold_squared(),
-                ) {
-                    Some(sq) => {
-                        heap.offer(sid, sq.sqrt());
-                    }
-                    None => stats.record_early_abandon(),
-                }
-            }
-        }
+        // Step 3: skip-sequential scan over the raw file (see
+        // `skip_sequential_scan`).
+        self.skip_sequential_scan(query, &bounds, mode.prune_shrink(), &mut heap, stats);
 
         let delta = self.store.thread_io_snapshot().since(&io_before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
+
+    fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
+        Some(self)
+    }
 }
+
+impl BatchAnswering for AdsPlus {
+    /// The batched SIMS: the in-memory summary array is swept **once** for
+    /// the whole batch — each full-resolution SAX word is widened to its
+    /// iSAX form a single time and MINDIST-scored against every non-ng query
+    /// while cache-resident — before the per-query phases run. The bsf
+    /// seeding descent and the skip-sequential raw-file pass stay per query
+    /// (each query's skip pattern follows its own evolving best-so-far),
+    /// run back to back over a head-invalidated store delta so their I/O is
+    /// attributed exactly as the serial path. Answers and per-query counters
+    /// are bit-identical to the per-query loop; ng-approximate queries in
+    /// the batch skip the summary sweep entirely, like the serial path.
+    ///
+    /// The bounds matrix is blocked over [`BOUNDS_BLOCK_QUERIES`] queries at
+    /// a time, so the kernel's transient memory is `O(block · N)` regardless
+    /// of batch size (one summary sweep per block still amortizes the sweep
+    /// block-fold; bound values are per-(query, series) and unaffected).
+    fn answer_batch(&self, queries: &[Query], stats: &mut [QueryStats]) -> Result<Vec<AnswerSet>> {
+        hydra_core::method::batch_expect_length(queries, self.store.series_length())?;
+        let ks = hydra_core::method::batch_knn_ks(queries, "ADS+")?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let clock = hydra_core::RunClock::start();
+        let params = self.tree.params();
+        let max_bits = params.max_bits();
+        let n = self.store.len();
+
+        let mut bounds = vec![0.0f64; BOUNDS_BLOCK_QUERIES.min(queries.len()) * n];
+        let mut heap = KnnHeap::new(1);
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut block_start = 0usize;
+        for (block_queries, block_stats) in queries
+            .chunks(BOUNDS_BLOCK_QUERIES)
+            .zip(stats.chunks_mut(BOUNDS_BLOCK_QUERIES))
+        {
+            let query_paas: Vec<Vec<f32>> = block_queries
+                .iter()
+                .map(|q| params.paa().transform(q.values()))
+                .collect();
+
+            // Step 2 first, shared across the block (the bounds depend only
+            // on the query summaries, never on the seeded bsf): one sweep
+            // over the summary array scores every exact-phase query of the
+            // block. ng-approximate queries never compute lower bounds,
+            // exactly like the serial path.
+            let sweep_rows: Vec<Option<usize>> = {
+                let mut next_row = 0usize;
+                block_queries
+                    .iter()
+                    .map(|q| {
+                        (q.mode() != AnswerMode::NgApproximate).then(|| {
+                            let row = next_row;
+                            next_row += 1;
+                            row
+                        })
+                    })
+                    .collect()
+            };
+            if sweep_rows.iter().flatten().count() > 0 {
+                for (i, sax) in self.summaries.iter().enumerate() {
+                    let isax = sax.to_isax(max_bits, max_bits);
+                    for ((qi, row), stats) in
+                        sweep_rows.iter().enumerate().zip(block_stats.iter_mut())
+                    {
+                        if let Some(row) = row {
+                            stats.record_lower_bounds(1);
+                            bounds[row * n + i] =
+                                params.mindist_paa_to_isax(&query_paas[qi], &isax);
+                        }
+                    }
+                }
+            }
+
+            // Steps 1 and 3 per query, contiguous over a head-invalidated
+            // store delta so run classification matches the serial path's
+            // per-query counter reset.
+            for ((qi, query), stats) in block_queries.iter().enumerate().zip(block_stats.iter_mut())
+            {
+                let mode = query.mode();
+                heap.reset(ks[block_start + qi]);
+                self.store.invalidate_head();
+                let io_before = self.store.thread_io_snapshot();
+                self.approximate_bsf(
+                    query,
+                    &query_paas[qi],
+                    &mut heap,
+                    stats,
+                    mode == AnswerMode::NgApproximate,
+                );
+                if let Some(row) = sweep_rows[qi] {
+                    self.skip_sequential_scan(
+                        query,
+                        &bounds[row * n..(row + 1) * n],
+                        mode.prune_shrink(),
+                        &mut heap,
+                        stats,
+                    );
+                }
+                let delta = self.store.thread_io_snapshot().since(&io_before);
+                stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+                answers.push(heap.take_answer_set().with_guarantee(mode.guarantee()));
+            }
+            block_start += block_queries.len();
+        }
+        hydra_core::method::share_batch_cpu_time(stats, clock.elapsed());
+        Ok(answers)
+    }
+}
+
+/// How many queries the batched SIMS bounds per sweep of the summary array:
+/// large enough that the sweep is amortized ~64×, small enough that the
+/// transient bounds matrix stays `O(64 · N)` for any batch size.
+const BOUNDS_BLOCK_QUERIES: usize = 64;
 
 impl ExactIndex for AdsPlus {
     fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self> {
@@ -444,6 +580,64 @@ mod tests {
             assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
             assert_eq!(s1.random_page_accesses, s2.random_page_accesses);
         }
+    }
+
+    #[test]
+    fn batched_sims_matches_the_per_query_path_including_ng_queries() {
+        use hydra_core::{Parallelism, QueryEngine};
+        let (store, _) = build(400, 64, 20);
+        let mut queries: Vec<Query> = RandomWalkGenerator::new(173, 64)
+            .series_batch(4)
+            .into_iter()
+            .map(|s| Query::knn(s, 3))
+            .collect();
+        // An ng query in the middle of the batch must skip the shared
+        // summary sweep, exactly like the serial path.
+        queries.insert(
+            2,
+            Query::nearest_neighbor(store.dataset().series(77).to_owned_series())
+                .with_mode(AnswerMode::NgApproximate),
+        );
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_leaf_capacity(20)
+            .with_alphabet_size(256);
+        let engine_on = |st: &Arc<DatasetStore>| {
+            QueryEngine::new(
+                Box::new(AdsPlus::build_on_store(st.clone(), &options).unwrap()),
+                st.len(),
+            )
+            .with_io_source(st.clone())
+        };
+        let mut serial = engine_on(&store);
+        let serial_answers: Vec<_> = queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+        let store2 = Arc::new(DatasetStore::new(store.dataset().clone()));
+        let mut batched = engine_on(&store2);
+        let batch_answers = batched.answer_batch(&queries, Parallelism::Serial).unwrap();
+        for (qi, (a, b)) in serial_answers.iter().zip(&batch_answers).enumerate() {
+            assert_eq!(a.answers, b.answers, "query {qi}");
+            assert_eq!(a.guarantee, b.guarantee, "query {qi}");
+            assert_eq!(
+                a.stats.raw_series_examined, b.stats.raw_series_examined,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.lower_bounds_computed, b.stats.lower_bounds_computed,
+                "query {qi}"
+            );
+            assert_eq!(a.stats.leaves_visited, b.stats.leaves_visited, "query {qi}");
+            assert_eq!(a.stats.early_abandons, b.stats.early_abandons, "query {qi}");
+            assert_eq!(
+                a.stats.sequential_page_accesses, b.stats.sequential_page_accesses,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.random_page_accesses, b.stats.random_page_accesses,
+                "query {qi}"
+            );
+        }
+        // The ng query recorded no lower bounds in either path.
+        assert_eq!(serial_answers[2].stats.lower_bounds_computed, 0);
     }
 
     #[test]

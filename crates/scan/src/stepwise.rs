@@ -15,8 +15,8 @@
 //! pattern responsible for its high cost in the paper's evaluation.
 
 use hydra_core::{
-    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
-    QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, Error, KnnHeap, MethodDescriptor, ModeCapabilities,
+    Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::HaarTransform;
@@ -86,6 +86,93 @@ impl Stepwise {
     pub fn preprocessing_bytes(&self) -> u64 {
         self.preprocessing_bytes
     }
+
+    /// Runs one filter level for one query: updates its prefix distances and
+    /// alive set, records the level's (logical) sequential read and the
+    /// lower-bound evaluations. `uppers` is caller-provided scratch, refilled
+    /// here — reused across levels (and, in the batched kernel, across
+    /// queries) so the filter loop performs no per-level allocation.
+    ///
+    /// Shared verbatim by the serial path and the batch kernel, so per-query
+    /// filtering work is bit-identical between the two.
+    #[allow(clippy::too_many_arguments)]
+    fn filter_level(
+        &self,
+        level: usize,
+        q_coeffs: &[f32],
+        k: usize,
+        prefix_sq: &mut [f64],
+        alive: &mut [bool],
+        alive_count: &mut usize,
+        uppers: &mut [f64],
+        stats: &mut QueryStats,
+    ) {
+        let n = self.store.len();
+        let lo = if level == 0 { 0 } else { 1usize << (level - 1) };
+        let hi = (1usize << level).min(q_coeffs.len());
+        let q_rest: f64 = q_coeffs[hi..]
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>();
+        // Reading this level's coefficients for the alive candidates is a
+        // sequential pass over the level file.
+        let level_bytes = (*alive_count * (hi - lo) * std::mem::size_of::<f32>()) as u64;
+        let level_pages = level_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
+        stats.record_io(level_pages.saturating_sub(1), 1, level_bytes);
+
+        // Update prefix distances and bounds.
+        let mut best_upper = f64::INFINITY;
+        uppers.fill(f64::INFINITY);
+        for id in 0..n {
+            if !alive[id] {
+                continue;
+            }
+            let coeffs = &self.levels[level][id];
+            let mut add = 0.0f64;
+            for (j, &c) in coeffs.iter().enumerate() {
+                let d = (q_coeffs[lo + j] - c) as f64;
+                add += d * d;
+            }
+            prefix_sq[id] += add;
+            stats.record_lower_bounds(1);
+            let rest = self.residuals[level][id].sqrt() + q_rest.sqrt();
+            let upper = (prefix_sq[id] + rest * rest).sqrt();
+            uppers[id] = upper;
+            if upper < best_upper {
+                best_upper = upper;
+            }
+        }
+        // Keep the k best upper bounds as the pruning threshold (so that a
+        // k-NN query never prunes a potential member of the answer set).
+        let threshold = if k == 1 {
+            best_upper
+        } else {
+            let mut ub: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
+            ub.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            ub.get(k - 1).copied().unwrap_or(best_upper)
+        };
+        for (flag, p_sq) in alive.iter_mut().zip(prefix_sq.iter()) {
+            if *flag && p_sq.sqrt() > threshold + 1e-9 {
+                *flag = false;
+                *alive_count -= 1;
+            }
+        }
+    }
+
+    /// Refines the surviving candidates of one query on the raw data
+    /// (random accesses through the store), offering them into `heap`.
+    fn refine(&self, query: &Query, alive: &[bool], heap: &mut KnnHeap, stats: &mut QueryStats) {
+        for id in alive
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| a.then_some(id))
+        {
+            let series = self.store.read_series(id);
+            stats.record_raw_series_examined(1);
+            let d = hydra_core::distance::euclidean(query.values(), series.values());
+            heap.offer(id, d);
+        }
+    }
 }
 
 impl AnsweringMethod for Stepwise {
@@ -114,82 +201,106 @@ impl AnsweringMethod for Stepwise {
         let q_coeffs = self.haar.transform(query.values());
         let n = self.store.len();
 
-        // Running squared prefix distance per candidate, plus alive flags.
+        // Running squared prefix distance per candidate, plus alive flags;
+        // the upper-bound scratch is allocated once and reused across levels.
         let mut prefix_sq = vec![0.0f64; n];
         let mut alive: Vec<bool> = vec![true; n];
         let mut alive_count = n;
-
-        let page_bytes = self.store.page_bytes() as u64;
+        let mut uppers = vec![f64::INFINITY; n];
 
         for level in 0..self.levels.len() {
-            let lo = if level == 0 { 0 } else { 1usize << (level - 1) };
-            let hi = (1usize << level).min(q_coeffs.len());
-            let q_rest: f64 = q_coeffs[hi..]
-                .iter()
-                .map(|&v| (v as f64) * (v as f64))
-                .sum::<f64>();
-            // Reading this level's coefficients for the alive candidates is a
-            // sequential pass over the level file.
-            let level_bytes = (alive_count * (hi - lo) * std::mem::size_of::<f32>()) as u64;
-            let level_pages = level_bytes.div_ceil(page_bytes).max(1);
-            stats.record_io(level_pages.saturating_sub(1), 1, level_bytes);
-
-            // Update prefix distances and bounds.
-            let mut best_upper = f64::INFINITY;
-            let mut uppers = vec![f64::INFINITY; n];
-            for id in 0..n {
-                if !alive[id] {
-                    continue;
-                }
-                let coeffs = &self.levels[level][id];
-                let mut add = 0.0f64;
-                for (j, &c) in coeffs.iter().enumerate() {
-                    let d = (q_coeffs[lo + j] - c) as f64;
-                    add += d * d;
-                }
-                prefix_sq[id] += add;
-                stats.record_lower_bounds(1);
-                let rest = self.residuals[level][id].sqrt() + q_rest.sqrt();
-                let upper = (prefix_sq[id] + rest * rest).sqrt();
-                uppers[id] = upper;
-                if upper < best_upper {
-                    best_upper = upper;
-                }
-            }
-            // Keep the k best upper bounds as the pruning threshold (so that a
-            // k-NN query never prunes a potential member of the answer set).
-            let threshold = if k == 1 {
-                best_upper
-            } else {
-                let mut ub: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
-                ub.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                ub.get(k - 1).copied().unwrap_or(best_upper)
-            };
-            for (flag, p_sq) in alive.iter_mut().zip(&prefix_sq) {
-                if *flag && p_sq.sqrt() > threshold + 1e-9 {
-                    *flag = false;
-                    alive_count -= 1;
-                }
-            }
+            self.filter_level(
+                level,
+                &q_coeffs,
+                k,
+                &mut prefix_sq,
+                &mut alive,
+                &mut alive_count,
+                &mut uppers,
+                stats,
+            );
         }
 
         // Refinement: exact distances on the raw data for the survivors,
         // charged as random accesses.
         let mut heap = KnnHeap::new(k);
-        for id in alive
-            .iter()
-            .enumerate()
-            .filter_map(|(id, &a)| a.then_some(id))
-        {
-            let series = self.store.read_series(id);
-            stats.record_raw_series_examined(1);
-            let d = hydra_core::distance::euclidean(query.values(), series.values());
-            heap.offer(id, d);
-        }
+        self.refine(query, &alive, &mut heap, stats);
         stats.cpu_time += clock.elapsed();
         // I/O for the refinement reads was recorded by the store counters;
         // the engine reconciles it into the stats snapshot.
         Ok(heap.into_answer_set())
+    }
+
+    fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
+        Some(self)
+    }
+}
+
+impl BatchAnswering for Stepwise {
+    /// The batched multi-step filter: the level loop moves outermost, so one
+    /// pass over each level's coefficient storage serves every query of the
+    /// batch (the level's arrays stay cache-resident across the Q per-query
+    /// updates) before the next level is touched. Each query's alive set,
+    /// prefix distances and pruning thresholds evolve exactly as on the
+    /// serial path, and its refinement reads are individually attributed
+    /// through head-invalidated store deltas, so answers and per-query
+    /// counters are bit-identical to the per-query loop.
+    fn answer_batch(&self, queries: &[Query], stats: &mut [QueryStats]) -> Result<Vec<AnswerSet>> {
+        hydra_core::method::batch_expect_length(queries, self.store.series_length())?;
+        hydra_core::method::batch_expect_exact(queries, "Stepwise")?;
+        let ks = hydra_core::method::batch_knn_ks(queries, "Stepwise")?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let clock = hydra_core::RunClock::start();
+        let n = self.store.len();
+        let q_coeffs: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| self.haar.transform(q.values()))
+            .collect();
+        let mut prefix_sq: Vec<Vec<f64>> = vec![vec![0.0f64; n]; queries.len()];
+        let mut alive: Vec<Vec<bool>> = vec![vec![true; n]; queries.len()];
+        let mut alive_counts = vec![n; queries.len()];
+        // One upper-bound scratch shared by every (level, query) pass.
+        let mut uppers = vec![f64::INFINITY; n];
+
+        for level in 0..self.levels.len() {
+            for qi in 0..queries.len() {
+                self.filter_level(
+                    level,
+                    &q_coeffs[qi],
+                    ks[qi],
+                    &mut prefix_sq[qi],
+                    &mut alive[qi],
+                    &mut alive_counts[qi],
+                    &mut uppers,
+                    &mut stats[qi],
+                );
+            }
+        }
+
+        // Per-query refinement: invalidate the simulated disk head first so
+        // the store delta classifies this query's reads exactly as the
+        // serial path (whose engine-level counter reset freshens the head),
+        // then reconcile the observed refinement traffic like the engine
+        // does around a serial query.
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut heap = KnnHeap::new(1);
+        for ((query, &k), (alive, stats)) in queries
+            .iter()
+            .zip(&ks)
+            .zip(alive.iter().zip(stats.iter_mut()))
+        {
+            heap.reset(k);
+            self.store.invalidate_head();
+            let before = self.store.thread_io_snapshot();
+            self.refine(query, alive, &mut heap, stats);
+            let observed = self.store.thread_io_snapshot().since(&before);
+            stats.reconcile_io(observed);
+            answers.push(heap.take_answer_set());
+        }
+        hydra_core::method::share_batch_cpu_time(stats, clock.elapsed());
+        Ok(answers)
     }
 }
 
@@ -274,6 +385,52 @@ mod tests {
         s.answer(&Query::nearest_neighbor(q), &mut stats).unwrap();
         let io = st.io_snapshot();
         assert!(io.random_pages >= 1, "refinement reads are random accesses");
+    }
+
+    #[test]
+    fn batched_stepwise_matches_the_serial_loop_counters_included() {
+        use hydra_core::{Parallelism, QueryEngine};
+        // Mix member queries (strong pruning, few refinement reads) with
+        // random ones (many survivors) so the per-query I/O attribution and
+        // the engine's reconciliation rule are both exercised.
+        let st = store(250, 64);
+        let mut queries: Vec<Query> = RandomWalkGenerator::new(92, 64)
+            .series_batch(4)
+            .into_iter()
+            .map(|s| Query::knn(s, 3))
+            .collect();
+        queries.push(Query::nearest_neighbor(
+            st.dataset().series(111).to_owned_series(),
+        ));
+        let mut serial = QueryEngine::new(Box::new(Stepwise::build(st.clone()).unwrap()), st.len())
+            .with_io_source(st);
+        let serial_answers: Vec<_> = queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+
+        let st2 = store(250, 64);
+        let mut batched =
+            QueryEngine::new(Box::new(Stepwise::build(st2.clone()).unwrap()), st2.len())
+                .with_io_source(st2);
+        let batch_answers = batched.answer_batch(&queries, Parallelism::Serial).unwrap();
+        for (qi, (a, b)) in serial_answers.iter().zip(&batch_answers).enumerate() {
+            assert_eq!(a.answers, b.answers, "query {qi}");
+            assert_eq!(
+                a.stats.raw_series_examined, b.stats.raw_series_examined,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.lower_bounds_computed, b.stats.lower_bounds_computed,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.sequential_page_accesses, b.stats.sequential_page_accesses,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.random_page_accesses, b.stats.random_page_accesses,
+                "query {qi}"
+            );
+            assert_eq!(a.stats.bytes_read, b.stats.bytes_read, "query {qi}");
+        }
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! pass over the dataset per query, which makes its I/O profile the reference
 //! point every index is compared against.
 
-use hydra_core::distance::{squared_euclidean_reordered, QueryOrder};
+use hydra_core::distance::{
+    squared_euclidean_multi_reordered, squared_euclidean_reordered, QueryOrder,
+};
 use hydra_core::{
-    AnswerSet, AnsweringMethod, Error, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
-    QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, Error, KnnHeap, MethodDescriptor, ModeCapabilities,
+    Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use std::sync::Arc;
@@ -86,6 +88,72 @@ impl AnsweringMethod for UcrScan {
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         Ok(heap.into_answer_set())
+    }
+
+    fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
+        Some(self)
+    }
+}
+
+impl BatchAnswering for UcrScan {
+    /// The batched scan: **one** sequential pass over the dataset evaluates
+    /// every query of the batch against each candidate (query-major, the
+    /// candidate stays cache-resident across the Q inner kernels), with each
+    /// query early-abandoning against its own best-so-far.
+    ///
+    /// Candidates are visited in the same storage order as the serial scan
+    /// and each query's best-so-far evolves independently, so answers and
+    /// per-query counters (series examined, early abandons, the full logical
+    /// pass of I/O) are bit-identical to the per-query loop — only the
+    /// *physical* traffic shrinks from Q passes to one.
+    fn answer_batch(&self, queries: &[Query], stats: &mut [QueryStats]) -> Result<Vec<AnswerSet>> {
+        if self.store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        hydra_core::method::batch_expect_length(queries, self.store.series_length())?;
+        hydra_core::method::batch_expect_exact(queries, "UCR-Suite")?;
+        let ks = hydra_core::method::batch_knn_ks(queries, "UCR-Suite")?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let clock = hydra_core::RunClock::start();
+        let query_values: Vec<&[f32]> = queries.iter().map(|q| q.values()).collect();
+        let orders: Vec<QueryOrder> = query_values.iter().map(|q| QueryOrder::new(q)).collect();
+        let mut heaps: Vec<KnnHeap> = ks.iter().map(|&k| KnnHeap::new(k)).collect();
+        let mut thresholds = vec![f64::INFINITY; queries.len()];
+        let mut distances: Vec<Option<f64>> = vec![None; queries.len()];
+        self.store.scan_all(|id, series| {
+            for (threshold, heap) in thresholds.iter_mut().zip(&heaps) {
+                *threshold = heap.threshold_squared();
+            }
+            squared_euclidean_multi_reordered(
+                &query_values,
+                &orders,
+                series.values(),
+                &thresholds,
+                &mut distances,
+            );
+            for ((distance, heap), stats) in distances.iter().zip(&mut heaps).zip(stats.iter_mut())
+            {
+                stats.record_raw_series_examined(1);
+                match distance {
+                    Some(sq) => {
+                        heap.offer(id, sq.sqrt());
+                    }
+                    None => stats.record_early_abandon(),
+                }
+            }
+        });
+        // Each query keeps the logical cost of its own full pass (identical
+        // to the serial loop); the shared pass's physical traffic stays on
+        // the store counters for the engine's batch-scoped accounting.
+        let pages = self.store.total_pages();
+        let bytes = (self.store.len() * self.store.series_bytes()) as u64;
+        for stats in stats.iter_mut() {
+            stats.record_io(pages - 1, 1, bytes);
+        }
+        hydra_core::method::share_batch_cpu_time(stats, clock.elapsed());
+        Ok(heaps.into_iter().map(KnnHeap::into_answer_set).collect())
     }
 }
 
@@ -164,6 +232,50 @@ mod tests {
         assert!(
             stats.early_abandons > 0,
             "early abandoning should trigger on most candidates"
+        );
+    }
+
+    #[test]
+    fn batched_scan_is_bit_identical_and_amortizes_the_physical_pass() {
+        use hydra_core::{Parallelism, QueryEngine};
+        let queries: Vec<Query> = RandomWalkGenerator::new(55, 128)
+            .series_batch(6)
+            .into_iter()
+            .map(|s| Query::knn(s, 3))
+            .collect();
+        let s1 = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(11, 128).dataset(200),
+        ));
+        let mut serial =
+            QueryEngine::new(Box::new(UcrScan::new(s1.clone())), s1.len()).with_io_source(s1);
+        let serial_answers: Vec<_> = queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+
+        let s2 = Arc::new(DatasetStore::new(
+            RandomWalkGenerator::new(11, 128).dataset(200),
+        ));
+        let mut batched = QueryEngine::new(Box::new(UcrScan::new(s2.clone())), s2.len())
+            .with_io_source(s2.clone());
+        let batch_answers = batched.answer_batch(&queries, Parallelism::Serial).unwrap();
+
+        for (a, b) in serial_answers.iter().zip(&batch_answers) {
+            assert_eq!(a.answers, b.answers);
+            assert_eq!(a.stats.raw_series_examined, b.stats.raw_series_examined);
+            assert_eq!(a.stats.early_abandons, b.stats.early_abandons);
+            assert_eq!(
+                a.stats.sequential_page_accesses,
+                b.stats.sequential_page_accesses
+            );
+            assert_eq!(a.stats.random_page_accesses, b.stats.random_page_accesses);
+            assert_eq!(a.stats.bytes_read, b.stats.bytes_read);
+        }
+        // Physically the whole batch cost ONE pass over the file...
+        let physical = batched.last_batch_io().expect("native kernel ran");
+        assert_eq!(physical.total_pages(), s2.total_pages());
+        assert_eq!(physical.random_pages, 1);
+        // ...while each query's logical counters keep the full per-query pass.
+        assert_eq!(
+            batch_answers[0].stats.sequential_page_accesses,
+            s2.total_pages() - 1
         );
     }
 

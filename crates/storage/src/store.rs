@@ -181,6 +181,24 @@ impl DatasetStore {
         self.counters.record_seek();
     }
 
+    /// Forgets the calling thread's disk-head position without touching its
+    /// counters — the next read is classified random, exactly as after
+    /// [`DatasetStore::reset_thread_io`].
+    ///
+    /// This is the batch-scoped attribution primitive: the engine resets a
+    /// worker's counter shard once per *query* on the serial path, but a
+    /// batch kernel answers many queries inside one engine-level reset. The
+    /// kernel calls this before each query's private read phase so that the
+    /// per-query `thread_io_snapshot` deltas classify sequential vs random
+    /// pages exactly as a serial run would, while the shard keeps
+    /// accumulating the batch's true physical totals.
+    pub fn invalidate_head(&self) {
+        // Same counter operation as an explicit seek; kept as a named alias
+        // so the two use cases cannot drift apart if seek classification
+        // ever changes.
+        self.seek();
+    }
+
     /// Records `bytes` of index payload written to this store's disk.
     pub fn record_index_write(&self, bytes: u64) {
         self.counters.record_write(bytes);
@@ -318,6 +336,23 @@ mod tests {
         store.seek();
         store.read_series(2);
         assert_eq!(store.io_snapshot().random_pages, 2);
+    }
+
+    #[test]
+    fn invalidate_head_classifies_like_a_fresh_reset_without_losing_counts() {
+        // Two "queries" inside one batch: reading series 4 directly after
+        // series 3 would normally continue the head; invalidating between
+        // them reproduces the per-query-reset classification (a cold random
+        // access) while the shard keeps both queries' totals.
+        let store = DatasetStore::new(dataset(64, 1024)); // 1 series = 1 page
+        store.read_series(3);
+        let between = store.thread_io_snapshot();
+        store.invalidate_head();
+        store.read_series(4);
+        let delta = store.thread_io_snapshot().since(&between);
+        assert_eq!(delta.random_pages, 1, "post-invalidation read is random");
+        assert_eq!(delta.sequential_pages, 0);
+        assert_eq!(store.thread_io_snapshot().total_pages(), 2, "nothing lost");
     }
 
     #[test]

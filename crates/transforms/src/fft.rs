@@ -127,13 +127,23 @@ impl Fft {
     /// Forward DFT of a real-valued series; returns `len` complex coefficients
     /// using the engineering convention `X[k] = Σ_t x[t]·e^{-2πi·kt/n}`.
     pub fn forward_real(&self, series: &[f32]) -> Vec<Complex> {
-        assert_eq!(series.len(), self.len, "series length mismatch");
-        let mut buf: Vec<Complex> = series
-            .iter()
-            .map(|&v| Complex::new(v as f64, 0.0))
-            .collect();
-        self.forward_in_place(&mut buf);
+        let mut buf = Vec::with_capacity(self.len);
+        self.forward_real_into(series, &mut buf);
         buf
+    }
+
+    /// Forward DFT of a real-valued series into a caller-provided buffer,
+    /// reusing its allocation.
+    ///
+    /// Scan loops transform one candidate per iteration; with a per-query
+    /// scratch buffer the hot loop performs no per-candidate allocation
+    /// (for power-of-two lengths — the direct-DFT fallback for other lengths
+    /// still buffers internally).
+    pub fn forward_real_into(&self, series: &[f32], out: &mut Vec<Complex>) {
+        assert_eq!(series.len(), self.len, "series length mismatch");
+        out.clear();
+        out.extend(series.iter().map(|&v| Complex::new(v as f64, 0.0)));
+        self.forward_in_place(out);
     }
 
     /// Forward DFT of complex input, in place.
@@ -346,6 +356,19 @@ mod tests {
                     "round trip failed for n={n}"
                 );
                 assert!(c.im.abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_real_into_reuses_the_buffer_and_matches_forward_real() {
+        for &n in &[16usize, 96] {
+            let fft = Fft::new(n);
+            let mut scratch = Vec::new();
+            for seed in 0..3 {
+                let series = lcg_series(n, seed);
+                fft.forward_real_into(&series, &mut scratch);
+                assert_eq!(scratch, fft.forward_real(&series), "n={n} seed={seed}");
             }
         }
     }

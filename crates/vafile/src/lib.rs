@@ -22,8 +22,9 @@
 
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
-    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
+    AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
+    ExactIndex, IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats,
+    Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{VaPlusCell, VaPlusQuantizer};
@@ -88,6 +89,55 @@ impl VaPlusFile {
     pub fn approximation_bytes(&self) -> usize {
         self.approximation_bytes
     }
+
+    /// Records one (logical) sequential pass over the filter file — what
+    /// phase 1 costs every query, batched or not.
+    fn record_filter_pass(&self, stats: &mut QueryStats) {
+        let approx_pages = (self.approximation_bytes as u64)
+            .div_ceil(self.store.page_bytes() as u64)
+            .max(1);
+        stats.record_io(
+            approx_pages.saturating_sub(1),
+            1,
+            self.approximation_bytes as u64,
+        );
+    }
+
+    /// Phase 2 for one query: visit candidates in increasing lower-bound
+    /// order, refining on raw data. The stopping rule depends on the mode:
+    /// exact refinement stops when the next lower bound exceeds the
+    /// best-so-far, the ε-relaxed modes stop as soon as it exceeds
+    /// `bsf * shrink` (`shrink = δ/(1+ε)`; 1 for exact, so ε = 0 is
+    /// bit-identical), and the ng-approximate mode refines only the `k`
+    /// best-ranked candidates (the VA+file has no leaves — its "one leaf
+    /// visit" is the k-deep filter-file prefix).
+    ///
+    /// Shared verbatim by the serial path and the batch kernel.
+    fn refine_ranked(
+        &self,
+        query: &Query,
+        k: usize,
+        ranked: &[(f64, usize)],
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+    ) {
+        let mode = query.mode();
+        let shrink = mode.prune_shrink();
+        let ng_budget = if mode == AnswerMode::NgApproximate {
+            k
+        } else {
+            usize::MAX
+        };
+        for &(lb, id) in ranked.iter().take(ng_budget) {
+            if heap.is_full() && lb > heap.threshold() * shrink {
+                break;
+            }
+            let series = self.store.read_series(id);
+            stats.record_raw_series_examined(1);
+            let d = hydra_core::distance::euclidean(query.values(), series.values());
+            heap.offer(id, d);
+        }
+    }
 }
 
 impl AnsweringMethod for VaPlusFile {
@@ -117,14 +167,7 @@ impl AnsweringMethod for VaPlusFile {
         let q_dft = self.quantizer.dft(query.values());
 
         // Phase 1: scan the filter file (sequential, small) computing bounds.
-        let approx_pages = (self.approximation_bytes as u64)
-            .div_ceil(self.store.page_bytes() as u64)
-            .max(1);
-        stats.record_io(
-            approx_pages.saturating_sub(1),
-            1,
-            self.approximation_bytes as u64,
-        );
+        self.record_filter_pass(stats);
         let mut ranked: Vec<(f64, usize)> = self
             .cells
             .iter()
@@ -138,39 +181,109 @@ impl AnsweringMethod for VaPlusFile {
         // (and with it the early-termination point) nondeterministically.
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-        // Phase 2: visit candidates in lower-bound order, refining on raw
-        // data. The stopping rule depends on the mode: exact refinement stops
-        // when the next lower bound exceeds the best-so-far, the ε-relaxed
-        // modes stop as soon as it exceeds `bsf * shrink` (`shrink =
-        // δ/(1+ε)`; 1 for exact, so ε = 0 is bit-identical), and the
-        // ng-approximate mode refines only the `k` best-ranked candidates
-        // (the VA+file has no leaves — its "one leaf visit" is the k-deep
-        // filter-file prefix).
-        let shrink = mode.prune_shrink();
-        let ng_budget = if mode == AnswerMode::NgApproximate {
-            k
-        } else {
-            usize::MAX
-        };
+        // Phase 2: mode-aware refinement (see `refine_ranked`).
         let mut heap = KnnHeap::new(k);
         // Thread-scoped snapshot: under a parallel workload each worker must
         // observe only its own refinement traffic.
         let before = self.store.thread_io_snapshot();
-        for &(lb, id) in ranked.iter().take(ng_budget) {
-            if heap.is_full() && lb > heap.threshold() * shrink {
-                break;
-            }
-            let series = self.store.read_series(id);
-            stats.record_raw_series_examined(1);
-            let d = hydra_core::distance::euclidean(query.values(), series.values());
-            heap.offer(id, d);
-        }
+        self.refine_ranked(query, k, &ranked, &mut heap, stats);
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
+
+    fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
+        Some(self)
+    }
 }
+
+impl BatchAnswering for VaPlusFile {
+    /// The batched VA+file: **one** sweep over the quantized cells computes
+    /// the lower bounds of every query of the batch (each cell is decoded
+    /// while cache-resident and scored Q times), and the ranked-candidate
+    /// buffer is one shared scratch allocation reused by every query's
+    /// refinement. Refinement itself stays per query — candidate order and
+    /// the mode-dependent stopping rule depend on each query's own bounds —
+    /// with head-invalidated store deltas attributing its random accesses
+    /// exactly as the serial path, so answers and per-query counters are
+    /// bit-identical to the per-query loop. Mixed answering modes compose
+    /// freely: the shared filter sweep is mode-independent.
+    ///
+    /// The bounds matrix is blocked over [`BOUNDS_BLOCK_QUERIES`] queries at
+    /// a time, so the kernel's transient memory is `O(block · N)` regardless
+    /// of batch size (one cell sweep per block still amortizes the sweep
+    /// block-fold; bounds values are per-(query, cell) and unaffected).
+    fn answer_batch(&self, queries: &[Query], stats: &mut [QueryStats]) -> Result<Vec<AnswerSet>> {
+        hydra_core::method::batch_expect_length(queries, self.store.series_length())?;
+        let ks = hydra_core::method::batch_knn_ks(queries, "VA+file")?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let clock = hydra_core::RunClock::start();
+        let n = self.cells.len();
+
+        // Shared scratch reused across every block and query of the batch.
+        let mut bounds = vec![0.0f64; BOUNDS_BLOCK_QUERIES.min(queries.len()) * n];
+        let mut ranked: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut heap = KnnHeap::new(1);
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut block_start = 0usize;
+        for (block_queries, block_stats) in queries
+            .chunks(BOUNDS_BLOCK_QUERIES)
+            .zip(stats.chunks_mut(BOUNDS_BLOCK_QUERIES))
+        {
+            let q_dfts: Vec<Vec<f32>> = block_queries
+                .iter()
+                .map(|q| self.quantizer.dft(q.values()))
+                .collect();
+
+            // Phase 1, shared: one sweep of the filter file bounds every
+            // query of the block.
+            for (id, cell) in self.cells.iter().enumerate() {
+                for ((qi, q_dft), stats) in q_dfts.iter().enumerate().zip(block_stats.iter_mut()) {
+                    stats.record_lower_bounds(1);
+                    bounds[qi * n + id] = self.quantizer.lower_bound(q_dft, cell);
+                }
+            }
+            for stats in block_stats.iter_mut() {
+                self.record_filter_pass(stats);
+            }
+
+            // Phase 2, per query, over the shared ranked scratch.
+            for ((qi, query), stats) in block_queries.iter().enumerate().zip(block_stats.iter_mut())
+            {
+                let k = ks[block_start + qi];
+                ranked.clear();
+                ranked.extend(
+                    bounds[qi * n..(qi + 1) * n]
+                        .iter()
+                        .enumerate()
+                        .map(|(id, &lb)| (lb, id)),
+                );
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+                heap.reset(k);
+                self.store.invalidate_head();
+                let before = self.store.thread_io_snapshot();
+                self.refine_ranked(query, k, &ranked, &mut heap, stats);
+                let delta = self.store.thread_io_snapshot().since(&before);
+                stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+                answers.push(
+                    heap.take_answer_set()
+                        .with_guarantee(query.mode().guarantee()),
+                );
+            }
+            block_start += block_queries.len();
+        }
+        hydra_core::method::share_batch_cpu_time(stats, clock.elapsed());
+        Ok(answers)
+    }
+}
+
+/// How many queries a batch kernel bounds per sweep of its summary
+/// structure: large enough that the sweep is amortized ~64×, small enough
+/// that the transient bounds matrix stays `O(64 · N)` for any batch size.
+const BOUNDS_BLOCK_QUERIES: usize = 64;
 
 impl ExactIndex for VaPlusFile {
     fn build(dataset: &Dataset, options: &BuildOptions) -> Result<Self> {
@@ -406,6 +519,57 @@ mod tests {
             let (a, e) = (relaxed.nearest().unwrap(), exact.nearest().unwrap());
             assert!(a.distance + 1e-9 >= e.distance);
             assert!(a.distance <= 2.0 * e.distance + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_mode_batches_match_the_per_query_path() {
+        use hydra_core::{Parallelism, QueryEngine};
+        let (store, _) = build(300, 64);
+        let make_queries = || -> Vec<Query> {
+            let series = RandomWalkGenerator::new(61, 64).series_batch(4);
+            vec![
+                Query::knn(series[0].clone(), 3),
+                Query::knn(series[1].clone(), 2).with_mode(AnswerMode::NgApproximate),
+                Query::knn(series[2].clone(), 3)
+                    .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.5 }),
+                Query::knn(series[3].clone(), 1).with_mode(AnswerMode::DeltaEpsilon {
+                    delta: 0.9,
+                    epsilon: 0.25,
+                }),
+            ]
+        };
+        let queries = make_queries();
+        let options = BuildOptions::default()
+            .with_segments(16)
+            .with_train_samples(200);
+        let engine_on = |st: &Arc<DatasetStore>| {
+            QueryEngine::new(
+                Box::new(VaPlusFile::build_on_store(st.clone(), &options).unwrap()),
+                st.len(),
+            )
+            .with_io_source(st.clone())
+        };
+        let mut serial = engine_on(&store);
+        let serial_answers: Vec<_> = queries.iter().map(|q| serial.answer(q).unwrap()).collect();
+        let store2 = Arc::new(DatasetStore::new(store.dataset().clone()));
+        let mut batched = engine_on(&store2);
+        let batch_answers = batched.answer_batch(&queries, Parallelism::Serial).unwrap();
+        for (qi, (a, b)) in serial_answers.iter().zip(&batch_answers).enumerate() {
+            assert_eq!(a.answers, b.answers, "query {qi} (guarantee included)");
+            assert_eq!(a.guarantee, b.guarantee, "query {qi}");
+            assert_eq!(
+                a.stats.raw_series_examined, b.stats.raw_series_examined,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.lower_bounds_computed, b.stats.lower_bounds_computed,
+                "query {qi}"
+            );
+            assert_eq!(
+                a.stats.random_page_accesses, b.stats.random_page_accesses,
+                "query {qi}"
+            );
         }
     }
 
