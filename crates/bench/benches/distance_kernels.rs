@@ -9,7 +9,7 @@ use hydra_core::distance::{
     euclidean, squared_euclidean, squared_euclidean_early_abandon,
     squared_euclidean_multi_reordered, squared_euclidean_reordered, QueryOrder,
 };
-use hydra_core::KnnHeap;
+use hydra_core::{simd, KnnHeap, Parallelism};
 use hydra_data::RandomWalkGenerator;
 use hydra_transforms::fft::{Complex, Fft};
 
@@ -173,10 +173,127 @@ fn bench_batched_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The explicit SIMD kernels against the portable scalar path, at every
+/// dispatch tier the host supports: the speedup criterion of the
+/// runtime-dispatch layer (`HYDRA_SIMD`), measured on the same inputs the
+/// bit-identity tests cover.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_kernels");
+    group.sample_size(60);
+    let detected = simd::detected_kernel();
+    for &len in &[64usize, 256, 1024] {
+        let gen = RandomWalkGenerator::new(3, len);
+        let q = gen.series(0);
+        let cand = gen.series(1);
+        let threshold = simd::squared_euclidean(q.values(), cand.values()) * 0.25;
+        let low: Vec<f64> = q.values().iter().map(|&v| v as f64 - 0.5).collect();
+        let high: Vec<f64> = q.values().iter().map(|&v| v as f64 + 0.25).collect();
+        let weights: Vec<f64> = (0..len).map(|i| 1.0 + (i % 7) as f64).collect();
+
+        for kernel in [simd::Kernel::Portable, detected] {
+            let tag = |name: &str| format!("{name}/{}", kernel.name());
+            group.bench_with_input(BenchmarkId::new(tag("sq_euclidean"), len), &len, |b, _| {
+                b.iter(|| {
+                    black_box(simd::squared_euclidean_with(
+                        kernel,
+                        q.values(),
+                        cand.values(),
+                    ))
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(tag("sq_euclidean_early_abandon"), len),
+                &len,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(simd::squared_euclidean_early_abandon_with(
+                            kernel,
+                            q.values(),
+                            cand.values(),
+                            threshold,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(tag("interval_mindist"), len),
+                &len,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(simd::interval_mindist_sq_with(
+                            kernel,
+                            q.values(),
+                            &low,
+                            &high,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(tag("interval_mindist_weighted"), len),
+                &len,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(simd::interval_mindist_weighted_sq_with(
+                            kernel,
+                            q.values(),
+                            &low,
+                            &high,
+                            &weights,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// End-to-end single-query latency of the intra-query execution path against
+/// the serial path, for a scan and a tree index (speedup is bounded by the
+/// CPUs available to the benchmark process).
+fn bench_intra_query(c: &mut Criterion) {
+    use hydra_bench::MethodKind;
+    use hydra_core::{BuildOptions, Query};
+
+    let mut group = c.benchmark_group("intra_query");
+    group.sample_size(20);
+    let len = 256usize;
+    let data = RandomWalkGenerator::new(0xBE7C, len).dataset(2_000);
+    let options = BuildOptions::default()
+        .with_segments(8)
+        .with_leaf_capacity(100)
+        .with_train_samples(500);
+    let query = Query::nearest_neighbor(RandomWalkGenerator::new(0xF00D, len).series(0));
+    for kind in [MethodKind::UcrSuite, MethodKind::DsTree] {
+        let mut engine = kind.engine(&data, &options).expect("build");
+        group.bench_function(BenchmarkId::new(kind.name(), "serial"), |b| {
+            b.iter(|| black_box(engine.answer(&query).expect("serial")))
+        });
+        for threads in [2usize, 4] {
+            group.bench_function(
+                BenchmarkId::new(kind.name(), format!("threads-{threads}")),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .answer_intra(&query, Parallelism::Threads(threads))
+                                .expect("intra"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_distance_kernels,
     bench_allocation_sweep,
-    bench_batched_kernel
+    bench_batched_kernel,
+    bench_simd_kernels,
+    bench_intra_query
 );
 criterion_main!(benches);

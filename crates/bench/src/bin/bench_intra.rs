@@ -1,0 +1,134 @@
+//! BENCH-INTRA: the intra-query parallelism latency baseline.
+//!
+//! Measures single-query latency — the metric intra-query parallelism exists
+//! to improve — at 1/2/4 worker threads for every method with a native intra
+//! kernel, on the random-walk workload. Each (method, threads) cell reports
+//! mean/p50/p99 latency over the query set and the speedup against the same
+//! method's serial run. Results go to stdout and to `BENCH_intra.json` so
+//! later PRs have a performance trajectory to compare against.
+//!
+//! Speedups are bounded by the CPUs actually available to the process (the
+//! `host_cpus` field): on a single-core container every thread count measures
+//! ~1× — the shared-bsf replay protocol keeps answers and per-query counters
+//! identical by construction, which this binary re-asserts on every run.
+
+use hydra_bench::registry::MethodKind;
+use hydra_core::{parallel, simd, BuildOptions, Parallelism, Query, RunClock};
+use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+const SERIES: usize = 5_000;
+const LENGTH: usize = 256;
+const QUERIES: usize = 24;
+const THREAD_LADDER: [usize; 3] = [1, 2, 4];
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let data = RandomWalkGenerator::new(0xDA7A, LENGTH).dataset(SERIES);
+    let workload = QueryWorkload::generate(
+        "Synth-Rand",
+        &data,
+        &WorkloadSpec::random(0x5EED).with_num_queries(QUERIES),
+    );
+    let queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+    let options = BuildOptions::default()
+        .with_segments(8)
+        .with_leaf_capacity(100)
+        .with_train_samples(1_000);
+    let host_cpus = parallel::available_threads();
+    let kernel = simd::active_kernel().name();
+    println!(
+        "intra-query latency baseline: {SERIES} series x {LENGTH}, {QUERIES} queries, \
+         {host_cpus} CPU(s) available, SIMD kernel {kernel}\n"
+    );
+
+    let methods: Vec<MethodKind> = MethodKind::ALL
+        .into_iter()
+        .filter(|k| k.supports_intra())
+        .collect();
+    let mut rows = String::new();
+    for kind in methods {
+        let mut engine = kind.engine(&data, &options).expect("build");
+        let serial_answers: Vec<_> = queries
+            .iter()
+            .map(|q| engine.answer(q).expect("serial query").answers)
+            .collect();
+        let mut serial_mean = 0.0f64;
+        for threads in THREAD_LADDER {
+            engine.reset_totals();
+            let mut latencies = Vec::with_capacity(QUERIES);
+            for (q, expected) in queries.iter().zip(&serial_answers) {
+                let clock = RunClock::start();
+                let got = engine
+                    .answer_intra(q, Parallelism::Threads(threads))
+                    .expect("intra query");
+                latencies.push(clock.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    &got.answers,
+                    expected,
+                    "{} intra answers diverged from serial at {threads} threads",
+                    kind.name()
+                );
+            }
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+            let p50 = percentile(&latencies, 0.50);
+            let p99 = percentile(&latencies, 0.99);
+            if threads == 1 {
+                serial_mean = mean;
+            }
+            let speedup = serial_mean / mean;
+            println!(
+                "{:<10} threads={threads}  mean {mean:>7.3} ms  p50 {p50:>7.3} ms  p99 {p99:>7.3} ms  speedup {speedup:.2}x",
+                kind.name()
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                r#"    {{"method": "{}", "threads": {threads}, "mean_ms": {mean:.4}, "p50_ms": {p50:.4}, "p99_ms": {p99:.4}, "speedup_vs_serial": {speedup:.3}}}"#,
+                kind.name()
+            );
+        }
+        println!();
+    }
+
+    let ladder = THREAD_LADDER
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        r#"{{
+  "bench": "intra_query_latency",
+  "generated_by": "cargo run --release --bin bench_intra",
+  "host_cpus": {host_cpus},
+  "simd_kernel": "{kernel}",
+  "note": "speedup is bounded by host_cpus; on a 1-CPU container every thread count measures ~1x while answers and counters stay bit-identical to serial",
+  "dataset": {{"kind": "random-walk", "series": {SERIES}, "length": {LENGTH}}},
+  "queries": {QUERIES},
+  "thread_ladder": [{ladder}],
+  "single_query_latency": [
+{rows}
+  ]
+}}
+"#
+    );
+    let path = std::path::Path::new("BENCH_intra.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_intra.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", path.display());
+}

@@ -23,6 +23,14 @@ const LENGTH: usize = 256;
 const QUERIES: usize = 64;
 const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 fn main() {
     let data = RandomWalkGenerator::new(0xDA7A, LENGTH).dataset(SERIES);
     let workload = QueryWorkload::generate(
@@ -59,8 +67,17 @@ fn main() {
                 serial_qps = qps;
             }
             let speedup = qps / serial_qps;
+            // Per-query latency distribution from the engine's own per-query
+            // measurements (CPU + modelled I/O time, not queueing delay).
+            let mut latencies: Vec<f64> = answers
+                .iter()
+                .map(|a| a.stats.total_time().as_secs_f64() * 1e3)
+                .collect();
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let p50 = percentile(&latencies, 0.50);
+            let p99 = percentile(&latencies, 0.99);
             println!(
-                "{:<10} threads={threads}  {:>8.1} queries/s  speedup {speedup:.2}x",
+                "{:<10} threads={threads}  {:>8.1} queries/s  p50 {p50:.3} ms  p99 {p99:.3} ms  speedup {speedup:.2}x",
                 kind.name(),
                 qps
             );
@@ -69,7 +86,7 @@ fn main() {
             }
             let _ = write!(
                 throughput_rows,
-                r#"    {{"method": "{}", "threads": {threads}, "wall_seconds": {wall:.6}, "queries_per_second": {qps:.2}, "speedup_vs_serial": {speedup:.3}}}"#,
+                r#"    {{"method": "{}", "threads": {threads}, "wall_seconds": {wall:.6}, "queries_per_second": {qps:.2}, "latency_p50_ms": {p50:.4}, "latency_p99_ms": {p99:.4}, "speedup_vs_serial": {speedup:.3}}}"#,
                 kind.name()
             );
         }

@@ -23,6 +23,12 @@
 //! cadence of one threshold check per 8 accumulated dimensions — checking on
 //! every element costs more in branches than it saves for typical series
 //! lengths — by testing the lane sum after every 8-element block.
+//!
+//! The contiguous kernels ([`squared_euclidean`],
+//! [`squared_euclidean_early_abandon`]) dispatch through [`crate::simd`] to
+//! explicit SSE2/AVX2 implementations when the CPU has them; every dispatch
+//! target is bit-identical to the portable 4-lane path. The *reordered*
+//! kernels stay scalar — their per-dimension gathers defeat SIMD loads.
 
 const LANES: usize = 4;
 /// Threshold-check cadence of the early-abandoning kernels, in dimensions.
@@ -35,33 +41,19 @@ fn lane_sum(acc: [f64; LANES]) -> f64 {
 
 /// Full squared Euclidean distance between two equal-length slices.
 ///
+/// Dispatches to the process-wide [`crate::simd::active_kernel`] (explicit
+/// SSE2/AVX2 when detected); every kernel is bit-identical to the portable
+/// 4-lane path, so results do not depend on the dispatch decision.
+///
 /// # Panics
 /// Panics (debug builds) if the slices have different lengths.
 #[inline]
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "series must have equal length");
-    // Truncate to the common length so release builds keep the zip-like
-    // behavior for mismatched inputs (the per-slice remainders would
-    // otherwise pair up misaligned elements).
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f64; LANES];
-    let chunks_a = a.chunks_exact(LANES);
-    let chunks_b = b.chunks_exact(LANES);
-    let tail_a = chunks_a.remainder();
-    let tail_b = chunks_b.remainder();
-    for (ca, cb) in chunks_a.zip(chunks_b) {
-        for (lane, slot) in acc.iter_mut().enumerate() {
-            let d = (ca[lane] - cb[lane]) as f64;
-            *slot += d * d;
-        }
-    }
-    let mut sum = lane_sum(acc);
-    for (&x, &y) in tail_a.iter().zip(tail_b.iter()) {
-        let d = (x - y) as f64;
-        sum += d * d;
-    }
-    sum
+    // Every kernel truncates to the common length, so release builds keep
+    // the zip-like behavior for mismatched inputs (the per-slice remainders
+    // would otherwise pair up misaligned elements).
+    crate::simd::squared_euclidean(a, b)
 }
 
 /// Full Euclidean distance between two equal-length slices.
@@ -74,40 +66,13 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Returns `None` as soon as the partial squared sum exceeds `threshold`
 /// (the squared best-so-far distance); otherwise returns the full squared
-/// distance.
+/// distance. Dispatches like [`squared_euclidean`], keeping the UCR-Suite
+/// cadence of one threshold check per 8 accumulated dimensions on every
+/// kernel.
 #[inline]
 pub fn squared_euclidean_early_abandon(a: &[f32], b: &[f32], threshold: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len(), "series must have equal length");
-    // See `squared_euclidean` for why both slices are truncated up front.
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f64; LANES];
-    let blocks_a = a.chunks_exact(CHECK_EVERY);
-    let blocks_b = b.chunks_exact(CHECK_EVERY);
-    let tail_a = blocks_a.remainder();
-    let tail_b = blocks_b.remainder();
-    for (ba, bb) in blocks_a.zip(blocks_b) {
-        for step in 0..CHECK_EVERY / LANES {
-            for (lane, slot) in acc.iter_mut().enumerate() {
-                let i = step * LANES + lane;
-                let d = (ba[i] - bb[i]) as f64;
-                *slot += d * d;
-            }
-        }
-        if lane_sum(acc) > threshold {
-            return None;
-        }
-    }
-    let mut sum = lane_sum(acc);
-    for (&x, &y) in tail_a.iter().zip(tail_b.iter()) {
-        let d = (x - y) as f64;
-        sum += d * d;
-    }
-    if sum > threshold {
-        None
-    } else {
-        Some(sum)
-    }
+    crate::simd::squared_euclidean_early_abandon(a, b, threshold)
 }
 
 /// Euclidean distance with early abandoning on the (non-squared) threshold.

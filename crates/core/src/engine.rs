@@ -234,6 +234,49 @@ impl QueryEngine {
         Ok(self.answer(query)?.answers)
     }
 
+    /// Answers one query with `parallelism` worker threads cooperating on it
+    /// (intra-query parallelism), measuring it and folding the stats into
+    /// the running totals exactly like [`QueryEngine::answer`].
+    ///
+    /// The determinism contract of the suite extends here: for every method,
+    /// thread count and dispatch kernel, the answer set, its guarantee and
+    /// the per-query logical work counters are **bit-identical** to the
+    /// serial [`QueryEngine::answer`] path (only wall-clock times vary).
+    /// Methods without a native intra-query kernel (see
+    /// [`AnsweringMethod::intra_answering`]), a resolved thread count of 1,
+    /// or an [`IoSource`] without thread-scoped counters all fall back to
+    /// the serial path, which trivially satisfies the contract.
+    pub fn answer_intra(
+        &mut self,
+        query: &Query,
+        parallelism: Parallelism,
+    ) -> Result<EngineAnswer> {
+        let threads = parallelism.worker_threads();
+        let thread_scoped_io = self
+            .io
+            .as_ref()
+            .is_none_or(|io| io.has_thread_scoped_counters());
+        let answered = match self.method.intra_answering() {
+            Some(kernel) if threads > 1 && thread_scoped_io => measure_intra_query(
+                self.method.as_ref(),
+                kernel,
+                self.io.as_deref(),
+                query,
+                self.fallback,
+                threads,
+            )?,
+            _ => measure_query(
+                self.method.as_ref(),
+                self.io.as_deref(),
+                query,
+                self.fallback,
+            )?,
+        };
+        self.totals.merge(&answered.stats);
+        self.queries_answered += 1;
+        Ok(answered)
+    }
+
     /// Answers a whole workload, spreading the queries over `parallelism`
     /// worker threads.
     ///
@@ -539,6 +582,52 @@ fn measure_query(
         // Methods charge leaf reads through their stats; the store counters
         // cover raw-file traffic. Keep whichever accounting path recorded more
         // pages so neither is lost.
+        stats.reconcile_io(io.thread_io_snapshot());
+    }
+    Ok(EngineAnswer {
+        guarantee: answers.guarantee(),
+        answers,
+        stats,
+        wall_time,
+    })
+}
+
+/// Measures one intra-parallel query on the calling thread: identical to
+/// [`measure_query`] — same mode routing, same I/O reset and reconciliation,
+/// same timing placement — except the dyn call goes to the method's
+/// [`crate::method::IntraAnswering`] kernel with the resolved worker count.
+fn measure_intra_query(
+    method: &dyn AnsweringMethod,
+    kernel: &dyn crate::method::IntraAnswering,
+    io: Option<&dyn IoSource>,
+    query: &Query,
+    fallback: FallbackPolicy,
+    threads: usize,
+) -> Result<EngineAnswer> {
+    let descriptor = method.descriptor();
+    query.knn_k(descriptor.name)?;
+    let exact_substitute;
+    let query = if descriptor.modes.supports(query.mode()) {
+        query
+    } else {
+        match fallback {
+            FallbackPolicy::Strict => {
+                return Err(Error::unsupported_mode(descriptor.name, query.mode()))
+            }
+            FallbackPolicy::ExactFallback => {
+                exact_substitute = query.clone().with_mode(AnswerMode::Exact);
+                &exact_substitute
+            }
+        }
+    };
+    if let Some(io) = io {
+        io.reset_thread_io();
+    }
+    let mut stats = QueryStats::default();
+    let clock = Instant::now();
+    let answers = kernel.answer_intra(query, threads, &mut stats)?;
+    let wall_time = clock.elapsed();
+    if let Some(io) = io {
         stats.reconcile_io(io.thread_io_snapshot());
     }
     Ok(EngineAnswer {

@@ -9,7 +9,9 @@
 //! * the data series model ([`Series`], [`Dataset`]) and Z-normalization,
 //! * Euclidean distance kernels, including the UCR-Suite optimizations
 //!   (no square root, early abandoning, reordered early abandoning) in
-//!   [`distance`],
+//!   [`distance`], backed by the runtime-dispatched explicit SSE2/AVX2
+//!   implementations in [`simd`] (portable 4-lane fallback, bit-identical
+//!   across kernels, `HYDRA_SIMD=portable|native` override),
 //! * the similarity query model (k-NN and r-range queries, whole matching,
 //!   and the exact / ng-approximate / ε- / δ-ε-approximate answering modes of
 //!   the sequel study) in [`query`],
@@ -44,6 +46,7 @@ pub mod parallel;
 pub mod persist;
 pub mod query;
 pub mod series;
+pub mod simd;
 pub mod stats;
 
 pub use distance::{
@@ -52,13 +55,14 @@ pub use distance::{
 };
 pub use engine::{EngineAnswer, FallbackPolicy, IoSource, QueryEngine};
 pub use error::{Error, Result};
-pub use knn::{Answer, AnswerSet, Guarantee, KnnHeap};
+pub use knn::{replay_outcome, Answer, AnswerSet, Guarantee, KnnHeap, Outcome};
 pub use method::{
-    AnsweringMethod, BatchAnswering, BuildOptions, ExactIndex, IndexFootprint, MethodDescriptor,
-    ModeCapabilities,
+    AnsweringMethod, BatchAnswering, BuildOptions, ExactIndex, IndexFootprint, IntraAnswering,
+    MethodDescriptor, ModeCapabilities,
 };
-pub use parallel::Parallelism;
+pub use parallel::{Parallelism, SharedBsf};
 pub use persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 pub use query::{AnswerMode, MatchingKind, Query, QueryKind};
 pub use series::{Dataset, Series, SeriesView};
+pub use simd::Kernel;
 pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

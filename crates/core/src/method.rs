@@ -300,6 +300,50 @@ pub trait AnsweringMethod: Send + Sync {
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         None
     }
+
+    /// The method's native intra-query kernel, when it has one.
+    ///
+    /// The default is `None`: [`crate::engine::QueryEngine::answer_intra`]
+    /// then answers on the calling thread exactly like
+    /// [`QueryEngine::answer`](crate::engine::QueryEngine::answer), so every
+    /// method keeps working unchanged. Methods whose per-query work splits
+    /// (the scans, the summary sweeps, tree leaf refinement) override this
+    /// to return `Some(self)`.
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        None
+    }
+}
+
+/// The opt-in intra-query parallel answering capability: several worker
+/// threads cooperate on **one** query (MESSI/ParIS-style), sharing a
+/// best-so-far through [`crate::parallel::SharedBsf`].
+///
+/// # Contract (enforced by `tests/intra_query_agreement.rs`)
+///
+/// For every supported [`AnswerMode`], thread count and dispatch kernel, the
+/// returned `AnswerSet` (answers *and* guarantee) and the counters written
+/// into `stats` must be **bit-identical** to what
+/// [`AnsweringMethod::answer`] produces for the same query. Only the
+/// wall-clock time fields may differ. Implementations achieve this by
+/// splitting the threshold-independent work (summary sweeps), or by letting
+/// workers race ahead under shared-bsf thresholds while recording
+/// [`crate::knn::Outcome`]s that a serial replay pass — the one that touches
+/// `stats` and the counted store — resolves against the serial thresholds
+/// (see [`crate::knn::replay_outcome`]).
+///
+/// Implementations may assume the engine has already routed modes, but must
+/// validate lengths and dataset emptiness exactly like their serial path.
+/// `threads` is the resolved worker count (≥ 2; the engine answers serially
+/// otherwise).
+pub trait IntraAnswering: Send + Sync {
+    /// Answers one query with `threads` cooperating workers, recording the
+    /// serial path's exact logical work counters into `stats`.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet>;
 }
 
 /// The opt-in batched answering capability: one shared data pass answers a

@@ -21,8 +21,8 @@ use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     parallel, AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats,
-    Result,
+    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
+    QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -247,6 +247,80 @@ impl AnsweringMethod for AdsPlus {
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         Some(self)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for AdsPlus {
+    /// Intra-query SIMS: step 2's in-memory sweep over the full-resolution
+    /// summary array — the CPU bulk of an ADS+ exact query — splits into one
+    /// contiguous chunk per worker. The MINDIST bounds depend only on the
+    /// query summary (never on the seeded best-so-far), so every bound is an
+    /// independent computation and the in-order chunk merge reproduces the
+    /// serial bounds array exactly. The bsf-seeding descent (step 1) and the
+    /// skip-sequential raw-file pass (step 3, whose skip pattern follows the
+    /// evolving best-so-far and whose reads are counted) stay serial, so
+    /// answers, counters, and I/O match the serial path bit for bit in every
+    /// answering mode; ng-approximate queries never reach the sweep, exactly
+    /// like the serial path.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.knn_k("ADS+")?;
+        let mode = query.mode();
+        let clock = hydra_core::RunClock::start();
+        let params = self.tree.params().clone();
+        let query_paa = params.paa().transform(query.values());
+
+        let mut heap = KnnHeap::new(k);
+        let io_before = self.store.thread_io_snapshot();
+
+        self.approximate_bsf(
+            query,
+            &query_paa,
+            &mut heap,
+            stats,
+            mode == AnswerMode::NgApproximate,
+        );
+
+        if mode == AnswerMode::NgApproximate {
+            let delta = self.store.thread_io_snapshot().since(&io_before);
+            stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+            stats.cpu_time += clock.elapsed();
+            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+        }
+
+        let max_bits = params.max_bits();
+        let bounds: Vec<f64> = parallel::map_chunks(self.summaries.len(), threads, |range| {
+            range
+                .map(|i| {
+                    params.mindist_paa_to_isax(
+                        &query_paa,
+                        &self.summaries[i].to_isax(max_bits, max_bits),
+                    )
+                })
+                .collect()
+        });
+        stats.record_lower_bounds(self.summaries.len() as u64);
+
+        self.skip_sequential_scan(query, &bounds, mode.prune_shrink(), &mut heap, stats);
+
+        let delta = self.store.thread_io_snapshot().since(&io_before);
+        stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 

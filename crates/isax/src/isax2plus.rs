@@ -13,14 +13,25 @@
 use crate::tree::{IsaxTree, NodeId, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
-    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
+    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error,
+    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
+    Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// How a leaf scan evaluates candidate distances: directly (the serial path)
+/// or by replaying worker-recorded [`Outcome`]s against the serial threshold
+/// (the intra-query path). Replay falls back to direct evaluation for leaves
+/// absent from the map, so correctness never depends on which leaves the
+/// workers chose to precompute.
+enum LeafEval<'a> {
+    Direct,
+    Replay(&'a HashMap<NodeId, Vec<Outcome>>),
+}
 
 /// The iSAX2+ index.
 pub struct Isax2Plus {
@@ -93,10 +104,21 @@ impl Isax2Plus {
         &self.store
     }
 
-    /// Scans one leaf: computes exact distances of its entries against the
-    /// query, charging one random access plus sequential pages for the leaf's
-    /// materialized payload.
-    fn scan_leaf(&self, leaf: NodeId, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+    /// Scans one leaf — computing exact distances of its entries against the
+    /// query, charging one random access plus sequential pages for the
+    /// leaf's materialized payload — with an explicit evaluation source:
+    /// `Direct` runs the early-abandoning kernel; `Replay` decides each
+    /// entry from the worker-recorded [`Outcome`] via [`replay_outcome`],
+    /// recomputing only when the record cannot decide. Counters and I/O
+    /// charges are identical either way.
+    fn scan_leaf_with(
+        &self,
+        leaf: NodeId,
+        query: &Query,
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+        eval: &LeafEval<'_>,
+    ) {
         let NodeKind::Leaf { entries } = &self.tree.node(leaf).kind else {
             return;
         };
@@ -105,14 +127,25 @@ impl Isax2Plus {
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
         stats.record_io(pages - 1, 1, leaf_bytes);
         let dataset = self.store.dataset();
-        for e in entries {
+        let recorded = match eval {
+            LeafEval::Direct => None,
+            LeafEval::Replay(map) => map.get(&leaf),
+        };
+        for (i, e) in entries.iter().enumerate() {
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
-            match hydra_core::distance::squared_euclidean_early_abandon(
-                query.values(),
-                series.values(),
-                heap.threshold_squared(),
-            ) {
+            let kernel = |threshold: f64| {
+                hydra_core::distance::squared_euclidean_early_abandon(
+                    query.values(),
+                    series.values(),
+                    threshold,
+                )
+            };
+            let result = match recorded {
+                Some(outcomes) => replay_outcome(outcomes[i], heap.threshold_squared(), kernel),
+                None => kernel(heap.threshold_squared()),
+            };
+            match result {
                 Some(sq) => {
                     heap.offer(e.id as usize, sq.sqrt());
                 }
@@ -141,6 +174,117 @@ impl AnsweringMethod for Isax2Plus {
     }
 
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        self.answer_with_eval(query, stats, &LeafEval::Direct)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for Isax2Plus {
+    /// MESSI-style intra-query search: a serial seeding pass (into scratch
+    /// stats, discarded) establishes the initial best-so-far; every leaf
+    /// whose MINDIST could survive that threshold is then scanned by the
+    /// worker pool — each worker starts from a clone of the seed heap and
+    /// prunes against the tighter of its local threshold and the
+    /// [`SharedBsf`] — recording one [`Outcome`] per entry from the
+    /// in-memory dataset. The real answer is produced by re-running the full
+    /// serial traversal ([`Isax2Plus::answer_with_eval`]) with those
+    /// outcomes replayed against the serial thresholds, so answers,
+    /// counters, and I/O charges are bit-identical to the serial path.
+    /// ng-approximate queries visit a single leaf and simply run serially.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        if query.mode() == AnswerMode::NgApproximate {
+            return self.answer(query, stats);
+        }
+        let k = query.knn_k("iSAX2+")?;
+        let params = self.tree.params().clone();
+        let query_paa = params.paa().transform(query.values());
+        let query_sax = params.sax_word_from_paa(&query_paa);
+
+        // Phase A (serial, scratch counters): seed the best-so-far exactly
+        // like the serial phase 1. The replay re-runs this seeding with the
+        // real stats, so the scratch pass records nothing.
+        let mut scratch = QueryStats::default();
+        let mut seed_heap = KnnHeap::new(k);
+        if let Some(leaf) = self.tree.locate_leaf(&query_sax, &mut scratch) {
+            self.scan_leaf_with(leaf, query, &mut seed_heap, &mut scratch, &LeafEval::Direct);
+        }
+
+        // Candidate leaves: everything the serial traversal could visit. The
+        // serial threshold only tightens below the seed threshold, so leaves
+        // at or beyond `seed_threshold * shrink` are provably never scanned
+        // (when the seed heap is not yet full, nothing is provable and every
+        // leaf is a candidate).
+        let shrink = query.mode().prune_shrink();
+        let seed_threshold = seed_heap.threshold();
+        let candidates: Vec<NodeId> = self
+            .tree
+            .leaves()
+            .filter(|&leaf| {
+                !seed_heap.is_full()
+                    || self.tree.mindist(&query_paa, leaf) < seed_threshold * shrink
+            })
+            .collect();
+
+        // Phase B: fan the candidate leaves out over the workers.
+        let bsf = SharedBsf::new(seed_heap.threshold_squared());
+        let per_leaf: Vec<Vec<Outcome>> = parallel::map_indexed(candidates.len(), threads, |ci| {
+            let NodeKind::Leaf { entries } = &self.tree.node(candidates[ci]).kind else {
+                return Vec::new();
+            };
+            let dataset = self.store.dataset();
+            let mut local = seed_heap.clone();
+            let mut out = Vec::with_capacity(entries.len());
+            for e in entries {
+                let threshold = local.threshold_squared().min(bsf.get());
+                match hydra_core::distance::squared_euclidean_early_abandon(
+                    query.values(),
+                    dataset.series(e.id as usize).values(),
+                    threshold,
+                ) {
+                    Some(sq) => {
+                        out.push(Outcome::Computed(sq));
+                        local.offer(e.id as usize, sq.sqrt());
+                        bsf.update_min(local.threshold_squared());
+                    }
+                    None => out.push(Outcome::Abandoned { threshold }),
+                }
+            }
+            out
+        });
+        let recorded: HashMap<NodeId, Vec<Outcome>> =
+            candidates.into_iter().zip(per_leaf).collect();
+
+        // Phase C (serial): the full serial algorithm, deciding every leaf
+        // entry from the recorded evidence.
+        self.answer_with_eval(query, stats, &LeafEval::Replay(&recorded))
+    }
+}
+
+impl Isax2Plus {
+    /// The full serial answering algorithm, parameterized by the leaf
+    /// evaluation source — shared verbatim by [`AnsweringMethod::answer`]
+    /// (`Direct`) and the intra-query replay phase (`Replay`), so the two
+    /// traverse, count, and prune identically by construction.
+    fn answer_with_eval(
+        &self,
+        query: &Query,
+        stats: &mut QueryStats,
+        eval: &LeafEval<'_>,
+    ) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
                 expected: self.store.series_length(),
@@ -166,7 +310,7 @@ impl AnsweringMethod for Isax2Plus {
             self.tree.locate_leaf(&query_sax, stats)
         };
         if let Some(leaf) = seed {
-            self.scan_leaf(leaf, query, &mut heap, stats);
+            self.scan_leaf_with(leaf, query, &mut heap, stats, eval);
         }
         if mode != AnswerMode::NgApproximate {
             // Phase 2: best-first traversal with MINDIST pruning, relaxed by
@@ -187,7 +331,9 @@ impl AnsweringMethod for Isax2Plus {
                     break; // everything else in the frontier is at least as far
                 }
                 match &self.tree.node(node).kind {
-                    NodeKind::Leaf { .. } => self.scan_leaf(node, query, &mut heap, stats),
+                    NodeKind::Leaf { .. } => {
+                        self.scan_leaf_with(node, query, &mut heap, stats, eval)
+                    }
                     NodeKind::Internal { left, right, .. } => {
                         stats.record_internal_visit();
                         for child in [*left, *right] {

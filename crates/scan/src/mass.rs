@@ -17,9 +17,10 @@
 //! reproduces its observed behaviour in the study: a very high CPU cost and
 //! one sequential pass of I/O per query.
 
+use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BatchAnswering, Error, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::fft::{Complex, Fft};
@@ -110,6 +111,71 @@ impl AnsweringMethod for MassScan {
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         Some(self)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for MassScan {
+    /// Intra-query MASS: the distance of each candidate is a fixed, pruning-
+    /// free computation (spectrum + dot product), so the candidate range
+    /// splits into one contiguous chunk per worker with **no** shared state
+    /// at all — each worker keeps its own spectrum scratch and produces the
+    /// exact squared distance the serial loop would. A serial replay offers
+    /// the precomputed values in storage order inside the counted
+    /// [`DatasetStore::scan_all`] pass, reproducing the serial I/O envelope
+    /// and heap evolution bit for bit.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if self.store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let n = self.store.series_length();
+        if query.len() != n {
+            return Err(Error::LengthMismatch {
+                expected: n,
+                actual: query.len(),
+            });
+        }
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("MASS", query.mode()));
+        }
+        let k = query.knn_k("MASS")?;
+        let clock = hydra_core::RunClock::start();
+        let (q_spec, q_norm_sq) = self.spectrum_and_norm(query.values());
+        let before = self.store.thread_io_snapshot();
+        let dataset = self.store.dataset();
+        let squared: Vec<f64> = map_chunks(self.store.len(), threads, |range| {
+            let mut c_spec: Vec<Complex> = Vec::with_capacity(n);
+            let mut out = Vec::with_capacity(range.len());
+            for id in range {
+                let values = dataset.series(id).values();
+                self.fft.forward_real_into(values, &mut c_spec);
+                let c_norm_sq: f64 = values.iter().map(|&v| (v as f64) * (v as f64)).sum();
+                let mut dot = 0.0f64;
+                for (q, c) in q_spec.iter().zip(c_spec.iter()) {
+                    dot += q.re * c.re + q.im * c.im;
+                }
+                dot /= n as f64;
+                out.push((q_norm_sq + c_norm_sq - 2.0 * dot).max(0.0));
+            }
+            out
+        });
+        let mut heap = KnnHeap::new(k);
+        self.store.scan_all(|id, _series| {
+            stats.record_raw_series_examined(1);
+            heap.offer(id, squared[id].sqrt());
+        });
+        stats.cpu_time += clock.elapsed();
+        let delta = self.store.thread_io_snapshot().since(&before);
+        stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+        Ok(heap.into_answer_set())
     }
 }
 

@@ -14,9 +14,10 @@
 //! sequential reads plus a final random-access refinement step — the access
 //! pattern responsible for its high cost in the paper's evaluation.
 
+use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BatchAnswering, Error, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::HaarTransform;
@@ -142,8 +143,22 @@ impl Stepwise {
                 best_upper = upper;
             }
         }
-        // Keep the k best upper bounds as the pruning threshold (so that a
-        // k-NN query never prunes a potential member of the answer set).
+        Self::prune_level(k, best_upper, uppers, prefix_sq, alive, alive_count);
+    }
+
+    /// The pruning half of a filter level, shared verbatim by the serial,
+    /// batched, and intra-query paths: keep the k best upper bounds as the
+    /// pruning threshold (so that a k-NN query never prunes a potential
+    /// member of the answer set) and kill every candidate whose lower bound
+    /// exceeds it.
+    fn prune_level(
+        k: usize,
+        best_upper: f64,
+        uppers: &[f64],
+        prefix_sq: &[f64],
+        alive: &mut [bool],
+        alive_count: &mut usize,
+    ) {
         let threshold = if k == 1 {
             best_upper
         } else {
@@ -157,6 +172,73 @@ impl Stepwise {
                 *alive_count -= 1;
             }
         }
+    }
+
+    /// The intra-query variant of [`Stepwise::filter_level`]: the per-candidate
+    /// prefix/upper-bound updates are independent, so they split into one
+    /// contiguous chunk per worker; each worker computes `(new_prefix, upper)`
+    /// with the serial path's exact arithmetic (the update is pruning-free —
+    /// no shared state). The level's I/O charge, counter writes, writeback
+    /// and pruning run serially through the same code as the serial level,
+    /// so the alive set evolves bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    fn filter_level_intra(
+        &self,
+        level: usize,
+        q_coeffs: &[f32],
+        k: usize,
+        threads: usize,
+        prefix_sq: &mut [f64],
+        alive: &mut [bool],
+        alive_count: &mut usize,
+        uppers: &mut [f64],
+        stats: &mut QueryStats,
+    ) {
+        let n = self.store.len();
+        let lo = if level == 0 { 0 } else { 1usize << (level - 1) };
+        let hi = (1usize << level).min(q_coeffs.len());
+        let q_rest: f64 = q_coeffs[hi..]
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>();
+        let level_bytes = (*alive_count * (hi - lo) * std::mem::size_of::<f32>()) as u64;
+        let level_pages = level_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
+        stats.record_io(level_pages.saturating_sub(1), 1, level_bytes);
+
+        let updates: Vec<Option<(f64, f64)>> = map_chunks(n, threads, |range| {
+            range
+                .map(|id| {
+                    if !alive[id] {
+                        return None;
+                    }
+                    let coeffs = &self.levels[level][id];
+                    let mut add = 0.0f64;
+                    for (j, &c) in coeffs.iter().enumerate() {
+                        let d = (q_coeffs[lo + j] - c) as f64;
+                        add += d * d;
+                    }
+                    let new_prefix = prefix_sq[id] + add;
+                    let rest = self.residuals[level][id].sqrt() + q_rest.sqrt();
+                    let upper = (new_prefix + rest * rest).sqrt();
+                    Some((new_prefix, upper))
+                })
+                .collect()
+        });
+
+        let mut best_upper = f64::INFINITY;
+        uppers.fill(f64::INFINITY);
+        for (id, update) in updates.into_iter().enumerate() {
+            let Some((new_prefix, upper)) = update else {
+                continue;
+            };
+            prefix_sq[id] = new_prefix;
+            stats.record_lower_bounds(1);
+            uppers[id] = upper;
+            if upper < best_upper {
+                best_upper = upper;
+            }
+        }
+        Self::prune_level(k, best_upper, uppers, prefix_sq, alive, alive_count);
     }
 
     /// Refines the surviving candidates of one query on the raw data
@@ -233,6 +315,85 @@ impl AnsweringMethod for Stepwise {
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         Some(self)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for Stepwise {
+    /// Intra-query Stepwise: each filter level's per-candidate bound updates
+    /// fan out across workers ([`Stepwise::filter_level_intra`]) while the
+    /// level ordering, I/O charges and pruning stay serial; the refinement
+    /// distances of the surviving candidates are computed in parallel from
+    /// the in-memory dataset, then replayed in id order through counted
+    /// [`DatasetStore::read_series`] calls so the random-access profile and
+    /// heap evolution match the serial path bit for bit.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        let n_len = self.store.series_length();
+        if query.len() != n_len {
+            return Err(Error::LengthMismatch {
+                expected: n_len,
+                actual: query.len(),
+            });
+        }
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("Stepwise", query.mode()));
+        }
+        let k = query.knn_k("Stepwise")?;
+        let clock = hydra_core::RunClock::start();
+        let q_coeffs = self.haar.transform(query.values());
+        let n = self.store.len();
+
+        let mut prefix_sq = vec![0.0f64; n];
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut alive_count = n;
+        let mut uppers = vec![f64::INFINITY; n];
+
+        for level in 0..self.levels.len() {
+            self.filter_level_intra(
+                level,
+                &q_coeffs,
+                k,
+                threads,
+                &mut prefix_sq,
+                &mut alive,
+                &mut alive_count,
+                &mut uppers,
+                stats,
+            );
+        }
+
+        // Parallel refinement distances (exact, threshold-free) from the
+        // in-memory dataset, replayed serially with counted reads.
+        let survivors: Vec<usize> = alive
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| a.then_some(id))
+            .collect();
+        let dataset = self.store.dataset();
+        let distances: Vec<f64> = map_chunks(survivors.len(), threads, |range| {
+            range
+                .map(|i| {
+                    let id = survivors[i];
+                    hydra_core::distance::euclidean(query.values(), dataset.series(id).values())
+                })
+                .collect()
+        });
+        let mut heap = KnnHeap::new(k);
+        for (&id, &d) in survivors.iter().zip(&distances) {
+            let _series = self.store.read_series(id);
+            stats.record_raw_series_examined(1);
+            heap.offer(id, d);
+        }
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set())
     }
 }
 

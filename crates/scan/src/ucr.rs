@@ -10,9 +10,10 @@
 use hydra_core::distance::{
     squared_euclidean_multi_reordered, squared_euclidean_reordered, QueryOrder,
 };
+use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BatchAnswering, Error, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Query, QueryStats, Result,
+    replay_outcome, AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap,
+    MethodDescriptor, ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use std::sync::Arc;
@@ -92,6 +93,85 @@ impl AnsweringMethod for UcrScan {
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         Some(self)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for UcrScan {
+    /// ParIS-style intra-query scan: the candidate range is split into one
+    /// contiguous chunk per worker; every worker prunes against the tighter
+    /// of its own local heap and the [`SharedBsf`], recording one [`Outcome`]
+    /// per candidate from the in-memory dataset (no store traffic). A serial
+    /// replay then walks the counted [`DatasetStore::scan_all`] pass in
+    /// storage order and decides every candidate from its recorded outcome
+    /// via [`replay_outcome`], so answers, `early_abandons`, and the full
+    /// logical I/O pass are bit-identical to [`AnsweringMethod::answer`].
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if self.store.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        if !query.mode().is_exact() {
+            return Err(Error::unsupported_mode("UCR-Suite", query.mode()));
+        }
+        let k = query.knn_k("UCR-Suite")?;
+        let order = QueryOrder::new(query.values());
+        let before = self.store.thread_io_snapshot();
+        let clock = hydra_core::RunClock::start();
+        let dataset = self.store.dataset();
+        let bsf = SharedBsf::new(f64::INFINITY);
+        let outcomes: Vec<Outcome> = map_chunks(self.store.len(), threads, |range| {
+            let mut local = KnnHeap::new(k);
+            let mut out = Vec::with_capacity(range.len());
+            for id in range {
+                let threshold = local.threshold_squared().min(bsf.get());
+                match squared_euclidean_reordered(
+                    query.values(),
+                    dataset.series(id).values(),
+                    &order,
+                    threshold,
+                ) {
+                    Some(sq) => {
+                        out.push(Outcome::Computed(sq));
+                        local.offer(id, sq.sqrt());
+                        bsf.update_min(local.threshold_squared());
+                    }
+                    None => out.push(Outcome::Abandoned { threshold }),
+                }
+            }
+            out
+        });
+        // Serial replay: the counted scan reproduces the serial pass exactly.
+        let mut heap = KnnHeap::new(k);
+        self.store.scan_all(|id, series| {
+            stats.record_raw_series_examined(1);
+            let replayed = replay_outcome(outcomes[id], heap.threshold_squared(), |t| {
+                squared_euclidean_reordered(query.values(), series.values(), &order, t)
+            });
+            match replayed {
+                Some(sq) => {
+                    heap.offer(id, sq.sqrt());
+                }
+                None => stats.record_early_abandon(),
+            }
+        });
+        stats.cpu_time += clock.elapsed();
+        let delta = self.store.thread_io_snapshot().since(&before);
+        stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+        Ok(heap.into_answer_set())
     }
 }
 
@@ -277,6 +357,25 @@ mod tests {
             batch_answers[0].stats.sequential_page_accesses,
             s2.total_pages() - 1
         );
+    }
+
+    #[test]
+    fn intra_query_scan_is_bit_identical_to_serial() {
+        let s = store(250, 96);
+        let scan = UcrScan::new(s);
+        for seed in [5u64, 6, 7] {
+            let q = Query::knn(RandomWalkGenerator::new(seed, 96).series(0), 3);
+            let mut serial_stats = QueryStats::default();
+            let serial = scan.answer(&q, &mut serial_stats).unwrap();
+            for threads in [2usize, 4] {
+                let mut stats = QueryStats::default();
+                let got = scan.answer_intra(&q, threads, &mut stats).unwrap();
+                assert_eq!(serial, got);
+                assert_eq!(serial_stats.raw_series_examined, stats.raw_series_examined);
+                assert_eq!(serial_stats.early_abandons, stats.early_abandons);
+                assert_eq!(serial_stats.bytes_read, stats.bytes_read);
+            }
+        }
     }
 
     #[test]

@@ -17,14 +17,25 @@
 
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
-    IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
+    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error,
+    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
+    Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// How a leaf scan evaluates candidate distances: directly (the serial path)
+/// or by replaying worker-recorded [`Outcome`]s against the serial threshold
+/// (the intra-query path). Replay falls back to direct evaluation for leaves
+/// absent from the map, so correctness never depends on which leaves the
+/// workers chose to precompute.
+enum LeafEval<'a> {
+    Direct,
+    Replay(&'a HashMap<usize, Vec<Outcome>>),
+}
 
 /// One entry stored in a trie leaf.
 #[derive(Clone, Debug)]
@@ -230,7 +241,16 @@ impl SfaTrie {
         self.nodes[0] = TrieNode::Internal { children };
     }
 
-    fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+    /// Scans one leaf, either evaluating distances directly or replaying
+    /// worker-recorded outcomes against the serial threshold.
+    fn scan_leaf_with(
+        &self,
+        leaf: usize,
+        query: &Query,
+        heap: &mut KnnHeap,
+        stats: &mut QueryStats,
+        eval: &LeafEval<'_>,
+    ) {
         let TrieNode::Leaf { entries } = &self.nodes[leaf] else {
             return;
         };
@@ -242,14 +262,25 @@ impl SfaTrie {
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
         stats.record_io(pages - 1, 1, leaf_bytes);
         let dataset = self.store.dataset();
-        for e in entries {
+        let recorded = match eval {
+            LeafEval::Direct => None,
+            LeafEval::Replay(map) => map.get(&leaf),
+        };
+        for (i, e) in entries.iter().enumerate() {
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
-            match hydra_core::distance::squared_euclidean_early_abandon(
-                query.values(),
-                series.values(),
-                heap.threshold_squared(),
-            ) {
+            let kernel = |threshold: f64| {
+                hydra_core::distance::squared_euclidean_early_abandon(
+                    query.values(),
+                    series.values(),
+                    threshold,
+                )
+            };
+            let result = match recorded {
+                Some(outcomes) => replay_outcome(outcomes[i], heap.threshold_squared(), kernel),
+                None => kernel(heap.threshold_squared()),
+            };
+            match result {
                 Some(sq) => {
                     heap.offer(e.id as usize, sq.sqrt());
                 }
@@ -348,6 +379,21 @@ impl AnsweringMethod for SfaTrie {
     }
 
     fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+        self.answer_with_eval(query, stats, &LeafEval::Direct)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl SfaTrie {
+    fn answer_with_eval(
+        &self,
+        query: &Query,
+        stats: &mut QueryStats,
+        eval: &LeafEval<'_>,
+    ) -> Result<AnswerSet> {
         if query.len() != self.store.series_length() {
             return Err(Error::LengthMismatch {
                 expected: self.store.series_length(),
@@ -364,7 +410,7 @@ impl AnsweringMethod for SfaTrie {
         // Approximate descent for the initial best-so-far — the whole answer
         // in ng-approximate mode.
         let seed_leaf = self.descend(&q_word, stats);
-        self.scan_leaf(seed_leaf, query, &mut heap, stats);
+        self.scan_leaf_with(seed_leaf, query, &mut heap, stats, eval);
 
         if mode != AnswerMode::NgApproximate {
             // Best-first traversal on prefix lower bounds, relaxed by
@@ -383,7 +429,7 @@ impl AnsweringMethod for SfaTrie {
                 match &self.nodes[node] {
                     TrieNode::Leaf { .. } => {
                         if node != seed_leaf {
-                            self.scan_leaf(node, query, &mut heap, stats);
+                            self.scan_leaf_with(node, query, &mut heap, stats, eval);
                         }
                     }
                     TrieNode::Internal { children } => {
@@ -405,6 +451,108 @@ impl AnsweringMethod for SfaTrie {
         }
         stats.cpu_time += clock.elapsed();
         Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+    }
+}
+
+impl IntraAnswering for SfaTrie {
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if query.mode() == AnswerMode::NgApproximate {
+            // ng-approximate scans a single leaf: nothing to fan out.
+            return self.answer(query, stats);
+        }
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.knn_k("SFA trie")?;
+        let mode = query.mode();
+        let shrink = mode.prune_shrink();
+        let q_dft = self.quantizer.dft(query.values());
+        let q_word = self.quantizer.word_from_dft(&q_dft);
+
+        // Phase A (serial, scratch stats): seed a best-so-far from the
+        // approximate descent, exactly as the serial path does. The replay in
+        // phase C repeats this with the real stats, so nothing is counted here.
+        let mut scratch = QueryStats::default();
+        let mut seed_heap = KnnHeap::new(k);
+        let seed_leaf = self.descend(&q_word, &mut scratch);
+        self.scan_leaf_with(
+            seed_leaf,
+            query,
+            &mut seed_heap,
+            &mut scratch,
+            &LeafEval::Direct,
+        );
+        let seed_threshold = seed_heap.threshold();
+
+        // Candidate leaves: every leaf the serial traversal could possibly
+        // scan (a superset — its bound check uses the *seed* threshold, which
+        // is never tighter than the serial threshold at visit time). The seed
+        // leaf is excluded: the traversal never rescans it, and the replayed
+        // seed scan starts from an empty heap where recorded tight-threshold
+        // abandons would all recompute anyway.
+        let candidates: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, node)| {
+                *id != seed_leaf
+                    && matches!(node, TrieNode::Leaf { entries } if !entries.is_empty())
+            })
+            .map(|(id, _)| id)
+            .filter(|&id| {
+                if !seed_heap.is_full() {
+                    return true;
+                }
+                let prefix = &self.prefixes[id];
+                let lb = self.quantizer.mindist_prefix(&q_dft, prefix, prefix.len());
+                lb < seed_threshold * shrink
+            })
+            .collect();
+
+        // Phase B (parallel): evaluate candidate leaves with a shared atomic
+        // best-so-far. Workers record per-entry outcomes; thresholds may be
+        // stale or tighter than serial, which `replay_outcome` reconciles.
+        let dataset = self.store.dataset();
+        let bsf = SharedBsf::new(seed_heap.threshold_squared());
+        let per_leaf: Vec<Vec<Outcome>> = parallel::map_indexed(candidates.len(), threads, |ci| {
+            let leaf = candidates[ci];
+            let TrieNode::Leaf { entries } = &self.nodes[leaf] else {
+                unreachable!("candidates only contain leaves");
+            };
+            let mut local = seed_heap.clone();
+            let mut outcomes = Vec::with_capacity(entries.len());
+            for e in entries {
+                let threshold = local.threshold_squared().min(bsf.get());
+                let series = dataset.series(e.id as usize);
+                match hydra_core::distance::squared_euclidean_early_abandon(
+                    query.values(),
+                    series.values(),
+                    threshold,
+                ) {
+                    Some(sq) => {
+                        outcomes.push(Outcome::Computed(sq));
+                        local.offer(e.id as usize, sq.sqrt());
+                        bsf.update_min(local.threshold_squared());
+                    }
+                    None => outcomes.push(Outcome::Abandoned { threshold }),
+                }
+            }
+            outcomes
+        });
+        let recorded: HashMap<usize, Vec<Outcome>> = candidates.into_iter().zip(per_leaf).collect();
+
+        // Phase C (serial): replay the exact serial traversal, deciding each
+        // candidate from the recorded evidence. Answers and counters are
+        // bit-identical to the serial path.
+        self.answer_with_eval(query, stats, &LeafEval::Replay(&recorded))
     }
 }
 
@@ -736,6 +884,42 @@ mod tests {
             assert_eq!(zero.answers(), exact.answers());
             assert_eq!(s1.raw_series_examined, s2.raw_series_examined);
             assert_eq!(s1.lower_bounds_computed, s2.lower_bounds_computed);
+        }
+    }
+
+    #[test]
+    fn intra_query_search_is_bit_identical_to_serial() {
+        let (store, idx) = build(400, 64, 15);
+        let mut queries: Vec<Query> = RandomWalkGenerator::new(911, 64)
+            .series_batch(5)
+            .into_iter()
+            .map(|q| Query::knn(q, 3))
+            .collect();
+        queries.push(Query::knn(store.dataset().series(123).to_owned_series(), 3));
+        queries.push(
+            Query::knn(store.dataset().series(7).to_owned_series(), 3)
+                .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.5 }),
+        );
+        for query in &queries {
+            let mut serial_stats = QueryStats::default();
+            let serial = idx.answer(query, &mut serial_stats).unwrap();
+            for threads in [2usize, 4] {
+                let mut stats = QueryStats::default();
+                let got = idx
+                    .intra_answering()
+                    .unwrap()
+                    .answer_intra(query, threads, &mut stats)
+                    .unwrap();
+                assert_eq!(serial, got, "threads={threads}");
+                assert_eq!(serial_stats.raw_series_examined, stats.raw_series_examined);
+                assert_eq!(serial_stats.early_abandons, stats.early_abandons);
+                assert_eq!(serial_stats.leaves_visited, stats.leaves_visited);
+                assert_eq!(
+                    serial_stats.lower_bounds_computed,
+                    stats.lower_bounds_computed
+                );
+                assert_eq!(serial_stats.bytes_read, stats.bytes_read);
+            }
         }
     }
 

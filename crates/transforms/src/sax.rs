@@ -116,23 +116,45 @@ impl SaxParams {
 
     /// Lower-bounding (MINDIST) distance between a query's PAA values and a
     /// candidate's iSAX word.
+    ///
+    /// The per-segment gaps and the width-weighted accumulation run through
+    /// the runtime-dispatched interval kernel
+    /// ([`hydra_core::simd::interval_mindist_weighted_sq`]), so this inner
+    /// loop of every iSAX-family traversal vectorizes on SSE2/AVX2 hardware
+    /// while staying bit-identical across dispatch kernels.
     pub fn mindist_paa_to_isax(&self, query_paa: &[f32], word: &IsaxWord) -> f64 {
         debug_assert_eq!(query_paa.len(), self.segments());
         debug_assert_eq!(word.len(), self.segments());
-        let mut sum = 0.0f64;
-        for (i, &q_paa) in query_paa.iter().enumerate() {
-            let (low, high) = self.symbol_range(word.symbols[i], word.bits[i]);
-            let q = q_paa as f64;
-            let d = if q < low {
-                low - q
-            } else if q > high {
-                q - high
-            } else {
-                0.0
-            };
-            sum += self.paa.segment_width(i) as f64 * d * d;
+        // Segment counts are small (the paper fixes 16), so the interval
+        // bounds live on the stack in the common case.
+        const STACK_SEGS: usize = 32;
+        let segments = self.segments();
+        let mut low_buf = [0.0f64; STACK_SEGS];
+        let mut high_buf = [0.0f64; STACK_SEGS];
+        let mut width_buf = [0.0f64; STACK_SEGS];
+        let mut low_vec;
+        let mut high_vec;
+        let mut width_vec;
+        let (low, high, width) = if segments <= STACK_SEGS {
+            (
+                &mut low_buf[..segments],
+                &mut high_buf[..segments],
+                &mut width_buf[..segments],
+            )
+        } else {
+            low_vec = vec![0.0f64; segments];
+            high_vec = vec![0.0f64; segments];
+            width_vec = vec![0.0f64; segments];
+            (&mut low_vec[..], &mut high_vec[..], &mut width_vec[..])
+        };
+        for i in 0..segments {
+            let (lo, hi) = self.symbol_range(word.symbols[i], word.bits[i]);
+            low[i] = lo;
+            high[i] = hi;
+            width[i] = self.paa.segment_width(i) as f64;
         }
-        sum.sqrt()
+        hydra_core::simd::interval_mindist_weighted_sq(&query_paa[..segments], low, high, width)
+            .sqrt()
     }
 }
 

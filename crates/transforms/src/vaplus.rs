@@ -196,23 +196,33 @@ impl VaPlusQuantizer {
     /// Never exceeds the Euclidean distance between the corresponding series
     /// (DFT-summary distance lower-bounds true distance, and the cell distance
     /// lower-bounds the summary distance).
+    /// The per-dimension interval gaps and the accumulation run through the
+    /// runtime-dispatched interval kernel
+    /// ([`hydra_core::simd::interval_mindist_sq`]) — this is the hot loop of
+    /// the VA+file's full-file cell sweep, and it stays bit-identical across
+    /// dispatch kernels.
     pub fn lower_bound(&self, query_dft: &[f32], cell: &VaPlusCell) -> f64 {
         debug_assert_eq!(query_dft.len(), self.dims);
         debug_assert_eq!(cell.len(), self.dims);
-        let mut sum = 0.0f64;
-        for (d, &qv) in query_dft.iter().enumerate() {
-            let (low, high) = self.interval(d, cell.cells[d]);
-            let q = qv as f64;
-            let dist = if q < low {
-                low - q
-            } else if q > high {
-                q - high
-            } else {
-                0.0
-            };
-            sum += dist * dist;
+        const STACK_DIMS: usize = 32;
+        let dims = self.dims;
+        let mut low_buf = [0.0f64; STACK_DIMS];
+        let mut high_buf = [0.0f64; STACK_DIMS];
+        let mut low_vec;
+        let mut high_vec;
+        let (low, high) = if dims <= STACK_DIMS {
+            (&mut low_buf[..dims], &mut high_buf[..dims])
+        } else {
+            low_vec = vec![0.0f64; dims];
+            high_vec = vec![0.0f64; dims];
+            (&mut low_vec[..], &mut high_vec[..])
+        };
+        for d in 0..dims {
+            let (lo, hi) = self.interval(d, cell.cells[d]);
+            low[d] = lo;
+            high[d] = hi;
         }
-        sum.sqrt()
+        hydra_core::simd::interval_mindist_sq(&query_dft[..dims], low, high).sqrt()
     }
 
     /// Upper-bounding distance from a query's DFT summary to a candidate cell

@@ -20,11 +20,12 @@
 //! proportional to the unpruned candidates, and excellent pruning thanks to
 //! the tight, data-adaptive quantization.
 
+use hydra_core::parallel::map_chunks;
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
     AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats,
-    Result,
+    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
+    QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{VaPlusCell, VaPlusQuantizer};
@@ -195,6 +196,55 @@ impl AnsweringMethod for VaPlusFile {
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
         Some(self)
+    }
+
+    fn intra_answering(&self) -> Option<&dyn IntraAnswering> {
+        Some(self)
+    }
+}
+
+impl IntraAnswering for VaPlusFile {
+    /// Intra-query VA+file: the phase-1 filter-file sweep — the method's CPU
+    /// bulk — splits into one contiguous cell range per worker; each lower
+    /// bound is an independent, pruning-free computation, and the in-order
+    /// chunk merge reproduces the serial sweep's `(lb, id)` sequence exactly.
+    /// Ranking and the mode-aware refinement (whose stopping rule depends on
+    /// the evolving best-so-far and whose reads are counted) stay serial, so
+    /// answers, counters, and I/O are bit-identical to the serial path in
+    /// every answering mode.
+    fn answer_intra(
+        &self,
+        query: &Query,
+        threads: usize,
+        stats: &mut QueryStats,
+    ) -> Result<AnswerSet> {
+        if query.len() != self.store.series_length() {
+            return Err(Error::LengthMismatch {
+                expected: self.store.series_length(),
+                actual: query.len(),
+            });
+        }
+        let k = query.knn_k("VA+file")?;
+        let mode = query.mode();
+        let clock = hydra_core::RunClock::start();
+        let q_dft = self.quantizer.dft(query.values());
+
+        self.record_filter_pass(stats);
+        let mut ranked: Vec<(f64, usize)> = map_chunks(self.cells.len(), threads, |range| {
+            range
+                .map(|id| (self.quantizer.lower_bound(&q_dft, &self.cells[id]), id))
+                .collect()
+        });
+        stats.record_lower_bounds(self.cells.len() as u64);
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut heap = KnnHeap::new(k);
+        let before = self.store.thread_io_snapshot();
+        self.refine_ranked(query, k, &ranked, &mut heap, stats);
+        let delta = self.store.thread_io_snapshot().since(&before);
+        stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
+        stats.cpu_time += clock.elapsed();
+        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
     }
 }
 

@@ -1,0 +1,121 @@
+//! Intra-query parallelism agreement across the whole suite.
+//!
+//! The central guarantee of the intra-query execution layer: for every one of
+//! the ten methods, answering a single query through
+//! `QueryEngine::answer_intra` with multiple worker threads returns answer
+//! sets, guarantees and per-query work counters **bit-identical** to the
+//! serial path — whether the method has a native intra kernel (the scans, the
+//! filter files, the data-series trees) or falls back to serial execution
+//! (R*-tree, M-tree).
+
+use hydra_bench::MethodKind;
+use hydra_core::{AnswerMode, Parallelism, Query, QueryStats};
+use hydra_data::RandomWalkGenerator;
+use hydra_integration::{dataset, options};
+
+/// The counter fields of `QueryStats` (everything except the wall-clock
+/// times, which legitimately vary run to run).
+fn counters(stats: &QueryStats) -> [u64; 8] {
+    [
+        stats.raw_series_examined,
+        stats.lower_bounds_computed,
+        stats.leaves_visited,
+        stats.internal_nodes_visited,
+        stats.early_abandons,
+        stats.sequential_page_accesses,
+        stats.random_page_accesses,
+        stats.bytes_read,
+    ]
+}
+
+#[test]
+fn answer_intra_matches_serial_for_all_ten_methods_and_thread_counts() {
+    let data = dataset(300, 64, 44);
+    let opts = options(64);
+    // A mix of independent random queries (little pruning) and member queries
+    // (heavy pruning and early abandoning), plus the approximate modes for
+    // the methods that support them.
+    let mut queries: Vec<Query> = RandomWalkGenerator::new(779, 64)
+        .series_batch(5)
+        .into_iter()
+        .map(|s| Query::knn(s, 3))
+        .collect();
+    for i in [7usize, 133, 250] {
+        queries.push(Query::nearest_neighbor(data.series(i).to_owned_series()));
+    }
+    let approx_modes = [
+        AnswerMode::NgApproximate,
+        AnswerMode::EpsilonApproximate { epsilon: 0.5 },
+        AnswerMode::DeltaEpsilon {
+            delta: 0.8,
+            epsilon: 0.5,
+        },
+    ];
+    for mode in approx_modes {
+        queries.push(Query::knn(data.series(42).to_owned_series(), 3).with_mode(mode));
+    }
+
+    for kind in MethodKind::ALL {
+        let mut engine = kind.engine(&data, &opts).unwrap();
+        let supported: Vec<&Query> = queries
+            .iter()
+            .filter(|q| kind.supports_mode(q.mode()))
+            .collect();
+        let serial: Vec<_> = supported
+            .iter()
+            .map(|q| engine.answer(q).unwrap())
+            .collect();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+        ] {
+            for (qi, (query, expected)) in supported.iter().zip(&serial).enumerate() {
+                let got = engine.answer_intra(query, parallelism).unwrap();
+                assert_eq!(
+                    expected.answers,
+                    got.answers,
+                    "{} answers diverged on query {qi} at {parallelism:?}",
+                    kind.name()
+                );
+                assert_eq!(
+                    expected.answers.guarantee(),
+                    got.answers.guarantee(),
+                    "{} guarantee diverged on query {qi} at {parallelism:?}",
+                    kind.name()
+                );
+                assert_eq!(
+                    counters(&expected.stats),
+                    counters(&got.stats),
+                    "{} per-query stats diverged on query {qi} at {parallelism:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn intra_capable_methods_expose_their_kernel_through_the_registry() {
+    // `answer_intra` silently falls back to serial for methods without a
+    // kernel; this pins down which of the ten actually parallelize so a
+    // regression in kernel wiring cannot hide behind the fallback.
+    let with_kernel: Vec<&str> = MethodKind::ALL
+        .iter()
+        .filter(|k| k.supports_intra())
+        .map(|k| k.name())
+        .collect();
+    assert_eq!(
+        with_kernel,
+        [
+            "ADS+",
+            "DSTree",
+            "iSAX2+",
+            "SFA trie",
+            "VA+file",
+            "UCR-Suite",
+            "MASS",
+            "Stepwise"
+        ]
+    );
+}
