@@ -1,0 +1,41 @@
+//! EXP-ROBUST: the robustness study — a fault-rate × retry-policy × budget
+//! ladder under seeded deterministic fault injection, over the three scans
+//! plus the VA+file and ADS+. Reports per-cell success rate, mean attempts
+//! per answered query, truncation fraction and the error ratio of degraded
+//! answers against the fault-free exact baseline, plus a snapshot-recovery
+//! phase counting quarantine-and-rebuild recoveries of corrupted on-disk
+//! snapshots.
+//!
+//! The fault-free lane is validated bit-identical to today's behaviour on
+//! the way (answers and work counters), and any query failure must surface
+//! as a typed error — the binary panics otherwise.
+//!
+//! Writes `BENCH_robust.json` and `results/robustness.{csv,json}` (the JSON
+//! is uploaded as a CI artifact by the `chaos-smoke` job).
+//!
+//! This binary sweeps the fault ladder itself, so it takes no `--fault-seed`
+//! or `--budget` flag (those drive the per-figure binaries); `--threads N`
+//! and `HYDRA_SCALE` apply as usual.
+
+use hydra_bench::experiments::{robustness, ExperimentScale};
+use hydra_bench::report::results_dir;
+use std::io::Write as _;
+
+fn main() {
+    hydra_bench::cli::init_threads();
+    let (table, json) = robustness(ExperimentScale::from_env());
+    println!("{}", table.to_text());
+
+    let bench_path = std::path::Path::new("BENCH_robust.json");
+    let mut file = std::fs::File::create(bench_path).expect("create BENCH_robust.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", bench_path.display());
+
+    let dir = results_dir();
+    let csv_path = table.write_csv(&dir, "robustness").expect("write csv");
+    println!("wrote {}", csv_path.display());
+    let json_path = dir.join("robustness.json");
+    let mut file = std::fs::File::create(&json_path).expect("create robustness.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", json_path.display());
+}

@@ -91,6 +91,9 @@ fn main() {
         let outcome = match build.snapshot {
             SnapshotOutcome::Loaded { bytes } => format!("loaded {bytes} B"),
             SnapshotOutcome::Saved { bytes } => format!("built fresh, saved {bytes} B"),
+            SnapshotOutcome::Recovered { bytes } => {
+                format!("quarantined damaged snapshot, rebuilt and saved {bytes} B")
+            }
             SnapshotOutcome::Unsupported => "unsupported".to_string(),
         };
         let verdict = if ok { "OK" } else { "MISMATCH" };

@@ -26,10 +26,20 @@
 //!   with a native batch kernel. `0` (or unset) keeps the per-query loop.
 //!   Batches compose with `--mode` and `--threads` (thread-parallel across
 //!   batch chunks); answers and per-query counters are identical either way.
+//! * `--fault-seed N` — the deterministic fault-injection seed.
+//!   [`init_fault_seed`] parses it and exports `HYDRA_FAULT_SEED`, which
+//!   robustness binaries read back to construct a seeded
+//!   [`hydra_storage::FaultPlan`] on the store. `0` (or unset) runs
+//!   fault-free; the same seed reproduces the same fault sequence.
+//! * `--budget B` — the per-query anytime budget in raw series reads
+//!   (`inf` = unbudgeted). [`init_budget`] parses it and exports
+//!   `HYDRA_BUDGET`, which [`crate::harness::run_queries`] reads back when
+//!   constructing its queries: on exhaustion a method stops and returns its
+//!   best-so-far answer tagged `Guarantee::Truncated`.
 //!
 //! One call to each at the top of `main` wires a whole experiment binary.
 
-use hydra_core::{AnswerMode, Parallelism};
+use hydra_core::{AnswerMode, Budget, Parallelism};
 use std::path::PathBuf;
 
 /// Parses `--threads N` (or `--threads=N`) from the process arguments,
@@ -239,6 +249,127 @@ fn batch_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<
     None
 }
 
+/// Parses `--fault-seed N` (or `--fault-seed=N`) from the process arguments,
+/// exports the value via `HYDRA_FAULT_SEED`, and returns it. The seed
+/// deterministically drives the storage layer's [`hydra_storage::FaultPlan`]
+/// in binaries that construct one; `0` (or unset) disables fault injection.
+///
+/// A `--fault-seed` flag with a missing or unparseable value aborts the
+/// process: silently running fault-free would record robustness results under
+/// the wrong configuration.
+pub fn init_fault_seed() -> u64 {
+    match fault_seed_from(std::env::args()) {
+        Some(Ok(seed)) => std::env::set_var("HYDRA_FAULT_SEED", seed.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --fault-seed value {bad:?} (expected a number; 0 = no faults)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    fault_seed_from_env()
+}
+
+/// The fault seed currently exported through `HYDRA_FAULT_SEED` (`0` — no
+/// fault injection — when unset).
+///
+/// A set-but-unparseable `HYDRA_FAULT_SEED` falls back to fault-free with a
+/// warning on stderr, mirroring `batch_from_env`.
+pub fn fault_seed_from_env() -> u64 {
+    let Ok(raw) = std::env::var("HYDRA_FAULT_SEED") else {
+        return 0;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring unparseable HYDRA_FAULT_SEED={raw:?}; running fault-free \
+                 (expected a number; 0 = no faults)"
+            );
+            0
+        }
+    }
+}
+
+/// Extracts the `--fault-seed` value from an argument list: `None` when the
+/// flag is absent, `Some(Err(raw))` when it is present but not a number.
+fn fault_seed_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<u64, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--fault-seed" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--fault-seed=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(raw.trim().parse::<u64>().map_err(|_| raw));
+    }
+    None
+}
+
+/// Parses `--budget B` (or `--budget=B`, with `B` either `inf` or a raw-read
+/// count) from the process arguments, exports the canonical value via
+/// `HYDRA_BUDGET`, and returns the per-query [`Budget`] the run's workloads
+/// attach to their queries. Without the flag, an already-set `HYDRA_BUDGET`
+/// is respected; `None` (unbudgeted, every query runs to completion) when
+/// that is unset too.
+///
+/// A `--budget` flag with a missing or invalid value aborts the process:
+/// silently running unbudgeted would record anytime-answering results under
+/// the wrong configuration.
+pub fn init_budget() -> Option<Budget> {
+    match budget_from(std::env::args()) {
+        Some(Ok(budget)) => std::env::set_var(
+            "HYDRA_BUDGET",
+            budget.map_or("inf".to_string(), |b| b.limit().to_string()),
+        ),
+        Some(Err(bad)) => {
+            eprintln!("error: invalid --budget value {bad:?} (expected `inf` or a raw-read count)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    budget_from_env()
+}
+
+/// The per-query budget currently exported through `HYDRA_BUDGET` (`None` —
+/// unbudgeted — when unset or `inf`).
+///
+/// A set-but-invalid `HYDRA_BUDGET` aborts the process, exactly like an
+/// invalid `--budget` flag.
+pub fn budget_from_env() -> Option<Budget> {
+    match std::env::var("HYDRA_BUDGET") {
+        Ok(raw) if !raw.trim().is_empty() => Budget::parse(&raw).unwrap_or_else(|_| {
+            eprintln!(
+                "error: invalid HYDRA_BUDGET value {raw:?} (expected `inf` or a raw-read count)"
+            );
+            std::process::exit(2);
+        }),
+        _ => None,
+    }
+}
+
+/// Extracts the `--budget` value from an argument list: `None` when the flag
+/// is absent, `Some(Err(raw))` when it is present but not `inf`/a number.
+fn budget_from(
+    args: impl Iterator<Item = String>,
+) -> Option<std::result::Result<Option<Budget>, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--budget" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--budget=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(Budget::parse(&raw).map_err(|_| raw));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +452,45 @@ mod tests {
         assert_eq!(
             batch_from(argv(&["bin", "--batch", "many"])),
             Some(Err("many".into()))
+        );
+    }
+
+    #[test]
+    fn parses_fault_seed_forms() {
+        assert_eq!(
+            fault_seed_from(argv(&["bin", "--fault-seed", "42"])),
+            Some(Ok(42))
+        );
+        assert_eq!(
+            fault_seed_from(argv(&["bin", "--fault-seed=7"])),
+            Some(Ok(7))
+        );
+        assert_eq!(fault_seed_from(argv(&["bin"])), None);
+        assert_eq!(
+            fault_seed_from(argv(&["bin", "--fault-seed", "chaos"])),
+            Some(Err("chaos".into()))
+        );
+        assert_eq!(
+            fault_seed_from(argv(&["bin", "--fault-seed"])),
+            Some(Err(String::new()))
+        );
+    }
+
+    #[test]
+    fn parses_budget_forms() {
+        assert_eq!(
+            budget_from(argv(&["bin", "--budget", "500"])),
+            Some(Ok(Some(Budget::raw_reads(500))))
+        );
+        assert_eq!(budget_from(argv(&["bin", "--budget=inf"])), Some(Ok(None)));
+        assert_eq!(budget_from(argv(&["bin"])), None);
+        assert_eq!(
+            budget_from(argv(&["bin", "--budget", "soon"])),
+            Some(Err("soon".into()))
+        );
+        assert_eq!(
+            budget_from(argv(&["bin", "--budget"])),
+            Some(Err(String::new()))
         );
     }
 

@@ -1059,6 +1059,280 @@ pub fn batch_amortization(scale: ExperimentScale) -> (ResultTable, String) {
     (table, json)
 }
 
+/// The per-read fault-rate ladder of the robustness study. `0.0` is the
+/// fault-free control lane that must reproduce today's behaviour
+/// bit-identically.
+pub const FAULT_RATE_LADDER: [f64; 3] = [0.0, 0.02, 0.08];
+
+/// The methods the robustness study sweeps: the three scans plus the two
+/// snapshot-capable filter methods (VA+file and ADS+), covering both pure
+/// sequential access and index-guided random access under faults.
+pub fn robustness_methods() -> Vec<MethodKind> {
+    vec![
+        MethodKind::UcrSuite,
+        MethodKind::Mass,
+        MethodKind::Stepwise,
+        MethodKind::VaPlusFile,
+        MethodKind::AdsPlus,
+    ]
+}
+
+/// The robustness study: a fault-rate × retry-policy × budget ladder under a
+/// seeded deterministic [`hydra_storage::FaultPlan`], reporting per-cell
+/// success rate, mean attempts per answered query, truncation fraction and
+/// the error ratio of degraded answers against the fault-free exact baseline
+/// — plus a snapshot-recovery phase that corrupts on-disk snapshots and
+/// counts quarantine-and-rebuild recoveries across repeated load cycles.
+///
+/// Two contracts are asserted on the way (the function panics on violation):
+/// the fault-free unbudgeted cell answers bit-identically to the baseline
+/// with identical work counters, and every failed query in a faulted cell
+/// surfaces as a typed I/O or internal error — never a panic.
+///
+/// Returns the result table plus a JSON rendering (written to
+/// `BENCH_robust.json` and `results/robustness.json` by the `exp_robustness`
+/// binary and uploaded as a CI artifact).
+pub fn robustness(scale: ExperimentScale) -> (ResultTable, String) {
+    use crate::registry::SnapshotOutcome;
+    use hydra_core::{Budget, Completion, Error, RetryPolicy};
+    use hydra_storage::{DatasetStore, FaultConfig, FaultPlan};
+    use std::fmt::Write as _;
+    use std::sync::Arc;
+
+    const FAULT_SEED: u64 = 0xC1A05;
+    let config_at = |rate: f64| FaultConfig {
+        read_error: rate,
+        bit_flip: rate / 2.0,
+        latency: rate,
+        latency_pages: 4,
+        snapshot_corruption: (rate * 10.0).min(1.0),
+        max_transient_attempts: 2,
+    };
+
+    let dataset = synth_dataset(scale.base_series, 128);
+    let num_queries = scale.queries.min(20);
+    let workload = rand_workload(&dataset, num_queries);
+    let base_queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+
+    // Retries beyond the planned max_transient_attempts always recover, so
+    // the second lane demonstrates full degradation-free operation.
+    let retry_ladder = [RetryPolicy::none(), RetryPolicy::new(4, 2)];
+    let budget_ladder: [Option<Budget>; 2] = [
+        None,
+        Some(Budget::raw_reads((dataset.len() as u64 / 10).max(1))),
+    ];
+    let budget_label =
+        |b: &Option<Budget>| b.map_or_else(|| "inf".to_string(), |b| b.limit().to_string());
+
+    let mut table = ResultTable::new(
+        "Robustness — fault rate × retry policy × budget (seeded deterministic faults)",
+        &[
+            "phase",
+            "method",
+            "fault_rate",
+            "retries",
+            "budget",
+            "success_rate",
+            "mean_attempts",
+            "truncated",
+            "err_vs_exact",
+            "recovered_snapshots",
+        ],
+    );
+    let mut json_rows = String::new();
+    let mut json_snapshots = String::new();
+
+    for kind in robustness_methods() {
+        // The fault-free exact baseline every degraded cell is scored against.
+        let mut baseline = kind.engine(&dataset, &default_options()).expect("build");
+        let exact: Vec<_> = base_queries
+            .iter()
+            .map(|q| baseline.answer(q).expect("fault-free query"))
+            .collect();
+
+        for rate in FAULT_RATE_LADDER {
+            for retry in retry_ladder {
+                // Without faults the retry policy never engages — skip the
+                // duplicate cells.
+                if rate == 0.0 && retry.max_attempts > 1 {
+                    continue;
+                }
+                for budget in budget_ladder {
+                    let plan = if rate == 0.0 {
+                        FaultPlan::disabled()
+                    } else {
+                        FaultPlan::seeded(FAULT_SEED, config_at(rate))
+                    };
+                    let store = Arc::new(DatasetStore::new(dataset.clone()).with_fault_plan(plan));
+                    let mut engine = kind
+                        .engine_on_store(store, &default_options())
+                        .expect("build")
+                        .with_retry_policy(retry);
+
+                    let (mut ok, mut attempts, mut truncated) = (0usize, 0u64, 0usize);
+                    let (mut err_sum, mut err_count) = (0.0f64, 0usize);
+                    for (qi, q) in base_queries.iter().enumerate() {
+                        match engine.answer(&q.clone().with_budget(budget)) {
+                            Ok(a) => {
+                                ok += 1;
+                                attempts += u64::from(a.attempts);
+                                if a.completion() == Completion::Truncated {
+                                    truncated += 1;
+                                }
+                                if let Some(r) = a.answers.error_ratio_vs(&exact[qi].answers) {
+                                    err_sum += r;
+                                    err_count += 1;
+                                }
+                                if rate == 0.0 && budget.is_none() {
+                                    assert_eq!(
+                                        a.answers.answers(),
+                                        exact[qi].answers.answers(),
+                                        "{}: fault-free run diverged on query {qi}",
+                                        kind.name()
+                                    );
+                                    assert_eq!(
+                                        a.stats.raw_series_examined,
+                                        exact[qi].stats.raw_series_examined,
+                                        "{}: fault-free work counters diverged on query {qi}",
+                                        kind.name()
+                                    );
+                                }
+                            }
+                            Err(e) => assert!(
+                                matches!(e, Error::Io { .. } | Error::Internal(_)),
+                                "{}: query {qi} failed with an untyped error: {e}",
+                                kind.name()
+                            ),
+                        }
+                    }
+                    let total = base_queries.len();
+                    let success_rate = ok as f64 / total.max(1) as f64;
+                    let mean_attempts = attempts as f64 / ok.max(1) as f64;
+                    let truncated_frac = truncated as f64 / ok.max(1) as f64;
+                    let err_vs_exact = err_sum / err_count.max(1) as f64;
+                    table.push_row(vec![
+                        "queries".to_string(),
+                        kind.name().to_string(),
+                        format!("{rate}"),
+                        retry.max_attempts.to_string(),
+                        budget_label(&budget),
+                        fmt_pct(success_rate),
+                        format!("{mean_attempts:.2}"),
+                        fmt_pct(truncated_frac),
+                        format!("{err_vs_exact:.4}"),
+                        "-".to_string(),
+                    ]);
+                    if !json_rows.is_empty() {
+                        json_rows.push_str(",\n");
+                    }
+                    let _ = write!(
+                        json_rows,
+                        r#"    {{"method": "{}", "fault_rate": {rate}, "max_attempts": {}, "budget": "{}", "success_rate": {success_rate:.6}, "mean_attempts": {mean_attempts:.4}, "truncated_fraction": {truncated_frac:.6}, "err_vs_exact": {err_vs_exact:.6}}}"#,
+                        kind.name(),
+                        retry.max_attempts,
+                        budget_label(&budget),
+                    );
+                }
+            }
+        }
+
+        // Snapshot-recovery phase: under planned snapshot corruption a load
+        // cycle must quarantine the damaged file, rebuild and re-save — never
+        // serve a corrupt index or fail outright.
+        if !kind.supports_snapshots() {
+            continue;
+        }
+        for rate in FAULT_RATE_LADDER {
+            if rate == 0.0 {
+                continue;
+            }
+            let dir = std::env::temp_dir().join(format!(
+                "hydra-robust-snap-{}-{}-{}",
+                std::process::id(),
+                kind.name(),
+                (rate * 1000.0) as u64
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cycles = 3usize;
+            let mut recovered = 0usize;
+            for cycle in 0..cycles {
+                let store = Arc::new(
+                    DatasetStore::new(dataset.clone())
+                        .with_fault_plan(FaultPlan::seeded(FAULT_SEED, config_at(rate))),
+                );
+                let (_, outcome) = kind
+                    .engine_with_snapshot(store, &default_options(), &dir)
+                    .expect("snapshot cycle");
+                match outcome {
+                    SnapshotOutcome::Recovered { .. } => recovered += 1,
+                    SnapshotOutcome::Saved { .. } => assert_eq!(
+                        cycle,
+                        0,
+                        "{}: a later cycle rebuilt without quarantining",
+                        kind.name()
+                    ),
+                    SnapshotOutcome::Loaded { .. } => {}
+                    SnapshotOutcome::Unsupported => {
+                        unreachable!("{} supports snapshots", kind.name())
+                    }
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            table.push_row(vec![
+                "snapshot".to_string(),
+                kind.name().to_string(),
+                format!("{rate}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{recovered}/{}", cycles - 1),
+            ]);
+            if !json_snapshots.is_empty() {
+                json_snapshots.push_str(",\n");
+            }
+            let _ = write!(
+                json_snapshots,
+                r#"    {{"method": "{}", "fault_rate": {rate}, "load_cycles": {}, "recovered": {recovered}}}"#,
+                kind.name(),
+                cycles - 1,
+            );
+        }
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "robustness",
+  "generated_by": "cargo run --release --bin exp_robustness",
+  "fault_seed": {FAULT_SEED},
+  "dataset": {{"kind": "random-walk", "series": {}, "length": 128}},
+  "queries": {num_queries},
+  "fault_rate_ladder": [{}],
+  "fault_free_validated_bit_identical": true,
+  "rows": [
+{json_rows}
+  ],
+  "snapshot_recovery": [
+{json_snapshots}
+  ]
+}}
+"#,
+        scale.base_series,
+        FAULT_RATE_LADDER
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

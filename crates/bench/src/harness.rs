@@ -8,10 +8,10 @@
 use crate::registry::{MethodKind, SnapshotOutcome};
 use hydra_core::{
     AnswerMode, BuildOptions, Dataset, IoSnapshot, Parallelism, Query, QueryEngine, QueryStats,
-    Result,
+    Result, RetryPolicy,
 };
 use hydra_data::QueryWorkload;
-use hydra_storage::{CostModel, DatasetStore, StorageProfile};
+use hydra_storage::{CostModel, DatasetStore, FaultConfig, FaultPlan, StorageProfile};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -196,17 +196,30 @@ impl WorkloadMeasurement {
 /// instead of rebuilding — keyed on the dataset fingerprint and the tuned
 /// build options — and save one after a fresh build, so repeated sweeps pay
 /// the construction cost once.
+///
+/// When a fault seed is configured (`HYDRA_FAULT_SEED`, set by the binaries'
+/// `--fault-seed` flag; 0 disables), the store is built with a seeded
+/// [`FaultPlan`] at [`FaultConfig::standard`] rates and the engine gets a
+/// default retry policy that outlasts every planned transient, so any
+/// experiment binary runs under chaos without code changes.
 pub fn run_build(
     kind: MethodKind,
     dataset: &Dataset,
     options: &BuildOptions,
 ) -> Result<(QueryEngine, BuildMeasurement)> {
+    let store = Arc::new(fault_planned_store(dataset));
+    let chaos = store.fault_plan().is_active();
     let (engine, snapshot) = match crate::cli::index_dir_from_env() {
-        Some(dir) => {
-            let store = Arc::new(DatasetStore::new(dataset.clone()));
-            kind.engine_with_snapshot(store, options, &dir)?
-        }
-        None => (kind.engine(dataset, options)?, SnapshotOutcome::Unsupported),
+        Some(dir) => kind.engine_with_snapshot(store, options, &dir)?,
+        None => (
+            kind.engine_on_store(store, options)?,
+            SnapshotOutcome::Unsupported,
+        ),
+    };
+    let engine = if chaos {
+        engine.with_retry_policy(RetryPolicy::new(4, 2))
+    } else {
+        engine
     };
     let measurement = BuildMeasurement {
         kind,
@@ -216,6 +229,16 @@ pub fn run_build(
         snapshot,
     };
     Ok((engine, measurement))
+}
+
+/// A store over `dataset`, fault-planned when `HYDRA_FAULT_SEED` is set to a
+/// nonzero seed (see [`run_build`]).
+fn fault_planned_store(dataset: &Dataset) -> DatasetStore {
+    let store = DatasetStore::new(dataset.clone());
+    match crate::cli::fault_seed_from_env() {
+        0 => store,
+        seed => store.with_fault_plan(FaultPlan::seeded(seed, FaultConfig::standard())),
+    }
 }
 
 /// Runs a 1-NN query workload through an engine, measuring each query.
@@ -285,6 +308,10 @@ pub fn run_queries_with_mode(
 /// descriptor, so it cannot drift from the engine the caller passes. A mode
 /// outside the method's capabilities is a typed `UnsupportedMode` error
 /// (the engine's strict fallback policy), never a silent exact run.
+///
+/// Every query additionally carries the environment's answering budget
+/// (`HYDRA_BUDGET`, set by the binaries' `--budget` flag; unlimited when
+/// unset), so deadline-bounded anytime runs need no code changes either.
 pub fn run_queries_with_batch(
     engine: &mut QueryEngine,
     workload: &QueryWorkload,
@@ -297,10 +324,15 @@ pub fn run_queries_with_batch(
         hydra_core::Error::invalid_parameter("engine", format!("unknown method {name:?}"))
     })?;
     let dataset_size = engine.dataset_size();
+    let budget = crate::cli::budget_from_env();
     let query_list: Vec<Query> = workload
         .queries()
         .iter()
-        .map(|series| Query::nearest_neighbor(series.clone()).try_with_mode(mode))
+        .map(|series| {
+            Ok(Query::nearest_neighbor(series.clone())
+                .try_with_mode(mode)?
+                .with_budget(budget))
+        })
         .collect::<Result<_>>()?;
     let answered = if batch == 0 {
         engine.answer_workload(&query_list, parallelism)?

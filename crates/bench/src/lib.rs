@@ -14,9 +14,13 @@
 //! * [`report`] — plain-text / CSV emitters for the result tables;
 //! * [`cli`] — the shared flags: `--threads N` (multi-threaded query driver
 //!   and parallel index builds), `--index-dir DIR` (snapshot cache),
-//!   `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` (answering mode), and
+//!   `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` (answering mode),
 //!   `--batch N` (batched query execution through
-//!   `QueryEngine::answer_batch`).
+//!   `QueryEngine::answer_batch`), `--fault-seed N` (seeded deterministic
+//!   fault injection with a recovering retry policy; 0 disables), and
+//!   `--budget B` (per-query raw-read budget; `inf` or a count —
+//!   exhausted queries return best-so-far answers tagged
+//!   `Guarantee::Truncated`).
 //!
 //! Every figure and table has a dedicated binary under `src/bin/` (see
 //! `DESIGN.md` for the experiment index); Criterion micro-benchmarks for the

@@ -326,10 +326,17 @@ pub enum SnapshotOutcome {
         /// Size of the snapshot file read.
         bytes: u64,
     },
-    /// No usable snapshot existed (missing, corrupt, or stale); the index was
-    /// built fresh and a snapshot of `bytes` bytes was saved.
+    /// No snapshot existed yet; the index was built fresh and a snapshot of
+    /// `bytes` bytes was saved.
     Saved {
         /// Size of the snapshot file written.
+        bytes: u64,
+    },
+    /// A snapshot existed but was corrupt or stale: the damaged file was
+    /// quarantined (renamed `*.corrupt`), the index rebuilt fresh, and a
+    /// replacement snapshot of `bytes` bytes saved.
+    Recovered {
+        /// Size of the replacement snapshot file written.
         bytes: u64,
     },
 }
@@ -339,11 +346,18 @@ impl SnapshotOutcome {
     pub fn loaded(&self) -> bool {
         matches!(self, SnapshotOutcome::Loaded { .. })
     }
+
+    /// Whether a damaged snapshot was quarantined and replaced.
+    pub fn recovered(&self) -> bool {
+        matches!(self, SnapshotOutcome::Recovered { .. })
+    }
 }
 
-/// One load-or-build-and-save round through the snapshot cache. Any load
-/// failure — no file yet, a damaged file, or a stale fingerprint — falls back
-/// to a fresh build whose snapshot then replaces the unusable file.
+/// One load-or-build-and-save round through the snapshot cache. A missing
+/// file falls back to a fresh build and save; a damaged or stale file is
+/// first quarantined (renamed `*.corrupt`) so the rebuilt snapshot replaces
+/// it cleanly and the evidence survives for inspection, and the outcome is
+/// reported as [`SnapshotOutcome::Recovered`].
 fn snapshot_cycle<I, F>(
     store: Arc<DatasetStore>,
     tuned: &BuildOptions,
@@ -366,10 +380,22 @@ where
     ));
     match snapshot::load_index_with::<I>(store.clone(), dataset_fp, options_fp, &path) {
         Ok((index, bytes)) => Ok((Box::new(index), SnapshotOutcome::Loaded { bytes })),
-        Err(_) => {
+        Err(load_err) => {
+            let damaged = matches!(
+                load_err,
+                hydra_core::Error::InvalidSnapshot(_) | hydra_core::Error::StaleSnapshot(_)
+            );
+            if damaged {
+                snapshot::quarantine(&path)?;
+            }
             let index = build(store.clone(), tuned)?;
             let bytes = snapshot::save_index_with(&index, &store, dataset_fp, options_fp, &path)?;
-            Ok((Box::new(index), SnapshotOutcome::Saved { bytes }))
+            let outcome = if damaged {
+                SnapshotOutcome::Recovered { bytes }
+            } else {
+                SnapshotOutcome::Saved { bytes }
+            };
+            Ok((Box::new(index), outcome))
         }
     }
 }
@@ -461,6 +487,49 @@ mod tests {
                 kind.name()
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_the_next_run_loads_clean() {
+        let data = RandomWalkGenerator::new(5, 32).dataset(80);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(30);
+        let dir =
+            std::env::temp_dir().join(format!("hydra-registry-quarantine-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kind = MethodKind::DsTree;
+        let store = || Arc::new(DatasetStore::new(data.clone()));
+
+        // First run: no snapshot yet, built fresh and saved.
+        let (_, first) = kind.engine_with_snapshot(store(), &options, &dir).unwrap();
+        assert!(matches!(first, SnapshotOutcome::Saved { .. }));
+
+        // Damage the snapshot file in place.
+        let snap_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_none_or(|e| e != "corrupt"))
+            .expect("snapshot file exists");
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap_path, &bytes).unwrap();
+
+        // Second run: the damaged file is quarantined and replaced.
+        let (_, second) = kind.engine_with_snapshot(store(), &options, &dir).unwrap();
+        assert!(second.recovered(), "got {second:?}");
+        let mut quarantined = snap_path.clone().into_os_string();
+        quarantined.push(".corrupt");
+        assert!(
+            std::path::Path::new(&quarantined).exists(),
+            "damaged file kept for inspection"
+        );
+
+        // Third run: the replacement snapshot loads clean.
+        let (_, third) = kind.engine_with_snapshot(store(), &options, &dir).unwrap();
+        assert!(third.loaded(), "got {third:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

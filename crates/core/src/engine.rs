@@ -69,6 +69,64 @@ pub trait IoSource: Send + Sync {
     fn has_thread_scoped_counters(&self) -> bool {
         false
     }
+
+    /// Announces which retry attempt (0-based) the calling thread is about to
+    /// run, so fault-injecting sources can key their decisions on it (a
+    /// transient fault clears after a planned number of attempts). The
+    /// default is a no-op for fault-free sources.
+    fn begin_attempt(&self, _attempt: u32) {}
+}
+
+/// How the engine re-attempts queries that fail with a *retriable* I/O error
+/// (see [`Error::is_retriable`]).
+///
+/// Backoff is charged in deterministic cost-model units — random page
+/// accesses, not wall clock — so retried runs stay bit-reproducible: before
+/// retry `j` (1-based) the engine charges `backoff_pages << (j - 1)` random
+/// pages to the query's stats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per query, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff charge in random pages, doubled on each further retry.
+    pub backoff_pages: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, no backoff (the default).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_pages: 0,
+        }
+    }
+
+    /// A policy with `max_attempts` total attempts (clamped to ≥ 1) and a
+    /// base backoff of `backoff_pages` random pages.
+    pub fn new(max_attempts: u32, backoff_pages: u64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_pages,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Whether a query ran to completion or was cut short by its
+/// [`crate::query::Budget`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// The method finished its search; the answer satisfies the requested
+    /// mode's guarantee.
+    Complete,
+    /// The method ran out of budget and returned its best-so-far answer
+    /// (tagged [`Guarantee::Truncated`]).
+    Truncated,
 }
 
 /// What the engine does with a query whose [`AnswerMode`] the method does not
@@ -99,6 +157,20 @@ pub struct EngineAnswer {
     pub stats: QueryStats,
     /// Wall-clock time of the dyn `answer` call.
     pub wall_time: Duration,
+    /// How many attempts the engine made (1 unless a retriable I/O fault was
+    /// retried under a [`RetryPolicy`]).
+    pub attempts: u32,
+}
+
+impl EngineAnswer {
+    /// Whether the query completed or was truncated by its budget (derived
+    /// from the answer's guarantee).
+    pub fn completion(&self) -> Completion {
+        match self.guarantee {
+            Guarantee::Truncated { .. } => Completion::Truncated,
+            _ => Completion::Complete,
+        }
+    }
 }
 
 /// A built method plus everything needed to answer and measure queries
@@ -110,6 +182,7 @@ pub struct QueryEngine {
     build_time: Duration,
     build_io: IoSnapshot,
     fallback: FallbackPolicy,
+    retry: RetryPolicy,
     totals: QueryStats,
     queries_answered: u64,
     last_batch_io: Option<IoSnapshot>,
@@ -126,6 +199,7 @@ impl QueryEngine {
             build_time: Duration::ZERO,
             build_io: IoSnapshot::default(),
             fallback: FallbackPolicy::Strict,
+            retry: RetryPolicy::none(),
             totals: QueryStats::default(),
             queries_answered: 0,
             last_batch_io: None,
@@ -157,6 +231,18 @@ impl QueryEngine {
     /// The configured fallback policy.
     pub fn fallback_policy(&self) -> FallbackPolicy {
         self.fallback
+    }
+
+    /// Sets how retriable I/O faults are re-attempted (default:
+    /// [`RetryPolicy::none`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The method's static description.
@@ -223,6 +309,7 @@ impl QueryEngine {
             self.io.as_deref(),
             query,
             self.fallback,
+            self.retry,
         )?;
         self.totals.merge(&answered.stats);
         self.queries_answered += 1;
@@ -256,20 +343,27 @@ impl QueryEngine {
             .io
             .as_ref()
             .is_none_or(|io| io.has_thread_scoped_counters());
+        // Budgeted queries take the serial path: intra-query kernels split
+        // the candidate space across workers and cannot meter a single
+        // best-so-far budget deterministically.
         let answered = match self.method.intra_answering() {
-            Some(kernel) if threads > 1 && thread_scoped_io => measure_intra_query(
-                self.method.as_ref(),
-                kernel,
-                self.io.as_deref(),
-                query,
-                self.fallback,
-                threads,
-            )?,
+            Some(kernel) if threads > 1 && thread_scoped_io && query.budget().is_none() => {
+                measure_intra_query(
+                    self.method.as_ref(),
+                    kernel,
+                    self.io.as_deref(),
+                    query,
+                    self.fallback,
+                    self.retry,
+                    threads,
+                )?
+            }
             _ => measure_query(
                 self.method.as_ref(),
                 self.io.as_deref(),
                 query,
                 self.fallback,
+                self.retry,
             )?,
         };
         self.totals.merge(&answered.stats);
@@ -311,6 +405,7 @@ impl QueryEngine {
         let method: &dyn AnsweringMethod = self.method.as_ref();
         let io = self.io.as_deref();
         let fallback = self.fallback;
+        let retry = self.retry;
         // Like the serial loop, stop issuing work after the first failure.
         // A worker that observes the flag marks its query skipped (`None`)
         // instead of answering it.
@@ -320,7 +415,7 @@ impl QueryEngine {
                 if abort.load(std::sync::atomic::Ordering::Relaxed) {
                     return None;
                 }
-                let result = measure_query(method, io, &queries[i], fallback);
+                let result = measure_query(method, io, &queries[i], fallback, retry);
                 if result.is_err() {
                     abort.store(true, std::sync::atomic::Ordering::Relaxed);
                 }
@@ -335,7 +430,7 @@ impl QueryEngine {
                 // have answered it, so repair it here on the calling thread.
                 // (Skips above the first error are unreachable: the `?` on
                 // that error returns first.)
-                None => measure_query(method, io, &queries[i], fallback)?,
+                None => measure_query(method, io, &queries[i], fallback, retry)?,
             };
             self.totals.merge(&answered.stats);
             self.queries_answered += 1;
@@ -382,6 +477,12 @@ impl QueryEngine {
             return Ok(Vec::new());
         }
         if self.method.batch_answering().is_none() {
+            return self.answer_workload(queries, parallelism);
+        }
+        // Budgeted queries take the per-query loop: a batch kernel shares one
+        // physical pass across the whole batch and cannot stop one member's
+        // search early without perturbing the others' counters.
+        if queries.iter().any(|q| q.budget().is_some()) {
             return self.answer_workload(queries, parallelism);
         }
         // Engine-boundary routing, mirroring `measure_query`: substitute
@@ -520,7 +621,16 @@ fn run_batch_chunk(
     }
     let mut stats = vec![QueryStats::default(); queries.len()];
     let clock = Instant::now();
-    let answer_sets = kernel.answer_batch(queries, &mut stats)?;
+    // Panic isolation, like the per-query loop: a poisoned batch becomes a
+    // typed internal error (answer_batch then reruns the per-query loop,
+    // which reproduces serial error semantics).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        kernel.answer_batch(queries, &mut stats)
+    }));
+    let answer_sets = match outcome {
+        Ok(result) => result?,
+        Err(panic) => return Err(Error::Internal(panic_message(panic))),
+    };
     let wall_time = clock.elapsed();
     let physical = io.map(|io| io.thread_io_snapshot()).unwrap_or_default();
     debug_assert_eq!(answer_sets.len(), queries.len(), "kernel answered all");
@@ -535,9 +645,21 @@ fn run_batch_chunk(
             answers,
             stats,
             wall_time: per_query_wall,
+            attempts: 1,
         })
         .collect();
     Ok((answers, physical))
+}
+
+/// Renders a payload caught by `catch_unwind` as a readable message.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query panicked".to_string()
+    }
 }
 
 /// Measures one query on the calling thread: enforces the method's mode and
@@ -550,6 +672,7 @@ fn measure_query(
     io: Option<&dyn IoSource>,
     query: &Query,
     fallback: FallbackPolicy,
+    retry: RetryPolicy,
 ) -> Result<EngineAnswer> {
     let descriptor = method.descriptor();
     // Range queries are a typed error at the engine boundary: no method in
@@ -571,25 +694,59 @@ fn measure_query(
             }
         }
     };
-    if let Some(io) = io {
-        io.reset_thread_io();
+    let mut attempt: u32 = 1;
+    let mut backoff_penalty: u64 = 0;
+    loop {
+        if let Some(io) = io {
+            io.begin_attempt(attempt - 1);
+            io.reset_thread_io();
+        }
+        let mut stats = QueryStats::default();
+        let clock = Instant::now();
+        // Panic isolation: a poisoned query becomes a typed internal error
+        // instead of unwinding through the workload driver.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            method.answer(query, &mut stats)
+        }));
+        let wall_time = clock.elapsed();
+        match outcome {
+            Err(panic) => return Err(Error::Internal(panic_message(panic))),
+            Ok(Ok(answers)) => {
+                if let Some(io) = io {
+                    // Methods charge leaf reads through their stats; the store
+                    // counters cover raw-file traffic. Keep whichever
+                    // accounting path recorded more pages so neither is lost.
+                    stats.reconcile_io(io.thread_io_snapshot());
+                }
+                if backoff_penalty > 0 {
+                    // The accumulated backoff is part of this query's cost;
+                    // charged after reconciliation so the max-wins rule cannot
+                    // absorb it.
+                    stats.record_io(0, backoff_penalty, 0);
+                }
+                return Ok(EngineAnswer {
+                    guarantee: answers.guarantee(),
+                    answers,
+                    stats,
+                    wall_time,
+                    attempts: attempt,
+                });
+            }
+            Ok(Err(e)) => {
+                if e.is_retriable() && attempt < retry.max_attempts {
+                    backoff_penalty = backoff_penalty.saturating_add(
+                        retry
+                            .backoff_pages
+                            .checked_shl(attempt - 1)
+                            .unwrap_or(u64::MAX),
+                    );
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e.with_attempts(attempt));
+            }
+        }
     }
-    let mut stats = QueryStats::default();
-    let clock = Instant::now();
-    let answers = method.answer(query, &mut stats)?;
-    let wall_time = clock.elapsed();
-    if let Some(io) = io {
-        // Methods charge leaf reads through their stats; the store counters
-        // cover raw-file traffic. Keep whichever accounting path recorded more
-        // pages so neither is lost.
-        stats.reconcile_io(io.thread_io_snapshot());
-    }
-    Ok(EngineAnswer {
-        guarantee: answers.guarantee(),
-        answers,
-        stats,
-        wall_time,
-    })
 }
 
 /// Measures one intra-parallel query on the calling thread: identical to
@@ -602,6 +759,7 @@ fn measure_intra_query(
     io: Option<&dyn IoSource>,
     query: &Query,
     fallback: FallbackPolicy,
+    retry: RetryPolicy,
     threads: usize,
 ) -> Result<EngineAnswer> {
     let descriptor = method.descriptor();
@@ -620,22 +778,51 @@ fn measure_intra_query(
             }
         }
     };
-    if let Some(io) = io {
-        io.reset_thread_io();
+    let mut attempt: u32 = 1;
+    let mut backoff_penalty: u64 = 0;
+    loop {
+        if let Some(io) = io {
+            io.begin_attempt(attempt - 1);
+            io.reset_thread_io();
+        }
+        let mut stats = QueryStats::default();
+        let clock = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kernel.answer_intra(query, threads, &mut stats)
+        }));
+        let wall_time = clock.elapsed();
+        match outcome {
+            Err(panic) => return Err(Error::Internal(panic_message(panic))),
+            Ok(Ok(answers)) => {
+                if let Some(io) = io {
+                    stats.reconcile_io(io.thread_io_snapshot());
+                }
+                if backoff_penalty > 0 {
+                    stats.record_io(0, backoff_penalty, 0);
+                }
+                return Ok(EngineAnswer {
+                    guarantee: answers.guarantee(),
+                    answers,
+                    stats,
+                    wall_time,
+                    attempts: attempt,
+                });
+            }
+            Ok(Err(e)) => {
+                if e.is_retriable() && attempt < retry.max_attempts {
+                    backoff_penalty = backoff_penalty.saturating_add(
+                        retry
+                            .backoff_pages
+                            .checked_shl(attempt - 1)
+                            .unwrap_or(u64::MAX),
+                    );
+                    attempt += 1;
+                    continue;
+                }
+                return Err(e.with_attempts(attempt));
+            }
+        }
     }
-    let mut stats = QueryStats::default();
-    let clock = Instant::now();
-    let answers = kernel.answer_intra(query, threads, &mut stats)?;
-    let wall_time = clock.elapsed();
-    if let Some(io) = io {
-        stats.reconcile_io(io.thread_io_snapshot());
-    }
-    Ok(EngineAnswer {
-        guarantee: answers.guarantee(),
-        answers,
-        stats,
-        wall_time,
-    })
 }
 
 impl std::fmt::Debug for QueryEngine {

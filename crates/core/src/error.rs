@@ -27,7 +27,23 @@ pub enum Error {
     /// The requested series, node, or page does not exist.
     NotFound(String),
     /// An underlying I/O error (real files or the simulated store).
-    Io(std::io::Error),
+    ///
+    /// `retriable` classifies the fault for the engine's
+    /// [`crate::engine::RetryPolicy`]: transient faults (interrupted reads,
+    /// bit-flips detected by a checksum) are worth retrying, while structural
+    /// faults (missing files, permission errors) are not. `attempts` records
+    /// how many times the operation was tried before the error was surfaced.
+    Io {
+        /// The underlying I/O error.
+        source: std::io::Error,
+        /// Whether retrying the operation may succeed.
+        retriable: bool,
+        /// How many attempts were made (including the failing one).
+        attempts: u32,
+    },
+    /// An internal fault captured at the engine boundary (e.g. a panic caught
+    /// by `catch_unwind` inside `answer_workload`). Never retriable.
+    Internal(String),
     /// An index invariant was violated (indicates a bug in the index).
     CorruptIndex(String),
     /// A snapshot file is malformed or damaged: bad magic, unsupported
@@ -76,6 +92,44 @@ impl Error {
             reason: reason.into(),
         }
     }
+
+    /// Wraps an I/O error as a *retriable* fault (a transient failure the
+    /// engine's retry policy may re-attempt).
+    pub fn retriable_io(source: std::io::Error) -> Self {
+        Error::Io {
+            source,
+            retriable: true,
+            attempts: 1,
+        }
+    }
+
+    /// Whether the engine's retry policy may re-attempt the failed operation.
+    #[inline]
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            Error::Io {
+                retriable: true,
+                ..
+            }
+        )
+    }
+
+    /// For [`Error::Io`], overwrites the recorded attempt count (used by the
+    /// engine after exhausting its retry budget); other variants are returned
+    /// unchanged.
+    pub fn with_attempts(self, attempts: u32) -> Self {
+        match self {
+            Error::Io {
+                source, retriable, ..
+            } => Error::Io {
+                source,
+                retriable,
+                attempts,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -92,7 +146,16 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             Error::NotFound(what) => write!(f, "not found: {what}"),
-            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Io {
+                source, attempts, ..
+            } => {
+                if *attempts > 1 {
+                    write!(f, "I/O error: {source} (after {attempts} attempts)")
+                } else {
+                    write!(f, "I/O error: {source}")
+                }
+            }
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
             Error::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
             Error::StaleSnapshot(msg) => write!(f, "stale snapshot: {msg}"),
@@ -109,15 +172,19 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Error::Io(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
 impl From<std::io::Error> for Error {
-    fn from(e: std::io::Error) -> Self {
-        Error::Io(e)
+    fn from(source: std::io::Error) -> Self {
+        Error::Io {
+            source,
+            retriable: false,
+            attempts: 1,
+        }
     }
 }
 
@@ -167,5 +234,51 @@ mod tests {
         let e: Error = io.into();
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
+        assert!(!e.is_retriable());
+    }
+
+    #[test]
+    fn retriable_io_classification_and_attempts() {
+        let e = Error::retriable_io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "transient",
+        ));
+        assert!(e.is_retriable());
+        let e = e.with_attempts(3);
+        match &e {
+            Error::Io {
+                retriable,
+                attempts,
+                ..
+            } => {
+                assert!(*retriable);
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(e.to_string().contains("3 attempts"));
+        // Non-Io variants pass through with_attempts unchanged.
+        assert!(matches!(
+            Error::EmptyDataset.with_attempts(5),
+            Error::EmptyDataset
+        ));
+        assert!(!Error::Internal("poisoned".into()).is_retriable());
+        assert!(Error::Internal("poisoned".into())
+            .to_string()
+            .contains("poisoned"));
+    }
+
+    #[test]
+    fn question_mark_works_against_box_dyn_error() {
+        fn inner() -> Result<()> {
+            Err(Error::retriable_io(std::io::Error::other("disk hiccup")))
+        }
+        fn outer() -> std::result::Result<(), Box<dyn std::error::Error>> {
+            inner()?;
+            Ok(())
+        }
+        let err = outer().unwrap_err();
+        assert!(err.to_string().contains("disk hiccup"));
+        assert!(err.source().is_some());
     }
 }

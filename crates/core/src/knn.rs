@@ -52,6 +52,15 @@ pub enum Guarantee {
         /// The relative error bound.
         epsilon: f64,
     },
+    /// An anytime answer: the search ran out of its I/O [`crate::query::Budget`]
+    /// and returned its best-so-far candidates. The answers are exact over the
+    /// fraction of the dataset that was examined, but carry no guarantee about
+    /// the rest.
+    Truncated {
+        /// Fraction of the dataset's raw series that were examined before the
+        /// budget was exhausted (in `[0, 1]`).
+        examined_fraction: f64,
+    },
 }
 
 impl Guarantee {

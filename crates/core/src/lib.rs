@@ -53,7 +53,7 @@ pub use distance::{
     euclidean, euclidean_early_abandon, euclidean_reordered, squared_euclidean,
     squared_euclidean_early_abandon, QueryOrder,
 };
-pub use engine::{EngineAnswer, FallbackPolicy, IoSource, QueryEngine};
+pub use engine::{Completion, EngineAnswer, FallbackPolicy, IoSource, QueryEngine, RetryPolicy};
 pub use error::{Error, Result};
 pub use knn::{replay_outcome, Answer, AnswerSet, Guarantee, KnnHeap, Outcome};
 pub use method::{
@@ -62,7 +62,7 @@ pub use method::{
 };
 pub use parallel::{Parallelism, SharedBsf};
 pub use persist::{PersistentIndex, SnapshotSink, SnapshotSource};
-pub use query::{AnswerMode, MatchingKind, Query, QueryKind};
+pub use query::{AnswerMode, Budget, BudgetMeter, MatchingKind, Query, QueryKind};
 pub use series::{Dataset, Series, SeriesView};
 pub use simd::Kernel;
 pub use stats::{IoSnapshot, PruningStats, QueryStats, RunClock, TimeBreakdown, Tlb};

@@ -166,6 +166,114 @@ impl AnswerMode {
     }
 }
 
+/// A deadline expressed in deterministic simulated-I/O cost units: the number
+/// of raw series a method may examine before it must stop and return its
+/// best-so-far answer (tagged [`Guarantee::Truncated`]).
+///
+/// Budgets are counted in cost-model units rather than wall clock so that
+/// budgeted runs stay bit-identical across machines and thread counts. A
+/// method never returns an *empty* truncated answer: the first candidate is
+/// always examined, even under a zero budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    raw_reads: u64,
+}
+
+impl Budget {
+    /// A budget of `n` raw series reads.
+    pub fn raw_reads(n: u64) -> Self {
+        Self { raw_reads: n }
+    }
+
+    /// The maximum number of raw series the method may examine.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.raw_reads
+    }
+
+    /// Parses the CLI syntax `inf | <count>` (e.g. `--budget 500`).
+    pub fn parse(text: &str) -> Result<Option<Budget>> {
+        let text = text.trim();
+        if text.eq_ignore_ascii_case("inf") {
+            return Ok(None);
+        }
+        text.parse::<u64>()
+            .map(|n| Some(Budget::raw_reads(n)))
+            .map_err(|_| {
+                Error::invalid_parameter(
+                    "budget",
+                    format!("expected `inf` or a raw-read count, got {text:?}"),
+                )
+            })
+    }
+}
+
+/// Tracks a query's [`Budget`] while a method runs: methods call
+/// [`BudgetMeter::should_stop`] before examining each raw candidate and
+/// [`BudgetMeter::guarantee`] when tagging their answer.
+///
+/// The meter is *sticky*: once the budget trips, `should_stop` keeps
+/// returning `true`, so multi-phase methods (filter + refine) stay stopped.
+/// A meter built from `None` never trips, keeping the unbudgeted path
+/// bit-identical.
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    limit: u64,
+    dataset_size: usize,
+    truncated: bool,
+}
+
+impl BudgetMeter {
+    /// Creates a meter for a query over a dataset of `dataset_size` series.
+    pub fn new(budget: Option<Budget>, dataset_size: usize) -> Self {
+        Self {
+            limit: budget.map_or(u64::MAX, |b| b.limit()),
+            dataset_size,
+            truncated: false,
+        }
+    }
+
+    /// Whether the search must stop before examining the next candidate.
+    ///
+    /// `spent` is the number of raw series examined so far; `have_answer`
+    /// guards the non-empty-answer contract — the meter never stops a search
+    /// that has produced no candidate yet, so even a zero budget examines
+    /// one series.
+    #[inline]
+    pub fn should_stop(&mut self, spent: u64, have_answer: bool) -> bool {
+        if !self.truncated && have_answer && spent >= self.limit {
+            self.truncated = true;
+        }
+        self.truncated
+    }
+
+    /// Whether the budget has tripped.
+    #[inline]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The raw-read limit, or `None` when the meter is unlimited. Lets bulk
+    /// readers cap a batched read at the remaining budget.
+    #[inline]
+    pub fn limit(&self) -> Option<u64> {
+        (self.limit != u64::MAX).then_some(self.limit)
+    }
+
+    /// The guarantee to tag the answer with: `base` when the search completed,
+    /// [`Guarantee::Truncated`] when the budget tripped (`examined` = raw
+    /// series examined, reported as a fraction of the dataset).
+    pub fn guarantee(&self, base: Guarantee, examined: u64) -> Guarantee {
+        if self.truncated {
+            Guarantee::Truncated {
+                examined_fraction: examined as f64 / self.dataset_size.max(1) as f64,
+            }
+        } else {
+            base
+        }
+    }
+}
+
 fn validate_epsilon(epsilon: f64) -> Result<()> {
     if !(epsilon.is_finite() && epsilon >= 0.0) {
         return Err(Error::invalid_parameter(
@@ -196,6 +304,7 @@ pub struct Query {
     kind: QueryKind,
     matching: MatchingKind,
     mode: AnswerMode,
+    budget: Option<Budget>,
 }
 
 impl Query {
@@ -210,6 +319,7 @@ impl Query {
             kind: QueryKind::Knn { k },
             matching: MatchingKind::Whole,
             mode: AnswerMode::Exact,
+            budget: None,
         })
     }
 
@@ -242,6 +352,7 @@ impl Query {
             kind: QueryKind::Range { radius },
             matching: MatchingKind::Whole,
             mode: AnswerMode::Exact,
+            budget: None,
         })
     }
 
@@ -360,6 +471,21 @@ impl Query {
         mode.validate()?;
         self.mode = mode;
         Ok(self)
+    }
+
+    /// The query's I/O budget, if any.
+    #[inline]
+    pub fn budget(&self) -> Option<Budget> {
+        self.budget
+    }
+
+    /// Attaches an I/O [`Budget`] (pass `None` to clear it). Budgeted queries
+    /// are answered anytime-style: when the budget runs out mid-search the
+    /// method returns its best-so-far answer tagged
+    /// [`Guarantee::Truncated`].
+    pub fn with_budget(mut self, budget: Option<Budget>) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Consumes the query and returns its series.
@@ -563,6 +689,48 @@ mod tests {
                 epsilon: 0.5
             }
         );
+    }
+
+    #[test]
+    fn budget_builder_and_parse() {
+        let q = Query::nearest_neighbor(series());
+        assert_eq!(q.budget(), None);
+        let q = q.with_budget(Some(Budget::raw_reads(100)));
+        assert_eq!(q.budget(), Some(Budget::raw_reads(100)));
+        assert_eq!(q.with_budget(None).budget(), None);
+
+        assert_eq!(Budget::parse("inf").unwrap(), None);
+        assert_eq!(Budget::parse(" INF ").unwrap(), None);
+        assert_eq!(Budget::parse("500").unwrap(), Some(Budget::raw_reads(500)));
+        assert!(Budget::parse("lots").is_err());
+        assert!(Budget::parse("-1").is_err());
+    }
+
+    #[test]
+    fn budget_meter_is_sticky_and_never_returns_empty() {
+        let mut meter = BudgetMeter::new(Some(Budget::raw_reads(0)), 10);
+        // No answer yet: even a zero budget lets the first candidate through.
+        assert!(!meter.should_stop(0, false));
+        assert!(meter.should_stop(1, true));
+        assert!(meter.is_truncated());
+        // Sticky: stays stopped regardless of later arguments.
+        assert!(meter.should_stop(0, false));
+        match meter.guarantee(Guarantee::Exact, 1) {
+            Guarantee::Truncated { examined_fraction } => {
+                assert!((examined_fraction - 0.1).abs() < 1e-12);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_meter_never_trips() {
+        let mut meter = BudgetMeter::new(None, 10);
+        for spent in 0..1000 {
+            assert!(!meter.should_stop(spent, true));
+        }
+        assert!(!meter.is_truncated());
+        assert_eq!(meter.guarantee(Guarantee::Exact, 1000), Guarantee::Exact);
     }
 
     #[test]

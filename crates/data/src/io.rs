@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn read_missing_file_is_io_error() {
         let err = read_dataset(Path::new("/nonexistent/hydra.bin"), 8).unwrap_err();
-        assert!(matches!(err, Error::Io(_)));
+        assert!(matches!(err, Error::Io { .. }));
     }
 
     #[test]

@@ -5,9 +5,9 @@ use crate::node::{
 };
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Outcome, Query, QueryStats, Result, SharedBsf,
+    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BudgetMeter, BuildOptions,
+    Dataset, Error, ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::eapca::{uniform_segmentation, valid_segmentation, Eapca, EapcaSegment};
@@ -388,15 +388,19 @@ impl DsTree {
         leaf: usize,
         query: &Query,
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
         eval: &LeafEval<'_>,
-    ) {
+    ) -> Result<()> {
         let NodeKind::Leaf { entries } = &self.nodes[leaf].kind else {
-            return;
+            return Ok(());
         };
         if entries.is_empty() {
-            return;
+            return Ok(());
         }
+        // Fault checkpoint for the leaf's materialized payload read, keyed
+        // by its first series so an injected fault is stable per leaf.
+        self.store.try_access(entries[0].id as u64)?;
         stats.record_leaf_visit();
         let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
@@ -407,6 +411,9 @@ impl DsTree {
             LeafEval::Replay(map) => map.get(&leaf),
         };
         for (i, e) in entries.iter().enumerate() {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
             let kernel = |threshold: f64| {
@@ -427,6 +434,7 @@ impl DsTree {
                 None => stats.record_early_abandon(),
             }
         }
+        Ok(())
     }
 
     /// Descends from the root to the single most promising leaf for the query
@@ -500,11 +508,12 @@ impl DsTree {
         let mode = query.mode();
         let clock = hydra_core::RunClock::start();
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
 
         // Approximate descent seeds the best-so-far — and in ng-approximate
         // mode this single covering leaf is the whole answer.
         let seed_leaf = self.descend_to_leaf(query.values(), stats);
-        self.scan_leaf_with(seed_leaf, query, &mut heap, stats, eval);
+        self.scan_leaf_with(seed_leaf, query, &mut heap, &mut meter, stats, eval)?;
 
         if mode != AnswerMode::NgApproximate {
             // Best-first traversal with synopsis lower bounds. `shrink` is
@@ -521,13 +530,16 @@ impl DsTree {
                 node: 0,
             });
             while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+                if meter.is_truncated() {
+                    break; // budget exhausted: keep the best-so-far
+                }
                 if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                     break;
                 }
                 match &self.nodes[node].kind {
                     NodeKind::Leaf { .. } => {
                         if node != seed_leaf {
-                            self.scan_leaf_with(node, query, &mut heap, stats, eval);
+                            self.scan_leaf_with(node, query, &mut heap, &mut meter, stats, eval)?;
                         }
                     }
                     NodeKind::Internal { left, right, .. } => {
@@ -547,7 +559,8 @@ impl DsTree {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 
@@ -576,15 +589,17 @@ impl IntraAnswering for DsTree {
         // approximate descent, exactly as the serial path does. The replay in
         // phase C repeats this with the real stats, so nothing is counted here.
         let mut scratch = QueryStats::default();
+        let mut scratch_meter = BudgetMeter::new(query.budget(), self.store.len());
         let mut seed_heap = KnnHeap::new(k);
         let seed_leaf = self.descend_to_leaf(query.values(), &mut scratch);
         self.scan_leaf_with(
             seed_leaf,
             query,
             &mut seed_heap,
+            &mut scratch_meter,
             &mut scratch,
             &LeafEval::Direct,
-        );
+        )?;
         let seed_threshold = seed_heap.threshold();
 
         // Candidate leaves: every leaf the serial traversal could possibly

@@ -20,9 +20,9 @@
 use crate::tree::{IsaxTree, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
-    QueryStats, Result,
+    parallel, AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BudgetMeter, BuildOptions,
+    Dataset, Error, ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -98,9 +98,10 @@ impl AdsPlus {
         query: &Query,
         query_paa: &[f32],
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
         nearest_fallback: bool,
-    ) {
+    ) -> Result<()> {
         let params = self.tree.params();
         let sax = params.sax_word_from_paa(query_paa);
         let located = if nearest_fallback {
@@ -109,17 +110,21 @@ impl AdsPlus {
             self.tree.locate_leaf(&sax, stats)
         };
         let Some(leaf) = located else {
-            return;
+            return Ok(());
         };
         stats.record_leaf_visit();
         if let NodeKind::Leaf { entries } = &self.tree.node(leaf).kind {
             for e in entries {
-                let series = self.store.read_series(e.id as usize);
+                if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                    break;
+                }
+                let series = self.store.try_read_series(e.id as usize)?;
                 stats.record_raw_series_examined(1);
                 let d = hydra_core::distance::euclidean(query.values(), series.values());
                 heap.offer(e.id as usize, d);
             }
         }
+        Ok(())
     }
 
     /// SIMS step 3 for one query: the skip-sequential pass over the raw
@@ -136,23 +141,33 @@ impl AdsPlus {
         bounds: &[f64],
         shrink: f64,
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
-    ) {
+    ) -> Result<()> {
         let n = self.store.len();
         let mut id = 0usize;
         while id < n {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
             if heap.is_full() && bounds[id] >= heap.threshold() * shrink {
                 id += 1;
                 continue;
             }
             // Extend a contiguous run of non-pruned candidates and read it in
-            // one go (one seek + sequential transfer).
+            // one go (one seek + sequential transfer). A budget stop caps the
+            // run so a nearly exhausted budget never pays for unread series.
             let run_start = id;
             let threshold = heap.threshold() * shrink;
-            while id < n && !(heap.is_full() && bounds[id] >= threshold) {
+            let max_run = meter
+                .limit()
+                .map(|l| (l.saturating_sub(stats.raw_series_examined)).max(1) as usize)
+                .unwrap_or(usize::MAX);
+            while id < n && id - run_start < max_run && !(heap.is_full() && bounds[id] >= threshold)
+            {
                 id += 1;
             }
-            let run = self.store.read_run(run_start, id - run_start);
+            let run = self.store.try_read_run(run_start, id - run_start)?;
             for (offset, series) in run.iter().enumerate() {
                 let sid = run_start + offset;
                 stats.record_raw_series_examined(1);
@@ -168,6 +183,7 @@ impl AdsPlus {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -203,6 +219,7 @@ impl AnsweringMethod for AdsPlus {
         let query_paa = params.paa().transform(query.values());
 
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         // Thread-scoped snapshot: under a parallel workload each worker must
         // observe only its own raw-file traffic.
         let io_before = self.store.thread_io_snapshot();
@@ -213,15 +230,17 @@ impl AnsweringMethod for AdsPlus {
             query,
             &query_paa,
             &mut heap,
+            &mut meter,
             stats,
             mode == AnswerMode::NgApproximate,
-        );
+        )?;
 
         if mode == AnswerMode::NgApproximate {
             let delta = self.store.thread_io_snapshot().since(&io_before);
             stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
             stats.cpu_time += clock.elapsed();
-            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+            let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+            return Ok(heap.into_answer_set().with_guarantee(guarantee));
         }
 
         // Step 2: in-memory lower bounds against every full-resolution summary.
@@ -237,12 +256,20 @@ impl AnsweringMethod for AdsPlus {
 
         // Step 3: skip-sequential scan over the raw file (see
         // `skip_sequential_scan`).
-        self.skip_sequential_scan(query, &bounds, mode.prune_shrink(), &mut heap, stats);
+        self.skip_sequential_scan(
+            query,
+            &bounds,
+            mode.prune_shrink(),
+            &mut heap,
+            &mut meter,
+            stats,
+        )?;
 
         let delta = self.store.thread_io_snapshot().since(&io_before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
@@ -285,21 +312,24 @@ impl IntraAnswering for AdsPlus {
         let query_paa = params.paa().transform(query.values());
 
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         let io_before = self.store.thread_io_snapshot();
 
         self.approximate_bsf(
             query,
             &query_paa,
             &mut heap,
+            &mut meter,
             stats,
             mode == AnswerMode::NgApproximate,
-        );
+        )?;
 
         if mode == AnswerMode::NgApproximate {
             let delta = self.store.thread_io_snapshot().since(&io_before);
             stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
             stats.cpu_time += clock.elapsed();
-            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+            let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+            return Ok(heap.into_answer_set().with_guarantee(guarantee));
         }
 
         let max_bits = params.max_bits();
@@ -315,12 +345,20 @@ impl IntraAnswering for AdsPlus {
         });
         stats.record_lower_bounds(self.summaries.len() as u64);
 
-        self.skip_sequential_scan(query, &bounds, mode.prune_shrink(), &mut heap, stats);
+        self.skip_sequential_scan(
+            query,
+            &bounds,
+            mode.prune_shrink(),
+            &mut heap,
+            &mut meter,
+            stats,
+        )?;
 
         let delta = self.store.thread_io_snapshot().since(&io_before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 
@@ -404,23 +442,28 @@ impl BatchAnswering for AdsPlus {
             {
                 let mode = query.mode();
                 heap.reset(ks[block_start + qi]);
+                // Budgeted queries never reach the kernel (the engine falls
+                // back to the per-query loop), so this meter is a formality.
+                let mut meter = BudgetMeter::new(query.budget(), self.store.len());
                 self.store.invalidate_head();
                 let io_before = self.store.thread_io_snapshot();
                 self.approximate_bsf(
                     query,
                     &query_paas[qi],
                     &mut heap,
+                    &mut meter,
                     stats,
                     mode == AnswerMode::NgApproximate,
-                );
+                )?;
                 if let Some(row) = sweep_rows[qi] {
                     self.skip_sequential_scan(
                         query,
                         &bounds[row * n..(row + 1) * n],
                         mode.prune_shrink(),
                         &mut heap,
+                        &mut meter,
                         stats,
-                    );
+                    )?;
                 }
                 let delta = self.store.thread_io_snapshot().since(&io_before);
                 stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);

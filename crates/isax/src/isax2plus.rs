@@ -13,9 +13,9 @@
 use crate::tree::{IsaxTree, NodeId, NodeKind};
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Outcome, Query, QueryStats, Result, SharedBsf,
+    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BudgetMeter, BuildOptions,
+    Dataset, Error, ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
@@ -116,12 +116,18 @@ impl Isax2Plus {
         leaf: NodeId,
         query: &Query,
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
         eval: &LeafEval<'_>,
-    ) {
+    ) -> Result<()> {
         let NodeKind::Leaf { entries } = &self.tree.node(leaf).kind else {
-            return;
+            return Ok(());
         };
+        // Fault checkpoint for the leaf's materialized payload read, keyed
+        // by its first series so an injected fault is stable per leaf.
+        if let Some(first) = entries.first() {
+            self.store.try_access(first.id as u64)?;
+        }
         stats.record_leaf_visit();
         let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
@@ -132,6 +138,9 @@ impl Isax2Plus {
             LeafEval::Replay(map) => map.get(&leaf),
         };
         for (i, e) in entries.iter().enumerate() {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
             let kernel = |threshold: f64| {
@@ -152,6 +161,7 @@ impl Isax2Plus {
                 None => stats.record_early_abandon(),
             }
         }
+        Ok(())
     }
 }
 
@@ -218,9 +228,17 @@ impl IntraAnswering for Isax2Plus {
         // like the serial phase 1. The replay re-runs this seeding with the
         // real stats, so the scratch pass records nothing.
         let mut scratch = QueryStats::default();
+        let mut scratch_meter = BudgetMeter::new(query.budget(), self.store.len());
         let mut seed_heap = KnnHeap::new(k);
         if let Some(leaf) = self.tree.locate_leaf(&query_sax, &mut scratch) {
-            self.scan_leaf_with(leaf, query, &mut seed_heap, &mut scratch, &LeafEval::Direct);
+            self.scan_leaf_with(
+                leaf,
+                query,
+                &mut seed_heap,
+                &mut scratch_meter,
+                &mut scratch,
+                &LeafEval::Direct,
+            )?;
         }
 
         // Candidate leaves: everything the serial traversal could visit. The
@@ -299,6 +317,7 @@ impl Isax2Plus {
         let query_sax = params.sax_word_from_paa(&query_paa);
 
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         // Phase 1: ng-approximate search seeds the best-so-far — and in
         // ng-approximate mode this covering leaf is the whole answer, so that
         // mode falls back to the MINDIST-nearest leaf when the query's region
@@ -310,7 +329,7 @@ impl Isax2Plus {
             self.tree.locate_leaf(&query_sax, stats)
         };
         if let Some(leaf) = seed {
-            self.scan_leaf_with(leaf, query, &mut heap, stats, eval);
+            self.scan_leaf_with(leaf, query, &mut heap, &mut meter, stats, eval)?;
         }
         if mode != AnswerMode::NgApproximate {
             // Phase 2: best-first traversal with MINDIST pruning, relaxed by
@@ -327,12 +346,15 @@ impl Isax2Plus {
                 });
             }
             while let Some(Frontier { mindist, node }) = frontier.pop() {
+                if meter.is_truncated() {
+                    break; // budget exhausted: keep the best-so-far
+                }
                 if heap.is_full() && mindist >= heap.threshold() * shrink {
                     break; // everything else in the frontier is at least as far
                 }
                 match &self.tree.node(node).kind {
                     NodeKind::Leaf { .. } => {
-                        self.scan_leaf_with(node, query, &mut heap, stats, eval)
+                        self.scan_leaf_with(node, query, &mut heap, &mut meter, stats, eval)?
                     }
                     NodeKind::Internal { left, right, .. } => {
                         stats.record_internal_visit();
@@ -351,7 +373,8 @@ impl Isax2Plus {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 

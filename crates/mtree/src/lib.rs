@@ -18,7 +18,7 @@
 //! indexes, which is exactly the scaling weakness the paper reports.
 
 use hydra_core::{
-    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    AnswerMode, AnswerSet, AnsweringMethod, BudgetMeter, BuildOptions, Dataset, Error, ExactIndex,
     IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
@@ -384,14 +384,18 @@ impl MTree {
         query: &Query,
         d_query_pivot: f64,
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
-    ) {
+    ) -> Result<()> {
         let NodeKind::Leaf { entries } = &self.nodes[leaf].kind else {
-            return;
+            return Ok(());
         };
         if entries.is_empty() {
-            return;
+            return Ok(());
         }
+        // Fault checkpoint for the leaf's materialized payload read, keyed
+        // by its first series so an injected fault is stable per leaf.
+        self.store.try_access(entries[0].id as u64)?;
         stats.record_leaf_visit();
         let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
@@ -402,6 +406,9 @@ impl MTree {
             // |d(q, pivot) − d(entry, pivot)| ≤ d(q, entry).
             if heap.is_full() && (d_query_pivot - e.to_parent).abs() >= heap.threshold() {
                 continue;
+            }
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
             }
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
@@ -416,6 +423,7 @@ impl MTree {
                 None => stats.record_early_abandon(),
             }
         }
+        Ok(())
     }
 }
 
@@ -451,6 +459,7 @@ impl AnsweringMethod for MTree {
             )
         };
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
 
         if mode == AnswerMode::NgApproximate {
             // ng-approximate: descend to the leaf of the closest pivot at
@@ -471,9 +480,10 @@ impl AnsweringMethod for MTree {
                 current = best;
             }
             let d_pivot = dist_to_pivot(&self.nodes[current]);
-            self.scan_leaf(current, query, d_pivot, &mut heap, stats);
+            self.scan_leaf(current, query, d_pivot, &mut heap, &mut meter, stats)?;
             stats.cpu_time += clock.elapsed();
-            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+            let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+            return Ok(heap.into_answer_set().with_guarantee(guarantee));
         }
 
         // Exact / ε-relaxed best-first traversal: a subtree is pruned as soon
@@ -490,12 +500,17 @@ impl AnsweringMethod for MTree {
             node: self.root,
         });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+            if meter.is_truncated() {
+                break; // budget exhausted: keep the best-so-far
+            }
             if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                 break;
             }
             let d_pivot = dist_to_pivot(&self.nodes[node]);
             match &self.nodes[node].kind {
-                NodeKind::Leaf { .. } => self.scan_leaf(node, query, d_pivot, &mut heap, stats),
+                NodeKind::Leaf { .. } => {
+                    self.scan_leaf(node, query, d_pivot, &mut heap, &mut meter, stats)?
+                }
                 NodeKind::Internal { children } => {
                     stats.record_internal_visit();
                     for &child in children {
@@ -522,7 +537,8 @@ impl AnsweringMethod for MTree {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 

@@ -17,7 +17,7 @@
 //! behaviour the benchmark documents.
 
 use hydra_core::{
-    AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error, ExactIndex,
+    AnswerMode, AnswerSet, AnsweringMethod, BudgetMeter, BuildOptions, Dataset, Error, ExactIndex,
     IndexFootprint, KnnHeap, MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
@@ -438,19 +438,32 @@ impl RStarTree {
         }
     }
 
-    fn scan_leaf(&self, leaf: usize, query: &Query, heap: &mut KnnHeap, stats: &mut QueryStats) {
+    fn scan_leaf(
+        &self,
+        leaf: usize,
+        query: &Query,
+        heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
         let NodeKind::Leaf { entries } = &self.nodes[leaf].kind else {
-            return;
+            return Ok(());
         };
         if entries.is_empty() {
-            return;
+            return Ok(());
         }
+        // Fault checkpoint for the leaf's materialized payload read, keyed
+        // by its first series so an injected fault is stable per leaf.
+        self.store.try_access(entries[0].id as u64)?;
         stats.record_leaf_visit();
         let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
         stats.record_io(pages - 1, 1, leaf_bytes);
         let dataset = self.store.dataset();
         for e in entries {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
             match hydra_core::distance::squared_euclidean_early_abandon(
@@ -464,6 +477,7 @@ impl RStarTree {
                 None => stats.record_early_abandon(),
             }
         }
+        Ok(())
     }
 }
 
@@ -549,6 +563,7 @@ impl AnsweringMethod for RStarTree {
         let clock = hydra_core::RunClock::start();
         let q_paa = self.paa.transform(query.values());
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
 
         if mode == AnswerMode::NgApproximate {
             // ng-approximate: descend to the MBR-closest leaf and scan it.
@@ -567,9 +582,10 @@ impl AnsweringMethod for RStarTree {
                 }
                 current = best;
             }
-            self.scan_leaf(current, query, &mut heap, stats);
+            self.scan_leaf(current, query, &mut heap, &mut meter, stats)?;
             stats.cpu_time += clock.elapsed();
-            return Ok(heap.into_answer_set().with_guarantee(mode.guarantee()));
+            let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+            return Ok(heap.into_answer_set().with_guarantee(guarantee));
         }
 
         // Exact / ε-relaxed best-first traversal: a subtree is pruned as soon
@@ -582,11 +598,16 @@ impl AnsweringMethod for RStarTree {
             node: self.root,
         });
         while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+            if meter.is_truncated() {
+                break; // budget exhausted: keep the best-so-far
+            }
             if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                 break;
             }
             match &self.nodes[node].kind {
-                NodeKind::Leaf { .. } => self.scan_leaf(node, query, &mut heap, stats),
+                NodeKind::Leaf { .. } => {
+                    self.scan_leaf(node, query, &mut heap, &mut meter, stats)?
+                }
                 NodeKind::Internal { children } => {
                     stats.record_internal_visit();
                     for &child in children {
@@ -606,7 +627,8 @@ impl AnsweringMethod for RStarTree {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 

@@ -19,11 +19,12 @@
 
 use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap, MethodDescriptor,
-    ModeCapabilities, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, BudgetMeter, Error, IntraAnswering, KnnHeap,
+    MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::fft::{Complex, Fft};
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// The MASS whole-matching scan.
@@ -78,6 +79,7 @@ impl AnsweringMethod for MassScan {
         }
         let k = query.knn_k("MASS")?;
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         let clock = hydra_core::RunClock::start();
         let (q_spec, q_norm_sq) = self.spectrum_and_norm(query.values());
         // Thread-scoped snapshot: under a parallel workload each worker must
@@ -86,7 +88,10 @@ impl AnsweringMethod for MassScan {
         // One spectrum scratch per query, reused across every candidate: the
         // hot loop performs no per-candidate allocation.
         let mut c_spec: Vec<Complex> = Vec::with_capacity(n);
-        self.store.scan_all(|id, series| {
+        self.store.try_scan_all(|id, series| {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                return Ok(ControlFlow::Break(()));
+            }
             stats.record_raw_series_examined(1);
             self.fft.forward_real_into(series.values(), &mut c_spec);
             let c_norm_sq: f64 = series
@@ -102,11 +107,13 @@ impl AnsweringMethod for MassScan {
             dot /= n as f64;
             let sq = (q_norm_sq + c_norm_sq - 2.0 * dot).max(0.0);
             heap.offer(id, sq.sqrt());
-        });
+            Ok(ControlFlow::Continue(()))
+        })?;
         stats.cpu_time += clock.elapsed();
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
-        Ok(heap.into_answer_set())
+        let guarantee = meter.guarantee(query.mode().guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {

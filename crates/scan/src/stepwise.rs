@@ -16,8 +16,8 @@
 
 use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap, MethodDescriptor,
-    ModeCapabilities, Query, QueryStats, Result,
+    AnswerSet, AnsweringMethod, BatchAnswering, BudgetMeter, Error, IntraAnswering, KnnHeap,
+    MethodDescriptor, ModeCapabilities, Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::HaarTransform;
@@ -242,18 +242,31 @@ impl Stepwise {
     }
 
     /// Refines the surviving candidates of one query on the raw data
-    /// (random accesses through the store), offering them into `heap`.
-    fn refine(&self, query: &Query, alive: &[bool], heap: &mut KnnHeap, stats: &mut QueryStats) {
+    /// (random accesses through the fallible store path), offering them into
+    /// `heap`. Stops early — keeping the best-so-far answers — when the
+    /// query's budget meter trips.
+    fn refine(
+        &self,
+        query: &Query,
+        alive: &[bool],
+        heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
         for id in alive
             .iter()
             .enumerate()
             .filter_map(|(id, &a)| a.then_some(id))
         {
-            let series = self.store.read_series(id);
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                return Ok(());
+            }
+            let series = self.store.try_read_series(id)?;
             stats.record_raw_series_examined(1);
             let d = hydra_core::distance::euclidean(query.values(), series.values());
             heap.offer(id, d);
         }
+        Ok(())
     }
 }
 
@@ -306,11 +319,13 @@ impl AnsweringMethod for Stepwise {
         // Refinement: exact distances on the raw data for the survivors,
         // charged as random accesses.
         let mut heap = KnnHeap::new(k);
-        self.refine(query, &alive, &mut heap, stats);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
+        self.refine(query, &alive, &mut heap, &mut meter, stats)?;
         stats.cpu_time += clock.elapsed();
         // I/O for the refinement reads was recorded by the store counters;
         // the engine reconciles it into the stats snapshot.
-        Ok(heap.into_answer_set())
+        let guarantee = meter.guarantee(query.mode().guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
@@ -455,7 +470,11 @@ impl BatchAnswering for Stepwise {
             heap.reset(k);
             self.store.invalidate_head();
             let before = self.store.thread_io_snapshot();
-            self.refine(query, alive, &mut heap, stats);
+            // Budgeted queries never reach the batch kernel (the engine
+            // routes them through the per-query loop), so this meter only
+            // carries the fault plan's fallible read path.
+            let mut meter = BudgetMeter::new(query.budget(), self.store.len());
+            self.refine(query, alive, &mut heap, &mut meter, stats)?;
             let observed = self.store.thread_io_snapshot().since(&before);
             stats.reconcile_io(observed);
             answers.push(heap.take_answer_set());

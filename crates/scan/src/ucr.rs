@@ -12,10 +12,11 @@ use hydra_core::distance::{
 };
 use hydra_core::parallel::map_chunks;
 use hydra_core::{
-    replay_outcome, AnswerSet, AnsweringMethod, BatchAnswering, Error, IntraAnswering, KnnHeap,
-    MethodDescriptor, ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
+    replay_outcome, AnswerSet, AnsweringMethod, BatchAnswering, BudgetMeter, Error, IntraAnswering,
+    KnnHeap, MethodDescriptor, ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// The optimized serial-scan baseline.
@@ -66,12 +67,16 @@ impl AnsweringMethod for UcrScan {
         }
         let k = query.knn_k("UCR-Suite")?;
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         let order = QueryOrder::new(query.values());
         // Thread-scoped snapshot: under a parallel workload each worker must
         // observe only its own scan traffic.
         let before = self.store.thread_io_snapshot();
         let clock = hydra_core::RunClock::start();
-        self.store.scan_all(|id, series| {
+        self.store.try_scan_all(|id, series| {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                return Ok(ControlFlow::Break(()));
+            }
             stats.record_raw_series_examined(1);
             match squared_euclidean_reordered(
                 query.values(),
@@ -84,11 +89,13 @@ impl AnsweringMethod for UcrScan {
                 }
                 None => stats.record_early_abandon(),
             }
-        });
+            Ok(ControlFlow::Continue(()))
+        })?;
         stats.cpu_time += clock.elapsed();
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
-        Ok(heap.into_answer_set())
+        let guarantee = meter.guarantee(query.mode().guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
@@ -376,6 +383,56 @@ mod tests {
                 assert_eq!(serial_stats.bytes_read, stats.bytes_read);
             }
         }
+    }
+
+    #[test]
+    fn budget_truncates_with_best_so_far_and_infinite_budget_is_identical() {
+        use hydra_core::{Budget, Guarantee};
+        let s = store(200, 64);
+        let scan = UcrScan::new(s.clone());
+        let q = Query::knn(RandomWalkGenerator::new(21, 64).series(0), 3);
+
+        let mut unbudgeted_stats = QueryStats::default();
+        let unbudgeted = scan.answer(&q, &mut unbudgeted_stats).unwrap();
+
+        // A tiny budget: non-empty best-so-far, tagged Truncated.
+        let tiny = q.clone().with_budget(Some(Budget::raw_reads(10)));
+        let mut stats = QueryStats::default();
+        let truncated = scan.answer(&tiny, &mut stats).unwrap();
+        assert!(!truncated.is_empty());
+        assert_eq!(stats.raw_series_examined, 10);
+        match truncated.guarantee() {
+            Guarantee::Truncated { examined_fraction } => {
+                assert!((examined_fraction - 0.05).abs() < 1e-12);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Even a zero budget examines the first candidate.
+        let zero = q.clone().with_budget(Some(Budget::raw_reads(0)));
+        let mut stats = QueryStats::default();
+        let ans = scan.answer(&zero, &mut stats).unwrap();
+        assert!(!ans.is_empty());
+        assert_eq!(stats.raw_series_examined, 1);
+
+        // A budget covering the whole dataset is bit-identical to no budget.
+        let huge = q.clone().with_budget(Some(Budget::raw_reads(u64::MAX)));
+        let mut stats = QueryStats::default();
+        let full = scan.answer(&huge, &mut stats).unwrap();
+        assert_eq!(full, unbudgeted);
+        assert_eq!(
+            stats.raw_series_examined,
+            unbudgeted_stats.raw_series_examined
+        );
+        assert_eq!(stats.early_abandons, unbudgeted_stats.early_abandons);
+        assert_eq!(stats.bytes_read, unbudgeted_stats.bytes_read);
+        assert_eq!(
+            stats.sequential_page_accesses,
+            unbudgeted_stats.sequential_page_accesses
+        );
+        assert_eq!(
+            stats.random_page_accesses,
+            unbudgeted_stats.random_page_accesses
+        );
     }
 
     #[test]

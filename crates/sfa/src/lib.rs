@@ -17,9 +17,9 @@
 
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
-    Outcome, Query, QueryStats, Result, SharedBsf,
+    parallel, replay_outcome, AnswerMode, AnswerSet, AnsweringMethod, BudgetMeter, BuildOptions,
+    Dataset, Error, ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor,
+    ModeCapabilities, Outcome, Query, QueryStats, Result, SharedBsf,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
@@ -248,15 +248,19 @@ impl SfaTrie {
         leaf: usize,
         query: &Query,
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
         eval: &LeafEval<'_>,
-    ) {
+    ) -> Result<()> {
         let TrieNode::Leaf { entries } = &self.nodes[leaf] else {
-            return;
+            return Ok(());
         };
         if entries.is_empty() {
-            return;
+            return Ok(());
         }
+        // Fault checkpoint for the leaf's materialized payload read, keyed
+        // by its first series so an injected fault is stable per leaf.
+        self.store.try_access(entries[0].id as u64)?;
         stats.record_leaf_visit();
         let leaf_bytes = (entries.len() * self.store.series_bytes()) as u64;
         let pages = leaf_bytes.div_ceil(self.store.page_bytes() as u64).max(1);
@@ -267,6 +271,9 @@ impl SfaTrie {
             LeafEval::Replay(map) => map.get(&leaf),
         };
         for (i, e) in entries.iter().enumerate() {
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
             stats.record_raw_series_examined(1);
             let series = dataset.series(e.id as usize);
             let kernel = |threshold: f64| {
@@ -287,6 +294,7 @@ impl SfaTrie {
                 None => stats.record_early_abandon(),
             }
         }
+        Ok(())
     }
 
     /// Descends to the leaf matching the query's word as far as possible
@@ -406,11 +414,12 @@ impl SfaTrie {
         let q_dft = self.quantizer.dft(query.values());
         let q_word = self.quantizer.word_from_dft(&q_dft);
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
 
         // Approximate descent for the initial best-so-far — the whole answer
         // in ng-approximate mode.
         let seed_leaf = self.descend(&q_word, stats);
-        self.scan_leaf_with(seed_leaf, query, &mut heap, stats, eval);
+        self.scan_leaf_with(seed_leaf, query, &mut heap, &mut meter, stats, eval)?;
 
         if mode != AnswerMode::NgApproximate {
             // Best-first traversal on prefix lower bounds, relaxed by
@@ -423,13 +432,16 @@ impl SfaTrie {
                 node: 0,
             });
             while let Some(Frontier { lower_bound, node }) = frontier.pop() {
+                if meter.is_truncated() {
+                    break; // budget exhausted: keep the best-so-far
+                }
                 if heap.is_full() && lower_bound >= heap.threshold() * shrink {
                     break;
                 }
                 match &self.nodes[node] {
                     TrieNode::Leaf { .. } => {
                         if node != seed_leaf {
-                            self.scan_leaf_with(node, query, &mut heap, stats, eval);
+                            self.scan_leaf_with(node, query, &mut heap, &mut meter, stats, eval)?;
                         }
                     }
                     TrieNode::Internal { children } => {
@@ -450,7 +462,8 @@ impl SfaTrie {
             }
         }
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 
@@ -481,15 +494,17 @@ impl IntraAnswering for SfaTrie {
         // approximate descent, exactly as the serial path does. The replay in
         // phase C repeats this with the real stats, so nothing is counted here.
         let mut scratch = QueryStats::default();
+        let mut scratch_meter = BudgetMeter::new(query.budget(), self.store.len());
         let mut seed_heap = KnnHeap::new(k);
         let seed_leaf = self.descend(&q_word, &mut scratch);
         self.scan_leaf_with(
             seed_leaf,
             query,
             &mut seed_heap,
+            &mut scratch_meter,
             &mut scratch,
             &LeafEval::Direct,
-        );
+        )?;
         let seed_threshold = seed_heap.threshold();
 
         // Candidate leaves: every leaf the serial traversal could possibly

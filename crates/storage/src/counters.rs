@@ -180,6 +180,23 @@ impl IoCounters {
         shard.last_page = Some(first_page + pages - 1);
     }
 
+    /// Records `bytes` read without any page traffic or head movement: the
+    /// requested range lies entirely inside pages already charged by an
+    /// earlier read on this thread.
+    pub fn record_read_bytes(&self, bytes: u64) {
+        self.shard().lock().snapshot.bytes_read += bytes;
+    }
+
+    /// Records `pages` extra random page accesses without moving the disk
+    /// head: a fault-injected latency surcharge, charged in cost-model units
+    /// so degraded runs stay deterministic.
+    pub fn record_surcharge(&self, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        self.shard().lock().snapshot.random_pages += pages;
+    }
+
     /// Records `bytes` written to the store (index build payloads).
     pub fn record_write(&self, bytes: u64) {
         self.shard().lock().snapshot.bytes_written += bytes;
@@ -321,6 +338,31 @@ mod tests {
         let c = IoCounters::new();
         c.record_read_run(0, 0, 0);
         assert_eq!(c.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn byte_only_reads_do_not_move_the_head() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 2, 100);
+        c.record_read_bytes(50);
+        // The head is still at page 1: the next read continues sequentially.
+        c.record_read_run(2, 1, 25);
+        let snap = c.snapshot();
+        assert_eq!(snap.random_pages, 1);
+        assert_eq!(snap.sequential_pages, 2);
+        assert_eq!(snap.bytes_read, 175);
+    }
+
+    #[test]
+    fn surcharges_add_random_pages_without_breaking_the_head() {
+        let c = IoCounters::new();
+        c.record_read_run(0, 2, 100);
+        c.record_surcharge(4);
+        c.record_surcharge(0);
+        c.record_read_run(2, 1, 50);
+        let snap = c.snapshot();
+        assert_eq!(snap.random_pages, 5);
+        assert_eq!(snap.sequential_pages, 2);
     }
 
     #[test]

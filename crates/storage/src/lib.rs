@@ -24,15 +24,21 @@
 //!   files keyed on a dataset + build-options fingerprint, with save and
 //!   load charged through the same counters — measured snapshot I/O instead
 //!   of modelled index I/O.
+//! * [`fault`] injects deterministic, seeded storage faults (transient read
+//!   errors, page bit-flips, latency surcharges in cost-model units, snapshot
+//!   corruption) beneath the same counters, powering the chaos tests and the
+//!   robustness experiments.
 
 pub mod buffer;
 pub mod cost;
 pub mod counters;
+pub mod fault;
 pub mod snapshot;
 pub mod store;
 
 pub use buffer::BufferPool;
 pub use cost::{CostModel, StorageProfile};
 pub use counters::{IoCounters, IoSnapshot};
+pub use fault::{FaultConfig, FaultPlan};
 pub use snapshot::{load_index, save_index, snapshot_file_name, SnapshotReader, SnapshotWriter};
 pub use store::DatasetStore;

@@ -361,7 +361,41 @@ where
     index.save_payload(&mut writer)?;
     let bytes = writer.write_to(path)?;
     store.record_index_write(bytes);
+    corrupt_if_planned(store, path)?;
     Ok(bytes)
+}
+
+/// The snapshot-corruption fault: when the store's [`crate::fault::FaultPlan`]
+/// selects this file (keyed deterministically on its name), flip one byte in
+/// the middle of the just-written snapshot. The checksum catches it on the
+/// next load, exercising the quarantine-and-rebuild recovery path.
+fn corrupt_if_planned(store: &DatasetStore, path: &Path) -> Result<()> {
+    let name = path
+        .file_name()
+        .map(|n| n.as_encoded_bytes())
+        .unwrap_or(&[]);
+    let key = crate::fault::key_for_bytes(name);
+    if !store.fault_plan().corrupt_snapshot(key) {
+        return Ok(());
+    }
+    let mut data = std::fs::read(path)?;
+    if !data.is_empty() {
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        std::fs::write(path, data)?;
+    }
+    Ok(())
+}
+
+/// Moves a damaged or stale snapshot aside as `<path>.corrupt` so the caller
+/// can rebuild and re-save a clean one under the original name. Returns the
+/// quarantine path.
+pub fn quarantine(path: &Path) -> Result<std::path::PathBuf> {
+    let mut quarantined = path.as_os_str().to_owned();
+    quarantined.push(".corrupt");
+    let quarantined = std::path::PathBuf::from(quarantined);
+    std::fs::rename(path, &quarantined)?;
+    Ok(quarantined)
 }
 
 /// Loads a snapshot from `path` and reattaches it to `store`, charging the
@@ -514,7 +548,20 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let path = temp_path("never-written-such-file-missing");
         std::fs::remove_file(&path).ok();
-        assert!(matches!(SnapshotReader::open(&path), Err(Error::Io(_))));
+        assert!(matches!(SnapshotReader::open(&path), Err(Error::Io { .. })));
+    }
+
+    #[test]
+    fn quarantine_renames_to_dot_corrupt() {
+        let path = temp_path("quarantine");
+        SnapshotWriter::new("k", 0, 0).write_to(&path).unwrap();
+        let moved = quarantine(&path).unwrap();
+        assert_eq!(moved.extension().unwrap(), "corrupt");
+        assert!(!path.exists());
+        assert!(moved.exists());
+        // Quarantining a missing file is a (non-retriable) I/O error.
+        assert!(matches!(quarantine(&path), Err(Error::Io { .. })));
+        std::fs::remove_file(&moved).ok();
     }
 
     #[test]

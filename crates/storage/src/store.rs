@@ -7,8 +7,11 @@
 //! identical rules — the paper's "same conditions for every method" principle.
 
 use crate::counters::{IoCounters, IoSnapshot};
+use crate::fault::{self, FaultPlan};
 use hydra_core::engine::IoSource;
 use hydra_core::series::{Dataset, SeriesView};
+use hydra_core::{Error, Result};
+use std::ops::ControlFlow;
 
 /// Default page size: 4 KiB, a typical filesystem block.
 pub const DEFAULT_PAGE_BYTES: usize = 4096;
@@ -20,6 +23,7 @@ pub struct DatasetStore {
     page_bytes: usize,
     series_bytes: usize,
     counters: IoCounters,
+    fault: FaultPlan,
 }
 
 impl DatasetStore {
@@ -40,7 +44,23 @@ impl DatasetStore {
             page_bytes,
             series_bytes,
             counters: IoCounters::new(),
+            fault: FaultPlan::disabled(),
         }
+    }
+
+    /// Attaches a [`FaultPlan`] to the fallible read paths
+    /// ([`DatasetStore::try_read_series`], [`DatasetStore::try_read_run`],
+    /// [`DatasetStore::try_scan_all`], [`DatasetStore::try_access`]) and the
+    /// snapshot save path. The disabled plan (the default) makes every
+    /// fallible path behave — and count — exactly like its infallible twin.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// The attached fault plan ([`FaultPlan::disabled`] unless overridden).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The number of series stored.
@@ -175,6 +195,105 @@ impl DatasetStore {
         }
     }
 
+    /// Consults the fault plan for the access keyed `key` on the calling
+    /// thread's current retry attempt: charges any latency surcharge to the
+    /// counters and surfaces injected failures as retriable
+    /// [`Error::Io`] values.
+    fn fault_check(&self, key: u64) -> Result<()> {
+        if !self.fault.is_active() {
+            return Ok(());
+        }
+        let outcome = self.fault.read_outcome(key, fault::current_attempt());
+        self.counters.record_surcharge(outcome.surcharge_pages);
+        if let Some(err) = outcome.error {
+            return Err(Error::retriable_io(err.to_io_error()));
+        }
+        Ok(())
+    }
+
+    /// Fallible twin of [`DatasetStore::read_series`]: an out-of-bounds id is
+    /// a typed [`Error::NotFound`] instead of a panic, and the fault plan may
+    /// inject retriable read failures. Under the disabled plan the charged
+    /// I/O is identical to `read_series`.
+    pub fn try_read_series(&self, id: usize) -> Result<SeriesView<'_>> {
+        if id >= self.dataset.len() {
+            return Err(Error::NotFound(format!("series {id}")));
+        }
+        self.fault_check(id as u64)?;
+        Ok(self.read_series(id))
+    }
+
+    /// Fallible twin of [`DatasetStore::read_run`]: bounds violations are
+    /// typed [`Error::NotFound`] errors, and the fault plan (keyed on the
+    /// run's first id) may inject retriable failures. Under the disabled
+    /// plan the charged I/O is identical to `read_run`.
+    pub fn try_read_run(&self, first_id: usize, count: usize) -> Result<Vec<SeriesView<'_>>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if first_id + count > self.dataset.len() {
+            return Err(Error::NotFound(format!(
+                "series run {first_id}..{}",
+                first_id + count
+            )));
+        }
+        self.fault_check(first_id as u64)?;
+        Ok(self.read_run(first_id, count))
+    }
+
+    /// Fallible, interruptible twin of [`DatasetStore::scan_all`].
+    ///
+    /// `f` may stop the scan early (`ControlFlow::Break`, e.g. on budget
+    /// exhaustion) or fail; the fault plan is consulted per series. Returns
+    /// `Ok(true)` when the scan reached the end, `Ok(false)` when `f` broke
+    /// out early.
+    ///
+    /// Pages are charged *incrementally* — each series charges only the pages
+    /// past the furthest page already charged by this scan, and fully
+    /// overlapped series charge bytes only — so a complete pass records
+    /// exactly what `scan_all` records (one potential seek, then sequential
+    /// pages, all bytes), and a truncated pass charges only what it read.
+    pub fn try_scan_all<F>(&self, mut f: F) -> Result<bool>
+    where
+        F: FnMut(usize, SeriesView<'_>) -> Result<ControlFlow<()>>,
+    {
+        let n = self.dataset.len();
+        if n == 0 {
+            return Ok(true);
+        }
+        let (mut next_page, _) = self.page_range(0);
+        for i in 0..n {
+            self.fault_check(i as u64)?;
+            let (first, last) = self.page_range(i);
+            if last >= next_page {
+                let from = next_page.max(first);
+                self.counters
+                    .record_read_run(from, last - from + 1, self.series_bytes as u64);
+                next_page = last + 1;
+            } else {
+                self.counters.record_read_bytes(self.series_bytes as u64);
+            }
+            if let ControlFlow::Break(()) = f(i, self.dataset.series(i))? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// A fault checkpoint for access paths that do their own I/O accounting
+    /// (index leaf scans charge pages through their `QueryStats`): consults
+    /// the plan's error faults for `key` without touching the counters.
+    pub fn try_access(&self, key: u64) -> Result<()> {
+        if !self.fault.is_active() {
+            return Ok(());
+        }
+        let outcome = self.fault.read_outcome(key, fault::current_attempt());
+        if let Some(err) = outcome.error {
+            return Err(Error::retriable_io(err.to_io_error()));
+        }
+        Ok(())
+    }
+
     /// Marks an explicit seek (used by skip-sequential algorithms between
     /// skipped regions even when the next read happens to be contiguous).
     pub fn seek(&self) {
@@ -235,6 +354,10 @@ impl IoSource for DatasetStore {
 
     fn has_thread_scoped_counters(&self) -> bool {
         true
+    }
+
+    fn begin_attempt(&self, attempt: u32) {
+        fault::set_attempt(attempt);
     }
 }
 
@@ -385,5 +508,94 @@ mod tests {
     fn read_run_bounds_checked() {
         let store = DatasetStore::new(dataset(10, 256));
         let _ = store.read_run(8, 5);
+    }
+
+    #[test]
+    fn try_variants_count_exactly_like_their_infallible_twins() {
+        let a = DatasetStore::new(dataset(100, 256));
+        let b = DatasetStore::new(dataset(100, 256));
+        a.read_series(7);
+        b.try_read_series(7).unwrap();
+        a.read_run(40, 8);
+        b.try_read_run(40, 8).unwrap();
+        assert_eq!(a.io_snapshot(), b.io_snapshot());
+        a.reset_io();
+        b.reset_io();
+        a.scan_all(|_, _| {});
+        let complete = b
+            .try_scan_all(|_, _| Ok(std::ops::ControlFlow::Continue(())))
+            .unwrap();
+        assert!(complete);
+        assert_eq!(a.io_snapshot(), b.io_snapshot());
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors_out_of_bounds() {
+        let store = DatasetStore::new(dataset(10, 256));
+        assert!(matches!(
+            store.try_read_series(10),
+            Err(hydra_core::Error::NotFound(_))
+        ));
+        assert!(matches!(
+            store.try_read_run(8, 5),
+            Err(hydra_core::Error::NotFound(_))
+        ));
+        assert!(store.try_read_run(8, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_scan_charges_only_what_it_read() {
+        let store = DatasetStore::new(dataset(100, 256)); // 4 series per page
+        let complete = store
+            .try_scan_all(|i, _| {
+                Ok(if i == 7 {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                })
+            })
+            .unwrap();
+        assert!(!complete);
+        let io = store.io_snapshot();
+        // Series 0..=7 live in pages 0 and 1.
+        assert_eq!(io.total_pages(), 2);
+        assert_eq!(io.bytes_read, 8 * 1024);
+    }
+
+    #[test]
+    fn fault_plan_injects_deterministic_retriable_errors() {
+        let config = crate::fault::FaultConfig {
+            read_error: 1.0,
+            max_transient_attempts: 1,
+            ..Default::default()
+        };
+        let store =
+            DatasetStore::new(dataset(10, 256)).with_fault_plan(FaultPlan::seeded(3, config));
+        let err = store.try_read_series(0).unwrap_err();
+        assert!(err.is_retriable());
+        assert!(store.try_access(0).is_err());
+        // The planned failure count is 1: the first retry succeeds.
+        fault::set_attempt(1);
+        assert!(store.try_read_series(0).is_ok());
+        assert!(store.try_access(0).is_ok());
+        fault::set_attempt(0);
+        // Infallible paths stay fault-free by design.
+        store.read_series(0);
+    }
+
+    #[test]
+    fn latency_surcharge_is_charged_to_the_counters() {
+        let config = crate::fault::FaultConfig {
+            latency: 1.0,
+            latency_pages: 3,
+            ..Default::default()
+        };
+        let store =
+            DatasetStore::new(dataset(10, 256)).with_fault_plan(FaultPlan::seeded(3, config));
+        store.reset_io();
+        store.try_read_series(0).unwrap();
+        let io = store.io_snapshot();
+        // 1 page for the read + 3 surcharge pages.
+        assert_eq!(io.random_pages, 4);
     }
 }

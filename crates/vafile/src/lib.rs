@@ -23,9 +23,9 @@
 use hydra_core::parallel::map_chunks;
 use hydra_core::persist::{PersistentIndex, SnapshotSink, SnapshotSource};
 use hydra_core::{
-    AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BuildOptions, Dataset, Error,
-    ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities, Query,
-    QueryStats, Result,
+    AnswerMode, AnswerSet, AnsweringMethod, BatchAnswering, BudgetMeter, BuildOptions, Dataset,
+    Error, ExactIndex, IndexFootprint, IntraAnswering, KnnHeap, MethodDescriptor, ModeCapabilities,
+    Query, QueryStats, Result,
 };
 use hydra_storage::DatasetStore;
 use hydra_transforms::{VaPlusCell, VaPlusQuantizer};
@@ -113,15 +113,18 @@ impl VaPlusFile {
     /// best-ranked candidates (the VA+file has no leaves — its "one leaf
     /// visit" is the k-deep filter-file prefix).
     ///
-    /// Shared verbatim by the serial path and the batch kernel.
+    /// Shared verbatim by the serial path and the batch kernel. Raw reads go
+    /// through the fallible store path, and the query's budget meter can cut
+    /// the refinement short (the heap keeps its best-so-far).
     fn refine_ranked(
         &self,
         query: &Query,
         k: usize,
         ranked: &[(f64, usize)],
         heap: &mut KnnHeap,
+        meter: &mut BudgetMeter,
         stats: &mut QueryStats,
-    ) {
+    ) -> Result<()> {
         let mode = query.mode();
         let shrink = mode.prune_shrink();
         let ng_budget = if mode == AnswerMode::NgApproximate {
@@ -133,11 +136,15 @@ impl VaPlusFile {
             if heap.is_full() && lb > heap.threshold() * shrink {
                 break;
             }
-            let series = self.store.read_series(id);
+            if meter.should_stop(stats.raw_series_examined, !heap.is_empty()) {
+                break;
+            }
+            let series = self.store.try_read_series(id)?;
             stats.record_raw_series_examined(1);
             let d = hydra_core::distance::euclidean(query.values(), series.values());
             heap.offer(id, d);
         }
+        Ok(())
     }
 }
 
@@ -186,12 +193,14 @@ impl AnsweringMethod for VaPlusFile {
         let mut heap = KnnHeap::new(k);
         // Thread-scoped snapshot: under a parallel workload each worker must
         // observe only its own refinement traffic.
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         let before = self.store.thread_io_snapshot();
-        self.refine_ranked(query, k, &ranked, &mut heap, stats);
+        self.refine_ranked(query, k, &ranked, &mut heap, &mut meter, stats)?;
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 
     fn batch_answering(&self) -> Option<&dyn BatchAnswering> {
@@ -239,12 +248,14 @@ impl IntraAnswering for VaPlusFile {
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut heap = KnnHeap::new(k);
+        let mut meter = BudgetMeter::new(query.budget(), self.store.len());
         let before = self.store.thread_io_snapshot();
-        self.refine_ranked(query, k, &ranked, &mut heap, stats);
+        self.refine_ranked(query, k, &ranked, &mut heap, &mut meter, stats)?;
         let delta = self.store.thread_io_snapshot().since(&before);
         stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
         stats.cpu_time += clock.elapsed();
-        Ok(heap.into_answer_set().with_guarantee(mode.guarantee()))
+        let guarantee = meter.guarantee(mode.guarantee(), stats.raw_series_examined);
+        Ok(heap.into_answer_set().with_guarantee(guarantee))
     }
 }
 
@@ -313,9 +324,12 @@ impl BatchAnswering for VaPlusFile {
                 );
                 ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
                 heap.reset(k);
+                // Budgeted queries never reach the kernel (the engine falls
+                // back to the per-query loop), so this meter is a formality.
+                let mut meter = BudgetMeter::new(query.budget(), self.store.len());
                 self.store.invalidate_head();
                 let before = self.store.thread_io_snapshot();
-                self.refine_ranked(query, k, &ranked, &mut heap, stats);
+                self.refine_ranked(query, k, &ranked, &mut heap, &mut meter, stats)?;
                 let delta = self.store.thread_io_snapshot().since(&before);
                 stats.record_io(delta.sequential_pages, delta.random_pages, delta.bytes_read);
                 answers.push(

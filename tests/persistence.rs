@@ -298,7 +298,7 @@ fn corruption_yields_typed_errors_never_panics() {
     assert!(matches!(wrong_kind, Err(Error::StaleSnapshot(_))));
     // A missing file is a plain I/O error (the cache treats it as a miss).
     std::fs::remove_file(&path).unwrap();
-    assert!(matches!(load(&path), Err(Error::Io(_))));
+    assert!(matches!(load(&path), Err(Error::Io { .. })));
     // And the good snapshot still loads after all that.
     std::fs::write(&path, &good).unwrap();
     assert!(load(&path).is_ok());
