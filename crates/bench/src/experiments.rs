@@ -1256,6 +1256,7 @@ pub fn robustness(scale: ExperimentScale) -> (ResultTable, String) {
                 kind.name(),
                 (rate * 1000.0) as u64
             ));
+            // hydra-lint: allow(uncounted-fs) harness scratch: clears snapshot dir between cycles
             let _ = std::fs::remove_dir_all(&dir);
             let cycles = 3usize;
             let mut recovered = 0usize;
@@ -1281,6 +1282,7 @@ pub fn robustness(scale: ExperimentScale) -> (ResultTable, String) {
                     }
                 }
             }
+            // hydra-lint: allow(uncounted-fs) harness scratch: removes snapshot dir afterwards
             let _ = std::fs::remove_dir_all(&dir);
             table.push_row(vec![
                 "snapshot".to_string(),

@@ -368,6 +368,7 @@ where
     I: PersistentIndex<Context = Arc<DatasetStore>> + 'static,
     F: FnOnce(Arc<DatasetStore>, &BuildOptions) -> Result<I>,
 {
+    // hydra-lint: allow(uncounted-fs) dir setup only; index bytes use the counted SnapshotSink
     std::fs::create_dir_all(index_dir)?;
     // Hash the dataset exactly once per cycle: the same fingerprints name the
     // file and validate its header on load / stamp it on save.

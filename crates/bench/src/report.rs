@@ -1,6 +1,7 @@
 //! Result-table formatting: aligned plain text for the terminal plus CSV
 //! files under `results/` so the experiment outputs can be plotted.
 
+// hydra-lint: allow(uncounted-fs) result-table CSV output is harness reporting
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};

@@ -563,6 +563,7 @@ impl QueryEngine {
         let kernel = self
             .method
             .batch_answering()
+            // hydra-lint: allow(lib-unwrap) answer_batch checked batch_answering() first
             .expect("checked by answer_batch");
         let io = self.io.as_deref();
         let threads = parallelism.worker_threads().min(queries.len().max(1));
@@ -620,6 +621,7 @@ fn run_batch_chunk(
         io.reset_thread_io();
     }
     let mut stats = vec![QueryStats::default(); queries.len()];
+    // hydra-lint: allow(nondeterministic-source) wall-clock measurement; answers never read it
     let clock = Instant::now();
     // Panic isolation, like the per-query loop: a poisoned batch becomes a
     // typed internal error (answer_batch then reruns the per-query loop,
@@ -702,6 +704,7 @@ fn measure_query(
             io.reset_thread_io();
         }
         let mut stats = QueryStats::default();
+        // hydra-lint: allow(nondeterministic-source) wall-clock measurement; answers never read it
         let clock = Instant::now();
         // Panic isolation: a poisoned query becomes a typed internal error
         // instead of unwinding through the workload driver.
@@ -786,6 +789,7 @@ fn measure_intra_query(
             io.reset_thread_io();
         }
         let mut stats = QueryStats::default();
+        // hydra-lint: allow(nondeterministic-source) wall-clock measurement; answers never read it
         let clock = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             kernel.answer_intra(query, threads, &mut stats)

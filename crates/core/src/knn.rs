@@ -1,6 +1,7 @@
 //! k-NN answer bookkeeping: bounded max-heaps of best-so-far candidates.
 
 use std::cmp::Ordering;
+// hydra-lint: allow(hash-iteration-order) membership tests only; never iterated
 use std::collections::{BinaryHeap, HashSet};
 
 /// A single answer to a similarity query: a series identifier and its
@@ -281,8 +282,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on distance; ties broken on id for determinism.
         self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.distance)
             .then(self.id.cmp(&other.id))
     }
 }
@@ -302,6 +302,7 @@ impl Ord for HeapEntry {
 pub struct KnnHeap {
     k: usize,
     heap: BinaryHeap<HeapEntry>,
+    // hydra-lint: allow(hash-iteration-order) duplicate-id guard; never iterated
     members: HashSet<usize>,
 }
 
@@ -315,6 +316,7 @@ impl KnnHeap {
         Self {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
+            // hydra-lint: allow(hash-iteration-order) duplicate-id guard; never iterated
             members: HashSet::new(),
         }
     }
@@ -386,7 +388,13 @@ impl KnnHeap {
     /// Offers a candidate; it is kept only if it is among the `k` nearest so
     /// far. Returns `true` if the candidate was kept.
     pub fn offer(&mut self, id: usize, distance: f64) -> bool {
-        debug_assert!(distance >= 0.0, "distances must be non-negative");
+        // NaN (a corrupt series' distance) is admitted on purpose: under
+        // `total_cmp` it sorts as the heap maximum, so it is evicted first
+        // and can never displace a finite candidate.
+        debug_assert!(
+            distance >= 0.0 || distance.is_nan(),
+            "distances must be non-negative"
+        );
         if self.members.contains(&id) {
             return false;
         }

@@ -37,6 +37,11 @@
 //! R*-tree, M-tree, VA+file, SFA trie, DSTree, iSAX2+, ADS+) are implemented in
 //! sibling crates on top of these abstractions.
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a `// SAFETY:` comment (enforced by hydra-lint's
+// `undocumented-unsafe` rule).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod distance;
 pub mod engine;
 pub mod error;

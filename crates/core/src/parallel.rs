@@ -214,6 +214,7 @@ where
     });
     slots
         .into_iter()
+        // hydra-lint: allow(lib-unwrap) map_indexed fills every slot exactly once
         .map(|s| s.expect("every index is claimed exactly once"))
         .collect()
 }
@@ -245,8 +246,10 @@ where
     map_indexed(slots.len(), threads, |i| {
         let item = slots[i]
             .lock()
+            // hydra-lint: allow(lib-unwrap) take() cannot panic, so the lock cannot poison
             .expect("item mutex is never poisoned: take() cannot panic")
             .take()
+            // hydra-lint: allow(lib-unwrap) each index is claimed by exactly one worker
             .expect("every item is taken exactly once");
         f(i, item)
     })

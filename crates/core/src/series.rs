@@ -279,6 +279,7 @@ impl Dataset {
         let mut iter = series.into_iter();
         let first = iter
             .next()
+            // hydra-lint: allow(lib-unwrap) non-empty input is the documented panic contract
             .expect("dataset must contain at least one series");
         let series_length = first.len();
         let mut values = first.into_values();

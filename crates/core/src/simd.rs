@@ -151,8 +151,12 @@ pub fn squared_euclidean_with(kernel: Kernel, a: &[f32], b: &[f32]) -> f64 {
     match effective(kernel) {
         Kernel::Portable => squared_euclidean_portable(a, b),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the SSE2 target feature is present at runtime.
         Kernel::Sse2 => unsafe { squared_euclidean_sse2(a, b) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the AVX2 target feature is present at runtime.
         Kernel::Avx2 => unsafe { squared_euclidean_avx2(a, b) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => squared_euclidean_portable(a, b),
@@ -177,8 +181,12 @@ pub fn squared_euclidean_early_abandon_with(
     match effective(kernel) {
         Kernel::Portable => squared_euclidean_early_abandon_portable(a, b, threshold),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the SSE2 target feature is present at runtime.
         Kernel::Sse2 => unsafe { squared_euclidean_early_abandon_sse2(a, b, threshold) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the AVX2 target feature is present at runtime.
         Kernel::Avx2 => unsafe { squared_euclidean_early_abandon_avx2(a, b, threshold) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => squared_euclidean_early_abandon_portable(a, b, threshold),
@@ -240,22 +248,32 @@ fn squared_euclidean_early_abandon_portable(a: &[f32], b: &[f32], threshold: f64
 }
 
 /// `(acc[0] + acc[1]) + (acc[2] + acc[3])` over two 2-lane halves.
+///
+/// Safe under target-feature 1.1: every caller is itself an SSE2-or-wider
+/// `#[target_feature]` function, which makes this a safe call site.
 #[cfg(target_arch = "x86_64")]
-#[inline(always)]
-unsafe fn reduce_halves(acc01: __m128d, acc23: __m128d) -> f64 {
+#[inline]
+#[target_feature(enable = "sse2")]
+fn reduce_halves(acc01: __m128d, acc23: __m128d) -> f64 {
     let s01 = _mm_add_sd(acc01, _mm_unpackhi_pd(acc01, acc01));
     let s23 = _mm_add_sd(acc23, _mm_unpackhi_pd(acc23, acc23));
     _mm_cvtsd_f64(_mm_add_sd(s01, s23))
 }
 
+/// Safe under target-feature 1.1: callers already run with AVX enabled
+/// (the AVX2 kernels below imply it), which makes the lane-extract
+/// intrinsics safe to call here.
 #[cfg(target_arch = "x86_64")]
-#[inline(always)]
-unsafe fn reduce256(acc: __m256d) -> f64 {
+#[inline]
+#[target_feature(enable = "avx")]
+fn reduce256(acc: __m256d) -> f64 {
     reduce_halves(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1))
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn squared_euclidean_sse2(a: &[f32], b: &[f32]) -> f64 {
     let n = a.len().min(b.len());
     let mut acc01 = _mm_setzero_pd();
@@ -263,10 +281,14 @@ unsafe fn squared_euclidean_sse2(a: &[f32], b: &[f32]) -> f64 {
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let dv = _mm_sub_ps(
-            _mm_loadu_ps(a.as_ptr().add(i)),
-            _mm_loadu_ps(b.as_ptr().add(i)),
-        );
+        // SAFETY: i + LANES <= n <= a.len(), b.len(): both 4-wide f32
+        // loads are in bounds.
+        let dv = unsafe {
+            _mm_sub_ps(
+                _mm_loadu_ps(a.as_ptr().add(i)),
+                _mm_loadu_ps(b.as_ptr().add(i)),
+            )
+        };
         let d01 = _mm_cvtps_pd(dv);
         let d23 = _mm_cvtps_pd(_mm_movehl_ps(dv, dv));
         acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
@@ -274,7 +296,8 @@ unsafe fn squared_euclidean_sse2(a: &[f32], b: &[f32]) -> f64 {
     }
     let mut sum = reduce_halves(acc01, acc23);
     for i in chunks * LANES..n {
-        let d = (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64;
+        // SAFETY: i < n <= a.len(), b.len().
+        let d = unsafe { (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64 };
         sum += d * d;
     }
     sum
@@ -282,6 +305,8 @@ unsafe fn squared_euclidean_sse2(a: &[f32], b: &[f32]) -> f64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn squared_euclidean_early_abandon_sse2(
     a: &[f32],
     b: &[f32],
@@ -294,10 +319,14 @@ unsafe fn squared_euclidean_early_abandon_sse2(
     for blk in 0..blocks {
         for step in 0..CHECK_EVERY / LANES {
             let i = blk * CHECK_EVERY + step * LANES;
-            let dv = _mm_sub_ps(
-                _mm_loadu_ps(a.as_ptr().add(i)),
-                _mm_loadu_ps(b.as_ptr().add(i)),
-            );
+            // SAFETY: i + LANES <= n <= a.len(), b.len(): both 4-wide f32
+            // loads are in bounds.
+            let dv = unsafe {
+                _mm_sub_ps(
+                    _mm_loadu_ps(a.as_ptr().add(i)),
+                    _mm_loadu_ps(b.as_ptr().add(i)),
+                )
+            };
             let d01 = _mm_cvtps_pd(dv);
             let d23 = _mm_cvtps_pd(_mm_movehl_ps(dv, dv));
             acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
@@ -309,7 +338,8 @@ unsafe fn squared_euclidean_early_abandon_sse2(
     }
     let mut sum = reduce_halves(acc01, acc23);
     for i in blocks * CHECK_EVERY..n {
-        let d = (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64;
+        // SAFETY: i < n <= a.len(), b.len().
+        let d = unsafe { (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64 };
         sum += d * d;
     }
     if sum > threshold {
@@ -321,22 +351,29 @@ unsafe fn squared_euclidean_early_abandon_sse2(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn squared_euclidean_avx2(a: &[f32], b: &[f32]) -> f64 {
     let n = a.len().min(b.len());
     let mut acc = _mm256_setzero_pd();
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let dv = _mm_sub_ps(
-            _mm_loadu_ps(a.as_ptr().add(i)),
-            _mm_loadu_ps(b.as_ptr().add(i)),
-        );
+        // SAFETY: i + LANES <= n <= a.len(), b.len(): both 4-wide f32
+        // loads are in bounds.
+        let dv = unsafe {
+            _mm_sub_ps(
+                _mm_loadu_ps(a.as_ptr().add(i)),
+                _mm_loadu_ps(b.as_ptr().add(i)),
+            )
+        };
         let d = _mm256_cvtps_pd(dv);
         acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
     }
     let mut sum = reduce256(acc);
     for i in chunks * LANES..n {
-        let d = (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64;
+        // SAFETY: i < n <= a.len(), b.len().
+        let d = unsafe { (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64 };
         sum += d * d;
     }
     sum
@@ -344,6 +381,8 @@ unsafe fn squared_euclidean_avx2(a: &[f32], b: &[f32]) -> f64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn squared_euclidean_early_abandon_avx2(
     a: &[f32],
     b: &[f32],
@@ -355,10 +394,14 @@ unsafe fn squared_euclidean_early_abandon_avx2(
     for blk in 0..blocks {
         for step in 0..CHECK_EVERY / LANES {
             let i = blk * CHECK_EVERY + step * LANES;
-            let dv = _mm_sub_ps(
-                _mm_loadu_ps(a.as_ptr().add(i)),
-                _mm_loadu_ps(b.as_ptr().add(i)),
-            );
+            // SAFETY: i + LANES <= n <= a.len(), b.len(): both 4-wide f32
+            // loads are in bounds.
+            let dv = unsafe {
+                _mm_sub_ps(
+                    _mm_loadu_ps(a.as_ptr().add(i)),
+                    _mm_loadu_ps(b.as_ptr().add(i)),
+                )
+            };
             let d = _mm256_cvtps_pd(dv);
             acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
         }
@@ -368,7 +411,8 @@ unsafe fn squared_euclidean_early_abandon_avx2(
     }
     let mut sum = reduce256(acc);
     for i in blocks * CHECK_EVERY..n {
-        let d = (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64;
+        // SAFETY: i < n <= a.len(), b.len().
+        let d = unsafe { (*a.get_unchecked(i) - *b.get_unchecked(i)) as f64 };
         sum += d * d;
     }
     if sum > threshold {
@@ -415,8 +459,12 @@ pub fn interval_mindist_sq_with(kernel: Kernel, q: &[f32], low: &[f64], high: &[
     match effective(kernel) {
         Kernel::Portable => interval_mindist_sq_portable(q, low, high),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the SSE2 target feature is present at runtime.
         Kernel::Sse2 => unsafe { interval_mindist_sq_sse2(q, low, high) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the AVX2 target feature is present at runtime.
         Kernel::Avx2 => unsafe { interval_mindist_sq_avx2(q, low, high) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => interval_mindist_sq_portable(q, low, high),
@@ -442,8 +490,12 @@ pub fn interval_mindist_weighted_sq_with(
     match effective(kernel) {
         Kernel::Portable => interval_mindist_weighted_sq_portable(q, low, high, w),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the SSE2 target feature is present at runtime.
         Kernel::Sse2 => unsafe { interval_mindist_weighted_sq_sse2(q, low, high, w) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` downgraded the request to a kernel this CPU
+        // supports, so the AVX2 target feature is present at runtime.
         Kernel::Avx2 => unsafe { interval_mindist_weighted_sq_avx2(q, low, high, w) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => interval_mindist_weighted_sq_portable(q, low, high, w),
@@ -490,6 +542,8 @@ fn interval_mindist_weighted_sq_portable(q: &[f32], low: &[f64], high: &[f64], w
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn interval_mindist_sq_sse2(q: &[f32], low: &[f64], high: &[f64]) -> f64 {
     let n = q.len().min(low.len()).min(high.len());
     let zero = _mm_setzero_pd();
@@ -498,13 +552,21 @@ unsafe fn interval_mindist_sq_sse2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let qv = _mm_loadu_ps(q.as_ptr().add(i));
+        // SAFETY: i + LANES <= n, which is min'ed over every slice length:
+        // the 4-wide f32 load and the 2-wide f64 loads at i and i + 2 are
+        // all in bounds.
+        let qv = unsafe { _mm_loadu_ps(q.as_ptr().add(i)) };
         let q01 = _mm_cvtps_pd(qv);
         let q23 = _mm_cvtps_pd(_mm_movehl_ps(qv, qv));
-        let lo01 = _mm_loadu_pd(low.as_ptr().add(i));
-        let lo23 = _mm_loadu_pd(low.as_ptr().add(i + 2));
-        let hi01 = _mm_loadu_pd(high.as_ptr().add(i));
-        let hi23 = _mm_loadu_pd(high.as_ptr().add(i + 2));
+        // SAFETY: as above — i + 3 < n <= low.len(), high.len().
+        let (lo01, lo23, hi01, hi23) = unsafe {
+            (
+                _mm_loadu_pd(low.as_ptr().add(i)),
+                _mm_loadu_pd(low.as_ptr().add(i + 2)),
+                _mm_loadu_pd(high.as_ptr().add(i)),
+                _mm_loadu_pd(high.as_ptr().add(i + 2)),
+            )
+        };
         let d01 = _mm_max_pd(
             _mm_max_pd(_mm_sub_pd(lo01, q01), _mm_sub_pd(q01, hi01)),
             zero,
@@ -518,11 +580,14 @@ unsafe fn interval_mindist_sq_sse2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
     }
     let mut sum = reduce_halves(acc01, acc23);
     for i in chunks * LANES..n {
-        let d = interval_gap(
-            *q.get_unchecked(i) as f64,
-            *low.get_unchecked(i),
-            *high.get_unchecked(i),
-        );
+        // SAFETY: i < n, which is min'ed over every slice length.
+        let d = unsafe {
+            interval_gap(
+                *q.get_unchecked(i) as f64,
+                *low.get_unchecked(i),
+                *high.get_unchecked(i),
+            )
+        };
         sum += d * d;
     }
     sum
@@ -530,6 +595,8 @@ unsafe fn interval_mindist_sq_sse2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn interval_mindist_weighted_sq_sse2(
     q: &[f32],
     low: &[f64],
@@ -543,15 +610,28 @@ unsafe fn interval_mindist_weighted_sq_sse2(
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let qv = _mm_loadu_ps(q.as_ptr().add(i));
+        // SAFETY: i + LANES <= n, which is min'ed over every slice length:
+        // the 4-wide f32 load and the 2-wide f64 loads at i and i + 2 are
+        // all in bounds.
+        let qv = unsafe { _mm_loadu_ps(q.as_ptr().add(i)) };
         let q01 = _mm_cvtps_pd(qv);
         let q23 = _mm_cvtps_pd(_mm_movehl_ps(qv, qv));
-        let lo01 = _mm_loadu_pd(low.as_ptr().add(i));
-        let lo23 = _mm_loadu_pd(low.as_ptr().add(i + 2));
-        let hi01 = _mm_loadu_pd(high.as_ptr().add(i));
-        let hi23 = _mm_loadu_pd(high.as_ptr().add(i + 2));
-        let w01 = _mm_loadu_pd(w.as_ptr().add(i));
-        let w23 = _mm_loadu_pd(w.as_ptr().add(i + 2));
+        // SAFETY: as above — i + 3 < n <= low.len(), high.len().
+        let (lo01, lo23, hi01, hi23) = unsafe {
+            (
+                _mm_loadu_pd(low.as_ptr().add(i)),
+                _mm_loadu_pd(low.as_ptr().add(i + 2)),
+                _mm_loadu_pd(high.as_ptr().add(i)),
+                _mm_loadu_pd(high.as_ptr().add(i + 2)),
+            )
+        };
+        // SAFETY: i + 3 < n <= w.len().
+        let (w01, w23) = unsafe {
+            (
+                _mm_loadu_pd(w.as_ptr().add(i)),
+                _mm_loadu_pd(w.as_ptr().add(i + 2)),
+            )
+        };
         let d01 = _mm_max_pd(
             _mm_max_pd(_mm_sub_pd(lo01, q01), _mm_sub_pd(q01, hi01)),
             zero,
@@ -565,18 +645,27 @@ unsafe fn interval_mindist_weighted_sq_sse2(
     }
     let mut sum = reduce_halves(acc01, acc23);
     for i in chunks * LANES..n {
-        let d = interval_gap(
-            *q.get_unchecked(i) as f64,
-            *low.get_unchecked(i),
-            *high.get_unchecked(i),
-        );
-        sum += (*w.get_unchecked(i) * d) * d;
+        // SAFETY: i < n, which is min'ed over every slice length
+        // (w.len() included).
+        let (d, wi) = unsafe {
+            (
+                interval_gap(
+                    *q.get_unchecked(i) as f64,
+                    *low.get_unchecked(i),
+                    *high.get_unchecked(i),
+                ),
+                *w.get_unchecked(i),
+            )
+        };
+        sum += wi * d * d;
     }
     sum
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn interval_mindist_sq_avx2(q: &[f32], low: &[f64], high: &[f64]) -> f64 {
     let n = q.len().min(low.len()).min(high.len());
     let zero = _mm256_setzero_pd();
@@ -584,9 +673,15 @@ unsafe fn interval_mindist_sq_avx2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let qv = _mm256_cvtps_pd(_mm_loadu_ps(q.as_ptr().add(i)));
-        let lo = _mm256_loadu_pd(low.as_ptr().add(i));
-        let hi = _mm256_loadu_pd(high.as_ptr().add(i));
+        // SAFETY: i + LANES <= n, which is min'ed over every slice length:
+        // the 4-wide loads are in bounds.
+        let (qv, lo, hi) = unsafe {
+            (
+                _mm256_cvtps_pd(_mm_loadu_ps(q.as_ptr().add(i))),
+                _mm256_loadu_pd(low.as_ptr().add(i)),
+                _mm256_loadu_pd(high.as_ptr().add(i)),
+            )
+        };
         let d = _mm256_max_pd(
             _mm256_max_pd(_mm256_sub_pd(lo, qv), _mm256_sub_pd(qv, hi)),
             zero,
@@ -595,11 +690,14 @@ unsafe fn interval_mindist_sq_avx2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
     }
     let mut sum = reduce256(acc);
     for i in chunks * LANES..n {
-        let d = interval_gap(
-            *q.get_unchecked(i) as f64,
-            *low.get_unchecked(i),
-            *high.get_unchecked(i),
-        );
+        // SAFETY: i < n, which is min'ed over every slice length.
+        let d = unsafe {
+            interval_gap(
+                *q.get_unchecked(i) as f64,
+                *low.get_unchecked(i),
+                *high.get_unchecked(i),
+            )
+        };
         sum += d * d;
     }
     sum
@@ -607,6 +705,8 @@ unsafe fn interval_mindist_sq_avx2(q: &[f32], low: &[f64], high: &[f64]) -> f64 
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY (callers): the CPU must support the enabled target feature;
+// `effective` guarantees it before every dispatch.
 unsafe fn interval_mindist_weighted_sq_avx2(
     q: &[f32],
     low: &[f64],
@@ -619,10 +719,17 @@ unsafe fn interval_mindist_weighted_sq_avx2(
     let chunks = n / LANES;
     for c in 0..chunks {
         let i = c * LANES;
-        let qv = _mm256_cvtps_pd(_mm_loadu_ps(q.as_ptr().add(i)));
-        let lo = _mm256_loadu_pd(low.as_ptr().add(i));
-        let hi = _mm256_loadu_pd(high.as_ptr().add(i));
-        let wv = _mm256_loadu_pd(w.as_ptr().add(i));
+        // SAFETY: i + LANES <= n, which is min'ed over every slice length:
+        // the 4-wide loads are in bounds.
+        let (qv, lo, hi) = unsafe {
+            (
+                _mm256_cvtps_pd(_mm_loadu_ps(q.as_ptr().add(i))),
+                _mm256_loadu_pd(low.as_ptr().add(i)),
+                _mm256_loadu_pd(high.as_ptr().add(i)),
+            )
+        };
+        // SAFETY: i + LANES <= n <= w.len().
+        let wv = unsafe { _mm256_loadu_pd(w.as_ptr().add(i)) };
         let d = _mm256_max_pd(
             _mm256_max_pd(_mm256_sub_pd(lo, qv), _mm256_sub_pd(qv, hi)),
             zero,
@@ -631,12 +738,19 @@ unsafe fn interval_mindist_weighted_sq_avx2(
     }
     let mut sum = reduce256(acc);
     for i in chunks * LANES..n {
-        let d = interval_gap(
-            *q.get_unchecked(i) as f64,
-            *low.get_unchecked(i),
-            *high.get_unchecked(i),
-        );
-        sum += (*w.get_unchecked(i) * d) * d;
+        // SAFETY: i < n, which is min'ed over every slice length
+        // (w.len() included).
+        let (d, wi) = unsafe {
+            (
+                interval_gap(
+                    *q.get_unchecked(i) as f64,
+                    *low.get_unchecked(i),
+                    *high.get_unchecked(i),
+                ),
+                *w.get_unchecked(i),
+            )
+        };
+        sum += wi * d * d;
     }
     sum
 }

@@ -8,6 +8,7 @@
 
 use hydra_core::series::Dataset;
 use hydra_core::{Error, Result};
+// hydra-lint: allow(uncounted-fs) pre-measurement ingest; counted I/O starts at DatasetStore
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;

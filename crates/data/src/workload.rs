@@ -201,7 +201,7 @@ impl QueryWorkload {
             return None;
         }
         let mut v = per_query_seconds.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| a.total_cmp(b));
         let trimmed = &v[5..v.len() - 5];
         let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
         Some(mean * target_queries as f64)
@@ -214,11 +214,7 @@ impl QueryWorkload {
     /// Returns `(easy, hard)` index vectors of length `min(n, len)`.
     pub fn split_easy_hard(scores: &[f64], n: usize) -> (Vec<usize>, Vec<usize>) {
         let mut idx: Vec<usize> = (0..scores.len()).collect();
-        idx.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         let n = n.min(idx.len());
         let easy = idx[..n].to_vec();
         let hard = idx[idx.len() - n..].to_vec();

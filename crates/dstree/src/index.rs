@@ -12,6 +12,7 @@ use hydra_core::{
 use hydra_storage::DatasetStore;
 use hydra_transforms::eapca::{uniform_segmentation, valid_segmentation, Eapca, EapcaSegment};
 use std::cmp::Ordering;
+// hydra-lint: allow(hash-iteration-order) replay map is keyed lookup only; never iterated
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
@@ -22,6 +23,7 @@ use std::sync::Arc;
 /// workers chose to precompute.
 enum LeafEval<'a> {
     Direct,
+    // hydra-lint: allow(hash-iteration-order) evidence fetched per leaf id; never iterated
     Replay(&'a HashMap<usize, Vec<Outcome>>),
 }
 
@@ -50,10 +52,7 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .lower_bound
-            .partial_cmp(&self.lower_bound)
-            .unwrap_or(Ordering::Equal)
+        other.lower_bound.total_cmp(&self.lower_bound)
     }
 }
 
@@ -194,8 +193,8 @@ impl TreeBuilder<'_> {
 /// for the frozen internal nodes, and the series of each frozen-leaf
 /// partition in dataset order.
 struct RoutedChunk {
-    absorbs: HashMap<usize, NodeSynopsis>,
-    partitions: HashMap<usize, Vec<u32>>,
+    absorbs: BTreeMap<usize, NodeSynopsis>,
+    partitions: BTreeMap<usize, Vec<u32>>,
 }
 
 impl DsTree {
@@ -272,8 +271,8 @@ impl DsTree {
             let nodes = &self.nodes;
             parallel::map_indexed(ranges.len(), threads, |ri| {
                 let mut chunk = RoutedChunk {
-                    absorbs: HashMap::new(),
-                    partitions: HashMap::new(),
+                    absorbs: BTreeMap::new(),
+                    partitions: BTreeMap::new(),
                 };
                 for offset in ranges[ri].clone() {
                     let id = (start + offset) as u32;
@@ -339,6 +338,7 @@ impl DsTree {
             let offset = self.nodes.len();
             let map_id = |child: usize| if child == 0 { leaf } else { offset + child - 1 };
             let mut local = local.into_iter();
+            // hydra-lint: allow(lib-unwrap) grow_partition always emits a root at local index 0
             let mut subtree_root = local.next().expect("partition subtree has a root");
             if let NodeKind::Internal { left, right, .. } = &mut subtree_root.kind {
                 *left = map_id(*left);
@@ -653,6 +653,7 @@ impl IntraAnswering for DsTree {
             }
             outcomes
         });
+        // hydra-lint: allow(hash-iteration-order) keyed lookup during serial replay; never iterated
         let recorded: HashMap<usize, Vec<Outcome>> = candidates.into_iter().zip(per_leaf).collect();
 
         // Phase C (serial): replay the exact serial traversal, deciding each

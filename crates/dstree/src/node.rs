@@ -343,9 +343,7 @@ pub fn choose_split(candidates: &[CandidateSplit]) -> Option<&CandidateSplit> {
     effective.into_iter().max_by(|a, b| {
         let score_a = a.balance() - if a.spec.is_vertical { 0.1 } else { 0.0 };
         let score_b = b.balance() - if b.spec.is_vertical { 0.1 } else { 0.0 };
-        score_a
-            .partial_cmp(&score_b)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        score_a.total_cmp(&score_b)
     })
 }
 

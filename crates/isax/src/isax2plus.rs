@@ -20,6 +20,7 @@ use hydra_core::{
 use hydra_storage::DatasetStore;
 use hydra_transforms::sax::{SaxParams, SaxWord};
 use std::cmp::Ordering;
+// hydra-lint: allow(hash-iteration-order) replay map is keyed lookup only; never iterated
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
@@ -30,6 +31,7 @@ use std::sync::Arc;
 /// workers chose to precompute.
 enum LeafEval<'a> {
     Direct,
+    // hydra-lint: allow(hash-iteration-order) evidence fetched per leaf id; never iterated
     Replay(&'a HashMap<NodeId, Vec<Outcome>>),
 }
 
@@ -58,10 +60,7 @@ impl PartialOrd for Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap.
-        other
-            .mindist
-            .partial_cmp(&self.mindist)
-            .unwrap_or(Ordering::Equal)
+        other.mindist.total_cmp(&self.mindist)
     }
 }
 
@@ -283,6 +282,7 @@ impl IntraAnswering for Isax2Plus {
             }
             out
         });
+        // hydra-lint: allow(hash-iteration-order) keyed lookup during serial replay; never iterated
         let recorded: HashMap<NodeId, Vec<Outcome>> =
             candidates.into_iter().zip(per_leaf).collect();
 

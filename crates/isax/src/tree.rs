@@ -10,6 +10,7 @@
 use hydra_core::persist::{SnapshotSink, SnapshotSource};
 use hydra_core::{parallel, Error, IndexFootprint, QueryStats, Result};
 use hydra_transforms::sax::{IsaxWord, SaxParams, SaxWord};
+// hydra-lint: allow(hash-iteration-order) key_index is slot lookup only; keys get sorted
 use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a node inside the tree's arena.
@@ -153,6 +154,7 @@ impl IsaxTree {
         // Group by root key, preserving the entry order inside each bucket;
         // sort the keys so the arena layout is deterministic.
         let mut buckets: Vec<RootBucket> = Vec::new();
+        // hydra-lint: allow(hash-iteration-order) slot lookup only; bucket keys are sorted below
         let mut key_index: HashMap<Vec<u16>, usize> = HashMap::new();
         for (id, sax) in entries {
             let key = tree.root_key(&sax);
@@ -246,6 +248,7 @@ impl IsaxTree {
             let depth = self.nodes[leaf].depth;
             let (left_word, right_word) = word
                 .split(segment)
+                // hydra-lint: allow(lib-unwrap) segment was chosen from the splittable set above
                 .expect("chosen segment must be splittable");
             let entries = match std::mem::replace(
                 &mut self.nodes[leaf].kind,

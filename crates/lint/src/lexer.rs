@@ -1,0 +1,502 @@
+//! A small hand-rolled Rust lexer, just precise enough for contract linting.
+//!
+//! The rules in this crate match *token* patterns, never raw text, so a
+//! `partial_cmp` inside a string literal, a `HashMap` inside a doc comment,
+//! or a `//` inside a string must not confuse them. This lexer understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, C strings, and raw
+//!   (byte) strings with arbitrary `#` fences (`r"…"`, `r##"…"##`, `br#"…"#`);
+//! * char literals vs lifetimes (`'a'` vs `'a`, including `'\''` escapes);
+//! * raw identifiers (`r#type`);
+//! * identifiers, numbers and single-character punctuation.
+//!
+//! It deliberately does **not** parse: no syntax tree, no macro expansion.
+//! Rules work over the flat token stream plus the comment list.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `partial_cmp`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `#`, …).
+    Punct,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A char literal `'x'`.
+    Char,
+    /// A numeric literal (integer part only; `1.5` lexes as `1` `.` `5`).
+    Num,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One code token with its location (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Byte offset of the token start in the source.
+    pub offset: usize,
+}
+
+/// One comment (line or block) with its location.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub col: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Source split into lines, for diagnostics' snippets (1-based access
+    /// via [`Lexed::line_text`]).
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// The trimmed text of a 1-based line number (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+
+    /// Whether any code token starts on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first code line strictly after `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > line)
+            .min()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens + comments. Never fails: unterminated literals
+/// or comments simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed {
+        lines: src.lines().map(|l| l.to_string()).collect(),
+        ..Lexed::default()
+    };
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut offset = 0usize; // byte offset of chars[i]
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances one char, maintaining line/col/byte-offset.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            offset += chars[i].len_utf8();
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let (start_line, start_col, start_off) = (line, col, offset);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.comments.push(Comment {
+                text: text.trim_start_matches('/').trim().to_string(),
+                line: start_line,
+                end_line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push(chars[i]);
+                    bump!();
+                    text.push(chars[i]);
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    text.push(chars[i]);
+                    bump!();
+                    text.push(chars[i]);
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            let trimmed = text
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            out.comments.push(Comment {
+                text: trimmed,
+                line: start_line,
+                end_line: line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings, all starting with a
+        // letter prefix: r"", r#""#, br"", b"", b'', c"".
+        if is_ident_start(c) {
+            // Collect the identifier first; then check whether it is a
+            // string prefix immediately followed by a quote or fence.
+            let mut ident = String::new();
+            while i < n && is_ident_continue(chars[i]) {
+                ident.push(chars[i]);
+                bump!();
+            }
+            let at_quote = i < n && (chars[i] == '"' || chars[i] == '\'' || chars[i] == '#');
+            let is_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+            if is_prefix && at_quote {
+                if chars[i] == '#'
+                    && ident.starts_with('r')
+                    && i + 1 < n
+                    && is_ident_start(chars[i + 1])
+                {
+                    // Raw identifier `r#type`: lex the identifier after the fence.
+                    bump!(); // '#'
+                    let mut raw = String::new();
+                    while i < n && is_ident_continue(chars[i]) {
+                        raw.push(chars[i]);
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: raw,
+                        line: start_line,
+                        col: start_col,
+                        offset: start_off,
+                    });
+                    continue;
+                }
+                if chars[i] == '#' || chars[i] == '"' {
+                    // Raw string with 0+ fences: count '#', expect '"', then
+                    // scan for '"' followed by the same number of '#'.
+                    let mut fences = 0usize;
+                    while i < n && chars[i] == '#' {
+                        fences += 1;
+                        bump!();
+                    }
+                    if i < n && chars[i] == '"' {
+                        bump!(); // opening quote
+                        loop {
+                            if i >= n {
+                                break;
+                            }
+                            if chars[i] == '"' {
+                                // Check the closing fence.
+                                let mut k = 0usize;
+                                while k < fences && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == fences {
+                                    bump!(); // closing quote
+                                    for _ in 0..fences {
+                                        bump!();
+                                    }
+                                    break;
+                                }
+                            }
+                            bump!();
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: start_line,
+                            col: start_col,
+                            offset: start_off,
+                        });
+                        continue;
+                    }
+                    // `r#` not followed by a quote (e.g. `r#[`): emit the
+                    // ident we read; the '#' will lex as punctuation later.
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: ident,
+                        line: start_line,
+                        col: start_col,
+                        offset: start_off,
+                    });
+                    continue;
+                }
+                if chars[i] == '\'' && ident == "b" {
+                    // Byte char literal b'x'.
+                    bump!(); // opening quote
+                    if i < n && chars[i] == '\\' {
+                        bump!();
+                        if i < n {
+                            bump!();
+                        }
+                    } else if i < n {
+                        bump!();
+                    }
+                    if i < n && chars[i] == '\'' {
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: start_line,
+                        col: start_col,
+                        offset: start_off,
+                    });
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: ident,
+                line: start_line,
+                col: start_col,
+                offset: start_off,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            bump!();
+            while i < n {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < n {
+                        bump!();
+                    }
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+                col: start_col,
+                offset: start_off,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            bump!();
+            if i < n && chars[i] == '\\' {
+                // Escaped char literal '\n', '\'', '\u{..}'.
+                bump!(); // backslash
+                if i < n {
+                    bump!(); // the escaped character itself (may be `'`)
+                }
+                while i < n && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < n {
+                    bump!(); // closing quote
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                    col: start_col,
+                    offset: start_off,
+                });
+            } else if i + 1 < n && chars[i + 1] == '\'' && chars[i] != '\'' {
+                // 'x'
+                bump!();
+                bump!();
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                    col: start_col,
+                    offset: start_off,
+                });
+            } else {
+                // Lifetime: 'ident or '_
+                let mut name = String::from("'");
+                while i < n && is_ident_continue(chars[i]) {
+                    name.push(chars[i]);
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line: start_line,
+                    col: start_col,
+                    offset: start_off,
+                });
+            }
+            continue;
+        }
+
+        // Number: digits plus alphanumeric continuation (covers 0xFF, 1_000,
+        // suffixes). `1.5` splits into `1` `.` `5`, which is fine for rules.
+        if c.is_ascii_digit() {
+            let mut num = String::new();
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                num.push(chars[i]);
+                bump!();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text: num,
+                line: start_line,
+                col: start_col,
+                offset: start_off,
+            });
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+            col: start_col,
+            offset: start_off,
+        });
+        bump!();
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let s = "partial_cmp // not a comment"; let t = s;"##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "t", "s"]);
+        // The `//` inside the string must not start a comment.
+        assert!(lex(src).comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"HashMap "quoted" inside"#; let u = r##"x"# still"##; done()"####;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "u", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let ids = idents(src);
+        assert_eq!(ids, ["a", "b"]);
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let s = 'static_lt; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static_lt"]);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 1; let r2 = r#type;");
+        assert_eq!(ids, ["let", "type", "let", "r2", "type"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ids = idents(r#"let a = b"bytes"; let c = b'x'; let s = c"cstr"; end()"#);
+        assert_eq!(ids, ["let", "a", "let", "c", "let", "s", "end"]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let lexed = lex("x // hydra-lint: allow(lib-unwrap) reason here\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(
+            lexed.comments[0].text,
+            "hydra-lint: allow(lib-unwrap) reason here"
+        );
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! `hydra-lint`: an offline contract checker for the Hydra workspace.
+//!
+//! Every PR since the seed has shipped hand-enforced invariants —
+//! bit-identical answers across thread counts, `total_cmp` over NaN-lossy
+//! `partial_cmp`, `BTreeMap` in traversal paths, counted I/O only through
+//! `DatasetStore`, typed errors at the engine boundary. This crate turns
+//! those conventions into machine-checked rules: a hand-rolled lexer
+//! (comment/string/raw-string aware — `syn` is unreachable offline) feeds a
+//! rule engine that walks every workspace `.rs` file and reports structured
+//! diagnostics.
+//!
+//! # Waivers
+//!
+//! A finding is waived in place, with a mandatory reason:
+//!
+//! ```text
+//! // hydra-lint: allow(hash-iteration-order) keyed lookups only; never iterated.
+//! let recorded: HashMap<usize, Vec<Outcome>> = ...;
+//! ```
+//!
+//! The waiver covers findings of that rule on the next code line (or on its
+//! own line, for trailing comments). A waiver with no reason, an unknown
+//! rule id, or one that waives nothing is itself a diagnostic
+//! (`bad-waiver`), so the audit trail cannot rot silently.
+//!
+//! # Scope
+//!
+//! The walker skips `target/` and `vendor/` (the vendored crates are
+//! offline stand-ins for external code, not part of the contract surface).
+//! Per-rule crate scoping lives in [`rules`]; see [`rules::RULES`] for the
+//! table the README mirrors.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{RuleInfo, RULES};
+
+/// One reported finding, after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (always one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// What is wrong at this site.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix findings of this rule.
+    pub hint: &'static str,
+    /// `Some(reason)` when an inline waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+impl Diagnostic {
+    /// Human-readable one-finding rendering.
+    pub fn render(&self) -> String {
+        let status = match &self.waived {
+            Some(reason) => format!("waived: {reason}"),
+            None => format!("help: {}", self.hint),
+        };
+        format!(
+            "{}:{}:{} [{}] {}\n    | {}\n    = {}",
+            self.file, self.line, self.col, self.rule, self.message, self.snippet, status
+        )
+    }
+}
+
+/// An inline `hydra-lint: allow(...)` waiver found in a file.
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    reason: String,
+    /// Line of the waiver comment itself.
+    line: u32,
+    col: u32,
+    /// The code line this waiver covers.
+    covers: Option<u32>,
+    used: bool,
+}
+
+const WAIVER_MARKER: &str = "hydra-lint:";
+
+/// Parses waivers out of a file's comments; malformed ones become
+/// `bad-waiver` findings immediately.
+fn parse_waivers(lexed: &lexer::Lexed, diags: &mut Vec<(u32, u32, String)>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in &lexed.comments {
+        // Only comments *starting* with the marker are waivers, so prose
+        // that merely mentions the syntax (like this crate's docs) is inert.
+        let Some(rest) = c.text.strip_prefix(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| {
+            r.find(')').map(|close| {
+                (
+                    r[..close].trim().to_string(),
+                    r[close + 1..].trim().to_string(),
+                )
+            })
+        });
+        let Some((rule, reason)) = parsed else {
+            diags.push((
+                c.line,
+                c.col,
+                "waiver must be written `hydra-lint: allow(<rule-id>) <reason>`".to_string(),
+            ));
+            continue;
+        };
+        if rules::rule_by_id(&rule).is_none() {
+            diags.push((c.line, c.col, format!("waiver names unknown rule `{rule}`")));
+            continue;
+        }
+        if reason.is_empty() {
+            diags.push((
+                c.line,
+                c.col,
+                format!("waiver for `{rule}` carries no reason"),
+            ));
+            continue;
+        }
+        // A trailing waiver (sharing its line with code) covers its own
+        // line; a standalone one covers the next code line.
+        let covers = if lexed.line_has_code(c.line) {
+            Some(c.line)
+        } else {
+            lexed.next_code_line(c.end_line)
+        };
+        waivers.push(Waiver {
+            rule,
+            reason,
+            line: c.line,
+            col: c.col,
+            covers,
+            used: false,
+        });
+    }
+    waivers
+}
+
+/// Lints one file's source. `rel_path` determines rule scoping (see
+/// [`rules::FileClass`]); use forward slashes.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let class = rules::FileClass::from_rel_path(rel_path);
+    let regions = rules::test_regions(&lexed);
+    let ctx = rules::FileContext {
+        class: &class,
+        lexed: &lexed,
+        test_regions: &regions,
+    };
+    let findings = rules::run_all(&ctx);
+
+    let mut bad_waivers: Vec<(u32, u32, String)> = Vec::new();
+    let mut waivers = parse_waivers(&lexed, &mut bad_waivers);
+
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for f in findings {
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.rule == f.rule && w.covers == Some(f.line))
+            .map(|w| {
+                w.used = true;
+                w.reason.clone()
+            });
+        let info = rules::rule_by_id(f.rule).expect("findings only use registered rules");
+        out.push(Diagnostic {
+            rule: f.rule,
+            file: rel_path.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            snippet: lexed.line_text(f.line).to_string(),
+            hint: info.hint,
+            waived,
+        });
+    }
+    // Stale waivers waive nothing: surface them so they get deleted.
+    for w in &waivers {
+        if !w.used {
+            bad_waivers.push((
+                w.line,
+                w.col,
+                format!("waiver for `{}` matches no finding (stale?)", w.rule),
+            ));
+        }
+    }
+    let bad_info = rules::rule_by_id("bad-waiver").expect("bad-waiver is registered");
+    for (line, col, message) in bad_waivers {
+        out.push(Diagnostic {
+            rule: "bad-waiver",
+            file: rel_path.to_string(),
+            line,
+            col,
+            message,
+            snippet: lexed.line_text(line).to_string(),
+            hint: bad_info.hint,
+            waived: None,
+        });
+    }
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// A whole-workspace lint run.
+#[derive(Debug)]
+pub struct Report {
+    pub root: PathBuf,
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Findings not covered by a waiver — these fail the build.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.waived.is_none())
+    }
+
+    /// Per-rule `(total, waived)` counts, in [`RULES`] order.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize, usize)> {
+        RULES
+            .iter()
+            .map(|r| {
+                let total = self.diagnostics.iter().filter(|d| d.rule == r.id).count();
+                let waived = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule == r.id && d.waived.is_some())
+                    .count();
+                (r.id, total, waived)
+            })
+            .collect()
+    }
+
+    /// The machine-readable report (uploaded as a CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"root\": {},\n  \"files_scanned\": {},\n",
+            json_str(&self.root.display().to_string()),
+            self.files_scanned
+        ));
+        s.push_str(&format!(
+            "  \"unwaived\": {},\n  \"waived\": {},\n",
+            self.unwaived().count(),
+            self.diagnostics.len() - self.unwaived().count()
+        ));
+        s.push_str("  \"rules\": {");
+        let counts = self.rule_counts();
+        for (i, (id, total, waived)) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {}: {{\"total\": {total}, \"waived\": {waived}}}",
+                json_str(id)
+            ));
+        }
+        s.push_str("\n  },\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}, \"snippet\": {}, \"hint\": {}, \"waived\": {}}}",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                d.col,
+                json_str(&d.message),
+                json_str(&d.snippet),
+                json_str(d.hint),
+                match &d.waived {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Directories the workspace walk never descends into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    ".github",
+    "results",
+    "snapshots",
+];
+
+/// Collects every lintable `.rs` file under `root`, workspace-relative,
+/// sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(lint_source(&rel, &src));
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(Report {
+        root: root.to_path_buf(),
+        files_scanned,
+        diagnostics,
+    })
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,150 @@
+//! CLI for the workspace contract checker.
+//!
+//! ```text
+//! cargo run -p hydra-lint -- --workspace              # lint the whole tree
+//! cargo run -p hydra-lint -- --workspace --json out.json
+//! cargo run -p hydra-lint -- crates/core/src/simd.rs  # lint specific files
+//! cargo run -p hydra-lint -- --list-rules
+//! ```
+//!
+//! Exit code is `1` when any **unwaived** diagnostic remains (`-D`
+//! semantics: the CI `contract-lint` job fails on it), `2` on usage or I/O
+//! errors, `0` on a clean tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: hydra-lint [--workspace] [--root DIR] [--json FILE] [--list-rules] [paths...]\n\
+     \n\
+     --workspace   lint every .rs file of the enclosing workspace (default\n\
+     \x20             when no paths are given)\n\
+     --root DIR    workspace root to scan (default: walk up from cwd)\n\
+     --json FILE   also write the full diagnostics report as JSON\n\
+     --list-rules  print the rule table and exit"
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut list_rules = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--list-rules" => list_rules = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a file argument\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory argument\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if list_rules {
+        for r in hydra_lint::RULES {
+            println!("{:<24} {}", r.id, r.summary);
+            println!("{:<24}   fix: {}", "", r.hint);
+            println!("{:<24}   why: {}", "", r.motivation);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match root_arg.or_else(|| hydra_lint::find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if paths.is_empty() {
+        match hydra_lint::lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        // Explicit files: lint each against its workspace-relative path so
+        // crate scoping still applies.
+        let mut diagnostics = Vec::new();
+        let files_scanned = paths.len();
+        for p in &paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                cwd.join(p)
+            };
+            let src = match std::fs::read_to_string(&abs) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", abs.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = abs
+                .strip_prefix(&root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            diagnostics.extend(hydra_lint::lint_source(&rel, &src));
+        }
+        hydra_lint::Report {
+            root: root.clone(),
+            files_scanned,
+            diagnostics,
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let unwaived: Vec<_> = report.unwaived().collect();
+    for d in &unwaived {
+        println!("{}\n", d.render());
+    }
+    let waived = report.diagnostics.len() - unwaived.len();
+    println!(
+        "hydra-lint: {} files scanned, {} unwaived finding(s), {} waived",
+        report.files_scanned,
+        unwaived.len(),
+        waived
+    );
+    if !unwaived.is_empty() {
+        println!("run `cargo run -p hydra-lint -- --list-rules` for fix hints");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

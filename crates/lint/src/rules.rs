@@ -1,0 +1,550 @@
+//! The contract rules and the per-file context they run against.
+//!
+//! Each rule is a pure function from lexed tokens (plus the file's
+//! classification and test-region map) to raw findings. Scoping — which
+//! crates and which parts of a file a rule applies to — lives here too, so
+//! the rule table below is the single source of truth the README mirrors.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Machine-readable description of one rule.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Stable rule id, used in diagnostics and `allow(...)` waivers.
+    pub id: &'static str,
+    /// One-line description of what the rule flags.
+    pub summary: &'static str,
+    /// How to fix a finding.
+    pub hint: &'static str,
+    /// The past bug or contract that motivates the rule.
+    pub motivation: &'static str,
+}
+
+/// Every rule this linter knows, in reporting order.
+///
+/// The README "Contract lints" table is asserted against this list by a
+/// drift test, so additions must update both.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "float-partial-cmp",
+        summary: "NaN-lossy `partial_cmp().unwrap{,_or,_or_else}()` / `.expect()` on float comparisons",
+        hint: "use `f32::total_cmp`/`f64::total_cmp` for a total, deterministic order",
+        motivation: "PR 3 bug class: a NaN bound made VA+file refinement order nondeterministic",
+    },
+    RuleInfo {
+        id: "hash-iteration-order",
+        summary: "`HashMap`/`HashSet` in index/traversal crates, where iteration order can leak into answers or serialized bytes",
+        hint: "use `BTreeMap`/`BTreeSet`, or waive with a proof the map is never iterated order-sensitively",
+        motivation: "PR 3 moved iSAX root children and SFA trie children to BTreeMap so identical structures traverse identically",
+    },
+    RuleInfo {
+        id: "uncounted-fs",
+        summary: "`std::fs` referenced outside `hydra_storage` library code",
+        hint: "route file I/O through `DatasetStore`/`hydra_storage::snapshot` so it is counted, or waive measurement-output writes",
+        motivation: "the paper's methodology: every byte the answering path touches must appear in the I/O counters",
+    },
+    RuleInfo {
+        id: "undocumented-unsafe",
+        summary: "`unsafe` block/fn/impl without an adjacent `// SAFETY:` comment",
+        hint: "state the invariant that makes the operation sound in a `// SAFETY:` comment directly above",
+        motivation: "the `hydra_core::simd` kernels shipped 18 uncommented unsafe blocks in PR 6",
+    },
+    RuleInfo {
+        id: "lib-unwrap",
+        summary: "`unwrap`/`expect`/`panic!` in non-test library code of `hydra-core` and the ten method crates",
+        hint: "return a typed `hydra_core::Error` (the boundary contract since PR 7), or waive a documented internal invariant",
+        motivation: "PR 7 made typed errors the engine boundary contract; method panics are caught as Error::Internal",
+    },
+    RuleInfo {
+        id: "nondeterministic-source",
+        summary: "wall-clock (`Instant::now`/`SystemTime`) or thread-identity sources inside answering-path crates",
+        hint: "answers must be pure functions of (dataset, query, options); waive measurement-only clocks with a reason",
+        motivation: "PR 2/6 determinism contract: bit-identical answers and counters for every thread count",
+    },
+    RuleInfo {
+        id: "bad-waiver",
+        summary: "malformed `hydra-lint: allow(...)` waiver: unknown rule, missing reason, or waiving nothing",
+        hint: "write `// hydra-lint: allow(<rule-id>) <reason>` directly above the waived line, and delete stale waivers",
+        motivation: "waivers are part of the audit trail; an unreasoned or stale waiver hides a contract hole",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Crates whose non-test library code must not panic (`lib-unwrap`):
+/// `hydra-core` plus the crates implementing the ten answering methods.
+pub const NO_PANIC_CRATES: &[&str] = &[
+    "core", "scan", "vafile", "rtree", "mtree", "sfa", "dstree", "isax",
+];
+
+/// Crates on the answering/build/persistence path, where iteration order
+/// and nondeterministic sources can leak into answers, counters or
+/// snapshot bytes (`hash-iteration-order`, `nondeterministic-source`).
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "core",
+    "storage",
+    "scan",
+    "vafile",
+    "rtree",
+    "mtree",
+    "sfa",
+    "dstree",
+    "isax",
+    "transforms",
+];
+
+/// How a file is classified for rule scoping, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// `Some("core")` for `crates/core/...`, `None` for `tests/`,
+    /// `examples/` and anything else.
+    pub crate_name: Option<String>,
+    /// Binary / bench targets (`src/bin/`, `benches/`): CLI entry points
+    /// and measurement harnesses, not library answering paths.
+    pub is_bin: bool,
+    /// Whole-file test code: the integration `tests/` crate, `examples/`,
+    /// and per-crate `tests/` directories.
+    pub is_test_file: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn from_rel_path(rel: &str) -> Self {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(|s| s.to_string());
+        let is_bin = rel.contains("/src/bin/") || rel.contains("/benches/");
+        let is_test_file =
+            rel.starts_with("tests/") || rel.starts_with("examples/") || rel.contains("/tests/");
+        FileClass {
+            crate_name,
+            is_bin,
+            is_test_file,
+        }
+    }
+
+    fn crate_is(&self, set: &[&str]) -> bool {
+        self.crate_name.as_deref().is_some_and(|c| set.contains(&c))
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items, so rules can skip
+/// test code inside library files.
+pub fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Match `#` `[` ... `]` and look for `test` inside the attribute.
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let attr_start = toks[i].offset;
+            let mut j = i + 1;
+            // Optional inner-attribute bang `#![...]`.
+            if j < toks.len() && toks[j].text == "!" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let mut depth = 1usize;
+                let mut is_test_attr = false;
+                let mut saw_cfg = false;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        "cfg" | "cfg_attr" if toks[j].kind == TokKind::Ident => saw_cfg = true,
+                        // `#[test]` or `test` appearing inside `#[cfg(...)]`.
+                        "test" if toks[j].kind == TokKind::Ident && (saw_cfg || depth == 1) => {
+                            is_test_attr = true;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_test_attr {
+                    // The attached item runs to its matching close brace, or
+                    // to the first top-level `;` for brace-less items.
+                    let mut k = j;
+                    let mut brace_depth = 0usize;
+                    let mut end = None;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "{" => brace_depth += 1,
+                            "}" => {
+                                brace_depth -= 1;
+                                if brace_depth == 0 {
+                                    end = Some(toks[k].offset + 1);
+                                    break;
+                                }
+                            }
+                            ";" if brace_depth == 0 => {
+                                end = Some(toks[k].offset + 1);
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let end = end
+                        .unwrap_or_else(|| toks.last().map(|t| t.offset + 1).unwrap_or(attr_start));
+                    regions.push((attr_start, end));
+                    // Continue scanning *after* this region.
+                    i = k.max(j);
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// A raw finding before waiver application.
+#[derive(Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Context handed to every rule for one file.
+pub struct FileContext<'a> {
+    pub class: &'a FileClass,
+    pub lexed: &'a Lexed,
+    pub test_regions: &'a [(usize, usize)],
+}
+
+impl FileContext<'_> {
+    fn in_test(&self, offset: usize) -> bool {
+        self.class.is_test_file || in_regions(self.test_regions, offset)
+    }
+}
+
+fn ident_at<'t>(toks: &'t [Token], i: usize, text: &str) -> Option<&'t Token> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Skips a balanced `(...)` group starting at `open` (which must index a
+/// `(`), returning the index just past the matching `)`.
+fn skip_parens(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `float-partial-cmp`: `.partial_cmp(..)` whose result is immediately
+/// force-unwrapped, collapsing NaN into an arbitrary ordering.
+pub fn check_float_partial_cmp(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ident_at(toks, i, "partial_cmp").is_none() {
+            continue;
+        }
+        // Skip the `fn partial_cmp` definitions of PartialOrd impls.
+        if i > 0 && ident_at(toks, i - 1, "fn").is_some() {
+            continue;
+        }
+        if !punct_at(toks, i + 1, "(") {
+            continue;
+        }
+        let after = skip_parens(toks, i + 1);
+        if punct_at(toks, after, ".") {
+            if let Some(t) = toks.get(after + 1) {
+                if t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "unwrap" | "unwrap_or" | "unwrap_or_else" | "expect"
+                    )
+                {
+                    out.push(Finding {
+                        rule: "float-partial-cmp",
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        message: format!(
+                            "`partial_cmp(..).{}(..)` loses NaN into an arbitrary ordering",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `hash-iteration-order`: `HashMap`/`HashSet` mentioned in non-test code
+/// of determinism-critical crates.
+pub fn check_hash_iteration_order(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.class.crate_is(DETERMINISM_CRATES) || ctx.class.is_bin {
+        return;
+    }
+    for t in &ctx.lexed.tokens {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(t.offset)
+        {
+            out.push(Finding {
+                rule: "hash-iteration-order",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in a determinism-critical crate: iteration order is seeded per process",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `uncounted-fs`: `std::fs` referenced outside `hydra_storage` library
+/// code (bins and tests excluded: they are harness entry points).
+pub fn check_uncounted_fs(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    match ctx.class.crate_name.as_deref() {
+        // The storage crate is the counted-I/O boundary; the lint crate is
+        // offline tooling that exists to read sources directly.
+        Some("storage") | Some("lint") | None => return,
+        _ => {}
+    }
+    if ctx.class.is_bin || ctx.class.is_test_file {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ident_at(toks, i, "std").is_some()
+            && punct_at(toks, i + 1, ":")
+            && punct_at(toks, i + 2, ":")
+            && ident_at(toks, i + 3, "fs").is_some()
+            && !ctx.in_test(toks[i].offset)
+        {
+            out.push(Finding {
+                rule: "uncounted-fs",
+                line: toks[i].line,
+                col: toks[i].col,
+                message: "`std::fs` bypasses the counted-I/O `DatasetStore` boundary".to_string(),
+            });
+        }
+    }
+}
+
+/// `undocumented-unsafe`: an `unsafe` token with no `// SAFETY:` comment
+/// directly above it (attributes and further comments may sit between).
+pub fn check_undocumented_unsafe(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    let lexed = ctx.lexed;
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        if has_adjacent_safety_comment(lexed, t, i) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "undocumented-unsafe",
+            line: t.line,
+            col: t.col,
+            message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+        });
+    }
+}
+
+/// Walks upward from the `unsafe` token over comment and attribute lines
+/// looking for a `SAFETY:` comment; also accepts one trailing on the same
+/// line. A blank line or an unrelated code line ends the search.
+fn has_adjacent_safety_comment(lexed: &Lexed, tok: &Token, tok_idx: usize) -> bool {
+    let safety_on = |line: u32| {
+        lexed
+            .comments
+            .iter()
+            .any(|c| c.end_line == line && c.text.contains("SAFETY"))
+    };
+    // Trailing comment on the same line.
+    if safety_on(tok.line) {
+        return true;
+    }
+    // The `unsafe` keyword may sit mid-line (`let x = unsafe { .. }`,
+    // `Kernel::Sse2 => unsafe { .. }`): adjacency is measured from the line
+    // the enclosing expression starts on, so also accept a comment above
+    // the first line of the statement. Walk upward from the token line.
+    let mut line = tok.line;
+    loop {
+        if line == 1 {
+            return false;
+        }
+        line -= 1;
+        if safety_on(line) {
+            return true;
+        }
+        let has_code = lexed.line_has_code(line);
+        let is_comment_line = lexed
+            .comments
+            .iter()
+            .any(|c| c.line <= line && c.end_line >= line);
+        if has_code {
+            // Attribute lines (`#[...]`) are passable; so is the opening of
+            // the statement this `unsafe` belongs to (same statement,
+            // detected as: no `;`, `}` or `{` token on that line before our
+            // token — approximated by allowing lines whose first token is
+            // `#`). Everything else ends the search.
+            let first = lexed
+                .tokens
+                .iter()
+                .find(|t2| t2.line == line)
+                .map(|t2| t2.text.as_str());
+            if first == Some("#") {
+                continue;
+            }
+            // Allow the continuation case: the unsafe token is not the
+            // first token of its own line and the previous line is part of
+            // the same statement. Only step through it when the current
+            // line doesn't terminate a statement.
+            let line_of_unsafe_starts_stmt = lexed
+                .tokens
+                .iter()
+                .find(|t2| t2.line == tok.line)
+                .map(|t2| t2.offset == tok.offset)
+                .unwrap_or(false);
+            let _ = tok_idx;
+            if !line_of_unsafe_starts_stmt {
+                let terminates = lexed
+                    .tokens
+                    .iter()
+                    .filter(|t2| t2.line == line)
+                    .any(|t2| matches!(t2.text.as_str(), ";" | "{" | "}"));
+                if !terminates {
+                    continue;
+                }
+            }
+            return false;
+        }
+        if !is_comment_line {
+            // Blank line: stop.
+            return false;
+        }
+        // Comment line without SAFETY: keep walking up.
+    }
+}
+
+/// `lib-unwrap`: `.unwrap()` / `.expect(..)` / `panic!(..)` in non-test
+/// library code of the no-panic crates.
+pub fn check_lib_unwrap(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.class.crate_is(NO_PANIC_CRATES) || ctx.class.is_bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.offset) {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "unwrap" | "expect" => i > 0 && punct_at(toks, i - 1, "."),
+            "panic" => punct_at(toks, i + 1, "!"),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                rule: "lib-unwrap",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in library code: typed `hydra_core::Error` is the boundary contract",
+                    if t.text == "panic" {
+                        "panic!"
+                    } else {
+                        t.text.as_str()
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// `nondeterministic-source`: wall clocks and thread identity in
+/// determinism-critical crates.
+pub fn check_nondeterministic_source(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !ctx.class.crate_is(DETERMINISM_CRATES) || ctx.class.is_bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || ctx.in_test(t.offset) {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            // `Instant::now()` — the field type `Instant` alone is fine.
+            "Instant"
+                if punct_at(toks, i + 1, ":")
+                    && punct_at(toks, i + 2, ":")
+                    && ident_at(toks, i + 3, "now").is_some() =>
+            {
+                Some("`Instant::now()` reads the wall clock")
+            }
+            "SystemTime" => Some("`SystemTime` reads the wall clock"),
+            "ThreadId" => Some("`ThreadId` makes logic depend on thread identity"),
+            // `thread::current().id()`
+            "current"
+                if i >= 3
+                    && ident_at(toks, i - 3, "thread").is_some()
+                    && punct_at(toks, i + 1, "(")
+                    && punct_at(toks, i + 2, ")")
+                    && punct_at(toks, i + 3, ".")
+                    && ident_at(toks, i + 4, "id").is_some() =>
+            {
+                Some("`thread::current().id()` makes logic depend on thread identity")
+            }
+            _ => None,
+        };
+        if let Some(msg) = what {
+            out.push(Finding {
+                rule: "nondeterministic-source",
+                line: t.line,
+                col: t.col,
+                message: format!("{msg} inside an answering-path crate"),
+            });
+        }
+    }
+}
+
+/// Runs every rule over one file context.
+pub fn run_all(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_float_partial_cmp(ctx, &mut out);
+    check_hash_iteration_order(ctx, &mut out);
+    check_uncounted_fs(ctx, &mut out);
+    check_undocumented_unsafe(ctx, &mut out);
+    check_lib_unwrap(ctx, &mut out);
+    check_nondeterministic_source(ctx, &mut out);
+    // One finding per (rule, line): a single waiver covers e.g. both
+    // `HashMap` mentions of `let m: HashMap<..> = HashMap::new()`.
+    out.sort_by_key(|f| (f.line, f.rule, f.col));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out.sort_by_key(|f| (f.line, f.col));
+    out
+}

@@ -1,0 +1,388 @@
+//! Fixture-driven rule tests: for every rule, one snippet that must trip it
+//! and one nearby snippet that must not, plus the waiver lifecycle and the
+//! README drift check. Snippets live in raw strings, so linting this file
+//! itself never produces findings (rules match tokens, not text).
+
+use hydra_lint::{lint_source, RULES};
+
+/// Unwaived rule ids triggered by `src` when classified as `rel_path`.
+fn fired(rel_path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(rel_path, src)
+        .into_iter()
+        .filter(|d| d.waived.is_none())
+        .map(|d| d.rule)
+        .collect()
+}
+
+const CORE_PATH: &str = "crates/core/src/sample.rs";
+const BENCH_PATH: &str = "crates/bench/src/sample.rs";
+
+// ---------------------------------------------------------------------------
+// float-partial-cmp
+// ---------------------------------------------------------------------------
+
+#[test]
+fn float_partial_cmp_bad() {
+    let src = r#"
+fn f(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+"#;
+    // Linted in the harness crate so lib-unwrap stays out of the picture:
+    // this rule has no crate scoping.
+    assert_eq!(fired(BENCH_PATH, src), vec!["float-partial-cmp"]);
+}
+
+#[test]
+fn float_partial_cmp_unwrap_or_variants_bad() {
+    let src = r#"
+fn f(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+fn g(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("comparable")
+}
+"#;
+    assert_eq!(
+        fired(BENCH_PATH, src),
+        vec!["float-partial-cmp", "float-partial-cmp"]
+    );
+}
+
+#[test]
+fn float_partial_cmp_good_total_cmp() {
+    let src = r#"
+fn f(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+"#;
+    assert!(fired(CORE_PATH, src).is_empty());
+}
+
+#[test]
+fn float_partial_cmp_fires_even_in_tests() {
+    // A NaN-lossy comparator in a test weakens the oracle, so the rule has
+    // no test exemption.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut v = vec![1.0f32];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+"#;
+    assert_eq!(fired(BENCH_PATH, src), vec!["float-partial-cmp"]);
+}
+
+#[test]
+fn float_partial_cmp_definition_is_not_a_call() {
+    // Implementing PartialOrd mentions `partial_cmp` as a fn name.
+    let src = r#"
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+"#;
+    assert!(fired(CORE_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// hash-iteration-order
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hash_iteration_order_bad() {
+    let src = r#"
+use std::collections::HashMap;
+pub struct S {
+    map: HashMap<u32, f64>,
+}
+"#;
+    assert_eq!(
+        fired(CORE_PATH, src),
+        vec!["hash-iteration-order", "hash-iteration-order"]
+    );
+}
+
+#[test]
+fn hash_iteration_order_good_btreemap_and_out_of_scope_crate() {
+    let btree = r#"
+use std::collections::BTreeMap;
+pub struct S {
+    map: BTreeMap<u32, f64>,
+}
+"#;
+    assert!(fired(CORE_PATH, btree).is_empty());
+    // The bench harness is not a determinism-critical crate.
+    let hash = r#"
+use std::collections::HashMap;
+"#;
+    assert!(fired(BENCH_PATH, hash).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// uncounted-fs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn uncounted_fs_bad() {
+    let src = r#"
+pub fn slurp(p: &std::path::Path) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+"#;
+    assert_eq!(
+        fired("crates/scan/src/sample.rs", src),
+        vec!["uncounted-fs"]
+    );
+}
+
+#[test]
+fn uncounted_fs_good_in_storage_tests_and_bins() {
+    let src = r#"
+pub fn slurp(p: &std::path::Path) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+"#;
+    // storage is the counted-I/O boundary; tests and bins are harness-side.
+    assert!(fired("crates/storage/src/sample.rs", src).is_empty());
+    assert!(fired("tests/sample.rs", src).is_empty());
+    assert!(fired("crates/bench/src/bin/sample.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// undocumented-unsafe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn undocumented_unsafe_bad() {
+    let src = r#"
+fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["undocumented-unsafe"]);
+}
+
+#[test]
+fn undocumented_unsafe_good_with_safety_comment() {
+    let src = r#"
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+"#;
+    assert!(fired(CORE_PATH, src).is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_safety_comment_passes_through_attributes() {
+    let src = r#"
+// SAFETY: callers must run this on a CPU with the feature enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel() {}
+"#;
+    assert!(fired(CORE_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// lib-unwrap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lib_unwrap_bad() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+pub fn g() {
+    panic!("boom");
+}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["lib-unwrap", "lib-unwrap"]);
+}
+
+#[test]
+fn lib_unwrap_good_in_tests_and_harness() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::f(Some(1)), 1);
+        None::<u32>.unwrap_or_default();
+        Some(2u32).unwrap();
+    }
+}
+"#;
+    // bench is harness code: panics abort a run, not an answer.
+    assert!(fired(BENCH_PATH, src).is_empty());
+    // In core, only the non-test fn fires — the #[cfg(test)] module is exempt.
+    assert_eq!(fired(CORE_PATH, src), vec!["lib-unwrap"]);
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic-source
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nondeterministic_source_bad() {
+    let src = r#"
+use std::time::Instant;
+pub fn f() -> std::time::Duration {
+    let t = Instant::now();
+    t.elapsed()
+}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["nondeterministic-source"]);
+}
+
+#[test]
+fn nondeterministic_source_good_in_harness() {
+    let src = r#"
+use std::time::Instant;
+pub fn f() -> std::time::Duration {
+    let t = Instant::now();
+    t.elapsed()
+}
+"#;
+    assert!(fired(BENCH_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Strings and comments are invisible to rules
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rules_ignore_strings_and_comments() {
+    let src = r##"
+// This mentions HashMap, partial_cmp().unwrap() and std::fs::read.
+/* unsafe { Instant::now() } */
+pub fn f() -> &'static str {
+    "HashMap std::fs unsafe partial_cmp unwrap Instant::now()"
+}
+pub fn g() -> &'static str {
+    r#"SystemTime panic!() .expect("...")"#
+}
+"##;
+    assert!(fired(CORE_PATH, src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn waiver_suppresses_finding_and_keeps_reason() {
+    let src = r#"
+// hydra-lint: allow(hash-iteration-order) membership tests only; never iterated
+use std::collections::HashSet;
+"#;
+    let diags = lint_source(CORE_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "hash-iteration-order");
+    assert_eq!(
+        diags[0].waived.as_deref(),
+        Some("membership tests only; never iterated")
+    );
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // hydra-lint: allow(lib-unwrap) invariant: x is Some here
+}
+"#;
+    let diags = lint_source(CORE_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].waived.is_some());
+}
+
+#[test]
+fn waiver_without_reason_is_bad() {
+    let src = r#"
+// hydra-lint: allow(lib-unwrap)
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    let mut rules = fired(CORE_PATH, src);
+    rules.sort();
+    assert_eq!(rules, vec!["bad-waiver", "lib-unwrap"]);
+}
+
+#[test]
+fn waiver_for_unknown_rule_is_bad() {
+    let src = r#"
+// hydra-lint: allow(no-such-rule) because reasons
+pub fn f() {}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["bad-waiver"]);
+}
+
+#[test]
+fn stale_waiver_is_bad() {
+    let src = r#"
+// hydra-lint: allow(lib-unwrap) nothing here actually unwraps
+pub fn f() {}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["bad-waiver"]);
+}
+
+#[test]
+fn waiver_only_covers_adjacent_line() {
+    // The waiver is two code lines away from the unwrap: it must not apply,
+    // which yields both the finding and a stale-waiver diagnostic.
+    let src = r#"
+// hydra-lint: allow(lib-unwrap) too far away to count
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    let mut rules = fired(CORE_PATH, src);
+    rules.sort();
+    assert_eq!(rules, vec!["bad-waiver", "lib-unwrap"]);
+}
+
+// ---------------------------------------------------------------------------
+// README drift
+// ---------------------------------------------------------------------------
+
+#[test]
+fn readme_rule_table_matches_registry() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README is readable");
+    let section = readme
+        .split("## Contract lints")
+        .nth(1)
+        .expect("README has a Contract lints section");
+    let section = section.split("\n## ").next().unwrap_or(section);
+    let documented: Vec<&str> = section
+        .lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("| `")?;
+            Some(&rest[..rest.find('`')?])
+        })
+        .collect();
+    for rule in RULES {
+        assert!(
+            documented.contains(&rule.id),
+            "rule `{}` is missing from the README contract-lint table",
+            rule.id
+        );
+    }
+    for id in &documented {
+        assert!(
+            RULES.iter().any(|r| r.id == *id),
+            "README documents `{id}`, which is not a registered rule"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! The workspace must lint clean: zero unwaived findings, and every waiver
+//! carries the reason the rule table demands. This is the same gate CI runs
+//! via `cargo run -p hydra-lint -- --workspace`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = hydra_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let report = hydra_lint::lint_workspace(&root).expect("workspace lints");
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    let unwaived: Vec<String> = report.unwaived().map(|d| d.render()).collect();
+    assert!(
+        unwaived.is_empty(),
+        "unwaived contract-lint findings:\n{}",
+        unwaived.join("\n")
+    );
+    // Belt and braces: every waiver that made it through parsing has a
+    // nonempty reason (parse rejects empty ones as bad-waiver).
+    for d in &report.diagnostics {
+        if let Some(reason) = &d.waived {
+            assert!(
+                !reason.trim().is_empty(),
+                "empty waiver reason at {}",
+                d.file
+            );
+        }
+    }
+}

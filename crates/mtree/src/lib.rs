@@ -80,10 +80,7 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .lower_bound
-            .partial_cmp(&self.lower_bound)
-            .unwrap_or(Ordering::Equal)
+        other.lower_bound.total_cmp(&self.lower_bound)
     }
 }
 

@@ -176,10 +176,7 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .lower_bound
-            .partial_cmp(&self.lower_bound)
-            .unwrap_or(Ordering::Equal)
+        other.lower_bound.total_cmp(&self.lower_bound)
     }
 }
 
@@ -369,11 +366,7 @@ impl RStarTree {
             NodeKind::Leaf { mut entries } => {
                 let (axis, split_at) =
                     choose_split(&entries, dims, |e| &e.point, self.leaf_capacity);
-                entries.sort_by(|a, b| {
-                    a.point[axis]
-                        .partial_cmp(&b.point[axis])
-                        .unwrap_or(Ordering::Equal)
-                });
+                entries.sort_by(|a, b| a.point[axis].total_cmp(&b.point[axis]));
                 let right_entries = entries.split_off(split_at);
                 // Reuse the original slot for the left half so no stale node
                 // remains in the arena.
@@ -406,11 +399,7 @@ impl RStarTree {
                     children.iter().copied().zip(centers).collect();
                 let (axis, split_at) = choose_split(&indexed, dims, |e| &e.1, self.fanout);
                 let mut order: Vec<usize> = (0..children.len()).collect();
-                order.sort_by(|&a, &b| {
-                    indexed[a].1[axis]
-                        .partial_cmp(&indexed[b].1[axis])
-                        .unwrap_or(Ordering::Equal)
-                });
+                order.sort_by(|&a, &b| indexed[a].1[axis].total_cmp(&indexed[b].1[axis]));
                 let left_children: Vec<usize> =
                     order[..split_at].iter().map(|&i| children[i]).collect();
                 let right_children: Vec<usize> =
@@ -498,11 +487,7 @@ fn choose_split<T>(
     let mut best_split_for_axis = vec![min_fill; dims];
     for (axis, axis_best_split) in best_split_for_axis.iter_mut().enumerate() {
         let mut order: Vec<usize> = (0..len).collect();
-        order.sort_by(|&a, &b| {
-            point_of(&entries[a])[axis]
-                .partial_cmp(&point_of(&entries[b])[axis])
-                .unwrap_or(Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| point_of(&entries[a])[axis].total_cmp(&point_of(&entries[b])[axis]));
         let mut margin_sum = 0.0f64;
         let mut best_overlap = f64::INFINITY;
         let mut best_area = f64::INFINITY;
@@ -729,6 +714,40 @@ mod tests {
             "a 500-entry tree must have internal nodes"
         );
         assert_eq!(fp.disk_bytes, 500 * 64 * 4);
+    }
+
+    #[test]
+    fn build_and_query_tolerate_nan_series() {
+        // Regression: the axis sorts of the R*-tree split and the frontier
+        // ordering use `total_cmp`, so one corrupt (all-NaN) series must
+        // neither panic the build nor make answers run-to-run unstable.
+        let len = 32usize;
+        let mut values = Vec::new();
+        for s in RandomWalkGenerator::new(23, len).series_batch(40) {
+            values.extend_from_slice(s.values());
+        }
+        for v in &mut values[5 * len..6 * len] {
+            *v = f32::NAN;
+        }
+        let store = Arc::new(DatasetStore::new(hydra_core::series::Dataset::from_flat(
+            values, len,
+        )));
+        let options = BuildOptions::default()
+            .with_segments(8)
+            .with_leaf_capacity(8);
+        let idx = RStarTree::build_on_store(store, &options).unwrap();
+        assert_eq!(idx.num_entries(), 40);
+        let q = RandomWalkGenerator::new(99, len).series(1);
+        let first = idx.answer_simple(&Query::knn(q.clone(), 3)).unwrap();
+        let again = idx.answer_simple(&Query::knn(q, 3)).unwrap();
+        assert_eq!(first.len(), 3);
+        let ids =
+            |a: &hydra_core::knn::AnswerSet| -> Vec<usize> { a.iter().map(|ans| ans.id).collect() };
+        assert_eq!(ids(&first), ids(&again), "NaN must not destabilize answers");
+        assert!(
+            ids(&first).iter().all(|&id| id != 5),
+            "NaN series cannot win"
+        );
     }
 
     #[test]

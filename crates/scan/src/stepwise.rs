@@ -163,7 +163,7 @@ impl Stepwise {
             best_upper
         } else {
             let mut ub: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
-            ub.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            ub.sort_by(|a, b| a.total_cmp(b));
             ub.get(k - 1).copied().unwrap_or(best_upper)
         };
         for (flag, p_sq) in alive.iter_mut().zip(prefix_sq.iter()) {

@@ -24,6 +24,7 @@ use hydra_core::{
 use hydra_storage::DatasetStore;
 use hydra_transforms::{BinningMethod, SfaParams, SfaQuantizer, SfaWord};
 use std::cmp::Ordering;
+// hydra-lint: allow(hash-iteration-order) replay map is keyed lookup only; never iterated
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
@@ -34,6 +35,7 @@ use std::sync::Arc;
 /// workers chose to precompute.
 enum LeafEval<'a> {
     Direct,
+    // hydra-lint: allow(hash-iteration-order) evidence fetched per leaf id; never iterated
     Replay(&'a HashMap<usize, Vec<Outcome>>),
 }
 
@@ -85,10 +87,7 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .lower_bound
-            .partial_cmp(&self.lower_bound)
-            .unwrap_or(Ordering::Equal)
+        other.lower_bound.total_cmp(&self.lower_bound)
     }
 }
 
@@ -562,6 +561,7 @@ impl IntraAnswering for SfaTrie {
             }
             outcomes
         });
+        // hydra-lint: allow(hash-iteration-order) keyed lookup during serial replay; never iterated
         let recorded: HashMap<usize, Vec<Outcome>> = candidates.into_iter().zip(per_leaf).collect();
 
         // Phase C (serial): replay the exact serial traversal, deciding each

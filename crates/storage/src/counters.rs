@@ -20,9 +20,11 @@
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
+// hydra-lint: allow(hash-iteration-order) shard values are summed; u64 addition commutes
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+// hydra-lint: allow(nondeterministic-source) thread ids only shard counters; sums commute
 use std::thread::{self, ThreadId};
 
 // The snapshot type lives in `hydra-core` (the query engine aggregates it
@@ -53,6 +55,8 @@ fn add(total: &mut IoSnapshot, part: &IoSnapshot) {
 
 #[derive(Debug, Default)]
 struct Registry {
+    // hydra-lint: allow(nondeterministic-source) thread id keys shard the counters; sums commute
+    // hydra-lint: allow(hash-iteration-order) iterated only to sum u64 counters, which commutes
     shards: HashMap<ThreadId, Arc<Mutex<Shard>>>,
     /// Traffic of exited threads, folded in when their shards are collected.
     orphaned: IoSnapshot,
@@ -145,6 +149,7 @@ impl IoCounters {
                 registry.collect_orphans();
                 registry
                     .shards
+                    // hydra-lint: allow(nondeterministic-source) selects the calling thread's shard; totals unaffected
                     .entry(thread::current().id())
                     .or_default()
                     .clone()

@@ -111,10 +111,10 @@ pub fn sax_breakpoints(alphabet_size: usize) -> Vec<f64> {
 /// sorted breakpoint list: symbol `s` covers `(breakpoints[s-1], breakpoints[s]]`.
 #[inline]
 pub fn symbol_for_value(value: f64, breakpoints: &[f64]) -> usize {
-    // Binary search for the first breakpoint >= value.
-    match breakpoints
-        .binary_search_by(|b| b.partial_cmp(&value).unwrap_or(std::cmp::Ordering::Less))
-    {
+    // Binary search for the first breakpoint >= value. `total_cmp` keeps the
+    // probe order total even for NaN input (NaN sorts above +inf, so it maps
+    // to the last region deterministically).
+    match breakpoints.binary_search_by(|b| b.total_cmp(&value)) {
         Ok(i) => i,
         Err(i) => i,
     }
@@ -181,6 +181,17 @@ mod tests {
         assert_eq!(symbol_for_value(-0.5, &bp), 1);
         assert_eq!(symbol_for_value(0.5, &bp), 2);
         assert_eq!(symbol_for_value(10.0, &bp), 3);
+    }
+
+    #[test]
+    fn symbol_for_value_handles_nan_and_infinities() {
+        // Regression: the breakpoint probe uses `total_cmp`, under which NaN
+        // sorts above +inf — a NaN value lands in the last region every
+        // time instead of panicking or varying by probe order.
+        let bp = sax_breakpoints(8);
+        assert_eq!(symbol_for_value(f64::NAN, &bp), bp.len());
+        assert_eq!(symbol_for_value(f64::INFINITY, &bp), bp.len());
+        assert_eq!(symbol_for_value(f64::NEG_INFINITY, &bp), 0);
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl SfaQuantizer {
             .into_iter()
             .map(|mut col| match params.binning {
                 BinningMethod::EquiDepth => {
-                    col.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+                    col.sort_by(|x, y| x.total_cmp(y));
                     (1..a)
                         .map(|i| {
                             let pos = (i * col.len()) / a;
@@ -297,6 +297,18 @@ mod tests {
         assert!(w.symbols.iter().all(|&x| (x as usize) < 8));
         assert_eq!(w.prefix(3).len(), 3);
         assert_eq!(w.prefix(100).len(), 8);
+    }
+
+    #[test]
+    fn training_tolerates_nan_values() {
+        // Regression: equi-depth binning sorts each DFT column with
+        // `total_cmp`, so a NaN sample value must not panic the sort and
+        // clean series must still quantize to full-length words.
+        let mut s = sample(40, 64);
+        s[7][3] = f32::NAN;
+        let q = train(SfaParams::new(64, 8), &s);
+        let w = q.word(&s[0]);
+        assert_eq!(w.len(), 8);
     }
 
     #[test]

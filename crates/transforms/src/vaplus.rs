@@ -294,7 +294,7 @@ fn allocate_bits(columns: &[Vec<f64>], total_bits: usize) -> Vec<u8> {
 fn kmeans_boundaries(values: &[f64], k: usize) -> Vec<f64> {
     debug_assert!(k >= 2);
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     // Initialize centroids at equi-depth quantiles (good seeds for 1-D data).
     let mut centroids: Vec<f64> = (0..k)
@@ -332,7 +332,7 @@ fn kmeans_boundaries(values: &[f64], k: usize) -> Vec<f64> {
                 centroids[c] = sums[c] / counts[c] as f64;
             }
         }
-        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        centroids.sort_by(|a, b| a.total_cmp(b));
         if !changed {
             break;
         }
@@ -496,6 +496,23 @@ mod tests {
             b[0] > 2.0 && b[0] < 8.0,
             "boundary {b:?} should separate the clusters"
         );
+    }
+
+    #[test]
+    fn kmeans_boundaries_tolerate_nan_values() {
+        // Regression for the PR 3 bug class: the sorts inside k-means use
+        // `total_cmp`, so a NaN training value sorts last instead of
+        // panicking or scrambling the order. Boundary count is unchanged.
+        let mut values = vec![0.0f64; 20];
+        values.extend(vec![10.0f64; 20]);
+        values.push(f64::NAN);
+        let b = kmeans_boundaries(&values, 4);
+        assert_eq!(b.len(), 3);
+        // Bit-identical across runs: NaN handling cannot depend on probe
+        // or hash order.
+        let again = kmeans_boundaries(&values, 4);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&b), bits(&again));
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn main() {
     let fastest_build = rows.iter().min_by_key(|r| r.build).unwrap().name;
     let best_pruner = rows
         .iter()
-        .max_by(|a, b| a.pruning.partial_cmp(&b.pruning).unwrap())
+        .max_by(|a, b| a.pruning.total_cmp(&b.pruning))
         .unwrap()
         .name;
     println!("\nfastest index construction: {fastest_build}; best average pruning: {best_pruner}");
