@@ -360,14 +360,28 @@ impl KnnHeap {
     }
 
     /// The current best-so-far pruning distance: the k-th nearest distance
-    /// seen so far, or `+inf` if fewer than `k` candidates have been offered.
+    /// seen so far, or `+inf` if fewer than `k` candidates have been offered
+    /// — or if the k-th slot is held by a NaN (corrupt) candidate.
     #[inline]
     pub fn threshold(&self) -> f64 {
         if self.is_full() {
-            self.heap
+            let top = self
+                .heap
                 .peek()
                 .map(|e| e.distance)
-                .unwrap_or(f64::INFINITY)
+                .unwrap_or(f64::INFINITY);
+            // A NaN top (a corrupt series admitted while the heap was
+            // under-full) must not poison pruning: report "no pruning yet",
+            // exactly as if the heap were still under-full, so finite
+            // candidates keep being offered and evict the NaN — the heap
+            // maximum under `total_cmp`. Every pruning comparison downstream
+            // (`lb >= threshold`, `distance < threshold`) then stays
+            // conservative without being NaN-aware itself.
+            if top.is_nan() {
+                f64::INFINITY
+            } else {
+                top
+            }
         } else {
             f64::INFINITY
         }
@@ -387,14 +401,25 @@ impl KnnHeap {
 
     /// Offers a candidate; it is kept only if it is among the `k` nearest so
     /// far. Returns `true` if the candidate was kept.
+    ///
+    /// NaN (a corrupt series' distance) is tolerated but can never win: its
+    /// sign is normalized so it sorts as the heap maximum under `total_cmp`,
+    /// and [`KnnHeap::threshold`] treats a NaN top as "not full yet", so a
+    /// NaN admitted while the heap was under-full is evicted by the next
+    /// finite candidate and can never displace a finite one.
     pub fn offer(&mut self, id: usize, distance: f64) -> bool {
-        // NaN (a corrupt series' distance) is admitted on purpose: under
-        // `total_cmp` it sorts as the heap maximum, so it is evicted first
-        // and can never displace a finite candidate.
         debug_assert!(
             distance >= 0.0 || distance.is_nan(),
             "distances must be non-negative"
         );
+        // A negative NaN would sort *below* every finite value under
+        // `total_cmp` and masquerade as the best answer forever; force the
+        // positive (heap-maximum) representation.
+        let distance = if distance.is_nan() {
+            f64::NAN
+        } else {
+            distance
+        };
         if self.members.contains(&id) {
             return false;
         }
@@ -498,6 +523,51 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_is_rejected() {
         let _ = KnnHeap::new(0);
+    }
+
+    #[test]
+    fn nan_admitted_while_underfull_never_poisons_the_heap() {
+        // Regression: linear-scan paths offer raw distances, so one corrupt
+        // (NaN) series can enter while the heap is under-full. Once the heap
+        // fills, the NaN top must not disable admission: the threshold stays
+        // +inf, finite candidates keep flowing in, and the NaN is evicted
+        // first.
+        let mut h = KnnHeap::new(2);
+        assert!(h.offer(0, f64::NAN));
+        assert!(h.offer(1, 5.0));
+        assert!(h.is_full());
+        assert_eq!(h.threshold(), f64::INFINITY, "NaN top must not prune");
+        assert_eq!(h.threshold_squared(), f64::INFINITY);
+        assert!(h.would_accept(1e12));
+        assert!(h.offer(2, 3.0), "a finite candidate must evict the NaN");
+        assert!(!h.contains(0));
+        assert_eq!(h.threshold(), 5.0, "pruning resumes once the NaN is gone");
+        let ans = h.into_answer_set();
+        let ids: Vec<usize> = ans.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+        assert!(ans.iter().all(|a| a.distance.is_finite()));
+    }
+
+    #[test]
+    fn nan_never_displaces_a_finite_candidate() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.offer(0, 5.0));
+        assert!(!h.offer(1, f64::NAN));
+        assert_eq!(h.into_answer_set().nearest().unwrap().id, 0);
+    }
+
+    #[test]
+    fn negative_nan_is_normalized_before_insertion() {
+        // Unnormalized, -NaN sorts below every finite value under `total_cmp`
+        // and would be kept as the "best" answer forever.
+        let neg_nan = -f64::NAN;
+        assert!(neg_nan.is_sign_negative());
+        let mut h = KnnHeap::new(1);
+        assert!(h.offer(0, neg_nan));
+        assert!(h.offer(1, 2.0), "a finite candidate must displace -NaN");
+        let ans = h.into_answer_set();
+        assert_eq!(ans.nearest().unwrap().id, 1);
+        assert_eq!(ans.nearest().unwrap().distance, 2.0);
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //! let recorded: HashMap<usize, Vec<Outcome>> = ...;
 //! ```
 //!
-//! The waiver covers findings of that rule on the next code line (or on its
-//! own line, for trailing comments). A waiver with no reason, an unknown
-//! rule id, or one that waives nothing is itself a diagnostic
-//! (`bad-waiver`), so the audit trail cannot rot silently.
+//! The waiver covers findings of that rule anywhere in the next *statement*
+//! — through its terminating `;` or its opening brace, so a chained call
+//! whose offending token sits lines below the statement head is still
+//! coverable — or on its own line, for trailing comments. It never reaches
+//! into a braced body: a waiver above an `fn` header covers the header
+//! only. A waiver with no reason, an unknown rule id, or one that waives
+//! nothing is itself a diagnostic (`bad-waiver`), so the audit trail cannot
+//! rot silently.
 //!
 //! # Scope
 //!
@@ -78,12 +82,36 @@ struct Waiver {
     /// Line of the waiver comment itself.
     line: u32,
     col: u32,
-    /// The code line this waiver covers.
-    covers: Option<u32>,
+    /// The inclusive line span this waiver covers: its own line for a
+    /// trailing waiver, or the whole next statement for a standalone one.
+    covers: Option<(u32, u32)>,
     used: bool,
 }
 
 const WAIVER_MARKER: &str = "hydra-lint:";
+
+/// The last line of the statement starting on `start`.
+///
+/// Findings anchor to the token that trips them, which for a multi-line
+/// statement (a chained `.partial_cmp(..)` / `.unwrap()`, say) can sit
+/// lines below the statement head — a waiver above the statement must
+/// still reach them. The statement ends at the first `;`, `{` or `}`
+/// outside parens/brackets, so a waiver above an item header never leaks
+/// into the item's braced body.
+fn statement_end_line(lexed: &lexer::Lexed, start: u32) -> u32 {
+    let mut depth = 0usize;
+    let mut last = start;
+    for t in lexed.tokens.iter().filter(|t| t.line >= start) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            ";" | "{" | "}" if depth == 0 => return t.line,
+            _ => {}
+        }
+        last = t.line;
+    }
+    last
+}
 
 /// Parses waivers out of a file's comments; malformed ones become
 /// `bad-waiver` findings immediately.
@@ -125,11 +153,13 @@ fn parse_waivers(lexed: &lexer::Lexed, diags: &mut Vec<(u32, u32, String)>) -> V
             continue;
         }
         // A trailing waiver (sharing its line with code) covers its own
-        // line; a standalone one covers the next code line.
+        // line; a standalone one covers the next statement.
         let covers = if lexed.line_has_code(c.line) {
-            Some(c.line)
+            Some((c.line, c.line))
         } else {
-            lexed.next_code_line(c.end_line)
+            lexed
+                .next_code_line(c.end_line)
+                .map(|start| (start, statement_end_line(lexed, start)))
         };
         waivers.push(Waiver {
             rule,
@@ -161,9 +191,15 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
 
     let mut out: Vec<Diagnostic> = Vec::new();
     for f in findings {
+        // Several waivers can cover one line (mid-statement waivers stack
+        // inside a chained call): the closest one above the finding wins,
+        // so each waiver pairs with the finding it was written for.
         let waived = waivers
             .iter_mut()
-            .find(|w| w.rule == f.rule && w.covers == Some(f.line))
+            .filter(|w| {
+                w.rule == f.rule && w.covers.is_some_and(|(s, e)| f.line >= s && f.line <= e)
+            })
+            .max_by_key(|w| w.line)
             .map(|w| {
                 w.used = true;
                 w.reason.clone()

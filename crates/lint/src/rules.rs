@@ -176,6 +176,13 @@ pub fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
                         match toks[k].text.as_str() {
                             "{" => brace_depth += 1,
                             "}" => {
+                                if brace_depth == 0 {
+                                    // The enclosing item's close brace: the
+                                    // attribute was attached to a brace-less
+                                    // trailing expression, which ends here.
+                                    end = Some(toks[k].offset);
+                                    break;
+                                }
                                 brace_depth -= 1;
                                 if brace_depth == 0 {
                                     end = Some(toks[k].offset + 1);
@@ -349,6 +356,31 @@ pub fn check_uncounted_fs(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                 col: toks[i].col,
                 message: "`std::fs` bypasses the counted-I/O `DatasetStore` boundary".to_string(),
             });
+        }
+        // Imports that bring `fs` into scope without spelling the
+        // `std::fs` path contiguously — `use std::{fs, io};`,
+        // `use std::fs as filesystem;` — would otherwise let every later
+        // `fs::read(..)` call escape the rule. Flag the import site (the
+        // calls themselves are a documented recall gap; see README).
+        if ident_at(toks, i, "use").is_some() && !ctx.in_test(toks[i].offset) {
+            let mut saw_std = false;
+            let mut j = i + 1;
+            while j < toks.len() && !punct_at(toks, j, ";") {
+                if ident_at(toks, j, "std").is_some() {
+                    saw_std = true;
+                } else if saw_std && ident_at(toks, j, "fs").is_some() {
+                    out.push(Finding {
+                        rule: "uncounted-fs",
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        message: "importing `std::fs` bypasses the counted-I/O `DatasetStore` \
+                                  boundary"
+                            .to_string(),
+                    });
+                    break;
+                }
+                j += 1;
+            }
         }
     }
 }

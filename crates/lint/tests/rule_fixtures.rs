@@ -141,6 +141,37 @@ pub fn slurp(p: &std::path::Path) -> Vec<u8> {
 }
 
 #[test]
+fn uncounted_fs_grouped_and_aliased_imports_bad() {
+    // Imports that never spell `std::fs` contiguously still bring uncounted
+    // file I/O into scope; the rule flags the import site.
+    let grouped = r#"
+use std::{fs, io};
+pub fn f(p: &std::path::Path) -> Vec<u8> {
+    fs::read(p).unwrap_or_default()
+}
+"#;
+    assert_eq!(
+        fired("crates/scan/src/sample.rs", grouped),
+        vec!["uncounted-fs"]
+    );
+    let aliased = r#"
+use std::fs as filesystem;
+"#;
+    assert_eq!(
+        fired("crates/scan/src/sample.rs", aliased),
+        vec!["uncounted-fs"]
+    );
+    // The direct form fires exactly once, not once per detector.
+    let direct = r#"
+use std::fs;
+"#;
+    assert_eq!(
+        fired("crates/scan/src/sample.rs", direct),
+        vec!["uncounted-fs"]
+    );
+}
+
+#[test]
 fn uncounted_fs_good_in_storage_tests_and_bins() {
     let src = r#"
 pub fn slurp(p: &std::path::Path) -> Vec<u8> {
@@ -338,9 +369,10 @@ pub fn f() {}
 }
 
 #[test]
-fn waiver_only_covers_adjacent_line() {
-    // The waiver is two code lines away from the unwrap: it must not apply,
-    // which yields both the finding and a stale-waiver diagnostic.
+fn waiver_does_not_leak_into_a_braced_body() {
+    // The waiver covers the next statement — the `fn` header, which ends at
+    // its opening brace — not the body below it, so it must not apply,
+    // yielding both the finding and a stale-waiver diagnostic.
     let src = r#"
 // hydra-lint: allow(lib-unwrap) too far away to count
 pub fn f(x: Option<u32>) -> u32 {
@@ -350,6 +382,65 @@ pub fn f(x: Option<u32>) -> u32 {
     let mut rules = fired(CORE_PATH, src);
     rules.sort();
     assert_eq!(rules, vec!["bad-waiver", "lib-unwrap"]);
+}
+
+#[test]
+fn waiver_covers_a_multi_line_statement() {
+    // Findings anchor to the offending token, which in a chained call can
+    // sit lines below the statement head; a waiver above the statement must
+    // still reach it.
+    let src = r#"
+fn f(a: f64, b: f64) -> std::cmp::Ordering {
+    // hydra-lint: allow(float-partial-cmp) exercising the lint itself
+    a
+        .partial_cmp(&b)
+        .unwrap()
+}
+"#;
+    let diags = lint_source(BENCH_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "float-partial-cmp");
+    assert!(diags[0].waived.is_some(), "waiver must span the statement");
+}
+
+#[test]
+fn stacked_mid_statement_waivers_each_cover_their_own_finding() {
+    // Two waivers inside one chained statement: span matching must pair
+    // each finding with the *closest* waiver above it, not let the first
+    // waiver absorb both findings and leave the second stale.
+    let src = r#"
+pub fn f(x: std::sync::Mutex<Option<u32>>) -> u32 {
+    x.lock()
+        // hydra-lint: allow(lib-unwrap) the lock cannot poison
+        .expect("never poisoned")
+        .take()
+        // hydra-lint: allow(lib-unwrap) taken exactly once
+        .expect("taken once")
+}
+"#;
+    let diags = lint_source(CORE_PATH, src);
+    assert_eq!(diags.len(), 2, "two waived findings, no bad-waiver");
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "lib-unwrap" && d.waived.is_some()));
+}
+
+#[test]
+fn test_region_scan_survives_attributed_trailing_expression() {
+    // Regression: a `#[cfg(test)]` attribute on a brace-less trailing
+    // expression used to underflow the brace counter on the enclosing `}`
+    // (a panic in debug builds). The region must end at that brace and
+    // scanning must continue, so `g`'s unwrap is still reported.
+    let src = r#"
+pub fn f() -> u32 {
+    #[cfg(test)]
+    helper()
+}
+pub fn g(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    assert_eq!(fired(CORE_PATH, src), vec!["lib-unwrap"]);
 }
 
 // ---------------------------------------------------------------------------

@@ -291,6 +291,43 @@ mod tests {
     }
 
     #[test]
+    fn one_corrupt_nan_series_does_not_poison_knn_answers() {
+        // Regression: a NaN distance offered while the heap is under-full
+        // (series 0 is scanned first) used to become the heap top once the
+        // heap filled, reject every later candidate, and silently corrupt
+        // the k-NN answer. The finite k-NN must come back intact.
+        let len = 32usize;
+        let count = 50usize;
+        let mut values = Vec::new();
+        for s in RandomWalkGenerator::new(17, len).series_batch(count) {
+            values.extend_from_slice(s.values());
+        }
+        for v in &mut values[..len] {
+            *v = f32::NAN;
+        }
+        let s = Arc::new(DatasetStore::new(Dataset::from_flat(values, len)));
+        let q = RandomWalkGenerator::new(4, len).series(0);
+        let k = 5;
+        let ans = brute_force_knn(s.dataset(), q.values(), k);
+        assert_eq!(ans.len(), k);
+        assert!(ans.iter().all(|a| a.id != 0 && a.distance.is_finite()));
+        // The answers are exactly the k-NN over the 49 finite series.
+        let mut expected: Vec<f64> = s
+            .dataset()
+            .iter()
+            .skip(1)
+            .map(|series| hydra_core::distance::euclidean(q.values(), series.values()))
+            .collect();
+        expected.sort_by(f64::total_cmp);
+        let got: Vec<f64> = ans.iter().map(|a| a.distance).collect();
+        assert_eq!(got, &expected[..k]);
+        // The counted early-abandoning scan agrees with the oracle.
+        let scan = UcrScan::new(s.clone());
+        let scanned = scan.answer_simple(&Query::knn(q, k)).unwrap();
+        assert!(scanned.distances_match(&ans, 1e-6));
+    }
+
+    #[test]
     fn scan_finds_exact_duplicate_at_distance_zero() {
         let s = store(100, 32);
         let scan = UcrScan::new(s.clone());
