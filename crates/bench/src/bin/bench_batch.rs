@@ -13,7 +13,6 @@
 //! chunks), `--index-dir DIR`, and `HYDRA_SCALE` for the dataset size.
 
 use hydra_bench::experiments as exp;
-use std::io::Write as _;
 
 fn main() {
     hydra_bench::cli::init_threads();
@@ -21,8 +20,6 @@ fn main() {
     let scale = exp::ExperimentScale::from_env();
     let (table, json) = exp::batch_amortization(scale);
     println!("{}", table.to_text());
-    let path = std::path::Path::new("BENCH_batch.json");
-    let mut file = std::fs::File::create(path).expect("create BENCH_batch.json");
-    file.write_all(json.as_bytes()).expect("write json");
+    let path = hydra_bench::report::write_bench_artifact("batch", &json).expect("write json");
     println!("wrote {}", path.display());
 }

@@ -16,7 +16,6 @@ use hydra_bench::registry::MethodKind;
 use hydra_core::{parallel, BuildOptions, Parallelism, Query, RunClock};
 use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
 use std::fmt::Write as _;
-use std::io::Write as _;
 
 const SERIES: usize = 5_000;
 const LENGTH: usize = 256;
@@ -149,8 +148,6 @@ fn main() {
 }}
 "#
     );
-    let path = std::path::Path::new("BENCH_parallel.json");
-    let mut file = std::fs::File::create(path).expect("create BENCH_parallel.json");
-    file.write_all(json.as_bytes()).expect("write json");
+    let path = hydra_bench::report::write_bench_artifact("parallel", &json).expect("write json");
     println!("\nwrote {}", path.display());
 }

@@ -1,0 +1,280 @@
+//! BENCH-SERVE: the query-serving service-layer baseline.
+//!
+//! Drives open-loop arrival ladders against [`hydra_serve::QueryService`]:
+//! requests arrive on a fixed schedule (independent of completions, so
+//! queueing pressure is real), the executor drains between arrivals, and
+//! each completed request's arrival-to-completion latency is recorded. Every
+//! (shard count × offered load) cell serves a fresh service over the same
+//! dataset and reports p50/p99 latency, completions, sheds and the answer
+//! cache's hit rate; a second lane sweeps a deadline ladder and asserts that
+//! deadline-bounded requests degrade to `Guarantee::Truncated` answers
+//! instead of erroring. Results go to stdout and to `BENCH_serve.json` so
+//! later PRs have a serving trajectory to compare against.
+//!
+//! Takes the shared flags: `--shards N` replaces the default 1/2/4 shard
+//! ladder with the single count N, and `--deadline-ms D` replaces the
+//! default deadline ladder with the single deadline D (`0` skips the
+//! deadline lane). Latencies include scheduler queueing on the host, so
+//! absolute numbers are only comparable within one machine.
+
+use hydra_bench::registry::MethodKind;
+use hydra_core::{parallel, BuildOptions, Error, Guarantee, Query, RunClock};
+use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
+use hydra_serve::{deadline_budget, QueryService, RequestHandle, ServeConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SERIES: usize = 2_000;
+const LENGTH: usize = 128;
+/// Distinct queries in the pool; requests cycle through it, so every pass
+/// after the first can hit the answer cache.
+const QUERY_POOL: usize = 16;
+/// Requests per (shards, offered load) cell: three passes over the pool.
+const REQUESTS: usize = 48;
+const QUEUE_CAPACITY: usize = 32;
+const CACHE_CAPACITY: usize = 256;
+const SHARD_LADDER: [usize; 3] = [1, 2, 4];
+const LOAD_LADDER: [f64; 3] = [100.0, 400.0, 1600.0];
+const DEADLINE_LADDER: [u64; 3] = [1, 5, 1000];
+const DEADLINE_REQUESTS: usize = 8;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Takes every finished request out of `pending`, recording its
+/// arrival-to-completion latency in milliseconds.
+fn harvest(
+    pending: &mut Vec<(RequestHandle, Duration)>,
+    latencies: &mut Vec<f64>,
+    clock: &RunClock,
+) {
+    pending.retain(|(handle, arrival)| match handle.try_take() {
+        Some(result) => {
+            result.expect("admitted request failed");
+            latencies.push((clock.elapsed().saturating_sub(*arrival)).as_secs_f64() * 1e3);
+            false
+        }
+        None => true,
+    });
+}
+
+struct CellResult {
+    completed: usize,
+    shed: u64,
+    cache_hit_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One open-loop cell: submits `REQUESTS` queries at `offered_qps` against a
+/// fresh service, draining the executor between arrivals.
+fn run_cell(service: &QueryService, queries: &[Query], offered_qps: f64) -> CellResult {
+    let interarrival = Duration::from_secs_f64(1.0 / offered_qps);
+    let clock = RunClock::start();
+    let mut pending: Vec<(RequestHandle, Duration)> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..REQUESTS {
+        let due = interarrival.mul_f64(i as f64);
+        // Open loop: the arrival clock never waits for completions, only the
+        // executor drains while we wait for the next arrival.
+        while clock.elapsed() < due {
+            if !service.run_one() {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            harvest(&mut pending, &mut latencies, &clock);
+        }
+        let arrival = clock.elapsed();
+        match service.submit(queries[i % queries.len()].clone()) {
+            Ok(handle) => pending.push((handle, arrival)),
+            Err(Error::Overloaded { .. }) => shed += 1,
+            Err(other) => panic!("unexpected serve error: {other}"),
+        }
+    }
+    service.drive();
+    harvest(&mut pending, &mut latencies, &clock);
+    assert!(pending.is_empty(), "drive() left requests unfinished");
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    CellResult {
+        completed: latencies.len(),
+        shed,
+        cache_hit_rate: service.cache_stats().hit_rate(),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let shards_flag = hydra_bench::cli::init_shards();
+    let shard_ladder: Vec<usize> = if std::env::var("HYDRA_SHARDS").is_ok() {
+        vec![shards_flag]
+    } else {
+        SHARD_LADDER.to_vec()
+    };
+    let deadline_flag = hydra_bench::cli::init_deadline_ms();
+    let deadline_ladder: Vec<u64> = if std::env::var("HYDRA_DEADLINE_MS").is_ok() {
+        deadline_flag.into_iter().collect()
+    } else {
+        DEADLINE_LADDER.to_vec()
+    };
+
+    let data = RandomWalkGenerator::new(0xDA7A, LENGTH).dataset(SERIES);
+    let workload = QueryWorkload::generate(
+        "Synth-Rand",
+        &data,
+        &WorkloadSpec::random(0x5EED).with_num_queries(QUERY_POOL),
+    );
+    let queries: Vec<Query> = workload
+        .queries()
+        .iter()
+        .map(|s| Query::nearest_neighbor(s.clone()))
+        .collect();
+    let options = BuildOptions::default()
+        .with_segments(8)
+        .with_leaf_capacity(100)
+        .with_train_samples(1_000);
+    let host_cpus = parallel::available_threads();
+    let method = MethodKind::AdsPlus;
+    println!(
+        "serve baseline: {SERIES} series x {LENGTH}, {} via {REQUESTS} requests/cell \
+         ({QUERY_POOL} distinct), queue {QUEUE_CAPACITY}, cache {CACHE_CAPACITY}, \
+         {host_cpus} CPU(s)\n",
+        method.name()
+    );
+
+    let mut serving_rows = String::new();
+    for &shards in &shard_ladder {
+        for &offered_qps in &LOAD_LADDER {
+            // A fresh service per cell: cold cache, zeroed counters, so cells
+            // are independent of ladder order.
+            let config = ServeConfig {
+                shards,
+                queue_capacity: QUEUE_CAPACITY,
+                cache_capacity: CACHE_CAPACITY,
+                ..ServeConfig::default()
+            };
+            let service = method
+                .service(&data, &options, config)
+                .expect("build service");
+            let cell = run_cell(&service, &queries, offered_qps);
+            assert_eq!(
+                cell.completed + cell.shed as usize,
+                REQUESTS,
+                "every request must complete or shed"
+            );
+            println!(
+                "shards={shards}  offered {offered_qps:>6.0} q/s  completed {:>2}  shed {:>2}  \
+                 hit-rate {:>5.1}%  p50 {:>8.3} ms  p99 {:>8.3} ms",
+                cell.completed,
+                cell.shed,
+                cell.cache_hit_rate * 100.0,
+                cell.p50_ms,
+                cell.p99_ms
+            );
+            if !serving_rows.is_empty() {
+                serving_rows.push_str(",\n");
+            }
+            let _ = write!(
+                serving_rows,
+                r#"    {{"shards": {shards}, "offered_qps": {offered_qps:.1}, "requests": {REQUESTS}, "completed": {}, "shed": {}, "cache_hit_rate": {:.4}, "p50_ms": {:.4}, "p99_ms": {:.4}}}"#,
+                cell.completed, cell.shed, cell.cache_hit_rate, cell.p50_ms, cell.p99_ms
+            );
+        }
+        println!();
+    }
+
+    // Deadline lane: a scan method under a per-request deadline must answer
+    // every query (no errors); tight deadlines price to budgets below the
+    // dataset size and so must degrade to Guarantee::Truncated.
+    let mut deadline_rows = String::new();
+    let deadline_method = MethodKind::UcrSuite;
+    for &deadline_ms in &deadline_ladder {
+        let config = ServeConfig {
+            shards: 1,
+            queue_capacity: QUEUE_CAPACITY,
+            cache_capacity: 0, // hits would mask the deadline path
+            deadline_ms: Some(deadline_ms),
+            ..ServeConfig::default()
+        };
+        let budget_reads = deadline_budget(
+            deadline_ms,
+            (LENGTH * std::mem::size_of::<f32>()) as u64,
+            &config.cost_model,
+        )
+        .limit();
+        let service = deadline_method
+            .service(&data, &options, config)
+            .expect("build service");
+        let mut truncated = 0usize;
+        let mut exact = 0usize;
+        for query in queries.iter().take(DEADLINE_REQUESTS) {
+            let answer = service
+                .answer(query.clone())
+                .expect("deadline-bounded requests degrade, they do not error");
+            match answer.guarantee {
+                Guarantee::Truncated { .. } => truncated += 1,
+                Guarantee::Exact => exact += 1,
+                other => panic!("unexpected guarantee under deadline: {other:?}"),
+            }
+        }
+        if budget_reads < SERIES as u64 {
+            assert_eq!(
+                truncated, DEADLINE_REQUESTS,
+                "a budget below the dataset size must truncate every answer"
+            );
+        }
+        println!(
+            "deadline {deadline_ms:>4} ms  budget {budget_reads:>7} reads  \
+             truncated {truncated}/{DEADLINE_REQUESTS}  exact {exact}/{DEADLINE_REQUESTS}"
+        );
+        if !deadline_rows.is_empty() {
+            deadline_rows.push_str(",\n");
+        }
+        let _ = write!(
+            deadline_rows,
+            r#"    {{"deadline_ms": {deadline_ms}, "budget_reads": {budget_reads}, "requests": {DEADLINE_REQUESTS}, "truncated": {truncated}, "exact": {exact}, "errors": 0}}"#,
+        );
+    }
+
+    let shard_list = shard_ladder
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let load_list = LOAD_LADDER
+        .iter()
+        .map(|l| format!("{l:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        r#"{{
+  "bench": "serve_open_loop",
+  "generated_by": "cargo run --release --bin bench_serve",
+  "host_cpus": {host_cpus},
+  "note": "open-loop arrivals; latencies include host scheduler queueing, comparable only within one machine",
+  "dataset": {{"kind": "random-walk", "series": {SERIES}, "length": {LENGTH}}},
+  "method": "{}",
+  "queue_capacity": {QUEUE_CAPACITY},
+  "cache_capacity": {CACHE_CAPACITY},
+  "shard_ladder": [{shard_list}],
+  "offered_load_ladder_qps": [{load_list}],
+  "serving": [
+{serving_rows}
+  ],
+  "deadline_method": "{}",
+  "deadline": [
+{deadline_rows}
+  ]
+}}
+"#,
+        method.name(),
+        deadline_method.name()
+    );
+    let path = hydra_bench::report::write_bench_artifact("serve", &json).expect("write json");
+    println!("\nwrote {}", path.display());
+}

@@ -26,9 +26,8 @@ fn main() {
     let (table, json) = robustness(ExperimentScale::from_env());
     println!("{}", table.to_text());
 
-    let bench_path = std::path::Path::new("BENCH_robust.json");
-    let mut file = std::fs::File::create(bench_path).expect("create BENCH_robust.json");
-    file.write_all(json.as_bytes()).expect("write json");
+    let bench_path =
+        hydra_bench::report::write_bench_artifact("robust", &json).expect("write json");
     println!("wrote {}", bench_path.display());
 
     let dir = results_dir();

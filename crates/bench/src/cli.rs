@@ -36,6 +36,15 @@
 //!   `HYDRA_BUDGET`, which [`crate::harness::run_queries`] reads back when
 //!   constructing its queries: on exhaustion a method stops and returns its
 //!   best-so-far answer tagged `Guarantee::Truncated`.
+//! * `--shards N` — the serving layer's engine-shard count. [`init_shards`]
+//!   parses it and exports `HYDRA_SHARDS`, which the `bench_serve` binary
+//!   reads back when partitioning the dataset into per-shard engines.
+//! * `--deadline-ms D` — the serving layer's per-request deadline in
+//!   milliseconds. [`init_deadline_ms`] parses it and exports
+//!   `HYDRA_DEADLINE_MS`, which `bench_serve` reads back: the deadline is
+//!   mapped onto a raw-read budget under the storage cost model, so late
+//!   queries degrade to `Guarantee::Truncated` instead of timing out. `0`
+//!   (or unset) serves without deadlines.
 //!
 //! One call to each at the top of `main` wires a whole experiment binary.
 
@@ -370,6 +379,131 @@ fn budget_from(
     None
 }
 
+/// Parses `--shards N` (or `--shards=N`) from the process arguments, exports
+/// the value via `HYDRA_SHARDS`, and returns the serving layer's shard count.
+/// Without the flag, an already-set `HYDRA_SHARDS` is respected; `1` (a
+/// single unsharded engine) when that is unset too.
+///
+/// A `--shards` flag with a missing, unparseable or zero value aborts the
+/// process: silently serving unsharded would record results under the wrong
+/// configuration.
+pub fn init_shards() -> usize {
+    match shards_from(std::env::args()) {
+        Some(Ok(shards)) => std::env::set_var("HYDRA_SHARDS", shards.to_string()),
+        Some(Err(bad)) => {
+            eprintln!("error: invalid --shards value {bad:?} (expected a shard count >= 1)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    shards_from_env()
+}
+
+/// The shard count currently exported through `HYDRA_SHARDS` (`1` — a single
+/// unsharded engine — when unset).
+///
+/// A set-but-invalid `HYDRA_SHARDS` falls back to unsharded with a warning on
+/// stderr, mirroring `batch_from_env`.
+pub fn shards_from_env() -> usize {
+    let Ok(raw) = std::env::var("HYDRA_SHARDS") else {
+        return 1;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!(
+                "warning: ignoring invalid HYDRA_SHARDS={raw:?}; serving unsharded \
+                 (expected a shard count >= 1)"
+            );
+            1
+        }
+    }
+}
+
+/// Extracts the `--shards` value from an argument list: `None` when the flag
+/// is absent, `Some(Err(raw))` when it is present but not a count ≥ 1.
+fn shards_from(args: impl Iterator<Item = String>) -> Option<std::result::Result<usize, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--shards" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(raw),
+        });
+    }
+    None
+}
+
+/// Parses `--deadline-ms D` (or `--deadline-ms=D`) from the process
+/// arguments, exports the value via `HYDRA_DEADLINE_MS`, and returns the
+/// serving layer's per-request deadline (`None` — no deadline — for `0`).
+/// Without the flag, an already-set `HYDRA_DEADLINE_MS` is respected; `None`
+/// when that is unset too.
+///
+/// A `--deadline-ms` flag with a missing or unparseable value aborts the
+/// process: silently serving without deadlines would record results under
+/// the wrong configuration.
+pub fn init_deadline_ms() -> Option<u64> {
+    match deadline_ms_from(std::env::args()) {
+        Some(Ok(ms)) => std::env::set_var("HYDRA_DEADLINE_MS", ms.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --deadline-ms value {bad:?} (expected milliseconds; 0 = none)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    deadline_ms_from_env()
+}
+
+/// The deadline currently exported through `HYDRA_DEADLINE_MS` (`None` — no
+/// deadline — when unset or `0`).
+///
+/// A set-but-unparseable `HYDRA_DEADLINE_MS` falls back to no deadline with a
+/// warning on stderr, mirroring `batch_from_env`.
+pub fn deadline_ms_from_env() -> Option<u64> {
+    let Ok(raw) = std::env::var("HYDRA_DEADLINE_MS") else {
+        return None;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(0) => None,
+        Ok(ms) => Some(ms),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring unparseable HYDRA_DEADLINE_MS={raw:?}; serving without \
+                 deadlines (expected milliseconds; 0 = none)"
+            );
+            None
+        }
+    }
+}
+
+/// Extracts the `--deadline-ms` value from an argument list: `None` when the
+/// flag is absent, `Some(Err(raw))` when it is present but not a number.
+fn deadline_ms_from(
+    args: impl Iterator<Item = String>,
+) -> Option<std::result::Result<u64, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--deadline-ms" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--deadline-ms=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(raw.trim().parse::<u64>().map_err(|_| raw));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +513,48 @@ mod tests {
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
             .into_iter()
+    }
+
+    #[test]
+    fn parses_shards_forms() {
+        assert_eq!(shards_from(argv(&["bin", "--shards", "4"])), Some(Ok(4)));
+        assert_eq!(shards_from(argv(&["bin", "--shards=2"])), Some(Ok(2)));
+        assert_eq!(shards_from(argv(&["bin"])), None);
+        assert_eq!(
+            shards_from(argv(&["bin", "--shards", "0"])),
+            Some(Err("0".into())),
+            "zero shards is invalid"
+        );
+        assert_eq!(
+            shards_from(argv(&["bin", "--shards", "many"])),
+            Some(Err("many".into()))
+        );
+        assert_eq!(
+            shards_from(argv(&["bin", "--shards"])),
+            Some(Err("".into()))
+        );
+    }
+
+    #[test]
+    fn parses_deadline_ms_forms() {
+        assert_eq!(
+            deadline_ms_from(argv(&["bin", "--deadline-ms", "250"])),
+            Some(Ok(250))
+        );
+        assert_eq!(
+            deadline_ms_from(argv(&["bin", "--deadline-ms=0"])),
+            Some(Ok(0)),
+            "0 is valid and means no deadline"
+        );
+        assert_eq!(deadline_ms_from(argv(&["bin"])), None);
+        assert_eq!(
+            deadline_ms_from(argv(&["bin", "--deadline-ms", "soon"])),
+            Some(Err("soon".into()))
+        );
+        assert_eq!(
+            deadline_ms_from(argv(&["bin", "--deadline-ms"])),
+            Some(Err("".into()))
+        );
     }
 
     #[test]

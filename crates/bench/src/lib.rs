@@ -6,12 +6,15 @@
 //! The harness is organized as:
 //!
 //! * [`registry`] — [`MethodKind`]: build any of the ten methods uniformly as
-//!   a `Box<dyn AnsweringMethod>` or as a measuring `hydra_core::QueryEngine`
-//!   over an instrumented store;
+//!   a `Box<dyn AnsweringMethod>`, as a measuring `hydra_core::QueryEngine`
+//!   over an instrumented store, or as a sharded `hydra_serve::QueryService`
+//!   (fresh-built or loaded from per-shard snapshots);
 //! * [`harness`] — the experiment runner: timed index construction, timed
 //!   query workloads with per-query statistics, the paper's 10 000-query
 //!   extrapolation rule, and platform cost models (HDD / SSD / in-memory);
-//! * [`report`] — plain-text / CSV emitters for the result tables;
+//! * [`report`] — plain-text / CSV emitters for the result tables plus the
+//!   uniform `BENCH_<name>.json` artifact writer every bench bin routes
+//!   through;
 //! * [`cli`] — the shared flags: `--threads N` (multi-threaded query driver
 //!   and parallel index builds), `--index-dir DIR` (snapshot cache),
 //!   `--mode exact|ng|eps:<v>|deltaeps:<d>,<e>` (answering mode),
@@ -20,7 +23,8 @@
 //!   fault injection with a recovering retry policy; 0 disables), and
 //!   `--budget B` (per-query raw-read budget; `inf` or a count —
 //!   exhausted queries return best-so-far answers tagged
-//!   `Guarantee::Truncated`).
+//!   `Guarantee::Truncated`), `--shards N` (service-layer shard count) and
+//!   `--deadline-ms D` (service-layer request deadline; 0 = none).
 //!
 //! Every figure and table has a dedicated binary under `src/bin/` (see
 //! `DESIGN.md` for the experiment index); Criterion micro-benchmarks for the

@@ -15,6 +15,7 @@ use hydra_isax::{AdsPlus, Isax2Plus};
 use hydra_mtree::MTree;
 use hydra_rtree::RStarTree;
 use hydra_scan::{MassScan, Stepwise, UcrScan};
+use hydra_serve::{QueryService, ServeConfig};
 use hydra_sfa::SfaTrie;
 use hydra_storage::{snapshot, DatasetStore};
 use hydra_vafile::VaPlusFile;
@@ -314,6 +315,48 @@ impl MethodKind {
             .with_build_measurement(build_time, build_io);
         Ok((engine, outcome))
     }
+
+    /// Builds a sharded [`QueryService`] serving this method: the dataset is
+    /// partitioned into `config.shards` contiguous ranges and a fresh
+    /// per-shard engine (see [`MethodKind::engine_on_store`]) is built over
+    /// each partition.
+    pub fn service(
+        &self,
+        dataset: &Dataset,
+        options: &BuildOptions,
+        config: ServeConfig,
+    ) -> Result<QueryService> {
+        let kind = *self;
+        let options = options.clone();
+        QueryService::build(dataset, config, move |_, store| {
+            kind.engine_on_store(store, &options)
+        })
+    }
+
+    /// Like [`MethodKind::service`], but each shard's engine goes through the
+    /// snapshot cache (see [`MethodKind::engine_with_snapshot`]) under its own
+    /// `<index_dir>/shard-<i>-of-<n>` directory, so a restarted service
+    /// reloads its per-shard indexes instead of rebuilding them. The shard
+    /// count is part of the directory name because each shard's snapshot is
+    /// fingerprinted over its *partition*, not the full dataset: snapshots
+    /// from different shard counts must not shadow each other.
+    pub fn service_with_snapshot(
+        &self,
+        dataset: &Dataset,
+        options: &BuildOptions,
+        config: ServeConfig,
+        index_dir: &Path,
+    ) -> Result<QueryService> {
+        let kind = *self;
+        let options = options.clone();
+        let index_dir = index_dir.to_path_buf();
+        let shard_count = config.shards;
+        QueryService::build(dataset, config, move |shard, store| {
+            let shard_dir = index_dir.join(format!("shard-{shard}-of-{shard_count}"));
+            kind.engine_with_snapshot(store, &options, &shard_dir)
+                .map(|(engine, _)| engine)
+        })
+    }
 }
 
 /// How a snapshot-aware build satisfied the request.
@@ -584,6 +627,69 @@ mod tests {
                 kind.name()
             );
         }
+    }
+
+    #[test]
+    fn sharded_services_build_and_answer_for_any_method() {
+        let data = RandomWalkGenerator::new(11, 48).dataset(90);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(40);
+        let query = Query::knn(data.series(7).to_owned_series(), 3);
+        for kind in [MethodKind::UcrSuite, MethodKind::AdsPlus] {
+            let unsharded = kind
+                .engine(&data, &options)
+                .unwrap()
+                .answer(&query)
+                .unwrap();
+            let config = ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            };
+            let service = kind.service(&data, &options, config).unwrap();
+            assert_eq!(service.shards().len(), 3, "{}", kind.name());
+            let served = service.answer(query.clone()).unwrap();
+            assert_eq!(
+                served.answers,
+                unsharded.answers,
+                "{}: exact scatter-gather must match the unsharded engine",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_backed_services_reload_per_shard_indexes() {
+        let data = RandomWalkGenerator::new(13, 32).dataset(60);
+        let options = BuildOptions::default()
+            .with_leaf_capacity(10)
+            .with_train_samples(30);
+        let dir =
+            std::env::temp_dir().join(format!("hydra-registry-serve-snap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = || ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        };
+        let query = Query::knn(data.series(5).to_owned_series(), 4);
+        let kind = MethodKind::DsTree;
+        let cold = kind
+            .service_with_snapshot(&data, &options, config(), &dir)
+            .unwrap();
+        let cold_answer = cold.answer(query.clone()).unwrap();
+        // Each shard persisted under its own directory, keyed by shard count.
+        for shard in 0..2 {
+            let shard_dir = dir.join(format!("shard-{shard}-of-2"));
+            assert!(shard_dir.is_dir(), "missing {}", shard_dir.display());
+        }
+        // A rebuilt service loads the per-shard snapshots and answers the same.
+        let warm = kind
+            .service_with_snapshot(&data, &options, config(), &dir)
+            .unwrap();
+        let warm_answer = warm.answer(query).unwrap();
+        assert_eq!(warm_answer.answers, cold_answer.answers);
+        assert_eq!(warm_answer.guarantee, cold_answer.guarantee);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -113,6 +113,17 @@ impl ResultTable {
     }
 }
 
+/// Writes a bench bin's JSON artifact to `BENCH_<name>.json` in the current
+/// directory (the workspace root under CI, where the workflow uploads them),
+/// returning the path written. Every bench bin routes its artifact through
+/// here so the naming scheme lives in exactly one place.
+pub fn write_bench_artifact(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut file = fs::File::create(&path)?;
+    file.write_all(json.as_bytes())?;
+    Ok(path)
+}
+
 /// The default output directory for experiment results (`results/` at the
 /// workspace root, overridable with `HYDRA_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {
@@ -173,6 +184,14 @@ mod tests {
         let path = t.write_csv(&dir, "demo").unwrap();
         assert!(path.exists());
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bench_artifacts_are_named_uniformly() {
+        let path = write_bench_artifact("report_test_demo", "{\"ok\":true}").unwrap();
+        assert_eq!(path, PathBuf::from("BENCH_report_test_demo.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -606,6 +606,86 @@ impl QueryEngine {
     }
 }
 
+/// A cheaply cloneable, shareable handle over a built method: the
+/// serving-layer view of a [`QueryEngine`].
+///
+/// The engine itself owns mutable running aggregates (totals, query counts),
+/// so sharing one across concurrent requests would serialize them behind a
+/// lock. A handle drops the aggregates and keeps only the immutable parts —
+/// the built method behind an `Arc`, the I/O source, the policies — so
+/// cloning is two reference-count bumps and [`EngineHandle::answer`] takes
+/// `&self`. Per-query measurement goes through the *same* [`measure_query`]
+/// path as [`QueryEngine::answer`], so a handle's answers, guarantees and
+/// reconciled stats are bit-identical to the engine it came from; callers
+/// aggregate the returned [`EngineAnswer`]s themselves.
+#[derive(Clone)]
+pub struct EngineHandle {
+    method: Arc<dyn AnsweringMethod>,
+    io: Option<Arc<dyn IoSource>>,
+    dataset_size: usize,
+    fallback: FallbackPolicy,
+    retry: RetryPolicy,
+}
+
+impl EngineHandle {
+    /// Answers a query in its requested mode, with exactly the per-query
+    /// measurement discipline of [`QueryEngine::answer`] (same mode routing,
+    /// I/O reset/reconciliation, retry loop and panic isolation).
+    pub fn answer(&self, query: &Query) -> Result<EngineAnswer> {
+        measure_query(
+            self.method.as_ref(),
+            self.io.as_deref(),
+            query,
+            self.fallback,
+            self.retry,
+        )
+    }
+
+    /// The method's static description.
+    pub fn descriptor(&self) -> MethodDescriptor {
+        self.method.descriptor()
+    }
+
+    /// The number of series the handle answers over.
+    pub fn dataset_size(&self) -> usize {
+        self.dataset_size
+    }
+
+    /// The configured fallback policy.
+    pub fn fallback_policy(&self) -> FallbackPolicy {
+        self.fallback
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle")
+            .field("method", &self.descriptor().name)
+            .field("dataset_size", &self.dataset_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryEngine {
+    /// Converts the engine into a cheaply cloneable [`EngineHandle`],
+    /// discarding the running aggregates (totals, query counts, batch I/O)
+    /// and keeping the built method, I/O source and policies.
+    pub fn into_handle(self) -> EngineHandle {
+        EngineHandle {
+            method: Arc::from(self.method),
+            io: self.io,
+            dataset_size: self.dataset_size,
+            fallback: self.fallback,
+            retry: self.retry,
+        }
+    }
+}
+
 /// Runs the batch kernel over one contiguous chunk on the calling thread:
 /// resets the thread's I/O shard, times the kernel, collects per-query stats,
 /// and snapshots the chunk's physical store traffic.
@@ -1357,6 +1437,47 @@ mod tests {
             other => panic!("expected UnsupportedQuery, got {other:?}"),
         }
         assert_eq!(e.queries_answered(), 0);
+    }
+
+    #[test]
+    fn handle_answers_match_the_engine_bit_for_bit() {
+        let mut e = engine();
+        let queries: Vec<Query> = [[0.9f32, 0.9], [5.1, 5.1], [8.0, 8.0]]
+            .iter()
+            .map(|v| Query::nearest_neighbor(Series::new(v.to_vec())))
+            .collect();
+        let engine_answers: Vec<EngineAnswer> =
+            queries.iter().map(|q| e.answer(q).unwrap()).collect();
+
+        let handle = engine().into_handle();
+        assert_eq!(handle.descriptor().name, "BruteForce");
+        assert_eq!(handle.dataset_size(), 4);
+        let clone = handle.clone();
+        for (q, expected) in queries.iter().zip(&engine_answers) {
+            for h in [&handle, &clone] {
+                let a = h.answer(q).unwrap();
+                assert_eq!(a.answers, expected.answers);
+                assert_eq!(a.guarantee, expected.guarantee);
+                assert_eq!(
+                    a.stats.raw_series_examined,
+                    expected.stats.raw_series_examined
+                );
+                assert_eq!(
+                    a.stats.sequential_page_accesses,
+                    expected.stats.sequential_page_accesses
+                );
+                assert_eq!(a.stats.bytes_read, expected.stats.bytes_read);
+                assert_eq!(a.attempts, expected.attempts);
+            }
+        }
+        // The handle keeps the engine's mode routing: unsupported modes stay
+        // typed errors under the default strict policy.
+        let q = Query::nearest_neighbor(Series::new(vec![0.9, 0.9]))
+            .with_mode(AnswerMode::NgApproximate);
+        assert!(matches!(
+            handle.answer(&q),
+            Err(Error::UnsupportedMode { .. })
+        ));
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub enum Error {
         /// Why the query is unanswerable.
         reason: String,
     },
+    /// The serving layer's admission queue is full: the request was shed
+    /// before any work was done on it. Clients may retry after backoff; the
+    /// request itself was never partially executed.
+    Overloaded {
+        /// The admission-queue capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl Error {
@@ -165,6 +172,12 @@ impl fmt::Display for Error {
             Error::UnsupportedQuery { method, reason } => {
                 write!(f, "{method} cannot answer this query: {reason}")
             }
+            Error::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "service overloaded: admission queue at capacity ({capacity} in flight)"
+                )
+            }
         }
     }
 }
@@ -226,6 +239,11 @@ mod tests {
         let e = Error::unsupported_query("M-tree", "range queries are not supported");
         assert!(e.to_string().contains("M-tree"));
         assert!(e.to_string().contains("range"));
+
+        let e = Error::Overloaded { capacity: 64 };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("64"));
+        assert!(!e.is_retriable(), "shedding is not an I/O retry condition");
     }
 
     #[test]

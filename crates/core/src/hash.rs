@@ -1,0 +1,126 @@
+//! A stable, dependency-free FNV-1a hasher.
+//!
+//! The workspace needs content fingerprints in two places: the snapshot
+//! container keys its files on (dataset, options) fingerprints, and the
+//! serving layer's answer cache keys entries on (dataset fingerprint,
+//! canonical query hash, mode). Both must be **stable across processes,
+//! platforms and runs** — `std`'s `DefaultHasher` is explicitly seeded per
+//! process, so a tiny fixed hasher is vendored here instead of depended on.
+//!
+//! The implementation is 64-bit FNV-1a over an explicit byte encoding:
+//! callers feed primitives through the typed `write_*` methods, which encode
+//! little-endian, so a hash documents its own canonical byte layout.
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher over a canonical byte encoding.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a `u8` tag byte (enum discriminants in canonical encodings).
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u32` little-endian.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` little-endian.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f32` by bit pattern (total over NaNs: distinct payloads hash
+    /// distinctly, and `-0.0 != 0.0`).
+    #[inline]
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Feeds an `f64` by bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Published FNV-1a test vectors.
+        let hash = |s: &str| {
+            let mut h = Fnv1a::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn typed_writes_are_prefix_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = Fnv1a::new();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish(), "order matters");
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero_and_nan_payloads() {
+        let mut pos = Fnv1a::new();
+        pos.write_f32(0.0);
+        let mut neg = Fnv1a::new();
+        neg.write_f32(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+
+        let mut q = Fnv1a::new();
+        q.write_f64(f64::NAN);
+        let mut r = Fnv1a::new();
+        r.write_f64(f64::from_bits(f64::NAN.to_bits() ^ 1));
+        assert_ne!(q.finish(), r.finish());
+    }
+}

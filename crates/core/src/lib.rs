@@ -45,6 +45,7 @@
 pub mod distance;
 pub mod engine;
 pub mod error;
+pub mod hash;
 pub mod knn;
 pub mod method;
 pub mod parallel;
@@ -58,8 +59,11 @@ pub use distance::{
     euclidean, euclidean_early_abandon, euclidean_reordered, squared_euclidean,
     squared_euclidean_early_abandon, QueryOrder,
 };
-pub use engine::{Completion, EngineAnswer, FallbackPolicy, IoSource, QueryEngine, RetryPolicy};
+pub use engine::{
+    Completion, EngineAnswer, EngineHandle, FallbackPolicy, IoSource, QueryEngine, RetryPolicy,
+};
 pub use error::{Error, Result};
+pub use hash::Fnv1a;
 pub use knn::{replay_outcome, Answer, AnswerSet, Guarantee, KnnHeap, Outcome};
 pub use method::{
     AnsweringMethod, BatchAnswering, BuildOptions, ExactIndex, IndexFootprint, IntraAnswering,

@@ -9,6 +9,7 @@
 //! the kind (k-NN or range), the matching kind, and the [`AnswerMode`] the
 //! caller wants, and the whole stack routes on them.
 
+use crate::hash::Fnv1a;
 use crate::knn::Guarantee;
 use crate::series::Series;
 use crate::{Error, Result};
@@ -495,6 +496,63 @@ impl Query {
     pub fn into_series(self) -> Series {
         self.series
     }
+
+    /// A stable FNV-1a hash over the query's canonical byte encoding: the
+    /// series values (by `f32` bit pattern), the query kind with its
+    /// parameter (`k` / radius), the matching kind, the [`AnswerMode`] with
+    /// its parameters, and the [`Budget`].
+    ///
+    /// Two queries that could legally produce different answers hash
+    /// differently: same values with a different `k`, a different mode (or
+    /// the same mode with different ε/δ), a different budget, or a
+    /// permutation of the same values. The hash is identical across
+    /// processes, platforms and runs, so it can key persistent or shared
+    /// caches (the serving layer keys its answer cache on it, combined with
+    /// the dataset fingerprint).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        // Series: length prefix then every value's bit pattern, so
+        // ([1.0], len 1) and ([1.0, 0.0], len 2) cannot collide by padding.
+        h.write_u64(self.series.len() as u64);
+        for &v in self.series.values() {
+            h.write_f32(v);
+        }
+        match self.kind {
+            QueryKind::Knn { k } => {
+                h.write_u8(0);
+                h.write_u64(k as u64);
+            }
+            QueryKind::Range { radius } => {
+                h.write_u8(1);
+                h.write_f64(radius);
+            }
+        }
+        h.write_u8(match self.matching {
+            MatchingKind::Whole => 0,
+            MatchingKind::Subsequence => 1,
+        });
+        match self.mode {
+            AnswerMode::Exact => h.write_u8(0),
+            AnswerMode::NgApproximate => h.write_u8(1),
+            AnswerMode::EpsilonApproximate { epsilon } => {
+                h.write_u8(2);
+                h.write_f64(epsilon);
+            }
+            AnswerMode::DeltaEpsilon { delta, epsilon } => {
+                h.write_u8(3);
+                h.write_f64(delta);
+                h.write_f64(epsilon);
+            }
+        }
+        match self.budget {
+            None => h.write_u8(0),
+            Some(b) => {
+                h.write_u8(1);
+                h.write_u64(b.limit());
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -758,5 +816,73 @@ mod tests {
         assert!(AnswerMode::parse("eps:-1").is_err());
         assert!(AnswerMode::parse("deltaeps:0.5").is_err());
         assert!(AnswerMode::parse("deltaeps:2,0.1").is_err());
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_and_deterministic() {
+        let a = Query::knn(series(), 5).canonical_hash();
+        let b = Query::knn(series(), 5).canonical_hash();
+        assert_eq!(a, b, "same query hashes identically across instances");
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_k() {
+        let k5 = Query::knn(series(), 5).canonical_hash();
+        let k6 = Query::knn(series(), 6).canonical_hash();
+        assert_ne!(k5, k6, "same values, different k");
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_mode() {
+        let base = Query::knn(series(), 5);
+        let exact = base.clone().canonical_hash();
+        let ng = base
+            .clone()
+            .with_mode(AnswerMode::NgApproximate)
+            .canonical_hash();
+        let eps1 = base
+            .clone()
+            .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.1 })
+            .canonical_hash();
+        let eps2 = base
+            .clone()
+            .with_mode(AnswerMode::EpsilonApproximate { epsilon: 0.2 })
+            .canonical_hash();
+        let de = base
+            .with_mode(AnswerMode::DeltaEpsilon {
+                delta: 0.05,
+                epsilon: 0.1,
+            })
+            .canonical_hash();
+        let all = [exact, ng, eps1, eps2, de];
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "modes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_series() {
+        let a = Query::knn(Series::new(vec![0.0, 1.0, 2.0, 3.0]), 5).canonical_hash();
+        // Same multiset of values, different order.
+        let b = Query::knn(Series::new(vec![3.0, 2.0, 1.0, 0.0]), 5).canonical_hash();
+        // Different length.
+        let c = Query::knn(Series::new(vec![0.0, 1.0, 2.0]), 5).canonical_hash();
+        assert_ne!(a, b, "value order is significant");
+        assert_ne!(a, c, "series length is significant");
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_kind_and_budget() {
+        let knn = Query::knn(series(), 5).canonical_hash();
+        let range = Query::range(series(), 5.0).canonical_hash();
+        assert_ne!(knn, range, "k-NN vs range with numerically equal parameter");
+
+        let unbounded = Query::knn(series(), 5).canonical_hash();
+        let bounded = Query::knn(series(), 5)
+            .with_budget(Some(Budget::raw_reads(100)))
+            .canonical_hash();
+        assert_ne!(unbounded, bounded, "budget is significant");
     }
 }

@@ -57,7 +57,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "nondeterministic-source",
-        summary: "wall-clock (`Instant::now`/`SystemTime`) or thread-identity sources inside answering-path crates",
+        summary: "wall-clock (`Instant::now`/`SystemTime`), thread-identity or timed-wait sources inside answering-path crates",
         hint: "answers must be pure functions of (dataset, query, options); waive measurement-only clocks with a reason",
         motivation: "PR 2/6 determinism contract: bit-identical answers and counters for every thread count",
     },
@@ -77,7 +77,7 @@ pub fn rule_by_id(id: &str) -> Option<&'static RuleInfo> {
 /// Crates whose non-test library code must not panic (`lib-unwrap`):
 /// `hydra-core` plus the crates implementing the ten answering methods.
 pub const NO_PANIC_CRATES: &[&str] = &[
-    "core", "scan", "vafile", "rtree", "mtree", "sfa", "dstree", "isax",
+    "core", "scan", "vafile", "rtree", "mtree", "sfa", "dstree", "isax", "serve",
 ];
 
 /// Crates on the answering/build/persistence path, where iteration order
@@ -94,6 +94,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "dstree",
     "isax",
     "transforms",
+    "serve",
 ];
 
 /// How a file is classified for rule scoping, derived from its
@@ -517,8 +518,12 @@ pub fn check_lib_unwrap(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// `nondeterministic-source`: wall clocks and thread identity in
-/// determinism-critical crates.
+/// `nondeterministic-source`: wall clocks, thread identity and timed waits
+/// in determinism-critical crates. Timed waits (`park_timeout`,
+/// `wait_timeout`, `recv_timeout`) matter on the serving path: a scheduler
+/// queue drained under a timeout makes task order a function of the wall
+/// clock, which the `hydra-serve` executor's deterministic FIFO contract
+/// forbids.
 pub fn check_nondeterministic_source(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if !ctx.class.crate_is(DETERMINISM_CRATES) || ctx.class.is_bin {
         return;
@@ -551,6 +556,9 @@ pub fn check_nondeterministic_source(ctx: &FileContext<'_>, out: &mut Vec<Findin
             {
                 Some("`thread::current().id()` makes logic depend on thread identity")
             }
+            "park_timeout" => Some("`park_timeout` makes scheduling depend on the wall clock"),
+            "wait_timeout" => Some("`wait_timeout` makes scheduling depend on the wall clock"),
+            "recv_timeout" => Some("`recv_timeout` makes scheduling depend on the wall clock"),
             _ => None,
         };
         if let Some(msg) = what {

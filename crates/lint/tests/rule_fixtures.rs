@@ -276,6 +276,34 @@ pub fn f() -> std::time::Duration {
 }
 
 #[test]
+fn nondeterministic_source_flags_timed_waits_in_serve() {
+    // The hydra-serve executor's contract: single-threaded drives are pure
+    // functions of the spawn/wake order, so its clock/queue surface must not
+    // wait under a timeout.
+    let src = r#"
+pub fn f(cv: &std::sync::Condvar, g: std::sync::MutexGuard<'_, bool>) {
+    let _ = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+}
+pub fn g() {
+    std::thread::park_timeout(std::time::Duration::from_millis(1));
+}
+pub fn h(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = rx.recv_timeout(std::time::Duration::from_millis(1));
+}
+"#;
+    assert_eq!(
+        fired("crates/serve/src/sample.rs", src),
+        vec![
+            "nondeterministic-source",
+            "nondeterministic-source",
+            "nondeterministic-source"
+        ]
+    );
+    // Harness code may time out freely.
+    assert!(fired(BENCH_PATH, src).is_empty());
+}
+
+#[test]
 fn nondeterministic_source_good_in_harness() {
     let src = r#"
 use std::time::Instant;

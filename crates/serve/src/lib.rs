@@ -1,0 +1,49 @@
+//! # hydra-serve
+//!
+//! A sharded, async, cached query-serving service layer over the hydra
+//! engines: the front-end that turns the suite's single-process library
+//! calls into a request-serving system.
+//!
+//! The crate stacks four small layers:
+//!
+//! * [`executor`] — a vendored-minimal async executor with a deterministic
+//!   FIFO task queue (the registry is offline, so no tokio). Single-threaded
+//!   drives are pure functions of the spawn/wake order; an optional scoped
+//!   thread pool trades completion-order determinism for throughput.
+//! * [`shard`] — per-shard [`EngineHandle`](hydra_core::EngineHandle)s over
+//!   contiguous [`partition_dataset`](hydra_storage::partition_dataset)
+//!   partitions, plus the scatter-gather k-NN merge. Exact k-NN is
+//!   partition-decomposable, so the merged answer is bit-identical to a
+//!   single unsharded engine; the serial [`scatter_gather`] reference defines
+//!   the contract the async pipeline is tested against for every mode.
+//! * [`cache`] — a deterministic (BTreeMap + FIFO eviction) answer cache
+//!   keyed on (dataset fingerprint, canonical query hash, mode), with
+//!   hit/miss/eviction counters.
+//! * [`service`] — [`QueryService`]: admission control that sheds overload
+//!   synchronously with typed [`Error::Overloaded`](hydra_core::Error)
+//!   errors, deadline-to-[`Budget`](hydra_core::Budget) mapping so late
+//!   queries degrade to [`Guarantee::Truncated`](hydra_core::Guarantee)
+//!   instead of timing out, and the request pipeline gluing cache, scatter
+//!   and gather onto the executor.
+//!
+//! The service is method-agnostic: shard engines are built through a caller
+//! closure (see [`QueryService::build`]), so any of the suite's ten methods —
+//! fresh-built or snapshot-loaded — serves unchanged. The `bench_serve` bin
+//! in `hydra-bench` drives open-loop arrival ladders against this crate.
+
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a `// SAFETY:` comment (enforced by hydra-lint's
+// `undocumented-unsafe` rule).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cache;
+pub mod executor;
+pub mod service;
+pub mod shard;
+
+pub use cache::{AnswerCache, CacheKey, CacheStats, CachedAnswer};
+pub use executor::{yield_now, Executor, JoinHandle};
+pub use service::{
+    deadline_budget, QueryService, RequestHandle, ServeAnswer, ServeConfig, ServiceStats,
+};
+pub use shard::{merge_shard_answers, scatter_gather, ShardEngine};

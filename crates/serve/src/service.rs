@@ -1,0 +1,580 @@
+//! The query service: admission control, deadline mapping, scatter-gather
+//! dispatch and the answer cache, glued onto the executor.
+//!
+//! A request's life: [`QueryService::submit`] first applies **admission
+//! control** — at most `queue_capacity` requests may be in flight, and the
+//! excess is shed *synchronously* with a typed
+//! [`Error::Overloaded`](hydra_core::Error::Overloaded) before any work
+//! happens, so shedding order is a pure function of the arrival order.
+//! Admitted requests with no explicit budget get one derived from the
+//! configured **deadline**: the deadline's byte allowance under the storage
+//! cost model, divided by the series size, becomes a raw-read
+//! [`Budget`](hydra_core::Budget) — a late query degrades to a best-so-far
+//! answer tagged [`Guarantee::Truncated`](hydra_core::Guarantee) instead of
+//! timing out. The request future then consults the **answer cache** (keyed
+//! on dataset fingerprint × canonical query hash × mode) and on a miss
+//! scatters one task per shard onto the executor, gathers in shard order,
+//! and merges via [`merge_shard_answers`] — the exact per-shard calls and
+//! merge of the serial [`scatter_gather`] reference, so the pipeline's
+//! answers are bit-identical to it.
+
+use crate::cache::{AnswerCache, CacheKey, CacheStats, CachedAnswer};
+use crate::executor::Executor;
+use crate::shard::{merge_shard_answers, scatter_gather, ShardEngine};
+use hydra_core::{
+    AnswerMode, AnswerSet, Budget, Dataset, EngineAnswer, Error, Guarantee, Query, QueryEngine,
+    QueryStats, Result,
+};
+use hydra_storage::{partition_dataset, snapshot, CostModel, DatasetStore};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of engine shards the dataset is partitioned over (clamped to
+    /// the dataset size; ≥ 1).
+    pub shards: usize,
+    /// Admission limit: the maximum number of requests in flight before
+    /// submissions shed with [`Error::Overloaded`].
+    pub queue_capacity: usize,
+    /// Answer-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Worker threads driving the executor in [`QueryService::drive`]; 1 is
+    /// the deterministic single-threaded mode.
+    pub worker_threads: usize,
+    /// Default request deadline; mapped onto a raw-read budget for queries
+    /// that carry none. `None` leaves queries unbudgeted.
+    pub deadline_ms: Option<u64>,
+    /// The storage cost model the deadline mapping prices reads with.
+    pub cost_model: CostModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            worker_threads: 1,
+            deadline_ms: None,
+            cost_model: CostModel::ssd(),
+        }
+    }
+}
+
+/// Admission/completion counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted past the queue.
+    pub accepted: u64,
+    /// Requests shed with [`Error::Overloaded`].
+    pub shed: u64,
+    /// Requests that produced an answer (hit or cold).
+    pub completed: u64,
+}
+
+/// One served answer: the merged scatter-gather result plus serving
+/// provenance.
+#[derive(Clone, Debug)]
+pub struct ServeAnswer {
+    /// The merged answer set.
+    pub answers: AnswerSet,
+    /// The merged guarantee.
+    pub guarantee: Guarantee,
+    /// Summed per-shard work counters (zero-cost for cache hits).
+    pub stats: QueryStats,
+    /// Engine wall time: the slowest shard of the cold run; zero for hits.
+    pub wall_time: Duration,
+    /// Max attempts over the shards of the cold run; zero for hits.
+    pub attempts: u32,
+    /// Whether the answer came from the cache.
+    pub from_cache: bool,
+}
+
+/// Handle to a submitted request; poll it after driving the executor.
+pub struct RequestHandle {
+    join: crate::executor::JoinHandle<Result<ServeAnswer>>,
+}
+
+impl std::fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("finished", &self.join.is_finished())
+            .finish()
+    }
+}
+
+impl RequestHandle {
+    /// Whether the request has finished (its result may already be taken).
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
+    /// Takes the result if the request has finished.
+    pub fn try_take(&self) -> Option<Result<ServeAnswer>> {
+        self.join.try_take()
+    }
+}
+
+/// The shared service state request futures run against.
+struct ServiceInner {
+    shards: Vec<ShardEngine>,
+    executor: Executor,
+    cache: Mutex<AnswerCache>,
+    config: ServeConfig,
+    dataset_fingerprint: u64,
+    total_size: usize,
+    series_bytes: u64,
+    in_flight: AtomicUsize,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A sharded, cached, admission-controlled query service over one dataset.
+/// Cloning shares all state (shards, cache, executor, counters).
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+}
+
+impl QueryService {
+    /// Builds a service: partitions `dataset` into `config.shards` contiguous
+    /// shards, wraps each in its own instrumented store, and builds an engine
+    /// per shard through `builder` (shard index, shard store) — the seam
+    /// through which callers choose fresh builds or snapshot loads without
+    /// this crate knowing any concrete method.
+    pub fn build<F>(dataset: &Dataset, config: ServeConfig, builder: F) -> Result<QueryService>
+    where
+        F: Fn(usize, Arc<DatasetStore>) -> Result<QueryEngine>,
+    {
+        if config.queue_capacity == 0 {
+            return Err(Error::invalid_parameter(
+                "queue_capacity",
+                "must admit at least one request",
+            ));
+        }
+        let dataset_fingerprint = snapshot::dataset_fingerprint(dataset);
+        let series_bytes = (dataset.series_length() * std::mem::size_of::<f32>()) as u64;
+        let mut shards = Vec::new();
+        for (i, part) in partition_dataset(dataset, config.shards)?
+            .into_iter()
+            .enumerate()
+        {
+            let store = Arc::new(DatasetStore::new(part.dataset));
+            let engine = builder(i, store)?;
+            shards.push(ShardEngine {
+                range: part.range,
+                handle: engine.into_handle(),
+            });
+        }
+        Ok(QueryService {
+            inner: Arc::new(ServiceInner {
+                shards,
+                executor: Executor::new(),
+                cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
+                config,
+                dataset_fingerprint,
+                total_size: dataset.len(),
+                series_bytes,
+                in_flight: AtomicUsize::new(0),
+                accepted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Submits a query. Sheds synchronously with [`Error::Overloaded`] when
+    /// `queue_capacity` requests are already in flight; otherwise attaches
+    /// the deadline-derived budget (if the query carries none and a deadline
+    /// is configured) and spawns the request future. Drive the executor
+    /// ([`QueryService::drive`] / [`QueryService::run_one`]) to make
+    /// progress.
+    pub fn submit(&self, query: Query) -> Result<RequestHandle> {
+        let inner = &self.inner;
+        // Admission under a CAS loop: the slot is claimed atomically, so the
+        // capacity is never oversubscribed even under concurrent submitters.
+        let mut current = inner.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= inner.config.queue_capacity {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::Overloaded {
+                    capacity: inner.config.queue_capacity,
+                });
+            }
+            match inner.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => current = now,
+            }
+        }
+        inner.accepted.fetch_add(1, Ordering::Relaxed);
+        let query = match (query.budget(), inner.config.deadline_ms) {
+            (None, Some(deadline_ms)) => query.with_budget(Some(deadline_budget(
+                deadline_ms,
+                inner.series_bytes,
+                &inner.config.cost_model,
+            ))),
+            _ => query,
+        };
+        let state = inner.clone();
+        let join = inner.executor.spawn(async move {
+            let result = process_request(&state, &query).await;
+            if result.is_ok() {
+                state.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            state.in_flight.fetch_sub(1, Ordering::AcqRel);
+            result
+        });
+        Ok(RequestHandle { join })
+    }
+
+    /// Drives the executor until no task is ready: single-threaded (the
+    /// deterministic mode) for `worker_threads <= 1`, scoped workers
+    /// otherwise.
+    pub fn drive(&self) {
+        let threads = self.inner.config.worker_threads;
+        if threads > 1 {
+            self.inner.executor.run_until_idle_threaded(threads);
+        } else {
+            self.inner.executor.run_until_idle();
+        }
+    }
+
+    /// Polls one ready task; `false` when none is ready. The load
+    /// generator's event loop interleaves this with its arrival schedule.
+    pub fn run_one(&self) -> bool {
+        self.inner.executor.run_one()
+    }
+
+    /// Submit-and-drive convenience: answers one query to completion.
+    pub fn answer(&self, query: Query) -> Result<ServeAnswer> {
+        let handle = self.submit(query)?;
+        self.drive();
+        match handle.try_take() {
+            Some(result) => result,
+            None => Err(Error::Internal(
+                "request did not complete after an idle drive".to_string(),
+            )),
+        }
+    }
+
+    /// The serial scatter-gather reference over the same shards: the answer
+    /// the async pipeline must (and does — see `tests/serve_agreement.rs`)
+    /// reproduce bit-for-bit.
+    pub fn reference_answer(&self, query: &Query) -> Result<EngineAnswer> {
+        scatter_gather(&self.inner.shards, self.inner.total_size, query)
+    }
+
+    /// The per-shard engines (ranges and handles), in shard order.
+    pub fn shards(&self) -> &[ShardEngine] {
+        &self.inner.shards
+    }
+
+    /// The total dataset size across all shards.
+    pub fn dataset_size(&self) -> usize {
+        self.inner.total_size
+    }
+
+    /// The served dataset's fingerprint (the cache-key component).
+    pub fn dataset_fingerprint(&self) -> u64 {
+        self.inner.dataset_fingerprint
+    }
+
+    /// Admission/completion counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.inner.accepted.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answer-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().stats()
+    }
+
+    /// Requests currently in flight (admitted, not yet completed).
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Acquire)
+    }
+}
+
+/// The cache key of a query against this service's dataset.
+fn cache_key(inner: &ServiceInner, query: &Query) -> CacheKey {
+    CacheKey {
+        dataset_fingerprint: inner.dataset_fingerprint,
+        query_hash: query.canonical_hash(),
+        mode_tag: mode_tag(query.mode()),
+    }
+}
+
+/// The coarse mode discriminant of a cache key.
+fn mode_tag(mode: AnswerMode) -> u8 {
+    match mode {
+        AnswerMode::Exact => 0,
+        AnswerMode::NgApproximate => 1,
+        AnswerMode::EpsilonApproximate { .. } => 2,
+        AnswerMode::DeltaEpsilon { .. } => 3,
+    }
+}
+
+/// One request: cache lookup, then scatter-gather on a miss.
+async fn process_request(inner: &Arc<ServiceInner>, query: &Query) -> Result<ServeAnswer> {
+    let key = cache_key(inner, query);
+    if let Some(hit) = inner.cache.lock().get(&key) {
+        return Ok(ServeAnswer {
+            answers: hit.answers,
+            guarantee: hit.guarantee,
+            stats: hit.stats,
+            wall_time: Duration::ZERO,
+            attempts: 0,
+            from_cache: true,
+        });
+    }
+    // Scatter: one executor task per shard, spawned before any is awaited so
+    // a threaded drive can run them concurrently.
+    let tasks: Vec<_> = inner
+        .shards
+        .iter()
+        .map(|shard| {
+            let shard = shard.clone();
+            let query = query.clone();
+            (
+                shard.range.clone(),
+                inner.executor.spawn(async move { shard.answer(&query) }),
+            )
+        })
+        .collect();
+    // Gather in shard order: the merge input order — and therefore the merge
+    // itself — is deterministic regardless of completion order, and a shard
+    // error surfaces in shard order exactly like the serial reference.
+    let mut parts = Vec::with_capacity(tasks.len());
+    for (range, task) in tasks {
+        parts.push((range, task.await?));
+    }
+    let k = query.k().unwrap_or(1);
+    let merged = merge_shard_answers(k, inner.total_size, parts);
+    inner.cache.lock().insert(
+        key,
+        CachedAnswer {
+            answers: merged.answers.clone(),
+            guarantee: merged.guarantee,
+            stats: merged.stats.clone(),
+        },
+    );
+    Ok(ServeAnswer {
+        answers: merged.answers,
+        guarantee: merged.guarantee,
+        stats: merged.stats,
+        wall_time: merged.wall_time,
+        attempts: merged.attempts,
+        from_cache: false,
+    })
+}
+
+/// Maps a deadline onto a raw-read budget under a storage cost model: the
+/// bytes the model's sequential bandwidth delivers within the deadline,
+/// divided by the series size, clamped to ≥ 1 read (the budget contract
+/// never returns an empty answer). Each shard receives the full budget —
+/// shards are independent stores scanned in parallel, so the deadline bounds
+/// each shard's own I/O, not the sum.
+pub fn deadline_budget(deadline_ms: u64, series_bytes: u64, model: &CostModel) -> Budget {
+    let deadline_secs = deadline_ms as f64 / 1000.0;
+    let bytes = deadline_secs * model.sequential_bytes_per_sec;
+    let reads = (bytes / series_bytes.max(1) as f64).floor() as u64;
+    Budget::raw_reads(reads.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::{AnsweringMethod, KnnHeap, MethodDescriptor, Series};
+
+    /// A store-reading brute-force scan, so shard answers flow through the
+    /// real counted-I/O path.
+    struct StoreScan {
+        store: Arc<DatasetStore>,
+    }
+
+    impl AnsweringMethod for StoreScan {
+        fn descriptor(&self) -> MethodDescriptor {
+            MethodDescriptor {
+                name: "StoreScan",
+                representation: "raw",
+                is_index: false,
+                modes: hydra_core::ModeCapabilities::exact_only(),
+            }
+        }
+
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            let mut heap = KnnHeap::new(query.k().unwrap_or(1));
+            for i in 0..self.store.len() {
+                let s = self.store.read_series(i);
+                stats.record_raw_series_examined(1);
+                heap.offer(i, hydra_core::euclidean(query.values(), s.values()));
+            }
+            Ok(heap.into_answer_set())
+        }
+    }
+
+    fn dataset(len: usize) -> Dataset {
+        let values: Vec<f32> = (0..len * 4).map(|v| (v % 17) as f32).collect();
+        Dataset::from_flat(values, 4)
+    }
+
+    fn service(config: ServeConfig) -> QueryService {
+        QueryService::build(&dataset(24), config, |_, store| {
+            let size = store.len();
+            Ok(QueryEngine::new(
+                Box::new(StoreScan {
+                    store: store.clone(),
+                }),
+                size,
+            )
+            .with_io_source(store))
+        })
+        .expect("service builds")
+    }
+
+    fn query(v: f32, k: usize) -> Query {
+        Query::knn(Series::new(vec![v, v, v, v]), k)
+    }
+
+    #[test]
+    fn sharded_service_matches_the_serial_reference() {
+        for shards in [1, 2, 4] {
+            let svc = service(ServeConfig {
+                shards,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            });
+            assert_eq!(svc.shards().len(), shards);
+            for k in [1, 3, 10] {
+                let q = query(3.0, k);
+                let reference = svc.reference_answer(&q).unwrap();
+                let served = svc.answer(q).unwrap();
+                assert_eq!(served.answers, reference.answers);
+                assert_eq!(served.guarantee, reference.guarantee);
+                assert_eq!(served.stats, reference.stats);
+                assert!(!served.from_cache);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_cold_answers() {
+        let svc = service(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        let cold = svc.answer(query(5.0, 3)).unwrap();
+        assert!(!cold.from_cache);
+        let hit = svc.answer(query(5.0, 3)).unwrap();
+        assert!(hit.from_cache);
+        assert_eq!(hit.answers, cold.answers);
+        assert_eq!(hit.guarantee, cold.guarantee);
+        assert_eq!(hit.stats, cold.stats);
+        assert_eq!(svc.cache_stats().hits, 1);
+        assert_eq!(svc.cache_stats().misses, 1);
+
+        // A different k (or mode) is a different key, not a stale hit.
+        let other = svc.answer(query(5.0, 4)).unwrap();
+        assert!(!other.from_cache);
+    }
+
+    #[test]
+    fn overload_sheds_synchronously_and_in_arrival_order() {
+        let svc = service(ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        // Submit without driving: the first two are admitted, the rest shed.
+        let h1 = svc.submit(query(1.0, 1)).unwrap();
+        let h2 = svc.submit(query(2.0, 1)).unwrap();
+        for v in [3.0, 4.0, 5.0] {
+            match svc.submit(query(v, 1)) {
+                Err(Error::Overloaded { capacity }) => assert_eq!(capacity, 2),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        assert_eq!(svc.in_flight(), 2);
+        svc.drive();
+        assert!(h1.try_take().unwrap().is_ok());
+        assert!(h2.try_take().unwrap().is_ok());
+        assert_eq!(svc.in_flight(), 0);
+        let stats = svc.service_stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.completed, 2);
+        // Capacity freed: submissions are admitted again.
+        assert!(svc.answer(query(6.0, 1)).is_ok());
+    }
+
+    #[test]
+    fn deadline_budget_prices_reads_under_the_cost_model() {
+        let model = CostModel::ssd();
+        let b = deadline_budget(1000, 4096, &model);
+        let expected = (model.sequential_bytes_per_sec / 4096.0).floor() as u64;
+        assert_eq!(b.limit(), expected);
+        // A vanishing deadline still buys one read: the budget contract
+        // never returns an empty answer.
+        assert_eq!(deadline_budget(0, 4096, &model).limit(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_queue_is_rejected_at_build_time() {
+        let err = QueryService::build(
+            &dataset(8),
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            |_, store| {
+                let size = store.len();
+                Ok(QueryEngine::new(Box::new(StoreScan { store }), size))
+            },
+        );
+        assert!(matches!(err, Err(Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn threaded_drive_returns_the_same_answers() {
+        let single = service(ServeConfig {
+            shards: 4,
+            cache_capacity: 0,
+            worker_threads: 1,
+            ..ServeConfig::default()
+        });
+        let threaded = service(ServeConfig {
+            shards: 4,
+            cache_capacity: 0,
+            worker_threads: 4,
+            ..ServeConfig::default()
+        });
+        let queries: Vec<Query> = (0..6).map(|i| query(i as f32, 3)).collect();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| single.answer(q.clone()).unwrap())
+            .collect();
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| threaded.submit(q.clone()).unwrap())
+            .collect();
+        threaded.drive();
+        for (h, e) in handles.iter().zip(&expected) {
+            let got = h.try_take().unwrap().unwrap();
+            assert_eq!(got.answers, e.answers);
+            assert_eq!(got.stats, e.stats);
+        }
+    }
+}

@@ -28,11 +28,15 @@
 //!   errors, page bit-flips, latency surcharges in cost-model units, snapshot
 //!   corruption) beneath the same counters, powering the chaos tests and the
 //!   robustness experiments.
+//! * [`partition`] splits a dataset into deterministic contiguous shard
+//!   partitions, each wrapped in its own store by the serving layer's
+//!   scatter-gather front-end.
 
 pub mod buffer;
 pub mod cost;
 pub mod counters;
 pub mod fault;
+pub mod partition;
 pub mod snapshot;
 pub mod store;
 
@@ -40,5 +44,6 @@ pub use buffer::BufferPool;
 pub use cost::{CostModel, StorageProfile};
 pub use counters::{IoCounters, IoSnapshot};
 pub use fault::{FaultConfig, FaultPlan};
+pub use partition::{partition_dataset, DatasetPartition};
 pub use snapshot::{load_index, save_index, snapshot_file_name, SnapshotReader, SnapshotWriter};
 pub use store::DatasetStore;

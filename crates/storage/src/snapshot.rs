@@ -24,6 +24,7 @@
 //! experiment that runs with an index directory.
 
 use crate::store::DatasetStore;
+use hydra_core::hash::Fnv1a;
 use hydra_core::persist::{PersistentIndex, SliceSource, SnapshotSink, SnapshotSource};
 use hydra_core::{BuildOptions, Dataset, Error, Result};
 use std::io::Write;
@@ -37,45 +38,16 @@ pub const MAGIC: [u8; 8] = *b"HYSNAPv1";
 /// payload evolution is the method's business (via its `snapshot_kind`).
 pub const CONTAINER_VERSION: u16 = 1;
 
-/// FNV-1a 64-bit, the checksum and fingerprint hash of the snapshot layer
-/// (dependency-free, deterministic across platforms).
-#[derive(Clone, Copy, Debug)]
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Self(Self::OFFSET)
-    }
-
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn update_u64(&mut self, v: u64) {
-        self.update(&v.to_le_bytes());
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
 /// Fingerprint of a dataset: series count, series length, and every value's
 /// bit pattern. Two datasets fingerprint equal iff they are bit-identical,
 /// which is exactly the condition under which a snapshot built over one is
 /// valid for the other.
 pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
     let mut h = Fnv1a::new();
-    h.update_u64(dataset.len() as u64);
-    h.update_u64(dataset.series_length() as u64);
+    h.write_u64(dataset.len() as u64);
+    h.write_u64(dataset.series_length() as u64);
     for &v in dataset.flat_values() {
-        h.update(&v.to_bits().to_le_bytes());
+        h.write_bytes(&v.to_bits().to_le_bytes());
     }
     h.finish()
 }
@@ -87,11 +59,11 @@ pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
 /// one parallelism is valid at any other.
 pub fn options_fingerprint(options: &BuildOptions) -> u64 {
     let mut h = Fnv1a::new();
-    h.update_u64(options.leaf_capacity as u64);
-    h.update_u64(options.segments as u64);
-    h.update_u64(options.alphabet_size as u64);
-    h.update_u64(options.buffer_bytes as u64);
-    h.update_u64(options.train_samples as u64);
+    h.write_u64(options.leaf_capacity as u64);
+    h.write_u64(options.segments as u64);
+    h.write_u64(options.alphabet_size as u64);
+    h.write_u64(options.buffer_bytes as u64);
+    h.write_u64(options.train_samples as u64);
     h.finish()
 }
 
@@ -160,7 +132,7 @@ impl SnapshotWriter {
         bytes.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&self.payload);
         let mut h = Fnv1a::new();
-        h.update(&bytes);
+        h.write_bytes(&bytes);
         bytes.extend_from_slice(&h.finish().to_le_bytes());
 
         let mut file = std::fs::File::create(path)?;
@@ -210,7 +182,7 @@ impl SnapshotReader {
         let trailer_at = data.len() - 8;
         let stored_checksum = u64::from_le_bytes(data[trailer_at..].try_into().unwrap());
         let mut h = Fnv1a::new();
-        h.update(&data[..trailer_at]);
+        h.write_bytes(&data[..trailer_at]);
         if h.finish() != stored_checksum {
             return Err(invalid("checksum mismatch: the file is damaged"));
         }
@@ -516,7 +488,7 @@ mod tests {
         versioned[9] = 0x7F;
         let trailer = versioned.len() - 8;
         let mut h = Fnv1a::new();
-        h.update(&versioned[..trailer]);
+        h.write_bytes(&versioned[..trailer]);
         let sum = h.finish().to_le_bytes();
         versioned[trailer..].copy_from_slice(&sum);
         std::fs::write(&path, &versioned).unwrap();
