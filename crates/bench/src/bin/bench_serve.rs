@@ -8,19 +8,29 @@
 //! dataset and reports p50/p99 latency, completions, sheds and the answer
 //! cache's hit rate; a second lane sweeps a deadline ladder and asserts that
 //! deadline-bounded requests degrade to `Guarantee::Truncated` answers
-//! instead of erroring. Results go to stdout and to `BENCH_serve.json` so
-//! later PRs have a serving trajectory to compare against.
+//! instead of erroring; a third, chaos lane re-runs the shard ladder with
+//! per-shard fault injection, circuit breakers and hedged retries, and
+//! reports availability, degraded-answer counts and breaker activity.
+//! Results go to stdout and to `BENCH_serve.json` so later PRs have a
+//! serving trajectory to compare against.
 //!
 //! Takes the shared flags: `--shards N` replaces the default 1/2/4 shard
-//! ladder with the single count N, and `--deadline-ms D` replaces the
-//! default deadline ladder with the single deadline D (`0` skips the
-//! deadline lane). Latencies include scheduler queueing on the host, so
-//! absolute numbers are only comparable within one machine.
+//! ladder with the single count N, `--deadline-ms D` replaces the default
+//! deadline ladder with the single deadline D (`0` skips the deadline
+//! lane), `--quorum P` (`all` / `best-effort` / a count) overrides the
+//! chaos lane's best-effort merge policy, and `--shard-fault-seed S`
+//! overrides its fault seed (`0` runs the lane fault-free). Latencies
+//! include scheduler queueing on the host, so absolute numbers are only
+//! comparable within one machine.
 
 use hydra_bench::registry::MethodKind;
-use hydra_core::{parallel, BuildOptions, Error, Guarantee, Query, RunClock};
+use hydra_core::{parallel, BuildOptions, Error, Guarantee, Query, RetryPolicy, RunClock};
 use hydra_data::{QueryWorkload, RandomWalkGenerator, WorkloadSpec};
-use hydra_serve::{deadline_budget, QueryService, RequestHandle, ServeConfig};
+use hydra_serve::{
+    deadline_budget, BreakerConfig, HedgeConfig, QueryService, QuorumPolicy, RequestHandle,
+    ResilienceConfig, ServeConfig,
+};
+use hydra_storage::{FaultConfig, FaultPlan};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -37,6 +47,11 @@ const SHARD_LADDER: [usize; 3] = [1, 2, 4];
 const LOAD_LADDER: [f64; 3] = [100.0, 400.0, 1600.0];
 const DEADLINE_LADDER: [u64; 3] = [1, 5, 1000];
 const DEADLINE_REQUESTS: usize = 8;
+/// Requests per chaos cell: three passes over the pool, closed-loop.
+const CHAOS_REQUESTS: usize = 48;
+/// Default per-shard fault seed for the chaos lane when `--shard-fault-seed`
+/// is not given; the flag replaces it (`0` runs the lane fault-free).
+const CHAOS_FAULT_SEED: u64 = 0xC4A05;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -69,6 +84,54 @@ struct CellResult {
     cache_hit_rate: f64,
     p50_ms: f64,
     p99_ms: f64,
+}
+
+struct ChaosCell {
+    full: usize,
+    partial: usize,
+    errors: usize,
+    availability: f64,
+    p99_ms: f64,
+    breaker_opens: u64,
+    breaker_denied: u64,
+    hedges_launched: u64,
+    hedges_won: u64,
+}
+
+/// One closed-loop chaos cell: every request runs to completion against a
+/// faulted service; outcomes are either full answers, `Guarantee::Partial`
+/// degraded answers, or typed errors — never panics.
+fn run_chaos_cell(service: &QueryService, queries: &[Query]) -> ChaosCell {
+    let mut full = 0usize;
+    let mut partial = 0usize;
+    let mut errors = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+    for i in 0..CHAOS_REQUESTS {
+        let clock = RunClock::start();
+        match service.answer(queries[i % queries.len()].clone()) {
+            Ok(answer) => {
+                match answer.guarantee {
+                    Guarantee::Partial { .. } => partial += 1,
+                    _ => full += 1,
+                }
+                latencies.push(clock.elapsed().as_secs_f64() * 1e3);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let reports = service.resilience_report();
+    ChaosCell {
+        full,
+        partial,
+        errors,
+        availability: (full + partial) as f64 / CHAOS_REQUESTS as f64,
+        p99_ms: percentile(&latencies, 0.99),
+        breaker_opens: reports.iter().map(|r| r.breaker_opened).sum(),
+        breaker_denied: reports.iter().map(|r| r.breaker_denied).sum(),
+        hedges_launched: reports.iter().map(|r| r.hedges_launched).sum(),
+        hedges_won: reports.iter().map(|r| r.hedges_won).sum(),
+    }
 }
 
 /// One open-loop cell: submits `REQUESTS` queries at `offered_qps` against a
@@ -241,6 +304,89 @@ fn main() {
         );
     }
 
+    // Chaos lane: the same service under per-shard fault injection. Each
+    // shard draws from its own seeded fault domain; a circuit breaker and
+    // hedged retries guard the scatter, and the quorum policy decides how
+    // much of the fleet must answer. `--quorum` overrides the lane's
+    // best-effort default, `--shard-fault-seed` the default seed (0 runs the
+    // lane fault-free as a plumbing check).
+    let quorum_flag = hydra_bench::cli::init_quorum();
+    let quorum = if std::env::var("HYDRA_QUORUM").is_ok() {
+        quorum_flag
+    } else {
+        QuorumPolicy::BestEffort
+    };
+    let seed_flag = hydra_bench::cli::init_shard_fault_seed();
+    let fault_seed = if std::env::var("HYDRA_SHARD_FAULT_SEED").is_ok() {
+        seed_flag
+    } else {
+        CHAOS_FAULT_SEED
+    };
+    println!("\nchaos lane: quorum {quorum}, shard-fault seed {fault_seed:#x}");
+    let mut chaos_rows = String::new();
+    for &shards in &shard_ladder {
+        let shard_faults = if fault_seed == 0 {
+            FaultPlan::disabled()
+        } else {
+            FaultPlan::seeded(fault_seed, FaultConfig::standard())
+        };
+        let config = ServeConfig {
+            shards,
+            queue_capacity: QUEUE_CAPACITY,
+            cache_capacity: CACHE_CAPACITY,
+            resilience: ResilienceConfig {
+                quorum,
+                breaker: Some(BreakerConfig::default()),
+                hedge: Some(HedgeConfig::default()),
+                shard_faults,
+                // Standard faults clear within 2 failed attempts; a 2-attempt
+                // budget deliberately under-provisions so roughly half the
+                // faulted keys persist into the breaker/quorum path instead
+                // of every cell trivially reporting 100% availability.
+                retry: Some(RetryPolicy::new(2, 4)),
+            },
+            ..ServeConfig::default()
+        };
+        let service = method
+            .service(&data, &options, config)
+            .expect("build service");
+        let cell = run_chaos_cell(&service, &queries);
+        assert_eq!(
+            cell.full + cell.partial + cell.errors,
+            CHAOS_REQUESTS,
+            "every chaos request must answer or fail typed"
+        );
+        println!(
+            "shards={shards}  full {:>2}  partial {:>2}  errors {:>2}  availability {:>5.1}%  \
+             p99 {:>8.3} ms  breaker opens {:>2} denied {:>2}  hedges {:>2}/{:>2} won",
+            cell.full,
+            cell.partial,
+            cell.errors,
+            cell.availability * 100.0,
+            cell.p99_ms,
+            cell.breaker_opens,
+            cell.breaker_denied,
+            cell.hedges_won,
+            cell.hedges_launched,
+        );
+        if !chaos_rows.is_empty() {
+            chaos_rows.push_str(",\n");
+        }
+        let _ = write!(
+            chaos_rows,
+            r#"    {{"shards": {shards}, "requests": {CHAOS_REQUESTS}, "full": {}, "partial": {}, "errors": {}, "availability": {:.4}, "p99_ms": {:.4}, "breaker_opens": {}, "breaker_denied": {}, "hedges_launched": {}, "hedges_won": {}}}"#,
+            cell.full,
+            cell.partial,
+            cell.errors,
+            cell.availability,
+            cell.p99_ms,
+            cell.breaker_opens,
+            cell.breaker_denied,
+            cell.hedges_launched,
+            cell.hedges_won
+        );
+    }
+
     let shard_list = shard_ladder
         .iter()
         .map(|s| s.to_string())
@@ -269,6 +415,11 @@ fn main() {
   "deadline_method": "{}",
   "deadline": [
 {deadline_rows}
+  ],
+  "chaos_quorum": "{quorum}",
+  "chaos_fault_seed": {fault_seed},
+  "chaos": [
+{chaos_rows}
   ]
 }}
 "#,

@@ -45,10 +45,21 @@
 //!   mapped onto a raw-read budget under the storage cost model, so late
 //!   queries degrade to `Guarantee::Truncated` instead of timing out. `0`
 //!   (or unset) serves without deadlines.
+//! * `--quorum Q` — the serving layer's quorum policy (`all`, `best-effort`,
+//!   or a shard count). [`init_quorum`] parses it through
+//!   [`QuorumPolicy::parse`] and exports `HYDRA_QUORUM`, which `bench_serve`
+//!   reads back: with fewer than a full quorum answering, the merge over the
+//!   survivors is served tagged `Guarantee::Partial` instead of failing.
+//! * `--shard-fault-seed N` — the serving layer's shard-fault seed.
+//!   [`init_shard_fault_seed`] parses it and exports
+//!   `HYDRA_SHARD_FAULT_SEED`, which `bench_serve` reads back to construct a
+//!   service-level [`hydra_storage::FaultPlan`]; every shard derives its own
+//!   independent fault stream from it. `0` (or unset) serves fault-free.
 //!
 //! One call to each at the top of `main` wires a whole experiment binary.
 
 use hydra_core::{AnswerMode, Budget, Parallelism};
+use hydra_serve::QuorumPolicy;
 use std::path::PathBuf;
 
 /// Parses `--threads N` (or `--threads=N`) from the process arguments,
@@ -504,6 +515,135 @@ fn deadline_ms_from(
     None
 }
 
+/// Parses `--quorum Q` (or `--quorum=Q`, with `Q` one of `all`,
+/// `best-effort`, or a shard count) from the process arguments, exports the
+/// canonical form via `HYDRA_QUORUM`, and returns the serving layer's quorum
+/// policy. Without the flag, an already-set `HYDRA_QUORUM` is respected;
+/// [`QuorumPolicy::AllShards`] (the strict pre-resilience behaviour) when
+/// that is unset too.
+///
+/// A `--quorum` flag with a missing or invalid value aborts the process:
+/// silently serving strict would record availability results under the wrong
+/// configuration.
+pub fn init_quorum() -> QuorumPolicy {
+    match quorum_from(std::env::args()) {
+        Some(Ok(policy)) => std::env::set_var("HYDRA_QUORUM", policy.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --quorum value {bad:?} (expected `all`, `best-effort`, or a shard count >= 1)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    quorum_from_env()
+}
+
+/// The quorum policy currently exported through `HYDRA_QUORUM`
+/// ([`QuorumPolicy::AllShards`] when unset).
+///
+/// A set-but-invalid `HYDRA_QUORUM` falls back to strict quorum with a
+/// warning on stderr, mirroring `batch_from_env`.
+pub fn quorum_from_env() -> QuorumPolicy {
+    let Ok(raw) = std::env::var("HYDRA_QUORUM") else {
+        return QuorumPolicy::AllShards;
+    };
+    match QuorumPolicy::parse(raw.trim()) {
+        Ok(policy) => policy,
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring invalid HYDRA_QUORUM={raw:?}; serving strict \
+                 (expected `all`, `best-effort`, or a shard count >= 1)"
+            );
+            QuorumPolicy::AllShards
+        }
+    }
+}
+
+/// Extracts the `--quorum` value from an argument list: `None` when the flag
+/// is absent, `Some(Err(raw))` when it is present but invalid.
+fn quorum_from(
+    args: impl Iterator<Item = String>,
+) -> Option<std::result::Result<QuorumPolicy, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--quorum" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--quorum=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(QuorumPolicy::parse(raw.trim()).map_err(|_| raw));
+    }
+    None
+}
+
+/// Parses `--shard-fault-seed N` (or `--shard-fault-seed=N`) from the
+/// process arguments, exports the value via `HYDRA_SHARD_FAULT_SEED`, and
+/// returns it. The seed drives the serving layer's per-shard fault domains
+/// (each shard derives an independent stream via
+/// [`hydra_storage::FaultPlan::for_shard`]); `0` (or unset) serves
+/// fault-free, and the same seed reproduces the same degraded run.
+///
+/// A `--shard-fault-seed` flag with a missing or unparseable value aborts
+/// the process: silently serving fault-free would record resilience results
+/// under the wrong configuration.
+pub fn init_shard_fault_seed() -> u64 {
+    match shard_fault_seed_from(std::env::args()) {
+        Some(Ok(seed)) => std::env::set_var("HYDRA_SHARD_FAULT_SEED", seed.to_string()),
+        Some(Err(bad)) => {
+            eprintln!(
+                "error: invalid --shard-fault-seed value {bad:?} (expected a number; 0 = no faults)"
+            );
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    shard_fault_seed_from_env()
+}
+
+/// The shard-fault seed currently exported through `HYDRA_SHARD_FAULT_SEED`
+/// (`0` — fault-free serving — when unset).
+///
+/// A set-but-unparseable `HYDRA_SHARD_FAULT_SEED` falls back to fault-free
+/// with a warning on stderr, mirroring `fault_seed_from_env`.
+pub fn shard_fault_seed_from_env() -> u64 {
+    let Ok(raw) = std::env::var("HYDRA_SHARD_FAULT_SEED") else {
+        return 0;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring unparseable HYDRA_SHARD_FAULT_SEED={raw:?}; serving \
+                 fault-free (expected a number; 0 = no faults)"
+            );
+            0
+        }
+    }
+}
+
+/// Extracts the `--shard-fault-seed` value from an argument list: `None`
+/// when the flag is absent, `Some(Err(raw))` when it is present but not a
+/// number.
+fn shard_fault_seed_from(
+    args: impl Iterator<Item = String>,
+) -> Option<std::result::Result<u64, String>> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let raw = if arg == "--shard-fault-seed" {
+            args.peek().cloned().unwrap_or_default()
+        } else if let Some(value) = arg.strip_prefix("--shard-fault-seed=") {
+            value.to_string()
+        } else {
+            continue;
+        };
+        return Some(raw.trim().parse::<u64>().map_err(|_| raw));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +694,57 @@ mod tests {
         assert_eq!(
             deadline_ms_from(argv(&["bin", "--deadline-ms"])),
             Some(Err("".into()))
+        );
+    }
+
+    #[test]
+    fn parses_quorum_forms() {
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum", "all"])),
+            Some(Ok(QuorumPolicy::AllShards))
+        );
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum=best-effort"])),
+            Some(Ok(QuorumPolicy::BestEffort))
+        );
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum", "2"])),
+            Some(Ok(QuorumPolicy::AtLeast(2)))
+        );
+        assert_eq!(quorum_from(argv(&["bin"])), None);
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum", "0"])),
+            Some(Err("0".into())),
+            "zero-shard quorum is invalid"
+        );
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum", "most"])),
+            Some(Err("most".into()))
+        );
+        assert_eq!(
+            quorum_from(argv(&["bin", "--quorum"])),
+            Some(Err(String::new()))
+        );
+    }
+
+    #[test]
+    fn parses_shard_fault_seed_forms() {
+        assert_eq!(
+            shard_fault_seed_from(argv(&["bin", "--shard-fault-seed", "42"])),
+            Some(Ok(42))
+        );
+        assert_eq!(
+            shard_fault_seed_from(argv(&["bin", "--shard-fault-seed=7"])),
+            Some(Ok(7))
+        );
+        assert_eq!(shard_fault_seed_from(argv(&["bin"])), None);
+        assert_eq!(
+            shard_fault_seed_from(argv(&["bin", "--shard-fault-seed", "chaos"])),
+            Some(Err("chaos".into()))
+        );
+        assert_eq!(
+            shard_fault_seed_from(argv(&["bin", "--shard-fault-seed"])),
+            Some(Err(String::new()))
         );
     }
 

@@ -641,6 +641,25 @@ impl EngineHandle {
         )
     }
 
+    /// Like [`EngineHandle::answer`], but with the retry loop's attempt
+    /// numbering shifted by `base_attempt` (announced through
+    /// [`IoSource::begin_attempt`], so fault-injecting sources key their
+    /// decisions on the shifted attempt). The serving layer's hedged retries
+    /// use a base past the primary's retry budget, giving the speculative
+    /// re-submission an independent — but equally deterministic — slice of
+    /// the fault plan. `base_attempt = 0` is exactly
+    /// [`EngineHandle::answer`].
+    pub fn answer_from_attempt(&self, query: &Query, base_attempt: u32) -> Result<EngineAnswer> {
+        measure_query_from_attempt(
+            self.method.as_ref(),
+            self.io.as_deref(),
+            query,
+            self.fallback,
+            self.retry,
+            base_attempt,
+        )
+    }
+
     /// The method's static description.
     pub fn descriptor(&self) -> MethodDescriptor {
         self.method.descriptor()
@@ -756,6 +775,25 @@ fn measure_query(
     fallback: FallbackPolicy,
     retry: RetryPolicy,
 ) -> Result<EngineAnswer> {
+    measure_query_from_attempt(method, io, query, fallback, retry, 0)
+}
+
+/// [`measure_query`] with the retry loop's attempt numbering shifted by
+/// `base_attempt`: the first attempt announces `base_attempt` through
+/// [`IoSource::begin_attempt`], the first retry `base_attempt + 1`, and so
+/// on. The serving layer's hedged retries use this to give a speculative
+/// re-submission a *different* (but still deterministic) slice of the fault
+/// plan than the primary attempt chain — a transient fault that persists
+/// through the primary's attempts has cleared by the hedge's. `base_attempt
+/// = 0` is exactly [`measure_query`].
+fn measure_query_from_attempt(
+    method: &dyn AnsweringMethod,
+    io: Option<&dyn IoSource>,
+    query: &Query,
+    fallback: FallbackPolicy,
+    retry: RetryPolicy,
+    base_attempt: u32,
+) -> Result<EngineAnswer> {
     let descriptor = method.descriptor();
     // Range queries are a typed error at the engine boundary: no method in
     // the suite answers them (previously they silently became 1-NN queries).
@@ -780,7 +818,7 @@ fn measure_query(
     let mut backoff_penalty: u64 = 0;
     loop {
         if let Some(io) = io {
-            io.begin_attempt(attempt - 1);
+            io.begin_attempt(base_attempt + attempt - 1);
             io.reset_thread_io();
         }
         let mut stats = QueryStats::default();

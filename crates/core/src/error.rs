@@ -76,6 +76,14 @@ pub enum Error {
         /// The admission-queue capacity that was exceeded.
         capacity: usize,
     },
+    /// A shard's circuit breaker is open: the shard failed repeatedly and its
+    /// sub-query was rejected without being attempted. Like
+    /// [`Error::Overloaded`], nothing was partially executed and a later
+    /// retry may succeed (the breaker half-opens after its priced cooldown).
+    CircuitOpen {
+        /// The shard whose breaker rejected the sub-query.
+        shard: usize,
+    },
 }
 
 impl Error {
@@ -110,7 +118,22 @@ impl Error {
         }
     }
 
-    /// Whether the engine's retry policy may re-attempt the failed operation.
+    /// Whether a retry of the failed operation may succeed.
+    ///
+    /// This is the single retriability classification every retry loop
+    /// consults — the engine's [`crate::engine::RetryPolicy`], the serving
+    /// layer's per-shard retries, and client-side backoff alike:
+    ///
+    /// * transient I/O faults ([`Error::Io`] with `retriable: true` — the
+    ///   classification the storage layer stamps on interrupted reads and
+    ///   detected bit-flips) clear after a bounded number of attempts;
+    /// * [`Error::Overloaded`] and [`Error::CircuitOpen`] rejected the
+    ///   request *before* any work happened, so resubmitting after backoff
+    ///   is always safe and eventually succeeds once pressure drains or the
+    ///   breaker half-opens;
+    /// * everything else — structural I/O faults, [`Error::UnsupportedMode`],
+    ///   [`Error::InvalidSnapshot`], corrupt indexes, invalid parameters — is
+    ///   deterministic: retrying reproduces the same failure.
     #[inline]
     pub fn is_retriable(&self) -> bool {
         matches!(
@@ -118,7 +141,8 @@ impl Error {
             Error::Io {
                 retriable: true,
                 ..
-            }
+            } | Error::Overloaded { .. }
+                | Error::CircuitOpen { .. }
         )
     }
 
@@ -177,6 +201,9 @@ impl fmt::Display for Error {
                     f,
                     "service overloaded: admission queue at capacity ({capacity} in flight)"
                 )
+            }
+            Error::CircuitOpen { shard } => {
+                write!(f, "shard {shard} rejected: circuit breaker is open")
             }
         }
     }
@@ -243,7 +270,29 @@ mod tests {
         let e = Error::Overloaded { capacity: 64 };
         assert!(e.to_string().contains("overloaded"));
         assert!(e.to_string().contains("64"));
-        assert!(!e.is_retriable(), "shedding is not an I/O retry condition");
+
+        let e = Error::CircuitOpen { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("circuit breaker"));
+    }
+
+    #[test]
+    fn retriability_classification_is_unified() {
+        // Pre-execution rejections: nothing ran, a backed-off retry is safe.
+        assert!(Error::Overloaded { capacity: 8 }.is_retriable());
+        assert!(Error::CircuitOpen { shard: 0 }.is_retriable());
+        // Transient I/O clears within its planned attempts.
+        assert!(Error::retriable_io(std::io::Error::other("hiccup")).is_retriable());
+        // Deterministic failures reproduce on retry: never retriable.
+        assert!(
+            !Error::unsupported_mode("scan", crate::query::AnswerMode::NgApproximate)
+                .is_retriable()
+        );
+        assert!(!Error::InvalidSnapshot("bad magic".into()).is_retriable());
+        assert!(!Error::StaleSnapshot("fingerprint".into()).is_retriable());
+        assert!(!Error::CorruptIndex("fanout".into()).is_retriable());
+        assert!(!Error::EmptyDataset.is_retriable());
+        assert!(!Error::from(std::io::Error::other("structural")).is_retriable());
     }
 
     #[test]

@@ -62,6 +62,67 @@ pub enum Guarantee {
         /// budget was exhausted (in `[0, 1]`).
         examined_fraction: f64,
     },
+    /// A degraded scatter-gather answer: only `shards_answered` of
+    /// `shards_total` shards contributed (the rest failed or were
+    /// circuit-broken), so the answers are a merge over the surviving
+    /// partitions only. `inner` is the guarantee that merge satisfies *over
+    /// the surviving shards* — e.g. `Partial { inner: Truncated {..} }` for a
+    /// deadline-degraded merge that also lost a shard.
+    Partial {
+        /// Shards whose answers made it into the merge.
+        shards_answered: u32,
+        /// Shards the query was scattered over.
+        shards_total: u32,
+        /// What the surviving shards' merge guarantees on its own.
+        inner: BaseGuarantee,
+    },
+}
+
+/// The non-partial core of a [`Guarantee`]: what a merge over the surviving
+/// shards guarantees on its own. A separate (still `Copy`) enum rather than a
+/// recursive `Box<Guarantee>` inside [`Guarantee::Partial`], so `Guarantee`
+/// stays `Copy` — partial degradation composes with every base guarantee but
+/// never nests.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum BaseGuarantee {
+    /// See [`Guarantee::Exact`].
+    #[default]
+    Exact,
+    /// See [`Guarantee::None`].
+    None,
+    /// See [`Guarantee::EpsilonBound`].
+    EpsilonBound {
+        /// The relative error bound.
+        epsilon: f64,
+    },
+    /// See [`Guarantee::ProbabilisticEpsilonBound`].
+    ProbabilisticEpsilonBound {
+        /// The confidence level.
+        delta: f64,
+        /// The relative error bound.
+        epsilon: f64,
+    },
+    /// See [`Guarantee::Truncated`].
+    Truncated {
+        /// Fraction of the surviving shards' raw series that were examined.
+        examined_fraction: f64,
+    },
+}
+
+impl From<BaseGuarantee> for Guarantee {
+    fn from(base: BaseGuarantee) -> Self {
+        match base {
+            BaseGuarantee::Exact => Guarantee::Exact,
+            BaseGuarantee::None => Guarantee::None,
+            BaseGuarantee::EpsilonBound { epsilon } => Guarantee::EpsilonBound { epsilon },
+            BaseGuarantee::ProbabilisticEpsilonBound { delta, epsilon } => {
+                Guarantee::ProbabilisticEpsilonBound { delta, epsilon }
+            }
+            BaseGuarantee::Truncated { examined_fraction } => {
+                Guarantee::Truncated { examined_fraction }
+            }
+        }
+    }
 }
 
 impl Guarantee {
@@ -69,6 +130,101 @@ impl Guarantee {
     #[inline]
     pub fn is_exact(&self) -> bool {
         matches!(self, Guarantee::Exact)
+    }
+
+    /// The non-partial core of this guarantee: the identity for base
+    /// variants, the `inner` for [`Guarantee::Partial`].
+    pub fn base(&self) -> BaseGuarantee {
+        match *self {
+            Guarantee::Exact => BaseGuarantee::Exact,
+            Guarantee::None => BaseGuarantee::None,
+            Guarantee::EpsilonBound { epsilon } => BaseGuarantee::EpsilonBound { epsilon },
+            Guarantee::ProbabilisticEpsilonBound { delta, epsilon } => {
+                BaseGuarantee::ProbabilisticEpsilonBound { delta, epsilon }
+            }
+            Guarantee::Truncated { examined_fraction } => {
+                BaseGuarantee::Truncated { examined_fraction }
+            }
+            Guarantee::Partial { inner, .. } => inner,
+        }
+    }
+
+    /// Tags `inner` as a partial merge over `shards_answered` of
+    /// `shards_total` shards. A full merge (`shards_answered ==
+    /// shards_total`) returns `inner` untouched, and an already-partial
+    /// `inner` is flattened onto its base — partiality never nests.
+    pub fn partial(shards_answered: u32, shards_total: u32, inner: Guarantee) -> Guarantee {
+        if shards_answered >= shards_total {
+            return inner;
+        }
+        Guarantee::Partial {
+            shards_answered,
+            shards_total,
+            inner: inner.base(),
+        }
+    }
+
+    /// Whether an answer carrying `self` may be served where `required` is
+    /// the strongest guarantee the request could earn: `self` is equal to or
+    /// stronger than `required`.
+    ///
+    /// The order: [`Guarantee::Exact`] covers everything; an ε bound covers
+    /// equal-or-looser ε bounds and their probabilistic relaxations; a
+    /// probabilistic bound covers equal-or-looser probabilistic bounds; any
+    /// complete answer covers a truncation requirement; everything covers
+    /// [`Guarantee::None`]. [`Guarantee::Partial`] covers nothing but an
+    /// equal-or-weaker partial tag over the same shard layout — a degraded
+    /// answer is never substituted where a full one could be earned.
+    pub fn covers(&self, required: &Guarantee) -> bool {
+        if matches!(required, Guarantee::None) {
+            return true;
+        }
+        match (*self, *required) {
+            (Guarantee::Exact, _) => true,
+            (
+                Guarantee::EpsilonBound { epsilon: have },
+                Guarantee::EpsilonBound { epsilon: want },
+            ) => have <= want,
+            (
+                Guarantee::EpsilonBound { epsilon: have },
+                Guarantee::ProbabilisticEpsilonBound { epsilon: want, .. },
+            ) => have <= want,
+            (
+                Guarantee::ProbabilisticEpsilonBound {
+                    delta: dh,
+                    epsilon: eh,
+                },
+                Guarantee::ProbabilisticEpsilonBound {
+                    delta: dw,
+                    epsilon: ew,
+                },
+            ) => dh >= dw && eh <= ew,
+            (
+                Guarantee::EpsilonBound { .. } | Guarantee::ProbabilisticEpsilonBound { .. },
+                Guarantee::Truncated { .. },
+            ) => true,
+            (
+                Guarantee::Truncated {
+                    examined_fraction: have,
+                },
+                Guarantee::Truncated {
+                    examined_fraction: want,
+                },
+            ) => have >= want,
+            (
+                Guarantee::Partial {
+                    shards_answered: ah,
+                    shards_total: th,
+                    inner: ih,
+                },
+                Guarantee::Partial {
+                    shards_answered: aw,
+                    shards_total: tw,
+                    inner: iw,
+                },
+            ) => th == tw && ah >= aw && Guarantee::from(ih).covers(&Guarantee::from(iw)),
+            _ => false,
+        }
     }
 }
 
@@ -821,5 +977,98 @@ mod tests {
         assert!(far.error_ratio_vs(&z).unwrap().is_infinite());
         // Empty sets have no ratio.
         assert_eq!(AnswerSet::default().error_ratio_vs(&exact), None);
+    }
+
+    #[test]
+    fn partial_guarantee_flattens_and_round_trips() {
+        let inner = Guarantee::Truncated {
+            examined_fraction: 0.5,
+        };
+        let partial = Guarantee::partial(2, 4, inner);
+        match partial {
+            Guarantee::Partial {
+                shards_answered,
+                shards_total,
+                inner,
+            } => {
+                assert_eq!((shards_answered, shards_total), (2, 4));
+                assert_eq!(Guarantee::from(inner), {
+                    Guarantee::Truncated {
+                        examined_fraction: 0.5,
+                    }
+                });
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        // A full merge carries no partial tag.
+        assert_eq!(Guarantee::partial(4, 4, inner), inner);
+        // Partiality never nests: re-tagging flattens onto the base.
+        let renested = Guarantee::partial(1, 4, partial);
+        assert_eq!(
+            renested,
+            Guarantee::Partial {
+                shards_answered: 1,
+                shards_total: 4,
+                inner: BaseGuarantee::Truncated {
+                    examined_fraction: 0.5
+                },
+            }
+        );
+        // `base()` unwraps the partial tag back to the inner core.
+        assert_eq!(Guarantee::from(partial.base()), inner);
+        assert_eq!(Guarantee::from(exact_base()), Guarantee::Exact);
+    }
+
+    fn exact_base() -> BaseGuarantee {
+        Guarantee::Exact.base()
+    }
+
+    #[test]
+    fn covers_orders_guarantees_by_strength() {
+        let exact = Guarantee::Exact;
+        let eps = |e: f64| Guarantee::EpsilonBound { epsilon: e };
+        let deps = |d: f64, e: f64| Guarantee::ProbabilisticEpsilonBound {
+            delta: d,
+            epsilon: e,
+        };
+        let trunc = |f: f64| Guarantee::Truncated {
+            examined_fraction: f,
+        };
+        // Exact covers everything; everything covers None.
+        for g in [
+            exact,
+            eps(0.1),
+            deps(0.9, 0.1),
+            trunc(0.5),
+            Guarantee::None,
+            Guarantee::partial(1, 2, exact),
+        ] {
+            assert!(exact.covers(&g), "Exact must cover {g:?}");
+            assert!(g.covers(&Guarantee::None), "{g:?} must cover None");
+        }
+        // ε bounds: tighter covers looser, and the probabilistic relaxation.
+        assert!(eps(0.1).covers(&eps(0.2)));
+        assert!(!eps(0.2).covers(&eps(0.1)));
+        assert!(eps(0.1).covers(&deps(0.9, 0.1)));
+        assert!(!deps(0.9, 0.1).covers(&eps(0.1)), "probabilistic is weaker");
+        assert!(deps(0.9, 0.1).covers(&deps(0.8, 0.2)));
+        assert!(!deps(0.8, 0.1).covers(&deps(0.9, 0.1)));
+        // Truncation: complete answers cover it, wider examination covers
+        // narrower, and truncated never covers a complete requirement.
+        assert!(eps(0.3).covers(&trunc(0.0)));
+        assert!(trunc(0.6).covers(&trunc(0.2)));
+        assert!(!trunc(0.2).covers(&trunc(0.6)));
+        assert!(!trunc(0.9).covers(&exact));
+        // Partial covers nothing but an equal-or-weaker partial tag over the
+        // same layout — degraded answers never launder into full ones.
+        let p23 = Guarantee::partial(2, 3, exact);
+        assert!(!p23.covers(&exact));
+        assert!(!p23.covers(&trunc(0.0)));
+        assert!(p23.covers(&Guarantee::partial(1, 3, exact)));
+        assert!(
+            !p23.covers(&Guarantee::partial(1, 4, exact)),
+            "layout differs"
+        );
+        assert!(!Guarantee::partial(1, 3, exact).covers(&p23));
     }
 }

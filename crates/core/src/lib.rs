@@ -64,7 +64,7 @@ pub use engine::{
 };
 pub use error::{Error, Result};
 pub use hash::Fnv1a;
-pub use knn::{replay_outcome, Answer, AnswerSet, Guarantee, KnnHeap, Outcome};
+pub use knn::{replay_outcome, Answer, AnswerSet, BaseGuarantee, Guarantee, KnnHeap, Outcome};
 pub use method::{
     AnsweringMethod, BatchAnswering, BuildOptions, ExactIndex, IndexFootprint, IntraAnswering,
     MethodDescriptor, ModeCapabilities,

@@ -110,6 +110,9 @@ pub struct FileClass {
     /// Whole-file test code: the integration `tests/` crate, `examples/`,
     /// and per-crate `tests/` directories.
     pub is_test_file: bool,
+    /// The workspace-relative path itself, for the few rules with
+    /// module-level scoping (e.g. the resilience wall-clock ban).
+    pub rel_path: String,
 }
 
 impl FileClass {
@@ -126,6 +129,7 @@ impl FileClass {
             crate_name,
             is_bin,
             is_test_file,
+            rel_path: rel.to_string(),
         }
     }
 
@@ -528,6 +532,14 @@ pub fn check_nondeterministic_source(ctx: &FileContext<'_>, out: &mut Vec<Findin
     if !ctx.class.crate_is(DETERMINISM_CRATES) || ctx.class.is_bin {
         return;
     }
+    // The serve resilience modules ban the wall clock outright: the
+    // breaker/hedging clock is simulated cost units, so even *holding* an
+    // `Instant` field (fine elsewhere as measurement plumbing) would let
+    // wall time leak into admission decisions and breaker traces.
+    let strict_wall_clock = matches!(
+        ctx.class.rel_path.as_str(),
+        "crates/serve/src/breaker.rs" | "crates/serve/src/resilience.rs"
+    );
     let toks = &ctx.lexed.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -535,7 +547,11 @@ pub fn check_nondeterministic_source(ctx: &FileContext<'_>, out: &mut Vec<Findin
             continue;
         }
         let what = match t.text.as_str() {
-            // `Instant::now()` — the field type `Instant` alone is fine.
+            "Instant" if strict_wall_clock => {
+                Some("`Instant` is wall-clock state; the resilience layer's clock is cost units")
+            }
+            // `Instant::now()` — elsewhere the field type `Instant` alone
+            // is fine.
             "Instant"
                 if punct_at(toks, i + 1, ":")
                     && punct_at(toks, i + 2, ":")

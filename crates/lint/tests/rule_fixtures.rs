@@ -304,6 +304,44 @@ pub fn h(rx: &std::sync::mpsc::Receiver<u32>) {
 }
 
 #[test]
+fn nondeterministic_source_bans_bare_instant_in_resilience_modules() {
+    // The breaker/hedging clock is simulated cost units: merely *holding*
+    // an `Instant` (no `::now()` call in sight) is already wall-clock state
+    // that could leak into admission decisions, so the strict ban fires on
+    // the bare type where ordinary answering-path crates allow it.
+    let src = r#"
+pub struct S {
+    started: std::time::Instant,
+}
+"#;
+    for strict in [
+        "crates/serve/src/breaker.rs",
+        "crates/serve/src/resilience.rs",
+    ] {
+        assert_eq!(
+            fired(strict, src),
+            vec!["nondeterministic-source"],
+            "{strict} must ban the bare Instant type"
+        );
+    }
+    // Elsewhere in serve (and in core) the field type alone stays legal;
+    // only `Instant::now()` calls are flagged.
+    assert!(fired("crates/serve/src/sample.rs", src).is_empty());
+    assert!(fired(CORE_PATH, src).is_empty());
+    // Under the strict ban both lines fire: the `Instant` return type and
+    // the `::now()` call.
+    let now = r#"
+pub fn f() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    assert_eq!(
+        fired("crates/serve/src/breaker.rs", now),
+        vec!["nondeterministic-source", "nondeterministic-source"]
+    );
+}
+
+#[test]
 fn nondeterministic_source_good_in_harness() {
     let src = r#"
 use std::time::Instant;

@@ -1,0 +1,349 @@
+//! A deterministic per-shard circuit breaker on the storage cost-model
+//! clock.
+//!
+//! Classic breakers are driven by wall time: trip after N failures, stay
+//! open for T seconds, admit one probe. Wall time would break this repo's
+//! bit-identity discipline — two runs of the same seed would trace different
+//! breaker states — so this breaker's clock is **simulated cost units**
+//! (microseconds of modelled I/O time under the service's
+//! [`hydra_storage::CostModel`]): every observed event advances the clock by
+//! a deterministic charge, and every state transition is a pure function of
+//! the observed event sequence. Same seed ⇒ same event sequence ⇒ same
+//! breaker trace, byte for byte.
+//!
+//! The state machine:
+//!
+//! ```text
+//!            failures ≥ threshold
+//!   Closed ───────────────────────▶ Open
+//!     ▲                              │ clock ≥ reopen_at
+//!     │ probe succeeds               ▼
+//!     └──────────────────────── HalfOpen ──▶ Open (probe fails;
+//!                              (one probe)        cooldown restarts)
+//! ```
+//!
+//! Three event classes advance the clock:
+//!
+//! * a **success** charges the answer's modelled I/O time (priced by the
+//!   caller, in microseconds of simulated cost);
+//! * a **failure** charges a fixed [`BreakerConfig::failure_charge`] — a
+//!   failed read still burned a seek's worth of simulated time;
+//! * a **denied admission** (the breaker is open) charges
+//!   [`BreakerConfig::denied_charge`], so a shard that receives traffic
+//!   while open still makes progress toward its half-open probe — the
+//!   cooldown is priced in *observed load*, not in wall-clock idleness, and
+//!   an open shard under steady traffic reopens after a bounded number of
+//!   rejections.
+
+/// Breaker tuning. All durations are simulated cost units (microseconds of
+/// modelled I/O time), never wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open (≥ 1).
+    pub failure_threshold: u32,
+    /// How long the breaker stays open, in cost units, before admitting a
+    /// half-open probe.
+    pub open_duration: u64,
+    /// Cost units a recorded failure advances the clock by.
+    pub failure_charge: u64,
+    /// Cost units a denied admission advances the clock by.
+    pub denied_charge: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            open_duration: 10_000,
+            failure_charge: 1_000,
+            denied_charge: 1_000,
+        }
+    }
+}
+
+/// The breaker's admission state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every sub-query is admitted.
+    Closed,
+    /// Tripped: sub-queries are rejected with a typed
+    /// [`Error::CircuitOpen`](hydra_core::Error::CircuitOpen) until the
+    /// cooldown elapses on the cost clock.
+    Open,
+    /// Cooldown elapsed: exactly one probe is in flight; its outcome closes
+    /// or re-opens the breaker.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// One state transition, stamped with the cost clock at which it happened.
+/// The trace of a seeded chaos run is part of the determinism contract: two
+/// runs of the same seed must produce identical traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// The breaker's cost clock (simulated microseconds) at the transition.
+    pub at_units: u64,
+    /// The state left.
+    pub from: BreakerState,
+    /// The state entered.
+    pub to: BreakerState,
+}
+
+/// A deterministic circuit breaker. See the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// The simulated clock: total cost units observed by this breaker.
+    now_units: u64,
+    consecutive_failures: u32,
+    /// When `state == Open`: the clock value at which a probe is admitted.
+    reopen_at: u64,
+    /// Closed → Open trips so far (the headline chaos metric).
+    opened: u64,
+    /// Denied admissions so far.
+    denied: u64,
+    trace: Vec<BreakerEvent>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker at clock zero.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config: BreakerConfig {
+                failure_threshold: config.failure_threshold.max(1),
+                ..config
+            },
+            state: BreakerState::Closed,
+            now_units: 0,
+            consecutive_failures: 0,
+            reopen_at: 0,
+            opened: 0,
+            denied: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The breaker's cost clock (total simulated microseconds observed).
+    pub fn now_units(&self) -> u64 {
+        self.now_units
+    }
+
+    /// How many times the breaker tripped open.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// How many admissions were denied while open.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// The state-transition trace so far.
+    pub fn trace(&self) -> &[BreakerEvent] {
+        &self.trace
+    }
+
+    /// Whether the next sub-query may proceed. `Closed` always admits;
+    /// `Open` denies (charging [`BreakerConfig::denied_charge`]) until the
+    /// cooldown elapses on the cost clock, then transitions to `HalfOpen`
+    /// and admits the single probe; `HalfOpen` denies while that probe is
+    /// in flight. The caller must report the admitted call's outcome via
+    /// [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`].
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.now_units >= self.reopen_at {
+                    self.transition(BreakerState::HalfOpen);
+                    true
+                } else {
+                    self.denied += 1;
+                    self.now_units = self.now_units.saturating_add(self.config.denied_charge);
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.denied += 1;
+                self.now_units = self.now_units.saturating_add(self.config.denied_charge);
+                false
+            }
+        }
+    }
+
+    /// Records a successful sub-query that cost `cost_units` simulated
+    /// microseconds. Resets the failure streak; a half-open probe's success
+    /// closes the breaker.
+    pub fn record_success(&mut self, cost_units: u64) {
+        self.now_units = self.now_units.saturating_add(cost_units);
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.transition(BreakerState::Closed);
+        }
+    }
+
+    /// Records a failed sub-query. Extends the failure streak; reaching the
+    /// threshold (or failing the half-open probe) opens the breaker for
+    /// [`BreakerConfig::open_duration`] cost units.
+    pub fn record_failure(&mut self) {
+        self.now_units = self.now_units.saturating_add(self.config.failure_charge);
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => self.open(),
+            BreakerState::Closed if self.consecutive_failures >= self.config.failure_threshold => {
+                self.open()
+            }
+            _ => {}
+        }
+    }
+
+    fn open(&mut self) {
+        self.reopen_at = self.now_units.saturating_add(self.config.open_duration);
+        self.opened += 1;
+        self.transition(BreakerState::Open);
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        self.trace.push(BreakerEvent {
+            at_units: self.now_units,
+            from: self.state,
+            to,
+        });
+        self.state = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_duration: 100,
+            failure_charge: 10,
+            denied_charge: 30,
+        }
+    }
+
+    #[test]
+    fn closed_admits_until_the_failure_threshold_trips() {
+        let mut b = CircuitBreaker::new(config());
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "one failure is tolerated");
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "second consecutive trips");
+        assert_eq!(b.opened(), 1);
+        assert!(!b.admit(), "open denies");
+    }
+
+    #[test]
+    fn a_success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(config());
+        b.record_failure();
+        b.record_success(5);
+        b.record_failure();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "non-consecutive failures never trip"
+        );
+    }
+
+    #[test]
+    fn denied_admissions_advance_the_clock_toward_half_open() {
+        let mut b = CircuitBreaker::new(config());
+        b.record_failure();
+        b.record_failure(); // clock 20, open until 120
+        assert_eq!(b.state(), BreakerState::Open);
+        // 120 - 20 = 100 units of cooldown at 30 per denial: 4 denials.
+        let mut denials = 0;
+        while !b.admit() {
+            denials += 1;
+            assert!(denials < 100, "breaker must eventually half-open");
+        }
+        assert_eq!(denials, 4);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "the admit is the probe");
+        assert_eq!(b.denied(), 4);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(config());
+        b.record_failure();
+        b.record_failure();
+        while !b.admit() {}
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "second concurrent probe is denied");
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_reopens() {
+        let mut reopened = CircuitBreaker::new(config());
+        reopened.record_failure();
+        reopened.record_failure();
+        while !reopened.admit() {}
+        reopened.record_failure();
+        assert_eq!(reopened.state(), BreakerState::Open, "failed probe reopens");
+        assert_eq!(reopened.opened(), 2);
+
+        let mut closed = CircuitBreaker::new(config());
+        closed.record_failure();
+        closed.record_failure();
+        while !closed.admit() {}
+        closed.record_success(7);
+        assert_eq!(closed.state(), BreakerState::Closed, "probe success heals");
+        assert!(closed.admit());
+    }
+
+    #[test]
+    fn the_trace_is_a_pure_function_of_the_event_sequence() {
+        let run = || {
+            let mut b = CircuitBreaker::new(config());
+            let mut admitted = Vec::new();
+            for i in 0..40u64 {
+                admitted.push(b.admit());
+                if *admitted.last().unwrap() {
+                    if i % 3 == 0 {
+                        b.record_success(i);
+                    } else {
+                        b.record_failure();
+                    }
+                }
+            }
+            (admitted, b.trace().to_vec(), b.now_units(), b.opened())
+        };
+        assert_eq!(run(), run(), "same events, same trace, same clock");
+    }
+
+    #[test]
+    fn trace_events_carry_the_cost_clock() {
+        let mut b = CircuitBreaker::new(config());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(
+            b.trace(),
+            &[BreakerEvent {
+                at_units: 20,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            }]
+        );
+    }
+}

@@ -85,18 +85,31 @@ impl AnswerCache {
     }
 
     /// Looks up a key, counting the outcome. Hits return a clone of the
-    /// inserted answer.
-    pub fn get(&mut self, key: &CacheKey) -> Option<CachedAnswer> {
+    /// inserted answer — but only when the entry's guarantee
+    /// [`covers`](Guarantee::covers) the `required` one. An entry that is
+    /// *weaker* than what a cold run would attain (e.g. a
+    /// [`Guarantee::Partial`] answer cached during an outage, looked up
+    /// after recovery) is a **miss**, never served: caching must not launder
+    /// a degraded answer into a full one. Pass [`Guarantee::None`] to accept
+    /// any entry.
+    pub fn get(&mut self, key: &CacheKey, required: &Guarantee) -> Option<CachedAnswer> {
         match self.map.get(key) {
-            Some(hit) => {
+            Some(hit) if hit.guarantee.covers(required) => {
                 self.stats.hits += 1;
                 Some(hit.clone())
             }
-            None => {
+            _ => {
                 self.stats.misses += 1;
                 None
             }
         }
+    }
+
+    /// Looks up a key with no strength requirement: the stale-fallback path,
+    /// which explicitly *wants* a possibly-degraded answer (and re-tags it
+    /// honestly). Counts like [`AnswerCache::get`].
+    pub fn get_any(&mut self, key: &CacheKey) -> Option<CachedAnswer> {
+        self.get(key, &Guarantee::None)
     }
 
     /// Inserts an answer, evicting the oldest entry when full. Re-inserting
@@ -118,6 +131,11 @@ impl AnswerCache {
                 self.stats.evictions += 1;
             }
         }
+    }
+
+    /// Whether an entry exists under `key` (no stats are counted).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
     }
 
     /// The running hit/miss/eviction counters.
@@ -161,9 +179,9 @@ mod tests {
     #[test]
     fn hits_return_the_inserted_answer_and_count() {
         let mut cache = AnswerCache::new(4);
-        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(1), &Guarantee::None).is_none());
         cache.insert(key(1), answer(11));
-        let hit = cache.get(&key(1)).expect("hit");
+        let hit = cache.get(&key(1), &Guarantee::None).expect("hit");
         assert_eq!(hit.answers.nearest().unwrap().id, 11);
         assert_eq!(
             cache.stats(),
@@ -184,9 +202,12 @@ mod tests {
         cache.insert(key(2), answer(2));
         cache.insert(key(3), answer(3));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key(1)).is_none(), "oldest evicted first");
-        assert!(cache.get(&key(2)).is_some());
-        assert!(cache.get(&key(3)).is_some());
+        assert!(
+            cache.get(&key(1), &Guarantee::None).is_none(),
+            "oldest evicted first"
+        );
+        assert!(cache.get(&key(2), &Guarantee::None).is_some());
+        assert!(cache.get(&key(3), &Guarantee::None).is_some());
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -195,7 +216,7 @@ mod tests {
         let mut cache = AnswerCache::new(0);
         cache.insert(key(1), answer(1));
         assert!(cache.is_empty());
-        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(1), &Guarantee::None).is_none());
     }
 
     #[test]
@@ -210,8 +231,8 @@ mod tests {
             mode_tag: 1,
             ..key(1)
         };
-        assert!(cache.get(&other_dataset).is_none());
-        assert!(cache.get(&other_mode).is_none());
+        assert!(cache.get(&other_dataset, &Guarantee::None).is_none());
+        assert!(cache.get(&other_mode, &Guarantee::None).is_none());
     }
 
     #[test]
@@ -221,6 +242,46 @@ mod tests {
         cache.insert(key(1), answer(9));
         cache.insert(key(2), answer(2));
         assert_eq!(cache.len(), 2, "no duplicate eviction slot");
-        assert_eq!(cache.get(&key(1)).unwrap().answers.nearest().unwrap().id, 9);
+        assert_eq!(
+            cache
+                .get(&key(1), &Guarantee::None)
+                .unwrap()
+                .answers
+                .nearest()
+                .unwrap()
+                .id,
+            9
+        );
+    }
+
+    #[test]
+    fn weaker_entries_are_never_served_for_a_stronger_requirement() {
+        // The guarantee-laundering regression: a Partial answer cached
+        // during an outage must not satisfy a post-recovery full lookup.
+        let mut cache = AnswerCache::new(4);
+        let mut degraded = answer(1);
+        degraded.guarantee = Guarantee::partial(1, 2, Guarantee::Exact);
+        cache.insert(key(1), degraded);
+        assert!(
+            cache.get(&key(1), &Guarantee::Exact).is_none(),
+            "a Partial entry is a miss for an Exact requirement"
+        );
+        assert_eq!(cache.stats().misses, 1, "the rejection counts as a miss");
+        assert!(
+            cache.get_any(&key(1)).is_some(),
+            "the stale-fallback path still reaches it"
+        );
+
+        // An equal-or-stronger entry is served.
+        cache.insert(key(2), answer(2));
+        assert!(cache.get(&key(2), &Guarantee::Exact).is_some());
+        assert!(cache
+            .get(
+                &key(2),
+                &Guarantee::Truncated {
+                    examined_fraction: 0.0
+                }
+            )
+            .is_some());
     }
 }

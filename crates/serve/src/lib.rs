@@ -25,6 +25,15 @@
 //!   queries degrade to [`Guarantee::Truncated`](hydra_core::Guarantee)
 //!   instead of timing out, and the request pipeline gluing cache, scatter
 //!   and gather onto the executor.
+//! * [`breaker`] + [`resilience`] — partial-failure handling: each shard is
+//!   an independent seeded fault domain
+//!   ([`FaultPlan::for_shard`](hydra_storage::FaultPlan::for_shard)) guarded
+//!   by a deterministic circuit breaker whose clock is simulated cost units
+//!   (never wall time), hedged retries for shards whose recent answers were
+//!   slow, and [`QuorumPolicy`]-governed degraded merges tagged
+//!   [`Guarantee::Partial`](hydra_core::Guarantee) — same seed ⇒ same
+//!   answers, same breaker traces. The default [`ResilienceConfig`] is
+//!   bit-identical to the strict pre-resilience service.
 //!
 //! The service is method-agnostic: shard engines are built through a caller
 //! closure (see [`QueryService::build`]), so any of the suite's ten methods —
@@ -36,14 +45,18 @@
 // `undocumented-unsafe` rule).
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod breaker;
 pub mod cache;
 pub mod executor;
+pub mod resilience;
 pub mod service;
 pub mod shard;
 
+pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker};
 pub use cache::{AnswerCache, CacheKey, CacheStats, CachedAnswer};
 pub use executor::{yield_now, Executor, JoinHandle};
+pub use resilience::{HedgeConfig, QuorumPolicy, ResilienceConfig, ShardHealth, ShardHealthReport};
 pub use service::{
     deadline_budget, QueryService, RequestHandle, ServeAnswer, ServeConfig, ServiceStats,
 };
-pub use shard::{merge_shard_answers, scatter_gather, ShardEngine};
+pub use shard::{merge_quorum, merge_shard_answers, scatter_gather, QuorumOutcome, ShardEngine};

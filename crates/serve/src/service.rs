@@ -20,7 +20,8 @@
 
 use crate::cache::{AnswerCache, CacheKey, CacheStats, CachedAnswer};
 use crate::executor::Executor;
-use crate::shard::{merge_shard_answers, scatter_gather, ShardEngine};
+use crate::resilience::{ResilienceConfig, ShardHealth, ShardHealthReport};
+use crate::shard::{merge_quorum, scatter_gather, ShardEngine};
 use hydra_core::{
     AnswerMode, AnswerSet, Budget, Dataset, EngineAnswer, Error, Guarantee, Query, QueryEngine,
     QueryStats, Result,
@@ -50,6 +51,10 @@ pub struct ServeConfig {
     pub deadline_ms: Option<u64>,
     /// The storage cost model the deadline mapping prices reads with.
     pub cost_model: CostModel,
+    /// Partial-failure policy: quorum, per-shard circuit breakers, hedged
+    /// retries, and the shard fault plan. The default is the strict
+    /// pre-resilience behaviour (all shards must answer, nothing injected).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +66,7 @@ impl Default for ServeConfig {
             worker_threads: 1,
             deadline_ms: None,
             cost_model: CostModel::ssd(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -122,6 +128,9 @@ impl RequestHandle {
 /// The shared service state request futures run against.
 struct ServiceInner {
     shards: Vec<ShardEngine>,
+    /// One health ledger (breaker + hedging window + counters) per shard,
+    /// indexed like `shards`.
+    health: Vec<Mutex<ShardHealth>>,
     executor: Executor,
     cache: Mutex<AnswerCache>,
     config: ServeConfig,
@@ -160,20 +169,37 @@ impl QueryService {
         let dataset_fingerprint = snapshot::dataset_fingerprint(dataset);
         let series_bytes = (dataset.series_length() * std::mem::size_of::<f32>()) as u64;
         let mut shards = Vec::new();
+        let mut health = Vec::new();
         for (i, part) in partition_dataset(dataset, config.shards)?
             .into_iter()
             .enumerate()
         {
-            let store = Arc::new(DatasetStore::new(part.dataset));
-            let engine = builder(i, store)?;
+            // Each shard is an independent fault domain: its store carries
+            // its own seeded fault stream, derived from the service-level
+            // plan so one seed deterministically degrades shards
+            // independently of each other (and of the shard count of other
+            // runs).
+            let store = Arc::new(
+                DatasetStore::new(part.dataset)
+                    .with_fault_plan(config.resilience.shard_faults.for_shard(i)),
+            );
+            let mut engine = builder(i, store)?;
+            if let Some(retry) = config.resilience.retry {
+                engine = engine.with_retry_policy(retry);
+            }
             shards.push(ShardEngine {
                 range: part.range,
                 handle: engine.into_handle(),
             });
+            health.push(Mutex::new(ShardHealth::new(
+                config.resilience.breaker,
+                config.resilience.hedge,
+            )));
         }
         Ok(QueryService {
             inner: Arc::new(ServiceInner {
                 shards,
+                health,
                 executor: Executor::new(),
                 cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
                 config,
@@ -303,6 +329,33 @@ impl QueryService {
         self.inner.cache.lock().stats()
     }
 
+    /// Per-shard health snapshots (breaker state/trips, hedges, failures),
+    /// in shard order.
+    pub fn resilience_report(&self) -> Vec<ShardHealthReport> {
+        self.inner
+            .health
+            .iter()
+            .map(|h| h.lock().report())
+            .collect()
+    }
+
+    /// Per-shard breaker state-transition traces, in shard order (empty
+    /// traces when breaking is disabled). Part of the chaos determinism
+    /// contract: same seed ⇒ identical traces.
+    pub fn breaker_traces(&self) -> Vec<Vec<crate::breaker::BreakerEvent>> {
+        self.inner
+            .health
+            .iter()
+            .map(|h| {
+                h.lock()
+                    .breaker
+                    .as_ref()
+                    .map(|b| b.trace().to_vec())
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
     /// Requests currently in flight (admitted, not yet completed).
     pub fn in_flight(&self) -> usize {
         self.inner.in_flight.load(Ordering::Acquire)
@@ -328,10 +381,49 @@ fn mode_tag(mode: AnswerMode) -> u8 {
     }
 }
 
-/// One request: cache lookup, then scatter-gather on a miss.
+/// The strongest guarantee a cold run of `query` could earn: the mode's
+/// nominal guarantee, weakened to a truncation requirement when the query is
+/// budgeted (a budgeted run may stop early). This is the bar a cache entry
+/// must meet to be served — an entry *below* it (e.g. a
+/// [`Guarantee::Partial`] answer cached during an outage) is recomputed, not
+/// replayed, so caching never launders a degraded answer into a full one.
+fn attainable_guarantee(query: &Query) -> Guarantee {
+    let nominal = match query.mode() {
+        AnswerMode::Exact => Guarantee::Exact,
+        AnswerMode::NgApproximate => Guarantee::None,
+        AnswerMode::EpsilonApproximate { epsilon } => Guarantee::EpsilonBound { epsilon },
+        AnswerMode::DeltaEpsilon { delta, epsilon } => {
+            Guarantee::ProbabilisticEpsilonBound { delta, epsilon }
+        }
+    };
+    if query.budget().is_some() && !matches!(nominal, Guarantee::None) {
+        // Any complete or truncated same-budget answer qualifies; only
+        // strictly-weaker tags (None, Partial) are rejected.
+        Guarantee::Truncated {
+            examined_fraction: 0.0,
+        }
+    } else {
+        nominal
+    }
+}
+
+/// One shard's dispatch: denied by its breaker, or in flight (primary plus
+/// an optional hedge).
+enum Dispatch {
+    Denied,
+    Flight {
+        primary: crate::executor::JoinHandle<Result<EngineAnswer>>,
+        hedge: Option<crate::executor::JoinHandle<Result<EngineAnswer>>>,
+    },
+}
+
+/// One request: strength-gated cache lookup, then a breaker-gated,
+/// optionally hedged scatter, a quorum-checked gather, and on total failure
+/// a stale-but-honestly-tagged cache fallback.
 async fn process_request(inner: &Arc<ServiceInner>, query: &Query) -> Result<ServeAnswer> {
     let key = cache_key(inner, query);
-    if let Some(hit) = inner.cache.lock().get(&key) {
+    let required = attainable_guarantee(query);
+    if let Some(hit) = inner.cache.lock().get(&key, &required) {
         return Ok(ServeAnswer {
             answers: hit.answers,
             guarantee: hit.guarantee,
@@ -342,44 +434,132 @@ async fn process_request(inner: &Arc<ServiceInner>, query: &Query) -> Result<Ser
         });
     }
     // Scatter: one executor task per shard, spawned before any is awaited so
-    // a threaded drive can run them concurrently.
-    let tasks: Vec<_> = inner
+    // a threaded drive can run them concurrently. Each shard's breaker rules
+    // on admission first; a denied shard contributes a typed CircuitOpen
+    // outcome without any engine work. A shard whose recent answers were
+    // slow gets a hedge: a speculative clone submission running from a
+    // shifted fault-attempt base (past the retry budget), so planned
+    // transients that doom the primary are already cleared for it.
+    let dispatches: Vec<_> = inner
         .shards
         .iter()
-        .map(|shard| {
-            let shard = shard.clone();
-            let query = query.clone();
-            (
-                shard.range.clone(),
-                inner.executor.spawn(async move { shard.answer(&query) }),
-            )
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut health = inner.health[i].lock();
+            if !health.admit() {
+                return (i, shard.range.clone(), Dispatch::Denied);
+            }
+            let hedging = health.should_hedge();
+            if hedging {
+                health.record_hedge_launched();
+            }
+            drop(health);
+            let primary = {
+                let shard = shard.clone();
+                let query = query.clone();
+                inner.executor.spawn(async move { shard.answer(&query) })
+            };
+            let hedge = hedging.then(|| {
+                let handle = shard.handle.clone();
+                let query = query.clone();
+                let base = handle.retry_policy().max_attempts;
+                inner
+                    .executor
+                    .spawn(async move { handle.answer_from_attempt(&query, base) })
+            });
+            (i, shard.range.clone(), Dispatch::Flight { primary, hedge })
         })
         .collect();
     // Gather in shard order: the merge input order — and therefore the merge
-    // itself — is deterministic regardless of completion order, and a shard
-    // error surfaces in shard order exactly like the serial reference.
-    let mut parts = Vec::with_capacity(tasks.len());
-    for (range, task) in tasks {
-        parts.push((range, task.await?));
+    // itself — is deterministic regardless of completion order, and shard
+    // errors surface in shard order exactly like the serial reference. The
+    // winner between a primary and its hedge is decided by task order, never
+    // completion time: the primary wins whenever it succeeded, so fault-free
+    // hedges never perturb answers or stats.
+    let mut parts = Vec::with_capacity(dispatches.len());
+    for (i, range, dispatch) in dispatches {
+        let outcome: Result<EngineAnswer> = match dispatch {
+            Dispatch::Denied => Err(Error::CircuitOpen { shard: i }),
+            Dispatch::Flight { primary, hedge } => {
+                let primary_result = primary.await;
+                let hedge_result = match hedge {
+                    Some(h) => Some(h.await),
+                    None => None,
+                };
+                let mut health = inner.health[i].lock();
+                let outcome = match (primary_result, hedge_result) {
+                    (Ok(answer), _) => Ok(answer),
+                    (Err(_), Some(Ok(answer))) => {
+                        health.record_hedge_won();
+                        Ok(answer)
+                    }
+                    (Err(e), _) => Err(e),
+                };
+                match &outcome {
+                    Ok(answer) => {
+                        let cost = inner
+                            .config
+                            .cost_model
+                            .io_time(&answer.stats.io_snapshot())
+                            .as_micros() as u64;
+                        health.record_success(cost);
+                    }
+                    Err(_) => health.record_failure(),
+                }
+                outcome
+            }
+        };
+        parts.push((range, outcome));
     }
     let k = query.k().unwrap_or(1);
-    let merged = merge_shard_answers(k, inner.total_size, parts);
-    inner.cache.lock().insert(
-        key,
-        CachedAnswer {
-            answers: merged.answers.clone(),
-            guarantee: merged.guarantee,
-            stats: merged.stats.clone(),
-        },
-    );
-    Ok(ServeAnswer {
-        answers: merged.answers,
-        guarantee: merged.guarantee,
-        stats: merged.stats,
-        wall_time: merged.wall_time,
-        attempts: merged.attempts,
-        from_cache: false,
-    })
+    let shards_total = parts.len() as u32;
+    match merge_quorum(k, inner.total_size, parts, inner.config.resilience.quorum) {
+        Ok(out) => {
+            // Full merges always cache (upgrading any degraded entry);
+            // Partial merges cache only into a vacant slot — they must never
+            // overwrite a stronger answer, and the strength-gated lookup
+            // keeps them from impersonating one. They exist in the cache
+            // purely as last-resort stale-fallback material.
+            let full = out.shards_answered == out.shards_total;
+            let mut cache = inner.cache.lock();
+            if full || !cache.contains(&key) {
+                cache.insert(
+                    key,
+                    CachedAnswer {
+                        answers: out.merged.answers.clone(),
+                        guarantee: out.merged.guarantee,
+                        stats: out.merged.stats.clone(),
+                    },
+                );
+            }
+            drop(cache);
+            Ok(ServeAnswer {
+                answers: out.merged.answers,
+                guarantee: out.merged.guarantee,
+                stats: out.merged.stats,
+                wall_time: out.merged.wall_time,
+                attempts: out.merged.attempts,
+                from_cache: false,
+            })
+        }
+        Err(e) => {
+            // Quorum failed. Last resort: serve a stale cached answer for
+            // this exact key, re-tagged as a zero-shard partial so the
+            // degradation is visible — never silently, never untagged.
+            if let Some(stale) = inner.cache.lock().get_any(&key) {
+                let guarantee = Guarantee::partial(0, shards_total.max(1), stale.guarantee);
+                return Ok(ServeAnswer {
+                    answers: stale.answers.with_guarantee(guarantee),
+                    guarantee,
+                    stats: stale.stats,
+                    wall_time: Duration::ZERO,
+                    attempts: 0,
+                    from_cache: true,
+                });
+            }
+            Err(e)
+        }
+    }
 }
 
 /// Maps a deadline onto a raw-read budget under a storage cost model: the
@@ -398,7 +578,10 @@ pub fn deadline_budget(deadline_ms: u64, series_bytes: u64, model: &CostModel) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::{BreakerConfig, BreakerState};
+    use crate::resilience::QuorumPolicy;
     use hydra_core::{AnsweringMethod, KnnHeap, MethodDescriptor, Series};
+    use std::sync::atomic::AtomicU64;
 
     /// A store-reading brute-force scan, so shard answers flow through the
     /// real counted-I/O path.
@@ -425,6 +608,56 @@ mod tests {
             }
             Ok(heap.into_answer_set())
         }
+    }
+
+    /// A scan that starts failing after `fail_from` calls (0 = always
+    /// fails), for exercising the degraded paths deterministically.
+    struct FlakyScan {
+        store: Arc<DatasetStore>,
+        fail_from: u64,
+        calls: AtomicU64,
+    }
+
+    impl AnsweringMethod for FlakyScan {
+        fn descriptor(&self) -> MethodDescriptor {
+            MethodDescriptor {
+                name: "FlakyScan",
+                representation: "raw",
+                is_index: false,
+                modes: hydra_core::ModeCapabilities::exact_only(),
+            }
+        }
+
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) >= self.fail_from {
+                return Err(Error::EmptyDataset);
+            }
+            let mut heap = KnnHeap::new(query.k().unwrap_or(1));
+            for i in 0..self.store.len() {
+                let s = self.store.read_series(i);
+                stats.record_raw_series_examined(1);
+                heap.offer(i, hydra_core::euclidean(query.values(), s.values()));
+            }
+            Ok(heap.into_answer_set())
+        }
+    }
+
+    /// A two-shard service whose shard 1 fails from its `fail_from`-th call.
+    fn degraded_service(config: ServeConfig, fail_from: &[u64]) -> QueryService {
+        let fail_from = fail_from.to_vec();
+        QueryService::build(&dataset(24), config, move |i, store| {
+            let size = store.len();
+            Ok(QueryEngine::new(
+                Box::new(FlakyScan {
+                    store: store.clone(),
+                    fail_from: fail_from[i],
+                    calls: AtomicU64::new(0),
+                }),
+                size,
+            )
+            .with_io_source(store))
+        })
+        .expect("service builds")
     }
 
     fn dataset(len: usize) -> Dataset {
@@ -575,6 +808,382 @@ mod tests {
             let got = h.try_take().unwrap().unwrap();
             assert_eq!(got.answers, e.answers);
             assert_eq!(got.stats, e.stats);
+        }
+    }
+
+    const NEVER: u64 = u64::MAX;
+
+    #[test]
+    fn all_shards_quorum_propagates_a_failing_shard() {
+        let svc = degraded_service(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            &[NEVER, 0],
+        );
+        match svc.answer(query(3.0, 2)) {
+            Err(Error::EmptyDataset) => {}
+            other => panic!("expected the shard error verbatim, got {other:?}"),
+        }
+        let report = svc.resilience_report();
+        assert_eq!(report[0].successes, 1);
+        assert_eq!(report[1].failures, 1);
+    }
+
+    #[test]
+    fn met_quorum_serves_partial_tagged_survivors() {
+        let svc = degraded_service(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                resilience: ResilienceConfig {
+                    quorum: QuorumPolicy::BestEffort,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            &[NEVER, 0],
+        );
+        let healthy = degraded_service(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+            &[NEVER, NEVER],
+        );
+        let degraded = svc.answer(query(3.0, 3)).unwrap();
+        match degraded.guarantee {
+            Guarantee::Partial {
+                shards_answered: 1,
+                shards_total: 2,
+                inner,
+            } => assert_eq!(Guarantee::from(inner), Guarantee::Exact),
+            other => panic!("expected Partial 1/2, got {other:?}"),
+        }
+        assert!(!degraded.from_cache);
+        // The survivors' answers are the healthy shard 0's k nearest: every
+        // served id lies in shard 0's range.
+        let shard0 = svc.shards()[0].range.clone();
+        for a in degraded.answers.iter() {
+            assert!(shard0.contains(&a.id), "id {} outside shard 0", a.id);
+        }
+        // And they agree with a healthy run's shard-0 candidates.
+        let full = healthy.answer(query(3.0, 3)).unwrap();
+        let full_shard0: Vec<usize> = full
+            .answers
+            .iter()
+            .map(|a| a.id)
+            .filter(|id| shard0.contains(id))
+            .collect();
+        for id in &full_shard0 {
+            assert!(degraded.answers.iter().any(|a| a.id == *id));
+        }
+    }
+
+    #[test]
+    fn partial_answers_never_impersonate_full_ones_in_the_cache() {
+        // Shard 1 always fails: every merge is Partial. With caching on,
+        // the Partial entry must not be replayed as a full answer.
+        let svc = degraded_service(
+            ServeConfig {
+                shards: 2,
+                resilience: ResilienceConfig {
+                    quorum: QuorumPolicy::BestEffort,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            &[NEVER, 0],
+        );
+        let first = svc.answer(query(3.0, 2)).unwrap();
+        assert!(matches!(first.guarantee, Guarantee::Partial { .. }));
+        let second = svc.answer(query(3.0, 2)).unwrap();
+        assert!(
+            !second.from_cache,
+            "the Partial entry is below the attainable guarantee: recomputed"
+        );
+        assert!(matches!(second.guarantee, Guarantee::Partial { .. }));
+    }
+
+    #[test]
+    fn stale_cache_fallback_serves_tagged_when_quorum_fails_entirely() {
+        // Shard 0 answers once then fails; shard 1 always fails.
+        let svc = degraded_service(
+            ServeConfig {
+                shards: 2,
+                resilience: ResilienceConfig {
+                    quorum: QuorumPolicy::BestEffort,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            &[1, 0],
+        );
+        let first = svc.answer(query(3.0, 2)).unwrap();
+        assert!(matches!(
+            first.guarantee,
+            Guarantee::Partial {
+                shards_answered: 1,
+                ..
+            }
+        ));
+        // Both shards now fail; quorum unmet — the cached partial is served
+        // stale, re-tagged as a zero-shard partial.
+        let stale = svc.answer(query(3.0, 2)).unwrap();
+        assert!(stale.from_cache);
+        match stale.guarantee {
+            Guarantee::Partial {
+                shards_answered: 0,
+                shards_total: 2,
+                ..
+            } => {}
+            other => panic!("expected zero-shard Partial, got {other:?}"),
+        }
+        assert_eq!(stale.answers.answers().len(), first.answers.answers().len());
+        // A query never cached has nothing to fall back on: typed error.
+        match svc.answer(query(9.0, 2)) {
+            Err(Error::EmptyDataset) => {}
+            other => panic!("expected the shard error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_rejects_with_circuit_open() {
+        let svc = degraded_service(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                resilience: ResilienceConfig {
+                    quorum: QuorumPolicy::BestEffort,
+                    breaker: Some(BreakerConfig {
+                        failure_threshold: 2,
+                        open_duration: 1_000_000_000,
+                        failure_charge: 1,
+                        denied_charge: 1,
+                    }),
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            &[NEVER, 0],
+        );
+        for i in 0..4 {
+            svc.answer(query(i as f32, 1)).unwrap();
+        }
+        let report = svc.resilience_report();
+        assert_eq!(
+            report[1].failures, 2,
+            "after two failures the breaker opens; later requests are denied"
+        );
+        assert_eq!(report[1].rejected, 2);
+        assert_eq!(report[1].breaker_state, Some(BreakerState::Open));
+        assert_eq!(report[1].breaker_opened, 1);
+        assert_eq!(report[0].breaker_state, Some(BreakerState::Closed));
+        assert_eq!(report[0].successes, 4, "the healthy shard is untouched");
+        // The broken shard's denials are typed: under AllShards they would
+        // surface as CircuitOpen.
+        let strict = degraded_service(
+            ServeConfig {
+                shards: 2,
+                cache_capacity: 0,
+                resilience: ResilienceConfig {
+                    breaker: Some(BreakerConfig {
+                        failure_threshold: 1,
+                        open_duration: 1_000_000_000,
+                        failure_charge: 1,
+                        denied_charge: 1,
+                    }),
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            &[NEVER, 0],
+        );
+        assert!(strict.answer(query(0.0, 1)).is_err());
+        match strict.answer(query(1.0, 1)) {
+            Err(Error::CircuitOpen { shard: 1 }) => {}
+            other => panic!("expected CircuitOpen for shard 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_traces_are_deterministic_across_identical_runs() {
+        let run = || {
+            let svc = degraded_service(
+                ServeConfig {
+                    shards: 2,
+                    cache_capacity: 0,
+                    resilience: ResilienceConfig {
+                        quorum: QuorumPolicy::BestEffort,
+                        breaker: Some(BreakerConfig {
+                            failure_threshold: 2,
+                            open_duration: 500,
+                            failure_charge: 100,
+                            denied_charge: 100,
+                        }),
+                        ..ResilienceConfig::default()
+                    },
+                    ..ServeConfig::default()
+                },
+                &[NEVER, 3],
+            );
+            for i in 0..12 {
+                let _ = svc.answer(query(i as f32, 1));
+            }
+            (svc.breaker_traces(), svc.resilience_report())
+        };
+        assert_eq!(run(), run(), "same events ⇒ same traces and reports");
+    }
+
+    /// A scan that fails exactly on the listed call indices — for pinning
+    /// the primary/hedge interleaving.
+    struct CallFailScan {
+        store: Arc<DatasetStore>,
+        fail_calls: Vec<u64>,
+        calls: AtomicU64,
+    }
+
+    impl AnsweringMethod for CallFailScan {
+        fn descriptor(&self) -> MethodDescriptor {
+            MethodDescriptor {
+                name: "CallFailScan",
+                representation: "raw",
+                is_index: false,
+                modes: hydra_core::ModeCapabilities::exact_only(),
+            }
+        }
+
+        fn answer(&self, query: &Query, stats: &mut QueryStats) -> Result<AnswerSet> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if self.fail_calls.contains(&call) {
+                return Err(Error::EmptyDataset);
+            }
+            let mut heap = KnnHeap::new(query.k().unwrap_or(1));
+            for i in 0..self.store.len() {
+                let s = self.store.read_series(i);
+                stats.record_raw_series_examined(1);
+                heap.offer(i, hydra_core::euclidean(query.values(), s.values()));
+            }
+            Ok(heap.into_answer_set())
+        }
+    }
+
+    #[test]
+    fn a_hedge_rescues_a_failing_primary() {
+        // One shard; call 0 (the warm-up request) succeeds, call 1 (the
+        // second request's primary) fails, call 2 (its hedge) succeeds. The
+        // hedge window is warm after one sample, so the second request
+        // launches primary + hedge; the hedge's answer is served.
+        let svc = QueryService::build(
+            &dataset(24),
+            ServeConfig {
+                cache_capacity: 0,
+                resilience: ResilienceConfig {
+                    hedge: Some(crate::resilience::HedgeConfig {
+                        quantile: 0.5,
+                        window: 8,
+                        min_samples: 1,
+                    }),
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            |_, store| {
+                let size = store.len();
+                Ok(QueryEngine::new(
+                    Box::new(CallFailScan {
+                        store: store.clone(),
+                        fail_calls: vec![1],
+                        calls: AtomicU64::new(0),
+                    }),
+                    size,
+                )
+                .with_io_source(store))
+            },
+        )
+        .unwrap();
+        let warm = svc.answer(query(1.0, 3)).unwrap();
+        let rescued = svc.answer(query(2.0, 3)).unwrap();
+        assert_eq!(rescued.guarantee, Guarantee::Exact, "the hedge answered");
+        assert_eq!(
+            rescued.answers.answers().len(),
+            warm.answers.answers().len()
+        );
+        let report = svc.resilience_report();
+        assert_eq!(report[0].hedges_launched, 1);
+        assert_eq!(report[0].hedges_won, 1);
+        assert_eq!(report[0].successes, 2);
+        assert_eq!(report[0].failures, 0, "the rescued request is a success");
+    }
+
+    #[test]
+    fn a_winning_primary_ignores_its_hedge() {
+        // No failures at all: hedges may launch, but the primary's answer is
+        // always served — hedging never perturbs fault-free results.
+        let hedged = QueryService::build(
+            &dataset(24),
+            ServeConfig {
+                cache_capacity: 0,
+                resilience: ResilienceConfig {
+                    hedge: Some(crate::resilience::HedgeConfig {
+                        quantile: 0.5,
+                        window: 8,
+                        min_samples: 1,
+                    }),
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+            |_, store| {
+                let size = store.len();
+                Ok(QueryEngine::new(
+                    Box::new(StoreScan {
+                        store: store.clone(),
+                    }),
+                    size,
+                )
+                .with_io_source(store))
+            },
+        )
+        .unwrap();
+        let plain = service(ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        for i in 0..4 {
+            let h = hedged.answer(query(i as f32, 3)).unwrap();
+            let p = plain.answer(query(i as f32, 3)).unwrap();
+            assert_eq!(h.answers, p.answers);
+            assert_eq!(h.guarantee, p.guarantee);
+            assert_eq!(h.stats, p.stats, "per-query counters are untouched");
+        }
+        let report = hedged.resilience_report();
+        assert!(report[0].hedges_launched >= 1, "hedges did launch");
+        assert_eq!(report[0].hedges_won, 0, "but never won");
+    }
+
+    #[test]
+    fn default_resilience_keeps_the_strict_service_bit_identical() {
+        // The agreement contract: with ResilienceConfig::default() the
+        // pipeline is exactly the pre-resilience one.
+        let svc = service(ServeConfig {
+            shards: 4,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let q = query(3.0, 5);
+        let reference = svc.reference_answer(&q).unwrap();
+        let served = svc.answer(q).unwrap();
+        assert_eq!(served.answers, reference.answers);
+        assert_eq!(served.guarantee, reference.guarantee);
+        assert_eq!(served.stats, reference.stats);
+        for r in svc.resilience_report() {
+            assert_eq!(r.breaker_state, None);
+            assert_eq!(r.hedges_launched, 0);
+            assert_eq!(r.rejected, 0);
         }
     }
 }

@@ -17,8 +17,9 @@
 //! [`Guarantee::Truncated`] whose examined fraction is the summed per-shard
 //! raw reads over the total dataset size.
 
+use crate::resilience::QuorumPolicy;
 use hydra_core::{
-    Answer, AnswerSet, EngineAnswer, EngineHandle, Guarantee, Query, QueryStats, Result,
+    Answer, AnswerSet, EngineAnswer, EngineHandle, Error, Guarantee, Query, QueryStats, Result,
 };
 use std::ops::Range;
 
@@ -108,6 +109,71 @@ fn merge_guarantees(parts: &[(Range<usize>, EngineAnswer)], total_size: usize) -
     } else {
         Guarantee::None
     }
+}
+
+/// A quorum merge outcome: the merged answer plus how many shards
+/// contributed to it.
+#[derive(Clone, Debug)]
+pub struct QuorumOutcome {
+    /// The merged (possibly [`Guarantee::Partial`]-tagged) answer.
+    pub merged: EngineAnswer,
+    /// Shards whose answers made it into the merge.
+    pub shards_answered: u32,
+    /// Shards scattered to.
+    pub shards_total: u32,
+}
+
+/// Merges per-shard *outcomes* (answers or errors) under a quorum policy.
+///
+/// With every shard answering, this is exactly [`merge_shard_answers`] — the
+/// bit-identity path the agreement tests pin. When shards failed:
+///
+/// * [`QuorumPolicy::AllShards`] (and any unmet quorum) fails the request
+///   with the **first error in shard order**, matching the serial
+///   reference's early return;
+/// * a met quorum merges the survivors and tags the result
+///   [`Guarantee::Partial`] over the merged guarantee — `k` nearest of the
+///   answered partitions, honestly labelled with how much of the dataset
+///   answered. The inner guarantee composes: a budget-truncated partial
+///   merge is `Partial { inner: Truncated }`.
+pub fn merge_quorum(
+    k: usize,
+    total_size: usize,
+    parts: Vec<(Range<usize>, Result<EngineAnswer>)>,
+    policy: QuorumPolicy,
+) -> Result<QuorumOutcome> {
+    let shards_total = parts.len() as u32;
+    let mut answered = Vec::with_capacity(parts.len());
+    let mut first_error = None;
+    for (range, outcome) in parts {
+        match outcome {
+            Ok(part) => answered.push((range, part)),
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    let shards_answered = answered.len() as u32;
+    if (shards_answered as usize) < policy.required(shards_total as usize) {
+        // Unmet quorum: fail exactly like the strict path — the first shard
+        // error in shard order. (Unreachable without an error: a full gather
+        // always meets any quorum.)
+        return Err(first_error
+            .unwrap_or_else(|| Error::Internal("quorum unmet without a shard error".to_string())));
+    }
+    let mut merged = merge_shard_answers(k, total_size, answered);
+    if shards_answered < shards_total {
+        let guarantee = Guarantee::partial(shards_answered, shards_total, merged.guarantee);
+        merged.guarantee = guarantee;
+        merged.answers = std::mem::take(&mut merged.answers).with_guarantee(guarantee);
+    }
+    Ok(QuorumOutcome {
+        merged,
+        shards_answered,
+        shards_total,
+    })
 }
 
 /// The serial scatter-gather reference: answers the query on every shard in
@@ -229,5 +295,99 @@ mod tests {
             Guarantee::None,
             "mixed guarantees degrade conservatively"
         );
+    }
+
+    fn failing(range: Range<usize>) -> (Range<usize>, hydra_core::Result<EngineAnswer>) {
+        (range, Err(Error::EmptyDataset))
+    }
+
+    fn ok_part(
+        range: Range<usize>,
+        ids: &[(usize, f64)],
+    ) -> (Range<usize>, hydra_core::Result<EngineAnswer>) {
+        let (range, answer) = part(range, ids, Guarantee::Exact);
+        (range, Ok(answer))
+    }
+
+    #[test]
+    fn all_shards_quorum_surfaces_the_first_error_in_shard_order() {
+        let parts = vec![
+            ok_part(0..2, &[(0, 1.0)]),
+            failing(2..4),
+            (4..6, Err(Error::CircuitOpen { shard: 2 })),
+        ];
+        let err = merge_quorum(1, 6, parts, QuorumPolicy::AllShards).unwrap_err();
+        assert!(
+            matches!(err, Error::EmptyDataset),
+            "shard 1's error wins over shard 2's, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn full_gather_under_any_quorum_is_the_plain_merge() {
+        for policy in [
+            QuorumPolicy::AllShards,
+            QuorumPolicy::AtLeast(1),
+            QuorumPolicy::BestEffort,
+        ] {
+            let parts = vec![ok_part(0..2, &[(0, 2.0)]), ok_part(2..4, &[(1, 1.0)])];
+            let out = merge_quorum(2, 4, parts, policy).unwrap();
+            assert_eq!(out.shards_answered, 2);
+            assert_eq!(out.shards_total, 2);
+            assert_eq!(out.merged.guarantee, Guarantee::Exact, "no Partial tag");
+            let ids: Vec<usize> = out.merged.answers.iter().map(|a| a.id).collect();
+            assert_eq!(ids, vec![3, 0]);
+        }
+    }
+
+    #[test]
+    fn met_quorum_serves_the_survivors_tagged_partial() {
+        let parts = vec![
+            ok_part(0..2, &[(0, 2.0)]),
+            failing(2..4),
+            ok_part(4..6, &[(1, 1.0)]),
+        ];
+        let out = merge_quorum(2, 6, parts, QuorumPolicy::AtLeast(2)).unwrap();
+        assert_eq!(out.shards_answered, 2);
+        assert_eq!(out.shards_total, 3);
+        match out.merged.guarantee {
+            Guarantee::Partial {
+                shards_answered: 2,
+                shards_total: 3,
+                ..
+            } => {}
+            other => panic!("expected Partial 2/3, got {other:?}"),
+        }
+        assert_eq!(
+            out.merged.answers.guarantee(),
+            out.merged.guarantee,
+            "the answer set carries the Partial tag too"
+        );
+        let ids: Vec<usize> = out.merged.answers.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![5, 0], "survivors merge normally");
+    }
+
+    #[test]
+    fn unmet_quorum_fails_with_the_first_shard_error() {
+        let parts = vec![failing(0..2), ok_part(2..4, &[(0, 1.0)]), failing(4..6)];
+        let err = merge_quorum(1, 6, parts, QuorumPolicy::AtLeast(2)).unwrap_err();
+        assert!(matches!(err, Error::EmptyDataset));
+    }
+
+    #[test]
+    fn best_effort_serves_a_single_survivor() {
+        let parts = vec![failing(0..2), failing(2..4), ok_part(4..6, &[(0, 3.0)])];
+        let out = merge_quorum(1, 6, parts, QuorumPolicy::BestEffort).unwrap();
+        assert_eq!(out.shards_answered, 1);
+        let ids: Vec<usize> = out.merged.answers.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![4]);
+        match out.merged.answers.guarantee() {
+            Guarantee::Partial {
+                shards_answered: 1,
+                shards_total: 3,
+                inner,
+            } => assert_eq!(Guarantee::from(inner), Guarantee::Exact),
+            other => panic!("expected Partial 1/3, got {other:?}"),
+        }
     }
 }

@@ -182,6 +182,31 @@ impl FaultPlan {
         &self.config
     }
 
+    /// Derives the fault plan of shard `shard`: the same configuration under
+    /// a seed mixed from `(seed, shard)`, so every shard draws an
+    /// **independent** deterministic fault stream — shard 0's faulting keys
+    /// are uncorrelated with shard 1's, exactly like independent disks
+    /// failing independently. Derivation is a pure function (same base seed
+    /// and shard index ⇒ same derived plan), and deriving from a disabled
+    /// plan stays disabled. Note the derived seed differs from the base seed
+    /// even for shard 0: per-shard streams are a separate universe from the
+    /// unsharded stream, so re-partitioning never replays the old faults.
+    pub fn for_shard(&self, shard: usize) -> FaultPlan {
+        if !self.active {
+            return *self;
+        }
+        // splitmix64 finalizer over the (seed, shard) mix, matching the
+        // per-access hash's mixing quality so adjacent shards decorrelate.
+        let mut z = self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(
+            (shard as u64)
+                .wrapping_add(1)
+                .wrapping_mul(0xd1342543de82ef95),
+        );
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        FaultPlan::seeded(z ^ (z >> 31), self.config)
+    }
+
     /// splitmix64-style finalizer over (seed, stream, key, attempt).
     fn hash(&self, stream: u64, key: u64, attempt: u64) -> u64 {
         let mut z = self
@@ -363,6 +388,34 @@ mod tests {
             .join()
             .unwrap();
         set_attempt(0);
+    }
+
+    #[test]
+    fn shard_derivation_is_deterministic_and_independent() {
+        let base = FaultPlan::seeded(42, chaos_config());
+        // Pure function: same base and shard index, same derived plan.
+        assert_eq!(base.for_shard(0), base.for_shard(0));
+        assert_eq!(base.for_shard(3), base.for_shard(3));
+        // Shards draw distinct streams — and none replays the base stream.
+        let seeds: Vec<u64> = (0..4).map(|s| base.for_shard(s).seed()).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_ne!(a, base.seed(), "shard {i} must not replay the base");
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b, "shards must draw independent streams");
+            }
+        }
+        // The configuration rides along unchanged.
+        assert_eq!(*base.for_shard(1).config(), chaos_config());
+        // Streams decorrelate: two shards disagree on at least one key.
+        let (s0, s1) = (base.for_shard(0), base.for_shard(1));
+        assert!((0..2000).any(|k| s0.read_outcome(k, 0) != s1.read_outcome(k, 0)));
+    }
+
+    #[test]
+    fn shard_derivation_of_a_disabled_plan_stays_disabled() {
+        let plan = FaultPlan::disabled().for_shard(2);
+        assert!(!plan.is_active());
+        assert_eq!(plan.read_outcome(7, 0), ReadOutcome::clean());
     }
 
     #[test]
